@@ -1,0 +1,203 @@
+//! Criterion micro-benchmarks for the hot paths of every substrate:
+//! tensor kernels, filter models, queues, the event core, and a full
+//! engine run on synthetic traces.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ffsva_core::{Engine, FfsVaConfig, Mode, StreamInput, StreamThresholds};
+use ffsva_models::sdd::{DistanceMetric, SddFilter};
+use ffsva_models::snm::{snm_input, SnmModel};
+use ffsva_models::tyolo::TinyYolo;
+use ffsva_models::FrameTrace;
+use ffsva_sched::{BatchPolicy, EventQueue, FeedbackQueue, SimQueue};
+use ffsva_tensor::ops::{self, ConvGeom};
+use ffsva_tensor::Tensor;
+use ffsva_video::prelude::*;
+use ffsva_video::resize::resize_bilinear;
+use ffsva_video::workloads;
+use rand::{Rng, SeedableRng};
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let a = Tensor::from_vec(
+        &[128, 128],
+        (0..128 * 128).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    let b = a.clone();
+    c.bench_function("tensor/matmul_128", |bch| {
+        bch.iter(|| ops::matmul(black_box(&a), black_box(&b)))
+    });
+
+    let input = Tensor::from_vec(
+        &[1, 1, 50, 50],
+        (0..2500).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+    );
+    let weight = Tensor::from_vec(
+        &[8, 1, 5, 5],
+        (0..200).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+    );
+    let bias = Tensor::zeros(&[8]);
+    let geom = ConvGeom {
+        in_h: 50,
+        in_w: 50,
+        kernel: 5,
+        stride: 2,
+        pad: 2,
+    };
+    c.bench_function("tensor/conv2d_snm_layer1", |bch| {
+        bch.iter(|| ops::conv2d(black_box(&input), black_box(&weight), black_box(&bias), geom))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let cfg = workloads::test_tiny(ObjectClass::Car, 0.4, 3);
+    let mut stream = VideoStream::new(0, cfg);
+    let clip = stream.clip(64);
+    let bg: Vec<Frame> = clip.iter().take(16).map(|lf| lf.frame.clone()).collect();
+    let frame = clip[40].frame.clone();
+
+    let sdd = SddFilter::from_background(&bg, DistanceMetric::Mse, 1e-4);
+    c.bench_function("models/sdd_distance", |bch| {
+        bch.iter(|| sdd.distance(black_box(&frame)))
+    });
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut snm = SnmModel::architecture(ObjectClass::Car, &mut rng);
+    let small = snm_input(&frame);
+    c.bench_function("models/snm_forward", |bch| {
+        bch.iter(|| snm.predict_small(black_box(&small)))
+    });
+    let batch: Vec<Vec<f32>> = (0..10).map(|_| small.clone()).collect();
+    c.bench_function("models/snm_forward_batch10", |bch| {
+        bch.iter(|| snm.predict_batch(black_box(&batch)))
+    });
+
+    let tyolo = TinyYolo::default();
+    c.bench_function("models/tyolo_detect", |bch| {
+        bch.iter(|| tyolo.detect(black_box(&frame)))
+    });
+
+    let px = frame.pixels().to_vec();
+    c.bench_function("video/resize_bilinear_104", |bch| {
+        bch.iter(|| resize_bilinear(black_box(&px), frame.width, frame.height, 104, 104))
+    });
+}
+
+fn bench_sched(c: &mut Criterion) {
+    c.bench_function("sched/sim_queue_push_pop_1k", |bch| {
+        bch.iter(|| {
+            let mut q = SimQueue::new(1024);
+            for i in 0..1000 {
+                q.push(black_box(i)).unwrap();
+            }
+            while q.pop().is_some() {}
+        })
+    });
+
+    c.bench_function("sched/feedback_queue_push_pop_1k", |bch| {
+        bch.iter(|| {
+            let q = FeedbackQueue::new(1024);
+            for i in 0..1000 {
+                q.try_push(black_box(i)).unwrap();
+            }
+            let mut n = 0;
+            while q
+                .pop_timeout(std::time::Duration::from_millis(1))
+                .unwrap_or(None)
+                .is_some()
+            {
+                n += 1;
+                if n >= 1000 {
+                    break;
+                }
+            }
+        })
+    });
+
+    c.bench_function("sched/event_queue_10k", |bch| {
+        bch.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u32 {
+                q.schedule((i % 97) as f64 * 10.0 + 1e6, black_box(i));
+            }
+            while q.pop().is_some() {}
+        })
+    });
+
+    let policy = BatchPolicy::Dynamic { size: 10 };
+    c.bench_function("sched/batch_policy_take", |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for q in 0..64usize {
+                acc += policy.take(black_box(q), 10).unwrap_or(0);
+            }
+            acc
+        })
+    });
+}
+
+fn synthetic_inputs(streams: usize, frames: usize) -> Vec<StreamInput> {
+    (0..streams)
+        .map(|_| StreamInput {
+            traces: (0..frames)
+                .map(|i| {
+                    let target = i % 10 == 0;
+                    FrameTrace {
+                        seq: i as u64,
+                        pts_ms: (i as u64) * 33,
+                        sdd_distance: if target { 0.01 } else { 0.0001 },
+                        snm_prob: if target { 0.9 } else { 0.05 },
+                        tyolo_count: target as u16,
+                        reference_count: target as u16,
+                        truth_count: target as u16,
+                        truth_complete: target as u16,
+                    }
+                })
+                .collect(),
+            thresholds: StreamThresholds {
+                delta_diff: 0.001,
+                t_pre: 0.5,
+                number_of_objects: 1,
+            },
+        })
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("core/engine_offline_1x5000", |bch| {
+        bch.iter(|| {
+            Engine::new(
+                FfsVaConfig::default(),
+                Mode::Offline,
+                synthetic_inputs(1, 5000),
+            )
+            .run()
+        })
+    });
+    c.bench_function("core/engine_online_8x1000", |bch| {
+        bch.iter(|| {
+            Engine::new(
+                FfsVaConfig::default(),
+                Mode::Online,
+                synthetic_inputs(8, 1000),
+            )
+            .run()
+        })
+    });
+}
+
+fn bench_generator(c: &mut Criterion) {
+    c.bench_function("video/generate_frame_300x200", |bch| {
+        let mut s = VideoStream::new(0, workloads::jackson());
+        bch.iter(|| black_box(s.next_frame()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tensor,
+    bench_models,
+    bench_sched,
+    bench_engine,
+    bench_generator
+);
+criterion_main!(benches);

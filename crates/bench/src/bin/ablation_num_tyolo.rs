@@ -1,0 +1,68 @@
+//! Ablation — the per-cycle `num_tyolo` cap (§3.2.3/§4.3.1): the shared
+//! T-YOLO "extracts at most num_tyolo video frames from the queue" of each
+//! stream per cycle, so a stream whose TOR suddenly surges cannot starve the
+//! others. With the cap effectively removed, a hot stream monopolizes the
+//! detector and the quiet streams' reference-path latency balloons.
+
+use ffsva_bench::report::{ms, table, write_json};
+use ffsva_bench::{bench_prepare_options, cache_dir, default_config, jackson_at, results_dir};
+use ffsva_core::workload::prepare_stream_cached;
+use ffsva_core::{Engine, Mode};
+use serde_json::json;
+
+fn main() {
+    let opts = bench_prepare_options();
+    // 7 hot streams (TOR 0.9) push the shared T-YOLO near saturation; 5
+    // quiet streams (TOR 0.05) should still be served promptly — if the cap
+    // keeps the round-robin fair.
+    const HOT: usize = 7;
+    let mk_inputs = |cfg: &ffsva_core::FfsVaConfig| {
+        let mut inputs = Vec::new();
+        for i in 0..HOT as u64 {
+            inputs.push(prepare_stream_cached(jackson_at(0.9, 500 + i), &opts, &cache_dir()).input(cfg));
+        }
+        for i in 0..5u64 {
+            inputs
+                .push(prepare_stream_cached(jackson_at(0.05, 510 + i), &opts, &cache_dir()).input(cfg));
+        }
+        inputs
+    };
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for cap in [1usize, 4, 8, 100_000] {
+        let mut cfg = default_config();
+        cfg.num_tyolo = cap;
+        // deep queues so the hot stream *can* hoard the detector when uncapped
+        cfg.tyolo_queue_depth = 64;
+        let r = Engine::new(cfg, Mode::Online, mk_inputs(&cfg)).run();
+        let label = if cap > 1000 { "unbounded".to_string() } else { cap.to_string() };
+        let quiet: Vec<f64> = r.per_stream_mean_ref_latency_us[HOT..].to_vec();
+        let hot: Vec<f64> = r.per_stream_mean_ref_latency_us[..HOT].to_vec();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        rows.push(vec![
+            label.clone(),
+            ms(mean(&hot)),
+            ms(mean(&quiet)),
+            ms(r.p99_ref_latency_us),
+        ]);
+        out.push(json!({
+            "num_tyolo": cap,
+            "hot_mean_ref_latency_us": mean(&hot),
+            "quiet_mean_ref_latency_us": mean(&quiet),
+            "p99_ref_latency_us": r.p99_ref_latency_us,
+            "per_stream_max_backlog": r.per_stream_max_backlog,
+        }));
+    }
+    println!("== Ablation: num_tyolo per-cycle cap (7 hot + 5 quiet streams) ==");
+    println!(
+        "{}",
+        table(
+            &["num_tyolo", "hot mean lat (ms)", "quiet mean lat (ms)", "p99 lat (ms)"],
+            &rows
+        )
+    );
+    println!("§3.2.3: the cap keeps the shared T-YOLO fair when one stream's TOR surges");
+    write_json(&results_dir(), "ablation_num_tyolo", &json!({"rows": out}))
+        .expect("write results");
+}

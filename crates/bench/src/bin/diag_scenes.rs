@@ -1,0 +1,36 @@
+//! Diagnostic: list every *lost* significant scene (a scene with complete
+//! target objects that no cascade-passing frame covered) across the
+//! reference streams, with the per-filter evidence for why it was lost.
+
+use ffsva_bench::{default_config, jackson_at, prepare};
+use ffsva_core::accuracy::cascade_pass;
+
+fn main() {
+    let cfg = default_config();
+    for seed in 0..4 {
+        let ps = prepare(jackson_at(0.103, seed));
+        let th = ps.thresholds(&cfg);
+        // walk scenes
+        let mut i = 0;
+        let n = ps.traces.len();
+        while i < n {
+            if !ps.traces[i].is_reference_target(1) { i += 1; continue; }
+            let start = i;
+            let mut complete = 0; let mut hit = false;
+            let mut max_snm = 0.0f32; let mut max_ty = 0; let mut sdd_any = false;
+            while i < n && ps.traces[i].is_reference_target(1) {
+                let tr = &ps.traces[i];
+                if tr.truth_complete >= 1 { complete += 1; }
+                if cascade_pass(tr, &th) { hit = true; }
+                max_snm = max_snm.max(tr.snm_prob);
+                max_ty = max_ty.max(tr.tyolo_count);
+                if tr.sdd_pass(th.delta_diff) { sdd_any = true; }
+                i += 1;
+            }
+            if complete > 0 && !hit {
+                println!("seed {} LOST scene @{} len {} complete {} max_snm {:.3} max_ty {} sdd_any {} (t_pre {:.3})",
+                    seed, start, i - start, complete, max_snm, max_ty, sdd_any, th.t_pre);
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Figure 10 — the batch-mechanism sweep of Fig. 9 repeated at TOR ≈ 0.980:
+//! nearly every frame survives to T-YOLO, which dominates the makespan, so
+//! BatchSize barely moves throughput; the dynamic mechanism still keeps
+//! average latency flat and low.
+
+use ffsva_bench::{coral_at, prepare, run_batch_sweep};
+
+fn main() {
+    let pool: Vec<_> = (0..3).map(|i| prepare(coral_at(0.98, 110 + i))).collect();
+    run_batch_sweep(&pool, 0.98, "fig10", 10);
+    println!("paper: at high TOR most frames are executed by T-YOLO regardless of BatchSize, so throughput is flat; dynamic batching keeps the lower latency");
+}

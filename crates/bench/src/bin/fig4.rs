@@ -1,0 +1,77 @@
+//! Figure 4 — throughput and latency vs #streams at TOR 1.000 (the extreme
+//! case): SDD/SNM filter out little, most frames reach T-YOLO, and FFS-VA
+//! only supports 5–6 streams; offline throughput collapses toward YOLOv2
+//! because one GPU does inefficient filtering while the baseline uses both.
+
+use ffsva_bench::report::{f1, ms, table, write_json};
+use ffsva_bench::{coral_at, default_config, prepare, results_dir};
+use ffsva_core::{run_baseline, tile_inputs, Engine, Mode};
+use ffsva_sched::BatchPolicy;
+use serde_json::json;
+
+fn main() {
+    let pool: Vec<_> = (0..3).map(|i| prepare(coral_at(1.0, i))).collect();
+    let frames = pool[0].traces.len();
+    let counts = [1usize, 2, 3, 4, 5, 6, 7, 8];
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &n in &counts {
+        let mut cfg_fb = default_config();
+        cfg_fb.batch_policy = BatchPolicy::Feedback { size: 10 };
+        let fb = Engine::new(cfg_fb, Mode::Online, tile_inputs(&pool, n, &cfg_fb)).run();
+
+        let mut cfg_dy = default_config();
+        cfg_dy.batch_policy = BatchPolicy::Dynamic { size: 10 };
+        let dy = Engine::new(cfg_dy, Mode::Online, tile_inputs(&pool, n, &cfg_dy)).run();
+
+        let base = run_baseline(n, frames, Mode::Online, cfg_fb.online_fps, 2);
+        let mark = |rt: bool| if rt { "" } else { " (!rt)" };
+        rows.push(vec![
+            n.to_string(),
+            format!("{}{}", f1(fb.throughput_fps), mark(fb.realtime(30))),
+            format!("{}{}", ms(fb.mean_ref_latency_us), mark(fb.realtime(30))),
+            format!("{}{}", f1(dy.throughput_fps), mark(dy.realtime(30))),
+            format!("{}{}", ms(dy.mean_ref_latency_us), mark(dy.realtime(30))),
+            format!("{}{}", f1(base.throughput_fps), mark(base.realtime(30))),
+        ]);
+        series.push(json!({
+            "streams": n,
+            "feedback": {"fps": fb.throughput_fps, "ref_latency_us": fb.mean_ref_latency_us,
+                          "realtime": fb.realtime(30)},
+            "dynamic": {"fps": dy.throughput_fps, "ref_latency_us": dy.mean_ref_latency_us,
+                         "realtime": dy.realtime(30)},
+            "baseline": {"fps": base.throughput_fps, "realtime": base.realtime(30)},
+        }));
+    }
+
+    // Offline single-stream comparison: the collapse toward the baseline.
+    let cfg = default_config();
+    let off = Engine::new(cfg, Mode::Offline, tile_inputs(&pool[..1], 1, &cfg)).run();
+    let base_off = run_baseline(1, frames, Mode::Offline, cfg.online_fps, 2);
+
+    println!("== Fig. 4: throughput & latency vs #streams, TOR 1.000 ==");
+    println!(
+        "{}",
+        table(
+            &["streams", "FB fps", "FB lat(ms)", "DYN fps", "DYN lat(ms)", "YOLOv2 fps"],
+            &rows
+        )
+    );
+    println!(
+        "offline 1-stream: FFS-VA {} FPS vs YOLOv2-2GPU {} FPS (paper: close to the baseline)",
+        f1(off.throughput_fps),
+        f1(base_off.throughput_fps)
+    );
+    println!("paper: FFS-VA supports only 5-6 streams at TOR 1.000");
+    write_json(
+        &results_dir(),
+        "fig4",
+        &json!({
+            "tor": 1.0,
+            "series": series,
+            "offline": {"ffs_fps": off.throughput_fps, "baseline_fps": base_off.throughput_fps}
+        }),
+    )
+    .expect("write results");
+}

@@ -1,0 +1,59 @@
+//! Figure 6 — (a) the maximum number of real-time streams as a function of
+//! TOR, and (b) load balance: normalized execution times of 10 concurrent
+//! streams whose TORs are evenly distributed in (0, 0.4).
+
+use ffsva_bench::report::{f3, table, write_json};
+use ffsva_bench::{default_config, jackson_at, prepare, results_dir};
+use ffsva_core::{find_max_online_streams, tile_inputs, Engine, Mode};
+use serde_json::json;
+
+fn main() {
+    let cfg = default_config();
+
+    // (a) max streams vs TOR
+    let tors = [0.02, 0.05, 0.103, 0.2, 0.3, 0.5, 0.75, 1.0];
+    let mut rows_a = Vec::new();
+    let mut out_a = Vec::new();
+    for &tor in &tors {
+        let pool: Vec<_> = (0..2).map(|i| prepare(jackson_at(tor, 60 + i))).collect();
+        let max = find_max_online_streams(&cfg, |n| tile_inputs(&pool, n, &cfg), 64);
+        rows_a.push(vec![format!("{:.3}", tor), max.to_string()]);
+        out_a.push(json!({"tor": tor, "max_streams": max}));
+    }
+    println!("== Fig. 6a: maximum real-time streams vs TOR ==");
+    println!("{}", table(&["TOR", "max streams"], &rows_a));
+    println!("paper: max streams increases as TOR decreases (30 @ ~0.1, 5-6 @ 1.0)");
+
+    // (b) load balance across 10 streams with TOR ~ U(0, 0.4)
+    let pool_b: Vec<_> = (0..10)
+        .map(|i| prepare(jackson_at(0.02 + 0.038 * i as f64, 80 + i as u64)))
+        .collect();
+    let inputs: Vec<_> = pool_b.iter().map(|ps| ps.input(&cfg)).collect();
+    let r = Engine::new(cfg, Mode::Offline, inputs).run();
+    let max_span = r
+        .per_stream_span_us
+        .iter()
+        .copied()
+        .fold(1.0f64, f64::max);
+    let mut rows_b = Vec::new();
+    let mut out_b = Vec::new();
+    for (i, (&span, ps)) in r.per_stream_span_us.iter().zip(pool_b.iter()).enumerate() {
+        let norm = span / max_span;
+        rows_b.push(vec![
+            format!("stream {}", i),
+            format!("{:.3}", ps.measured_tor),
+            f3(norm),
+        ]);
+        out_b.push(json!({"stream": i, "tor": ps.measured_tor, "normalized_time": norm}));
+    }
+    println!("\n== Fig. 6b: load balance (normalized execution time, 10 streams, TOR ~ U(0,0.4)) ==");
+    println!("{}", table(&["stream", "TOR", "normalized time"], &rows_b));
+    println!("paper: except at very low TOR, execution times differ little — load balancing works");
+
+    write_json(
+        &results_dir(),
+        "fig6",
+        &json!({"max_streams_vs_tor": out_a, "load_balance": out_b}),
+    )
+    .expect("write results");
+}

@@ -1,0 +1,54 @@
+//! Figure 7 — throughput and error rate as a function of FilterDegree, for
+//! (a) car detection at TOR ≈ 0.197 (strong effect: raising t_pre filters
+//! more frames but raises the error rate) and (b) person detection at TOR
+//! 1.000 (no effect: every frame contains persons, so the SNM passes all).
+
+use ffsva_bench::report::{f1, f3, table, write_json};
+use ffsva_bench::{coral_at, default_config, jackson_at, prepare, results_dir};
+use ffsva_core::{evaluate_accuracy, Engine, Mode};
+use serde_json::json;
+
+fn main() {
+    let cases = [
+        ("(a) car, TOR 0.197", prepare(jackson_at(0.197, 70))),
+        ("(b) person, TOR 1.000", prepare(coral_at(1.0, 71))),
+    ];
+    let degrees = [0.0f32, 0.25, 0.5, 0.75, 1.0];
+
+    let mut out = Vec::new();
+    for (label, ps) in &cases {
+        let mut rows = Vec::new();
+        let mut series = Vec::new();
+        for &fd in &degrees {
+            let cfg = default_config().with_filter_degree(fd);
+            let th = ps.thresholds(&cfg);
+            let rep = evaluate_accuracy(&ps.traces, &th);
+            let r = Engine::new(cfg, Mode::Offline, vec![ps.input(&cfg)]).run();
+            rows.push(vec![
+                format!("{:.2}", fd),
+                f1(r.throughput_fps),
+                rep.forwarded_frames.to_string(),
+                f3(rep.error_rate),
+                f3(rep.scene_miss_rate),
+            ]);
+            series.push(json!({
+                "filter_degree": fd,
+                "throughput_fps": r.throughput_fps,
+                "output_frames": rep.forwarded_frames,
+                "error_rate": rep.error_rate,
+                "scene_miss_rate": rep.scene_miss_rate,
+            }));
+        }
+        println!("== Fig. 7 {}: throughput & error rate vs FilterDegree ==", label);
+        println!(
+            "{}",
+            table(
+                &["FilterDegree", "fps", "output frames", "error rate", "scene miss"],
+                &rows
+            )
+        );
+        out.push(json!({"case": label, "tor": ps.measured_tor, "series": series}));
+    }
+    println!("paper: (a) higher FilterDegree filters more uncertain frames; (b) crowded aquarium frames all contain persons, so FilterDegree has little effect");
+    write_json(&results_dir(), "fig7", &json!({ "cases": out })).expect("write results");
+}

@@ -1,0 +1,109 @@
+//! Headline numbers (abstract, §5.2): at ~10 % TOR on two GPUs, FFS-VA
+//! supports ~30 concurrent online streams (≈7× YOLOv2) and achieves ≈3×
+//! offline speedup, with an accuracy loss (missed scenes) below 2 %.
+
+use ffsva_bench::report::{f1, f3, table, write_json};
+use ffsva_bench::{default_config, jackson_at, prepare, results_dir};
+use ffsva_core::{
+    evaluate_accuracy, find_max_online_streams, run_baseline, tile_inputs, Engine, Mode,
+};
+use serde_json::json;
+
+fn main() {
+    let cfg = default_config();
+    // §5.2: "under a 10% target-object occurrence rate" — Fig. 3 uses 0.103.
+    let pool: Vec<_> = (0..4).map(|i| prepare(jackson_at(0.103, i))).collect();
+    let frames = pool[0].traces.len();
+
+    // Offline: single stream, FFS-VA vs YOLOv2-on-both-GPUs.
+    let ffs_off = Engine::new(cfg, Mode::Offline, tile_inputs(&pool[..1], 1, &cfg)).run();
+    let base_off = run_baseline(1, frames, Mode::Offline, cfg.online_fps, 2);
+    let offline_speedup = ffs_off.throughput_fps / base_off.throughput_fps;
+    let time_reduction = 1.0 - base_off.throughput_fps / ffs_off.throughput_fps.max(1e-9);
+
+    // Online: max concurrent real-time streams for both systems.
+    let ffs_max = find_max_online_streams(&cfg, |n| tile_inputs(&pool, n, &cfg), 64);
+    let mut base_max = 0usize;
+    for n in 1..=16 {
+        if run_baseline(n, frames.min(1500), Mode::Online, cfg.online_fps, 2).realtime(cfg.online_fps)
+        {
+            base_max = n;
+        } else {
+            break;
+        }
+    }
+
+    // Accuracy: scene loss and frame error over the pool.
+    let mut worst_scene_miss = 0.0f64;
+    let mut worst_error = 0.0f64;
+    for ps in &pool {
+        let rep = evaluate_accuracy(&ps.traces, &ps.thresholds(&cfg));
+        worst_scene_miss = worst_scene_miss.max(rep.scene_miss_rate);
+        worst_error = worst_error.max(rep.error_rate);
+    }
+
+    let rows = vec![
+        vec![
+            "offline 1-stream throughput (FPS)".into(),
+            f1(ffs_off.throughput_fps),
+            f1(base_off.throughput_fps),
+            format!("{:.2}x (paper 3x)", offline_speedup),
+        ],
+        vec![
+            "offline execution time reduction".into(),
+            format!("{:.1}%", time_reduction * 100.0),
+            "-".into(),
+            "paper 72.3%".into(),
+        ],
+        vec![
+            "max online 30-FPS streams".into(),
+            ffs_max.to_string(),
+            base_max.to_string(),
+            format!(
+                "{:.1}x (paper 7x, 30 streams)",
+                ffs_max as f64 / base_max.max(1) as f64
+            ),
+        ],
+        vec![
+            "worst scene-miss rate".into(),
+            f3(worst_scene_miss),
+            "0.000".into(),
+            "paper < 2%".into(),
+        ],
+        vec![
+            "worst frame error rate".into(),
+            f3(worst_error),
+            "0.000".into(),
+            "-".into(),
+        ],
+    ];
+    println!("== Headline (abstract / §5.2), TOR 0.103, 2 GPUs ==");
+    println!(
+        "{}",
+        table(&["metric", "FFS-VA", "YOLOv2", "ratio / paper"], &rows)
+    );
+
+    write_json(
+        &results_dir(),
+        "headline",
+        &json!({
+            "ffs_offline_fps": ffs_off.throughput_fps,
+            "baseline_offline_fps": base_off.throughput_fps,
+            "offline_speedup": offline_speedup,
+            "offline_time_reduction": time_reduction,
+            "ffs_max_online_streams": ffs_max,
+            "baseline_max_online_streams": base_max,
+            "online_scalability_ratio": ffs_max as f64 / base_max.max(1) as f64,
+            "worst_scene_miss_rate": worst_scene_miss,
+            "worst_frame_error_rate": worst_error,
+            "paper": {
+                "offline_speedup": 3.0,
+                "online_streams": 30,
+                "online_ratio": 7.0,
+                "accuracy_loss": "<2%",
+                "time_reduction": 0.723
+            }
+        }),
+    )
+    .expect("write results");
+}

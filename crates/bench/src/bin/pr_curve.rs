@@ -1,0 +1,40 @@
+//! Precision/recall curve of the cascade over the SNM threshold — the
+//! continuous version of the paper's FilterDegree trade-off (Fig. 7a): as
+//! `t_pre` rises the cascade forwards fewer frames (precision up), at the
+//! cost of recall.
+
+use ffsva_bench::report::{f3, table, write_json};
+use ffsva_bench::{default_config, jackson_at, prepare, results_dir};
+use ffsva_core::accuracy::precision_recall_sweep;
+use serde_json::json;
+
+fn main() {
+    let cfg = default_config();
+    let ps = prepare(jackson_at(0.197, 70));
+    let th = ps.thresholds(&cfg);
+    let pr = precision_recall_sweep(&ps.traces, &th, 11);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for p in &pr {
+        rows.push(vec![
+            format!("{:.2}", p.t_pre),
+            p.forwarded.to_string(),
+            f3(p.precision),
+            f3(p.recall),
+        ]);
+        out.push(json!({
+            "t_pre": p.t_pre,
+            "forwarded": p.forwarded,
+            "precision": p.precision,
+            "recall": p.recall,
+        }));
+    }
+    println!("== Cascade precision/recall vs SNM threshold (car, TOR 0.197) ==");
+    println!("{}", table(&["t_pre", "forwarded", "precision", "recall"], &rows));
+    println!(
+        "SNM band for this stream: c_low {:.3} c_high {:.3} — FilterDegree sweeps inside it (Eq. 2)",
+        ps.c_low, ps.c_high
+    );
+    write_json(&results_dir(), "pr_curve", &json!({"points": out})).expect("write results");
+}

@@ -1,0 +1,40 @@
+//! Scalability — §4.3.2 Note: "tasks of SNM or T-YOLO can be reasonably
+//! distributed across multiple GPUs to increase the overall performance in
+//! a single FFS-VA instance". Sweep filter/reference GPU counts and report
+//! the maximum number of real-time streams and the offline throughput.
+
+use ffsva_bench::report::{f1, table, write_json};
+use ffsva_bench::{default_config, jackson_at, prepare, results_dir};
+use ffsva_core::{find_max_online_streams, tile_inputs, Engine, Mode};
+use serde_json::json;
+
+fn main() {
+    let pool: Vec<_> = (0..3).map(|i| prepare(jackson_at(0.103, i))).collect();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (fg, rg) in [(1usize, 1usize), (1, 2), (2, 2), (2, 4), (4, 4)] {
+        let mut cfg = default_config();
+        cfg.filter_gpus = fg;
+        cfg.reference_gpus = rg;
+        let max = find_max_online_streams(&cfg, |n| tile_inputs(&pool, n, &cfg), 256);
+        let off = Engine::new(cfg, Mode::Offline, tile_inputs(&pool, 1, &cfg)).run();
+        rows.push(vec![
+            format!("{}+{}", fg, rg),
+            max.to_string(),
+            f1(off.throughput_fps),
+        ]);
+        out.push(json!({
+            "filter_gpus": fg,
+            "reference_gpus": rg,
+            "max_online_streams": max,
+            "offline_fps": off.throughput_fps,
+        }));
+    }
+    println!("== Scaling: GPUs (filter+reference) vs capacity, TOR 0.103 ==");
+    println!(
+        "{}",
+        table(&["GPUs (filter+ref)", "max online streams", "offline 1-stream fps"], &rows)
+    );
+    println!("paper §4.3.2: the instance scales by distributing SNM/T-YOLO and the reference model over more GPUs");
+    write_json(&results_dir(), "scaling", &json!({"rows": out})).expect("write results");
+}

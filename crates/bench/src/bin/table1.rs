@@ -1,0 +1,41 @@
+//! Table 1 — "Information of Evaluation Videos": verifies the two workload
+//! presets against the paper's metadata (resolution, object, FPS, TOR), with
+//! the TOR measured on a freshly generated clip.
+
+use ffsva_bench::report::{table, write_json};
+use ffsva_bench::results_dir;
+use ffsva_video::prelude::*;
+use ffsva_video::workloads;
+use serde_json::json;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for cfg in [workloads::jackson(), workloads::coral()] {
+        let mut s = VideoStream::new(0, cfg.clone());
+        let clip = s.clip(8000);
+        let tor = measured_tor(&clip, cfg.target);
+        rows.push(vec![
+            cfg.name.clone(),
+            format!("{}*{}", cfg.nominal_width, cfg.nominal_height),
+            cfg.target.name().to_string(),
+            format!("{} FPS", cfg.fps),
+            format!("{:.0}% (target {:.0}%)", tor * 100.0, cfg.tor * 100.0),
+        ]);
+        out.push(json!({
+            "name": cfg.name,
+            "resolution": [cfg.nominal_width, cfg.nominal_height],
+            "object": cfg.target.name(),
+            "fps": cfg.fps,
+            "tor_target": cfg.tor,
+            "tor_measured": tor,
+        }));
+    }
+    println!("== Table 1: Information of Evaluation Videos ==");
+    println!(
+        "{}",
+        table(&["Video Name", "Resolution", "Object", "FPS", "TOR"], &rows)
+    );
+    println!("paper: Coral 1280*720 Person 30FPS 50% | Jackson 600*400 Car 30FPS 8%");
+    write_json(&results_dir(), "table1", &json!({ "videos": out })).expect("write results");
+}

@@ -1,0 +1,154 @@
+//! `ffsva-bench` — shared harness for the per-figure experiment binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4). This library holds the common plumbing:
+//! workload construction, prepared-stream caching, and result output.
+
+use ffsva_core::workload::prepare_stream_cached;
+use ffsva_core::{FfsVaConfig, PreparedStream, PrepareOptions};
+use ffsva_video::workloads;
+use ffsva_video::StreamConfig;
+use std::path::PathBuf;
+
+pub use ffsva_core::report;
+
+/// Repository-relative directory for cached prepared streams.
+pub fn cache_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/cache")
+}
+
+/// Repository-relative directory for experiment outputs.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Jackson-style workload (cars at a crossroad) at a chosen TOR.
+pub fn jackson_at(tor: f64, seed: u64) -> StreamConfig {
+    let mut cfg = workloads::jackson().with_tor(tor);
+    cfg.seed = cfg.seed.wrapping_add(seed.wrapping_mul(0x9E37_79B9));
+    cfg
+}
+
+/// Coral-style workload (people at an aquarium) at a chosen TOR.
+pub fn coral_at(tor: f64, seed: u64) -> StreamConfig {
+    let mut cfg = workloads::coral().with_tor(tor);
+    cfg.seed = cfg.seed.wrapping_add(seed.wrapping_mul(0x9E37_79B9));
+    cfg
+}
+
+/// Standard preparation options for the experiment suite (§5.1: 5000
+/// consecutive evaluation frames per stream).
+pub fn bench_prepare_options() -> PrepareOptions {
+    let mut opts = PrepareOptions::default();
+    // Restarts beyond the first only run when the held-out accuracy is poor,
+    // so a generous budget costs nothing on healthy streams.
+    opts.bank.snm.restarts = 5;
+    opts
+}
+
+/// Prepare (or load from cache) a stream for the experiment suite.
+pub fn prepare(cfg: StreamConfig) -> PreparedStream {
+    let opts = bench_prepare_options();
+    let ps = prepare_stream_cached(cfg.clone(), &opts, &cache_dir());
+    eprintln!(
+        "[prep] {} tor(cfg {:.3} → measured {:.3}) snm_acc {:.3} δ_diff {:.2e} band [{:.3},{:.3}]",
+        ps.name, cfg.tor, ps.measured_tor, ps.snm_accuracy, ps.delta_diff, ps.c_low, ps.c_high
+    );
+    ps
+}
+
+/// Prepare a pool of `k` distinct streams of the same workload class, used
+/// to tile many concurrent streams (§5.1: "non-overlapping video clips").
+pub fn prepare_pool(base: impl Fn(u64) -> StreamConfig, k: usize) -> Vec<PreparedStream> {
+    (0..k as u64).map(|i| prepare(base(i))).collect()
+}
+
+/// Default instance config for the suite.
+pub fn default_config() -> FfsVaConfig {
+    FfsVaConfig::default()
+}
+
+/// Shared sweep for Figs. 9/10: throughput (offline) and reference-path
+/// latency (online) of the static / feedback / dynamic batch mechanisms as
+/// BatchSize varies.
+pub fn run_batch_sweep(pool: &[PreparedStream], tor_label: f64, name: &str, streams: usize) {
+    use ffsva_core::{tile_inputs, Engine, Mode};
+    use ffsva_sched::BatchPolicy;
+    use report::{f1, ms, table, write_json};
+    use serde_json::json;
+
+    let sizes = [1usize, 2, 5, 10, 20, 30, 50];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &size in &sizes {
+        let policies = [
+            ("static", BatchPolicy::Static { size }),
+            ("feedback", BatchPolicy::Feedback { size }),
+            ("dynamic", BatchPolicy::Dynamic { size }),
+        ];
+        let mut row = vec![size.to_string()];
+        let mut rec = json!({"batch_size": size});
+        for (pname, policy) in policies {
+            let mut cfg = default_config();
+            cfg.batch_policy = policy;
+            let off = Engine::new(cfg, Mode::Offline, tile_inputs(pool, streams, &cfg)).run();
+            let on = Engine::new(cfg, Mode::Online, tile_inputs(pool, streams, &cfg)).run();
+            row.push(f1(off.throughput_fps));
+            row.push(ms(on.mean_ref_latency_us));
+            rec[pname] = json!({
+                "offline_fps": off.throughput_fps,
+                "online_ref_latency_us": on.mean_ref_latency_us,
+                "mean_snm_batch": off.mean_snm_batch,
+                "snm_invocations": off.snm_invocations,
+            });
+        }
+        rows.push(row);
+        series.push(rec);
+    }
+    println!(
+        "== {}: batch mechanisms over {} streams, TOR {:.3} ==",
+        name, streams, tor_label
+    );
+    println!(
+        "{}",
+        table(
+            &[
+                "batch",
+                "ST fps",
+                "ST lat(ms)",
+                "FB fps",
+                "FB lat(ms)",
+                "DYN fps",
+                "DYN lat(ms)",
+            ],
+            &rows
+        )
+    );
+    write_json(
+        &results_dir(),
+        name,
+        &json!({"tor": tor_label, "streams": streams, "series": series}),
+    )
+    .expect("write results");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_constructors_apply_tor_and_seed() {
+        let a = jackson_at(0.103, 0);
+        let b = jackson_at(0.103, 1);
+        assert!((a.tor - 0.103).abs() < 1e-12);
+        assert_ne!(a.seed, b.seed);
+        let c = coral_at(0.98, 0);
+        assert!((c.tor - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dirs_are_repo_relative() {
+        assert!(cache_dir().ends_with("results/cache"));
+        assert!(results_dir().ends_with("results"));
+    }
+}

@@ -1,0 +1,377 @@
+//! Accuracy accounting (§3.3, §5.3).
+//!
+//! A frame is a *false negative* when the reference model (YOLOv2) would
+//! have flagged it as a target frame but the cascade filtered it out before
+//! the reference stage. The paper's error rate is false negatives over all
+//! input frames; Table 2 classifies runs of consecutive error frames, and
+//! scene-level accuracy asks whether any frame of each target *scene*
+//! survived — users care about missing scenes, not missing frames.
+
+use crate::config::StreamThresholds;
+use ffsva_models::FrameTrace;
+use serde::{Deserialize, Serialize};
+
+/// Cascade verdict for one frame under fixed thresholds.
+pub fn cascade_pass(tr: &FrameTrace, th: &StreamThresholds) -> bool {
+    cascade_pass_relaxed(tr, th, 0)
+}
+
+/// Cascade verdict with the T-YOLO count requirement relaxed by `relax`
+/// objects (§5.3: "if one or two object misjudgment can be tolerated by
+/// relaxing the filtering threshold, the error rate will be greatly
+/// reduced"). The accuracy ground truth still uses the full requirement.
+pub fn cascade_pass_relaxed(tr: &FrameTrace, th: &StreamThresholds, relax: usize) -> bool {
+    let need = th.number_of_objects.saturating_sub(relax).max(1);
+    tr.sdd_pass(th.delta_diff) && tr.snm_pass(th.t_pre) && tr.tyolo_pass(need)
+}
+
+/// Classification of consecutive-error runs (Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorRunStats {
+    /// Runs of exactly one error frame.
+    pub isolated_single: usize,
+    /// Runs of 2–3 error frames.
+    pub isolated_2_3: usize,
+    /// Runs of 4–29 error frames.
+    pub continuous_lt_30: usize,
+    /// Runs of ≥30 error frames (potential scene losses).
+    pub continuous_ge_30: usize,
+    /// Error frames inside ≥30-frame runs (Table 2 counts frames there).
+    pub frames_in_ge_30_runs: usize,
+}
+
+/// Full accuracy report for one stream's clip.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    pub total_frames: usize,
+    /// Frames the reference model flags as target frames.
+    pub reference_target_frames: usize,
+    /// Frames the cascade forwards to the reference model.
+    pub forwarded_frames: usize,
+    /// False negatives: reference-target frames the cascade dropped.
+    pub false_negative_frames: usize,
+    /// False positives: non-target frames the cascade forwarded (wasted
+    /// reference work, §4.2.2 — T-YOLO catches most of these).
+    pub false_positive_frames: usize,
+    /// Error rate: false negatives / all input frames (§3.3).
+    pub error_rate: f64,
+    /// Run-length taxonomy of the false negatives (Table 2).
+    pub runs: ErrorRunStats,
+    /// Number of target scenes (maximal runs of reference-target frames).
+    pub scenes: usize,
+    /// Scenes with at least one forwarded frame — detected scenes.
+    pub scenes_detected: usize,
+    /// Scenes containing at least one *complete* target appearance. §5.3
+    /// only counts a scene as lost when frames with complete target objects
+    /// were filtered; scenes made solely of partial appearances (e.g. a
+    /// vehicle head poking into view) are not chargeable losses.
+    pub significant_scenes: usize,
+    pub significant_scenes_detected: usize,
+    /// Miss rate over significant scenes (the paper's "< 2 %" headline).
+    pub scene_miss_rate: f64,
+}
+
+/// Evaluate cascade accuracy over a trace at fixed thresholds.
+pub fn evaluate(traces: &[FrameTrace], th: &StreamThresholds) -> AccuracyReport {
+    evaluate_relaxed(traces, th, 0)
+}
+
+/// Evaluate accuracy with the T-YOLO requirement relaxed by `relax` objects.
+pub fn evaluate_relaxed(traces: &[FrameTrace], th: &StreamThresholds, relax: usize) -> AccuracyReport {
+    let mut rep = AccuracyReport {
+        total_frames: traces.len(),
+        ..Default::default()
+    };
+    let n_obj = th.number_of_objects;
+
+    // Frame-level accounting and error-run extraction.
+    let mut run_len = 0usize;
+    let finish_run = |len: usize, runs: &mut ErrorRunStats| {
+        match len {
+            0 => {}
+            1 => runs.isolated_single += 1,
+            2..=3 => runs.isolated_2_3 += 1,
+            4..=29 => runs.continuous_lt_30 += 1,
+            _ => {
+                runs.continuous_ge_30 += 1;
+                runs.frames_in_ge_30_runs += len;
+            }
+        }
+    };
+    for tr in traces {
+        let is_target = tr.is_reference_target(n_obj);
+        let passed = cascade_pass_relaxed(tr, th, relax);
+        if is_target {
+            rep.reference_target_frames += 1;
+        }
+        if passed {
+            rep.forwarded_frames += 1;
+            if !is_target {
+                rep.false_positive_frames += 1;
+            }
+        } else if is_target {
+            rep.false_negative_frames += 1;
+        }
+        // error-run bookkeeping
+        if is_target && !passed {
+            run_len += 1;
+        } else {
+            finish_run(run_len, &mut rep.runs);
+            run_len = 0;
+        }
+    }
+    finish_run(run_len, &mut rep.runs);
+    rep.error_rate = if rep.total_frames == 0 {
+        0.0
+    } else {
+        rep.false_negative_frames as f64 / rep.total_frames as f64
+    };
+
+    // Scene-level accounting: scenes are maximal runs of reference-target
+    // frames; a scene is detected if any of its frames was forwarded.
+    let mut in_scene = false;
+    let mut scene_hit = false;
+    let mut scene_significant = false;
+    let close_scene = |hit: bool, significant: bool, rep: &mut AccuracyReport| {
+        if hit {
+            rep.scenes_detected += 1;
+        }
+        if significant {
+            rep.significant_scenes += 1;
+            if hit {
+                rep.significant_scenes_detected += 1;
+            }
+        }
+    };
+    for tr in traces {
+        let is_target = tr.is_reference_target(n_obj);
+        let passed = cascade_pass_relaxed(tr, th, relax);
+        if is_target {
+            if !in_scene {
+                in_scene = true;
+                scene_hit = false;
+                scene_significant = false;
+                rep.scenes += 1;
+            }
+            if passed {
+                scene_hit = true;
+            }
+            if (tr.truth_complete as usize) >= n_obj.max(1) {
+                scene_significant = true;
+            }
+        } else if in_scene {
+            in_scene = false;
+            close_scene(scene_hit, scene_significant, &mut rep);
+        }
+    }
+    if in_scene {
+        close_scene(scene_hit, scene_significant, &mut rep);
+    }
+    rep.scene_miss_rate = if rep.significant_scenes == 0 {
+        0.0
+    } else {
+        (rep.significant_scenes - rep.significant_scenes_detected) as f64
+            / rep.significant_scenes as f64
+    };
+    rep
+}
+
+/// One point of a precision/recall sweep over the SNM threshold.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PrPoint {
+    pub t_pre: f32,
+    /// Of the frames forwarded, how many the reference model confirms.
+    pub precision: f64,
+    /// Of the reference-target frames, how many were forwarded.
+    pub recall: f64,
+    pub forwarded: usize,
+}
+
+/// Sweep `t_pre` across `[0, 1]` with the other thresholds fixed and report
+/// the cascade's frame-level precision/recall at each point — the quantity
+/// behind the paper's FilterDegree trade-off (Fig. 7).
+pub fn precision_recall_sweep(
+    traces: &[FrameTrace],
+    th: &StreamThresholds,
+    points: usize,
+) -> Vec<PrPoint> {
+    assert!(points >= 2, "need at least two sweep points");
+    let targets = traces
+        .iter()
+        .filter(|t| t.is_reference_target(th.number_of_objects))
+        .count();
+    (0..points)
+        .map(|i| {
+            let t_pre = i as f32 / (points - 1) as f32;
+            let mut sweep_th = *th;
+            sweep_th.t_pre = t_pre;
+            let mut forwarded = 0usize;
+            let mut tp = 0usize;
+            for tr in traces {
+                if cascade_pass(tr, &sweep_th) {
+                    forwarded += 1;
+                    if tr.is_reference_target(th.number_of_objects) {
+                        tp += 1;
+                    }
+                }
+            }
+            PrPoint {
+                t_pre,
+                precision: if forwarded == 0 {
+                    1.0
+                } else {
+                    tp as f64 / forwarded as f64
+                },
+                recall: if targets == 0 {
+                    1.0
+                } else {
+                    tp as f64 / targets as f64
+                },
+                forwarded,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(target: bool, pass: bool) -> FrameTrace {
+        FrameTrace {
+            seq: 0,
+            pts_ms: 0,
+            sdd_distance: if pass { 1.0 } else { 0.0 },
+            snm_prob: 1.0,
+            tyolo_count: 1,
+            reference_count: if target { 1 } else { 0 },
+            truth_count: if target { 1 } else { 0 },
+            truth_complete: if target { 1 } else { 0 },
+        }
+    }
+
+    fn th() -> StreamThresholds {
+        StreamThresholds {
+            delta_diff: 0.5, // pass iff sdd_distance > 0.5
+            t_pre: 0.5,
+            number_of_objects: 1,
+        }
+    }
+
+    #[test]
+    fn perfect_cascade_has_zero_error() {
+        let traces: Vec<FrameTrace> = (0..100).map(|i| tr(i % 10 == 0, i % 10 == 0)).collect();
+        let rep = evaluate(&traces, &th());
+        assert_eq!(rep.false_negative_frames, 0);
+        assert_eq!(rep.error_rate, 0.0);
+        assert_eq!(rep.scene_miss_rate, 0.0);
+        assert_eq!(rep.reference_target_frames, 10);
+        assert_eq!(rep.forwarded_frames, 10);
+    }
+
+    #[test]
+    fn run_taxonomy_matches_lengths() {
+        // target everywhere; cascade misses specific runs
+        let mut traces = Vec::new();
+        let miss_runs = [1usize, 2, 3, 5, 29, 30, 45];
+        for &len in &miss_runs {
+            for _ in 0..len {
+                traces.push(tr(true, false)); // missed target frames
+            }
+            traces.push(tr(true, true)); // detected separator
+        }
+        let rep = evaluate(&traces, &th());
+        assert_eq!(rep.runs.isolated_single, 1);
+        assert_eq!(rep.runs.isolated_2_3, 2);
+        assert_eq!(rep.runs.continuous_lt_30, 2); // 5 and 29
+        assert_eq!(rep.runs.continuous_ge_30, 2); // 30 and 45
+        assert_eq!(rep.runs.frames_in_ge_30_runs, 75);
+        assert_eq!(
+            rep.false_negative_frames,
+            miss_runs.iter().sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn scene_detected_by_single_frame() {
+        // one scene of 50 target frames, only one of which passes
+        let mut traces = vec![tr(false, false); 10];
+        for i in 0..50 {
+            traces.push(tr(true, i == 25));
+        }
+        traces.extend(vec![tr(false, false); 10]);
+        let rep = evaluate(&traces, &th());
+        assert_eq!(rep.scenes, 1);
+        assert_eq!(rep.scenes_detected, 1);
+        assert_eq!(rep.scene_miss_rate, 0.0);
+        // but 49 frame-level false negatives
+        assert_eq!(rep.false_negative_frames, 49);
+    }
+
+    #[test]
+    fn fully_missed_scene_counts_as_lost() {
+        let mut traces = vec![tr(false, false); 5];
+        traces.extend(vec![tr(true, false); 40]); // missed scene
+        traces.extend(vec![tr(false, false); 5]);
+        traces.extend(vec![tr(true, true); 40]); // detected scene
+        let rep = evaluate(&traces, &th());
+        assert_eq!(rep.scenes, 2);
+        assert_eq!(rep.scenes_detected, 1);
+        assert!((rep.scene_miss_rate - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_positives_counted() {
+        let traces = vec![tr(false, true); 10];
+        let rep = evaluate(&traces, &th());
+        assert_eq!(rep.false_positive_frames, 10);
+        assert_eq!(rep.false_negative_frames, 0);
+        assert_eq!(rep.scenes, 0);
+    }
+
+    #[test]
+    fn precision_recall_sweep_is_monotone_where_it_must_be() {
+        // graded SNM probabilities so the sweep actually moves
+        let traces: Vec<FrameTrace> = (0..200)
+            .map(|i| {
+                let target = i % 4 == 0;
+                FrameTrace {
+                    seq: i as u64,
+                    pts_ms: 0,
+                    sdd_distance: 1.0,
+                    snm_prob: if target {
+                        0.5 + (i % 50) as f32 / 100.0
+                    } else {
+                        (i % 60) as f32 / 100.0
+                    },
+                    tyolo_count: if target { 1 } else { i as u16 % 2 },
+                    reference_count: if target { 1 } else { 0 },
+                    truth_count: if target { 1 } else { 0 },
+                    truth_complete: if target { 1 } else { 0 },
+                }
+            })
+            .collect();
+        let pr = precision_recall_sweep(&traces, &th(), 11);
+        assert_eq!(pr.len(), 11);
+        // raising the threshold can only reduce what is forwarded and recall
+        for w in pr.windows(2) {
+            assert!(w[1].forwarded <= w[0].forwarded);
+            assert!(w[1].recall <= w[0].recall + 1e-12);
+        }
+        // everything bounded
+        for p in &pr {
+            assert!((0.0..=1.0).contains(&p.precision));
+            assert!((0.0..=1.0).contains(&p.recall));
+        }
+        // at threshold 0 everything that passes SDD+T-YOLO is forwarded
+        assert!(pr[0].recall > 0.9);
+    }
+
+    #[test]
+    fn trailing_scene_is_closed() {
+        let traces = vec![tr(true, true); 20]; // clip ends mid-scene
+        let rep = evaluate(&traces, &th());
+        assert_eq!(rep.scenes, 1);
+        assert_eq!(rep.scenes_detected, 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! The comparison baseline: plain YOLOv2 over every frame.
+//!
+//! §5.2: "the baseline YOLOv2 can perform on both GPUs" — frames from all
+//! streams are dispatched round-robin to two GPUs, each running the
+//! full-feature model; there is no filtering, so every frame pays the full
+//! inference cost.
+
+use crate::sim::Mode;
+use ffsva_models::cost::yolov2_cost;
+use ffsva_sched::{Device, DeviceKind, EventQueue, LatencyStats, ModelKey};
+use serde::{Deserialize, Serialize};
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+/// Result of a baseline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineResult {
+    pub num_streams: usize,
+    pub total_frames: u64,
+    pub makespan_us: f64,
+    pub throughput_fps: f64,
+    pub mean_latency_us: f64,
+    pub p99_latency_us: f64,
+    /// Largest per-stream backlog (online keep-up signal).
+    pub max_backlog: usize,
+}
+
+impl BaselineResult {
+    /// All streams kept up if the backlog never exceeded a second of frames.
+    pub fn realtime(&self, fps: u32) -> bool {
+        self.max_backlog <= fps as usize
+    }
+}
+
+enum Ev {
+    Arrival { stream: usize },
+    Done { gpu: usize, arrival_us: f64 },
+}
+
+/// Run the YOLOv2-on-both-GPUs baseline over `frames_per_stream` frames from
+/// each of `num_streams` streams.
+pub fn run_baseline(
+    num_streams: usize,
+    frames_per_stream: usize,
+    mode: Mode,
+    fps: u32,
+    num_gpus: usize,
+) -> BaselineResult {
+    assert!(num_streams > 0 && frames_per_stream > 0 && num_gpus > 0);
+    let spec = yolov2_cost();
+    let mut gpus: Vec<Device> = (0..num_gpus)
+        .map(|i| Device::new(format!("gpu{}", i), DeviceKind::Gpu, 8 * GB))
+        .collect();
+    for g in gpus.iter_mut() {
+        g.ensure_resident(ModelKey::Reference, spec.mem_bytes);
+    }
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut latency = LatencyStats::new();
+
+    // Per-stream arrival bookkeeping.
+    let mut next_idx = vec![0usize; num_streams];
+    // Frames waiting for a free GPU.
+    let mut pending: std::collections::VecDeque<f64> = Default::default();
+    let mut max_backlog = 0usize;
+    let mut gpu_busy = vec![false; num_gpus];
+    let mut done_frames = 0u64;
+    let period = 1e6 / fps.max(1) as f64;
+
+    match mode {
+        Mode::Online => {
+            for s in 0..num_streams {
+                events.schedule(0.0, Ev::Arrival { stream: s });
+            }
+        }
+        Mode::Offline => {
+            // All frames available at t=0.
+            for idx in next_idx.iter_mut() {
+                for _ in 0..frames_per_stream {
+                    pending.push_back(0.0);
+                }
+                *idx = frames_per_stream;
+            }
+        }
+    }
+
+    // Dispatcher: feed idle GPUs from the pending queue.
+    let dispatch = |events: &mut EventQueue<Ev>,
+                    gpus: &mut [Device],
+                    gpu_busy: &mut [bool],
+                    pending: &mut std::collections::VecDeque<f64>| {
+        let now = events.now();
+        for g in 0..gpus.len() {
+            if gpu_busy[g] {
+                continue;
+            }
+            let Some(arrival_us) = pending.pop_front() else {
+                break;
+            };
+            gpu_busy[g] = true;
+            let done = gpus[g].invoke(ModelKey::Reference, 1, spec.invoke_us, spec.per_frame_us, now);
+            events.schedule(done.end_us, Ev::Done { gpu: g, arrival_us });
+        }
+    };
+
+    dispatch(&mut events, &mut gpus, &mut gpu_busy, &mut pending);
+    while let Some((_, ev)) = events.pop() {
+        match ev {
+            Ev::Arrival { stream } => {
+                let now = events.now();
+                if next_idx[stream] < frames_per_stream {
+                    next_idx[stream] += 1;
+                    pending.push_back(now);
+                    max_backlog = max_backlog.max(pending.len() / num_streams.max(1));
+                    if next_idx[stream] < frames_per_stream {
+                        events.schedule_in(period, Ev::Arrival { stream });
+                    }
+                }
+            }
+            Ev::Done { gpu, arrival_us } => {
+                gpu_busy[gpu] = false;
+                done_frames += 1;
+                latency.record(events.now() - arrival_us);
+            }
+        }
+        dispatch(&mut events, &mut gpus, &mut gpu_busy, &mut pending);
+    }
+
+    let makespan = events.now().max(1.0);
+    BaselineResult {
+        num_streams,
+        total_frames: done_frames,
+        makespan_us: makespan,
+        throughput_fps: done_frames as f64 * 1e6 / makespan,
+        mean_latency_us: latency.mean_us(),
+        p99_latency_us: latency.quantile_us(0.99),
+        max_backlog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offline_two_gpus_doubles_one_gpu() {
+        let one = run_baseline(1, 500, Mode::Offline, 30, 1);
+        let two = run_baseline(1, 500, Mode::Offline, 30, 2);
+        assert!(two.throughput_fps > 1.8 * one.throughput_fps);
+        assert_eq!(one.total_frames, 500);
+    }
+
+    #[test]
+    fn offline_throughput_matches_model_speed() {
+        let r = run_baseline(1, 1000, Mode::Offline, 30, 2);
+        // 2 GPUs at ~56-60 FPS each
+        assert!(
+            (100.0..135.0).contains(&r.throughput_fps),
+            "fps {}",
+            r.throughput_fps
+        );
+    }
+
+    #[test]
+    fn online_four_streams_realtime_five_not() {
+        // §2.3: a dual-GPU server can analyze up to four 30-FPS streams with
+        // YOLOv2 in real time.
+        let four = run_baseline(4, 600, Mode::Online, 30, 2);
+        assert!(four.realtime(30), "backlog {}", four.max_backlog);
+        let six = run_baseline(6, 600, Mode::Online, 30, 2);
+        assert!(!six.realtime(30), "backlog {}", six.max_backlog);
+    }
+
+    #[test]
+    fn online_latency_is_low_when_underloaded() {
+        let r = run_baseline(2, 300, Mode::Online, 30, 2);
+        // under light load each frame waits at most one service time
+        assert!(r.mean_latency_us < 60_000.0, "latency {}", r.mean_latency_us);
+    }
+}

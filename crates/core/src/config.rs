@@ -1,0 +1,141 @@
+//! System-wide configuration of an FFS-VA instance.
+
+use ffsva_sched::BatchPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of an FFS-VA instance, with the paper's defaults.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FfsVaConfig {
+    /// Aggressiveness of SNM filtering in `[0, 1]` (§4.2.1, Eq. 2).
+    pub filter_degree: f32,
+    /// Minimum target objects for a frame to matter (§4.2.2).
+    pub number_of_objects: usize,
+    /// SNM batch formation policy (§4.3.2).
+    pub batch_policy: BatchPolicy,
+    /// Queue depth thresholds (§4.3.1: "2, 10, and 2 as the queue depth
+    /// thresholds of the SDD queues, SNM queues, and T-YOLO queues").
+    pub sdd_queue_depth: usize,
+    pub snm_queue_depth: usize,
+    pub tyolo_queue_depth: usize,
+    /// Depth of the shared queue feeding the reference model.
+    pub reference_queue_depth: usize,
+    /// Max frames T-YOLO extracts from one stream's queue per cycle
+    /// (`num_tyolo`, §3.2.3/§4.3.1 inter-stream balancing).
+    pub num_tyolo: usize,
+    /// Live-stream frame rate each online stream must sustain.
+    pub online_fps: u32,
+    /// CPU worker lanes available for SDDs (dual Xeon E5-2683 v3 ≈ 28 cores).
+    pub cpu_lanes: usize,
+    /// GPUs hosting the SNMs and T-YOLO replicas (paper: 1; §4.3.2 Note
+    /// scales the instance by distributing SNM/T-YOLO over more GPUs).
+    pub filter_gpus: usize,
+    /// GPUs dedicated to the reference model (paper: 1).
+    pub reference_gpus: usize,
+    /// T-YOLO speed (FPS) below which the instance is considered to have
+    /// spare capacity for admission (§4.3.1: "e.g. 140 FPS").
+    pub admission_tyolo_fps: f64,
+    /// Window over which the admission condition must hold (§4.3.1: 5 s).
+    pub admission_window_s: f64,
+    /// Whether T-YOLO is globally shared across streams (the paper's
+    /// design). `false` gives each stream its own T-YOLO instance that must
+    /// be (re)loaded on every switch — the ablation quantifying §3.2.3's
+    /// first reason for sharing ("reduce the switch overhead of loading
+    /// different models, e.g. 1.2 GB for T-YOLO").
+    pub shared_tyolo: bool,
+}
+
+impl Default for FfsVaConfig {
+    fn default() -> Self {
+        FfsVaConfig {
+            filter_degree: 0.5,
+            number_of_objects: 1,
+            batch_policy: BatchPolicy::Dynamic { size: 10 },
+            sdd_queue_depth: 2,
+            snm_queue_depth: 10,
+            tyolo_queue_depth: 2,
+            reference_queue_depth: 4,
+            num_tyolo: 8,
+            online_fps: 30,
+            cpu_lanes: 28,
+            filter_gpus: 1,
+            reference_gpus: 1,
+            admission_tyolo_fps: 140.0,
+            admission_window_s: 5.0,
+            shared_tyolo: true,
+        }
+    }
+}
+
+impl FfsVaConfig {
+    /// Builder-style setter for FilterDegree.
+    pub fn with_filter_degree(mut self, fd: f32) -> Self {
+        self.filter_degree = fd;
+        self
+    }
+
+    /// Builder-style setter for NumberofObjects.
+    pub fn with_number_of_objects(mut self, n: usize) -> Self {
+        self.number_of_objects = n;
+        self
+    }
+
+    /// Builder-style setter for the batch policy.
+    pub fn with_batch_policy(mut self, p: BatchPolicy) -> Self {
+        self.batch_policy = p;
+        self
+    }
+}
+
+/// Per-stream filter thresholds extracted from a trained
+/// [`ffsva_models::FilterBank`] plus the instance config.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StreamThresholds {
+    /// SDD δ_diff.
+    pub delta_diff: f32,
+    /// SNM effective threshold t_pre (already resolved through Eq. 2).
+    pub t_pre: f32,
+    /// NumberofObjects applied at T-YOLO.
+    pub number_of_objects: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = FfsVaConfig::default();
+        assert_eq!(c.sdd_queue_depth, 2);
+        assert_eq!(c.snm_queue_depth, 10);
+        assert_eq!(c.tyolo_queue_depth, 2);
+        assert_eq!(c.online_fps, 30);
+        assert!((c.admission_tyolo_fps - 140.0).abs() < 1e-9);
+        assert!((c.admission_window_s - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = FfsVaConfig::default()
+            .with_filter_degree(0.3)
+            .with_number_of_objects(2)
+            .with_batch_policy(ffsva_sched::BatchPolicy::Feedback { size: 7 });
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FfsVaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.filter_degree, 0.3);
+        assert_eq!(back.number_of_objects, 2);
+        assert_eq!(back.batch_policy.size(), 7);
+        assert_eq!(back.snm_queue_depth, c.snm_queue_depth);
+        assert_eq!(back.shared_tyolo, c.shared_tyolo);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = FfsVaConfig::default()
+            .with_filter_degree(0.8)
+            .with_number_of_objects(3)
+            .with_batch_policy(BatchPolicy::Static { size: 20 });
+        assert_eq!(c.filter_degree, 0.8);
+        assert_eq!(c.number_of_objects, 3);
+        assert_eq!(c.batch_policy.size(), 20);
+    }
+}

@@ -1,0 +1,362 @@
+//! Instance-level management (§4.3.1, final paragraphs): finding how many
+//! live streams one FFS-VA instance sustains, admission of new streams when
+//! the shared T-YOLO has spare capacity, and re-forwarding streams from an
+//! overloaded instance to one with headroom.
+
+use crate::config::FfsVaConfig;
+use crate::sim::{Engine, Mode, SimResult, StreamInput};
+use serde::{Deserialize, Serialize};
+
+/// Admission signal (§4.3.1): the instance has spare capacity when the
+/// shared T-YOLO runs below the admission rate (e.g. 140 FPS) — it is not
+/// receiving enough work to be the bottleneck.
+pub fn has_spare_capacity(result: &SimResult, cfg: &FfsVaConfig) -> bool {
+    result.tyolo_fps < cfg.admission_tyolo_fps && result.realtime(cfg.online_fps)
+}
+
+/// Overload signal: some stream could not be served in real time.
+pub fn is_overloaded(result: &SimResult, cfg: &FfsVaConfig) -> bool {
+    !result.realtime(cfg.online_fps)
+}
+
+/// Find the maximum number of concurrent online streams the instance
+/// sustains in real time, by doubling then binary-searching over stream
+/// counts. `make_inputs(n)` must build `n` stream inputs.
+pub fn find_max_online_streams(
+    cfg: &FfsVaConfig,
+    mut make_inputs: impl FnMut(usize) -> Vec<StreamInput>,
+    upper_bound: usize,
+) -> usize {
+    let ok = |n: usize, make_inputs: &mut dyn FnMut(usize) -> Vec<StreamInput>| -> bool {
+        if n == 0 {
+            return true;
+        }
+        let r = Engine::new(*cfg, Mode::Online, make_inputs(n)).run();
+        r.realtime(cfg.online_fps)
+    };
+    if !ok(1, &mut make_inputs) {
+        return 0;
+    }
+    // exponential probe
+    let mut lo = 1usize;
+    let mut hi = 2usize;
+    while hi <= upper_bound && ok(hi, &mut make_inputs) {
+        lo = hi;
+        hi *= 2;
+    }
+    let mut hi = hi.min(upper_bound + 1);
+    // binary search in (lo, hi)
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if ok(mid, &mut make_inputs) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Where a newly offered stream ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Admitted onto the given instance.
+    Admitted { instance: usize },
+    /// No instance can serve it in real time; the operator must add capacity.
+    Rejected,
+}
+
+/// A stateful admission controller over a fleet of FFS-VA instances
+/// (§4.3.1): new streams are admitted onto an instance only when its shared
+/// T-YOLO shows spare capacity *and* the instance stays real-time with the
+/// newcomer; otherwise other instances are tried, and the stream is rejected
+/// if none can take it.
+pub struct AdmissionController {
+    cfg: FfsVaConfig,
+    instances: Vec<Vec<StreamInput>>,
+}
+
+impl AdmissionController {
+    pub fn new(cfg: FfsVaConfig, n_instances: usize) -> Self {
+        assert!(n_instances > 0);
+        AdmissionController {
+            cfg,
+            instances: vec![Vec::new(); n_instances],
+        }
+    }
+
+    /// Streams currently placed on each instance.
+    pub fn loads(&self) -> Vec<usize> {
+        self.instances.iter().map(|v| v.len()).collect()
+    }
+
+    fn simulate(&self, instance: usize, extra: Option<&StreamInput>) -> Option<SimResult> {
+        let mut inputs = self.instances[instance].clone();
+        if let Some(e) = extra {
+            inputs.push(e.clone());
+        }
+        if inputs.is_empty() {
+            return None;
+        }
+        Some(Engine::new(self.cfg, Mode::Online, inputs).run())
+    }
+
+    /// Offer a new stream to the fleet. Instances are tried in order of
+    /// current load (least-loaded first, the natural spare-capacity probe);
+    /// the first instance that remains real-time with the newcomer admits it.
+    pub fn try_admit(&mut self, stream: StreamInput) -> Placement {
+        let mut order: Vec<usize> = (0..self.instances.len()).collect();
+        order.sort_by_key(|&i| self.instances[i].len());
+        for i in order {
+            // Fast reject: if the instance already shows no spare capacity,
+            // skip the expensive what-if (§4.3.1's T-YOLO speed signal).
+            if !self.instances[i].is_empty() {
+                if let Some(r) = self.simulate(i, None) {
+                    if !has_spare_capacity(&r, &self.cfg) {
+                        continue;
+                    }
+                }
+            }
+            // What-if: does the instance stay real-time with the newcomer?
+            if let Some(r) = self.simulate(i, Some(&stream)) {
+                if r.realtime(self.cfg.online_fps) {
+                    self.instances[i].push(stream);
+                    return Placement::Admitted { instance: i };
+                }
+            }
+        }
+        Placement::Rejected
+    }
+
+    /// Dismantle the controller into its per-instance stream sets.
+    pub fn into_instances(self) -> Vec<Vec<StreamInput>> {
+        self.instances
+    }
+}
+
+/// Outcome of a multi-instance balancing pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BalanceOutcome {
+    /// Stream → instance assignment after re-forwarding.
+    pub assignment: Vec<usize>,
+    /// Streams moved by re-forwarding.
+    pub reforwarded: usize,
+    /// Whether every instance ended up real-time.
+    pub all_realtime: bool,
+}
+
+/// Distribute streams across `n_instances` FFS-VA instances and re-forward
+/// streams away from overloaded instances to ones with spare capacity
+/// (§4.3.1: "the corresponding video stream is re-forwarded to another
+/// FFS-VA instance with spare capacity immediately").
+pub fn balance_instances(
+    cfg: &FfsVaConfig,
+    streams: &[StreamInput],
+    n_instances: usize,
+    max_rounds: usize,
+) -> BalanceOutcome {
+    let initial: Vec<usize> = (0..streams.len()).map(|i| i % n_instances).collect();
+    balance_instances_from(cfg, streams, n_instances, max_rounds, initial)
+}
+
+/// Like [`balance_instances`], but starting from a given assignment — e.g.
+/// the state after a burst of new cameras landed on one instance.
+pub fn balance_instances_from(
+    cfg: &FfsVaConfig,
+    streams: &[StreamInput],
+    n_instances: usize,
+    max_rounds: usize,
+    initial: Vec<usize>,
+) -> BalanceOutcome {
+    assert!(n_instances > 0);
+    assert_eq!(initial.len(), streams.len(), "assignment arity");
+    let mut assignment = initial;
+    let mut reforwarded = 0usize;
+
+    let simulate = |assignment: &[usize], inst: usize| -> Option<SimResult> {
+        let inputs: Vec<StreamInput> = assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == inst)
+            .map(|(i, _)| streams[i].clone())
+            .collect();
+        if inputs.is_empty() {
+            None
+        } else {
+            Some(Engine::new(*cfg, Mode::Online, inputs).run())
+        }
+    };
+
+    for _ in 0..max_rounds {
+        let results: Vec<Option<SimResult>> =
+            (0..n_instances).map(|i| simulate(&assignment, i)).collect();
+        // Find an overloaded instance and a spare one.
+        let overloaded = (0..n_instances).find(|&i| {
+            results[i]
+                .as_ref()
+                .map(|r| is_overloaded(r, cfg))
+                .unwrap_or(false)
+        });
+        let Some(from) = overloaded else {
+            return BalanceOutcome {
+                assignment,
+                reforwarded,
+                all_realtime: true,
+            };
+        };
+        let spare = (0..n_instances).find(|&i| {
+            i != from
+                && results[i]
+                    .as_ref()
+                    .map(|r| has_spare_capacity(r, cfg))
+                    .unwrap_or(true) // empty instance = spare
+        });
+        let Some(to) = spare else { break };
+        // Move the highest-pressure stream (largest backlog) off `from`.
+        let r_from = results[from].as_ref().expect("overloaded => non-empty");
+        let local: Vec<usize> = assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == from)
+            .map(|(i, _)| i)
+            .collect();
+        let worst_local = r_from
+            .per_stream_max_backlog
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &b)| b)
+            .map(|(k, _)| k)
+            .unwrap_or(0);
+        let victim = local[worst_local.min(local.len() - 1)];
+        assignment[victim] = to;
+        reforwarded += 1;
+    }
+
+    let all_realtime = (0..n_instances).all(|i| {
+        simulate(&assignment, i)
+            .map(|r| r.realtime(cfg.online_fps))
+            .unwrap_or(true)
+    });
+    BalanceOutcome {
+        assignment,
+        reforwarded,
+        all_realtime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamThresholds;
+    use ffsva_models::FrameTrace;
+
+    fn synthetic_input(n: usize, target_every: usize) -> StreamInput {
+        let traces = (0..n)
+            .map(|i| {
+                let target = target_every > 0 && i % target_every == 0;
+                FrameTrace {
+                    seq: i as u64,
+                    pts_ms: (i as u64) * 33,
+                    sdd_distance: if target { 0.01 } else { 0.0001 },
+                    snm_prob: if target { 0.9 } else { 0.05 },
+                    tyolo_count: if target { 1 } else { 0 },
+                    reference_count: if target { 1 } else { 0 },
+                    truth_count: if target { 1 } else { 0 },
+                    truth_complete: if target { 1 } else { 0 },
+                }
+            })
+            .collect();
+        StreamInput {
+            traces,
+            thresholds: StreamThresholds {
+                delta_diff: 0.001,
+                t_pre: 0.5,
+                number_of_objects: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn max_streams_is_much_higher_at_low_tor() {
+        let cfg = FfsVaConfig::default();
+        let lo = find_max_online_streams(&cfg, |n| (0..n).map(|_| synthetic_input(400, 10)).collect(), 64);
+        let hi = find_max_online_streams(&cfg, |n| (0..n).map(|_| synthetic_input(400, 1)).collect(), 64);
+        assert!(lo >= 15, "low-TOR max streams {}", lo);
+        assert!(hi <= 8, "TOR-1 max streams {}", hi);
+        assert!(lo > 2 * hi, "lo {} hi {}", lo, hi);
+    }
+
+    #[test]
+    fn spare_capacity_detected_on_light_load() {
+        let cfg = FfsVaConfig::default();
+        let r = Engine::new(cfg, Mode::Online, vec![synthetic_input(400, 10)]).run();
+        assert!(has_spare_capacity(&r, &cfg));
+        assert!(!is_overloaded(&r, &cfg));
+    }
+
+    #[test]
+    fn admission_controller_fills_then_rejects() {
+        let cfg = FfsVaConfig::default();
+        // capacity of one instance for this synthetic workload
+        let capacity = find_max_online_streams(
+            &cfg,
+            |n| (0..n).map(|_| synthetic_input(400, 3)).collect(),
+            64,
+        );
+        assert!(capacity >= 2, "capacity {}", capacity);
+
+        let mut ctl = AdmissionController::new(cfg, 1);
+        let mut admitted = 0usize;
+        let mut rejected = false;
+        for _ in 0..capacity + 3 {
+            match ctl.try_admit(synthetic_input(400, 3)) {
+                Placement::Admitted { instance } => {
+                    assert_eq!(instance, 0);
+                    admitted += 1;
+                }
+                Placement::Rejected => {
+                    rejected = true;
+                    break;
+                }
+            }
+        }
+        assert!(rejected, "controller must eventually refuse");
+        // the controller's what-if admission lands within one stream of the
+        // binary-search capacity
+        assert!(
+            (admitted as i64 - capacity as i64).abs() <= 1,
+            "admitted {} vs capacity {}",
+            admitted,
+            capacity
+        );
+    }
+
+    #[test]
+    fn admission_controller_spreads_over_instances() {
+        let cfg = FfsVaConfig::default();
+        let mut ctl = AdmissionController::new(cfg, 2);
+        for _ in 0..6 {
+            let p = ctl.try_admit(synthetic_input(300, 4));
+            assert!(matches!(p, Placement::Admitted { .. }));
+        }
+        let loads = ctl.loads();
+        assert_eq!(loads.iter().sum::<usize>(), 6);
+        // least-loaded-first keeps the split even
+        assert_eq!(loads[0], 3);
+        assert_eq!(loads[1], 3);
+    }
+
+    #[test]
+    fn balancing_fixes_a_skewed_assignment() {
+        let cfg = FfsVaConfig::default();
+        // 12 heavy streams; one instance alone would be overloaded, three
+        // instances can absorb them.
+        let streams: Vec<StreamInput> = (0..12).map(|_| synthetic_input(300, 2)).collect();
+        let out = balance_instances(&cfg, &streams, 3, 24);
+        assert!(out.all_realtime, "assignment {:?}", out.assignment);
+        // all three instances used
+        for inst in 0..3 {
+            assert!(out.assignment.contains(&inst));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! `ffsva-core` — the FFS-VA system (ICPP 2018).
+//!
+//! Assembles the cascade models (`ffsva-models`) and scheduling substrate
+//! (`ffsva-sched`) into the paper's pipelined multi-stage filtering system:
+//!
+//! * [`config`] — FilterDegree, NumberofObjects, batch policy, queue depths.
+//! * [`workload`] — per-stream training/calibration (§4.1) into decision
+//!   traces, with disk caching and §5.1-style multi-stream tiling.
+//! * [`sim`] — the discrete-event engine on simulated CPU/GPU devices
+//!   (throughput, latency, utilization; Figs. 3, 4, 5, 6, 9, 10).
+//! * [`rt_engine`] — a real threaded pipeline running the actual pixel
+//!   models with blocking feedback queues.
+//! * [`baseline`] — the YOLOv2-on-both-GPUs comparison system.
+//! * [`accuracy`] — false-negative/error-run/scene accounting (§5.3, Table 2).
+//! * [`instance`] — max-stream search, admission, and stream re-forwarding.
+//! * [`report`] — text tables and JSON/CSV result files.
+//!
+//! ```
+//! use ffsva_core::{Engine, FfsVaConfig, Mode, StreamInput, StreamThresholds};
+//! use ffsva_models::FrameTrace;
+//!
+//! // a synthetic decision trace: every 10th frame is a target frame
+//! let traces: Vec<FrameTrace> = (0..300).map(|i| {
+//!     let t = i % 10 == 0;
+//!     FrameTrace { seq: i as u64, pts_ms: i as u64 * 33,
+//!                  sdd_distance: if t { 0.01 } else { 1e-4 },
+//!                  snm_prob: if t { 0.9 } else { 0.1 },
+//!                  tyolo_count: t as u16, reference_count: t as u16,
+//!                  truth_count: t as u16, truth_complete: t as u16 }
+//! }).collect();
+//! let input = StreamInput {
+//!     traces,
+//!     thresholds: StreamThresholds { delta_diff: 1e-3, t_pre: 0.5, number_of_objects: 1 },
+//! };
+//! let r = Engine::new(FfsVaConfig::default(), Mode::Offline, vec![input]).run();
+//! assert_eq!(r.total_frames, 300);
+//! assert_eq!(r.stage_executed[3], 30); // only target frames reach YOLOv2
+//! ```
+
+pub mod accuracy;
+pub mod baseline;
+pub mod config;
+pub mod instance;
+pub mod report;
+pub mod rt_engine;
+pub mod sim;
+pub mod viz;
+pub mod workload;
+
+pub use accuracy::{
+    precision_recall_sweep, PrPoint,
+    evaluate as evaluate_accuracy, evaluate_relaxed as evaluate_accuracy_relaxed, AccuracyReport,
+    ErrorRunStats,
+};
+pub use baseline::{run_baseline, BaselineResult};
+pub use config::{FfsVaConfig, StreamThresholds};
+pub use instance::{
+    AdmissionController, Placement,
+    balance_instances, balance_instances_from, find_max_online_streams, has_spare_capacity,
+    is_overloaded,
+};
+pub use rt_engine::{run_multi_pipeline_rt, run_pipeline_rt, MultiRtResult, RtResult, SurvivingFrame};
+pub use sim::{Engine, FrameTimeline, Mode, SimResult, Stage, StreamInput};
+pub use viz::{
+    render_device_occupancy, render_latency_breakdown, render_stage_activity,
+    stage_latency_breakdown,
+};
+pub use workload::{prepare_stream, prepare_stream_cached, tile_inputs, PreparedStream, PrepareOptions};

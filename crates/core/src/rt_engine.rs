@@ -1,0 +1,470 @@
+//! The threaded real-model pipeline: every filter gets its own thread
+//! (§3.1.2) connected by blocking feedback queues, and the actual pixel
+//! models — SDD distances, SNM CNN inference, T-YOLO grid detection — run
+//! inside the stages. This engine demonstrates the system on real
+//! computation; the discrete-event engine (`sim`) reproduces the paper's
+//! timing figures on the calibrated device substrate.
+
+use crate::config::FfsVaConfig;
+use ffsva_models::bank::FilterBank;
+use ffsva_models::snm::snm_input;
+use ffsva_models::tyolo::TinyYolo;
+use ffsva_sched::{spawn_batch_stage, spawn_filter_stage, FeedbackQueue};
+use ffsva_video::LabeledFrame;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A frame that survived the full cascade.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurvivingFrame {
+    pub seq: u64,
+    pub pts_ms: u64,
+    /// Objects the reference model reports for the frame.
+    pub reference_count: usize,
+}
+
+/// Result of a threaded pipeline run over one stream's clip.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RtResult {
+    pub total_frames: u64,
+    /// Frames processed by each stage (SDD, SNM, T-YOLO, reference).
+    pub stage_processed: [u64; 4],
+    /// Frames that survived the cascade, with reference-model output.
+    pub survivors: Vec<SurvivingFrame>,
+    pub wall_time_s: f64,
+    pub throughput_fps: f64,
+}
+
+/// Run one stream's clip through a real threaded four-stage pipeline.
+///
+/// The bank is consumed: its models move into the stage threads (SDD into
+/// the SDD thread, SNM into the SNM batch thread, and so on), exactly one
+/// owner per filter.
+pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaConfig) -> RtResult {
+    let start = Instant::now();
+    let total = clip.len() as u64;
+
+    let FilterBank {
+        target,
+        sdd,
+        mut snm,
+        tyolo,
+        reference,
+        ..
+    } = bank;
+    let t_pre = snm.t_pre(cfg.filter_degree);
+    let number_of_objects = cfg.number_of_objects.max(1);
+    let tyolo = Arc::new(tyolo);
+
+    // Stage queues at the paper's depth thresholds.
+    let q_sdd: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.sdd_queue_depth.max(1));
+    let q_snm: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.snm_queue_depth.max(1));
+    let q_tyolo: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.tyolo_queue_depth.max(1));
+    let q_ref: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.reference_queue_depth.max(1));
+    let q_out: FeedbackQueue<SurvivingFrame> = FeedbackQueue::new(1024);
+
+    // SDD stage (CPU in the paper).
+    let delta = sdd.delta_diff;
+    let h_sdd = spawn_filter_stage("sdd", q_sdd.clone(), q_snm.clone(), move |lf: LabeledFrame| {
+        if sdd.distance(&lf.frame) > delta {
+            Some(lf)
+        } else {
+            None
+        }
+    });
+
+    // SNM stage with batch formation (GPU-0 in the paper).
+    let policy = cfg.batch_policy;
+    let h_snm = spawn_batch_stage(
+        "snm",
+        q_snm,
+        q_tyolo.clone(),
+        policy,
+        move |batch: Vec<LabeledFrame>| {
+            let inputs: Vec<Vec<f32>> = batch.iter().map(|lf| snm_input(&lf.frame)).collect();
+            let probs = snm.predict_batch(&inputs);
+            batch
+                .into_iter()
+                .zip(probs)
+                .filter(|(_, p)| *p >= t_pre)
+                .map(|(lf, _)| lf)
+                .collect()
+        },
+    );
+
+    // T-YOLO stage (shared model; GPU-0 in the paper).
+    let ty = Arc::clone(&tyolo);
+    let h_tyolo = spawn_filter_stage("tyolo", q_tyolo, q_ref.clone(), move |lf: LabeledFrame| {
+        if ty.count(&lf.frame, target) >= number_of_objects {
+            Some(lf)
+        } else {
+            None
+        }
+    });
+
+    // Reference stage (GPU-1 in the paper).
+    let h_ref = spawn_filter_stage("reference", q_ref, q_out.clone(), move |lf: LabeledFrame| {
+        Some(SurvivingFrame {
+            seq: lf.frame.seq,
+            pts_ms: lf.frame.pts_ms,
+            reference_count: reference.count(&lf.truth, target),
+        })
+    });
+
+    // Prefetch thread feeds the pipeline.
+    let q_in = q_sdd.clone();
+    let feeder = std::thread::spawn(move || {
+        for lf in clip {
+            if q_in.push(lf).is_err() {
+                break;
+            }
+        }
+        q_in.close();
+    });
+
+    let mut survivors = Vec::new();
+    while let Some(s) = q_out.pop() {
+        survivors.push(s);
+    }
+    feeder.join().expect("feeder thread");
+    let c_sdd = h_sdd.join();
+    let c_snm = h_snm.join();
+    let c_tyolo = h_tyolo.join();
+    let c_ref = h_ref.join();
+
+    let wall = start.elapsed().as_secs_f64();
+    RtResult {
+        total_frames: total,
+        stage_processed: [c_sdd, c_snm, c_tyolo, c_ref],
+        survivors,
+        wall_time_s: wall,
+        throughput_fps: total as f64 / wall.max(1e-9),
+    }
+}
+
+/// Result of a multi-stream threaded run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiRtResult {
+    pub total_frames: u64,
+    /// Aggregated frames processed by each stage across all streams.
+    pub stage_processed: [u64; 4],
+    /// Survivors per stream, in stream order.
+    pub survivors: Vec<Vec<SurvivingFrame>>,
+    pub wall_time_s: f64,
+    pub throughput_fps: f64,
+}
+
+/// Run several streams through real threaded pipelines that share **one**
+/// T-YOLO thread, exactly as §3.2.3 prescribes: per-stream SDD and SNM
+/// threads feed per-stream T-YOLO queues; a single detector thread visits
+/// the queues round-robin, takes at most `num_tyolo` frames from each
+/// (skipping empty queues), and forwards survivors to per-stream reference
+/// stages.
+pub fn run_multi_pipeline_rt(
+    streams: Vec<(Vec<LabeledFrame>, FilterBank)>,
+    cfg: &FfsVaConfig,
+) -> MultiRtResult {
+    assert!(!streams.is_empty(), "need at least one stream");
+    let start = Instant::now();
+    let n_streams = streams.len();
+    let num_tyolo = cfg.num_tyolo.max(1);
+    let number_of_objects = cfg.number_of_objects.max(1);
+
+    let mut total = 0u64;
+    let mut sdd_handles = Vec::new();
+    let mut snm_handles = Vec::new();
+    let mut feeders = Vec::new();
+    let mut tyolo_qs: Vec<FeedbackQueue<LabeledFrame>> = Vec::new();
+    let mut ref_qs: Vec<FeedbackQueue<LabeledFrame>> = Vec::new();
+    let mut out_qs: Vec<FeedbackQueue<SurvivingFrame>> = Vec::new();
+    let mut ref_handles = Vec::new();
+    let mut targets = Vec::new();
+    let mut shared_tyolo: Option<Arc<TinyYolo>> = None;
+
+    for (s, (clip, bank)) in streams.into_iter().enumerate() {
+        total += clip.len() as u64;
+        let FilterBank {
+            target,
+            sdd,
+            mut snm,
+            tyolo,
+            reference,
+            ..
+        } = bank;
+        targets.push(target);
+        // the first bank donates the globally shared detector
+        if shared_tyolo.is_none() {
+            shared_tyolo = Some(Arc::new(tyolo));
+        }
+        let t_pre = snm.t_pre(cfg.filter_degree);
+
+        let q_sdd: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.sdd_queue_depth.max(1));
+        let q_snm: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.snm_queue_depth.max(1));
+        let q_tyolo: FeedbackQueue<LabeledFrame> =
+            FeedbackQueue::new(cfg.tyolo_queue_depth.max(1));
+        let q_ref: FeedbackQueue<LabeledFrame> =
+            FeedbackQueue::new(cfg.reference_queue_depth.max(1));
+        let q_out: FeedbackQueue<SurvivingFrame> = FeedbackQueue::new(4096);
+
+        let delta = sdd.delta_diff;
+        sdd_handles.push(spawn_filter_stage(
+            format!("sdd-{}", s),
+            q_sdd.clone(),
+            q_snm.clone(),
+            move |lf: LabeledFrame| {
+                if sdd.distance(&lf.frame) > delta {
+                    Some(lf)
+                } else {
+                    None
+                }
+            },
+        ));
+        snm_handles.push(spawn_batch_stage(
+            format!("snm-{}", s),
+            q_snm,
+            q_tyolo.clone(),
+            cfg.batch_policy,
+            move |batch: Vec<LabeledFrame>| {
+                let inputs: Vec<Vec<f32>> = batch.iter().map(|lf| snm_input(&lf.frame)).collect();
+                let probs = snm.predict_batch(&inputs);
+                batch
+                    .into_iter()
+                    .zip(probs)
+                    .filter(|(_, p)| *p >= t_pre)
+                    .map(|(lf, _)| lf)
+                    .collect()
+            },
+        ));
+        ref_handles.push(spawn_filter_stage(
+            format!("reference-{}", s),
+            q_ref.clone(),
+            q_out.clone(),
+            move |lf: LabeledFrame| {
+                Some(SurvivingFrame {
+                    seq: lf.frame.seq,
+                    pts_ms: lf.frame.pts_ms,
+                    reference_count: reference.count(&lf.truth, target),
+                })
+            },
+        ));
+
+        let q_in = q_sdd;
+        feeders.push(std::thread::spawn(move || {
+            for lf in clip {
+                if q_in.push(lf).is_err() {
+                    break;
+                }
+            }
+            q_in.close();
+        }));
+
+        tyolo_qs.push(q_tyolo);
+        ref_qs.push(q_ref);
+        out_qs.push(q_out);
+    }
+
+    // The single shared T-YOLO thread.
+    let tyolo = shared_tyolo.expect("at least one stream");
+    let tyolo_in = tyolo_qs.clone();
+    let tyolo_out = ref_qs.clone();
+    let tyolo_targets = targets.clone();
+    let tyolo_handle = std::thread::Builder::new()
+        .name("tyolo-shared".into())
+        .spawn(move || {
+            let mut processed = 0u64;
+            loop {
+                let mut any = false;
+                let mut all_closed = true;
+                for s in 0..n_streams {
+                    if !tyolo_in[s].is_closed() || !tyolo_in[s].is_empty() {
+                        all_closed = false;
+                    }
+                    // §3.2.3: at most num_tyolo frames per stream per cycle
+                    for lf in tyolo_in[s].try_pop_up_to(num_tyolo) {
+                        any = true;
+                        processed += 1;
+                        if tyolo.count(&lf.frame, tyolo_targets[s]) >= number_of_objects {
+                            let _ = tyolo_out[s].push(lf);
+                        }
+                    }
+                }
+                if all_closed {
+                    break;
+                }
+                if !any {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            }
+            for q in &tyolo_out {
+                q.close();
+            }
+            processed
+        })
+        .expect("spawn shared tyolo");
+
+    // Drain survivors concurrently — draining sequentially could deadlock:
+    // a full output queue on stream B would backpressure the shared T-YOLO
+    // while the main thread still waits on stream A.
+    let collectors: Vec<_> = out_qs
+        .iter()
+        .map(|q| {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut v = Vec::new();
+                while let Some(sfr) = q.pop() {
+                    v.push(sfr);
+                }
+                v
+            })
+        })
+        .collect();
+    let survivors: Vec<Vec<SurvivingFrame>> = collectors
+        .into_iter()
+        .map(|c| c.join().expect("collector"))
+        .collect();
+
+    for f in feeders {
+        f.join().expect("feeder");
+    }
+    let sdd_n: u64 = sdd_handles.into_iter().map(|h| h.join()).sum();
+    let snm_n: u64 = snm_handles.into_iter().map(|h| h.join()).sum();
+    let tyolo_n = tyolo_handle.join().expect("tyolo thread");
+    let ref_n: u64 = ref_handles.into_iter().map(|h| h.join()).sum();
+
+    let wall = start.elapsed().as_secs_f64();
+    MultiRtResult {
+        total_frames: total,
+        stage_processed: [sdd_n, snm_n, tyolo_n, ref_n],
+        survivors,
+        wall_time_s: wall,
+        throughput_fps: total as f64 / wall.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsva_models::bank::BankOptions;
+    use ffsva_models::snm::SnmTrainOptions;
+    use ffsva_video::prelude::*;
+    use ffsva_video::workloads;
+    use rand::SeedableRng;
+
+    fn quick_bank_opts() -> BankOptions {
+        BankOptions {
+            snm: SnmTrainOptions {
+                epochs: 10,
+                batch_size: 16,
+                lr: 0.08,
+                train_frac: 0.7,
+                max_samples: 300,
+                restarts: 2,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn rt_pipeline_filters_most_frames_at_low_tor() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg_v = workloads::test_tiny(ObjectClass::Car, 0.2, 31);
+        let mut s = VideoStream::new(0, cfg_v);
+        let train = s.clip(1500);
+        let bank = FilterBank::build(&train, ObjectClass::Car, &quick_bank_opts(), &mut rng);
+        let eval = s.clip(900);
+        let targets = eval
+            .iter()
+            .filter(|lf| lf.truth.count_complete(ObjectClass::Car) > 0)
+            .count();
+
+        let cfg = FfsVaConfig::default();
+        let r = run_pipeline_rt(eval, bank, &cfg);
+        assert_eq!(r.total_frames, 900);
+        assert_eq!(r.stage_processed[0], 900, "SDD sees all frames");
+        // cascade shrinks the load monotonically
+        assert!(r.stage_processed[1] <= r.stage_processed[0]);
+        assert!(r.stage_processed[2] <= r.stage_processed[1]);
+        assert!(r.stage_processed[3] <= r.stage_processed[2]);
+        // most frames never reach the reference model
+        assert!(
+            (r.stage_processed[3] as f64) < 0.6 * 900.0,
+            "reference saw {}",
+            r.stage_processed[3]
+        );
+        // and the survivors cover a sensible share of true target frames
+        assert!(
+            r.survivors.len() as f64 > 0.4 * targets as f64,
+            "{} survivors vs {} target frames",
+            r.survivors.len(),
+            targets
+        );
+    }
+
+    #[test]
+    fn multi_stream_rt_shares_one_tyolo_and_matches_trace_math() {
+        use crate::accuracy::cascade_pass;
+        use crate::config::StreamThresholds;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let cfg = FfsVaConfig::default();
+        let mut streams = Vec::new();
+        let mut expected = Vec::new();
+        for seed in [41u64, 42] {
+            let vcfg = workloads::test_tiny(ObjectClass::Car, 0.3, seed);
+            let mut cam = VideoStream::new(seed as u32, vcfg);
+            let training = cam.clip(1200);
+            let mut bank_for_trace =
+                FilterBank::build(&training, ObjectClass::Car, &quick_bank_opts(), &mut rng);
+            // identical twin bank for the pipeline (same rng stream)
+            let mut rng2 = rand::rngs::StdRng::seed_from_u64(9 ^ seed);
+            let _ = &mut rng2;
+            let clip = cam.clip(400);
+            let th = StreamThresholds {
+                delta_diff: bank_for_trace.sdd.delta_diff,
+                t_pre: bank_for_trace.snm.t_pre(cfg.filter_degree),
+                number_of_objects: cfg.number_of_objects,
+            };
+            let n_expected = bank_for_trace
+                .trace_clip(&clip)
+                .iter()
+                .filter(|t| cascade_pass(t, &th))
+                .count();
+            expected.push(n_expected);
+            streams.push((clip, bank_for_trace));
+        }
+        // NOTE: the trace banks are moved into the pipeline, so the traced
+        // thresholds and pipeline thresholds are byte-identical.
+        let r = run_multi_pipeline_rt(streams, &cfg);
+        assert_eq!(r.total_frames, 800);
+        assert_eq!(r.stage_processed[0], 800);
+        assert_eq!(r.survivors.len(), 2);
+        for (s, n_expected) in expected.iter().enumerate() {
+            assert_eq!(
+                r.survivors[s].len(),
+                *n_expected,
+                "stream {} survivors",
+                s
+            );
+            // FIFO order preserved per stream
+            for w in r.survivors[s].windows(2) {
+                assert!(w[0].seq < w[1].seq);
+            }
+        }
+    }
+
+    #[test]
+    fn rt_pipeline_preserves_frame_order_per_stage() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg_v = workloads::test_tiny(ObjectClass::Car, 0.4, 77);
+        let mut s = VideoStream::new(0, cfg_v);
+        let train = s.clip(1200);
+        let bank = FilterBank::build(&train, ObjectClass::Car, &quick_bank_opts(), &mut rng);
+        let eval = s.clip(400);
+        let r = run_pipeline_rt(eval, bank, &FfsVaConfig::default());
+        // FIFO stages + FIFO queues => survivors arrive in seq order
+        for w in r.survivors.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+}

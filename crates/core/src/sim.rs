@@ -1,0 +1,1040 @@
+//! The discrete-event execution engine for an FFS-VA instance.
+//!
+//! Models the paper's four-stage pipeline (Fig. 2) on the simulated device
+//! substrate: per-stream SDDs on CPU lanes, per-stream SNMs and the shared
+//! T-YOLO on GPU-0, the full-feature reference model alone on GPU-1. All
+//! queues are bounded at their depth thresholds; a full downstream queue
+//! stalls the upstream filter — the global feedback mechanism (§4.3.1).
+//! Filter decisions are looked up in pre-computed [`FrameTrace`]s (the pixel
+//! models run once per clip; see `ffsva-models::bank`), so parameter sweeps
+//! re-run only the scheduling, exactly like the paper sweeps one knob at a
+//! time on fixed videos.
+
+use crate::config::{FfsVaConfig, StreamThresholds};
+use ffsva_models::cost::{sdd_cost, snm_cost, tyolo_cost, yolov2_cost};
+use ffsva_models::FrameTrace;
+use ffsva_sched::{Device, DeviceKind, EventQueue, LatencyStats, ModelKey, SimQueue};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+/// Execution mode of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Frames arrive in real time at the stream frame rate; the system must
+    /// keep up (§2.3 "online").
+    Online,
+    /// All frames are available immediately; finish as fast as possible
+    /// (§2.3 "offline").
+    Offline,
+}
+
+/// One stream's input to the engine: its decision trace and thresholds.
+#[derive(Debug, Clone)]
+pub struct StreamInput {
+    pub traces: Vec<FrameTrace>,
+    pub thresholds: StreamThresholds,
+}
+
+/// A frame travelling through the simulated pipeline.
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    stream: usize,
+    idx: usize,
+    arrival_us: f64,
+}
+
+/// Pipeline stages, used for drop accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    Sdd = 0,
+    Snm = 1,
+    TYolo = 2,
+    Reference = 3,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Online frame arrival for a stream.
+    Arrival { stream: usize },
+    /// An SDD invocation finished.
+    SddDone { stream: usize, tokens: Vec<Token> },
+    /// An SNM invocation finished.
+    SnmDone { stream: usize, tokens: Vec<Token> },
+    /// A T-YOLO cycle finished on a filter GPU.
+    TYoloDone { tokens: Vec<Token> },
+    /// The reference model finished one frame on a reference GPU.
+    RefDone { token: Token, gpu: usize },
+}
+
+struct StreamState {
+    input: StreamInput,
+    /// Next frame index to arrive (online) or prefetch (offline).
+    next_idx: usize,
+    /// Arrived frames waiting because the SDD queue was full (online).
+    backlog: VecDeque<Token>,
+    max_backlog: usize,
+    sdd_q: SimQueue<Token>,
+    snm_q: SimQueue<Token>,
+    tyolo_q: SimQueue<Token>,
+    sdd_busy: bool,
+    snm_busy: bool,
+    /// Frames that passed a stage but could not be pushed downstream
+    /// (downstream queue full). The stage stalls while non-empty.
+    sdd_out_pending: VecDeque<Token>,
+    snm_out_pending: VecDeque<Token>,
+    first_disposed_us: f64,
+    last_disposed_us: f64,
+    disposed: u64,
+}
+
+impl StreamState {
+    fn exhausted_upstream(&self) -> bool {
+        self.next_idx >= self.input.traces.len() && self.backlog.is_empty()
+    }
+
+    fn trace(&self, idx: usize) -> &FrameTrace {
+        &self.input.traces[idx]
+    }
+}
+
+/// Per-frame stage timestamps recorded when tracing is enabled
+/// ([`Engine::with_tracing`]). `f64::NAN` marks stages the frame never
+/// reached; `dropped_at` names the filter that discarded it (`None` = the
+/// frame survived to the reference model).
+#[derive(Debug, Clone, Copy)]
+pub struct FrameTimeline {
+    pub arrival_us: f64,
+    pub sdd_done_us: f64,
+    pub snm_done_us: f64,
+    pub tyolo_done_us: f64,
+    pub reference_done_us: f64,
+    pub dropped_at: Option<Stage>,
+}
+
+impl Default for FrameTimeline {
+    fn default() -> Self {
+        FrameTimeline {
+            arrival_us: f64::NAN,
+            sdd_done_us: f64::NAN,
+            snm_done_us: f64::NAN,
+            tyolo_done_us: f64::NAN,
+            reference_done_us: f64::NAN,
+            dropped_at: None,
+        }
+    }
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    pub mode_online: bool,
+    pub num_streams: usize,
+    pub total_frames: u64,
+    /// Virtual time from first arrival to last disposition (µs).
+    pub makespan_us: f64,
+    /// Aggregate throughput over all streams (frames/s).
+    pub throughput_fps: f64,
+    /// Per-stream achieved frame rate (frames / stream active time).
+    pub per_stream_fps: Vec<f64>,
+    /// Per-stream total execution span (first to last disposition, µs).
+    pub per_stream_span_us: Vec<f64>,
+    /// Largest prefetch backlog seen per stream (online pressure signal).
+    pub per_stream_max_backlog: Vec<usize>,
+    /// Frames *executed* by each stage: SDD, SNM, T-YOLO, reference (Fig. 5).
+    pub stage_executed: [u64; 4],
+    /// Frames dropped by SDD, SNM, T-YOLO.
+    pub stage_dropped: [u64; 3],
+    /// End-to-end latency of every frame (arrival → final disposition).
+    pub mean_latency_us: f64,
+    pub p50_latency_us: f64,
+    pub p99_latency_us: f64,
+    pub max_latency_us: f64,
+    /// Latency of frames that traversed the whole cascade to the reference
+    /// model (the user-visible detection delay the paper plots).
+    pub mean_ref_latency_us: f64,
+    pub p99_ref_latency_us: f64,
+    /// Per-stream mean reference-path latency (inter-stream fairness).
+    pub per_stream_mean_ref_latency_us: Vec<f64>,
+    /// Device utilizations over the makespan.
+    pub cpu_utilization: f64,
+    pub gpu0_utilization: f64,
+    pub gpu1_utilization: f64,
+    /// T-YOLO processing rate over the makespan (admission signal, §4.3.1).
+    pub tyolo_fps: f64,
+    /// SNM invocations and model switches on GPU-0 (batching ablation).
+    pub snm_invocations: u64,
+    pub snm_switches: u64,
+    /// Mean SNM batch size actually formed.
+    pub mean_snm_batch: f64,
+}
+
+impl SimResult {
+    /// Whether the instance kept up with the live frame rate. §4.3.1: "as
+    /// long as the foremost prefetching process can keep at least 30 FPS,
+    /// the video stream is being analyzed in real-time" — transient bursts
+    /// may queue for seconds (§5.2 accepts latencies of several seconds),
+    /// but the system must *drain* at the arrival rate: the run must finish
+    /// within a small slack after the last frame arrives.
+    pub fn realtime(&self, fps: u32) -> bool {
+        let frames_per_stream = self.total_frames as f64 / self.num_streams.max(1) as f64;
+        let arrival_span_us = frames_per_stream * 1e6 / fps.max(1) as f64;
+        const SLACK_US: f64 = 3.0e6; // tolerate a few seconds of queued tail
+        self.makespan_us <= arrival_span_us + SLACK_US
+    }
+}
+
+/// Collects timelines out of a consumed engine (internal).
+#[derive(Default)]
+struct TimelineKeeper(Vec<Vec<FrameTimeline>>);
+
+/// The engine itself.
+pub struct Engine {
+    cfg: FfsVaConfig,
+    mode: Mode,
+    streams: Vec<StreamState>,
+    cpu: Vec<Device>,
+    /// GPUs hosting the SNMs and T-YOLO replicas (GPU-0 in the paper;
+    /// §4.3.2 Note: "tasks of SNM or T-YOLO can be reasonably distributed
+    /// across multiple GPUs").
+    filter_gpus: Vec<Device>,
+    /// GPUs dedicated to the reference model (GPU-1 in the paper).
+    ref_gpus: Vec<Device>,
+    events: EventQueue<Ev>,
+    /// In-flight T-YOLO cycles (at most one per filter GPU).
+    tyolo_inflight: usize,
+    tyolo_out_pending: VecDeque<Token>,
+    tyolo_rr: usize,
+    ref_q: SimQueue<Token>,
+    ref_busy: Vec<bool>,
+    latency: LatencyStats,
+    ref_latency: LatencyStats,
+    per_stream_ref_latency: Vec<LatencyStats>,
+    stage_executed: [u64; 4],
+    stage_dropped: [u64; 3],
+    tyolo_frames: u64,
+    snm_batches: u64,
+    snm_batched_frames: u64,
+    timelines: Option<Vec<Vec<FrameTimeline>>>,
+}
+
+impl Engine {
+    pub fn new(cfg: FfsVaConfig, mode: Mode, inputs: Vec<StreamInput>) -> Self {
+        assert!(!inputs.is_empty(), "need at least one stream");
+        let snm_cap = if cfg.batch_policy.bounds_queue() {
+            cfg.snm_queue_depth
+        } else {
+            usize::MAX / 4 // static batching implies unbounded SNM queues
+        };
+        let streams: Vec<StreamState> = inputs
+            .into_iter()
+            .map(|input| StreamState {
+                input,
+                next_idx: 0,
+                backlog: VecDeque::new(),
+                max_backlog: 0,
+                sdd_q: SimQueue::new(cfg.sdd_queue_depth),
+                snm_q: SimQueue::new(snm_cap),
+                tyolo_q: SimQueue::new(cfg.tyolo_queue_depth),
+                sdd_busy: false,
+                snm_busy: false,
+                sdd_out_pending: VecDeque::new(),
+                snm_out_pending: VecDeque::new(),
+                first_disposed_us: f64::INFINITY,
+                last_disposed_us: 0.0,
+                disposed: 0,
+            })
+            .collect();
+        let cpu = (0..cfg.cpu_lanes.max(1))
+            .map(|i| Device::new(format!("cpu{}", i), DeviceKind::Cpu, 4 * GB))
+            .collect();
+        let filter_gpus = (0..cfg.filter_gpus.max(1))
+            .map(|i| Device::new(format!("filter-gpu{}", i), DeviceKind::Gpu, 8 * GB))
+            .collect();
+        let ref_gpus: Vec<Device> = (0..cfg.reference_gpus.max(1))
+            .map(|i| Device::new(format!("ref-gpu{}", i), DeviceKind::Gpu, 8 * GB))
+            .collect();
+        let n_ref = ref_gpus.len();
+        let n_streams = streams.len();
+        Engine {
+            cfg,
+            mode,
+            streams,
+            cpu,
+            filter_gpus,
+            ref_gpus,
+            events: EventQueue::new(),
+            tyolo_inflight: 0,
+            tyolo_out_pending: VecDeque::new(),
+            tyolo_rr: 0,
+            ref_q: SimQueue::new(cfg.reference_queue_depth),
+            ref_busy: vec![false; n_ref],
+            latency: LatencyStats::new(),
+            ref_latency: LatencyStats::new(),
+            per_stream_ref_latency: vec![LatencyStats::new(); n_streams],
+            stage_executed: [0; 4],
+            stage_dropped: [0; 3],
+            tyolo_frames: 0,
+            snm_batches: 0,
+            snm_batched_frames: 0,
+            timelines: None,
+        }
+    }
+
+    /// Enable per-frame stage-timestamp tracing; retrieve the timelines with
+    /// [`Engine::run_traced`].
+    pub fn with_tracing(mut self) -> Self {
+        self.timelines = Some(
+            self.streams
+                .iter()
+                .map(|st| vec![FrameTimeline::default(); st.input.traces.len()])
+                .collect(),
+        );
+        self
+    }
+
+    fn record<F: FnOnce(&mut FrameTimeline)>(&mut self, stream: usize, idx: usize, f: F) {
+        if let Some(tl) = self.timelines.as_mut() {
+            f(&mut tl[stream][idx]);
+        }
+    }
+
+    /// Run with tracing enabled, returning the per-stream frame timelines.
+    pub fn run_traced(mut self) -> (SimResult, Vec<Vec<FrameTimeline>>) {
+        if self.timelines.is_none() {
+            self = self.with_tracing();
+        }
+        let mut keeper = TimelineKeeper::default();
+        let result = self.run_internal(&mut keeper);
+        (result, keeper.0)
+    }
+
+    /// Run the simulation to completion and report.
+    pub fn run(self) -> SimResult {
+        let mut keeper = TimelineKeeper::default();
+        self.run_internal(&mut keeper)
+    }
+
+    fn run_internal(mut self, keeper: &mut TimelineKeeper) -> SimResult {
+        // Pin the big models: a T-YOLO replica per filter GPU, the
+        // reference model on every reference GPU.
+        for g in self.filter_gpus.iter_mut() {
+            g.ensure_resident(ModelKey::TYolo, tyolo_cost().mem_bytes);
+        }
+        for g in self.ref_gpus.iter_mut() {
+            g.ensure_resident(ModelKey::Reference, yolov2_cost().mem_bytes);
+        }
+
+        match self.mode {
+            Mode::Online => {
+                for s in 0..self.streams.len() {
+                    self.events.schedule(0.0, Ev::Arrival { stream: s });
+                }
+            }
+            Mode::Offline => {
+                // Prefetch happens inside dispatch().
+            }
+        }
+
+        self.dispatch();
+        while let Some((_, ev)) = self.events.pop() {
+            self.handle(ev);
+            self.dispatch();
+        }
+        if let Some(tl) = self.timelines.take() {
+            keeper.0 = tl;
+        }
+        self.finish()
+    }
+
+    fn frame_period_us(&self) -> f64 {
+        1e6 / self.cfg.online_fps.max(1) as f64
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        let now = self.events.now();
+        match ev {
+            Ev::Arrival { stream } => {
+                let st = &mut self.streams[stream];
+                if st.next_idx < st.input.traces.len() {
+                    let idx = st.next_idx;
+                    let token = Token {
+                        stream,
+                        idx,
+                        arrival_us: now,
+                    };
+                    st.next_idx += 1;
+                    if let Err(t) = st.sdd_q.push(token) {
+                        st.backlog.push_back(t);
+                        st.max_backlog = st.max_backlog.max(st.backlog.len());
+                    }
+                    let more = st.next_idx < st.input.traces.len();
+                    self.record(stream, idx, |tl| tl.arrival_us = now);
+                    if more {
+                        let period = self.frame_period_us();
+                        self.events.schedule_in(period, Ev::Arrival { stream });
+                    }
+                }
+            }
+            Ev::SddDone { stream, tokens } => {
+                self.streams[stream].sdd_busy = false;
+                for t in tokens {
+                    self.stage_executed[Stage::Sdd as usize] += 1;
+                    self.record(t.stream, t.idx, |tl| tl.sdd_done_us = now);
+                    let st = &mut self.streams[t.stream];
+                    let pass = st.trace(t.idx).sdd_pass(st.input.thresholds.delta_diff);
+                    if pass {
+                        st.sdd_out_pending.push_back(t);
+                    } else {
+                        self.record(t.stream, t.idx, |tl| tl.dropped_at = Some(Stage::Sdd));
+                        self.stage_dropped[Stage::Sdd as usize] += 1;
+                        self.dispose(t, now);
+                    }
+                }
+            }
+            Ev::SnmDone { stream, tokens } => {
+                self.streams[stream].snm_busy = false;
+                for t in tokens {
+                    self.stage_executed[Stage::Snm as usize] += 1;
+                    self.record(t.stream, t.idx, |tl| tl.snm_done_us = now);
+                    let st = &mut self.streams[stream];
+                    let pass = st.trace(t.idx).snm_pass(st.input.thresholds.t_pre);
+                    if pass {
+                        st.snm_out_pending.push_back(t);
+                    } else {
+                        self.record(t.stream, t.idx, |tl| tl.dropped_at = Some(Stage::Snm));
+                        self.stage_dropped[Stage::Snm as usize] += 1;
+                        self.dispose(t, now);
+                    }
+                }
+            }
+            Ev::TYoloDone { tokens } => {
+                self.tyolo_inflight = self.tyolo_inflight.saturating_sub(1);
+                for t in tokens {
+                    self.stage_executed[Stage::TYolo as usize] += 1;
+                    self.tyolo_frames += 1;
+                    self.record(t.stream, t.idx, |tl| tl.tyolo_done_us = now);
+                    let st = &self.streams[t.stream];
+                    let pass = st
+                        .trace(t.idx)
+                        .tyolo_pass(st.input.thresholds.number_of_objects);
+                    if pass {
+                        self.tyolo_out_pending.push_back(t);
+                    } else {
+                        self.record(t.stream, t.idx, |tl| tl.dropped_at = Some(Stage::TYolo));
+                        self.stage_dropped[Stage::TYolo as usize] += 1;
+                        self.dispose(t, now);
+                    }
+                }
+            }
+            Ev::RefDone { token, gpu } => {
+                self.ref_busy[gpu] = false;
+                self.stage_executed[Stage::Reference as usize] += 1;
+                self.record(token.stream, token.idx, |tl| tl.reference_done_us = now);
+                self.ref_latency.record(now - token.arrival_us);
+                self.per_stream_ref_latency[token.stream].record(now - token.arrival_us);
+                self.dispose(token, now);
+            }
+        }
+    }
+
+    /// Record a frame's final disposition (dropped or fully analyzed).
+    fn dispose(&mut self, t: Token, now: f64) {
+        self.latency.record(now - t.arrival_us);
+        let st = &mut self.streams[t.stream];
+        st.disposed += 1;
+        st.first_disposed_us = st.first_disposed_us.min(now);
+        st.last_disposed_us = st.last_disposed_us.max(now);
+    }
+
+    /// Try to make progress everywhere until a fixpoint.
+    fn dispatch(&mut self) {
+        loop {
+            let mut progress = false;
+            progress |= self.flush_pendings();
+            progress |= self.prefetch();
+            progress |= self.start_sdd();
+            progress |= self.start_snm();
+            progress |= self.start_tyolo();
+            progress |= self.start_reference();
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Move frames from pending buffers into downstream queues while there
+    /// is room, and (offline) from the clip into the SDD queues.
+    fn flush_pendings(&mut self) -> bool {
+        let mut progress = false;
+        for s in 0..self.streams.len() {
+            let st = &mut self.streams[s];
+            while let Some(&t) = st.sdd_out_pending.front() {
+                if st.snm_q.push(t).is_ok() {
+                    st.sdd_out_pending.pop_front();
+                    progress = true;
+                } else {
+                    break;
+                }
+            }
+            while let Some(&t) = st.snm_out_pending.front() {
+                if st.tyolo_q.push(t).is_ok() {
+                    st.snm_out_pending.pop_front();
+                    progress = true;
+                } else {
+                    break;
+                }
+            }
+            // online backlog → SDD queue
+            while let Some(&t) = st.backlog.front() {
+                if st.sdd_q.push(t).is_ok() {
+                    st.backlog.pop_front();
+                    progress = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        while let Some(&t) = self.tyolo_out_pending.front() {
+            if self.ref_q.push(t).is_ok() {
+                self.tyolo_out_pending.pop_front();
+                progress = true;
+            } else {
+                break;
+            }
+        }
+        progress
+    }
+
+    fn prefetch(&mut self) -> bool {
+        if self.mode != Mode::Offline {
+            return false;
+        }
+        let now = self.events.now();
+        let mut progress = false;
+        for s in 0..self.streams.len() {
+            let mut recorded: Vec<usize> = Vec::new();
+            {
+                let st = &mut self.streams[s];
+                while st.next_idx < st.input.traces.len() && !st.sdd_q.is_full() {
+                    let idx = st.next_idx;
+                    let token = Token {
+                        stream: s,
+                        idx,
+                        arrival_us: now,
+                    };
+                    st.next_idx += 1;
+                    st.sdd_q.push(token).expect("space checked");
+                    recorded.push(idx);
+                    progress = true;
+                }
+            }
+            for idx in recorded {
+                self.record(s, idx, |tl| tl.arrival_us = now);
+            }
+        }
+        progress
+    }
+
+    fn start_sdd(&mut self) -> bool {
+        let now = self.events.now();
+        let mut progress = false;
+        for s in 0..self.streams.len() {
+            let st = &mut self.streams[s];
+            // Feedback: a stalled output (SNM queue full) blocks the SDD.
+            if st.sdd_busy || !st.sdd_out_pending.is_empty() || st.sdd_q.is_empty() {
+                continue;
+            }
+            let tokens = st.sdd_q.pop_up_to(st.sdd_q.capacity());
+            let n = tokens.len();
+            st.sdd_busy = true;
+            let lane = s % self.cpu.len();
+            let spec = sdd_cost();
+            let done = self.cpu[lane].invoke(
+                ModelKey::Sdd(s as u32),
+                n,
+                spec.invoke_us,
+                spec.per_frame_us + spec.resize_us,
+                now,
+            );
+            // The stage stays busy until its completion event fires.
+            self.events
+                .schedule(done.end_us, Ev::SddDone { stream: s, tokens });
+            progress = true;
+        }
+        progress
+    }
+
+    fn start_snm(&mut self) -> bool {
+        let now = self.events.now();
+        let mut progress = false;
+        for s in 0..self.streams.len() {
+            let st = &mut self.streams[s];
+            if st.snm_busy || !st.snm_out_pending.is_empty() || st.snm_q.is_empty() {
+                continue;
+            }
+            let cap = if self.cfg.batch_policy.bounds_queue() {
+                self.cfg.snm_queue_depth
+            } else {
+                usize::MAX / 4
+            };
+            let mut take = self.cfg.batch_policy.take(st.snm_q.len(), cap);
+            // Flush partial batches once the stream has fully drained
+            // upstream — otherwise static batching would strand the tail.
+            if take.is_none()
+                && st.exhausted_upstream()
+                && st.sdd_q.is_empty()
+                && !st.sdd_busy
+                && st.sdd_out_pending.is_empty()
+            {
+                take = Some(st.snm_q.len());
+            }
+            let Some(n) = take else { continue };
+            if n == 0 {
+                continue;
+            }
+            let tokens = st.snm_q.pop_up_to(n);
+            st.snm_busy = true;
+            let spec = snm_cost();
+            let gpu = &mut self.filter_gpus[s % self.cfg.filter_gpus.max(1)];
+            gpu.ensure_resident(ModelKey::Snm(s as u32), spec.mem_bytes);
+            let done = gpu.invoke(
+                ModelKey::Snm(s as u32),
+                tokens.len(),
+                spec.invoke_us,
+                spec.per_frame_us,
+                now,
+            );
+            self.snm_batches += 1;
+            self.snm_batched_frames += tokens.len() as u64;
+            self.events
+                .schedule(done.end_us, Ev::SnmDone { stream: s, tokens });
+            progress = true;
+        }
+        progress
+    }
+
+    fn start_tyolo(&mut self) -> bool {
+        if self.tyolo_inflight >= self.filter_gpus.len() || !self.tyolo_out_pending.is_empty() {
+            return false;
+        }
+        let now = self.events.now();
+        let n_streams = self.streams.len();
+        let spec = tyolo_cost();
+        // run the cycle on the filter GPU that frees up first
+        let gpu_idx = (0..self.filter_gpus.len())
+            .min_by(|&a, &b| {
+                self.filter_gpus[a]
+                    .free_at()
+                    .total_cmp(&self.filter_gpus[b].free_at())
+            })
+            .expect("at least one filter GPU");
+        if self.cfg.shared_tyolo {
+            // One cycle: visit every stream's T-YOLO queue round-robin
+            // starting at the rotation pointer, taking at most num_tyolo
+            // frames per queue (§3.2.3), skipping empty queues.
+            let mut tokens = Vec::new();
+            for off in 0..n_streams {
+                let s = (self.tyolo_rr + off) % n_streams;
+                let st = &mut self.streams[s];
+                if st.tyolo_q.is_empty() {
+                    continue;
+                }
+                tokens.extend(st.tyolo_q.pop_up_to(self.cfg.num_tyolo));
+            }
+            self.tyolo_rr = (self.tyolo_rr + 1) % n_streams;
+            if tokens.is_empty() {
+                return false;
+            }
+            self.tyolo_inflight += 1;
+            let done = self.filter_gpus[gpu_idx].invoke(
+                ModelKey::TYolo,
+                tokens.len(),
+                spec.invoke_us,
+                spec.per_frame_us,
+                now,
+            );
+            self.events.schedule(done.end_us, Ev::TYoloDone { tokens });
+            true
+        } else {
+            // Ablation: per-stream T-YOLO instances. Serve one stream per
+            // cycle; switching streams means loading that stream's 1.2 GB
+            // model (PCIe-bound, ~100 ms), which the shared design avoids.
+            const TYOLO_RELOAD_US: f64 = 100_000.0;
+            let mut tokens = Vec::new();
+            let mut served = 0usize;
+            for off in 0..n_streams {
+                let s = (self.tyolo_rr + off) % n_streams;
+                let st = &mut self.streams[s];
+                if st.tyolo_q.is_empty() {
+                    continue;
+                }
+                tokens.extend(st.tyolo_q.pop_up_to(self.cfg.num_tyolo));
+                served = s;
+                break;
+            }
+            self.tyolo_rr = (self.tyolo_rr + 1) % n_streams;
+            if tokens.is_empty() {
+                return false;
+            }
+            self.tyolo_inflight += 1;
+            let extra = if n_streams > 1 { TYOLO_RELOAD_US } else { 0.0 };
+            let done = self.filter_gpus[gpu_idx].invoke(
+                ModelKey::TYoloStream(served as u32),
+                tokens.len(),
+                spec.invoke_us + extra,
+                spec.per_frame_us,
+                now,
+            );
+            self.events.schedule(done.end_us, Ev::TYoloDone { tokens });
+            true
+        }
+    }
+
+    fn start_reference(&mut self) -> bool {
+        let mut progress = false;
+        let now = self.events.now();
+        let spec = yolov2_cost();
+        for gpu in 0..self.ref_gpus.len() {
+            if self.ref_busy[gpu] || self.ref_q.is_empty() {
+                continue;
+            }
+            let token = self.ref_q.pop().expect("non-empty");
+            self.ref_busy[gpu] = true;
+            let done = self.ref_gpus[gpu].invoke(
+                ModelKey::Reference,
+                1,
+                spec.invoke_us,
+                spec.per_frame_us,
+                now,
+            );
+            self.events.schedule(done.end_us, Ev::RefDone { token, gpu });
+            progress = true;
+        }
+        progress
+    }
+
+    fn finish(self) -> SimResult {
+        let makespan = self.events.now().max(1.0);
+        let total: u64 = self.streams.iter().map(|s| s.disposed).sum();
+        let per_stream_fps: Vec<f64> = self
+            .streams
+            .iter()
+            .map(|s| {
+                let span = (s.last_disposed_us - s.first_disposed_us.min(s.last_disposed_us))
+                    .max(1.0);
+                s.disposed as f64 * 1e6 / span
+            })
+            .collect();
+        let per_stream_span_us = self
+            .streams
+            .iter()
+            .map(|s| (s.last_disposed_us - s.first_disposed_us.min(s.last_disposed_us)).max(0.0))
+            .collect();
+        let per_stream_max_backlog = self.streams.iter().map(|s| s.max_backlog).collect();
+        let cpu_busy: f64 = self.cpu.iter().map(|d| d.busy_time_us()).sum();
+        // The filter GPUs host both the SNMs and T-YOLO; their switch count
+        // is exactly the model-(re)loading batching amortizes (§4.3.2).
+        let gpu_switches: u64 = self
+            .filter_gpus
+            .iter()
+            .map(|g| g.invocation_stats().1)
+            .sum();
+        let (snm_inv, snm_sw) = (self.snm_batches, gpu_switches);
+        let filter_busy: f64 = self.filter_gpus.iter().map(|d| d.busy_time_us()).sum();
+        let ref_busy_t: f64 = self.ref_gpus.iter().map(|d| d.busy_time_us()).sum();
+        SimResult {
+            mode_online: self.mode == Mode::Online,
+            num_streams: self.streams.len(),
+            total_frames: total,
+            makespan_us: makespan,
+            throughput_fps: total as f64 * 1e6 / makespan,
+            per_stream_fps,
+            per_stream_span_us,
+            per_stream_max_backlog,
+            stage_executed: self.stage_executed,
+            stage_dropped: self.stage_dropped,
+            mean_latency_us: self.latency.mean_us(),
+            p50_latency_us: self.latency.quantile_us(0.5),
+            p99_latency_us: self.latency.quantile_us(0.99),
+            max_latency_us: self.latency.max_us(),
+            mean_ref_latency_us: self.ref_latency.mean_us(),
+            p99_ref_latency_us: self.ref_latency.quantile_us(0.99),
+            per_stream_mean_ref_latency_us: self
+                .per_stream_ref_latency
+                .iter()
+                .map(|l| l.mean_us())
+                .collect(),
+            cpu_utilization: cpu_busy / (self.cpu.len() as f64 * makespan),
+            gpu0_utilization: filter_busy / (self.filter_gpus.len() as f64 * makespan),
+            gpu1_utilization: ref_busy_t / (self.ref_gpus.len() as f64 * makespan),
+            tyolo_fps: self.tyolo_frames as f64 * 1e6 / makespan,
+            snm_invocations: snm_inv,
+            snm_switches: snm_sw,
+            mean_snm_batch: if self.snm_batches == 0 {
+                0.0
+            } else {
+                self.snm_batched_frames as f64 / self.snm_batches as f64
+            },
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamThresholds;
+    use ffsva_sched::BatchPolicy;
+
+    /// Build a synthetic trace where every `period`-th frame is a target
+    /// frame detected by everything.
+    fn synthetic_input(n: usize, target_every: usize) -> StreamInput {
+        let traces = (0..n)
+            .map(|i| {
+                let target = target_every > 0 && i % target_every == 0;
+                FrameTrace {
+                    seq: i as u64,
+                    pts_ms: (i as u64) * 33,
+                    sdd_distance: if target { 0.01 } else { 0.0001 },
+                    snm_prob: if target { 0.9 } else { 0.05 },
+                    tyolo_count: if target { 1 } else { 0 },
+                    reference_count: if target { 1 } else { 0 },
+                    truth_count: if target { 1 } else { 0 },
+                    truth_complete: if target { 1 } else { 0 },
+                }
+            })
+            .collect();
+        StreamInput {
+            traces,
+            thresholds: StreamThresholds {
+                delta_diff: 0.001,
+                t_pre: 0.5,
+                number_of_objects: 1,
+            },
+        }
+    }
+
+    fn base_cfg() -> FfsVaConfig {
+        FfsVaConfig::default()
+    }
+
+    #[test]
+    fn offline_single_stream_processes_all_frames() {
+        let input = synthetic_input(1000, 10);
+        let r = Engine::new(base_cfg(), Mode::Offline, vec![input]).run();
+        assert_eq!(r.total_frames, 1000);
+        assert_eq!(r.stage_executed[0], 1000); // SDD sees everything
+        // 10% of frames are targets: they flow down the cascade
+        assert_eq!(r.stage_executed[3], 100);
+        assert_eq!(
+            r.stage_dropped[0] + r.stage_dropped[1] + r.stage_dropped[2] + r.stage_executed[3],
+            1000
+        );
+        assert!(r.throughput_fps > 100.0, "fps {}", r.throughput_fps);
+    }
+
+    #[test]
+    fn offline_throughput_beats_reference_only_at_low_tor() {
+        // All-frames-through-YOLOv2 runs at ~56 FPS; the cascade at 10% TOR
+        // must be several times faster (the paper's 3× headline).
+        let input = synthetic_input(2000, 10);
+        let r = Engine::new(base_cfg(), Mode::Offline, vec![input]).run();
+        assert!(
+            r.throughput_fps > 3.0 * 56.0,
+            "cascade fps {}",
+            r.throughput_fps
+        );
+    }
+
+    #[test]
+    fn high_tor_throughput_collapses_toward_reference_speed() {
+        let input = synthetic_input(600, 1); // TOR = 1.0
+        let r = Engine::new(base_cfg(), Mode::Offline, vec![input]).run();
+        // every frame reaches the reference model at ~56 FPS
+        assert!(r.throughput_fps < 80.0, "fps {}", r.throughput_fps);
+        assert_eq!(r.stage_executed[3], 600);
+    }
+
+    #[test]
+    fn online_few_streams_are_realtime() {
+        let inputs: Vec<StreamInput> = (0..4).map(|_| synthetic_input(600, 10)).collect();
+        let r = Engine::new(base_cfg(), Mode::Online, inputs).run();
+        assert!(r.realtime(30), "backlogs {:?}", r.per_stream_max_backlog);
+        assert_eq!(r.total_frames, 4 * 600);
+    }
+
+    #[test]
+    fn online_overload_breaks_realtime() {
+        // 60 TOR-1.0 streams cannot possibly be real-time on one GPU pair.
+        let inputs: Vec<StreamInput> = (0..60).map(|_| synthetic_input(300, 1)).collect();
+        let r = Engine::new(base_cfg(), Mode::Online, inputs).run();
+        assert!(!r.realtime(30));
+    }
+
+    #[test]
+    fn feedback_bounds_every_queue() {
+        let cfg = base_cfg();
+        let input = synthetic_input(2000, 2);
+        let r = Engine::new(cfg, Mode::Offline, vec![input]).run();
+        // all frames disposed despite heavy downstream load — nothing lost
+        assert_eq!(r.total_frames, 2000);
+    }
+
+    #[test]
+    fn dynamic_batching_has_lower_latency_than_static() {
+        let mk = || {
+            (0..6)
+                .map(|_| synthetic_input(900, 5))
+                .collect::<Vec<_>>()
+        };
+        let mut cfg_static = base_cfg();
+        cfg_static.batch_policy = BatchPolicy::Static { size: 30 };
+        let r_static = Engine::new(cfg_static, Mode::Online, mk()).run();
+
+        let mut cfg_dyn = base_cfg();
+        cfg_dyn.batch_policy = BatchPolicy::Dynamic { size: 30 };
+        let r_dyn = Engine::new(cfg_dyn, Mode::Online, mk()).run();
+
+        assert!(
+            r_dyn.mean_latency_us < r_static.mean_latency_us,
+            "dynamic {} vs static {}",
+            r_dyn.mean_latency_us,
+            r_static.mean_latency_us
+        );
+    }
+
+    #[test]
+    fn batching_reduces_model_switches() {
+        let mk = || {
+            (0..8)
+                .map(|_| synthetic_input(600, 3))
+                .collect::<Vec<_>>()
+        };
+        let mut cfg1 = base_cfg();
+        cfg1.batch_policy = BatchPolicy::Dynamic { size: 1 };
+        let r1 = Engine::new(cfg1, Mode::Offline, mk()).run();
+        let mut cfg10 = base_cfg();
+        cfg10.batch_policy = BatchPolicy::Dynamic { size: 10 };
+        let r10 = Engine::new(cfg10, Mode::Offline, mk()).run();
+        assert!(
+            r10.snm_invocations < r1.snm_invocations,
+            "batch10 {} vs batch1 {}",
+            r10.snm_invocations,
+            r1.snm_invocations
+        );
+        assert!(r10.mean_snm_batch > r1.mean_snm_batch);
+    }
+
+    #[test]
+    fn more_reference_gpus_raise_high_tor_throughput() {
+        // §4.3.2 Note: the instance scales by adding GPUs. At TOR 1.0 the
+        // reference stage is the bottleneck, so doubling reference GPUs
+        // should nearly double throughput.
+        let mk = || vec![synthetic_input(800, 1)];
+        let one = Engine::new(base_cfg(), Mode::Offline, mk()).run();
+        let mut cfg2 = base_cfg();
+        cfg2.reference_gpus = 2;
+        let two = Engine::new(cfg2, Mode::Offline, mk()).run();
+        assert!(
+            two.throughput_fps > 1.6 * one.throughput_fps,
+            "1 gpu {} vs 2 gpus {}",
+            one.throughput_fps,
+            two.throughput_fps
+        );
+    }
+
+    #[test]
+    fn more_filter_gpus_help_when_tyolo_bound() {
+        // Make T-YOLO the bottleneck: everything passes SDD+SNM but is
+        // dropped by T-YOLO (count 0 yet snm prob high).
+        let mk = || {
+            let traces: Vec<FrameTrace> = (0..1500)
+                .map(|i| FrameTrace {
+                    seq: i as u64,
+                    pts_ms: (i as u64) * 33,
+                    sdd_distance: 0.01,
+                    snm_prob: 0.9,
+                    tyolo_count: 0,
+                    reference_count: 0,
+                    truth_count: 0,
+                    truth_complete: 0,
+                })
+                .collect();
+            (0..4)
+                .map(|_| StreamInput {
+                    traces: traces.clone(),
+                    thresholds: StreamThresholds {
+                        delta_diff: 0.001,
+                        t_pre: 0.5,
+                        number_of_objects: 1,
+                    },
+                })
+                .collect::<Vec<_>>()
+        };
+        let one = Engine::new(base_cfg(), Mode::Offline, mk()).run();
+        let mut cfg2 = base_cfg();
+        cfg2.filter_gpus = 2;
+        let two = Engine::new(cfg2, Mode::Offline, mk()).run();
+        assert!(
+            two.throughput_fps > 1.4 * one.throughput_fps,
+            "1 gpu {} vs 2 gpus {}",
+            one.throughput_fps,
+            two.throughput_fps
+        );
+    }
+
+    #[test]
+    fn traced_run_timelines_are_monotonic_and_complete() {
+        let input = synthetic_input(600, 5);
+        let (r, timelines) = Engine::new(base_cfg(), Mode::Offline, vec![input])
+            .run_traced();
+        assert_eq!(r.total_frames, 600);
+        assert_eq!(timelines.len(), 1);
+        assert_eq!(timelines[0].len(), 600);
+        let mut survived = 0;
+        for tl in &timelines[0] {
+            assert!(!tl.arrival_us.is_nan(), "every frame arrives");
+            assert!(!tl.sdd_done_us.is_nan(), "every frame passes SDD stage");
+            assert!(tl.sdd_done_us >= tl.arrival_us);
+            match tl.dropped_at {
+                Some(Stage::Sdd) => {
+                    assert!(tl.snm_done_us.is_nan());
+                }
+                Some(Stage::Snm) => {
+                    assert!(tl.snm_done_us >= tl.sdd_done_us);
+                    assert!(tl.tyolo_done_us.is_nan());
+                }
+                Some(Stage::TYolo) => {
+                    assert!(tl.tyolo_done_us >= tl.snm_done_us);
+                    assert!(tl.reference_done_us.is_nan());
+                }
+                Some(Stage::Reference) | None => {
+                    if !tl.reference_done_us.is_nan() {
+                        assert!(tl.reference_done_us >= tl.tyolo_done_us);
+                        survived += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(survived as u64, r.stage_executed[3]);
+    }
+
+    #[test]
+    fn untraced_run_matches_traced_run() {
+        let mk = || vec![synthetic_input(500, 4)];
+        let plain = Engine::new(base_cfg(), Mode::Offline, mk()).run();
+        let (traced, _) = Engine::new(base_cfg(), Mode::Offline, mk()).run_traced();
+        assert_eq!(plain.makespan_us, traced.makespan_us);
+        assert_eq!(plain.stage_executed, traced.stage_executed);
+    }
+
+    #[test]
+    fn zero_target_stream_never_reaches_reference() {
+        let input = synthetic_input(500, 0);
+        let r = Engine::new(base_cfg(), Mode::Offline, vec![input]).run();
+        assert_eq!(r.stage_executed[3], 0);
+        assert_eq!(r.total_frames, 500);
+    }
+}

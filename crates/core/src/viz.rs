@@ -1,0 +1,260 @@
+//! Text-mode visualization of engine runs: stage-activity timelines from
+//! [`FrameTimeline`] traces and device-occupancy lanes from
+//! [`InvocationRecord`] logs.
+//! Renders the paper's Fig. 2 pipeline as something you can actually watch
+//! in a terminal.
+
+use crate::sim::FrameTimeline;
+use ffsva_sched::InvocationRecord;
+use std::fmt::Write as _;
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+fn shade(count: usize, max: usize) -> char {
+    if count == 0 || max == 0 {
+        return ' ';
+    }
+    let idx = 1 + (count * (SHADES.len() - 2)) / max;
+    SHADES[idx.min(SHADES.len() - 1)] as char
+}
+
+/// Render per-stage completion activity over time as shaded lanes.
+///
+/// Each row is a pipeline stage; each column a time bucket; the glyph
+/// encodes how many frames completed that stage in the bucket (darker =
+/// more). `width` is the number of buckets.
+pub fn render_stage_activity(timelines: &[Vec<FrameTimeline>], width: usize) -> String {
+    assert!(width >= 2, "need at least two buckets");
+    let mut t_max = 0.0f64;
+    for stream in timelines {
+        for tl in stream {
+            for t in [
+                tl.sdd_done_us,
+                tl.snm_done_us,
+                tl.tyolo_done_us,
+                tl.reference_done_us,
+            ] {
+                if !t.is_nan() {
+                    t_max = t_max.max(t);
+                }
+            }
+        }
+    }
+    if t_max <= 0.0 {
+        return "(no activity)\n".to_string();
+    }
+    let bucket = t_max / width as f64;
+    type StagePick = fn(&FrameTimeline) -> f64;
+    let stages: [(&str, StagePick); 4] = [
+        ("SDD      ", |tl| tl.sdd_done_us),
+        ("SNM      ", |tl| tl.snm_done_us),
+        ("T-YOLO   ", |tl| tl.tyolo_done_us),
+        ("reference", |tl| tl.reference_done_us),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "stage activity over {:.2}s of virtual time ({} buckets):",
+        t_max / 1e6,
+        width
+    );
+    for (name, pick) in stages {
+        let mut counts = vec![0usize; width];
+        for stream in timelines {
+            for tl in stream {
+                let t = pick(tl);
+                if !t.is_nan() {
+                    let b = ((t / bucket) as usize).min(width - 1);
+                    counts[b] += 1;
+                }
+            }
+        }
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let lane: String = counts.iter().map(|&c| shade(c, max)).collect();
+        let total: usize = counts.iter().sum();
+        let _ = writeln!(out, "{} |{}| {}", name, lane, total);
+    }
+    out
+}
+
+/// Render a device's invocation log as an occupancy lane: busy buckets are
+/// shaded by the fraction of the bucket spent executing; `.` marks
+/// model-switch-heavy buckets.
+pub fn render_device_occupancy(log: &[InvocationRecord], width: usize) -> String {
+    assert!(width >= 2, "need at least two buckets");
+    let Some(t_max) = log.iter().map(|r| r.end_us).fold(None, |a: Option<f64>, v| {
+        Some(a.map_or(v, |m: f64| m.max(v)))
+    }) else {
+        return "(no invocations)\n".to_string();
+    };
+    let bucket = t_max / width as f64;
+    let mut busy = vec![0.0f64; width];
+    let mut switches = vec![0usize; width];
+    for r in log {
+        let b0 = ((r.start_us / bucket) as usize).min(width - 1);
+        let b1 = ((r.end_us / bucket) as usize).min(width - 1);
+        for (b, item) in busy.iter_mut().enumerate().take(b1 + 1).skip(b0) {
+            let lo = r.start_us.max(b as f64 * bucket);
+            let hi = r.end_us.min((b + 1) as f64 * bucket);
+            *item += (hi - lo).max(0.0);
+        }
+        if r.switched {
+            switches[b0] += 1;
+        }
+    }
+    let lane: String = busy
+        .iter()
+        .map(|&t| {
+            let frac = (t / bucket).clamp(0.0, 1.0);
+            shade((frac * 9.0).round() as usize, 9)
+        })
+        .collect();
+    let total_busy: f64 = busy.iter().sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "device occupancy over {:.2}s ({} invocations, {} switches, {:.0}% busy):",
+        t_max / 1e6,
+        log.len(),
+        switches.iter().sum::<usize>(),
+        100.0 * total_busy / t_max
+    );
+    let _ = writeln!(out, "|{}|", lane);
+    out
+}
+
+/// Per-stage latency breakdown computed from traced timelines: for every
+/// frame that reached a stage, the time spent between the previous stage's
+/// completion (or arrival) and this stage's completion — queueing plus
+/// service, the quantity the feedback mechanism bounds.
+pub fn stage_latency_breakdown(timelines: &[Vec<FrameTimeline>]) -> [ffsva_sched::LatencyStats; 4] {
+    let mut stats: [ffsva_sched::LatencyStats; 4] = Default::default();
+    for stream in timelines {
+        for tl in stream {
+            let hops = [
+                (tl.arrival_us, tl.sdd_done_us),
+                (tl.sdd_done_us, tl.snm_done_us),
+                (tl.snm_done_us, tl.tyolo_done_us),
+                (tl.tyolo_done_us, tl.reference_done_us),
+            ];
+            for (stage, (from, to)) in hops.into_iter().enumerate() {
+                if !from.is_nan() && !to.is_nan() {
+                    stats[stage].record((to - from).max(0.0));
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Render the breakdown as an aligned text table.
+pub fn render_latency_breakdown(timelines: &[Vec<FrameTimeline>]) -> String {
+    let stats = stage_latency_breakdown(timelines);
+    let names = ["SDD", "SNM", "T-YOLO", "reference"];
+    let mut out = String::new();
+    let _ = writeln!(out, "per-stage latency (queueing + service, ms):");
+    let _ = writeln!(out, "{:<10} {:>8} {:>10} {:>10} {:>10}", "stage", "frames", "mean", "p99", "max");
+    for (name, st) in names.iter().zip(stats.iter()) {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>10.2} {:>10.2} {:>10.2}",
+            name,
+            st.count(),
+            st.mean_us() / 1000.0,
+            st.quantile_us(0.99) / 1000.0,
+            st.max_us() / 1000.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsva_sched::ModelKey;
+
+    fn tl(sdd: f64, snm: f64, ty: f64, rf: f64) -> FrameTimeline {
+        FrameTimeline {
+            arrival_us: 0.0,
+            sdd_done_us: sdd,
+            snm_done_us: snm,
+            tyolo_done_us: ty,
+            reference_done_us: rf,
+            dropped_at: None,
+        }
+    }
+
+    #[test]
+    fn stage_activity_counts_completions() {
+        let timelines = vec![vec![
+            tl(10.0, 20.0, 30.0, 40.0),
+            tl(12.0, f64::NAN, f64::NAN, f64::NAN),
+        ]];
+        let s = render_stage_activity(&timelines, 4);
+        // SDD lane ends with total 2, the others 1
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("SDD"));
+        assert!(lines[1].ends_with("| 2"), "{}", lines[1]);
+        assert!(lines[4].starts_with("reference"));
+        assert!(lines[4].ends_with("| 1"), "{}", lines[4]);
+        // lanes are exactly `width` wide between the pipes
+        let lane = lines[1].split('|').nth(1).unwrap();
+        assert_eq!(lane.chars().count(), 4);
+    }
+
+    #[test]
+    fn stage_activity_handles_empty() {
+        let s = render_stage_activity(&[Vec::new()], 8);
+        assert!(s.contains("no activity"));
+    }
+
+    #[test]
+    fn device_occupancy_shades_busy_buckets() {
+        let log = vec![
+            InvocationRecord {
+                model: ModelKey::TYolo,
+                frames: 4,
+                start_us: 0.0,
+                end_us: 50.0,
+                switched: true,
+            },
+            InvocationRecord {
+                model: ModelKey::TYolo,
+                frames: 4,
+                start_us: 50.0,
+                end_us: 100.0,
+                switched: false,
+            },
+        ];
+        let s = render_device_occupancy(&log, 4);
+        assert!(s.contains("2 invocations"));
+        assert!(s.contains("1 switches"));
+        assert!(s.contains("100% busy"));
+        // fully busy lane: all darkest shade
+        let lane = s.lines().nth(1).unwrap();
+        assert_eq!(lane, "|@@@@|");
+    }
+
+    #[test]
+    fn device_occupancy_handles_empty() {
+        let s = render_device_occupancy(&[], 4);
+        assert!(s.contains("no invocations"));
+    }
+
+    #[test]
+    fn latency_breakdown_measures_hops() {
+        let timelines = vec![vec![
+            tl(10.0, 25.0, 75.0, 175.0), // hops: 10, 15, 50, 100
+            tl(20.0, f64::NAN, f64::NAN, f64::NAN), // only the SDD hop (20)
+        ]];
+        let stats = stage_latency_breakdown(&timelines);
+        assert_eq!(stats[0].count(), 2);
+        assert!((stats[0].mean_us() - 15.0).abs() < 1e-9); // (10+20)/2
+        assert_eq!(stats[1].count(), 1);
+        assert!((stats[1].mean_us() - 15.0).abs() < 1e-9);
+        assert_eq!(stats[3].count(), 1);
+        assert!((stats[3].mean_us() - 100.0).abs() < 1e-9);
+        let rendered = render_latency_breakdown(&timelines);
+        assert!(rendered.contains("reference"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Preparing streams for the engines: generate video, train the per-stream
+//! cascade (§4.1), and evaluate frames into decision traces.
+//!
+//! Training and tracing run the real pixel models and are the expensive part
+//! of every experiment, so prepared streams serialize to a JSON cache (the
+//! paper likewise trains each stream's SDD/SNM once, offline). Multi-stream
+//! experiments follow the paper's §5.1 methodology — "we extract typical
+//! non-overlapping video clips from each video file to simulate multiple
+//! video streams" — by tiling rotated trace segments of prepared streams.
+
+use crate::config::{FfsVaConfig, StreamThresholds};
+use crate::sim::StreamInput;
+use ffsva_models::bank::{BankOptions, FilterBank};
+use ffsva_models::FrameTrace;
+use ffsva_video::{measured_tor, LabeledFrame, ObjectClass, StreamConfig, VideoStream};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A fully prepared stream: decision traces plus calibrated thresholds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PreparedStream {
+    pub name: String,
+    pub target: ObjectClass,
+    pub traces: Vec<FrameTrace>,
+    /// Calibrated SDD threshold.
+    pub delta_diff: f32,
+    /// SNM threshold band (Eq. 2 inputs).
+    pub c_low: f32,
+    pub c_high: f32,
+    /// Measured TOR of the evaluation clip.
+    pub measured_tor: f64,
+    /// SNM held-out accuracy (diagnostic).
+    pub snm_accuracy: f32,
+}
+
+impl PreparedStream {
+    /// Resolve thresholds under an instance configuration.
+    pub fn thresholds(&self, sys: &FfsVaConfig) -> StreamThresholds {
+        let fd = sys.filter_degree.clamp(0.0, 1.0);
+        StreamThresholds {
+            delta_diff: self.delta_diff,
+            t_pre: (self.c_high - self.c_low) * fd + self.c_low,
+            number_of_objects: sys.number_of_objects,
+        }
+    }
+
+    /// Engine input for this stream under an instance configuration.
+    pub fn input(&self, sys: &FfsVaConfig) -> StreamInput {
+        StreamInput {
+            traces: self.traces.clone(),
+            thresholds: self.thresholds(sys),
+        }
+    }
+
+    /// Engine input using a rotated slice of the trace — a "non-overlapping
+    /// clip" of the same video, as the paper extracts for multi-stream runs.
+    pub fn input_rotated(&self, sys: &FfsVaConfig, offset: usize) -> StreamInput {
+        let n = self.traces.len();
+        let off = offset % n.max(1);
+        let mut traces = Vec::with_capacity(n);
+        traces.extend_from_slice(&self.traces[off..]);
+        traces.extend_from_slice(&self.traces[..off]);
+        StreamInput {
+            traces,
+            thresholds: self.thresholds(sys),
+        }
+    }
+}
+
+/// Options for [`prepare_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct PrepareOptions {
+    /// Frames generated for training/calibration.
+    pub train_frames: usize,
+    /// Frames generated (continuing the same stream) for evaluation traces.
+    pub eval_frames: usize,
+    pub bank: BankOptions,
+}
+
+impl Default for PrepareOptions {
+    fn default() -> Self {
+        PrepareOptions {
+            train_frames: 2200,
+            eval_frames: 5000, // §5.1: "5000 consecutive frames"
+            bank: BankOptions::default(),
+        }
+    }
+}
+
+/// Generate a stream, train its cascade, and trace an evaluation clip.
+pub fn prepare_stream(cfg: StreamConfig, opts: &PrepareOptions) -> PreparedStream {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7E57);
+    let name = cfg.name.clone();
+    let target = cfg.target;
+    let mut stream = VideoStream::new(0, cfg);
+    let train_clip: Vec<LabeledFrame> = stream.clip(opts.train_frames);
+    let mut bank = FilterBank::build(&train_clip, target, &opts.bank, &mut rng);
+    let eval_clip: Vec<LabeledFrame> = stream.clip(opts.eval_frames);
+    let traces = bank.trace_clip(&eval_clip);
+    PreparedStream {
+        name,
+        target,
+        traces,
+        delta_diff: bank.sdd.delta_diff,
+        c_low: bank.snm.c_low,
+        c_high: bank.snm.c_high,
+        measured_tor: measured_tor(&eval_clip, target),
+        snm_accuracy: bank.snm_report.test_accuracy,
+    }
+}
+
+/// Cache-aware preparation: results are stored under `cache_dir` keyed by
+/// the workload name, TOR, seed, clip sizes and TOR-spike window. The key
+/// does **not** cover `BankOptions` (training hyper-parameters) — sweeps
+/// over those must call [`prepare_stream`] directly (see the
+/// `ablation_relax` experiment).
+pub fn prepare_stream_cached(
+    cfg: StreamConfig,
+    opts: &PrepareOptions,
+    cache_dir: &Path,
+) -> PreparedStream {
+    let spike = match cfg.tor_spike {
+        Some((a, b, t)) => format!("_spike{}-{}-{:.3}", a, b, t),
+        None => String::new(),
+    };
+    let key = format!(
+        "{}_tor{:.3}_seed{}_t{}_e{}{}.json",
+        cfg.name, cfg.tor, cfg.seed, opts.train_frames, opts.eval_frames, spike
+    );
+    let path: PathBuf = cache_dir.join(key);
+    if let Ok(bytes) = fs::read(&path) {
+        if let Ok(ps) = serde_json::from_slice::<PreparedStream>(&bytes) {
+            return ps;
+        }
+    }
+    let ps = prepare_stream(cfg, opts);
+    let _ = fs::create_dir_all(cache_dir);
+    if let Ok(json) = serde_json::to_vec(&ps) {
+        let _ = fs::write(&path, json);
+    }
+    ps
+}
+
+/// Build `n` engine inputs from a pool of prepared streams by tiling
+/// rotated trace segments (§5.1 methodology).
+pub fn tile_inputs(pool: &[PreparedStream], n: usize, sys: &FfsVaConfig) -> Vec<StreamInput> {
+    assert!(!pool.is_empty(), "need at least one prepared stream");
+    (0..n)
+        .map(|i| {
+            let base = &pool[i % pool.len()];
+            let rot = (i / pool.len()) * (base.traces.len() / 7).max(1);
+            base.input_rotated(sys, rot)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsva_models::snm::SnmTrainOptions;
+    use ffsva_video::workloads;
+
+    fn quick_opts() -> PrepareOptions {
+        PrepareOptions {
+            train_frames: 1200,
+            eval_frames: 800,
+            bank: BankOptions {
+                snm: SnmTrainOptions {
+                    epochs: 10,
+                    batch_size: 16,
+                    lr: 0.08,
+                    train_frac: 0.7,
+                    max_samples: 300,
+                    restarts: 2,
+                },
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn prepare_produces_consistent_traces() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.3, 7);
+        let ps = prepare_stream(cfg, &quick_opts());
+        assert_eq!(ps.traces.len(), 800);
+        assert!(ps.delta_diff > 0.0);
+        assert!(ps.c_low < ps.c_high);
+        assert!((0.1..0.6).contains(&ps.measured_tor), "tor {}", ps.measured_tor);
+    }
+
+    #[test]
+    fn thresholds_respond_to_filter_degree() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.3, 7);
+        let ps = prepare_stream(cfg, &quick_opts());
+        let sys0 = FfsVaConfig::default().with_filter_degree(0.0);
+        let sys1 = FfsVaConfig::default().with_filter_degree(1.0);
+        let t0 = ps.thresholds(&sys0);
+        let t1 = ps.thresholds(&sys1);
+        assert!((t0.t_pre - ps.c_low).abs() < 1e-6);
+        assert!((t1.t_pre - ps.c_high).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotation_preserves_frames() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.3, 7);
+        let ps = prepare_stream(cfg, &quick_opts());
+        let sys = FfsVaConfig::default();
+        let rot = ps.input_rotated(&sys, 100);
+        assert_eq!(rot.traces.len(), ps.traces.len());
+        assert_eq!(rot.traces[0].seq, ps.traces[100].seq);
+        // same multiset of sequence numbers
+        let mut a: Vec<u64> = rot.traces.iter().map(|t| t.seq).collect();
+        let mut b: Vec<u64> = ps.traces.iter().map(|t| t.seq).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiling_builds_n_inputs() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.3, 7);
+        let ps = prepare_stream(cfg, &quick_opts());
+        let sys = FfsVaConfig::default();
+        let inputs = tile_inputs(&[ps], 5, &sys);
+        assert_eq!(inputs.len(), 5);
+        // rotations differ
+        assert_ne!(inputs[0].traces[0].seq, inputs[1].traces[0].seq);
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let dir = std::env::temp_dir().join("ffsva_test_cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.3, 7);
+        let a = prepare_stream_cached(cfg.clone(), &quick_opts(), &dir);
+        let b = prepare_stream_cached(cfg, &quick_opts(), &dir);
+        assert_eq!(a.traces.len(), b.traces.len());
+        assert_eq!(a.delta_diff, b.delta_diff);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,282 @@
+//! Per-stream filter bank: builds (trains + calibrates) the full cascade for
+//! one video stream and evaluates frames into [`FrameTrace`] records.
+//!
+//! Filter *decisions* depend only on the frame pixels and each filter's
+//! threshold — not on batch sizes or queue states. Evaluating a clip once
+//! into a trace lets the scheduling engines sweep FilterDegree,
+//! NumberofObjects, batch policies and stream counts without re-running the
+//! pixel models, exactly as the paper sweeps one knob at a time.
+
+use crate::reference::ReferenceModel;
+use crate::sdd::{DistanceMetric, SddFilter};
+use crate::snm::{train_snm, SnmModel, SnmReport, SnmTrainOptions};
+use crate::tyolo::TinyYolo;
+use ffsva_video::{Frame, LabeledFrame, ObjectClass};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Raw filter measurements for one frame.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FrameTrace {
+    /// Per-stream sequence number.
+    pub seq: u64,
+    /// Presentation timestamp (ms).
+    pub pts_ms: u64,
+    /// SDD distance against the stream's background reference.
+    pub sdd_distance: f32,
+    /// SNM predicted target probability `c`.
+    pub snm_prob: f32,
+    /// Number of target objects T-YOLO detects.
+    pub tyolo_count: u16,
+    /// Number of target objects the reference model (YOLOv2 stand-in) finds.
+    pub reference_count: u16,
+    /// Visible target objects in the generator's ground truth.
+    pub truth_count: u16,
+    /// Complete (≥95 % visible) target objects in the ground truth.
+    pub truth_complete: u16,
+}
+
+/// All models of one stream's cascade, trained and calibrated.
+pub struct FilterBank {
+    pub target: ObjectClass,
+    pub sdd: SddFilter,
+    pub snm: SnmModel,
+    pub tyolo: TinyYolo,
+    pub reference: ReferenceModel,
+    /// Training diagnostics.
+    pub snm_report: SnmReport,
+}
+
+/// Options controlling [`FilterBank::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct BankOptions {
+    pub snm: SnmTrainOptions,
+    /// SDD recall target during calibration.
+    pub sdd_recall: f32,
+    /// SDD threshold relaxation factor (§3.3).
+    pub sdd_relax: f32,
+    /// Number of background frames averaged into the SDD reference.
+    pub background_frames: usize,
+}
+
+impl Default for BankOptions {
+    fn default() -> Self {
+        BankOptions {
+            snm: SnmTrainOptions::default(),
+            sdd_recall: 0.99,
+            sdd_relax: 0.85,
+            background_frames: 24,
+        }
+    }
+}
+
+impl FilterBank {
+    /// Build the full cascade for a stream from a labeled training clip,
+    /// following §4.1: frames are labeled by the reference model, SDD gets a
+    /// background reference and a calibrated δ_diff, SNM is trained and its
+    /// thresholds selected on a held-out split.
+    pub fn build(
+        training_clip: &[LabeledFrame],
+        target: ObjectClass,
+        opts: &BankOptions,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let reference = ReferenceModel::default();
+
+        // Background frames: nothing detected at all (not even distractors).
+        let background: Vec<Frame> = training_clip
+            .iter()
+            .filter(|lf| reference.detect(&lf.truth).is_empty())
+            .take(opts.background_frames.max(1))
+            .map(|lf| lf.frame.clone())
+            .collect();
+        let background = if background.is_empty() {
+            // Degenerate stream (always busy): fall back to the first frame.
+            vec![training_clip
+                .first()
+                .expect("non-empty training clip")
+                .frame
+                .clone()]
+        } else {
+            background
+        };
+        let mut sdd = SddFilter::from_background(&background, DistanceMetric::Mse, 0.0);
+
+        // Calibrate δ_diff from reference-labeled frames.
+        // Calibration positives are frames with a *complete* target object;
+        // partial slivers at scene boundaries genuinely look like background
+        // and would drive δ_diff below the noise floor.
+        let mut d_target = Vec::new();
+        let mut d_background = Vec::new();
+        for lf in training_clip {
+            let d = sdd.distance(&lf.frame);
+            if lf.truth.count_complete(target) > 0 {
+                d_target.push(d);
+            } else if reference.detect(&lf.truth).is_empty() {
+                d_background.push(d);
+            }
+        }
+        sdd.calibrate(&d_target, &d_background, opts.sdd_recall, opts.sdd_relax);
+
+        let (snm, snm_report) = train_snm(training_clip, target, &opts.snm, rng);
+
+        FilterBank {
+            target,
+            sdd,
+            snm,
+            tyolo: TinyYolo::default(),
+            reference,
+            snm_report,
+        }
+    }
+
+    /// Evaluate one labeled frame into a trace record.
+    pub fn trace_frame(&mut self, lf: &LabeledFrame) -> FrameTrace {
+        FrameTrace {
+            seq: lf.frame.seq,
+            pts_ms: lf.frame.pts_ms,
+            sdd_distance: self.sdd.distance(&lf.frame),
+            snm_prob: self.snm.predict(&lf.frame),
+            tyolo_count: self.tyolo.count(&lf.frame, self.target).min(u16::MAX as usize) as u16,
+            reference_count: self
+                .reference
+                .count(&lf.truth, self.target)
+                .min(u16::MAX as usize) as u16,
+            truth_count: lf.truth.count(self.target).min(u16::MAX as usize) as u16,
+            truth_complete: lf
+                .truth
+                .count_complete(self.target)
+                .min(u16::MAX as usize) as u16,
+        }
+    }
+
+    /// Evaluate a whole clip.
+    pub fn trace_clip(&mut self, clip: &[LabeledFrame]) -> Vec<FrameTrace> {
+        clip.iter().map(|lf| self.trace_frame(lf)).collect()
+    }
+}
+
+impl FrameTrace {
+    /// SDD verdict at the bank's calibrated threshold.
+    pub fn sdd_pass(&self, delta_diff: f32) -> bool {
+        self.sdd_distance > delta_diff
+    }
+
+    /// SNM verdict at a given t_pre.
+    pub fn snm_pass(&self, t_pre: f32) -> bool {
+        self.snm_prob >= t_pre
+    }
+
+    /// T-YOLO verdict at a given NumberofObjects.
+    pub fn tyolo_pass(&self, number_of_objects: usize) -> bool {
+        (self.tyolo_count as usize) >= number_of_objects.max(1)
+    }
+
+    /// Whether the reference model flags this frame as a target frame.
+    pub fn is_reference_target(&self, number_of_objects: usize) -> bool {
+        (self.reference_count as usize) >= number_of_objects.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsva_video::prelude::*;
+    use ffsva_video::workloads;
+    use rand::SeedableRng;
+
+    fn small_opts() -> BankOptions {
+        BankOptions {
+            snm: SnmTrainOptions {
+                epochs: 16,
+                batch_size: 16,
+                lr: 0.08,
+                train_frac: 0.7,
+                max_samples: 500,
+                restarts: 3,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bank_builds_and_filters_sensibly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.35, 55);
+        let mut s = VideoStream::new(0, cfg.clone());
+        let train_clip = s.clip(2000);
+        let mut bank = FilterBank::build(&train_clip, ObjectClass::Car, &small_opts(), &mut rng);
+
+        // Evaluate on a *later* segment of the same stream: the SDD reference
+        // is specialized to this camera's fixed viewpoint.
+        let eval = s.clip(1000);
+        let traces = bank.trace_clip(&eval);
+        assert_eq!(traces.len(), eval.len());
+
+        // Cascade sanity: most reference-target frames survive SDD, and a
+        // fair share of background frames is dropped by SDD.
+        let delta = bank.sdd.delta_diff;
+        let t_pre = bank.snm.t_pre(0.5);
+        let mut complete_frames = 0usize;
+        let mut complete_sdd_pass = 0usize;
+        let mut bg_frames = 0usize;
+        let mut bg_drop = 0usize;
+        let mut cascade_pass_of_complete = 0usize;
+        for (tr, lf) in traces.iter().zip(eval.iter()) {
+            if lf.truth.count_complete(ObjectClass::Car) > 0 {
+                complete_frames += 1;
+                if tr.sdd_pass(delta) {
+                    complete_sdd_pass += 1;
+                }
+                if tr.sdd_pass(delta) && tr.snm_pass(t_pre) && tr.tyolo_pass(1) {
+                    cascade_pass_of_complete += 1;
+                }
+            } else if lf.truth.objects.is_empty() {
+                bg_frames += 1;
+                if !tr.sdd_pass(delta) {
+                    bg_drop += 1;
+                }
+            }
+        }
+        assert!(complete_frames > 100, "complete frames {}", complete_frames);
+        assert!(
+            complete_sdd_pass as f64 / complete_frames as f64 > 0.9,
+            "sdd recall {}",
+            complete_sdd_pass as f64 / complete_frames as f64
+        );
+        assert!(
+            bg_drop as f64 / bg_frames.max(1) as f64 > 0.5,
+            "sdd background drop {}",
+            bg_drop as f64 / bg_frames.max(1) as f64
+        );
+        // Frames with a complete target overwhelmingly survive the cascade
+        // (partial-appearance frames are allowed to be dropped, §3.3/§5.3).
+        assert!(
+            cascade_pass_of_complete as f64 / complete_frames as f64 > 0.7,
+            "cascade recall on complete frames {}",
+            cascade_pass_of_complete as f64 / complete_frames as f64
+        );
+    }
+
+    #[test]
+    fn trace_thresholds_behave_monotonically() {
+        let tr = FrameTrace {
+            seq: 0,
+            pts_ms: 0,
+            sdd_distance: 0.01,
+            snm_prob: 0.6,
+            tyolo_count: 2,
+            reference_count: 3,
+            truth_count: 3,
+            truth_complete: 3,
+        };
+        assert!(tr.sdd_pass(0.005));
+        assert!(!tr.sdd_pass(0.02));
+        assert!(tr.snm_pass(0.5));
+        assert!(!tr.snm_pass(0.7));
+        assert!(tr.tyolo_pass(2));
+        assert!(!tr.tyolo_pass(3));
+        assert!(tr.is_reference_target(3));
+        assert!(!tr.is_reference_target(4));
+    }
+}

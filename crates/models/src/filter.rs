@@ -1,0 +1,93 @@
+//! Common detection types shared by every filter in the cascade.
+
+use ffsva_video::ObjectClass;
+use serde::{Deserialize, Serialize};
+
+/// A detected object: normalized box, class, and confidence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    pub class: ObjectClass,
+    pub cx: f32,
+    pub cy: f32,
+    pub w: f32,
+    pub h: f32,
+    pub confidence: f32,
+}
+
+impl Detection {
+    /// Intersection-over-union with another detection's box.
+    pub fn iou(&self, other: &Detection) -> f32 {
+        let (ax0, ax1) = (self.cx - self.w / 2.0, self.cx + self.w / 2.0);
+        let (ay0, ay1) = (self.cy - self.h / 2.0, self.cy + self.h / 2.0);
+        let (bx0, bx1) = (other.cx - other.w / 2.0, other.cx + other.w / 2.0);
+        let (by0, by1) = (other.cy - other.h / 2.0, other.cy + other.h / 2.0);
+        let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+        let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+        let inter = ix * iy;
+        let union = self.w * self.h + other.w * other.h - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+/// Outcome of running a cascade filter over a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Forward the frame to the next stage.
+    Pass,
+    /// Filter the frame out.
+    Drop,
+}
+
+impl Verdict {
+    pub fn passed(self) -> bool {
+        self == Verdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(cx: f32, cy: f32, w: f32, h: f32) -> Detection {
+        Detection {
+            class: ObjectClass::Car,
+            cx,
+            cy,
+            w,
+            h,
+            confidence: 1.0,
+        }
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let d = det(0.5, 0.5, 0.2, 0.2);
+        assert!((d.iou(&d) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = det(0.2, 0.2, 0.1, 0.1);
+        let b = det(0.8, 0.8, 0.1, 0.1);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = det(0.5, 0.5, 0.2, 0.2);
+        let b = det(0.6, 0.5, 0.2, 0.2);
+        // intersection = 0.1*0.2, union = 2*0.04 - 0.02
+        let expect = 0.02 / 0.06;
+        assert!((a.iou(&b) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn verdict_passed() {
+        assert!(Verdict::Pass.passed());
+        assert!(!Verdict::Drop.passed());
+    }
+}

@@ -1,0 +1,53 @@
+//! `ffsva-models` — the four models of the FFS-VA cascade.
+//!
+//! * [`sdd`] — stream-specialized difference detector (MSE/NRMSE/SAD against
+//!   a background reference, threshold δ_diff).
+//! * [`snm`] — stream-specialized 3-layer CNN classifier with `c_low`/`c_high`
+//!   thresholds and the FilterDegree → `t_pre` mapping (Eq. 2).
+//! * [`tyolo`] — the shared Tiny-YOLO-style 13×13 grid detector with a 5-box
+//!   per-cell cap and 0.2 confidence threshold.
+//! * [`reference`](mod@reference) — the full-feature model (YOLOv2 stand-in oracle; see
+//!   DESIGN.md §2 for the substitution rationale).
+//! * [`cost`] — calibrated service-time/memory specs consumed by the device
+//!   simulator.
+//! * [`bank`] — per-stream training/calibration (§4.1) and trace evaluation.
+//!
+//! ```
+//! use ffsva_models::bank::{BankOptions, FilterBank};
+//! use ffsva_models::snm::SnmTrainOptions;
+//! use ffsva_video::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut cam = VideoStream::new(0, workloads::test_tiny(ObjectClass::Car, 0.4, 7));
+//! let training = cam.clip(600);
+//! let opts = BankOptions {
+//!     snm: SnmTrainOptions { epochs: 2, batch_size: 16, lr: 0.08,
+//!                            train_frac: 0.7, max_samples: 120, restarts: 1 },
+//!     ..Default::default()
+//! };
+//! let mut bank = FilterBank::build(&training, ObjectClass::Car, &opts, &mut rng);
+//! let lf = cam.next_frame();
+//! let trace = bank.trace_frame(&lf);
+//! assert!(trace.snm_prob >= 0.0 && trace.snm_prob <= 1.0);
+//! ```
+
+pub mod bank;
+pub mod compress;
+pub mod cost;
+pub mod filter;
+pub mod reference;
+pub mod sdd;
+pub mod snm;
+pub mod snm_multi;
+pub mod tyolo;
+
+pub use bank::{BankOptions, FilterBank, FrameTrace};
+pub use compress::{compress, prune_magnitude, quantize_int8, CompressionReport};
+pub use cost::{sdd_cost, snm_cost, tyolo_cost, yolov2_cost, CostSpec};
+pub use filter::{Detection, Verdict};
+pub use reference::{ReferenceConfig, ReferenceModel};
+pub use sdd::{AdaptiveSdd, DistanceMetric, FrameDiffSdd, SddFilter, SDD_SIZE};
+pub use snm::{train_snm, SnmModel, SnmReport, SnmTrainOptions, SNM_SIZE};
+pub use snm_multi::{train_multi_snm, MultiSnm, MultiSnmReport};
+pub use tyolo::{TinyYolo, TinyYoloConfig, TYOLO_BOXES_PER_CELL, TYOLO_GRID, TYOLO_INPUT};

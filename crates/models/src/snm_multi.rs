@@ -1,0 +1,318 @@
+//! Multi-target SNM — the §5.5 "Single Target Object" extension: "if
+//! multiple target objects exist in a video stream, the structure of the
+//! specialized network model only needs to be changed to support the
+//! identification of all the target objects."
+//!
+//! The network mirrors [`crate::snm::SnmModel`] but ends in a softmax over
+//! `background + K` target classes, trained with cross-entropy. A stream
+//! configured with several user-interesting classes then needs only one
+//! specialized model instead of one per class.
+
+use crate::snm::{snm_input, SNM_SIZE};
+use ffsva_tensor::layers::{Activation, Conv2d, Dense, GlobalMaxPool};
+use ffsva_tensor::prelude::*;
+use ffsva_tensor::train::softmax_cross_entropy;
+use ffsva_tensor::Sgd;
+use ffsva_video::{Frame, LabeledFrame, ObjectClass};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A multi-class stream-specialized model. Output class 0 is "background";
+/// class `i + 1` corresponds to `classes[i]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiSnm {
+    net: Sequential,
+    pub classes: Vec<ObjectClass>,
+}
+
+/// Training diagnostics for [`train_multi_snm`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiSnmReport {
+    pub losses: Vec<f32>,
+    /// Held-out top-1 accuracy.
+    pub test_accuracy: f32,
+    /// Per-class sample counts used (index 0 = background).
+    pub class_counts: Vec<usize>,
+}
+
+impl MultiSnm {
+    /// Fresh multi-class architecture (CONV, CONV, FC over K+1 classes).
+    pub fn architecture(classes: Vec<ObjectClass>, rng: &mut impl Rng) -> Self {
+        assert!(!classes.is_empty(), "need at least one target class");
+        let k = classes.len() + 1;
+        let net = Sequential::new()
+            .push(LayerKind::Conv2d(Conv2d::new(1, 8, 5, 2, 2, rng)))
+            .push(LayerKind::Activation(Activation::new(Act::Relu)))
+            .push(LayerKind::Conv2d(Conv2d::new(8, 16, 3, 2, 1, rng)))
+            .push(LayerKind::Activation(Activation::new(Act::Relu)))
+            .push(LayerKind::GlobalMaxPool(GlobalMaxPool::new()))
+            .push(LayerKind::Dense(Dense::new(16, k, rng)));
+        MultiSnm { net, classes }
+    }
+
+    /// Class probabilities for a frame: index 0 = background, then one per
+    /// configured class.
+    pub fn predict(&mut self, frame: &Frame) -> Vec<f32> {
+        let x = Tensor::from_vec(&[1, 1, SNM_SIZE, SNM_SIZE], snm_input(frame));
+        let logits = self.net.forward(&x, false);
+        ffsva_tensor::ops::softmax_rows(&logits).into_vec()
+    }
+
+    /// The most likely class, or `None` for background.
+    pub fn classify(&mut self, frame: &Frame) -> Option<ObjectClass> {
+        let probs = self.predict(frame);
+        let (best, _) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty probs");
+        if best == 0 {
+            None
+        } else {
+            Some(self.classes[best - 1])
+        }
+    }
+
+    /// Mutable access to the underlying network.
+    pub fn network_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+}
+
+/// Label a frame for multi-class training: the configured class with the
+/// most detectable objects wins; `0` is background. Frames containing only
+/// sub-detectable slivers return `None` (ambiguous).
+fn label_frame(lf: &LabeledFrame, classes: &[ObjectClass]) -> Option<usize> {
+    const DETECTABLE: f32 = 0.12;
+    let mut best = (0usize, 0usize); // (label, count)
+    let mut any_sliver = false;
+    for (ci, class) in classes.iter().enumerate() {
+        let count = lf
+            .truth
+            .objects
+            .iter()
+            .filter(|o| o.class == *class && o.visible_frac >= DETECTABLE)
+            .count();
+        if lf
+            .truth
+            .objects
+            .iter()
+            .any(|o| o.class == *class && o.visible_frac > 0.0 && o.visible_frac < DETECTABLE)
+        {
+            any_sliver = true;
+        }
+        if count > best.1 {
+            best = (ci + 1, count);
+        }
+    }
+    if best.1 > 0 {
+        Some(best.0)
+    } else if any_sliver {
+        None // ambiguous partial-only frame
+    } else {
+        Some(0)
+    }
+}
+
+/// Train a multi-class SNM on an auto-labeled clip.
+pub fn train_multi_snm(
+    clip: &[LabeledFrame],
+    classes: Vec<ObjectClass>,
+    epochs: usize,
+    lr: f32,
+    rng: &mut impl Rng,
+) -> (MultiSnm, MultiSnmReport) {
+    let k = classes.len() + 1;
+    // Collect labeled samples, capped per class for balance.
+    let mut per_class: Vec<Vec<Vec<f32>>> = vec![Vec::new(); k];
+    for lf in clip {
+        if let Some(label) = label_frame(lf, &classes) {
+            if per_class[label].len() < 400 {
+                per_class[label].push(snm_input(&lf.frame));
+            }
+        }
+    }
+    let cap = per_class
+        .iter()
+        .map(|v| v.len())
+        .filter(|&n| n > 0)
+        .min()
+        .unwrap_or(0)
+        .max(24);
+    let mut samples: Vec<(Vec<f32>, usize)> = Vec::new();
+    let mut class_counts = vec![0usize; k];
+    for (label, frames) in per_class.into_iter().enumerate() {
+        for input in frames.into_iter().take(cap * 2) {
+            class_counts[label] += 1;
+            samples.push((input, label));
+        }
+    }
+    samples.shuffle(rng);
+    let cut = (samples.len() * 7) / 10;
+    let (train, test) = samples.split_at(cut.max(1).min(samples.len()));
+
+    let mut model = MultiSnm::architecture(classes, rng);
+    let mut sgd = Sgd {
+        lr,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    };
+    let mut losses = Vec::with_capacity(epochs);
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    for _ in 0..epochs {
+        order.shuffle(rng);
+        let mut total = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(24) {
+            let mut data = Vec::with_capacity(chunk.len() * SNM_SIZE * SNM_SIZE);
+            let mut labels = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                data.extend_from_slice(&train[i].0);
+                labels.push(train[i].1);
+            }
+            let x = Tensor::from_vec(&[chunk.len(), 1, SNM_SIZE, SNM_SIZE], data);
+            let logits = model.net.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            model.net.zero_grad();
+            model.net.backward(&grad);
+            sgd.step(&mut model.net);
+            total += loss;
+            batches += 1;
+        }
+        losses.push(if batches > 0 { total / batches as f32 } else { 0.0 });
+        sgd.lr *= 0.92;
+    }
+
+    // Held-out top-1 accuracy.
+    let mut correct = 0usize;
+    for (input, label) in test {
+        let x = Tensor::from_vec(&[1, 1, SNM_SIZE, SNM_SIZE], input.clone());
+        let logits = model.net.forward(&x, false);
+        if logits.argmax_rows()[0] == *label {
+            correct += 1;
+        }
+    }
+    let test_accuracy = if test.is_empty() {
+        1.0
+    } else {
+        correct as f32 / test.len() as f32
+    };
+    (
+        model,
+        MultiSnmReport {
+            losses,
+            test_accuracy,
+            class_counts,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsva_video::prelude::*;
+    use ffsva_video::workloads;
+    use rand::SeedableRng;
+
+    #[test]
+    fn multiclass_model_separates_cars_from_dogs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        // cars as the scene target, dogs passing through often; rendered
+        // large enough that a dog spans more than a couple of pixels
+        let mut cfg = workloads::test_tiny(ObjectClass::Car, 0.35, 321);
+        cfg.render_width = 128;
+        cfg.render_height = 96;
+        cfg.distractor_rate = 0.015;
+        cfg.distractor_classes = vec![ObjectClass::Dog];
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(3500);
+        let (mut model, report) =
+            train_multi_snm(&clip, vec![ObjectClass::Car, ObjectClass::Dog], 20, 0.08, &mut rng);
+        assert!(report.class_counts[0] > 0, "background samples");
+        assert!(report.class_counts[1] > 0, "car samples");
+        assert!(report.class_counts[2] > 0, "dog samples");
+        assert!(
+            report.test_accuracy > 0.85,
+            "top-1 accuracy {}",
+            report.test_accuracy
+        );
+
+        // Spot-check fresh frames: whenever a complete target of exactly one
+        // class is on camera, the model must flag the frame as non-background
+        // and mostly name the right class.
+        let eval = s.clip(1500);
+        let mut named = 0usize;
+        let mut non_bg = 0usize;
+        let mut total = 0usize;
+        for lf in &eval {
+            let cars = lf.truth.count_complete(ObjectClass::Car);
+            let dogs = lf.truth.count_complete(ObjectClass::Dog);
+            let expected = match (cars > 0, dogs > 0) {
+                (true, false) => ObjectClass::Car,
+                (false, true) => ObjectClass::Dog,
+                _ => continue,
+            };
+            total += 1;
+            if let Some(c) = model.classify(&lf.frame) {
+                non_bg += 1;
+                if c == expected {
+                    named += 1;
+                }
+            }
+        }
+        assert!(total > 100, "need single-class frames, got {}", total);
+        assert!(
+            non_bg as f32 / total as f32 > 0.85,
+            "non-background detection {}",
+            non_bg as f32 / total as f32
+        );
+        assert!(
+            named as f32 / total as f32 > 0.6,
+            "class naming accuracy {}",
+            named as f32 / total as f32
+        );
+    }
+
+    #[test]
+    fn label_frame_prioritizes_majority_class() {
+        use ffsva_video::{GroundTruth, GtObject};
+        let mk = |class, n: usize| -> Vec<GtObject> {
+            (0..n)
+                .map(|_| GtObject {
+                    class,
+                    cx: 0.5,
+                    cy: 0.5,
+                    w: 0.1,
+                    h: 0.1,
+                    visible_frac: 1.0,
+                })
+                .collect()
+        };
+        let mut objects = mk(ObjectClass::Car, 1);
+        objects.extend(mk(ObjectClass::Dog, 3));
+        let lf = LabeledFrame {
+            frame: Frame::gray8(0, 0, 0, 2, 2, vec![0; 4]),
+            truth: GroundTruth { objects },
+        };
+        let classes = [ObjectClass::Car, ObjectClass::Dog];
+        assert_eq!(label_frame(&lf, &classes), Some(2)); // dog majority
+
+        let empty = LabeledFrame {
+            frame: Frame::gray8(0, 0, 0, 2, 2, vec![0; 4]),
+            truth: GroundTruth::default(),
+        };
+        assert_eq!(label_frame(&empty, &classes), Some(0));
+    }
+
+    #[test]
+    fn predict_returns_distribution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut m = MultiSnm::architecture(vec![ObjectClass::Car, ObjectClass::Person], &mut rng);
+        let frame = Frame::gray8(0, 0, 0, 64, 48, vec![100; 64 * 48]);
+        let probs = m.predict(&frame);
+        assert_eq!(probs.len(), 3);
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+}

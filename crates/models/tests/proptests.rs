@@ -1,0 +1,94 @@
+//! Property-based tests for the cascade models: detector output invariants,
+//! IoU algebra, and threshold monotonicity.
+
+use ffsva_models::bank::FrameTrace;
+use ffsva_models::filter::Detection;
+use ffsva_models::tyolo::TinyYolo;
+use ffsva_video::{Frame, ObjectClass};
+use proptest::prelude::*;
+
+fn arb_detection() -> impl Strategy<Value = Detection> {
+    (0.0f32..1.0, 0.0f32..1.0, 0.01f32..0.5, 0.01f32..0.5, 0.0f32..1.0).prop_map(
+        |(cx, cy, w, h, c)| Detection {
+            class: ObjectClass::Car,
+            cx,
+            cy,
+            w,
+            h,
+            confidence: c,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// IoU is symmetric, bounded, and 1 against itself.
+    #[test]
+    fn iou_algebra(a in arb_detection(), b in arb_detection()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((0.0..=1.0 + 1e-5).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-4);
+    }
+
+    /// T-YOLO detections on arbitrary images are geometrically sane: centers
+    /// inside the frame, positive sizes, confidences above the threshold.
+    #[test]
+    fn tyolo_detections_are_sane(pixels in proptest::collection::vec(any::<u8>(), 64 * 48)) {
+        let frame = Frame::gray8(0, 0, 0, 64, 48, pixels);
+        let ty = TinyYolo::default();
+        let dets = ty.detect(&frame);
+        for d in &dets {
+            prop_assert!((0.0..=1.0).contains(&d.cx));
+            prop_assert!((0.0..=1.0).contains(&d.cy));
+            prop_assert!(d.w > 0.0 && d.w <= 1.0 + 1e-5);
+            prop_assert!(d.h > 0.0 && d.h <= 1.0 + 1e-5);
+            prop_assert!(d.confidence >= ty.cfg.conf_threshold);
+        }
+        // count() is consistent with detect()
+        let cars = dets.iter().filter(|d| d.class == ObjectClass::Car).count();
+        prop_assert_eq!(ty.count(&frame, ObjectClass::Car), cars);
+        // post-NMS, no two kept boxes overlap beyond the NMS threshold
+        for i in 0..dets.len() {
+            for j in (i + 1)..dets.len() {
+                prop_assert!(dets[i].iou(&dets[j]) <= ty.cfg.nms_iou + 1e-5);
+            }
+        }
+    }
+
+    /// Trace verdicts are monotone in their thresholds: passing a stricter
+    /// threshold implies passing any looser one.
+    #[test]
+    fn trace_threshold_monotonicity(
+        sdd in 0.0f32..0.05,
+        snm in 0.0f32..1.0,
+        ty_count in 0u16..6,
+        lo in 0.0f32..1.0,
+        hi in 0.0f32..1.0,
+    ) {
+        let tr = FrameTrace {
+            seq: 0,
+            pts_ms: 0,
+            sdd_distance: sdd,
+            snm_prob: snm,
+            tyolo_count: ty_count,
+            reference_count: ty_count,
+            truth_count: ty_count,
+            truth_complete: ty_count,
+        };
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        if tr.snm_pass(hi) {
+            prop_assert!(tr.snm_pass(lo));
+        }
+        if tr.sdd_pass(hi) {
+            prop_assert!(tr.sdd_pass(lo));
+        }
+        for n in 1..5usize {
+            if tr.tyolo_pass(n + 1) {
+                prop_assert!(tr.tyolo_pass(n));
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Batch formation policies (§4.3.2).
+//!
+//! The SNM stage forms batches from its input queue to amortize per-stream
+//! model loading. The paper compares three mechanisms (§5.4):
+//!
+//! * **static batch** — always wait for a full `BatchSize` (unbounded queue);
+//!   best throughput, worst latency.
+//! * **feedback-queue** — bounded queue + full-batch trigger; the queue depth
+//!   threshold caps how many frames can ever accumulate.
+//! * **dynamic batch** — bounded queue + take whatever is available up to
+//!   `BatchSize` as soon as anything is queued; ~50 % lower latency for
+//!   ~16 % throughput.
+
+use serde::{Deserialize, Serialize};
+
+/// How a stage decides when (and how much) to pop from its input queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchPolicy {
+    /// Wait until `size` frames are queued, then take exactly `size`.
+    Static { size: usize },
+    /// Bounded queue of `queue_depth`; wait for `min(size, queue_depth)`
+    /// frames, then take them.
+    Feedback { size: usize },
+    /// Take `min(size, queued)` as soon as the queue is non-empty.
+    Dynamic { size: usize },
+}
+
+impl BatchPolicy {
+    /// Nominal batch size parameter.
+    pub fn size(&self) -> usize {
+        match *self {
+            BatchPolicy::Static { size }
+            | BatchPolicy::Feedback { size }
+            | BatchPolicy::Dynamic { size } => size,
+        }
+    }
+
+    /// Whether the input queue should be bounded at its depth threshold.
+    pub fn bounds_queue(&self) -> bool {
+        !matches!(self, BatchPolicy::Static { .. })
+    }
+
+    /// Given the current queue length and the queue's capacity, decide how
+    /// many frames to take now. `None` means "wait for more frames".
+    pub fn take(&self, queued: usize, queue_capacity: usize) -> Option<usize> {
+        if queued == 0 {
+            return None;
+        }
+        match *self {
+            BatchPolicy::Static { size } => {
+                let size = size.max(1);
+                if queued >= size {
+                    Some(size)
+                } else {
+                    None
+                }
+            }
+            BatchPolicy::Feedback { size } => {
+                let trigger = size.min(queue_capacity).max(1);
+                if queued >= trigger {
+                    Some(trigger)
+                } else {
+                    None
+                }
+            }
+            BatchPolicy::Dynamic { size } => Some(queued.min(size.max(1))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_waits_for_full_batch() {
+        let p = BatchPolicy::Static { size: 8 };
+        assert_eq!(p.take(0, 100), None);
+        assert_eq!(p.take(7, 100), None);
+        assert_eq!(p.take(8, 100), Some(8));
+        assert_eq!(p.take(20, 100), Some(8));
+        assert!(!p.bounds_queue());
+    }
+
+    #[test]
+    fn feedback_trigger_is_capped_by_queue_depth() {
+        let p = BatchPolicy::Feedback { size: 30 };
+        // queue depth threshold 10: can never see 30 queued
+        assert_eq!(p.take(9, 10), None);
+        assert_eq!(p.take(10, 10), Some(10));
+        // small batch behaves like static
+        let p2 = BatchPolicy::Feedback { size: 4 };
+        assert_eq!(p2.take(3, 10), None);
+        assert_eq!(p2.take(4, 10), Some(4));
+        assert!(p.bounds_queue());
+    }
+
+    #[test]
+    fn dynamic_takes_whatever_is_there() {
+        let p = BatchPolicy::Dynamic { size: 8 };
+        assert_eq!(p.take(0, 10), None);
+        assert_eq!(p.take(1, 10), Some(1));
+        assert_eq!(p.take(5, 10), Some(5));
+        assert_eq!(p.take(30, 10), Some(8));
+    }
+
+    #[test]
+    fn degenerate_sizes_never_stall_dynamic() {
+        let p = BatchPolicy::Dynamic { size: 0 };
+        assert_eq!(p.take(3, 10), Some(1));
+        let f = BatchPolicy::Feedback { size: 0 };
+        assert_eq!(f.take(1, 10), Some(1));
+    }
+}

@@ -1,0 +1,193 @@
+//! Discrete-event simulation core: a virtual clock and a time-ordered event
+//! queue. The FFS-VA pipeline engines schedule frame arrivals, filter
+//! completions and batch triggers as events; ties break in FIFO order so
+//! runs are fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queue entry (internal).
+struct Entry<E> {
+    time_us: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_us == other.time_us && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time_us
+            .total_cmp(&self.time_us)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, time-ordered event queue with a virtual clock (µs).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now_us: f64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now_us: 0.0,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time (µs).
+    pub fn now(&self) -> f64 {
+        self.now_us
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule an event at absolute virtual time `at_us`.
+    ///
+    /// # Panics
+    /// Panics if `at_us` is in the past — that would break causality.
+    pub fn schedule(&mut self, at_us: f64, event: E) {
+        assert!(
+            at_us >= self.now_us,
+            "cannot schedule into the past: {} < {}",
+            at_us,
+            self.now_us
+        );
+        self.heap.push(Entry {
+            time_us: at_us,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Schedule an event `delay_us` from now.
+    pub fn schedule_in(&mut self, delay_us: f64, event: E) {
+        let at = self.now_us + delay_us.max(0.0);
+        self.schedule(at, event);
+    }
+
+    /// Pop the earliest event, advancing the virtual clock to its time.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.time_us >= self.now_us, "clock must be monotonic");
+        self.now_us = e.time_us;
+        self.processed += 1;
+        Some((e.time_us, e.event))
+    }
+
+    /// Peek at the time of the next event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30.0, "c");
+        q.schedule(10.0, "a");
+        q.schedule(20.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, 1);
+        q.schedule(5.0, 2);
+        q.schedule(5.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, ());
+        q.schedule(10.0, ());
+        q.schedule(25.0, ());
+        let mut last = 0.0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(100.0, "x");
+        q.pop();
+        q.schedule_in(50.0, "y");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 150.0);
+    }
+
+    #[test]
+    fn peek_and_len_reflect_pending_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(42.0, 1);
+        q.schedule(7.0, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(7.0));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(42.0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(100.0, ());
+        q.pop();
+        q.schedule(50.0, ());
+    }
+}

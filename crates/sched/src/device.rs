@@ -1,0 +1,287 @@
+//! Simulated heterogeneous devices (DESIGN.md §2).
+//!
+//! A [`Device`] is a serial execution resource with a memory capacity and a
+//! notion of which model is currently loaded. Service times come from the
+//! calibrated cost specs in `ffsva-models`; the device adds the model-switch
+//! cost when consecutive invocations run different models — the effect that
+//! motivates batching (§4.3.2: "loading the network model for every frame
+//! significantly lowers the overall computational efficiency").
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identity of a model instance as a device sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKey {
+    /// Per-stream difference detector.
+    Sdd(u32),
+    /// Per-stream specialized network model.
+    Snm(u32),
+    /// The globally shared T-YOLO.
+    TYolo,
+    /// A per-stream (non-shared) T-YOLO instance — ablation only.
+    TYoloStream(u32),
+    /// The full-feature reference model.
+    Reference,
+}
+
+/// Device class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceKind {
+    Cpu,
+    Gpu,
+}
+
+/// One invocation's timing, as computed by [`Device::invoke`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// When execution actually started (µs, virtual time).
+    pub start_us: f64,
+    /// When it finished.
+    pub end_us: f64,
+    /// Whether a model switch/load was charged.
+    pub switched: bool,
+}
+
+/// One entry of a device's invocation log (optional, see
+/// [`Device::enable_log`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvocationRecord {
+    pub model: ModelKey,
+    pub frames: usize,
+    pub start_us: f64,
+    pub end_us: f64,
+    pub switched: bool,
+}
+
+/// A serial compute device with model residency tracking.
+#[derive(Debug, Clone)]
+pub struct Device {
+    pub name: String,
+    pub kind: DeviceKind,
+    /// Memory capacity in bytes (GPU memory for GPUs).
+    pub mem_capacity: u64,
+    resident: HashMap<ModelKey, u64>,
+    mem_used: u64,
+    current_model: Option<ModelKey>,
+    busy_until_us: f64,
+    busy_time_us: f64,
+    invocations: u64,
+    switches: u64,
+    log: Option<Vec<InvocationRecord>>,
+}
+
+impl Device {
+    pub fn new(name: impl Into<String>, kind: DeviceKind, mem_capacity: u64) -> Self {
+        Device {
+            name: name.into(),
+            kind,
+            mem_capacity,
+            resident: HashMap::new(),
+            mem_used: 0,
+            current_model: None,
+            busy_until_us: 0.0,
+            busy_time_us: 0.0,
+            invocations: 0,
+            switches: 0,
+            log: None,
+        }
+    }
+
+    /// Start recording every invocation (model, frames, start/end, switch)
+    /// for utilization-timeline analysis.
+    pub fn enable_log(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// The invocation log, if enabled.
+    pub fn log(&self) -> Option<&[InvocationRecord]> {
+        self.log.as_deref()
+    }
+
+    /// Make a model resident, evicting least-recently-needed models if the
+    /// memory budget would overflow. Returns `false` if the model alone does
+    /// not fit.
+    pub fn ensure_resident(&mut self, key: ModelKey, bytes: u64) -> bool {
+        if self.resident.contains_key(&key) {
+            return true;
+        }
+        if bytes > self.mem_capacity {
+            return false;
+        }
+        // Evict arbitrary other models until it fits. (The paper pins the
+        // large models — T-YOLO and YOLOv2 — so eviction only ever touches
+        // the tiny SNMs in practice.)
+        while self.mem_used + bytes > self.mem_capacity {
+            let victim = *self
+                .resident
+                .keys()
+                .find(|k| Some(**k) != self.current_model)
+                .expect("memory accounting: nothing to evict");
+            let sz = self.resident.remove(&victim).expect("victim resident");
+            self.mem_used -= sz;
+        }
+        self.resident.insert(key, bytes);
+        self.mem_used += bytes;
+        true
+    }
+
+    /// True if the model is currently resident in device memory.
+    pub fn is_resident(&self, key: ModelKey) -> bool {
+        self.resident.contains_key(&key)
+    }
+
+    /// Bytes currently in use.
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used
+    }
+
+    /// Earliest time the device can start new work.
+    pub fn free_at(&self) -> f64 {
+        self.busy_until_us
+    }
+
+    /// Execute one invocation of `key` over `n` frames with the given costs.
+    /// `now_us` is the earliest the work may start (input availability); the
+    /// device serializes after any in-flight work. The switch cost
+    /// `invoke_us` is charged in full when the device must change models and
+    /// at 10 % (kernel launch only) when the same model runs again.
+    pub fn invoke(
+        &mut self,
+        key: ModelKey,
+        n: usize,
+        invoke_us: f64,
+        per_frame_us: f64,
+        now_us: f64,
+    ) -> Completion {
+        let switched = self.current_model != Some(key);
+        let overhead = if switched { invoke_us } else { invoke_us * 0.1 };
+        let service = overhead + per_frame_us * n as f64;
+        let start = now_us.max(self.busy_until_us);
+        let end = start + service;
+        self.busy_until_us = end;
+        self.busy_time_us += service;
+        self.current_model = Some(key);
+        self.invocations += 1;
+        if switched {
+            self.switches += 1;
+        }
+        if let Some(log) = self.log.as_mut() {
+            log.push(InvocationRecord {
+                model: key,
+                frames: n,
+                start_us: start,
+                end_us: end,
+                switched,
+            });
+        }
+        Completion {
+            start_us: start,
+            end_us: end,
+            switched,
+        }
+    }
+
+    /// Utilization over `[0, horizon_us]`.
+    pub fn utilization(&self, horizon_us: f64) -> f64 {
+        if horizon_us <= 0.0 {
+            0.0
+        } else {
+            (self.busy_time_us / horizon_us).min(1.0)
+        }
+    }
+
+    /// Total busy time (µs).
+    pub fn busy_time_us(&self) -> f64 {
+        self.busy_time_us
+    }
+
+    /// (invocations, model switches).
+    pub fn invocation_stats(&self) -> (u64, u64) {
+        (self.invocations, self.switches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1024 * 1024 * 1024;
+
+    #[test]
+    fn invoke_serializes_work() {
+        let mut d = Device::new("gpu0", DeviceKind::Gpu, 8 * GB);
+        let a = d.invoke(ModelKey::TYolo, 1, 100.0, 1000.0, 0.0);
+        assert_eq!(a.start_us, 0.0);
+        assert_eq!(a.end_us, 1100.0);
+        // second call arrives "early" but must wait for the device
+        let b = d.invoke(ModelKey::TYolo, 2, 100.0, 1000.0, 500.0);
+        assert_eq!(b.start_us, 1100.0);
+        assert!(!b.switched);
+        // same model => only 10% launch overhead
+        assert_eq!(b.end_us, 1100.0 + 10.0 + 2000.0);
+    }
+
+    #[test]
+    fn model_switch_costs_full_invoke() {
+        let mut d = Device::new("gpu0", DeviceKind::Gpu, 8 * GB);
+        let a = d.invoke(ModelKey::Snm(0), 10, 3000.0, 200.0, 0.0);
+        assert!(a.switched);
+        let b = d.invoke(ModelKey::Snm(0), 10, 3000.0, 200.0, a.end_us);
+        assert!(!b.switched);
+        assert!((b.end_us - b.start_us) < (a.end_us - a.start_us));
+        let c = d.invoke(ModelKey::Snm(1), 10, 3000.0, 200.0, b.end_us);
+        assert!(c.switched);
+        let (inv, sw) = d.invocation_stats();
+        assert_eq!(inv, 3);
+        assert_eq!(sw, 2);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_count_as_busy() {
+        let mut d = Device::new("cpu", DeviceKind::Cpu, GB);
+        d.invoke(ModelKey::Sdd(0), 1, 0.0, 10.0, 0.0);
+        d.invoke(ModelKey::Sdd(0), 1, 0.0, 10.0, 1000.0); // 990us idle gap
+        assert!((d.busy_time_us() - 20.0).abs() < 1e-9);
+        assert!(d.utilization(1010.0) < 0.05);
+    }
+
+    #[test]
+    fn invocation_log_records_timeline() {
+        let mut d = Device::new("gpu0", DeviceKind::Gpu, 8 * GB);
+        assert!(d.log().is_none());
+        d.enable_log();
+        d.invoke(ModelKey::Snm(0), 3, 100.0, 10.0, 0.0);
+        d.invoke(ModelKey::TYolo, 2, 100.0, 10.0, 0.0);
+        let log = d.log().expect("log enabled");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].model, ModelKey::Snm(0));
+        assert_eq!(log[0].frames, 3);
+        assert!(log[0].switched);
+        assert!(log[1].switched);
+        // serial timeline: second starts when first ends
+        assert_eq!(log[1].start_us, log[0].end_us);
+    }
+
+    #[test]
+    fn residency_and_eviction() {
+        let mut d = Device::new("gpu0", DeviceKind::Gpu, 1000);
+        assert!(d.ensure_resident(ModelKey::Snm(0), 400));
+        assert!(d.ensure_resident(ModelKey::Snm(1), 400));
+        assert_eq!(d.mem_used(), 800);
+        // needs eviction
+        assert!(d.ensure_resident(ModelKey::Snm(2), 400));
+        assert!(d.mem_used() <= 1000);
+        assert!(d.is_resident(ModelKey::Snm(2)));
+        // too big outright
+        assert!(!d.ensure_resident(ModelKey::Reference, 2000));
+    }
+
+    #[test]
+    fn resident_model_is_idempotent() {
+        let mut d = Device::new("gpu0", DeviceKind::Gpu, 1000);
+        assert!(d.ensure_resident(ModelKey::TYolo, 600));
+        assert!(d.ensure_resident(ModelKey::TYolo, 600));
+        assert_eq!(d.mem_used(), 600);
+    }
+}

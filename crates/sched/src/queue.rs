@@ -1,0 +1,444 @@
+//! Queues connecting pipeline stages.
+//!
+//! §3.1.2: "adding a queue between any two consecutive stages unlocks all
+//! stages from synchronous lock steps". Two implementations share the same
+//! semantics:
+//!
+//! * [`SimQueue`] — a plain bounded queue with statistics, driven by the
+//!   discrete-event engine (no real blocking, the simulator models time).
+//! * [`FeedbackQueue`] — a thread-safe blocking bounded queue for the
+//!   real-time engine; a full queue blocks the producer, which *is* the
+//!   paper's feedback mechanism (§4.3.1).
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Statistics kept by both queue flavours.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueueStats {
+    pub pushed: u64,
+    pub popped: u64,
+    pub max_depth: usize,
+    /// Number of pushes that found the queue at capacity (producer blocked
+    /// or was refused — i.e. feedback fired).
+    pub backpressure_events: u64,
+}
+
+/// Bounded FIFO for the discrete-event engine.
+#[derive(Debug, Clone)]
+pub struct SimQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    stats: QueueStats,
+}
+
+impl<T> SimQueue<T> {
+    /// Create a queue with the given depth threshold (capacity).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        SimQueue {
+            // effectively-unbounded queues must not pre-allocate
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            stats: QueueStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Try to enqueue; returns the item back if the queue is full (the
+    /// producer must stall — feedback).
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.stats.backpressure_events += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.stats.pushed += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeue one item.
+    pub fn pop(&mut self) -> Option<T> {
+        let it = self.items.pop_front();
+        if it.is_some() {
+            self.stats.popped += 1;
+        }
+        it
+    }
+
+    /// Dequeue up to `n` items.
+    pub fn pop_up_to(&mut self, n: usize) -> Vec<T> {
+        let k = n.min(self.items.len());
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            out.push(self.items.pop_front().expect("len checked"));
+        }
+        self.stats.popped += k as u64;
+        out
+    }
+
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+struct Inner<T> {
+    queue: Mutex<(VecDeque<T>, QueueStats, bool)>, // (items, stats, closed)
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    closed: AtomicBool,
+}
+
+/// Thread-safe blocking bounded queue (the real-time engine's feedback
+/// queue). Cloning the handle shares the queue.
+pub struct FeedbackQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for FeedbackQueue<T> {
+    fn clone(&self) -> Self {
+        FeedbackQueue {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> FeedbackQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        FeedbackQueue {
+            inner: Arc::new(Inner {
+                queue: Mutex::new((VecDeque::with_capacity(capacity), QueueStats::default(), false)),
+                not_full: Condvar::new(),
+                not_empty: Condvar::new(),
+                capacity,
+                closed: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mark the queue closed: pending and future pops drain remaining items
+    /// then return `None`; pushes are rejected.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::SeqCst);
+        {
+            let mut g = self.inner.queue.lock();
+            g.2 = true;
+        }
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::SeqCst)
+    }
+
+    /// Blocking push; waits while the queue is full (feedback). Returns
+    /// `Err(item)` if the queue was closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut g = self.inner.queue.lock();
+        if g.0.len() >= self.inner.capacity {
+            g.1.backpressure_events += 1;
+        }
+        while g.0.len() >= self.inner.capacity {
+            if g.2 {
+                return Err(item);
+            }
+            self.inner.not_full.wait(&mut g);
+        }
+        if g.2 {
+            return Err(item);
+        }
+        g.0.push_back(item);
+        g.1.pushed += 1;
+        let depth = g.0.len();
+        g.1.max_depth = g.1.max_depth.max(depth);
+        drop(g);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking push.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut g = self.inner.queue.lock();
+        if g.2 || g.0.len() >= self.inner.capacity {
+            g.1.backpressure_events += 1;
+            return Err(item);
+        }
+        g.0.push_back(item);
+        g.1.pushed += 1;
+        let depth = g.0.len();
+        g.1.max_depth = g.1.max_depth.max(depth);
+        drop(g);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.queue.lock();
+        loop {
+            if let Some(it) = g.0.pop_front() {
+                g.1.popped += 1;
+                drop(g);
+                self.inner.not_full.notify_one();
+                return Some(it);
+            }
+            if g.2 {
+                return None;
+            }
+            self.inner.not_empty.wait(&mut g);
+        }
+    }
+
+    /// Pop with a timeout; `Ok(None)` = closed & drained, `Err(())` = timed out.
+    #[allow(clippy::result_unit_err)] // timeout carries no information
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, ()> {
+        let mut g = self.inner.queue.lock();
+        loop {
+            if let Some(it) = g.0.pop_front() {
+                g.1.popped += 1;
+                drop(g);
+                self.inner.not_full.notify_one();
+                return Ok(Some(it));
+            }
+            if g.2 {
+                return Ok(None);
+            }
+            if self.inner.not_empty.wait_for(&mut g, timeout).timed_out() {
+                return Err(());
+            }
+        }
+    }
+
+    /// Pop up to `n` immediately-available items (does not wait for more
+    /// than one; used by the dynamic batcher). Blocks until at least one
+    /// item is available or the queue is closed.
+    pub fn pop_up_to(&self, n: usize) -> Vec<T> {
+        let mut g = self.inner.queue.lock();
+        loop {
+            if !g.0.is_empty() {
+                let k = n.min(g.0.len());
+                let mut out = Vec::with_capacity(k);
+                for _ in 0..k {
+                    out.push(g.0.pop_front().expect("len checked"));
+                }
+                g.1.popped += k as u64;
+                drop(g);
+                self.inner.not_full.notify_all();
+                return out;
+            }
+            if g.2 {
+                return Vec::new();
+            }
+            self.inner.not_empty.wait(&mut g);
+        }
+    }
+
+    /// Take up to `n` items without waiting (possibly zero). The shared
+    /// T-YOLO round-robin uses this to visit every stream's queue per cycle,
+    /// "skipping the stream if its queue is empty" (§3.2.3).
+    pub fn try_pop_up_to(&self, n: usize) -> Vec<T> {
+        let mut g = self.inner.queue.lock();
+        let k = n.min(g.0.len());
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            out.push(g.0.pop_front().expect("len checked"));
+        }
+        g.1.popped += k as u64;
+        drop(g);
+        if k > 0 {
+            self.inner.not_full.notify_all();
+        }
+        out
+    }
+
+    pub fn stats(&self) -> QueueStats {
+        self.inner.queue.lock().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn sim_queue_fifo_and_capacity() {
+        let mut q = SimQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        let s = q.stats();
+        assert_eq!(s.pushed, 2);
+        assert_eq!(s.popped, 2);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.backpressure_events, 1);
+    }
+
+    #[test]
+    fn sim_queue_pop_up_to() {
+        let mut q = SimQueue::new(10);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_up_to(3), vec![0, 1, 2]);
+        assert_eq!(q.pop_up_to(99), vec![3, 4]);
+        assert!(q.pop_up_to(1).is_empty());
+    }
+
+    #[test]
+    fn feedback_queue_passes_items_across_threads() {
+        let q = FeedbackQueue::new(4);
+        let q2 = q.clone();
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                q2.push(i).unwrap();
+            }
+            q2.close();
+        });
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn feedback_queue_blocks_producer_at_capacity() {
+        let q = FeedbackQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3));
+        let q2 = q.clone();
+        let t = thread::spawn(move || {
+            // blocks until the consumer makes room
+            q2.push(3).unwrap();
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.len(), 2, "producer should still be blocked");
+        assert_eq!(q.pop(), Some(1));
+        t.join().unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(q.stats().backpressure_events >= 1);
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let q = FeedbackQueue::new(8);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.push(9), Err(9));
+    }
+
+    #[test]
+    fn pop_timeout_times_out() {
+        let q: FeedbackQueue<i32> = FeedbackQueue::new(1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Err(()));
+        q.push(5).unwrap();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Ok(Some(5)));
+    }
+
+    #[test]
+    fn try_pop_up_to_never_blocks() {
+        let q: FeedbackQueue<i32> = FeedbackQueue::new(8);
+        assert!(q.try_pop_up_to(4).is_empty());
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.try_pop_up_to(1), vec![1]);
+        assert_eq!(q.try_pop_up_to(8), vec![2]);
+        assert!(q.try_pop_up_to(8).is_empty());
+    }
+
+    #[test]
+    fn mpmc_stress_conserves_items() {
+        let q: FeedbackQueue<u64> = FeedbackQueue::new(16);
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..500u64 {
+                        q.push(p * 1_000_000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 2000, "every item delivered exactly once");
+        let s = q.stats();
+        assert_eq!(s.pushed, 2000);
+        assert_eq!(s.popped, 2000);
+        assert!(s.max_depth <= 16);
+    }
+
+    #[test]
+    fn pop_up_to_takes_what_is_available() {
+        let q = FeedbackQueue::new(10);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        let got = q.pop_up_to(8);
+        assert_eq!(got, vec![0, 1, 2]);
+        q.close();
+        assert!(q.pop_up_to(8).is_empty());
+    }
+}

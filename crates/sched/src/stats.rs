@@ -1,0 +1,121 @@
+//! Latency and throughput accounting shared by both engines.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates latency samples (µs) and reports distribution statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples_us: Vec<f64>,
+}
+
+impl LatencyStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, us: f64) {
+        self.samples_us.push(us);
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    pub fn mean_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            0.0
+        } else {
+            self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
+        }
+    }
+
+    /// Quantile in `[0, 1]` by nearest-rank on the sorted samples.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.samples_us.clone();
+        v.sort_by(f64::total_cmp);
+        let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+
+    pub fn max_us(&self) -> f64 {
+        self.samples_us
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Merge another set of samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+}
+
+/// Simple frames-over-time throughput meter.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Throughput {
+    pub frames: u64,
+    pub elapsed_us: f64,
+}
+
+impl Throughput {
+    pub fn fps(&self) -> f64 {
+        if self.elapsed_us <= 0.0 {
+            0.0
+        } else {
+            self.frames as f64 * 1e6 / self.elapsed_us
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_quantiles() {
+        let mut s = LatencyStats::new();
+        for i in 1..=100 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.count(), 100);
+        assert!((s.mean_us() - 50.5).abs() < 1e-9);
+        assert_eq!(s.quantile_us(0.0), 1.0);
+        assert_eq!(s.quantile_us(1.0), 100.0);
+        let p50 = s.quantile_us(0.5);
+        assert!((49.0..=52.0).contains(&p50), "p50 {}", p50);
+        assert_eq!(s.max_us(), 100.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean_us(), 0.0);
+        assert_eq!(s.quantile_us(0.5), 0.0);
+        assert_eq!(s.max_us(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        a.record(1.0);
+        let mut b = LatencyStats::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean_us(), 2.0);
+    }
+
+    #[test]
+    fn throughput_fps() {
+        let t = Throughput {
+            frames: 300,
+            elapsed_us: 10.0 * 1e6,
+        };
+        assert!((t.fps() - 30.0).abs() < 1e-9);
+        let z = Throughput::default();
+        assert_eq!(z.fps(), 0.0);
+    }
+}

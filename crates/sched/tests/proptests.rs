@@ -1,0 +1,108 @@
+//! Property-based tests for the scheduling substrate: queue invariants,
+//! event ordering, batch-policy guarantees, and device accounting.
+
+use ffsva_sched::{BatchPolicy, Device, DeviceKind, EventQueue, ModelKey, SimQueue};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The queue never exceeds its bound and preserves FIFO order for any
+    /// interleaving of pushes and pops.
+    #[test]
+    fn sim_queue_bounded_fifo(cap in 1usize..16, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut q = SimQueue::new(cap);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut next = 0u32;
+        for push in ops {
+            if push {
+                let r = q.push(next);
+                if model.len() < cap {
+                    prop_assert!(r.is_ok());
+                    model.push_back(next);
+                } else {
+                    prop_assert!(r.is_err());
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(q.pop(), model.pop_front());
+            }
+            prop_assert!(q.len() <= cap);
+            prop_assert_eq!(q.len(), model.len());
+        }
+    }
+
+    /// Events pop in non-decreasing time order for arbitrary schedules, and
+    /// all scheduled events are delivered.
+    #[test]
+    fn event_queue_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Batch policies never take more than is queued nor more than the
+    /// nominal size, and the dynamic policy never stalls on a non-empty queue.
+    #[test]
+    fn batch_policy_take_bounds(size in 0usize..64, queued in 0usize..256, cap in 1usize..64) {
+        for policy in [
+            BatchPolicy::Static { size },
+            BatchPolicy::Feedback { size },
+            BatchPolicy::Dynamic { size },
+        ] {
+            if let Some(n) = policy.take(queued, cap) {
+                prop_assert!(n >= 1);
+                prop_assert!(n <= queued.max(1));
+                prop_assert!(n <= size.max(1).max(cap));
+            }
+        }
+        let dynamic = BatchPolicy::Dynamic { size };
+        if queued > 0 {
+            prop_assert!(dynamic.take(queued, cap).is_some());
+        } else {
+            prop_assert!(dynamic.take(0, cap).is_none());
+        }
+    }
+
+    /// Device time is causal and additive: completions never start before
+    /// the request or before prior work, and busy time sums service times.
+    #[test]
+    fn device_invocations_causal(jobs in proptest::collection::vec((0.0f64..1e5, 1usize..16), 1..40)) {
+        let mut d = Device::new("gpu", DeviceKind::Gpu, 1 << 30);
+        let mut prev_end = 0.0f64;
+        let mut total_service = 0.0f64;
+        for (now, n) in jobs {
+            let c = d.invoke(ModelKey::TYolo, n, 100.0, 50.0, now);
+            prop_assert!(c.start_us >= now);
+            prop_assert!(c.start_us >= prev_end);
+            prop_assert!(c.end_us > c.start_us);
+            total_service += c.end_us - c.start_us;
+            prev_end = c.end_us;
+        }
+        prop_assert!((d.busy_time_us() - total_service).abs() < 1e-6);
+    }
+
+    /// pop_up_to returns at most n items, in order.
+    #[test]
+    fn sim_queue_pop_up_to_ordered(n in 0usize..20, fill in 0usize..20) {
+        let mut q = SimQueue::new(64);
+        for i in 0..fill {
+            q.push(i).unwrap();
+        }
+        let got = q.pop_up_to(n);
+        prop_assert!(got.len() <= n);
+        prop_assert_eq!(got.len(), n.min(fill));
+        for (k, v) in got.iter().enumerate() {
+            prop_assert_eq!(*v, k);
+        }
+    }
+}

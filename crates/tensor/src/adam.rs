@@ -1,0 +1,145 @@
+//! The Adam optimizer — an alternative to SGD-with-momentum for the
+//! specialized models. Keeps its first/second-moment state externally so
+//! [`crate::layers::Param`] stays optimizer-agnostic.
+
+use crate::layers::Sequential;
+use crate::tensor::Tensor;
+
+/// Adam optimizer state and hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    step: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// One update over all parameters; gradients are consumed (zeroed).
+    ///
+    /// # Panics
+    /// Panics if the network's parameter count changes between steps.
+    pub fn step(&mut self, net: &mut Sequential) {
+        let mut params = net.params_mut();
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "parameter count changed under the optimizer"
+        );
+        self.step += 1;
+        let t = self.step as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for (i, p) in params.iter_mut().enumerate() {
+            for j in 0..p.value.len() {
+                let g = p.grad.data()[j] + self.weight_decay * p.value.data()[j];
+                let m = self.beta1 * self.m[i].data()[j] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * self.v[i].data()[j] + (1.0 - self.beta2) * g * g;
+                self.m[i].data_mut()[j] = m;
+                self.v[i].data_mut()[j] = v;
+                let m_hat = m / bc1;
+                let v_hat = v / bc2;
+                p.value.data_mut()[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Act, Activation, Dense, Flatten, LayerKind};
+    use crate::train::{bce_with_logits, Dataset};
+    use crate::Tensor;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn adam_fits_linearly_separable_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut data = Dataset::new(&[1, 1, 2]);
+        for _ in 0..200 {
+            let x1: f32 = rng.gen_range(-1.0..1.0);
+            let x2: f32 = rng.gen_range(-1.0..1.0);
+            data.push(vec![x1, x2], if x1 - x2 > 0.0 { 1.0 } else { 0.0 });
+        }
+        let mut net = crate::Sequential::new()
+            .push(LayerKind::Flatten(Flatten::new()))
+            .push(LayerKind::Dense(Dense::new(2, 8, &mut rng)))
+            .push(LayerKind::Activation(Activation::new(Act::Relu)))
+            .push(LayerKind::Dense(Dense::new(8, 1, &mut rng)));
+        let mut adam = Adam::new(0.02);
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..40 {
+            for chunk in idx.chunks(16) {
+                let (x, y) = data.batch(chunk);
+                let logits = net.forward(&x, true);
+                let (loss, grad) = bce_with_logits(&logits, &y);
+                net.zero_grad();
+                net.backward(&grad);
+                adam.step(&mut net);
+                first_loss.get_or_insert(loss);
+                last_loss = loss;
+            }
+        }
+        assert!(adam.steps() > 0);
+        assert!(
+            last_loss < first_loss.unwrap() * 0.3,
+            "first {} last {}",
+            first_loss.unwrap(),
+            last_loss
+        );
+        let acc = crate::train::eval_binary_classifier(&mut net, &data);
+        assert!(acc > 0.9, "accuracy {}", acc);
+    }
+
+    #[test]
+    fn adam_moves_toward_minimum_of_quadratic() {
+        // single Dense(1->1) without bias pressure: minimize 0.5*(w*x - 3)^2
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut net = crate::Sequential::new().push(LayerKind::Dense(Dense::new(1, 1, &mut rng)));
+        let mut adam = Adam::new(0.05);
+        let x = Tensor::from_vec(&[1, 1], vec![1.0]);
+        for _ in 0..400 {
+            let y = net.forward(&x, true);
+            let d = y.data()[0] - 3.0;
+            let grad = Tensor::from_vec(&[1, 1], vec![d]);
+            net.zero_grad();
+            net.backward(&grad);
+            adam.step(&mut net);
+        }
+        let y = net.forward(&x, false);
+        assert!((y.data()[0] - 3.0).abs() < 0.05, "converged to {}", y.data()[0]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2/fan_in))`.
+pub fn he_normal(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    let dist = Normal::new(0.0f32, std).expect("valid normal");
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Xavier (Glorot) uniform initialization: `U(-a, a)`, `a = sqrt(6/(fan_in+fan_out))`.
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-a..a)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_std_is_plausible() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let t = he_normal(&[10_000], 50, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let target = 2.0 / 50.0;
+        assert!(mean.abs() < 0.01, "mean {}", mean);
+        assert!((var - target).abs() < 0.2 * target, "var {} vs {}", var, target);
+    }
+
+    #[test]
+    fn xavier_uniform_is_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let a = (6.0f32 / 20.0).sqrt();
+        let t = xavier_uniform(&[1000], 10, 10, &mut rng);
+        assert!(t.data().iter().all(|x| x.abs() <= a));
+        // exercises the full range
+        assert!(t.max() > 0.8 * a);
+    }
+}

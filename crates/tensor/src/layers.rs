@@ -1,0 +1,1102 @@
+//! Network layers and the [`Sequential`] container.
+//!
+//! Layers are a closed enum rather than trait objects so that whole networks
+//! serialize with serde (models are trained once per stream and persisted,
+//! per §4.1 of the paper).
+
+use crate::init;
+use crate::ops::{self, ConvGeom};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A learnable parameter: value, gradient accumulator, and SGD momentum state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Param {
+    pub value: Tensor,
+    pub grad: Tensor,
+    pub velocity: Tensor,
+}
+
+impl Param {
+    /// Wrap an initialized value with zeroed gradient/velocity buffers.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        let velocity = Tensor::zeros(value.shape());
+        Param {
+            value,
+            grad,
+            velocity,
+        }
+    }
+
+    /// Reset the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+/// 2-D convolution layer (NCHW).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Conv2d {
+    pub weight: Param,
+    pub bias: Param,
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub pad: usize,
+    #[serde(skip)]
+    cache_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut impl rand::Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = init::he_normal(&[out_channels, in_channels, kernel, kernel], fan_in, rng);
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            cache_input: None,
+        }
+    }
+
+    fn geom(&self, h: usize, w: usize) -> ConvGeom {
+        ConvGeom {
+            in_h: h,
+            in_w: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let geom = self.geom(input.shape()[2], input.shape()[3]);
+        if train {
+            self.cache_input = Some(input.clone());
+        }
+        ops::conv2d(input, &self.weight.value, &self.bias.value, geom)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cache_input
+            .as_ref()
+            .expect("Conv2d::backward before forward(train=true)");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let geom = self.geom(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let oc = self.out_channels;
+        let k = self.kernel;
+        let w_mat = self.weight.value.clone().reshape(&[oc, c * k * k]);
+
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        let plane = c * h * w;
+        // Per-image work is independent; parallelize over the batch and
+        // reduce the per-image weight/bias gradients afterwards.
+        use rayon::prelude::*;
+        let in_data = input.data();
+        let go_data = grad_out.data();
+        let per_image: Vec<(Tensor, Vec<f32>, Vec<f32>)> = (0..n)
+            .into_par_iter()
+            .map(|b| {
+                let img = &in_data[b * plane..(b + 1) * plane];
+                let cols = ops::im2col(img, c, geom);
+                let dy = Tensor::from_vec(
+                    &[oc, oh * ow],
+                    go_data[b * oc * oh * ow..(b + 1) * oc * oh * ow].to_vec(),
+                );
+                // dW_b = dy * colsᵀ
+                let dw = ops::matmul_nt(&dy, &cols);
+                // db_b = row sums of dy
+                let db: Vec<f32> = (0..oc)
+                    .map(|o| dy.data()[o * oh * ow..(o + 1) * oh * ow].iter().sum())
+                    .collect();
+                // dx_b = col2im(Wᵀ dy)
+                let dcols = ops::matmul_tn(&w_mat, &dy);
+                let dx = ops::col2im(&dcols, c, geom);
+                (dw, db, dx)
+            })
+            .collect();
+        for (b, (dw, db, dx)) in per_image.into_iter().enumerate() {
+            self.weight.grad.add_assign(&dw.reshape(&[oc, c, k, k]));
+            for (g, d) in self.bias.grad.data_mut().iter_mut().zip(db.iter()) {
+                *g += d;
+            }
+            grad_in.data_mut()[b * plane..(b + 1) * plane].copy_from_slice(&dx);
+        }
+        grad_in
+    }
+}
+
+/// 2-D max pooling layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    pub kernel: usize,
+    pub stride: usize,
+    #[serde(skip)]
+    cache: Option<(Vec<u32>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (out, arg) = ops::maxpool2d(input, self.kernel, self.stride);
+        if train {
+            self.cache = Some((arg, input.shape().to_vec()));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (arg, shape) = self
+            .cache
+            .as_ref()
+            .expect("MaxPool2d::backward before forward(train=true)");
+        ops::maxpool2d_backward(grad_out, arg, shape)
+    }
+}
+
+/// Fully connected layer: `y = x Wᵀ + b`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dense {
+    pub weight: Param, // (out, in)
+    pub bias: Param,   // (out)
+    pub in_features: usize,
+    pub out_features: usize,
+    #[serde(skip)]
+    cache_input: Option<Tensor>,
+}
+
+impl Dense {
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl rand::Rng) -> Self {
+        let weight = init::xavier_uniform(&[out_features, in_features], in_features, out_features, rng);
+        Dense {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cache_input: None,
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 2, "Dense expects rank-2 input");
+        if train {
+            self.cache_input = Some(input.clone());
+        }
+        let mut out = ops::matmul_nt(input, &self.weight.value);
+        let of = self.out_features;
+        for row in out.data_mut().chunks_mut(of) {
+            for (v, b) in row.iter_mut().zip(self.bias.value.data().iter()) {
+                *v += b;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cache_input
+            .as_ref()
+            .expect("Dense::backward before forward(train=true)");
+        // dW = dyᵀ x  — (out, n)*(n, in)
+        let dw = ops::matmul_tn(grad_out, input);
+        self.weight.grad.add_assign(&dw);
+        let of = self.out_features;
+        for row in grad_out.data().chunks(of) {
+            for (g, r) in self.bias.grad.data_mut().iter_mut().zip(row.iter()) {
+                *g += r;
+            }
+        }
+        // dx = dy W
+        ops::matmul(grad_out, &self.weight.value)
+    }
+}
+
+/// Activation function selector for [`Activation`] layers.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Act {
+    Relu,
+    LeakyRelu(f32),
+    Sigmoid,
+}
+
+/// Element-wise activation layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Activation {
+    pub act: Act,
+    #[serde(skip)]
+    cache: Option<Tensor>, // pre-activation input for Relu/Leaky, output for Sigmoid
+}
+
+impl Activation {
+    pub fn new(act: Act) -> Self {
+        Activation { act, cache: None }
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = match self.act {
+            Act::Relu => ops::relu(input),
+            Act::LeakyRelu(a) => ops::leaky_relu(input, a),
+            Act::Sigmoid => ops::sigmoid(input),
+        };
+        if train {
+            self.cache = Some(match self.act {
+                Act::Sigmoid => out.clone(),
+                _ => input.clone(),
+            });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("Activation::backward before forward(train=true)");
+        let mut grad = grad_out.clone();
+        match self.act {
+            Act::Relu => {
+                for (g, &x) in grad.data_mut().iter_mut().zip(cache.data().iter()) {
+                    if x <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Act::LeakyRelu(a) => {
+                for (g, &x) in grad.data_mut().iter_mut().zip(cache.data().iter()) {
+                    if x <= 0.0 {
+                        *g *= a;
+                    }
+                }
+            }
+            Act::Sigmoid => {
+                for (g, &y) in grad.data_mut().iter_mut().zip(cache.data().iter()) {
+                    *g *= y * (1.0 - y);
+                }
+            }
+        }
+        grad
+    }
+}
+
+/// 2-D average pooling layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AvgPool2d {
+    pub kernel: usize,
+    pub stride: usize,
+    #[serde(skip)]
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        AvgPool2d {
+            kernel,
+            stride,
+            cache_shape: None,
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "AvgPool2d expects NCHW");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let k = self.kernel;
+        let oh = (h - k) / self.stride + 1;
+        let ow = (w - k) / self.stride + 1;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let norm = 1.0 / (k * k) as f32;
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                acc += input.at4(b, ch, oy * self.stride + ky, ox * self.stride + kx);
+                            }
+                        }
+                        *out.at4_mut(b, ch, oy, ox) = acc * norm;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache_shape = Some(input.shape().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cache_shape
+            .as_ref()
+            .expect("AvgPool2d::backward before forward(train=true)");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let k = self.kernel;
+        let oh = (h - k) / self.stride + 1;
+        let ow = (w - k) / self.stride + 1;
+        let mut grad_in = Tensor::zeros(shape);
+        let norm = 1.0 / (k * k) as f32;
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.at4(b, ch, oy, ox) * norm;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                *grad_in.at4_mut(b, ch, oy * self.stride + ky, ox * self.stride + kx) += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Per-channel batch normalization over NCHW activations, with learnable
+/// scale/shift and running statistics for inference.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchNorm2d {
+    pub gamma: Param,
+    pub beta: Param,
+    pub running_mean: Tensor,
+    pub running_var: Tensor,
+    pub momentum: f32,
+    pub eps: f32,
+    #[serde(skip)]
+    cache: Option<(Tensor, Vec<f32>, Vec<f32>)>, // (normalized, batch mean, batch inv_std)
+}
+
+impl BatchNorm2d {
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::full(&[channels], 1.0),
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "BatchNorm2d expects NCHW");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut out = input.clone();
+        if train {
+            let mut means = vec![0.0f32; c];
+            let mut inv_stds = vec![0.0f32; c];
+            let mut normalized = Tensor::zeros(input.shape());
+            for ch in 0..c {
+                let mut sum = 0.0f32;
+                for b in 0..n {
+                    for i in 0..plane {
+                        sum += input.data()[((b * c + ch) * plane) + i];
+                    }
+                }
+                let mean = sum / count;
+                let mut var = 0.0f32;
+                for b in 0..n {
+                    for i in 0..plane {
+                        let d = input.data()[((b * c + ch) * plane) + i] - mean;
+                        var += d * d;
+                    }
+                }
+                var /= count;
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                means[ch] = mean;
+                inv_stds[ch] = inv_std;
+                self.running_mean.data_mut()[ch] =
+                    (1.0 - self.momentum) * self.running_mean.data()[ch] + self.momentum * mean;
+                self.running_var.data_mut()[ch] =
+                    (1.0 - self.momentum) * self.running_var.data()[ch] + self.momentum * var;
+                let (g, bt) = (self.gamma.value.data()[ch], self.beta.value.data()[ch]);
+                for b in 0..n {
+                    for i in 0..plane {
+                        let idx = ((b * c + ch) * plane) + i;
+                        let xn = (input.data()[idx] - mean) * inv_std;
+                        normalized.data_mut()[idx] = xn;
+                        out.data_mut()[idx] = g * xn + bt;
+                    }
+                }
+            }
+            self.cache = Some((normalized, means, inv_stds));
+        } else {
+            for ch in 0..c {
+                let mean = self.running_mean.data()[ch];
+                let inv_std = 1.0 / (self.running_var.data()[ch] + self.eps).sqrt();
+                let (g, bt) = (self.gamma.value.data()[ch], self.beta.value.data()[ch]);
+                for b in 0..n {
+                    for i in 0..plane {
+                        let idx = ((b * c + ch) * plane) + i;
+                        out.data_mut()[idx] = g * (input.data()[idx] - mean) * inv_std + bt;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (normalized, _means, inv_stds) = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward(train=true)");
+        let shape = normalized.shape().to_vec();
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut grad_in = Tensor::zeros(&shape);
+        #[allow(clippy::needless_range_loop)] // ch also indexes gamma/beta state
+        for ch in 0..c {
+            let g = self.gamma.value.data()[ch];
+            let inv_std = inv_stds[ch];
+            // accumulate dgamma/dbeta and intermediate sums
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xn = 0.0f32;
+            for b in 0..n {
+                for i in 0..plane {
+                    let idx = ((b * c + ch) * plane) + i;
+                    let dy = grad_out.data()[idx];
+                    sum_dy += dy;
+                    sum_dy_xn += dy * normalized.data()[idx];
+                }
+            }
+            self.gamma.grad.data_mut()[ch] += sum_dy_xn;
+            self.beta.grad.data_mut()[ch] += sum_dy;
+            for b in 0..n {
+                for i in 0..plane {
+                    let idx = ((b * c + ch) * plane) + i;
+                    let dy = grad_out.data()[idx];
+                    let xn = normalized.data()[idx];
+                    grad_in.data_mut()[idx] =
+                        g * inv_std / count * (count * dy - sum_dy - xn * sum_dy_xn);
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; inference is a
+/// no-op. The mask is drawn from a deterministic counter-based generator so
+/// training remains reproducible without threading an RNG through forward.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dropout {
+    pub p: f32,
+    /// Advances every training forward so masks differ across steps.
+    counter: u64,
+    #[serde(skip)]
+    cache_mask: Option<Vec<bool>>,
+}
+
+impl Dropout {
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p in [0,1)");
+        Dropout {
+            p,
+            counter: 0,
+            cache_mask: None,
+        }
+    }
+
+    fn keep(seed: u64, i: usize, p: f32) -> bool {
+        // splitmix-style hash -> uniform in [0,1)
+        let mut z = seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        let u = ((z >> 11) as f64) / ((1u64 << 53) as f64);
+        u >= p as f64
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            return input.clone();
+        }
+        self.counter += 1;
+        let seed = self.counter;
+        let scale = 1.0 / (1.0 - self.p);
+        let mut mask = vec![false; input.len()];
+        let mut out = input.clone();
+        for (i, v) in out.data_mut().iter_mut().enumerate() {
+            if Self::keep(seed, i, self.p) {
+                mask[i] = true;
+                *v *= scale;
+            } else {
+                *v = 0.0;
+            }
+        }
+        self.cache_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .cache_mask
+            .as_ref()
+            .expect("Dropout::backward before forward(train=true)");
+        let scale = 1.0 / (1.0 - self.p);
+        let mut grad = grad_out.clone();
+        for (g, &keep) in grad.data_mut().iter_mut().zip(mask.iter()) {
+            if keep {
+                *g *= scale;
+            } else {
+                *g = 0.0;
+            }
+        }
+        grad
+    }
+}
+
+/// Global max pooling `(n, c, h, w) -> (n, c)`: keeps the strongest spatial
+/// response per channel, making the head translation-invariant — the right
+/// inductive bias for "is the target object anywhere in the frame".
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GlobalMaxPool {
+    #[serde(skip)]
+    cache: Option<(Vec<u32>, Vec<usize>)>, // (flat argmax per (n,c), input shape)
+}
+
+impl GlobalMaxPool {
+    pub fn new() -> Self {
+        GlobalMaxPool { cache: None }
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "GlobalMaxPool expects NCHW");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let hw = h * w;
+        let mut out = Tensor::zeros(&[n, c]);
+        let mut arg = vec![0u32; n * c];
+        #[allow(clippy::needless_range_loop)] // i indexes out, arg, and input planes
+        for i in 0..n * c {
+            let plane = &input.data()[i * hw..(i + 1) * hw];
+            let (best_j, best) = plane
+                .iter()
+                .enumerate()
+                .fold((0usize, f32::NEG_INFINITY), |(bj, bv), (j, &v)| {
+                    if v > bv {
+                        (j, v)
+                    } else {
+                        (bj, bv)
+                    }
+                });
+            out.data_mut()[i] = best;
+            arg[i] = (i * hw + best_j) as u32;
+        }
+        if train {
+            self.cache = Some((arg, input.shape().to_vec()));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (arg, shape) = self
+            .cache
+            .as_ref()
+            .expect("GlobalMaxPool::backward before forward(train=true)");
+        let mut grad_in = Tensor::zeros(shape);
+        for (g, &i) in grad_out.data().iter().zip(arg.iter()) {
+            grad_in.data_mut()[i as usize] += g;
+        }
+        grad_in
+    }
+}
+
+/// Flatten `(n, c, h, w)` to `(n, c*h*w)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Flatten {
+    #[serde(skip)]
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    pub fn new() -> Self {
+        Flatten { cache_shape: None }
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        if train {
+            self.cache_shape = Some(input.shape().to_vec());
+        }
+        input.clone().reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cache_shape
+            .as_ref()
+            .expect("Flatten::backward before forward(train=true)");
+        grad_out.clone().reshape(shape)
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Closed set of layer kinds (serde-friendly).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum LayerKind {
+    Conv2d(Conv2d),
+    MaxPool2d(MaxPool2d),
+    AvgPool2d(AvgPool2d),
+    GlobalMaxPool(GlobalMaxPool),
+    BatchNorm2d(BatchNorm2d),
+    Dense(Dense),
+    Activation(Activation),
+    Flatten(Flatten),
+    Dropout(Dropout),
+}
+
+impl LayerKind {
+    /// Run the layer forward. `train=true` caches activations for backward.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        match self {
+            LayerKind::Conv2d(l) => l.forward(input, train),
+            LayerKind::MaxPool2d(l) => l.forward(input, train),
+            LayerKind::AvgPool2d(l) => l.forward(input, train),
+            LayerKind::GlobalMaxPool(l) => l.forward(input, train),
+            LayerKind::BatchNorm2d(l) => l.forward(input, train),
+            LayerKind::Dense(l) => l.forward(input, train),
+            LayerKind::Activation(l) => l.forward(input, train),
+            LayerKind::Flatten(l) => l.forward(input, train),
+            LayerKind::Dropout(l) => l.forward(input, train),
+        }
+    }
+
+    /// Backpropagate; accumulates parameter gradients and returns the input
+    /// gradient.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match self {
+            LayerKind::Conv2d(l) => l.backward(grad_out),
+            LayerKind::MaxPool2d(l) => l.backward(grad_out),
+            LayerKind::AvgPool2d(l) => l.backward(grad_out),
+            LayerKind::GlobalMaxPool(l) => l.backward(grad_out),
+            LayerKind::BatchNorm2d(l) => l.backward(grad_out),
+            LayerKind::Dense(l) => l.backward(grad_out),
+            LayerKind::Activation(l) => l.backward(grad_out),
+            LayerKind::Flatten(l) => l.backward(grad_out),
+            LayerKind::Dropout(l) => l.backward(grad_out),
+        }
+    }
+
+    /// Mutable access to the layer's learnable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            LayerKind::Conv2d(l) => vec![&mut l.weight, &mut l.bias],
+            LayerKind::Dense(l) => vec![&mut l.weight, &mut l.bias],
+            LayerKind::BatchNorm2d(l) => vec![&mut l.gamma, &mut l.beta],
+            _ => vec![],
+        }
+    }
+
+    /// Short human-readable layer name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayerKind::Conv2d(_) => "conv2d",
+            LayerKind::MaxPool2d(_) => "maxpool2d",
+            LayerKind::AvgPool2d(_) => "avgpool2d",
+            LayerKind::GlobalMaxPool(_) => "global_maxpool",
+            LayerKind::BatchNorm2d(_) => "batchnorm2d",
+            LayerKind::Dense(_) => "dense",
+            LayerKind::Activation(_) => "activation",
+            LayerKind::Flatten(_) => "flatten",
+            LayerKind::Dropout(_) => "dropout",
+        }
+    }
+}
+
+/// A feed-forward stack of layers.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Sequential {
+    pub layers: Vec<LayerKind>,
+}
+
+impl Sequential {
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Builder-style push.
+    pub fn push(mut self, layer: LayerKind) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Forward pass over all layers.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for l in &mut self.layers {
+            x = l.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backward pass; returns the gradient wrt the network input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    /// All learnable parameters, in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Zero every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Human-readable architecture summary: one `name(params)` per layer.
+    pub fn summary(&mut self) -> String {
+        let mut lines = Vec::with_capacity(self.layers.len());
+        for l in self.layers.iter_mut() {
+            let params: usize = l.params_mut().iter().map(|p| p.value.len()).sum();
+            lines.push(format!("{}({})", l.name(), params));
+        }
+        format!(
+            "{} [total {} params]",
+            lines.join(" -> "),
+            self.num_params()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn dense_forward_shape_and_bias() {
+        let mut r = rng();
+        let mut d = Dense::new(3, 2, &mut r);
+        d.weight.value = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        d.bias.value = Tensor::from_vec(&[2], vec![10.0, 20.0]);
+        let x = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
+        let y = d.forward(&x, false);
+        assert_eq!(y.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn sequential_forward_runs_small_cnn() {
+        let mut r = rng();
+        let mut net = Sequential::new()
+            .push(LayerKind::Conv2d(Conv2d::new(1, 4, 3, 1, 1, &mut r)))
+            .push(LayerKind::Activation(Activation::new(Act::Relu)))
+            .push(LayerKind::MaxPool2d(MaxPool2d::new(2, 2)))
+            .push(LayerKind::Flatten(Flatten::new()))
+            .push(LayerKind::Dense(Dense::new(4 * 4 * 4, 2, &mut r)));
+        let x = Tensor::zeros(&[2, 1, 8, 8]);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 2]);
+    }
+
+    /// Finite-difference check of the full backward pass through a tiny CNN.
+    #[test]
+    fn gradient_check_small_network() {
+        let mut r = rng();
+        let mut net = Sequential::new()
+            .push(LayerKind::Conv2d(Conv2d::new(1, 2, 3, 1, 1, &mut r)))
+            .push(LayerKind::Activation(Activation::new(Act::Sigmoid)))
+            .push(LayerKind::Flatten(Flatten::new()))
+            .push(LayerKind::Dense(Dense::new(2 * 4 * 4, 1, &mut r)));
+        let x = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            (0..16).map(|i| (i as f32) / 16.0 - 0.5).collect(),
+        );
+
+        // loss = 0.5 * y^2  =>  dL/dy = y
+        let y = net.forward(&x, true);
+        let grad = y.clone();
+        net.zero_grad();
+        net.backward(&grad);
+
+        // Check a handful of weights by central differences.
+        let eps = 1e-3f32;
+        for (pi, wi) in [(0usize, 0usize), (0, 5), (2, 3), (3, 0)] {
+            let analytic = {
+                let params = net.params_mut();
+                params[pi].grad.data()[wi]
+            };
+            let orig = {
+                let params = net.params_mut();
+                params[pi].value.data()[wi]
+            };
+            let eval = |v: f32, net: &mut Sequential| {
+                {
+                    let mut params = net.params_mut();
+                    params[pi].value.data_mut()[wi] = v;
+                }
+                let y = net.forward(&x, false);
+                0.5 * y.data()[0] * y.data()[0]
+            };
+            let lp = eval(orig + eps, &mut net);
+            let lm = eval(orig - eps, &mut net);
+            {
+                let mut params = net.params_mut();
+                params[pi].value.data_mut()[wi] = orig;
+            }
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "param {} weight {}: analytic {} vs numeric {}",
+                pi,
+                wi,
+                analytic,
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn avgpool_forward_averages_windows() {
+        let mut l = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 3.0, 5.0, 7.0, //
+                1.0, 3.0, 5.0, 7.0, //
+                2.0, 2.0, 0.0, 0.0, //
+                2.0, 2.0, 8.0, 8.0,
+            ],
+        );
+        let y = l.forward(&x, false);
+        assert_eq!(y.data(), &[2.0, 6.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_distributes_uniformly() {
+        let mut l = AvgPool2d::new(2, 2);
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let _ = l.forward(&x, true);
+        let g = l.backward(&Tensor::full(&[1, 1, 2, 2], 4.0));
+        // every input cell gets 4 * 1/4 = 1
+        assert!(g.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        assert!((g.sum() - 16.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn batchnorm_training_normalizes_per_channel() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut data = Vec::new();
+        // channel 0: values around 10; channel 1: around -5
+        for b in 0..2 {
+            for ch in 0..2 {
+                for i in 0..4 {
+                    let base = if ch == 0 { 10.0 } else { -5.0 };
+                    data.push(base + (b * 4 + i) as f32 * 0.1);
+                }
+            }
+        }
+        let x = Tensor::from_vec(&[2, 2, 2, 2], data);
+        let y = bn.forward(&x, true);
+        // per-channel output mean ~0 and var ~1
+        for ch in 0..2 {
+            let vals: Vec<f32> = (0..2)
+                .flat_map(|b| (0..4).map(move |i| (b, i)))
+                .map(|(b, i)| y.data()[(b * 2 + ch) * 4 + i])
+                .collect();
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {}", mean);
+            assert!((var - 1.0).abs() < 0.05, "var {}", var);
+        }
+        // running stats moved toward the batch stats
+        assert!(bn.running_mean.data()[0] > 0.5);
+        assert!(bn.running_mean.data()[1] < -0.2);
+    }
+
+    #[test]
+    fn batchnorm_inference_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // several training passes to populate the running stats
+        let x = Tensor::from_vec(&[4, 1, 1, 2], (0..8).map(|i| i as f32).collect());
+        for _ in 0..50 {
+            let _ = bn.forward(&x, true);
+        }
+        let y_train_stats = bn.forward(&x, false);
+        // inference output should be roughly normalized too
+        let mean = y_train_stats.mean();
+        assert!(mean.abs() < 0.2, "mean {}", mean);
+    }
+
+    #[test]
+    fn batchnorm_gradcheck_small() {
+        // finite-difference check of BatchNorm through a scalar loss
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(&[2, 1, 1, 2], vec![0.3, -0.2, 0.9, 0.1]);
+        let loss_of = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            let y = bn.forward(x, true);
+            0.5 * y.sq_norm()
+        };
+        let y = bn.forward(&x, true);
+        bn.gamma.zero_grad();
+        bn.beta.zero_grad();
+        let gin = bn.backward(&y); // dL/dy = y for L = 0.5*|y|^2
+        // numeric check for one input coordinate
+        let eps = 1e-3;
+        for idx in [0usize, 3] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = loss_of(&mut bn, &xp);
+            let lm = loss_of(&mut bn, &xm);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = gin.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "idx {}: analytic {} numeric {}",
+                idx,
+                analytic,
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut d = Dropout::new(0.5);
+        let x = Tensor::from_vec(&[8], (0..8).map(|i| i as f32).collect());
+        let y = d.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn dropout_training_zeroes_and_rescales() {
+        let mut d = Dropout::new(0.5);
+        let x = Tensor::full(&[1000], 1.0);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let kept: Vec<f32> = y.data().iter().copied().filter(|&v| v != 0.0).collect();
+        // roughly half dropped
+        assert!((300..700).contains(&zeros), "zeros {}", zeros);
+        // survivors are rescaled by 1/(1-p) = 2
+        assert!(kept.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        // expectation is preserved approximately
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.15, "mean {}", mean);
+    }
+
+    #[test]
+    fn dropout_backward_routes_only_kept_units() {
+        let mut d = Dropout::new(0.5);
+        let x = Tensor::full(&[100], 1.0);
+        let y = d.forward(&x, true);
+        let grad = d.backward(&Tensor::full(&[100], 1.0));
+        for (g, &v) in grad.data().iter().zip(y.data().iter()) {
+            if v == 0.0 {
+                assert_eq!(*g, 0.0);
+            } else {
+                assert!((g - 2.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_masks_differ_across_steps() {
+        let mut d = Dropout::new(0.5);
+        let x = Tensor::full(&[64], 1.0);
+        let a = d.forward(&x, true);
+        let b = d.forward(&x, true);
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn summary_lists_layers_and_params() {
+        let mut r = rng();
+        let mut net = Sequential::new()
+            .push(LayerKind::Conv2d(Conv2d::new(1, 2, 3, 1, 1, &mut r)))
+            .push(LayerKind::Activation(Activation::new(Act::Relu)))
+            .push(LayerKind::Flatten(Flatten::new()))
+            .push(LayerKind::Dense(Dense::new(2 * 4 * 4, 1, &mut r)));
+        let s = net.summary();
+        assert!(s.contains("conv2d(20)"), "{}", s); // 2*1*3*3 + 2 bias
+        assert!(s.contains("dense(33)"), "{}", s); // 32 + 1 bias
+        assert!(s.contains("total 53 params"), "{}", s);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_weights() {
+        let mut r = rng();
+        let mut net = Sequential::new()
+            .push(LayerKind::Conv2d(Conv2d::new(1, 2, 3, 1, 0, &mut r)))
+            .push(LayerKind::Flatten(Flatten::new()))
+            .push(LayerKind::Dense(Dense::new(2 * 2 * 2, 1, &mut r)));
+        let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32 * 0.1).collect());
+        let y1 = net.forward(&x, false);
+        let json = serde_json::to_string(&net).unwrap();
+        let mut net2: Sequential = serde_json::from_str(&json).unwrap();
+        let y2 = net2.forward(&x, false);
+        assert_eq!(y1.data(), y2.data());
+    }
+}

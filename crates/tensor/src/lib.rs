@@ -1,0 +1,51 @@
+//! `ffsva-tensor` — a minimal, pure-Rust CNN inference and training engine.
+//!
+//! FFS-VA trains a *stream-specialized network model* (SNM, a 3-layer CNN)
+//! for every camera, and runs small detection networks as cascade filters.
+//! The paper builds on Darknet; this crate is the equivalent substrate:
+//! NCHW tensors, im2col+GEMM convolution, max pooling, dense layers,
+//! activations, full backpropagation, and SGD-with-momentum training —
+//! enough to train and serve the specialized models from scratch.
+//!
+//! ```
+//! use ffsva_tensor::prelude::*;
+//! use ffsva_tensor::layers::{Conv2d, Activation, MaxPool2d, Flatten, Dense};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = Sequential::new()
+//!     .push(LayerKind::Conv2d(Conv2d::new(1, 4, 3, 1, 1, &mut rng)))
+//!     .push(LayerKind::Activation(Activation::new(Act::Relu)))
+//!     .push(LayerKind::MaxPool2d(MaxPool2d::new(2, 2)))
+//!     .push(LayerKind::Flatten(Flatten::new()))
+//!     .push(LayerKind::Dense(Dense::new(4 * 8 * 8, 1, &mut rng)));
+//! let x = Tensor::zeros(&[1, 1, 16, 16]);
+//! let logit = net.forward(&x, false);
+//! assert_eq!(logit.shape(), &[1, 1]);
+//! ```
+
+pub mod adam;
+pub mod init;
+pub mod layers;
+pub mod ops;
+pub mod tensor;
+pub mod train;
+
+pub use adam::Adam;
+pub use layers::{
+    Act, Activation, AvgPool2d, BatchNorm2d, Conv2d, Dense, Dropout, Flatten, GlobalMaxPool,
+    LayerKind, MaxPool2d, Param, Sequential,
+};
+pub use ops::ConvGeom;
+pub use tensor::Tensor;
+pub use train::{Dataset, Sgd, TrainConfig};
+
+/// Common imports for building and training networks.
+pub mod prelude {
+    pub use crate::layers::{
+        Act, Activation, Conv2d, Dense, Flatten, LayerKind, MaxPool2d, Sequential,
+    };
+    pub use crate::ops::ConvGeom;
+    pub use crate::tensor::Tensor;
+    pub use crate::train::{Dataset, Sgd, TrainConfig};
+}

@@ -1,0 +1,546 @@
+//! Low-level kernels: matrix multiply, im2col/col2im, pooling, activations.
+//!
+//! Convolution is implemented as im2col followed by a matrix multiply — the
+//! classic lowering used by Darknet and cuDNN's GEMM algorithm. The matmul is
+//! parallelized over output rows with rayon.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// `C = A (m×k) * B (k×n)`, row-major, parallel over rows of `A`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dims: {} vs {}", k, k2);
+
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in row.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    });
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// `C = Aᵀ (k×m)ᵀ * B (k×n)` without materializing the transpose.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2);
+    assert_eq!(b.rank(), 2);
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_tn inner dims");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for p in 0..k {
+            let av = ad[p * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in row.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    });
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// `C = A (m×k) * Bᵀ (n×k)ᵀ` without materializing the transpose.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2);
+    assert_eq!(b.rank(), 2);
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_nt inner dims");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (j, o) in row.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    });
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Geometry of a conv/pool window sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    pub in_h: usize,
+    pub in_w: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height for this geometry.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+    /// Output width for this geometry.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+}
+
+/// Lower one image `(c, h, w)` into a matrix of shape
+/// `(c*kernel*kernel, out_h*out_w)` where each column is a receptive field.
+pub fn im2col(input: &[f32], c: usize, geom: ConvGeom) -> Tensor {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let k = geom.kernel;
+    let rows = c * k * k;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    for ch in 0..c {
+        let plane = &input[ch * geom.in_h * geom.in_w..(ch + 1) * geom.in_h * geom.in_w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= geom.in_w as isize {
+                            continue;
+                        }
+                        out[base + oy * ow + ox] = plane[iy * geom.in_w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[rows, cols], out)
+}
+
+/// Scatter-add the columns of a `(c*k*k, out_h*out_w)` matrix back into an
+/// image buffer of shape `(c, in_h, in_w)` — the adjoint of [`im2col`].
+pub fn col2im(cols_t: &Tensor, c: usize, geom: ConvGeom) -> Vec<f32> {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let k = geom.kernel;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; c * geom.in_h * geom.in_w];
+    let data = cols_t.data();
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= geom.in_w as isize {
+                            continue;
+                        }
+                        out[(ch * geom.in_h + iy) * geom.in_w + ix as usize] +=
+                            data[base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Naive direct convolution used as a correctness reference in tests.
+/// Input `(n, c, h, w)`, weights `(oc, c, k, k)`, bias `(oc)`.
+pub fn conv2d_naive(input: &Tensor, weight: &Tensor, bias: &Tensor, geom: ConvGeom) -> Tensor {
+    let (n, c) = (input.shape()[0], input.shape()[1]);
+    let oc = weight.shape()[0];
+    let k = geom.kernel;
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    for b in 0..n {
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.data()[o];
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                                let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                                if iy < 0
+                                    || ix < 0
+                                    || iy >= geom.in_h as isize
+                                    || ix >= geom.in_w as isize
+                                {
+                                    continue;
+                                }
+                                acc += input.at4(b, ci, iy as usize, ix as usize)
+                                    * weight.at4(o, ci, ky, kx);
+                            }
+                        }
+                    }
+                    *out.at4_mut(b, o, oy, ox) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// im2col + GEMM convolution. Input `(n, c, h, w)`, weights `(oc, c, k, k)`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, geom: ConvGeom) -> Tensor {
+    assert_eq!(input.rank(), 4);
+    assert_eq!(weight.rank(), 4);
+    let (n, c) = (input.shape()[0], input.shape()[1]);
+    assert_eq!(c, weight.shape()[1], "conv2d channel mismatch");
+    assert_eq!(input.shape()[2], geom.in_h);
+    assert_eq!(input.shape()[3], geom.in_w);
+    let oc = weight.shape()[0];
+    let k = geom.kernel;
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let w_mat = weight.clone().reshape(&[oc, c * k * k]);
+
+    let plane = c * geom.in_h * geom.in_w;
+    let out_plane = oc * oh * ow;
+    let mut out = vec![0.0f32; n * out_plane];
+    let in_data = input.data();
+    out.par_chunks_mut(out_plane)
+        .enumerate()
+        .for_each(|(b, out_img)| {
+            let cols = im2col(&in_data[b * plane..(b + 1) * plane], c, geom);
+            let res = matmul(&w_mat, &cols); // (oc, oh*ow)
+            for o in 0..oc {
+                let bo = bias.data()[o];
+                let src = &res.data()[o * oh * ow..(o + 1) * oh * ow];
+                let dst = &mut out_img[o * oh * ow..(o + 1) * oh * ow];
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d = s + bo;
+                }
+            }
+        });
+    Tensor::from_vec(&[n, oc, oh, ow], out)
+}
+
+/// Max pooling over `(n, c, h, w)`. Returns the pooled output together with
+/// the flat argmax index of each window (for the backward pass).
+pub fn maxpool2d(input: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<u32>) {
+    assert_eq!(input.rank(), 4);
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut arg = vec![0u32; n * c * oh * ow];
+    let mut idx = 0usize;
+    for b in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0u32;
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let iy = oy * stride + ky;
+                            let ix = ox * stride + kx;
+                            let v = input.at4(b, ch, iy, ix);
+                            if v > best {
+                                best = v;
+                                best_i = (((b * c + ch) * h + iy) * w + ix) as u32;
+                            }
+                        }
+                    }
+                    *out.at4_mut(b, ch, oy, ox) = best;
+                    arg[idx] = best_i;
+                    idx += 1;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Backward of max pooling: route each output gradient to its argmax source.
+pub fn maxpool2d_backward(grad_out: &Tensor, arg: &[u32], input_shape: &[usize]) -> Tensor {
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gi = grad_in.data_mut();
+    for (g, &i) in grad_out.data().iter().zip(arg.iter()) {
+        gi[i as usize] += g;
+    }
+    grad_in
+}
+
+/// Global average pooling `(n, c, h, w) -> (n, c)`.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    assert_eq!(input.rank(), 4);
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let hw = (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    for b in 0..n {
+        for ch in 0..c {
+            let mut acc = 0.0;
+            for y in 0..h {
+                for x in 0..w {
+                    acc += input.at4(b, ch, y, x);
+                }
+            }
+            out.data_mut()[b * c + ch] = acc / hw;
+        }
+    }
+    out
+}
+
+/// Element-wise ReLU.
+pub fn relu(x: &Tensor) -> Tensor {
+    let data = x.data().iter().map(|&v| v.max(0.0)).collect();
+    Tensor::from_vec(x.shape(), data)
+}
+
+/// Element-wise leaky ReLU with slope `alpha` on the negative side.
+pub fn leaky_relu(x: &Tensor, alpha: f32) -> Tensor {
+    let data = x
+        .data()
+        .iter()
+        .map(|&v| if v > 0.0 { v } else { alpha * v })
+        .collect();
+    Tensor::from_vec(x.shape(), data)
+}
+
+/// Element-wise logistic sigmoid.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    let data = x.data().iter().map(|&v| sigmoid_scalar(v)).collect();
+    Tensor::from_vec(x.shape(), data)
+}
+
+/// Scalar logistic sigmoid.
+#[inline]
+pub fn sigmoid_scalar(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Row-wise softmax of a rank-2 tensor.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 2);
+    let cols = x.shape()[1];
+    let mut out = Vec::with_capacity(x.len());
+    for row in x.data().chunks(cols) {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
+        let s: f32 = exps.iter().sum();
+        out.extend(exps.iter().map(|e| e / s));
+    }
+    Tensor::from_vec(x.shape(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-4
+    }
+
+    #[test]
+    fn matmul_2x2() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec(&[3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        // aT is 2x3
+        let c = matmul_tn(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        // aT*b row0 = [1,3,5]·cols of b
+        assert!(close(c.at2(0, 0), 1.0 * 1.0 + 3.0 * 0.0 + 5.0 * 1.0));
+        assert!(close(c.at2(1, 1), 2.0 * 0.0 + 4.0 * 1.0 + 6.0 * 1.0));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[2, 3], vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0]);
+        let c = matmul_nt(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert!(close(c.at2(0, 0), 1.0 + 2.0));
+        assert!(close(c.at2(0, 1), 2.0 + 3.0));
+    }
+
+    #[test]
+    fn conv_geom_output_dims() {
+        let g = ConvGeom {
+            in_h: 5,
+            in_w: 5,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert_eq!(g.out_h(), 5);
+        assert_eq!(g.out_w(), 5);
+        let g2 = ConvGeom {
+            in_h: 4,
+            in_w: 6,
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        };
+        assert_eq!(g2.out_h(), 2);
+        assert_eq!(g2.out_w(), 3);
+    }
+
+    #[test]
+    fn conv2d_matches_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let input = Tensor::from_vec(
+            &[2, 3, 6, 7],
+            (0..2 * 3 * 6 * 7).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
+        let weight = Tensor::from_vec(
+            &[4, 3, 3, 3],
+            (0..4 * 3 * 9).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
+        let bias = Tensor::from_vec(&[4], (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let geom = ConvGeom {
+            in_h: 6,
+            in_w: 7,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let fast = conv2d(&input, &weight, &bias, geom);
+        let slow = conv2d_naive(&input, &weight, &bias, geom);
+        assert_eq!(fast.shape(), slow.shape());
+        for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+            assert!(close(*a, *b), "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn conv2d_stride2_matches_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let input = Tensor::from_vec(
+            &[1, 2, 8, 8],
+            (0..2 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
+        let weight = Tensor::from_vec(
+            &[3, 2, 3, 3],
+            (0..3 * 2 * 9).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
+        let bias = Tensor::zeros(&[3]);
+        let geom = ConvGeom {
+            in_h: 8,
+            in_w: 8,
+            kernel: 3,
+            stride: 2,
+            pad: 0,
+        };
+        let fast = conv2d(&input, &weight, &bias, geom);
+        let slow = conv2d_naive(&input, &weight, &bias, geom);
+        for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+            assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_shape() {
+        // col2im(im2col(x)) multiplies each pixel by the number of windows
+        // covering it; with kernel=1 stride=1 it is the identity.
+        let geom = ConvGeom {
+            in_h: 3,
+            in_w: 3,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let input: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let cols = im2col(&input, 1, geom);
+        let back = col2im(&cols, 1, geom);
+        assert_eq!(back, input);
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let input = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let (out, arg) = maxpool2d(&input, 2, 2);
+        assert_eq!(out.data(), &[4.0, 8.0, 12.0, 16.0]);
+        let grad_out = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let grad_in = maxpool2d_backward(&grad_out, &arg, &[1, 1, 4, 4]);
+        // exactly one gradient per window, at the max location
+        assert_eq!(grad_in.sum(), 4.0);
+        assert_eq!(grad_in.at4(0, 0, 1, 1), 1.0);
+        assert_eq!(grad_in.at4(0, 0, 3, 3), 1.0);
+    }
+
+    #[test]
+    fn activations() {
+        let x = Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        assert_eq!(leaky_relu(&x, 0.1).data(), &[-0.1, 0.0, 2.0]);
+        let s = sigmoid(&x);
+        assert!(close(s.data()[1], 0.5));
+        assert!(s.data()[0] < 0.5 && s.data()[2] > 0.5);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&x);
+        for row in s.data().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!(close(sum, 1.0));
+        }
+        // monotone in input
+        assert!(s.at2(0, 2) > s.at2(0, 1));
+    }
+
+    #[test]
+    fn global_avg_pool_means() {
+        let input = Tensor::from_vec(&[1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let out = global_avg_pool(&input);
+        assert_eq!(out.data(), &[2.5, 10.0]);
+    }
+}

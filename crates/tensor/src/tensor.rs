@@ -1,0 +1,265 @@
+//! Dense `f32` tensors in row-major (C-contiguous) layout.
+//!
+//! The engine only needs rank-1/2/4 tensors (vectors, matrices, NCHW feature
+//! maps), but the storage is rank-generic: a shape vector plus a flat buffer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major `f32` tensor.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Create a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Create a tensor filled with a constant.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
+    }
+
+    /// Create a tensor from an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            n,
+            data.len(),
+            "shape {:?} implies {} elements, got {}",
+            shape,
+            n,
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Shape of the tensor.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Rank (number of dimensions).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Immutable view of the flat buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret the buffer under a new shape with the same element count.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element at a rank-2 index `(row, col)`.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Element at a rank-4 NCHW index.
+    #[inline]
+    pub fn at4(&self, n: usize, ch: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 4);
+        let (cs, hs, ws) = (self.shape[1], self.shape[2], self.shape[3]);
+        self.data[((n * cs + ch) * hs + h) * ws + w]
+    }
+
+    /// Mutable element at a rank-4 NCHW index.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, ch: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert_eq!(self.rank(), 4);
+        let (cs, hs, ws) = (self.shape[1], self.shape[2], self.shape[3]);
+        &mut self.data[((n * cs + ch) * hs + h) * ws + w]
+    }
+
+    /// In-place element-wise addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaling by a scalar.
+    pub fn scale(&mut self, k: f32) {
+        for a in self.data.iter_mut() {
+            *a *= k;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element along the last axis of a rank-2 tensor,
+    /// one result per row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2);
+        let cols = self.shape[1];
+        self.data
+            .chunks(cols)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Squared L2 norm of the tensor.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(f, ", data=[{} elems])", self.data.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_size_and_values() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.at2(0, 1), 2.0);
+        assert_eq!(t.at2(1, 0), 3.0);
+        assert_eq!(t.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn nchw_indexing() {
+        let mut t = Tensor::zeros(&[2, 3, 4, 5]);
+        *t.at4_mut(1, 2, 3, 4) = 7.5;
+        assert_eq!(t.at4(1, 2, 3, 4), 7.5);
+        // last element in the flat buffer
+        assert_eq!(t.data()[t.len() - 1], 7.5);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]).reshape(&[2, 2]);
+        assert_eq!(t.at2(1, 1), 4.0);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::full(&[3], 1.0);
+        let b = Tensor::full(&[3], 2.0);
+        a.add_assign(&b);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1.5, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(&[4], vec![1.0, -2.0, 3.0, 0.0]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.sq_norm(), 14.0);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max_per_row() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.2, 0.7, 0.3, 0.1]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+}

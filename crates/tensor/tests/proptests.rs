@@ -1,0 +1,182 @@
+//! Property-based tests for the tensor kernels: algebraic identities that
+//! must hold for arbitrary inputs.
+
+use ffsva_tensor::layers::{AvgPool2d, BatchNorm2d, Dropout, GlobalMaxPool, LayerKind, Sequential};
+use ffsva_tensor::ops::{self, ConvGeom};
+use ffsva_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A · I = A for any square matrix.
+    #[test]
+    fn matmul_identity(data in small_vec(36)) {
+        let a = Tensor::from_vec(&[6, 6], data);
+        let mut eye = Tensor::zeros(&[6, 6]);
+        for i in 0..6 {
+            eye.data_mut()[i * 6 + i] = 1.0;
+        }
+        let c = ops::matmul(&a, &eye);
+        for (x, y) in c.data().iter().zip(a.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// matmul distributes over addition: (A+B)·C = A·C + B·C.
+    #[test]
+    fn matmul_distributes(a in small_vec(12), b in small_vec(12), c in small_vec(12)) {
+        let ta = Tensor::from_vec(&[3, 4], a);
+        let tb = Tensor::from_vec(&[3, 4], b);
+        let tc = Tensor::from_vec(&[4, 3], c);
+        let mut sum = ta.clone();
+        sum.add_assign(&tb);
+        let lhs = ops::matmul(&sum, &tc);
+        let mut rhs = ops::matmul(&ta, &tc);
+        rhs.add_assign(&ops::matmul(&tb, &tc));
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-2, "{} vs {}", x, y);
+        }
+    }
+
+    /// Convolution is linear in the input (zero bias): conv(2x) = 2·conv(x).
+    #[test]
+    fn conv_is_linear(data in small_vec(64), w in small_vec(9)) {
+        let x = Tensor::from_vec(&[1, 1, 8, 8], data);
+        let mut x2 = x.clone();
+        x2.scale(2.0);
+        let weight = Tensor::from_vec(&[1, 1, 3, 3], w);
+        let bias = Tensor::zeros(&[1]);
+        let geom = ConvGeom { in_h: 8, in_w: 8, kernel: 3, stride: 1, pad: 1 };
+        let y1 = ops::conv2d(&x, &weight, &bias, geom);
+        let y2 = ops::conv2d(&x2, &weight, &bias, geom);
+        for (a, b) in y1.data().iter().zip(y2.data().iter()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-3);
+        }
+    }
+
+    /// im2col+GEMM convolution matches the naive reference on random input.
+    #[test]
+    fn conv_matches_naive(data in small_vec(2 * 49), w in small_vec(2 * 2 * 9), b in small_vec(2)) {
+        let x = Tensor::from_vec(&[1, 2, 7, 7], data);
+        let weight = Tensor::from_vec(&[2, 2, 3, 3], w);
+        let bias = Tensor::from_vec(&[2], b);
+        let geom = ConvGeom { in_h: 7, in_w: 7, kernel: 3, stride: 2, pad: 1 };
+        let fast = ops::conv2d(&x, &weight, &bias, geom);
+        let slow = ops::conv2d_naive(&x, &weight, &bias, geom);
+        for (a, c) in fast.data().iter().zip(slow.data().iter()) {
+            prop_assert!((a - c).abs() < 1e-3, "{} vs {}", a, c);
+        }
+    }
+
+    /// ReLU is idempotent and non-negative.
+    #[test]
+    fn relu_idempotent(data in small_vec(32)) {
+        let x = Tensor::from_vec(&[32], data);
+        let once = ops::relu(&x);
+        let twice = ops::relu(&once);
+        prop_assert_eq!(once.data(), twice.data());
+        prop_assert!(once.data().iter().all(|&v| v >= 0.0));
+    }
+
+    /// Softmax rows are probability distributions regardless of input.
+    #[test]
+    fn softmax_rows_are_distributions(data in small_vec(24)) {
+        let x = Tensor::from_vec(&[4, 6], data);
+        let s = ops::softmax_rows(&x);
+        for row in s.data().chunks(6) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    /// Max pooling output is bounded by the input extrema.
+    #[test]
+    fn maxpool_bounded(data in small_vec(36)) {
+        let x = Tensor::from_vec(&[1, 1, 6, 6], data);
+        let (y, _) = ops::maxpool2d(&x, 2, 2);
+        let max_in = x.max();
+        for &v in y.data() {
+            prop_assert!(v <= max_in + 1e-6);
+        }
+    }
+
+    /// Reshape round-trips preserve the buffer.
+    #[test]
+    fn reshape_roundtrip(data in small_vec(24)) {
+        let x = Tensor::from_vec(&[24], data.clone());
+        let y = x.reshape(&[2, 3, 4]).reshape(&[4, 6]).reshape(&[24]);
+        prop_assert_eq!(y.into_vec(), data);
+    }
+
+    /// AvgPool preserves the global mean for exact tilings.
+    #[test]
+    fn avgpool_preserves_mean(data in small_vec(64)) {
+        let x = Tensor::from_vec(&[1, 1, 8, 8], data);
+        let mut l = Sequential::new().push(LayerKind::AvgPool2d(AvgPool2d::new(2, 2)));
+        let y = l.forward(&x, false);
+        prop_assert!((y.mean() - x.mean()).abs() < 1e-4);
+    }
+
+    /// GlobalMaxPool output equals the per-channel maximum.
+    #[test]
+    fn global_maxpool_is_channel_max(data in small_vec(2 * 16)) {
+        let x = Tensor::from_vec(&[1, 2, 4, 4], data.clone());
+        let mut l = Sequential::new().push(LayerKind::GlobalMaxPool(GlobalMaxPool::new()));
+        let y = l.forward(&x, false);
+        for ch in 0..2 {
+            let m = data[ch * 16..(ch + 1) * 16]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!((y.data()[ch] - m).abs() < 1e-6);
+        }
+    }
+
+    /// Training-mode BatchNorm output always has ~zero mean per channel.
+    #[test]
+    fn batchnorm_zero_mean(data in small_vec(2 * 2 * 9)) {
+        let x = Tensor::from_vec(&[2, 2, 3, 3], data);
+        let mut l = Sequential::new().push(LayerKind::BatchNorm2d(BatchNorm2d::new(2)));
+        let y = l.forward(&x, true);
+        for ch in 0..2 {
+            let mut sum = 0.0f32;
+            for b in 0..2 {
+                for i in 0..9 {
+                    sum += y.data()[(b * 2 + ch) * 9 + i];
+                }
+            }
+            prop_assert!((sum / 18.0).abs() < 1e-3, "channel mean {}", sum / 18.0);
+        }
+    }
+
+    /// Dropout preserves the expectation within tolerance and never changes
+    /// the sign of surviving activations.
+    #[test]
+    fn dropout_preserves_expectation(p in 0.0f32..0.8) {
+        let x = Tensor::full(&[4000], 1.0);
+        let mut l = Sequential::new().push(LayerKind::Dropout(Dropout::new(p)));
+        let y = l.forward(&x, true);
+        prop_assert!((y.mean() - 1.0).abs() < 0.12, "mean {} at p {}", y.mean(), p);
+        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
+        // inference is identity
+        let z = l.forward(&x, false);
+        prop_assert_eq!(z.data(), x.data());
+    }
+
+    /// Sigmoid maps anything into (0, 1) monotonically.
+    #[test]
+    fn sigmoid_bounded_monotone(a in -20.0f32..20.0, b in -20.0f32..20.0) {
+        let sa = ops::sigmoid_scalar(a);
+        let sb = ops::sigmoid_scalar(b);
+        prop_assert!((0.0..=1.0).contains(&sa));
+        if a < b {
+            prop_assert!(sa <= sb);
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! The synthetic video stream generator: fixed-viewpoint background + scene
+//! arrival process + moving objects, producing labeled Gray8 frames.
+
+use crate::arrival::{ScenePhase, SceneProcess};
+use crate::frame::{Frame, StreamId};
+use crate::objects::MovingObject;
+use crate::scene::{Background, BackgroundKind};
+use crate::truth::{GroundTruth, ObjectClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a synthetic surveillance stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Display name ("jackson", "coral", …).
+    pub name: String,
+    /// Nominal (metadata) resolution, as reported in Table 1.
+    pub nominal_width: usize,
+    pub nominal_height: usize,
+    /// Rendering resolution of the generated pixels. Filters resize anyway
+    /// (SDD 100×100, SNM 50×50), so rendering below nominal preserves
+    /// behaviour while keeping generation cheap.
+    pub render_width: usize,
+    pub render_height: usize,
+    /// Frames per second.
+    pub fps: u32,
+    /// The user's target object class for this stream.
+    pub target: ObjectClass,
+    /// Desired long-run target-object ratio (Eq. 1).
+    pub tor: f64,
+    /// Optional TOR burst: `(start_frame, end_frame, tor)` overrides the
+    /// base TOR inside the window — a rush hour, a parade, an incident
+    /// (§5.5 "a sudden increase in TORs ... can lead to poor filtering
+    /// efficiency").
+    pub tor_spike: Option<(u64, u64, f64)>,
+    /// Mean scene duration in frames.
+    pub mean_scene_frames: f64,
+    /// Min/max target objects per scene.
+    pub objects_per_scene: (usize, usize),
+    /// Normalized object width range.
+    pub object_w: (f32, f32),
+    /// Normalized object height range.
+    pub object_h: (f32, f32),
+    /// Normalized object speed per frame.
+    pub object_speed: f32,
+    /// Ambient scene motion: blobs of luminance change that are *not*
+    /// objects (cloud shadows, foliage, fish, reflections). They raise the
+    /// SDD distance — real daytime scenes keep the SDD busy (Fig. 5: "SDD
+    /// filters out few frames due to frequent movement and scene changes in
+    /// the daytime") — but carry no ground-truth objects.
+    pub ambient_blobs: usize,
+    /// Ambient blob luminance offset range (gray levels).
+    pub ambient_intensity: (f32, f32),
+    /// Ambient blob size range (normalized).
+    pub ambient_size: (f32, f32),
+    /// Per-frame probability of a non-target (distractor) object entering.
+    pub distractor_rate: f64,
+    /// Distractor classes drawn uniformly when one spawns.
+    pub distractor_classes: Vec<ObjectClass>,
+    /// Background/illumination model.
+    pub background: BackgroundKind,
+    /// Sensor noise std-dev in gray levels.
+    pub noise_sigma: f32,
+    /// Produce interleaved Rgb8 frames instead of Gray8 (filters consume the
+    /// luminance plane either way; color mode is for downstream consumers
+    /// and end-to-end realism).
+    #[serde(default)]
+    pub color: bool,
+    /// RNG seed; streams with different seeds get different scenes.
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// Return a copy with a different TOR (used by the TOR sweeps).
+    pub fn with_tor(mut self, tor: f64) -> Self {
+        self.tor = tor;
+        self
+    }
+
+    /// Return a copy with a TOR burst in `[start, end)` frames.
+    pub fn with_tor_spike(mut self, start: u64, end: u64, tor: f64) -> Self {
+        self.tor_spike = Some((start, end, tor));
+        self
+    }
+
+    /// Return a copy with a different seed (used to build many streams).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated frame together with its ground truth.
+#[derive(Debug, Clone)]
+pub struct LabeledFrame {
+    pub frame: Frame,
+    pub truth: GroundTruth,
+}
+
+/// An infinite synthetic video stream.
+pub struct VideoStream {
+    pub id: StreamId,
+    pub cfg: StreamConfig,
+    background: Background,
+    process: SceneProcess,
+    targets: Vec<MovingObject>,
+    distractors: Vec<MovingObject>,
+    ambient: Vec<MovingObject>,
+    /// Number of target objects the current scene tries to keep on camera.
+    scene_size: usize,
+    /// Scene-start counter last seen from the arrival process.
+    seen_scenes: u64,
+    seq: u64,
+    rng: StdRng,
+}
+
+impl VideoStream {
+    pub fn new(id: StreamId, cfg: StreamConfig) -> Self {
+        let background = Background::new(
+            cfg.render_width,
+            cfg.render_height,
+            cfg.background,
+            cfg.seed ^ 0x5EED_BA5E,
+        );
+        let process = SceneProcess::new(cfg.tor, cfg.mean_scene_frames);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        VideoStream {
+            id,
+            cfg,
+            background,
+            process,
+            targets: Vec::new(),
+            distractors: Vec::new(),
+            ambient: Vec::new(),
+            scene_size: 0,
+            seen_scenes: 0,
+            seq: 0,
+            rng,
+        }
+    }
+
+    fn spawn_scene(&mut self) {
+        let (lo, hi) = self.cfg.objects_per_scene;
+        let k = if hi > lo {
+            self.rng.gen_range(lo..=hi)
+        } else {
+            lo
+        };
+        self.scene_size = k;
+        for i in 0..k {
+            let w = self.rng.gen_range(self.cfg.object_w.0..=self.cfg.object_w.1);
+            let h = self.rng.gen_range(self.cfg.object_h.0..=self.cfg.object_h.1);
+            // The first object of a scene always *enters* (partial
+            // appearance, §3.3); the rest are a mix.
+            let obj = if i == 0 || self.rng.gen_bool(0.4) {
+                MovingObject::spawn_entering(self.cfg.target, w, h, self.cfg.object_speed, &mut self.rng)
+            } else {
+                MovingObject::spawn_inside(self.cfg.target, w, h, self.cfg.object_speed, &mut self.rng)
+            };
+            self.targets.push(obj);
+        }
+    }
+
+    /// Produce the next frame.
+    pub fn next_frame(&mut self) -> LabeledFrame {
+        // Apply any scheduled TOR burst.
+        if let Some((start, end, spike_tor)) = self.cfg.tor_spike {
+            let target = if (start..end).contains(&self.seq) {
+                spike_tor
+            } else {
+                self.cfg.tor
+            };
+            self.process.set_target(target);
+        }
+        let (w, h) = (self.cfg.render_width, self.cfg.render_height);
+        let illum = self.background.illumination(self.seq, &mut self.rng);
+
+        // --- advance world state -------------------------------------------------
+        let phase = self.process.phase();
+        match phase {
+            ScenePhase::Active => {
+                // Keep the scene populated at its drawn size: objects that
+                // wander off camera are replaced by new ones entering.
+                while self.targets.len() < self.scene_size {
+                    let wo = self.rng.gen_range(self.cfg.object_w.0..=self.cfg.object_w.1);
+                    let ho = self.rng.gen_range(self.cfg.object_h.0..=self.cfg.object_h.1);
+                    self.targets.push(MovingObject::spawn_entering(
+                        self.cfg.target,
+                        wo,
+                        ho,
+                        self.cfg.object_speed,
+                        &mut self.rng,
+                    ));
+                }
+            }
+            ScenePhase::Draining => {
+                for o in &mut self.targets {
+                    o.head_out();
+                    // drain faster than normal travel
+                    o.vx *= 1.2;
+                }
+            }
+            ScenePhase::Idle => {}
+        }
+
+        for o in &mut self.targets {
+            o.step();
+        }
+        self.targets.retain(|o| !o.is_gone());
+
+        // Ambient motion blobs: keep the configured population wandering.
+        while self.ambient.len() < self.cfg.ambient_blobs {
+            let aw = self
+                .rng
+                .gen_range(self.cfg.ambient_size.0..=self.cfg.ambient_size.1);
+            let ah = self
+                .rng
+                .gen_range(self.cfg.ambient_size.0..=self.cfg.ambient_size.1);
+            let mut blob = MovingObject::spawn_inside(
+                crate::truth::ObjectClass::Cat, // shape only; never labeled
+                aw,
+                ah,
+                self.cfg.object_speed * 0.5,
+                &mut self.rng,
+            );
+            let mag = self
+                .rng
+                .gen_range(self.cfg.ambient_intensity.0..=self.cfg.ambient_intensity.1);
+            blob.intensity = if self.rng.gen_bool(0.5) { mag } else { -mag };
+            self.ambient.push(blob);
+        }
+        for b in &mut self.ambient {
+            b.step();
+        }
+        self.ambient.retain(|b| !b.is_gone());
+
+        // Distractors (non-target classes) wander through at a low rate.
+        if !self.cfg.distractor_classes.is_empty()
+            && self.distractors.len() < 2
+            && self.rng.gen_bool(self.cfg.distractor_rate)
+        {
+            let ci = self.rng.gen_range(0..self.cfg.distractor_classes.len());
+            let class = self.cfg.distractor_classes[ci];
+            let dw = self.rng.gen_range(0.03..0.08);
+            let dh = self.rng.gen_range(0.06..0.14);
+            self.distractors.push(MovingObject::spawn_entering(
+                class,
+                dw,
+                dh,
+                self.cfg.object_speed * 0.7,
+                &mut self.rng,
+            ));
+        }
+        for o in &mut self.distractors {
+            // distractors pass through: head for the exit after a while
+            if o.age == 150 {
+                o.head_out();
+            }
+            o.step();
+        }
+        self.distractors.retain(|o| !(o.age > 5 && o.is_gone()));
+
+        // --- render --------------------------------------------------------------
+        // Daylight white balance for the color path (warm highlights).
+        const BG_GAIN: [f32; 3] = [1.03, 1.00, 0.94];
+        let mut buf = vec![0u8; w * h];
+        let mut planes: Option<[Vec<u8>; 3]> = None;
+        self.background
+            .render_into(&mut buf, illum, self.cfg.noise_sigma, &mut self.rng);
+        if self.cfg.color {
+            let mut ps: [Vec<u8>; 3] = [vec![0; w * h], vec![0; w * h], vec![0; w * h]];
+            for (gain, plane) in BG_GAIN.iter().zip(ps.iter_mut()) {
+                self.background.render_into(
+                    plane,
+                    illum * gain,
+                    self.cfg.noise_sigma,
+                    &mut self.rng,
+                );
+            }
+            planes = Some(ps);
+        }
+        for b in &self.ambient {
+            b.render_into(&mut buf, w, h, illum.max(0.4));
+            if let Some(ps) = planes.as_mut() {
+                for plane in ps.iter_mut() {
+                    b.render_into(plane, w, h, illum.max(0.4));
+                }
+            }
+        }
+        for o in self.distractors.iter().chain(self.targets.iter()) {
+            o.render_into(&mut buf, w, h, illum.max(0.4));
+            if let Some(ps) = planes.as_mut() {
+                let tint = MovingObject::class_tint(o.class);
+                for (gain, plane) in tint.iter().zip(ps.iter_mut()) {
+                    o.render_into_gain(plane, w, h, illum.max(0.4), *gain);
+                }
+            }
+        }
+
+        let truth = GroundTruth {
+            objects: self
+                .targets
+                .iter()
+                .chain(self.distractors.iter())
+                .map(|o| o.to_gt())
+                .collect(),
+        };
+        let target_visible = truth.has(self.cfg.target);
+
+        let pts = self.seq * 1000 / self.cfg.fps.max(1) as u64;
+        let frame = match planes {
+            Some(ps) => {
+                let mut rgb = Vec::with_capacity(w * h * 3);
+                for ((r, g), b) in ps[0].iter().zip(ps[1].iter()).zip(ps[2].iter()) {
+                    rgb.push(*r);
+                    rgb.push(*g);
+                    rgb.push(*b);
+                }
+                Frame::rgb8(self.id, self.seq, pts, w, h, rgb)
+            }
+            None => Frame::gray8(self.id, self.seq, pts, w, h, buf),
+        };
+        self.seq += 1;
+
+        // --- drive the arrival process -------------------------------------------
+        let next_phase = self.process.step(target_visible, &mut self.rng);
+        if self.process.scenes_started() != self.seen_scenes {
+            self.seen_scenes = self.process.scenes_started();
+            if next_phase == ScenePhase::Active {
+                // New scene: redraw the crowd size; spawn a fresh batch only
+                // when the stage is empty (in-place renewals at TOR 1.0 keep
+                // the current objects and let the population drift to the
+                // new size via respawns and departures).
+                if self.targets.is_empty() {
+                    self.spawn_scene();
+                } else {
+                    let (lo, hi) = self.cfg.objects_per_scene;
+                    self.scene_size = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo };
+                }
+            }
+        }
+
+        LabeledFrame { frame, truth }
+    }
+
+    /// Generate `n` consecutive labeled frames.
+    pub fn clip(&mut self, n: usize) -> Vec<LabeledFrame> {
+        (0..n).map(|_| self.next_frame()).collect()
+    }
+}
+
+impl Iterator for VideoStream {
+    type Item = LabeledFrame;
+    fn next(&mut self) -> Option<LabeledFrame> {
+        Some(self.next_frame())
+    }
+}
+
+/// Measured TOR of a clip for a target class (Eq. 1).
+pub fn measured_tor(clip: &[LabeledFrame], target: ObjectClass) -> f64 {
+    if clip.is_empty() {
+        return 0.0;
+    }
+    let hits = clip.iter().filter(|lf| lf.truth.has(target)).count();
+    hits as f64 / clip.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn stream_produces_sequential_frames() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.3, 1);
+        let mut s = VideoStream::new(7, cfg);
+        let clip = s.clip(10);
+        assert_eq!(clip.len(), 10);
+        for (i, lf) in clip.iter().enumerate() {
+            assert_eq!(lf.frame.seq, i as u64);
+            assert_eq!(lf.frame.stream, 7);
+        }
+    }
+
+    #[test]
+    fn measured_tor_tracks_config() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.25, 3);
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(6000);
+        let tor = measured_tor(&clip, ObjectClass::Car);
+        assert!((tor - 0.25).abs() < 0.07, "measured TOR {}", tor);
+    }
+
+    #[test]
+    fn zero_tor_stream_has_no_targets() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.0, 5);
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(500);
+        assert_eq!(measured_tor(&clip, ObjectClass::Car), 0.0);
+    }
+
+    #[test]
+    fn full_tor_stream_is_mostly_target() {
+        let cfg = workloads::test_tiny(ObjectClass::Person, 1.0, 5);
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(1000);
+        let tor = measured_tor(&clip, ObjectClass::Person);
+        assert!(tor > 0.95, "measured TOR {}", tor);
+    }
+
+    #[test]
+    fn scenes_begin_with_partial_appearance() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.3, 11);
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(4000);
+        // find scene starts: frame t has target, frame t-1 does not
+        let mut partial_starts = 0usize;
+        let mut starts = 0usize;
+        for t in 1..clip.len() {
+            if clip[t].truth.has(ObjectClass::Car) && !clip[t - 1].truth.has(ObjectClass::Car) {
+                starts += 1;
+                let complete = clip[t].truth.count_complete(ObjectClass::Car);
+                let visible = clip[t].truth.count(ObjectClass::Car);
+                if visible > complete {
+                    partial_starts += 1;
+                }
+            }
+        }
+        assert!(starts > 3, "need several scenes, got {}", starts);
+        assert!(
+            partial_starts * 2 >= starts,
+            "most scene starts should be partial: {}/{}",
+            partial_starts,
+            starts
+        );
+    }
+
+    #[test]
+    fn frames_differ_between_scene_and_background() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.5, 2);
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(2000);
+        let bg_frame = clip.iter().find(|lf| !lf.truth.has(ObjectClass::Car));
+        let tg_frame = clip.iter().find(|lf| {
+            lf.truth.count_complete(ObjectClass::Car) > 0
+        });
+        let (bg, tg) = (bg_frame.expect("bg frame"), tg_frame.expect("target frame"));
+        // mean absolute difference should be clearly larger than noise
+        let mad: f64 = bg
+            .frame
+            .pixels()
+            .iter()
+            .zip(tg.frame.pixels().iter())
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .sum::<f64>()
+            / bg.frame.num_pixels() as f64;
+        assert!(mad > 1.0, "mad {}", mad);
+    }
+
+    #[test]
+    fn tor_spike_raises_target_density_in_window() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.1, 77).with_tor_spike(1000, 2000, 0.9);
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(3000);
+        let tor_of = |lo: usize, hi: usize| measured_tor(&clip[lo..hi], ObjectClass::Car);
+        let before = tor_of(0, 1000);
+        let during = tor_of(1050, 2000); // skip the ramp-in
+        let after = tor_of(2100, 3000);
+        assert!(during > 0.6, "during {}", during);
+        assert!(before < 0.3, "before {}", before);
+        assert!(after < 0.4, "after {}", after);
+    }
+
+    #[test]
+    fn color_mode_produces_rgb_with_consistent_truth() {
+        use crate::frame::PixelFormat;
+        let mut cfg = workloads::test_tiny(ObjectClass::Car, 0.5, 7);
+        cfg.color = true;
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(400);
+        assert!(clip.iter().all(|lf| lf.frame.format == PixelFormat::Rgb8));
+        assert!(clip
+            .iter()
+            .all(|lf| lf.frame.pixels().len() == lf.frame.num_pixels() * 3));
+        // luma of a target frame still differs clearly from a background frame
+        let bg = clip.iter().find(|lf| lf.truth.objects.is_empty()).expect("bg");
+        let tg = clip
+            .iter()
+            .find(|lf| lf.truth.count_complete(ObjectClass::Car) > 0)
+            .expect("target");
+        let mad: f64 = bg
+            .frame
+            .luma()
+            .iter()
+            .zip(tg.frame.luma().iter())
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .sum::<f64>()
+            / bg.frame.num_pixels() as f64;
+        assert!(mad > 1.0, "mad {}", mad);
+        // and a car frame actually carries chroma (channels differ)
+        let mut chroma = 0u64;
+        for y in 0..tg.frame.height {
+            for x in 0..tg.frame.width {
+                let (r, g, b) = tg.frame.at_rgb(x, y);
+                chroma += (r as i32 - b as i32).unsigned_abs() as u64;
+                let _ = g;
+            }
+        }
+        assert!(chroma > 0, "color frames must not be gray");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.3, 99);
+        let a: Vec<_> = VideoStream::new(0, cfg.clone()).clip(50);
+        let b: Vec<_> = VideoStream::new(0, cfg).clip(50);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.frame.pixels(), y.frame.pixels());
+            assert_eq!(x.truth.objects.len(), y.truth.objects.len());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! `ffsva-video` — synthetic surveillance-video workload substrate.
+//!
+//! The paper evaluates on two day-long webcam recordings (Jackson Hole town
+//! square, a coral-reef aquarium). Those recordings are not redistributable,
+//! so this crate provides the substitute documented in DESIGN.md §2: a
+//! fixed-viewpoint scene generator with
+//!
+//! * procedural backgrounds with static or day/night illumination,
+//! * a bursty scene arrival process whose long-run target-object ratio
+//!   (TOR, Eq. 1 of the paper) converges to any requested value,
+//! * moving target objects (large sparse vehicles, small dense persons) that
+//!   enter and leave the frame — producing the *partial appearance* frames
+//!   central to the paper's accuracy analysis (§3.3),
+//! * exact per-frame ground truth.
+//!
+//! ```
+//! use ffsva_video::prelude::*;
+//!
+//! let mut stream = VideoStream::new(0, workloads::jackson());
+//! let clip = stream.clip(300);
+//! assert_eq!(clip.len(), 300);
+//! let tor = measured_tor(&clip, ObjectClass::Car);
+//! assert!(tor <= 1.0);
+//! ```
+
+pub mod arrival;
+pub mod frame;
+pub mod generator;
+pub mod objects;
+pub mod resize;
+pub mod scene;
+pub mod storage;
+pub mod truth;
+pub mod workloads;
+
+pub use arrival::{ScenePhase, SceneProcess};
+pub use frame::{write_pgm, Frame, PixelFormat, StreamId};
+pub use generator::{measured_tor, LabeledFrame, StreamConfig, VideoStream};
+pub use scene::{Background, BackgroundKind};
+pub use storage::{read_clip, write_clip, ClipHeader, ClipReader, ClipWriter};
+pub use truth::{GroundTruth, GtObject, ObjectClass};
+
+/// Common imports for generating workloads.
+pub mod prelude {
+    pub use crate::frame::{Frame, StreamId};
+    pub use crate::generator::{measured_tor, LabeledFrame, StreamConfig, VideoStream};
+    pub use crate::truth::{GroundTruth, GtObject, ObjectClass};
+    pub use crate::workloads;
+}

@@ -1,0 +1,186 @@
+//! Background and illumination models for a fixed-viewpoint camera.
+//!
+//! §3.2.1: the SDD threshold must absorb weather/illumination effects;
+//! a static background needs a small δ_diff while a dynamic one (changing
+//! light color and intensity) needs a larger one. Both regimes are modeled.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the scene illumination evolves over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BackgroundKind {
+    /// Constant illumination, only sensor noise.
+    Static,
+    /// Slow sinusoidal day/night cycle plus a bounded random-walk drift
+    /// (clouds, auto-exposure hunting).
+    Dynamic {
+        /// Length of one day/night cycle in frames.
+        period_frames: u64,
+        /// Peak-to-peak amplitude of the cycle as a luminance factor (0..1).
+        amplitude: f32,
+        /// Per-frame std-dev of the drift random walk.
+        drift_sigma: f32,
+    },
+}
+
+/// A fixed-viewpoint background: a procedural base texture plus an
+/// illumination process.
+#[derive(Debug, Clone)]
+pub struct Background {
+    pub width: usize,
+    pub height: usize,
+    pub kind: BackgroundKind,
+    base: Vec<u8>,
+    drift: f32,
+}
+
+/// Deterministic per-pixel hash used for the base texture (splitmix-style).
+fn pixel_hash(seed: u64, x: u64, y: u64) -> u64 {
+    let mut z = seed ^ (x.wrapping_mul(0x9E3779B97F4A7C15)) ^ (y.wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Background {
+    /// Build a background texture: a vertical luminance gradient (sky → road)
+    /// overlaid with block texture (buildings, lane markings) from a seeded
+    /// hash, so each stream gets its own stable scene.
+    pub fn new(width: usize, height: usize, kind: BackgroundKind, seed: u64) -> Self {
+        let mut base = vec![0u8; width * height];
+        let block = (width.max(height) / 12).max(2);
+        for y in 0..height {
+            let grad = 90.0 + 70.0 * (y as f32 / height.max(1) as f32);
+            for x in 0..width {
+                let h = pixel_hash(seed, (x / block) as u64, (y / block) as u64);
+                let tex = ((h & 0x3F) as f32) - 32.0; // block texture in [-32, 31]
+                let fine = ((pixel_hash(seed ^ 0xABCD, x as u64, y as u64) & 0x7) as f32) - 3.5;
+                base[y * width + x] = (grad + tex * 0.6 + fine).clamp(16.0, 235.0) as u8;
+            }
+        }
+        Background {
+            width,
+            height,
+            kind,
+            base,
+            drift: 0.0,
+        }
+    }
+
+    /// Illumination factor at a frame index, advancing internal drift state.
+    pub fn illumination(&mut self, frame_idx: u64, rng: &mut impl Rng) -> f32 {
+        match self.kind {
+            BackgroundKind::Static => 1.0,
+            BackgroundKind::Dynamic {
+                period_frames,
+                amplitude,
+                drift_sigma,
+            } => {
+                let phase =
+                    (frame_idx as f32 / period_frames.max(1) as f32) * std::f32::consts::TAU;
+                let cycle = 1.0 - amplitude * 0.5 * (1.0 - phase.cos()) * 0.5;
+                // bounded random walk
+                self.drift += rng.gen_range(-1.0f32..1.0) * drift_sigma;
+                self.drift = self.drift.clamp(-0.15, 0.15);
+                (cycle + self.drift).clamp(0.3, 1.3)
+            }
+        }
+    }
+
+    /// Render the background into `buf` with an illumination factor and
+    /// sensor noise of std-dev `noise_sigma` gray levels.
+    pub fn render_into(
+        &self,
+        buf: &mut [u8],
+        illum: f32,
+        noise_sigma: f32,
+        rng: &mut impl Rng,
+    ) {
+        assert_eq!(buf.len(), self.base.len(), "background buffer size");
+        if noise_sigma <= 0.0 {
+            for (d, &b) in buf.iter_mut().zip(self.base.iter()) {
+                *d = ((b as f32) * illum).clamp(0.0, 255.0) as u8;
+            }
+        } else {
+            for (d, &b) in buf.iter_mut().zip(self.base.iter()) {
+                // cheap approximately-normal noise: sum of two uniforms
+                let n = (rng.gen_range(-1.0f32..1.0) + rng.gen_range(-1.0f32..1.0)) * noise_sigma;
+                *d = ((b as f32) * illum + n).clamp(0.0, 255.0) as u8;
+            }
+        }
+    }
+
+    /// The clean (noise-free, unit-illumination) base texture.
+    pub fn base(&self) -> &[u8] {
+        &self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn background_is_deterministic_per_seed() {
+        let a = Background::new(32, 24, BackgroundKind::Static, 7);
+        let b = Background::new(32, 24, BackgroundKind::Static, 7);
+        let c = Background::new(32, 24, BackgroundKind::Static, 8);
+        assert_eq!(a.base(), b.base());
+        assert_ne!(a.base(), c.base());
+    }
+
+    #[test]
+    fn static_illumination_is_unity() {
+        let mut bg = Background::new(8, 8, BackgroundKind::Static, 1);
+        let mut r = rng();
+        for i in 0..10 {
+            assert_eq!(bg.illumination(i, &mut r), 1.0);
+        }
+    }
+
+    #[test]
+    fn dynamic_illumination_cycles_down_mid_period() {
+        let kind = BackgroundKind::Dynamic {
+            period_frames: 100,
+            amplitude: 0.8,
+            drift_sigma: 0.0,
+        };
+        let mut bg = Background::new(8, 8, kind, 1);
+        let mut r = rng();
+        let day = bg.illumination(0, &mut r);
+        let night = bg.illumination(50, &mut r);
+        assert!(night < day, "night {} vs day {}", night, day);
+    }
+
+    #[test]
+    fn render_noise_free_is_pure_base_times_illum() {
+        let bg = Background::new(16, 16, BackgroundKind::Static, 3);
+        let mut buf = vec![0u8; 256];
+        let mut r = rng();
+        bg.render_into(&mut buf, 1.0, 0.0, &mut r);
+        assert_eq!(&buf[..], bg.base());
+        bg.render_into(&mut buf, 0.5, 0.0, &mut r);
+        assert!(buf
+            .iter()
+            .zip(bg.base().iter())
+            .all(|(&o, &b)| (o as i32 - (b as f32 * 0.5) as i32).abs() <= 1));
+    }
+
+    #[test]
+    fn render_noise_changes_pixels_but_keeps_mean() {
+        let bg = Background::new(32, 32, BackgroundKind::Static, 3);
+        let mut buf = vec![0u8; 1024];
+        let mut r = rng();
+        bg.render_into(&mut buf, 1.0, 4.0, &mut r);
+        let mean_base: f32 = bg.base().iter().map(|&p| p as f32).sum::<f32>() / 1024.0;
+        let mean_out: f32 = buf.iter().map(|&p| p as f32).sum::<f32>() / 1024.0;
+        assert!((mean_base - mean_out).abs() < 3.0);
+        assert_ne!(&buf[..], bg.base());
+    }
+}

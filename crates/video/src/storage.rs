@@ -1,0 +1,343 @@
+//! On-disk clip storage with streaming readers.
+//!
+//! §5.2: offline analysis processes a 55 GB day-long file with under 8 GB of
+//! CPU memory, and §5.5 proposes temporarily spilling burst frames "in the
+//! storage system, to be processed later". Both need a frame container that
+//! can be written incrementally and read back as a stream with O(1) memory.
+//!
+//! Format (`FFSV1`): a JSON header line with the stream geometry, then one
+//! record per frame — sequence number, timestamp, ground-truth JSON, and
+//! RLE-compressed Gray8 pixels (how well RLE does depends on sensor noise;
+//! the reader never needs more than one frame in memory either way).
+
+use crate::frame::{Frame, PixelFormat};
+use crate::generator::LabeledFrame;
+use crate::truth::GroundTruth;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 6] = b"FFSV1\n";
+
+/// Clip-level metadata stored in the header.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ClipHeader {
+    pub width: usize,
+    pub height: usize,
+    pub fps: u32,
+    pub stream: u32,
+    /// Pixel layout of the stored frames (defaults to Gray8 for files
+    /// written by earlier versions).
+    #[serde(default)]
+    pub format: PixelFormat,
+}
+
+/// Run-length encode a Gray8 buffer as (count, value) pairs.
+fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2);
+    let mut i = 0;
+    while i < data.len() {
+        let v = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == v && run < 255 {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(v);
+        i += run;
+    }
+    out
+}
+
+/// Decode RLE back into a buffer of `expect` bytes.
+fn rle_decode(encoded: &[u8], expect: usize) -> io::Result<Vec<u8>> {
+    if !encoded.len().is_multiple_of(2) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "odd RLE length"));
+    }
+    let mut out = Vec::with_capacity(expect);
+    for pair in encoded.chunks(2) {
+        let (run, v) = (pair[0] as usize, pair[1]);
+        if run == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "zero-length run"));
+        }
+        out.resize(out.len() + run, v);
+    }
+    if out.len() != expect {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("RLE decoded {} bytes, expected {}", out.len(), expect),
+        ));
+    }
+    Ok(out)
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Incremental clip writer.
+pub struct ClipWriter {
+    out: BufWriter<File>,
+    header: ClipHeader,
+    frames: u64,
+}
+
+impl ClipWriter {
+    /// Create a clip file and write its header.
+    pub fn create(path: &Path, header: ClipHeader) -> io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(MAGIC)?;
+        let hjson = serde_json::to_string(&header).expect("serializable header");
+        write_u32(&mut out, hjson.len() as u32)?;
+        out.write_all(hjson.as_bytes())?;
+        Ok(ClipWriter {
+            out,
+            header,
+            frames: 0,
+        })
+    }
+
+    /// Append one labeled frame.
+    ///
+    /// # Panics
+    /// Panics if the frame geometry does not match the header.
+    pub fn write(&mut self, lf: &LabeledFrame) -> io::Result<()> {
+        assert_eq!(lf.frame.width, self.header.width, "frame width");
+        assert_eq!(lf.frame.height, self.header.height, "frame height");
+        assert_eq!(lf.frame.format, self.header.format, "pixel format");
+        write_u64(&mut self.out, lf.frame.seq)?;
+        write_u64(&mut self.out, lf.frame.pts_ms)?;
+        let truth = serde_json::to_vec(&lf.truth).expect("serializable truth");
+        write_u32(&mut self.out, truth.len() as u32)?;
+        self.out.write_all(&truth)?;
+        let rle = rle_encode(lf.frame.pixels());
+        write_u32(&mut self.out, rle.len() as u32)?;
+        self.out.write_all(&rle)?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Flush and close; returns the number of frames written.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.out.flush()?;
+        Ok(self.frames)
+    }
+}
+
+/// Streaming clip reader: an iterator holding one frame at a time.
+pub struct ClipReader {
+    input: BufReader<File>,
+    pub header: ClipHeader,
+}
+
+impl ClipReader {
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 6];
+        input.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an FFSV1 clip"));
+        }
+        let hlen = read_u32(&mut input)? as usize;
+        if hlen > 1 << 20 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "header too large"));
+        }
+        let mut hjson = vec![0u8; hlen];
+        input.read_exact(&mut hjson)?;
+        let header: ClipHeader = serde_json::from_slice(&hjson)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(ClipReader { input, header })
+    }
+
+    fn read_frame(&mut self) -> io::Result<Option<LabeledFrame>> {
+        let seq = match read_u64(&mut self.input) {
+            Ok(v) => v,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let pts_ms = read_u64(&mut self.input)?;
+        let tlen = read_u32(&mut self.input)? as usize;
+        let mut tjson = vec![0u8; tlen];
+        self.input.read_exact(&mut tjson)?;
+        let truth: GroundTruth = serde_json::from_slice(&tjson)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rlen = read_u32(&mut self.input)? as usize;
+        let mut rle = vec![0u8; rlen];
+        self.input.read_exact(&mut rle)?;
+        let expect =
+            self.header.width * self.header.height * self.header.format.bytes_per_pixel();
+        let pixels = rle_decode(&rle, expect)?;
+        let frame = match self.header.format {
+            PixelFormat::Gray8 => Frame::gray8(
+                self.header.stream,
+                seq,
+                pts_ms,
+                self.header.width,
+                self.header.height,
+                pixels,
+            ),
+            PixelFormat::Rgb8 => Frame::rgb8(
+                self.header.stream,
+                seq,
+                pts_ms,
+                self.header.width,
+                self.header.height,
+                pixels,
+            ),
+        };
+        Ok(Some(LabeledFrame { frame, truth }))
+    }
+}
+
+impl Iterator for ClipReader {
+    type Item = io::Result<LabeledFrame>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_frame().transpose()
+    }
+}
+
+/// Convenience: write a whole clip.
+pub fn write_clip(path: &Path, clip: &[LabeledFrame], fps: u32) -> io::Result<u64> {
+    let first = clip.first().expect("non-empty clip");
+    let mut w = ClipWriter::create(
+        path,
+        ClipHeader {
+            width: first.frame.width,
+            height: first.frame.height,
+            fps,
+            stream: first.frame.stream,
+            format: first.frame.format,
+        },
+    )?;
+    for lf in clip {
+        w.write(lf)?;
+    }
+    w.finish()
+}
+
+/// Convenience: read a whole clip into memory.
+pub fn read_clip(path: &Path) -> io::Result<Vec<LabeledFrame>> {
+    ClipReader::open(path)?.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::VideoStream;
+    use crate::truth::ObjectClass;
+    use crate::workloads;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ffsva_storage_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn rle_roundtrip_structured() {
+        let data = vec![5u8; 1000];
+        let enc = rle_encode(&data);
+        assert!(enc.len() < 20);
+        assert_eq!(rle_decode(&enc, 1000).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_roundtrip_alternating_worst_case() {
+        let data: Vec<u8> = (0..501).map(|i| (i % 2) as u8).collect();
+        let enc = rle_encode(&data);
+        assert_eq!(rle_decode(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_rejects_corrupt_streams() {
+        assert!(rle_decode(&[1], 1).is_err()); // odd length
+        assert!(rle_decode(&[0, 7], 0).is_err()); // zero run
+        assert!(rle_decode(&[2, 7], 5).is_err()); // wrong total
+    }
+
+    #[test]
+    fn clip_roundtrip_preserves_everything() {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.5, 17);
+        let mut s = VideoStream::new(9, cfg);
+        let clip = s.clip(40);
+        let path = tmp("roundtrip.ffsv");
+        let n = write_clip(&path, &clip, 30).unwrap();
+        assert_eq!(n, 40);
+        let back = read_clip(&path).unwrap();
+        assert_eq!(back.len(), clip.len());
+        for (a, b) in clip.iter().zip(back.iter()) {
+            assert_eq!(a.frame.seq, b.frame.seq);
+            assert_eq!(a.frame.pts_ms, b.frame.pts_ms);
+            assert_eq!(a.frame.stream, b.frame.stream);
+            assert_eq!(a.frame.pixels(), b.frame.pixels());
+            assert_eq!(a.truth.objects.len(), b.truth.objects.len());
+            for (x, y) in a.truth.objects.iter().zip(b.truth.objects.iter()) {
+                assert_eq!(x.class, y.class);
+                assert!((x.cx - y.cx).abs() < 1e-6);
+            }
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reader_is_streaming_not_loading() {
+        // The iterator yields frames one at a time; consuming only a prefix
+        // must work (no count in the header to depend on).
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.2, 18);
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(30);
+        let path = tmp("stream.ffsv");
+        write_clip(&path, &clip, 30).unwrap();
+        let mut reader = ClipReader::open(&path).unwrap();
+        assert_eq!(reader.header.fps, 30);
+        let first = reader.next().unwrap().unwrap();
+        assert_eq!(first.frame.seq, 0);
+        let second = reader.next().unwrap().unwrap();
+        assert_eq!(second.frame.seq, 1);
+        drop(reader);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn color_clip_roundtrips() {
+        let mut cfg = workloads::test_tiny(ObjectClass::Car, 0.5, 19);
+        cfg.color = true;
+        let mut s = VideoStream::new(2, cfg);
+        let clip = s.clip(12);
+        assert_eq!(clip[0].frame.format, crate::frame::PixelFormat::Rgb8);
+        let path = tmp("color.ffsv");
+        write_clip(&path, &clip, 30).unwrap();
+        let back = read_clip(&path).unwrap();
+        assert_eq!(back.len(), 12);
+        for (a, b) in clip.iter().zip(back.iter()) {
+            assert_eq!(a.frame.format, b.frame.format);
+            assert_eq!(a.frame.pixels(), b.frame.pixels());
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmp("garbage.ffsv");
+        std::fs::write(&path, b"not a clip at all").unwrap();
+        assert!(ClipReader::open(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

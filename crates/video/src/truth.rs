@@ -1,0 +1,192 @@
+//! Ground-truth labels attached to generated frames.
+//!
+//! The paper labels frames with YOLOv2 and treats those labels as truth
+//! (§4.1, §5.3). Our generator knows the truth exactly, so the reference
+//! oracle and accuracy accounting are built on these records.
+
+use serde::{Deserialize, Serialize};
+
+/// Object classes that can appear in a scene. Matches the classes discussed
+/// in the paper's workloads (Jackson: car/bus/truck; Coral: person) plus the
+/// incidental classes T-YOLO's 20-class VOC head can see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectClass {
+    Car,
+    Bus,
+    Truck,
+    Person,
+    Dog,
+    Cat,
+    Bicycle,
+}
+
+impl ObjectClass {
+    /// All classes, in a fixed order (used as class ids by detectors).
+    pub const ALL: [ObjectClass; 7] = [
+        ObjectClass::Car,
+        ObjectClass::Bus,
+        ObjectClass::Truck,
+        ObjectClass::Person,
+        ObjectClass::Dog,
+        ObjectClass::Cat,
+        ObjectClass::Bicycle,
+    ];
+
+    /// Stable numeric id of the class.
+    pub fn id(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("class in ALL")
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObjectClass::Car => "car",
+            ObjectClass::Bus => "bus",
+            ObjectClass::Truck => "truck",
+            ObjectClass::Person => "person",
+            ObjectClass::Dog => "dog",
+            ObjectClass::Cat => "cat",
+            ObjectClass::Bicycle => "bicycle",
+        }
+    }
+}
+
+/// One labeled object in a frame. Coordinates are normalized to `[0, 1]`
+/// relative to the frame; the box may extend beyond the frame edge, in which
+/// case `visible_frac < 1` (a *partial appearance*, §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GtObject {
+    pub class: ObjectClass,
+    /// Box center x (may be outside `[0,1]` while entering/leaving).
+    pub cx: f32,
+    /// Box center y.
+    pub cy: f32,
+    /// Box width.
+    pub w: f32,
+    /// Box height.
+    pub h: f32,
+    /// Fraction of the box area inside the frame, in `[0, 1]`.
+    pub visible_frac: f32,
+}
+
+impl GtObject {
+    /// True if any part of the object is inside the frame.
+    pub fn is_visible(&self) -> bool {
+        self.visible_frac > 0.0
+    }
+
+    /// True if the object is (almost) fully inside the frame.
+    pub fn is_complete(&self) -> bool {
+        self.visible_frac >= 0.95
+    }
+
+    /// Compute the visible fraction of a normalized box.
+    pub fn compute_visible_frac(cx: f32, cy: f32, w: f32, h: f32) -> f32 {
+        let x0 = (cx - w / 2.0).max(0.0);
+        let x1 = (cx + w / 2.0).min(1.0);
+        let y0 = (cy - h / 2.0).max(0.0);
+        let y1 = (cy + h / 2.0).min(1.0);
+        if x1 <= x0 || y1 <= y0 || w <= 0.0 || h <= 0.0 {
+            0.0
+        } else {
+            // clamp: floating-point rounding can push a fully-inside box an
+            // ulp above 1.0
+            (((x1 - x0) * (y1 - y0)) / (w * h)).min(1.0)
+        }
+    }
+}
+
+/// Ground truth for one frame.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    pub objects: Vec<GtObject>,
+}
+
+impl GroundTruth {
+    /// Number of *visible* objects of a class.
+    pub fn count(&self, class: ObjectClass) -> usize {
+        self.objects
+            .iter()
+            .filter(|o| o.class == class && o.is_visible())
+            .count()
+    }
+
+    /// Number of *complete* (≥95 % visible) objects of a class.
+    pub fn count_complete(&self, class: ObjectClass) -> usize {
+        self.objects
+            .iter()
+            .filter(|o| o.class == class && o.is_complete())
+            .count()
+    }
+
+    /// True if at least one visible object of the class is present.
+    pub fn has(&self, class: ObjectClass) -> bool {
+        self.count(class) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ids_are_stable_and_distinct() {
+        let ids: Vec<usize> = ObjectClass::ALL.iter().map(|c| c.id()).collect();
+        assert_eq!(ids, (0..7).collect::<Vec<_>>());
+        assert_eq!(ObjectClass::Car.id(), 0);
+        assert_eq!(ObjectClass::Person.id(), 3);
+    }
+
+    #[test]
+    fn visible_frac_full_inside() {
+        let f = GtObject::compute_visible_frac(0.5, 0.5, 0.2, 0.2);
+        assert!((f - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn visible_frac_half_off_left_edge() {
+        let f = GtObject::compute_visible_frac(0.0, 0.5, 0.2, 0.2);
+        assert!((f - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn visible_frac_fully_outside() {
+        let f = GtObject::compute_visible_frac(-0.5, 0.5, 0.2, 0.2);
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn ground_truth_counting() {
+        let gt = GroundTruth {
+            objects: vec![
+                GtObject {
+                    class: ObjectClass::Car,
+                    cx: 0.5,
+                    cy: 0.5,
+                    w: 0.1,
+                    h: 0.1,
+                    visible_frac: 1.0,
+                },
+                GtObject {
+                    class: ObjectClass::Car,
+                    cx: 0.0,
+                    cy: 0.5,
+                    w: 0.1,
+                    h: 0.1,
+                    visible_frac: 0.5,
+                },
+                GtObject {
+                    class: ObjectClass::Person,
+                    cx: 0.5,
+                    cy: 0.5,
+                    w: 0.05,
+                    h: 0.1,
+                    visible_frac: 0.0,
+                },
+            ],
+        };
+        assert_eq!(gt.count(ObjectClass::Car), 2);
+        assert_eq!(gt.count_complete(ObjectClass::Car), 1);
+        assert!(!gt.has(ObjectClass::Person)); // not visible
+    }
+}

@@ -1,0 +1,241 @@
+//! Workload presets matching Table 1 of the paper, plus parameterized
+//! variants used throughout the evaluation figures.
+
+use crate::scene::BackgroundKind;
+use crate::truth::ObjectClass;
+use crate::generator::StreamConfig;
+
+/// *Jackson* (Table 1): 600×400, cars at a crossroad, 30 FPS, TOR 8 %.
+/// Vehicles are large — a scene holds at most ~3 of them (Fig. 8a) — and the
+/// street background has a day/night illumination cycle.
+pub fn jackson() -> StreamConfig {
+    StreamConfig {
+        name: "jackson".into(),
+        nominal_width: 600,
+        nominal_height: 400,
+        render_width: 300,
+        render_height: 200,
+        fps: 30,
+        target: ObjectClass::Car,
+        tor: 0.08,
+        tor_spike: None,
+        mean_scene_frames: 90.0,
+        objects_per_scene: (1, 3),
+        object_w: (0.16, 0.30),
+        object_h: (0.12, 0.22),
+        object_speed: 0.008,
+        ambient_blobs: 3,
+        ambient_intensity: (16.0, 32.0),
+        ambient_size: (0.08, 0.20),
+        distractor_rate: 0.002,
+        distractor_classes: vec![ObjectClass::Person, ObjectClass::Dog, ObjectClass::Bicycle],
+        background: BackgroundKind::Dynamic {
+            period_frames: 60_000,
+            amplitude: 0.5,
+            drift_sigma: 0.0008,
+        },
+        noise_sigma: 2.5,
+        color: false,
+        seed: 0x4A43_4B53, // "JACK"
+    }
+}
+
+/// *Coral* (Table 1): 1280×720, people at an aquarium, 30 FPS, TOR 50 %.
+/// Persons are small and dense — crowds of many overlapping blobs — which is
+/// exactly the regime where T-YOLO undercounts (Fig. 8b).
+pub fn coral() -> StreamConfig {
+    StreamConfig {
+        name: "coral".into(),
+        nominal_width: 1280,
+        nominal_height: 720,
+        render_width: 320,
+        render_height: 180,
+        fps: 30,
+        target: ObjectClass::Person,
+        tor: 0.50,
+        tor_spike: None,
+        mean_scene_frames: 240.0,
+        objects_per_scene: (3, 14),
+        object_w: (0.025, 0.06),
+        object_h: (0.06, 0.13),
+        object_speed: 0.004,
+        ambient_blobs: 5,
+        ambient_intensity: (18.0, 40.0),
+        ambient_size: (0.02, 0.05),
+        distractor_rate: 0.001,
+        distractor_classes: vec![ObjectClass::Cat],
+        background: BackgroundKind::Static,
+        noise_sigma: 2.0,
+        color: false,
+        seed: 0x434F_5241, // "CORA"
+    }
+}
+
+/// *Lobby*: an indoor hallway camera — medium-density persons, perfectly
+/// static lighting, almost no ambient motion. The easiest regime for the
+/// SDD and the hardest for the crowd-count filter; a useful third archetype
+/// between the street and the aquarium.
+pub fn lobby() -> StreamConfig {
+    StreamConfig {
+        name: "lobby".into(),
+        nominal_width: 640,
+        nominal_height: 480,
+        render_width: 256,
+        render_height: 192,
+        fps: 30,
+        target: ObjectClass::Person,
+        tor: 0.25,
+        tor_spike: None,
+        mean_scene_frames: 150.0,
+        objects_per_scene: (1, 6),
+        object_w: (0.05, 0.10),
+        object_h: (0.14, 0.24),
+        object_speed: 0.006,
+        ambient_blobs: 1,
+        ambient_intensity: (8.0, 16.0),
+        ambient_size: (0.04, 0.08),
+        distractor_rate: 0.001,
+        distractor_classes: vec![ObjectClass::Dog],
+        background: BackgroundKind::Static,
+        noise_sigma: 1.5,
+        color: false,
+        seed: 0x4C4F_4242, // "LOBB"
+    }
+}
+
+/// Small/fast configuration for unit tests.
+pub fn test_tiny(target: ObjectClass, tor: f64, seed: u64) -> StreamConfig {
+    StreamConfig {
+        name: format!("tiny-{}", target.name()),
+        nominal_width: 64,
+        nominal_height: 48,
+        render_width: 64,
+        render_height: 48,
+        fps: 30,
+        target,
+        tor,
+        tor_spike: None,
+        mean_scene_frames: 40.0,
+        objects_per_scene: match target {
+            ObjectClass::Person => (2, 8),
+            _ => (1, 3),
+        },
+        object_w: match target {
+            ObjectClass::Person => (0.05, 0.1),
+            _ => (0.18, 0.3),
+        },
+        object_h: match target {
+            ObjectClass::Person => (0.1, 0.2),
+            _ => (0.14, 0.24),
+        },
+        object_speed: 0.01,
+        ambient_blobs: 1,
+        ambient_intensity: (12.0, 20.0),
+        ambient_size: (0.05, 0.1),
+        distractor_rate: 0.002,
+        distractor_classes: vec![ObjectClass::Dog],
+        background: BackgroundKind::Static,
+        noise_sigma: 1.5,
+        color: false,
+        seed,
+    }
+}
+
+/// A city-block scenario: `k` cameras watching the same area. Each camera
+/// gets its own viewpoint (seed) and base TOR; the cameras listed in
+/// `incident_cams` all see the same incident — a TOR burst to
+/// `incident_tor` during `incident_window` — the correlated-surge case that
+/// stresses the shared T-YOLO and the §5.5 burst remedy.
+pub fn city_block(
+    k: usize,
+    base_tor: f64,
+    incident_cams: &[usize],
+    incident_window: (u64, u64),
+    incident_tor: f64,
+) -> Vec<StreamConfig> {
+    (0..k)
+        .map(|i| {
+            let mut cfg = jackson().with_tor(base_tor);
+            cfg.name = format!("city-cam{}", i);
+            cfg.seed = cfg.seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9));
+            if incident_cams.contains(&i) {
+                cfg = cfg.with_tor_spike(incident_window.0, incident_window.1, incident_tor);
+            }
+            cfg
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{measured_tor, VideoStream};
+
+    #[test]
+    fn table1_metadata_matches_paper() {
+        let j = jackson();
+        assert_eq!((j.nominal_width, j.nominal_height), (600, 400));
+        assert_eq!(j.fps, 30);
+        assert_eq!(j.target, ObjectClass::Car);
+        assert!((j.tor - 0.08).abs() < 1e-9);
+
+        let c = coral();
+        assert_eq!((c.nominal_width, c.nominal_height), (1280, 720));
+        assert_eq!(c.fps, 30);
+        assert_eq!(c.target, ObjectClass::Person);
+        assert!((c.tor - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jackson_tor_converges_near_8_percent() {
+        let mut s = VideoStream::new(0, jackson());
+        let clip = s.clip(8000);
+        let tor = measured_tor(&clip, ObjectClass::Car);
+        assert!((tor - 0.08).abs() < 0.04, "measured {}", tor);
+    }
+
+    #[test]
+    fn lobby_is_calm_and_person_targeted() {
+        let l = lobby();
+        assert_eq!(l.target, ObjectClass::Person);
+        let mut s = VideoStream::new(0, l);
+        let clip = s.clip(4000);
+        let tor = measured_tor(&clip, ObjectClass::Person);
+        assert!((tor - 0.25).abs() < 0.07, "measured {}", tor);
+    }
+
+    #[test]
+    fn city_block_builds_distinct_cameras_with_correlated_incident() {
+        let cams = city_block(4, 0.1, &[0, 2], (500, 900), 0.8);
+        assert_eq!(cams.len(), 4);
+        // distinct viewpoints
+        let seeds: std::collections::HashSet<u64> = cams.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 4);
+        // incident only on the named cameras
+        assert_eq!(cams[0].tor_spike, Some((500, 900, 0.8)));
+        assert!(cams[1].tor_spike.is_none());
+        assert_eq!(cams[2].tor_spike, Some((500, 900, 0.8)));
+        assert!(cams[3].tor_spike.is_none());
+        assert_eq!(cams[3].name, "city-cam3");
+    }
+
+    #[test]
+    fn coral_scenes_are_denser_than_jackson() {
+        let mut sj = VideoStream::new(0, jackson().with_tor(0.5));
+        let mut sc = VideoStream::new(1, coral());
+        let cj = sj.clip(3000);
+        let cc = sc.clip(3000);
+        let max_cars = cj
+            .iter()
+            .map(|lf| lf.truth.count(ObjectClass::Car))
+            .max()
+            .unwrap();
+        let max_people = cc
+            .iter()
+            .map(|lf| lf.truth.count(ObjectClass::Person))
+            .max()
+            .unwrap();
+        assert!(max_cars <= 4, "cars {}", max_cars);
+        assert!(max_people >= 6, "people {}", max_people);
+    }
+}

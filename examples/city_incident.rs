@@ -1,0 +1,72 @@
+//! A city block with several cameras and one shared T-YOLO — the full
+//! multi-stream deployment of §3.2.3 on the *threaded* engine: per-camera
+//! SDD/SNM threads, one detector thread visiting every camera's queue
+//! round-robin (at most `num_tyolo` frames each), per-camera reference
+//! stages. An incident (TOR burst) hits two cameras mid-run; watch the
+//! shared detector keep serving everyone.
+//!
+//! ```text
+//! cargo run --release --example city_incident
+//! ```
+
+use ffs_va::core::run_multi_pipeline_rt;
+use ffs_va::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let cfg = FfsVaConfig::default();
+
+    println!("training cascades for 4 cameras ...");
+    let mut streams = Vec::new();
+    let mut names = Vec::new();
+    for cam_id in 0..4u64 {
+        let mut vcfg = workloads::jackson().with_tor(0.12);
+        vcfg.render_width = 150;
+        vcfg.render_height = 100;
+        vcfg.seed ^= cam_id.wrapping_mul(0x9E37);
+        // cameras 0 and 1 both see the incident: a burst to TOR 0.8 during
+        // frames 2100..2700 of the stream — inside the monitoring clip,
+        // which covers frames 1500..3300 (the first 1500 train the cascade)
+        if cam_id < 2 {
+            vcfg = vcfg.with_tor_spike(2100, 2700, 0.8);
+        }
+        let mut cam = VideoStream::new(cam_id as u32, vcfg);
+        let training = cam.clip(1500);
+        let bank = FilterBank::build(&training, ObjectClass::Car, &BankOptions::default(), &mut rng);
+        let clip = cam.clip(1800);
+        let tor = measured_tor(&clip, ObjectClass::Car);
+        names.push(format!(
+            "camera {} ({})",
+            cam_id,
+            if cam_id < 2 { "sees the incident" } else { "quiet" }
+        ));
+        println!("  camera {}: measured TOR {:.3}", cam_id, tor);
+        streams.push((clip, bank));
+    }
+
+    println!("\nrunning 4 real pipelines with ONE shared T-YOLO thread ...");
+    let r = run_multi_pipeline_rt(streams, &cfg);
+    println!(
+        "processed {} frames in {:.2}s ({:.0} FPS wall)",
+        r.total_frames, r.wall_time_s, r.throughput_fps
+    );
+    println!(
+        "stage totals: SDD {} -> SNM {} -> shared T-YOLO {} -> reference {}",
+        r.stage_processed[0], r.stage_processed[1], r.stage_processed[2], r.stage_processed[3]
+    );
+    println!("\nalarms per camera:");
+    for (name, survivors) in names.iter().zip(r.survivors.iter()) {
+        let during_incident = survivors
+            .iter()
+            .filter(|s| (2100..2700).contains(&s.seq))
+            .count();
+        println!(
+            "  {}: {} alarm frames ({} during the incident window)",
+            name,
+            survivors.len(),
+            during_incident
+        );
+    }
+    println!("\nthe incident cameras light up while the quiet cameras keep their normal trickle — one detector served all four.");
+}

@@ -1,0 +1,85 @@
+//! Post-facto analysis (§1 use case 2): "look for a certain event or object
+//! retroactively" in recorded footage. Records a surveillance clip to disk
+//! in the streaming FFSV1 container, then scans it with the cascade —
+//! reading one frame at a time, so a day-long file never has to fit in
+//! memory (§5.2: a 55 GB file analyzed in under 8 GB of RAM).
+//!
+//! ```text
+//! cargo run --release --example offline_search
+//! ```
+
+use ffs_va::core::accuracy::cascade_pass;
+use ffs_va::core::{FfsVaConfig, StreamThresholds};
+use ffs_va::prelude::*;
+use ffs_va::video::storage::{write_clip, ClipReader};
+use rand::SeedableRng;
+
+fn main() {
+    let dir = std::env::temp_dir().join("ffsva_offline_search");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("day.ffsv");
+
+    // 1. Record: a camera writes its footage to disk.
+    let mut vcfg = workloads::jackson().with_tor(0.25);
+    vcfg.render_width = 150;
+    vcfg.render_height = 100;
+    let fps = vcfg.fps;
+    let mut cam = VideoStream::new(0, vcfg);
+    let train_clip = cam.clip(1800); // operator keeps a training segment
+    let recorded = cam.clip(2400); // ... and the footage to search later
+    write_clip(&path, &recorded, fps).expect("write clip");
+    let bytes = std::fs::metadata(&path).expect("stat").len();
+    println!(
+        "recorded {} frames to {} ({:.1} MiB)",
+        recorded.len(),
+        path.display(),
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+    drop(recorded); // the search below must not rely on in-memory frames
+
+    // 2. Train the stream's cascade (once per camera, §4.1).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut bank = FilterBank::build(&train_clip, ObjectClass::Car, &BankOptions::default(), &mut rng);
+
+    // 3. Search: stream the file, filter each frame, collect event scenes
+    //    with >= 2 cars (a congestion query).
+    let cfg = FfsVaConfig::default().with_number_of_objects(2);
+    let th = StreamThresholds {
+        delta_diff: bank.sdd.delta_diff,
+        t_pre: bank.snm.t_pre(cfg.filter_degree),
+        number_of_objects: cfg.number_of_objects,
+    };
+    let reader = ClipReader::open(&path).expect("open clip");
+    let mut hits = 0usize;
+    let mut scanned = 0usize;
+    let mut events: Vec<(u64, u64)> = Vec::new(); // (start_pts, end_pts)
+    for item in reader {
+        let lf = item.expect("read frame");
+        scanned += 1;
+        let tr = bank.trace_frame(&lf);
+        if cascade_pass(&tr, &th) {
+            hits += 1;
+            match events.last_mut() {
+                // extend the current event if within 2 s of its end
+                Some((_, end)) if lf.frame.pts_ms <= *end + 2000 => *end = lf.frame.pts_ms,
+                _ => events.push((lf.frame.pts_ms, lf.frame.pts_ms)),
+            }
+        }
+    }
+    println!(
+        "scanned {} frames from disk; {} matched the query (>= 2 cars)",
+        scanned, hits
+    );
+    println!("found {} candidate congestion events:", events.len());
+    for (i, (start, end)) in events.iter().enumerate() {
+        println!(
+            "  event {}: {:.1}s - {:.1}s ({:.1}s long)",
+            i + 1,
+            *start as f64 / 1000.0,
+            *end as f64 / 1000.0,
+            (*end - *start) as f64 / 1000.0
+        );
+    }
+    println!("\nonly these frames would be handed to the full-feature model for precise review.");
+    let _ = std::fs::remove_file(&path);
+}

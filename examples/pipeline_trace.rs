@@ -1,0 +1,53 @@
+//! Watch the pipeline breathe: run the discrete-event engine with per-frame
+//! tracing and render stage-activity lanes in the terminal — the Fig. 2
+//! cascade as a live occupancy chart.
+//!
+//! ```text
+//! cargo run --release --example pipeline_trace
+//! ```
+
+use ffs_va::core::{render_latency_breakdown, render_stage_activity, PrepareOptions};
+use ffs_va::models::bank::BankOptions;
+use ffs_va::models::snm::SnmTrainOptions;
+use ffs_va::prelude::*;
+
+fn main() {
+    // Prepare two small streams (bursty cars at 30 % TOR).
+    let opts = PrepareOptions {
+        train_frames: 1200,
+        eval_frames: 1800,
+        bank: BankOptions {
+            snm: SnmTrainOptions {
+                epochs: 10,
+                batch_size: 16,
+                lr: 0.08,
+                train_frac: 0.7,
+                max_samples: 300,
+                restarts: 2,
+            },
+            ..Default::default()
+        },
+    };
+    println!("preparing 2 streams ...");
+    let cfg = FfsVaConfig::default();
+    let inputs: Vec<StreamInput> = (0..2u64)
+        .map(|i| {
+            ffs_va::core::prepare_stream(workloads::test_tiny(ObjectClass::Car, 0.3, 900 + i), &opts)
+                .input(&cfg)
+        })
+        .collect();
+
+    // Online run with tracing.
+    let (r, timelines) = Engine::new(cfg, Mode::Online, inputs).with_tracing().run_traced();
+    println!(
+        "\nonline run: {} frames, {:.1} FPS, realtime: {}\n",
+        r.total_frames,
+        r.throughput_fps,
+        r.realtime(cfg.online_fps)
+    );
+    print!("{}", render_stage_activity(&timelines, 72));
+    println!();
+    print!("{}", render_latency_breakdown(&timelines));
+    println!("\ndarker = more frames completing that stage in the bucket.");
+    println!("SDD stays uniformly busy (every frame), the lower lanes light up only when scenes pass — the cascade at work.");
+}

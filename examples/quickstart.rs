@@ -1,0 +1,56 @@
+//! Quickstart: build a cascade for one synthetic camera and watch it filter.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ffs_va::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    // A small synthetic surveillance camera: cars pass through ~30 % of the
+    // time (TOR 0.3), fixed viewpoint, mild sensor noise.
+    let cfg = workloads::test_tiny(ObjectClass::Car, 0.3, 42);
+    let mut camera = VideoStream::new(0, cfg);
+
+    // §4.1: label a training clip (the reference model stands in for
+    // YOLOv2's auto-labeling), then train + calibrate the cascade.
+    println!("training the stream-specialized cascade ...");
+    let training = camera.clip(1500);
+    let mut bank = FilterBank::build(&training, ObjectClass::Car, &BankOptions::default(), &mut rng);
+    println!(
+        "  SDD δ_diff = {:.2e}   SNM band = [{:.3}, {:.3}]   SNM test accuracy = {:.3}",
+        bank.sdd.delta_diff, bank.snm.c_low, bank.snm.c_high, bank.snm_report.test_accuracy
+    );
+
+    // Filter 600 fresh frames from the same camera.
+    let clip = camera.clip(600);
+    let sys = FfsVaConfig::default();
+    let t_pre = bank.snm.t_pre(sys.filter_degree);
+    let mut survived = 0;
+    let mut dropped = [0usize; 3];
+    for lf in &clip {
+        let tr = bank.trace_frame(lf);
+        if !tr.sdd_pass(bank.sdd.delta_diff) {
+            dropped[0] += 1;
+        } else if !tr.snm_pass(t_pre) {
+            dropped[1] += 1;
+        } else if !tr.tyolo_pass(sys.number_of_objects) {
+            dropped[2] += 1;
+        } else {
+            survived += 1;
+        }
+    }
+    let targets = clip.iter().filter(|lf| lf.truth.has(ObjectClass::Car)).count();
+    println!("\nfiltered {} frames ({} contain cars):", clip.len(), targets);
+    println!("  dropped by SDD (background)      : {}", dropped[0]);
+    println!("  dropped by SNM (no target)       : {}", dropped[1]);
+    println!("  dropped by T-YOLO (< N objects)  : {}", dropped[2]);
+    println!("  forwarded to the reference model : {}", survived);
+    println!(
+        "\nthe expensive full-feature model sees only {:.1}% of the video.",
+        100.0 * survived as f64 / clip.len() as f64
+    );
+}

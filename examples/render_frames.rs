@@ -1,0 +1,61 @@
+//! Render a few generated frames to netpbm images (PGM for grayscale, PPM
+//! for color) so you can *see* the synthetic workload: the street scene,
+//! cars with window bands and wheels, crowds, ambient shadows.
+//!
+//! ```text
+//! cargo run --release --example render_frames
+//! # then open the files under ./rendered_frames/
+//! ```
+
+use ffs_va::prelude::*;
+use ffs_va::video::write_pgm;
+
+fn main() {
+    let dir = std::path::Path::new("rendered_frames");
+    std::fs::create_dir_all(dir).expect("output dir");
+
+    // A grayscale street camera and a color one.
+    for (label, color) in [("gray", false), ("color", true)] {
+        let mut cfg = workloads::jackson().with_tor(0.6);
+        cfg.color = color;
+        let mut cam = VideoStream::new(0, cfg);
+        let clip = cam.clip(600);
+        // pick a busy frame and an empty one
+        let busy = clip
+            .iter()
+            .max_by_key(|lf| lf.truth.count(ObjectClass::Car))
+            .expect("frames");
+        let empty = clip
+            .iter()
+            .find(|lf| lf.truth.objects.is_empty())
+            .expect("background frame");
+        let ext = if color { "ppm" } else { "pgm" };
+        let busy_path = dir.join(format!("jackson_{}_busy.{}", label, ext));
+        let empty_path = dir.join(format!("jackson_{}_background.{}", label, ext));
+        write_pgm(&busy.frame, &busy_path).expect("write busy");
+        write_pgm(&empty.frame, &empty_path).expect("write background");
+        println!(
+            "{} -> {} cars at seq {}",
+            busy_path.display(),
+            busy.truth.count(ObjectClass::Car),
+            busy.frame.seq
+        );
+        println!("{} -> background", empty_path.display());
+    }
+
+    // A dense coral crowd.
+    let mut cam = VideoStream::new(1, workloads::coral());
+    let clip = cam.clip(800);
+    let crowd = clip
+        .iter()
+        .max_by_key(|lf| lf.truth.count(ObjectClass::Person))
+        .expect("frames");
+    let p = dir.join("coral_crowd.pgm");
+    write_pgm(&crowd.frame, &p).expect("write crowd");
+    println!(
+        "{} -> {} persons at seq {}",
+        p.display(),
+        crowd.truth.count(ObjectClass::Person),
+        crowd.frame.seq
+    );
+}

@@ -1,8 +1,12 @@
 //! Property-based tests for the scheduling substrate: queue invariants,
 //! event ordering, batch-policy guarantees, and device accounting.
 
-use ffsva_sched::{BatchPolicy, Device, DeviceKind, EventQueue, ModelKey, SimQueue};
+use ffsva_sched::{
+    spawn_batch_stage, BatchPolicy, Device, DeviceKind, EventQueue, FeedbackQueue, ModelKey,
+    SimQueue,
+};
 use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -103,6 +107,104 @@ proptest! {
         prop_assert_eq!(got.len(), n.min(fill));
         for (k, v) in got.iter().enumerate() {
             prop_assert_eq!(*v, k);
+        }
+    }
+
+    /// `try_push` enforces the bound exactly: the queue holds at most `cap`
+    /// items, rejected pushes count as backpressure, and draining yields the
+    /// accepted prefix in FIFO order.
+    #[test]
+    fn feedback_queue_try_push_respects_bound(cap in 1usize..8, extra in 1usize..8) {
+        let q: FeedbackQueue<usize> = FeedbackQueue::new(cap);
+        for i in 0..cap {
+            prop_assert!(q.try_push(i).is_ok());
+        }
+        for i in 0..extra {
+            prop_assert!(q.try_push(cap + i).is_err());
+            prop_assert_eq!(q.len(), cap);
+        }
+        let drained = q.try_pop_up_to(cap + extra);
+        prop_assert_eq!(drained, (0..cap).collect::<Vec<_>>());
+        let s = q.stats();
+        prop_assert_eq!(s.pushed, cap as u64);
+        prop_assert_eq!(s.max_depth, cap);
+        prop_assert!(s.backpressure_events >= extra as u64);
+    }
+
+    /// The dynamic policy takes exactly `min(queued, size)` — so it never
+    /// exceeds the batch size and never blocks on a non-empty queue.
+    #[test]
+    fn dynamic_policy_takes_min_and_never_blocks(size in 0usize..64, queued in 1usize..256, cap in 1usize..64) {
+        let p = BatchPolicy::Dynamic { size };
+        let took = p.take(queued, cap);
+        prop_assert_eq!(took, Some(queued.min(size.max(1))));
+    }
+}
+
+// Threaded invariants get fewer, bigger cases: each one spins up real threads.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under a real producer thread, a `FeedbackQueue` never exceeds its
+    /// bound (blocking `push` waits instead of overflowing) and delivery is
+    /// FIFO end to end.
+    #[test]
+    fn feedback_queue_bounded_fifo_across_threads(cap in 1usize..8, n in 1usize..64) {
+        let q: FeedbackQueue<usize> = FeedbackQueue::new(cap);
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    q.push(i).expect("queue closed early");
+                }
+            })
+        };
+        let mut got = Vec::with_capacity(n);
+        for _ in 0..n {
+            got.push(q.pop().expect("producer sends exactly n"));
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+        let s = q.stats();
+        prop_assert_eq!(s.pushed, n as u64);
+        prop_assert_eq!(s.popped, n as u64);
+        prop_assert!(s.max_depth <= cap, "depth {} exceeded bound {}", s.max_depth, cap);
+    }
+
+    /// A dynamic batch stage drains everything the moment items are
+    /// available: every batch is 1..=size items, nothing is lost, and order
+    /// is preserved.
+    #[test]
+    fn dynamic_batch_stage_bounded_batches_no_loss(size in 1usize..8, n in 1usize..40) {
+        let input: FeedbackQueue<usize> = FeedbackQueue::new(8);
+        let output: FeedbackQueue<usize> = FeedbackQueue::new(64);
+        let batch_sizes: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let recorder = Arc::clone(&batch_sizes);
+        let stage = spawn_batch_stage(
+            "snm",
+            input.clone(),
+            output.clone(),
+            BatchPolicy::Dynamic { size },
+            move |batch: Vec<usize>| {
+                recorder.lock().unwrap().push(batch.len());
+                batch
+            },
+        );
+        for i in 0..n {
+            input.push(i).expect("stage closed early");
+        }
+        input.close();
+        let mut got = Vec::with_capacity(n);
+        while let Some(v) = output.pop() {
+            got.push(v);
+        }
+        let processed = stage.join();
+        prop_assert_eq!(processed, n as u64);
+        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+        let sizes = batch_sizes.lock().unwrap();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        for &b in sizes.iter() {
+            prop_assert!((1..=size).contains(&b), "batch of {} with size {}", b, size);
         }
     }
 }

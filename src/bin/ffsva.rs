@@ -1,0 +1,659 @@
+//! `ffsva` — operator CLI for the FFS-VA cascade.
+//!
+//! Subcommands mirror an operator's workflow around a deployment:
+//!
+//! * `record`   — generate a synthetic surveillance clip into an FFSV1 file.
+//! * `train`    — train/calibrate a per-stream cascade from a clip (§4.1)
+//!                and save the profile as JSON.
+//! * `analyze`  — post-facto search: run the cascade over a clip and report
+//!                the surviving frames grouped into events.
+//! * `simulate` — what-if runs on the discrete-event engine (throughput,
+//!                latency, device utilization for N streams).
+//! * `capacity` — find how many live streams one instance sustains vs. the
+//!                YOLOv2 baseline (§4.3.1 / Fig. 6).
+
+use ffs_va::core::accuracy::cascade_pass;
+use ffs_va::core::{evaluate_accuracy, find_max_online_streams, AccuracyReport};
+use ffs_va::models::reference::ReferenceModel;
+use ffs_va::models::sdd::SddFilter;
+use ffs_va::models::snm::{SnmReport, SnmTrainOptions};
+use ffs_va::models::tyolo::TinyYolo;
+use ffs_va::prelude::*;
+use ffs_va::video::storage::{write_clip, ClipReader};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "\
+ffsva — operator CLI for the FFS-VA filtering cascade
+
+USAGE:
+  ffsva record   --workload <jackson|coral|lobby|test> --out <clip.ffsv>
+                 [--frames N] [--tor F] [--seed N] [--target <class>]
+  ffsva train    --clip <clip.ffsv> --target <class> --out <profile.json>
+                 [--train-frames N] [--seed N] [--fast]
+  ffsva analyze  --clip <clip.ffsv> --target <class> [--number N]
+                 [--filter-degree F] [--profile <profile.json>]
+                 [--train-frames N] [--seed N] [--fast] [--report <out.json>]
+  ffsva simulate --workload <name> --streams N [--frames N] [--train-frames N]
+                 [--mode online|offline] [--batch <static|feedback|dynamic>[:SIZE]]
+                 [--filter-gpus N] [--ref-gpus N] [--filter-degree F]
+                 [--number N] [--tor F] [--seed N] [--target <class>]
+                 [--fast] [--baseline] [--json <out.json>]
+  ffsva capacity --workload <name> [--frames N] [--train-frames N]
+                 [--filter-gpus N] [--ref-gpus N] [--max-streams N]
+                 [--tor F] [--seed N] [--target <class>] [--fast]
+
+Object classes: car, bus, truck, person, dog, cat, bicycle.
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("ffsva: {}", e);
+            eprintln!();
+            eprintln!("{}", USAGE);
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(mut args: Vec<String>) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("missing subcommand".into());
+    }
+    let cmd = args.remove(0);
+    let mut args = Args(args);
+    let result = match cmd.as_str() {
+        "record" => cmd_record(&mut args),
+        "train" => cmd_train(&mut args),
+        "analyze" => cmd_analyze(&mut args),
+        "simulate" => cmd_simulate(&mut args),
+        "capacity" => cmd_capacity(&mut args),
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            return Ok(());
+        }
+        other => Err(format!("unknown subcommand '{}'", other)),
+    };
+    result?;
+    args.finish()
+}
+
+// ---------------------------------------------------------------------------
+// argument parsing
+
+struct Args(Vec<String>);
+
+impl Args {
+    /// Take `--name value`, if present.
+    fn opt(&mut self, name: &str) -> Result<Option<String>, String> {
+        let flag = format!("--{}", name);
+        match self.0.iter().position(|a| *a == flag) {
+            None => Ok(None),
+            Some(i) => {
+                if i + 1 >= self.0.len() {
+                    return Err(format!("--{} expects a value", name));
+                }
+                self.0.remove(i);
+                Ok(Some(self.0.remove(i)))
+            }
+        }
+    }
+
+    /// Take a required `--name value`.
+    fn req(&mut self, name: &str) -> Result<String, String> {
+        self.opt(name)?
+            .ok_or_else(|| format!("missing required option --{}", name))
+    }
+
+    /// Take a bare `--name` flag.
+    fn flag(&mut self, name: &str) -> bool {
+        let flag = format!("--{}", name);
+        match self.0.iter().position(|a| *a == flag) {
+            None => false,
+            Some(i) => {
+                self.0.remove(i);
+                true
+            }
+        }
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, String> {
+        match self.opt(name)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{}' for --{}", v, name)),
+        }
+    }
+
+    /// Error out on anything not consumed by the subcommand.
+    fn finish(self) -> Result<(), String> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {}", self.0.join(" ")))
+        }
+    }
+}
+
+fn parse_target(s: &str) -> Result<ObjectClass, String> {
+    ObjectClass::ALL
+        .iter()
+        .copied()
+        .find(|c| c.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown object class '{}'", s))
+}
+
+fn parse_mode(s: &str) -> Result<Mode, String> {
+    match s {
+        "online" => Ok(Mode::Online),
+        "offline" => Ok(Mode::Offline),
+        other => Err(format!("invalid --mode '{}' (online|offline)", other)),
+    }
+}
+
+fn parse_batch(s: &str) -> Result<BatchPolicy, String> {
+    let (kind, size) = match s.split_once(':') {
+        Some((k, v)) => (
+            k,
+            v.parse::<usize>()
+                .map_err(|_| format!("invalid batch size in '{}'", s))?,
+        ),
+        None => (s, 10),
+    };
+    match kind {
+        "static" => Ok(BatchPolicy::Static { size }),
+        "feedback" => Ok(BatchPolicy::Feedback { size }),
+        "dynamic" => Ok(BatchPolicy::Dynamic { size }),
+        other => Err(format!(
+            "invalid batch policy '{}' (static|feedback|dynamic[:SIZE])",
+            other
+        )),
+    }
+}
+
+/// Resolve a workload preset plus the common `--tor/--seed/--target` knobs.
+fn workload_config(args: &mut Args) -> Result<StreamConfig, String> {
+    let name = args.req("workload")?;
+    let tor = match args.opt("tor")? {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| format!("invalid --tor '{}'", v))?,
+        ),
+        None => None,
+    };
+    let seed = match args.opt("seed")? {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("invalid --seed '{}'", v))?,
+        ),
+        None => None,
+    };
+    let target = match args.opt("target")? {
+        Some(v) => Some(parse_target(&v)?),
+        None => None,
+    };
+    let mut cfg = match name.as_str() {
+        "jackson" => workloads::jackson(),
+        "coral" => workloads::coral(),
+        "lobby" => workloads::lobby(),
+        "test" | "tiny" => workloads::test_tiny(
+            target.unwrap_or(ObjectClass::Car),
+            tor.unwrap_or(0.3),
+            seed.unwrap_or(42),
+        ),
+        other => {
+            return Err(format!(
+                "unknown workload '{}' (jackson|coral|lobby|test)",
+                other
+            ));
+        }
+    };
+    if let Some(t) = tor {
+        cfg.tor = t;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(t) = target {
+        cfg.target = t;
+    }
+    Ok(cfg)
+}
+
+/// SNM training options: paper-quality by default, `--fast` for smoke runs.
+fn bank_options(fast: bool) -> BankOptions {
+    if fast {
+        BankOptions {
+            snm: SnmTrainOptions {
+                epochs: 10,
+                batch_size: 16,
+                lr: 0.08,
+                train_frac: 0.7,
+                max_samples: 300,
+                restarts: 2,
+            },
+            ..Default::default()
+        }
+    } else {
+        BankOptions::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cascade profile (the `train` artifact)
+
+/// A trained per-stream cascade, serializable as the `train` subcommand's
+/// output. T-YOLO and the reference oracle carry no per-stream state, so the
+/// profile stores only the SDD threshold model and the SNM network.
+#[derive(Serialize, Deserialize)]
+struct CascadeProfile {
+    target: ObjectClass,
+    sdd: SddFilter,
+    snm: SnmModel,
+    snm_report: SnmReport,
+}
+
+impl CascadeProfile {
+    fn from_bank(bank: FilterBank) -> Self {
+        CascadeProfile {
+            target: bank.target,
+            sdd: bank.sdd,
+            snm: bank.snm,
+            snm_report: bank.snm_report,
+        }
+    }
+
+    fn into_bank(self) -> FilterBank {
+        FilterBank {
+            target: self.target,
+            sdd: self.sdd,
+            snm: self.snm,
+            tyolo: TinyYolo::default(),
+            reference: ReferenceModel::default(),
+            snm_report: self.snm_report,
+        }
+    }
+
+    fn load(path: &Path) -> Result<Self, String> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| format!("cannot read profile {}: {}", path.display(), e))?;
+        serde_json::from_slice(&bytes)
+            .map_err(|e| format!("invalid profile {}: {}", path.display(), e))
+    }
+
+    fn save(&self, path: &Path) -> Result<(), String> {
+        let json = serde_json::to_string(self).map_err(|e| format!("serialize profile: {}", e))?;
+        std::fs::write(path, json)
+            .map_err(|e| format!("cannot write profile {}: {}", path.display(), e))
+    }
+}
+
+fn read_clip_frames(path: &Path, limit: Option<usize>) -> Result<Vec<LabeledFrame>, String> {
+    let reader = ClipReader::open(path)
+        .map_err(|e| format!("cannot open clip {}: {}", path.display(), e))?;
+    let iter: Box<dyn Iterator<Item = std::io::Result<LabeledFrame>>> = match limit {
+        Some(n) => Box::new(reader.take(n)),
+        None => Box::new(reader),
+    };
+    iter.collect::<std::io::Result<Vec<_>>>()
+        .map_err(|e| format!("corrupt clip {}: {}", path.display(), e))
+}
+
+// ---------------------------------------------------------------------------
+// record
+
+fn cmd_record(args: &mut Args) -> Result<(), String> {
+    let cfg = workload_config(args)?;
+    let frames: usize = args.parsed("frames", 1200)?;
+    let out = PathBuf::from(args.req("out")?);
+    if frames == 0 {
+        return Err("--frames must be positive".into());
+    }
+
+    let target = cfg.target;
+    let fps = cfg.fps;
+    let (w, h) = (cfg.render_width, cfg.render_height);
+    let mut camera = VideoStream::new(0, cfg);
+    let clip = camera.clip(frames);
+    let bytes =
+        write_clip(&out, &clip, fps).map_err(|e| format!("cannot write {}: {}", out.display(), e))?;
+    let tor = measured_tor(&clip, target);
+    println!(
+        "recorded {} frames ({}x{} @ {} FPS, target {}) to {} ({} bytes)",
+        clip.len(),
+        w,
+        h,
+        fps,
+        target.name(),
+        out.display(),
+        bytes
+    );
+    println!("measured TOR: {:.3}", tor);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// train
+
+fn cmd_train(args: &mut Args) -> Result<(), String> {
+    let clip_path = PathBuf::from(args.req("clip")?);
+    let target = parse_target(&args.req("target")?)?;
+    let out = PathBuf::from(args.req("out")?);
+    let train_frames: usize = args.parsed("train-frames", usize::MAX)?;
+    let seed: u64 = args.parsed("seed", 7)?;
+    let fast = args.flag("fast");
+
+    let clip = read_clip_frames(&clip_path, Some(train_frames.max(1)))?;
+    if clip.is_empty() {
+        return Err(format!("clip {} holds no frames", clip_path.display()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bank = FilterBank::build(&clip, target, &bank_options(fast), &mut rng);
+    println!(
+        "trained on {} frames: delta_diff {:.5}, c_low {:.3}, c_high {:.3}, SNM accuracy {:.3}",
+        clip.len(),
+        bank.sdd.delta_diff,
+        bank.snm.c_low,
+        bank.snm.c_high,
+        bank.snm_report.test_accuracy
+    );
+    CascadeProfile::from_bank(bank).save(&out)?;
+    println!("profile written to {}", out.display());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// analyze
+
+/// A maximal run of surviving frames separated by < 2 s gaps — one "event"
+/// an operator would review.
+#[derive(Debug, Serialize)]
+struct Event {
+    start_ms: u64,
+    end_ms: u64,
+    frames: usize,
+    peak_objects: u16,
+}
+
+#[derive(Serialize)]
+struct AnalyzeReport {
+    clip: String,
+    target: String,
+    frames_analyzed: usize,
+    thresholds: StreamThresholds,
+    accuracy: AccuracyReport,
+    events: Vec<Event>,
+}
+
+fn group_events(survivors: &[FrameTrace]) -> Vec<Event> {
+    const GAP_MS: u64 = 2000;
+    let mut events: Vec<Event> = Vec::new();
+    for tr in survivors {
+        match events.last_mut() {
+            Some(ev) if tr.pts_ms.saturating_sub(ev.end_ms) <= GAP_MS => {
+                ev.end_ms = tr.pts_ms;
+                ev.frames += 1;
+                ev.peak_objects = ev.peak_objects.max(tr.reference_count);
+            }
+            _ => events.push(Event {
+                start_ms: tr.pts_ms,
+                end_ms: tr.pts_ms,
+                frames: 1,
+                peak_objects: tr.reference_count,
+            }),
+        }
+    }
+    events
+}
+
+fn cmd_analyze(args: &mut Args) -> Result<(), String> {
+    let clip_path = PathBuf::from(args.req("clip")?);
+    let target = parse_target(&args.req("target")?)?;
+    let number: usize = args.parsed("number", 1)?;
+    let filter_degree: f32 = args.parsed("filter-degree", 0.5)?;
+    let profile = args.opt("profile")?.map(PathBuf::from);
+    let train_frames: usize = args.parsed("train-frames", 900)?;
+    let seed: u64 = args.parsed("seed", 7)?;
+    let fast = args.flag("fast");
+    let report_path = args.opt("report")?.map(PathBuf::from);
+
+    // A profile skips in-situ training, so the whole clip is analyzed;
+    // otherwise the clip's head trains the cascade and the tail is analyzed.
+    let (mut bank, analyzed) = match profile {
+        Some(p) => {
+            let bank = CascadeProfile::load(&p)?.into_bank();
+            if bank.target != target {
+                return Err(format!(
+                    "profile {} was trained for '{}', not '{}'",
+                    p.display(),
+                    bank.target.name(),
+                    target.name()
+                ));
+            }
+            (bank, read_clip_frames(&clip_path, None)?)
+        }
+        None => {
+            let all = read_clip_frames(&clip_path, None)?;
+            if all.len() <= train_frames {
+                return Err(format!(
+                    "clip holds {} frames but --train-frames {} leaves nothing to analyze \
+                     (record a longer clip or pass --profile)",
+                    all.len(),
+                    train_frames
+                ));
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bank = FilterBank::build(&all[..train_frames], target, &bank_options(fast), &mut rng);
+            (bank, all[train_frames..].to_vec())
+        }
+    };
+    if analyzed.is_empty() {
+        return Err("no frames to analyze".into());
+    }
+
+    let th = StreamThresholds {
+        delta_diff: bank.sdd.delta_diff,
+        t_pre: bank.snm.t_pre(filter_degree),
+        number_of_objects: number.max(1),
+    };
+    let traces = bank.trace_clip(&analyzed);
+    let accuracy = evaluate_accuracy(&traces, &th);
+    let survivors: Vec<FrameTrace> = traces
+        .iter()
+        .copied()
+        .filter(|tr| cascade_pass(tr, &th))
+        .collect();
+    let events = group_events(&survivors);
+
+    println!(
+        "analyzed {} frames: {} forwarded ({:.1}%), {} events, error rate {:.4}, \
+         {}/{} significant scenes detected",
+        traces.len(),
+        survivors.len(),
+        100.0 * survivors.len() as f64 / traces.len() as f64,
+        events.len(),
+        accuracy.error_rate,
+        accuracy.significant_scenes_detected,
+        accuracy.significant_scenes
+    );
+    for (i, ev) in events.iter().enumerate() {
+        println!(
+            "  event {:>3}: {:>8.1}s – {:>8.1}s  {:>4} frames  peak {} {}(s)",
+            i,
+            ev.start_ms as f64 / 1000.0,
+            ev.end_ms as f64 / 1000.0,
+            ev.frames,
+            ev.peak_objects,
+            target.name()
+        );
+    }
+
+    if let Some(path) = report_path {
+        let report = AnalyzeReport {
+            clip: clip_path.display().to_string(),
+            target: target.name().to_string(),
+            frames_analyzed: traces.len(),
+            thresholds: th,
+            accuracy,
+            events,
+        };
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize report: {}", e))?;
+        std::fs::write(&path, json)
+            .map_err(|e| format!("cannot write report {}: {}", path.display(), e))?;
+        println!("report written to {}", path.display());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// simulate
+
+/// Build the engine configuration from the common simulate/capacity knobs.
+fn system_config(args: &mut Args) -> Result<FfsVaConfig, String> {
+    let d = FfsVaConfig::default();
+    let mut sys = FfsVaConfig {
+        filter_degree: args.parsed("filter-degree", d.filter_degree)?,
+        number_of_objects: args.parsed("number", d.number_of_objects)?,
+        filter_gpus: args.parsed("filter-gpus", d.filter_gpus)?,
+        reference_gpus: args.parsed("ref-gpus", d.reference_gpus)?,
+        ..d
+    };
+    if let Some(b) = args.opt("batch")? {
+        sys.batch_policy = parse_batch(&b)?;
+    }
+    Ok(sys)
+}
+
+fn prepare_pool(args: &mut Args, default_frames: usize) -> Result<(PreparedStream, u32), String> {
+    let cfg = workload_config(args)?;
+    let frames: usize = args.parsed("frames", default_frames)?;
+    let train_frames: usize = args.parsed("train-frames", 1500)?;
+    let fast = args.flag("fast");
+    let fps = cfg.fps;
+    println!(
+        "preparing stream '{}' (train {} frames, trace {} frames)...",
+        cfg.name, train_frames, frames
+    );
+    let ps = prepare_stream(
+        cfg,
+        &PrepareOptions {
+            train_frames,
+            eval_frames: frames.max(1),
+            bank: bank_options(fast),
+        },
+    );
+    println!(
+        "  delta_diff {:.5}, c_low {:.3}, c_high {:.3}, measured TOR {:.3}",
+        ps.delta_diff, ps.c_low, ps.c_high, ps.measured_tor
+    );
+    Ok((ps, fps))
+}
+
+fn cmd_simulate(args: &mut Args) -> Result<(), String> {
+    let streams: usize = args.parsed("streams", 1)?;
+    let mode = parse_mode(&args.opt("mode")?.unwrap_or_else(|| "online".into()))?;
+    let want_baseline = args.flag("baseline");
+    let json_path = args.opt("json")?.map(PathBuf::from);
+    let sys = system_config(args)?;
+    if streams == 0 {
+        return Err("--streams must be positive".into());
+    }
+    let (ps, fps) = prepare_pool(args, 900)?;
+
+    let inputs = tile_inputs(&[ps], streams, &sys);
+    let frames_per_stream = inputs[0].traces.len();
+    let r = Engine::new(sys, mode, inputs).run();
+
+    println!(
+        "simulated {} stream(s) x {} frames ({:?}): makespan {:.2}s, {:.1} FPS aggregate",
+        streams,
+        frames_per_stream,
+        mode,
+        r.makespan_us / 1e6,
+        r.throughput_fps
+    );
+    println!(
+        "  stages executed SDD/SNM/T-YOLO/ref: {:?}; dropped: {:?}",
+        r.stage_executed, r.stage_dropped
+    );
+    println!(
+        "  ref-path latency mean {:.1} ms, p99 {:.1} ms; T-YOLO {:.1} FPS; \
+         CPU {:.0}%, GPU0 {:.0}%, GPU1 {:.0}%",
+        r.mean_ref_latency_us / 1e3,
+        r.p99_ref_latency_us / 1e3,
+        r.tyolo_fps,
+        100.0 * r.cpu_utilization,
+        100.0 * r.gpu0_utilization,
+        100.0 * r.gpu1_utilization
+    );
+    if matches!(mode, Mode::Online) {
+        println!(
+            "  real-time at {} FPS: {}",
+            fps,
+            if r.realtime(fps) { "yes" } else { "NO" }
+        );
+    }
+    if want_baseline {
+        let gpus = 2;
+        let b = run_baseline(streams, frames_per_stream, mode, fps, gpus);
+        println!(
+            "  YOLOv2-on-{}-GPUs baseline: {:.1} FPS aggregate — cascade speedup {:.2}x",
+            gpus,
+            b.throughput_fps,
+            r.throughput_fps / b.throughput_fps.max(1e-9)
+        );
+    }
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&r).map_err(|e| format!("serialize result: {}", e))?;
+        std::fs::write(&path, json)
+            .map_err(|e| format!("cannot write {}: {}", path.display(), e))?;
+        println!("result written to {}", path.display());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// capacity
+
+fn cmd_capacity(args: &mut Args) -> Result<(), String> {
+    let max_streams: usize = args.parsed("max-streams", 64)?;
+    let sys = system_config(args)?;
+    let (ps, fps) = prepare_pool(args, 900)?;
+    let frames_per_stream = ps.traces.len();
+    let pool = [ps];
+
+    let max = find_max_online_streams(&sys, |n| tile_inputs(&pool, n, &sys), max_streams);
+    // Baseline capacity: YOLOv2 on every GPU the cascade uses in total.
+    let gpus = (sys.filter_gpus + sys.reference_gpus).max(1);
+    let mut baseline_max = 0usize;
+    for n in 1..=max_streams {
+        if run_baseline(n, frames_per_stream, Mode::Online, fps, gpus).realtime(fps) {
+            baseline_max = n;
+        } else {
+            break;
+        }
+    }
+
+    println!(
+        "FFS-VA ({} filter GPU(s) + {} reference GPU(s)): {} live {}-FPS stream(s)",
+        sys.filter_gpus, sys.reference_gpus, max, fps
+    );
+    println!(
+        "YOLOv2 baseline on {} GPU(s): {} live stream(s)",
+        gpus, baseline_max
+    );
+    if baseline_max > 0 && max > 0 {
+        println!(
+            "cascade sustains {:.1}x more streams",
+            max as f64 / baseline_max as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,227 @@
+//! Smoke tests for the `ffsva` operator CLI: every subcommand runs on the
+//! tiny synthetic workload, exits 0, and produces its documented artifact.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn ffsva(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ffsva"))
+        .args(args)
+        .output()
+        .expect("failed to launch ffsva binary")
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{} failed (status {:?})\nstdout:\n{}\nstderr:\n{}",
+        what,
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Fresh scratch directory per test so parallel tests never collide.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("ffsva_smoke_{}_{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.0.join(file)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn record(clip: &Path, frames: &str, seed: &str) {
+    let out = ffsva(&[
+        "record",
+        "--workload",
+        "test",
+        "--out",
+        clip.to_str().unwrap(),
+        "--frames",
+        frames,
+        "--seed",
+        seed,
+    ]);
+    assert_ok(&out, "record");
+}
+
+#[test]
+fn record_writes_a_readable_ffsv1_clip() {
+    let dir = Scratch::new("record");
+    let clip = dir.path("clip.ffsv");
+    record(&clip, "120", "5");
+
+    // the documented artifact: an FFSV1 clip the library can read back
+    let frames = ffs_va::video::read_clip(&clip).expect("clip must be readable");
+    assert_eq!(frames.len(), 120);
+}
+
+#[test]
+fn record_then_analyze_chain_produces_event_report() {
+    let dir = Scratch::new("analyze");
+    let clip = dir.path("clip.ffsv");
+    let report = dir.path("report.json");
+    record(&clip, "700", "42");
+
+    let out = ffsva(&[
+        "analyze",
+        "--clip",
+        clip.to_str().unwrap(),
+        "--target",
+        "car",
+        "--train-frames",
+        "400",
+        "--fast",
+        "--report",
+        report.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "analyze");
+    assert!(stdout(&out).contains("analyzed 300 frames"));
+
+    let json: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(&report).expect("report written"))
+            .expect("report is valid JSON");
+    assert_eq!(json["frames_analyzed"], 300);
+    assert_eq!(json["target"], "car");
+    assert!(json["events"].is_array());
+    assert!(json["accuracy"]["total_frames"].is_number());
+}
+
+#[test]
+fn train_profile_feeds_analyze() {
+    let dir = Scratch::new("train");
+    let clip = dir.path("clip.ffsv");
+    let profile = dir.path("profile.json");
+    let report = dir.path("report.json");
+    record(&clip, "500", "9");
+
+    let out = ffsva(&[
+        "train",
+        "--clip",
+        clip.to_str().unwrap(),
+        "--target",
+        "car",
+        "--train-frames",
+        "400",
+        "--fast",
+        "--out",
+        profile.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "train");
+    let json: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(&profile).expect("profile written"))
+            .expect("profile is valid JSON");
+    assert!(json["sdd"].is_object() && json["snm"].is_object());
+
+    // a profile skips in-situ training, so the whole clip is analyzed
+    let out = ffsva(&[
+        "analyze",
+        "--clip",
+        clip.to_str().unwrap(),
+        "--target",
+        "car",
+        "--profile",
+        profile.to_str().unwrap(),
+        "--report",
+        report.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "analyze --profile");
+    assert!(stdout(&out).contains("analyzed 500 frames"));
+    assert!(report.exists());
+}
+
+#[test]
+fn simulate_writes_engine_result_json() {
+    let dir = Scratch::new("simulate");
+    let json_path = dir.path("result.json");
+    let out = ffsva(&[
+        "simulate",
+        "--workload",
+        "test",
+        "--streams",
+        "3",
+        "--frames",
+        "500",
+        "--train-frames",
+        "600",
+        "--fast",
+        "--mode",
+        "offline",
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "simulate");
+    assert!(stdout(&out).contains("simulated 3 stream(s)"));
+
+    let json: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(&json_path).expect("result written"))
+            .expect("result is valid JSON");
+    assert_eq!(json["total_frames"], 1500);
+    assert_eq!(json["num_streams"], 3);
+}
+
+#[test]
+fn capacity_compares_cascade_against_baseline() {
+    let out = ffsva(&[
+        "capacity",
+        "--workload",
+        "test",
+        "--frames",
+        "300",
+        "--train-frames",
+        "600",
+        "--fast",
+        "--max-streams",
+        "12",
+    ]);
+    assert_ok(&out, "capacity");
+    let text = stdout(&out);
+    assert!(text.contains("FFS-VA"), "missing cascade capacity line:\n{}", text);
+    assert!(text.contains("baseline"), "missing baseline line:\n{}", text);
+}
+
+#[test]
+fn bad_arguments_exit_nonzero_with_usage() {
+    let out = ffsva(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    // missing required option
+    let out = ffsva(&["record", "--workload", "test"]);
+    assert!(!out.status.success());
+
+    // unrecognized trailing option must be rejected, not ignored
+    let dir = Scratch::new("badargs");
+    let clip = dir.path("clip.ffsv");
+    let out = ffsva(&[
+        "record",
+        "--workload",
+        "test",
+        "--out",
+        clip.to_str().unwrap(),
+        "--frames",
+        "10",
+        "--bogus",
+        "1",
+    ]);
+    assert!(!out.status.success());
+}

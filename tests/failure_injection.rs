@@ -1,0 +1,208 @@
+//! Failure-injection tests (DESIGN.md §6): the feedback mechanism under a
+//! stalled stage, overload detection, stream re-forwarding, and degenerate
+//! configurations.
+
+use ffs_va::core::instance::{
+    balance_instances_from, has_spare_capacity, is_overloaded, AdmissionController, Placement,
+};
+use ffs_va::core::{Engine, FfsVaConfig, Mode, StreamInput, StreamThresholds};
+use ffs_va::prelude::{BatchPolicy, FrameTrace};
+use ffs_va::sched::{spawn_batch_stage, spawn_filter_stage, FeedbackQueue};
+use std::time::Duration;
+
+/// Synthetic decision trace: every `target_every`-th frame is a target.
+fn synthetic_input(n: usize, target_every: usize) -> StreamInput {
+    let traces = (0..n)
+        .map(|i| {
+            let target = target_every > 0 && i % target_every == 0;
+            FrameTrace {
+                seq: i as u64,
+                pts_ms: (i as u64) * 33,
+                sdd_distance: if target { 0.01 } else { 0.0001 },
+                snm_prob: if target { 0.9 } else { 0.05 },
+                tyolo_count: u16::from(target),
+                reference_count: u16::from(target),
+                truth_count: u16::from(target),
+                truth_complete: u16::from(target),
+            }
+        })
+        .collect();
+    StreamInput {
+        traces,
+        thresholds: StreamThresholds {
+            delta_diff: 0.001,
+            t_pre: 0.5,
+            number_of_objects: 1,
+        },
+    }
+}
+
+/// Failure injection #1: a deliberately stalled T-YOLO stage. The bounded
+/// feedback queues must cap upstream growth and propagate backpressure all
+/// the way to the source — the paper's feedback mechanism (§4.3.1) — and no
+/// frame may be lost or reordered once the stall is released.
+#[test]
+fn stalled_tyolo_stage_bounds_upstream_queues_via_feedback() {
+    let cfg = FfsVaConfig::default();
+    let q_src: FeedbackQueue<u64> = FeedbackQueue::new(cfg.sdd_queue_depth);
+    let q_snm: FeedbackQueue<u64> = FeedbackQueue::new(cfg.snm_queue_depth);
+    let q_tyolo: FeedbackQueue<u64> = FeedbackQueue::new(cfg.tyolo_queue_depth);
+    let q_ref: FeedbackQueue<u64> = FeedbackQueue::new(1024);
+
+    let h_sdd = spawn_filter_stage("sdd", q_src.clone(), q_snm.clone(), Some);
+    let h_snm = spawn_batch_stage(
+        "snm",
+        q_snm.clone(),
+        q_tyolo.clone(),
+        BatchPolicy::Dynamic { size: 10 },
+        |batch: Vec<u64>| batch,
+    );
+    // the injected fault: T-YOLO takes 20 ms per frame instead of ~5 ms
+    let h_tyolo = spawn_filter_stage("tyolo-stalled", q_tyolo.clone(), q_ref.clone(), |x: u64| {
+        std::thread::sleep(Duration::from_millis(20));
+        Some(x)
+    });
+
+    // A 30-FPS camera worth of frames offered as fast as possible.
+    let q_in = q_src.clone();
+    let producer = std::thread::spawn(move || {
+        for i in 0..500u64 {
+            if q_in.push(i).is_err() {
+                break;
+            }
+        }
+    });
+
+    // Let the stall develop.
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Bounded growth at every stage, and feedback reached the source: the
+    // producer is blocked long before its 500 frames enter the pipeline.
+    assert!(q_src.stats().max_depth <= cfg.sdd_queue_depth);
+    assert!(q_snm.stats().max_depth <= cfg.snm_queue_depth);
+    assert!(q_tyolo.stats().max_depth <= cfg.tyolo_queue_depth);
+    let entered = q_src.stats().pushed;
+    assert!(
+        entered < 200,
+        "feedback failed: {} frames entered a stalled pipeline",
+        entered
+    );
+    assert!(
+        q_src.stats().backpressure_events > 0,
+        "producer never hit backpressure"
+    );
+
+    // Release: stop offering frames; everything in flight must drain through
+    // the slow stage without loss or reordering.
+    q_src.close();
+    producer.join().unwrap();
+    let mut received = Vec::new();
+    while let Some(v) = q_ref.pop() {
+        received.push(v);
+    }
+    h_sdd.join();
+    h_snm.join();
+    h_tyolo.join();
+
+    let entered_total = q_src.stats().pushed;
+    assert_eq!(
+        received.len() as u64,
+        entered_total,
+        "frames lost in the stalled pipeline"
+    );
+    assert_eq!(
+        received,
+        (0..entered_total).collect::<Vec<u64>>(),
+        "stall reordered frames"
+    );
+}
+
+/// Failure injection #2: a burst of cameras lands on one instance and
+/// overloads it. Re-forwarding (§4.3.1) must move streams to instances with
+/// spare capacity until every instance is real-time again.
+#[test]
+fn stream_overload_triggers_reforwarding_to_spare_instances() {
+    let cfg = FfsVaConfig::default();
+    let streams: Vec<StreamInput> = (0..12).map(|_| synthetic_input(300, 2)).collect();
+
+    // Everything on instance 0 — provably overloaded on its own.
+    let all_on_zero = vec![0usize; streams.len()];
+    let packed: Vec<StreamInput> = streams.clone();
+    let r0 = Engine::new(cfg, Mode::Online, packed).run();
+    assert!(is_overloaded(&r0, &cfg), "12 heavy streams should overload one instance");
+
+    let out = balance_instances_from(&cfg, &streams, 3, 48, all_on_zero);
+    assert!(out.reforwarded >= 2, "only {} streams re-forwarded", out.reforwarded);
+    assert!(out.all_realtime, "assignment {:?} not real-time", out.assignment);
+    let still_on_zero = out.assignment.iter().filter(|&&a| a == 0).count();
+    assert!(
+        still_on_zero < streams.len(),
+        "nothing left the overloaded instance"
+    );
+    // the relieved instance really is healthy now
+    let relieved: Vec<StreamInput> = out
+        .assignment
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a == 0)
+        .map(|(i, _)| streams[i].clone())
+        .collect();
+    let r1 = Engine::new(cfg, Mode::Online, relieved).run();
+    assert!(!is_overloaded(&r1, &cfg));
+}
+
+/// Failure injection #3: offered load beyond capacity must be *refused* at
+/// admission, never silently degraded — and the overload signals must read
+/// consistently.
+#[test]
+fn admission_refuses_streams_beyond_capacity() {
+    let cfg = FfsVaConfig::default();
+
+    let light = Engine::new(cfg, Mode::Online, vec![synthetic_input(300, 10)]).run();
+    assert!(has_spare_capacity(&light, &cfg));
+    assert!(!is_overloaded(&light, &cfg));
+
+    let mut ctl = AdmissionController::new(cfg, 1);
+    let mut admitted = 0usize;
+    let mut rejected = false;
+    for _ in 0..40 {
+        match ctl.try_admit(synthetic_input(300, 2)) {
+            Placement::Admitted { .. } => admitted += 1,
+            Placement::Rejected => {
+                rejected = true;
+                break;
+            }
+        }
+    }
+    assert!(rejected, "controller admitted 40 heavy streams");
+    assert!(admitted >= 1);
+    // what was admitted still runs in real time
+    let load = ctl.into_instances().remove(0);
+    let r = Engine::new(cfg, Mode::Online, load).run();
+    assert!(r.realtime(cfg.online_fps));
+}
+
+/// Degenerate configuration: minimal queue depths and an awkward static
+/// batch size must not deadlock or drop frames — every frame is disposed
+/// exactly once (the §6 "degenerate batch sizes, minimal queue depths"
+/// clause).
+#[test]
+fn degenerate_config_minimal_queues_still_drains_every_frame() {
+    let cfg = FfsVaConfig {
+        sdd_queue_depth: 1,
+        snm_queue_depth: 1,
+        tyolo_queue_depth: 1,
+        reference_queue_depth: 1,
+        batch_policy: BatchPolicy::Static { size: 7 },
+        ..FfsVaConfig::default()
+    };
+    let n = 123usize;
+    let r = Engine::new(cfg, Mode::Offline, vec![synthetic_input(n, 3)]).run();
+    assert_eq!(r.total_frames, n as u64);
+    assert_eq!(r.stage_executed[0], n as u64, "SDD must see every frame");
+    // disposition conservation: executed by reference + dropped somewhere = all
+    let dropped: u64 = r.stage_dropped.iter().sum();
+    assert_eq!(r.stage_executed[3] + dropped, n as u64);
+    // every 3rd frame passes the whole cascade: 0, 3, …, 120 → 41 frames
+    assert_eq!(r.stage_executed[3], 41);
+}

@@ -44,7 +44,14 @@ fn bench_tensor(c: &mut Criterion) {
         pad: 2,
     };
     c.bench_function("tensor/conv2d_snm_layer1", |bch| {
-        bch.iter(|| ops::conv2d(black_box(&input), black_box(&weight), black_box(&bias), geom))
+        bch.iter(|| {
+            ops::conv2d(
+                black_box(&input),
+                black_box(&weight),
+                black_box(&bias),
+                geom,
+            )
+        })
     });
 }
 

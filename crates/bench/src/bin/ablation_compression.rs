@@ -104,7 +104,12 @@ fn main() {
         rows.push(vec![
             format!("{:.0}%", prune * 100.0),
             f3(prep.sparsity()),
-            format!("{}B -> {}B ({:.1}x)", qrep.dense_bytes, qrep.compressed_bytes, qrep.compression_ratio()),
+            format!(
+                "{}B -> {}B ({:.1}x)",
+                qrep.dense_bytes,
+                qrep.compressed_bytes,
+                qrep.compression_ratio()
+            ),
             f3(acc),
             f1(us),
         ]);
@@ -126,6 +131,10 @@ fn main() {
         )
     );
     println!("§5.5: compression shrinks specialized models with little accuracy loss until the sparsity gets extreme");
-    write_json(&results_dir(), "ablation_compression", &json!({"rows": out}))
-        .expect("write results");
+    write_json(
+        &results_dir(),
+        "ablation_compression",
+        &json!({"rows": out}),
+    )
+    .expect("write results");
 }

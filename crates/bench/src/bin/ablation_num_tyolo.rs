@@ -19,11 +19,14 @@ fn main() {
     let mk_inputs = |cfg: &ffsva_core::FfsVaConfig| {
         let mut inputs = Vec::new();
         for i in 0..HOT as u64 {
-            inputs.push(prepare_stream_cached(jackson_at(0.9, 500 + i), &opts, &cache_dir()).input(cfg));
+            inputs.push(
+                prepare_stream_cached(jackson_at(0.9, 500 + i), &opts, &cache_dir()).input(cfg),
+            );
         }
         for i in 0..5u64 {
-            inputs
-                .push(prepare_stream_cached(jackson_at(0.05, 510 + i), &opts, &cache_dir()).input(cfg));
+            inputs.push(
+                prepare_stream_cached(jackson_at(0.05, 510 + i), &opts, &cache_dir()).input(cfg),
+            );
         }
         inputs
     };
@@ -36,7 +39,11 @@ fn main() {
         // deep queues so the hot stream *can* hoard the detector when uncapped
         cfg.tyolo_queue_depth = 64;
         let r = Engine::new(cfg, Mode::Online, mk_inputs(&cfg)).run();
-        let label = if cap > 1000 { "unbounded".to_string() } else { cap.to_string() };
+        let label = if cap > 1000 {
+            "unbounded".to_string()
+        } else {
+            cap.to_string()
+        };
         let quiet: Vec<f64> = r.per_stream_mean_ref_latency_us[HOT..].to_vec();
         let hot: Vec<f64> = r.per_stream_mean_ref_latency_us[..HOT].to_vec();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -58,11 +65,15 @@ fn main() {
     println!(
         "{}",
         table(
-            &["num_tyolo", "hot mean lat (ms)", "quiet mean lat (ms)", "p99 lat (ms)"],
+            &[
+                "num_tyolo",
+                "hot mean lat (ms)",
+                "quiet mean lat (ms)",
+                "p99 lat (ms)"
+            ],
             &rows
         )
     );
     println!("§3.2.3: the cap keeps the shared T-YOLO fair when one stream's TOR surges");
-    write_json(&results_dir(), "ablation_num_tyolo", &json!({"rows": out}))
-        .expect("write results");
+    write_json(&results_dir(), "ablation_num_tyolo", &json!({"rows": out})).expect("write results");
 }

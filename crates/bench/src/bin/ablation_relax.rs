@@ -7,8 +7,8 @@
 
 use ffsva_bench::report::{f3, table, write_json};
 use ffsva_bench::{bench_prepare_options, default_config, jackson_at, results_dir};
-use ffsva_core::workload::{prepare_stream, PrepareOptions};
 use ffsva_core::evaluate_accuracy;
+use ffsva_core::workload::{prepare_stream, PrepareOptions};
 use serde_json::json;
 
 fn main() {
@@ -49,7 +49,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["relax factor", "δ_diff", "forwarded", "error rate", "scenes missed"],
+            &[
+                "relax factor",
+                "δ_diff",
+                "forwarded",
+                "error rate",
+                "scenes missed"
+            ],
             &rows
         )
     );

@@ -9,12 +9,19 @@ use ffsva_core::{tile_inputs, Engine, Mode};
 use serde_json::json;
 
 fn main() {
-    let pool: Vec<_> = (0..3).map(|i| prepare(jackson_at(0.203, 100 + i))).collect();
+    let pool: Vec<_> = (0..3)
+        .map(|i| prepare(jackson_at(0.203, 100 + i)))
+        .collect();
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for n in [1usize, 2, 4, 8, 12] {
         let shared_cfg = default_config();
-        let shared = Engine::new(shared_cfg, Mode::Offline, tile_inputs(&pool, n, &shared_cfg)).run();
+        let shared = Engine::new(
+            shared_cfg,
+            Mode::Offline,
+            tile_inputs(&pool, n, &shared_cfg),
+        )
+        .run();
         let mut solo_cfg = default_config();
         solo_cfg.shared_tyolo = false;
         let solo = Engine::new(solo_cfg, Mode::Offline, tile_inputs(&pool, n, &solo_cfg)).run();
@@ -22,7 +29,10 @@ fn main() {
             n.to_string(),
             f1(shared.throughput_fps),
             f1(solo.throughput_fps),
-            format!("{:.2}x", shared.throughput_fps / solo.throughput_fps.max(1e-9)),
+            format!(
+                "{:.2}x",
+                shared.throughput_fps / solo.throughput_fps.max(1e-9)
+            ),
         ]);
         out.push(json!({
             "streams": n,
@@ -31,8 +41,18 @@ fn main() {
         }));
     }
     println!("== Ablation: shared vs per-stream T-YOLO (offline, TOR 0.203) ==");
-    println!("{}", table(&["streams", "shared fps", "per-stream fps", "speedup"], &rows));
+    println!(
+        "{}",
+        table(
+            &["streams", "shared fps", "per-stream fps", "speedup"],
+            &rows
+        )
+    );
     println!("sharing avoids reloading the 1.2 GB model at every stream switch (§3.2.3)");
-    write_json(&results_dir(), "ablation_tyolo_sharing", &json!({"rows": out}))
-        .expect("write results");
+    write_json(
+        &results_dir(),
+        "ablation_tyolo_sharing",
+        &json!({"rows": out}),
+    )
+    .expect("write results");
 }

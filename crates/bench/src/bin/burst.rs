@@ -6,7 +6,7 @@
 //! once the burst passes.
 
 use ffsva_bench::report::{f1, ms, table, write_json};
-use ffsva_bench::{bench_prepare_options, default_config, jackson_at, results_dir, cache_dir};
+use ffsva_bench::{bench_prepare_options, cache_dir, default_config, jackson_at, results_dir};
 use ffsva_core::workload::prepare_stream_cached;
 use ffsva_core::{Engine, Mode};
 use serde_json::json;
@@ -54,7 +54,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["case", "fps", "peak backlog", "p99 ref lat (ms)", "recovered", "no frames lost"],
+            &[
+                "case",
+                "fps",
+                "peak backlog",
+                "p99 ref lat (ms)",
+                "recovered",
+                "no frames lost"
+            ],
             &rows
         )
     );

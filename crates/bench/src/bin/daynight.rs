@@ -68,7 +68,11 @@ fn main() {
     }
     for (w, (n, sd, ad)) in stats.iter().enumerate() {
         let phase = (w as f64 + 0.5) / stats.len() as f64;
-        let label = if (0.25..0.75).contains(&phase) { "night" } else { "day" };
+        let label = if (0.25..0.75).contains(&phase) {
+            "night"
+        } else {
+            "day"
+        };
         rows.push(vec![
             format!("{}..{} ({})", w * window, (w + 1) * window, label),
             f3(*sd as f64 / (*n).max(1) as f64),
@@ -86,7 +90,11 @@ fn main() {
     println!(
         "{}",
         table(
-            &["window (frames)", "static SDD bg-drop rate", "adaptive SDD bg-drop rate"],
+            &[
+                "window (frames)",
+                "static SDD bg-drop rate",
+                "adaptive SDD bg-drop rate"
+            ],
             &rows
         )
     );

@@ -14,17 +14,29 @@ fn main() {
         let mut i = 0;
         let n = ps.traces.len();
         while i < n {
-            if !ps.traces[i].is_reference_target(1) { i += 1; continue; }
+            if !ps.traces[i].is_reference_target(1) {
+                i += 1;
+                continue;
+            }
             let start = i;
-            let mut complete = 0; let mut hit = false;
-            let mut max_snm = 0.0f32; let mut max_ty = 0; let mut sdd_any = false;
+            let mut complete = 0;
+            let mut hit = false;
+            let mut max_snm = 0.0f32;
+            let mut max_ty = 0;
+            let mut sdd_any = false;
             while i < n && ps.traces[i].is_reference_target(1) {
                 let tr = &ps.traces[i];
-                if tr.truth_complete >= 1 { complete += 1; }
-                if cascade_pass(tr, &th) { hit = true; }
+                if tr.truth_complete >= 1 {
+                    complete += 1;
+                }
+                if cascade_pass(tr, &th) {
+                    hit = true;
+                }
                 max_snm = max_snm.max(tr.snm_prob);
                 max_ty = max_ty.max(tr.tyolo_count);
-                if tr.sdd_pass(th.delta_diff) { sdd_any = true; }
+                if tr.sdd_pass(th.delta_diff) {
+                    sdd_any = true;
+                }
                 i += 1;
             }
             if complete > 0 && !hit {

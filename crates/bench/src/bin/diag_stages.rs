@@ -9,37 +9,65 @@ fn main() {
     let ps = prepare(jackson_at(0.103, 0));
     let th = ps.thresholds(&cfg);
     let (mut t, mut sdd, mut snm, mut ty, mut all3) = (0, 0, 0, 0, 0);
-    let mut bg = 0; let mut bg_drop_sdd = 0;
+    let mut bg = 0;
+    let mut bg_drop_sdd = 0;
     let mut ty_counts = std::collections::BTreeMap::new();
     for tr in &ps.traces {
         if tr.is_reference_target(1) {
             t += 1;
-            if tr.sdd_pass(th.delta_diff) { sdd += 1; }
-            if tr.snm_pass(th.t_pre) { snm += 1; }
-            if tr.tyolo_pass(1) { ty += 1; }
-            if tr.sdd_pass(th.delta_diff) && tr.snm_pass(th.t_pre) && tr.tyolo_pass(1) { all3 += 1; }
+            if tr.sdd_pass(th.delta_diff) {
+                sdd += 1;
+            }
+            if tr.snm_pass(th.t_pre) {
+                snm += 1;
+            }
+            if tr.tyolo_pass(1) {
+                ty += 1;
+            }
+            if tr.sdd_pass(th.delta_diff) && tr.snm_pass(th.t_pre) && tr.tyolo_pass(1) {
+                all3 += 1;
+            }
             *ty_counts.entry(tr.tyolo_count).or_insert(0usize) += 1;
         } else {
             bg += 1;
-            if !tr.sdd_pass(th.delta_diff) { bg_drop_sdd += 1; }
+            if !tr.sdd_pass(th.delta_diff) {
+                bg_drop_sdd += 1;
+            }
         }
     }
-    println!("target {} sdd {} snm {} tyolo {} all {} | bg {} bg_sdd_drop {}", t, sdd, snm, ty, all3, bg, bg_drop_sdd);
+    println!(
+        "target {} sdd {} snm {} tyolo {} all {} | bg {} bg_sdd_drop {}",
+        t, sdd, snm, ty, all3, bg, bg_drop_sdd
+    );
     println!("tyolo count histogram on target frames: {:?}", ty_counts);
     // snm prob distribution on targets
-    let mut probs: Vec<f32> = ps.traces.iter().filter(|tr| tr.is_reference_target(1)).map(|tr| tr.snm_prob).collect();
+    let mut probs: Vec<f32> = ps
+        .traces
+        .iter()
+        .filter(|tr| tr.is_reference_target(1))
+        .map(|tr| tr.snm_prob)
+        .collect();
     probs.sort_by(f32::total_cmp);
-    println!("snm prob target quantiles: q10 {:.3} q50 {:.3} q90 {:.3} (t_pre {:.3})", probs[probs.len()/10], probs[probs.len()/2], probs[probs.len()*9/10], th.t_pre);
+    println!(
+        "snm prob target quantiles: q10 {:.3} q50 {:.3} q90 {:.3} (t_pre {:.3})",
+        probs[probs.len() / 10],
+        probs[probs.len() / 2],
+        probs[probs.len() * 9 / 10],
+        th.t_pre
+    );
     // T-YOLO count bias on target frames and FP counts on non-target frames
     let mut diff_hist = std::collections::BTreeMap::new();
-    let mut bg_fp = 0usize; let mut bg_n = 0usize;
+    let mut bg_fp = 0usize;
+    let mut bg_n = 0usize;
     for tr in &ps.traces {
         if tr.is_reference_target(1) {
             let d = tr.tyolo_count as i64 - tr.truth_count as i64;
             *diff_hist.entry(d).or_insert(0usize) += 1;
         } else {
             bg_n += 1;
-            if tr.tyolo_count > 0 { bg_fp += 1; }
+            if tr.tyolo_count > 0 {
+                bg_fp += 1;
+            }
         }
     }
     println!("tyolo count - truth count hist: {:?}", diff_hist);

@@ -12,7 +12,9 @@ use serde_json::json;
 fn main() {
     let pool: Vec<_> = (0..4).map(|i| prepare(jackson_at(0.103, i))).collect();
     let frames = pool[0].traces.len();
-    let counts = [1usize, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32];
+    let counts = [
+        1usize, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32,
+    ];
 
     let mut rows = Vec::new();
     let mut series = Vec::new();
@@ -65,6 +67,10 @@ fn main() {
         )
     );
     println!("paper: FFS-VA sustains up to 30 streams (7x YOLOv2's 4); latency grows to seconds near capacity");
-    write_json(&results_dir(), "fig3", &json!({ "tor": 0.103, "series": series }))
-        .expect("write results");
+    write_json(
+        &results_dir(),
+        "fig3",
+        &json!({ "tor": 0.103, "series": series }),
+    )
+    .expect("write results");
 }

@@ -54,7 +54,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["streams", "FB fps", "FB lat(ms)", "DYN fps", "DYN lat(ms)", "YOLOv2 fps"],
+            &[
+                "streams",
+                "FB fps",
+                "FB lat(ms)",
+                "DYN fps",
+                "DYN lat(ms)",
+                "YOLOv2 fps"
+            ],
             &rows
         )
     );

@@ -40,10 +40,7 @@ fn main() {
     println!("== Fig. 5: ratio of frames executed in each filter ==");
     println!(
         "{}",
-        table(
-            &["case", "TOR", "SDD", "SNM", "T-YOLO", "reference"],
-            &rows
-        )
+        table(&["case", "TOR", "SDD", "SNM", "T-YOLO", "reference"], &rows)
     );
     println!(
         "filter speeds (calibrated, frames/s): SDD {:.0}  SNM {:.0}  T-YOLO {:.0}  YOLOv2 {:.0}  (paper: ~20K, 2K, 200, 56)",

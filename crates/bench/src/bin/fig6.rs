@@ -30,11 +30,7 @@ fn main() {
         .collect();
     let inputs: Vec<_> = pool_b.iter().map(|ps| ps.input(&cfg)).collect();
     let r = Engine::new(cfg, Mode::Offline, inputs).run();
-    let max_span = r
-        .per_stream_span_us
-        .iter()
-        .copied()
-        .fold(1.0f64, f64::max);
+    let max_span = r.per_stream_span_us.iter().copied().fold(1.0f64, f64::max);
     let mut rows_b = Vec::new();
     let mut out_b = Vec::new();
     for (i, (&span, ps)) in r.per_stream_span_us.iter().zip(pool_b.iter()).enumerate() {
@@ -46,7 +42,9 @@ fn main() {
         ]);
         out_b.push(json!({"stream": i, "tor": ps.measured_tor, "normalized_time": norm}));
     }
-    println!("\n== Fig. 6b: load balance (normalized execution time, 10 streams, TOR ~ U(0,0.4)) ==");
+    println!(
+        "\n== Fig. 6b: load balance (normalized execution time, 10 streams, TOR ~ U(0,0.4)) =="
+    );
     println!("{}", table(&["stream", "TOR", "normalized time"], &rows_b));
     println!("paper: except at very low TOR, execution times differ little — load balancing works");
 

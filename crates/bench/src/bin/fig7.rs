@@ -39,11 +39,20 @@ fn main() {
                 "scene_miss_rate": rep.scene_miss_rate,
             }));
         }
-        println!("== Fig. 7 {}: throughput & error rate vs FilterDegree ==", label);
+        println!(
+            "== Fig. 7 {}: throughput & error rate vs FilterDegree ==",
+            label
+        );
         println!(
             "{}",
             table(
-                &["FilterDegree", "fps", "output frames", "error rate", "scene miss"],
+                &[
+                    "FilterDegree",
+                    "fps",
+                    "output frames",
+                    "error rate",
+                    "scene miss"
+                ],
                 &rows
             )
         );

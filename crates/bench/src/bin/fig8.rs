@@ -64,8 +64,16 @@ fn main() {
             n.to_string(),
             strict.forwarded_frames.to_string(),
             f3(strict.error_rate),
-            format!("{:.1}% / {:.1}%", red(&relax1) * 100.0, red(&relax2) * 100.0),
-            format!("{:.1}% / {:.1}%", eff_cost(&relax1) * 100.0, eff_cost(&relax2) * 100.0),
+            format!(
+                "{:.1}% / {:.1}%",
+                red(&relax1) * 100.0,
+                red(&relax2) * 100.0
+            ),
+            format!(
+                "{:.1}% / {:.1}%",
+                eff_cost(&relax1) * 100.0,
+                eff_cost(&relax2) * 100.0
+            ),
         ]);
         series.push(json!({
             "n": n,
@@ -81,7 +89,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["N", "output frames", "error rate", "err reduction (relax 1/2)", "eff cost (relax 1/2)"],
+            &[
+                "N",
+                "output frames",
+                "error rate",
+                "err reduction (relax 1/2)",
+                "eff cost (relax 1/2)"
+            ],
             &rows
         )
     );

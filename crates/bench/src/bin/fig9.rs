@@ -8,7 +8,9 @@
 use ffsva_bench::{jackson_at, prepare, run_batch_sweep};
 
 fn main() {
-    let pool: Vec<_> = (0..3).map(|i| prepare(jackson_at(0.203, 100 + i))).collect();
+    let pool: Vec<_> = (0..3)
+        .map(|i| prepare(jackson_at(0.203, 100 + i)))
+        .collect();
     run_batch_sweep(&pool, 0.203, "fig9", 10);
     println!("paper: static batch throughput keeps rising with BatchSize; feedback loses ~8% at large batches (waiting at the queue-depth cap); dynamic trades ~16% throughput for ~50% lower latency that stays flat");
 }

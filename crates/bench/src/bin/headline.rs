@@ -25,7 +25,8 @@ fn main() {
     let ffs_max = find_max_online_streams(&cfg, |n| tile_inputs(&pool, n, &cfg), 64);
     let mut base_max = 0usize;
     for n in 1..=16 {
-        if run_baseline(n, frames.min(1500), Mode::Online, cfg.online_fps, 2).realtime(cfg.online_fps)
+        if run_baseline(n, frames.min(1500), Mode::Online, cfg.online_fps, 2)
+            .realtime(cfg.online_fps)
         {
             base_max = n;
         } else {

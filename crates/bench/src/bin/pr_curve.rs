@@ -31,7 +31,10 @@ fn main() {
         }));
     }
     println!("== Cascade precision/recall vs SNM threshold (car, TOR 0.197) ==");
-    println!("{}", table(&["t_pre", "forwarded", "precision", "recall"], &rows));
+    println!(
+        "{}",
+        table(&["t_pre", "forwarded", "precision", "recall"], &rows)
+    );
     println!(
         "SNM band for this stream: c_low {:.3} c_high {:.3} — FilterDegree sweeps inside it (Eq. 2)",
         ps.c_low, ps.c_high

@@ -33,7 +33,14 @@ fn main() {
     println!("== Scaling: GPUs (filter+reference) vs capacity, TOR 0.103 ==");
     println!(
         "{}",
-        table(&["GPUs (filter+ref)", "max online streams", "offline 1-stream fps"], &rows)
+        table(
+            &[
+                "GPUs (filter+ref)",
+                "max online streams",
+                "offline 1-stream fps"
+            ],
+            &rows
+        )
     );
     println!("paper §4.3.2: the instance scales by distributing SNM/T-YOLO and the reference model over more GPUs");
     write_json(&results_dir(), "scaling", &json!({"rows": out})).expect("write results");

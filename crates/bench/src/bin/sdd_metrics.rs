@@ -27,7 +27,11 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    for metric in [DistanceMetric::Mse, DistanceMetric::Nrmse, DistanceMetric::Sad] {
+    for metric in [
+        DistanceMetric::Mse,
+        DistanceMetric::Nrmse,
+        DistanceMetric::Sad,
+    ] {
         let mut sdd = SddFilter::from_background(&bg_frames, metric, 0.0);
         let mut d_t = Vec::new();
         let mut d_b = Vec::new();

@@ -5,7 +5,7 @@
 //! workload construction, prepared-stream caching, and result output.
 
 use ffsva_core::workload::prepare_stream_cached;
-use ffsva_core::{FfsVaConfig, PreparedStream, PrepareOptions};
+use ffsva_core::{FfsVaConfig, PrepareOptions, PreparedStream};
 use ffsva_video::workloads;
 use ffsva_video::StreamConfig;
 use std::path::PathBuf;

@@ -77,7 +77,11 @@ pub fn evaluate(traces: &[FrameTrace], th: &StreamThresholds) -> AccuracyReport 
 }
 
 /// Evaluate accuracy with the T-YOLO requirement relaxed by `relax` objects.
-pub fn evaluate_relaxed(traces: &[FrameTrace], th: &StreamThresholds, relax: usize) -> AccuracyReport {
+pub fn evaluate_relaxed(
+    traces: &[FrameTrace],
+    th: &StreamThresholds,
+    relax: usize,
+) -> AccuracyReport {
     let mut rep = AccuracyReport {
         total_frames: traces.len(),
         ..Default::default()
@@ -86,16 +90,14 @@ pub fn evaluate_relaxed(traces: &[FrameTrace], th: &StreamThresholds, relax: usi
 
     // Frame-level accounting and error-run extraction.
     let mut run_len = 0usize;
-    let finish_run = |len: usize, runs: &mut ErrorRunStats| {
-        match len {
-            0 => {}
-            1 => runs.isolated_single += 1,
-            2..=3 => runs.isolated_2_3 += 1,
-            4..=29 => runs.continuous_lt_30 += 1,
-            _ => {
-                runs.continuous_ge_30 += 1;
-                runs.frames_in_ge_30_runs += len;
-            }
+    let finish_run = |len: usize, runs: &mut ErrorRunStats| match len {
+        0 => {}
+        1 => runs.isolated_single += 1,
+        2..=3 => runs.isolated_2_3 += 1,
+        4..=29 => runs.continuous_lt_30 += 1,
+        _ => {
+            runs.continuous_ge_30 += 1;
+            runs.frames_in_ge_30_runs += len;
         }
     };
     for tr in traces {
@@ -286,10 +288,7 @@ mod tests {
         assert_eq!(rep.runs.continuous_lt_30, 2); // 5 and 29
         assert_eq!(rep.runs.continuous_ge_30, 2); // 30 and 45
         assert_eq!(rep.runs.frames_in_ge_30_runs, 75);
-        assert_eq!(
-            rep.false_negative_frames,
-            miss_runs.iter().sum::<usize>()
-        );
+        assert_eq!(rep.false_negative_frames, miss_runs.iter().sum::<usize>());
     }
 
     #[test]

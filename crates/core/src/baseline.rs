@@ -97,7 +97,13 @@ pub fn run_baseline(
                 break;
             };
             gpu_busy[g] = true;
-            let done = gpus[g].invoke(ModelKey::Reference, 1, spec.invoke_us, spec.per_frame_us, now);
+            let done = gpus[g].invoke(
+                ModelKey::Reference,
+                1,
+                spec.invoke_us,
+                spec.per_frame_us,
+                now,
+            );
             events.schedule(done.end_us, Ev::Done { gpu: g, arrival_us });
         }
     };
@@ -174,6 +180,10 @@ mod tests {
     fn online_latency_is_low_when_underloaded() {
         let r = run_baseline(2, 300, Mode::Online, 30, 2);
         // under light load each frame waits at most one service time
-        assert!(r.mean_latency_us < 60_000.0, "latency {}", r.mean_latency_us);
+        assert!(
+            r.mean_latency_us < 60_000.0,
+            "latency {}",
+            r.mean_latency_us
+        );
     }
 }

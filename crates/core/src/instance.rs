@@ -279,8 +279,16 @@ mod tests {
     #[test]
     fn max_streams_is_much_higher_at_low_tor() {
         let cfg = FfsVaConfig::default();
-        let lo = find_max_online_streams(&cfg, |n| (0..n).map(|_| synthetic_input(400, 10)).collect(), 64);
-        let hi = find_max_online_streams(&cfg, |n| (0..n).map(|_| synthetic_input(400, 1)).collect(), 64);
+        let lo = find_max_online_streams(
+            &cfg,
+            |n| (0..n).map(|_| synthetic_input(400, 10)).collect(),
+            64,
+        );
+        let hi = find_max_online_streams(
+            &cfg,
+            |n| (0..n).map(|_| synthetic_input(400, 1)).collect(),
+            64,
+        );
         assert!(lo >= 15, "low-TOR max streams {}", lo);
         assert!(hi <= 8, "TOR-1 max streams {}", hi);
         assert!(lo > 2 * hi, "lo {} hi {}", lo, hi);

@@ -48,21 +48,24 @@ pub mod viz;
 pub mod workload;
 
 pub use accuracy::{
-    precision_recall_sweep, PrPoint,
-    evaluate as evaluate_accuracy, evaluate_relaxed as evaluate_accuracy_relaxed, AccuracyReport,
-    ErrorRunStats,
+    evaluate as evaluate_accuracy, evaluate_relaxed as evaluate_accuracy_relaxed,
+    precision_recall_sweep, AccuracyReport, ErrorRunStats, PrPoint,
 };
 pub use baseline::{run_baseline, BaselineResult};
 pub use config::{FfsVaConfig, StreamThresholds};
+pub use ffsva_telemetry::{PipelineDigest, Telemetry, TelemetrySnapshot};
 pub use instance::{
-    AdmissionController, Placement,
     balance_instances, balance_instances_from, find_max_online_streams, has_spare_capacity,
-    is_overloaded,
+    is_overloaded, AdmissionController, Placement,
 };
-pub use rt_engine::{run_multi_pipeline_rt, run_pipeline_rt, MultiRtResult, RtResult, SurvivingFrame};
+pub use rt_engine::{
+    run_multi_pipeline_rt, run_pipeline_rt, MultiRtResult, RtResult, SurvivingFrame,
+};
 pub use sim::{Engine, FrameTimeline, Mode, SimResult, Stage, StreamInput};
 pub use viz::{
     render_device_occupancy, render_latency_breakdown, render_stage_activity,
     stage_latency_breakdown,
 };
-pub use workload::{prepare_stream, prepare_stream_cached, tile_inputs, PreparedStream, PrepareOptions};
+pub use workload::{
+    prepare_stream, prepare_stream_cached, tile_inputs, PrepareOptions, PreparedStream,
+};

@@ -9,11 +9,23 @@ use crate::config::FfsVaConfig;
 use ffsva_models::bank::FilterBank;
 use ffsva_models::snm::snm_input;
 use ffsva_models::tyolo::TinyYolo;
-use ffsva_sched::{spawn_batch_stage, spawn_filter_stage, FeedbackQueue};
+use ffsva_sched::{spawn_batch_stage_instrumented, spawn_filter_stage_instrumented, FeedbackQueue};
+use ffsva_telemetry::{
+    Histogram, QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot, LATENCY_BOUNDS_US,
+};
 use ffsva_video::LabeledFrame;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A frame in flight through the threaded pipeline, stamped with its
+/// pipeline-entry instant so stages can record end-to-end latency at the
+/// point of disposal (drop or reference completion).
+type InFlight = (Instant, LabeledFrame);
+
+fn elapsed_us(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1e6
+}
 
 /// A frame that survived the full cascade.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -34,6 +46,10 @@ pub struct RtResult {
     pub survivors: Vec<SurvivingFrame>,
     pub wall_time_s: f64,
     pub throughput_fps: f64,
+    /// Every named series the run emitted (DESIGN.md §Telemetry). Frame
+    /// counters carry the same names and values as the DES engine's.
+    #[serde(default)]
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Run one stream's clip through a real threaded four-stage pipeline.
@@ -57,68 +73,127 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
     let number_of_objects = cfg.number_of_objects.max(1);
     let tyolo = Arc::new(tyolo);
 
+    let tel = Telemetry::new();
+    let lat_e2e = tel.histogram("latency.e2e_us", LATENCY_BOUNDS_US);
+    let lat_ref = tel.histogram("latency.ref_us", LATENCY_BOUNDS_US);
+
     // Stage queues at the paper's depth thresholds.
-    let q_sdd: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.sdd_queue_depth.max(1));
-    let q_snm: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.snm_queue_depth.max(1));
-    let q_tyolo: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.tyolo_queue_depth.max(1));
-    let q_ref: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.reference_queue_depth.max(1));
+    let q_sdd: FeedbackQueue<InFlight> = FeedbackQueue::with_telemetry(
+        cfg.sdd_queue_depth.max(1),
+        QueueTelemetry::register(&tel, "queue.sdd"),
+    );
+    let q_snm: FeedbackQueue<InFlight> = FeedbackQueue::with_telemetry(
+        cfg.snm_queue_depth.max(1),
+        QueueTelemetry::register(&tel, "queue.snm"),
+    );
+    let q_tyolo: FeedbackQueue<InFlight> = FeedbackQueue::with_telemetry(
+        cfg.tyolo_queue_depth.max(1),
+        QueueTelemetry::register(&tel, "queue.tyolo"),
+    );
+    let q_ref: FeedbackQueue<InFlight> = FeedbackQueue::with_telemetry(
+        cfg.reference_queue_depth.max(1),
+        QueueTelemetry::register(&tel, "queue.reference"),
+    );
     let q_out: FeedbackQueue<SurvivingFrame> = FeedbackQueue::new(1024);
 
     // SDD stage (CPU in the paper).
     let delta = sdd.delta_diff;
-    let h_sdd = spawn_filter_stage("sdd", q_sdd.clone(), q_snm.clone(), move |lf: LabeledFrame| {
-        if sdd.distance(&lf.frame) > delta {
-            Some(lf)
-        } else {
-            None
-        }
-    });
+    let lat = lat_e2e.clone();
+    let h_sdd = spawn_filter_stage_instrumented(
+        "sdd",
+        q_sdd.clone(),
+        q_snm.clone(),
+        StageTelemetry::register(&tel, "stream0.sdd"),
+        move |(t0, lf): InFlight| {
+            if sdd.distance(&lf.frame) > delta {
+                Some((t0, lf))
+            } else {
+                lat.record(elapsed_us(t0));
+                None
+            }
+        },
+    );
 
     // SNM stage with batch formation (GPU-0 in the paper).
     let policy = cfg.batch_policy;
-    let h_snm = spawn_batch_stage(
+    let c_batches = tel.counter("snm.batches");
+    let lat = lat_e2e.clone();
+    let h_snm = spawn_batch_stage_instrumented(
         "snm",
         q_snm,
         q_tyolo.clone(),
         policy,
-        move |batch: Vec<LabeledFrame>| {
-            let inputs: Vec<Vec<f32>> = batch.iter().map(|lf| snm_input(&lf.frame)).collect();
+        StageTelemetry::register(&tel, "stream0.snm"),
+        move |batch: Vec<InFlight>| {
+            c_batches.inc();
+            let inputs: Vec<Vec<f32>> = batch.iter().map(|(_, lf)| snm_input(&lf.frame)).collect();
             let probs = snm.predict_batch(&inputs);
             batch
                 .into_iter()
                 .zip(probs)
-                .filter(|(_, p)| *p >= t_pre)
-                .map(|(lf, _)| lf)
+                .filter_map(|((t0, lf), p)| {
+                    if p >= t_pre {
+                        Some((t0, lf))
+                    } else {
+                        lat.record(elapsed_us(t0));
+                        None
+                    }
+                })
                 .collect()
         },
     );
 
-    // T-YOLO stage (shared model; GPU-0 in the paper).
+    // T-YOLO stage (shared model; GPU-0 in the paper). In the single-stream
+    // pipeline every invocation is one round-robin cycle of one frame.
     let ty = Arc::clone(&tyolo);
-    let h_tyolo = spawn_filter_stage("tyolo", q_tyolo, q_ref.clone(), move |lf: LabeledFrame| {
-        if ty.count(&lf.frame, target) >= number_of_objects {
-            Some(lf)
-        } else {
-            None
-        }
-    });
+    let c_cycles = tel.counter("tyolo.cycles");
+    let lat = lat_e2e.clone();
+    let h_tyolo = spawn_filter_stage_instrumented(
+        "tyolo",
+        q_tyolo,
+        q_ref.clone(),
+        StageTelemetry::register(&tel, "stream0.tyolo"),
+        move |(t0, lf): InFlight| {
+            c_cycles.inc();
+            if ty.count(&lf.frame, target) >= number_of_objects {
+                Some((t0, lf))
+            } else {
+                lat.record(elapsed_us(t0));
+                None
+            }
+        },
+    );
 
     // Reference stage (GPU-1 in the paper).
-    let h_ref = spawn_filter_stage("reference", q_ref, q_out.clone(), move |lf: LabeledFrame| {
-        Some(SurvivingFrame {
-            seq: lf.frame.seq,
-            pts_ms: lf.frame.pts_ms,
-            reference_count: reference.count(&lf.truth, target),
-        })
-    });
+    let lat = lat_e2e.clone();
+    let lat_r = lat_ref.clone();
+    let h_ref = spawn_filter_stage_instrumented(
+        "reference",
+        q_ref,
+        q_out.clone(),
+        StageTelemetry::register(&tel, "stream0.reference"),
+        move |(t0, lf): InFlight| {
+            let out = SurvivingFrame {
+                seq: lf.frame.seq,
+                pts_ms: lf.frame.pts_ms,
+                reference_count: reference.count(&lf.truth, target),
+            };
+            let us = elapsed_us(t0);
+            lat.record(us);
+            lat_r.record(us);
+            Some(out)
+        },
+    );
 
     // Prefetch thread feeds the pipeline.
     let q_in = q_sdd.clone();
+    let c_in = tel.counter("pipeline.frames_in");
     let feeder = std::thread::spawn(move || {
         for lf in clip {
-            if q_in.push(lf).is_err() {
+            if q_in.push((Instant::now(), lf)).is_err() {
                 break;
             }
+            c_in.inc();
         }
         q_in.close();
     });
@@ -134,12 +209,16 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
     let c_ref = h_ref.join();
 
     let wall = start.elapsed().as_secs_f64();
+    // engine-private series carry the `rt.` prefix and are excluded from
+    // DES↔RT name conformance
+    tel.counter("rt.wall_time_us").add((wall * 1e6) as u64);
     RtResult {
         total_frames: total,
         stage_processed: [c_sdd, c_snm, c_tyolo, c_ref],
         survivors,
         wall_time_s: wall,
         throughput_fps: total as f64 / wall.max(1e-9),
+        telemetry: tel.snapshot(),
     }
 }
 
@@ -153,6 +232,9 @@ pub struct MultiRtResult {
     pub survivors: Vec<Vec<SurvivingFrame>>,
     pub wall_time_s: f64,
     pub throughput_fps: f64,
+    /// Every named series the run emitted (DESIGN.md §Telemetry).
+    #[serde(default)]
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Run several streams through real threaded pipelines that share **one**
@@ -171,15 +253,29 @@ pub fn run_multi_pipeline_rt(
     let num_tyolo = cfg.num_tyolo.max(1);
     let number_of_objects = cfg.number_of_objects.max(1);
 
+    let tel = Telemetry::new();
+    let lat_e2e = tel.histogram("latency.e2e_us", LATENCY_BOUNDS_US);
+    let lat_ref = tel.histogram("latency.ref_us", LATENCY_BOUNDS_US);
+    let c_in = tel.counter("pipeline.frames_in");
+    let c_batches = tel.counter("snm.batches");
+    // Every stream's stage-N queue feeds one shared telemetry bundle, so
+    // the series aggregate across streams under a single name — the same
+    // scopes the DES engine registers.
+    let qt_sdd = QueueTelemetry::register(&tel, "queue.sdd");
+    let qt_snm = QueueTelemetry::register(&tel, "queue.snm");
+    let qt_tyolo = QueueTelemetry::register(&tel, "queue.tyolo");
+    let qt_ref = QueueTelemetry::register(&tel, "queue.reference");
+
     let mut total = 0u64;
     let mut sdd_handles = Vec::new();
     let mut snm_handles = Vec::new();
     let mut feeders = Vec::new();
-    let mut tyolo_qs: Vec<FeedbackQueue<LabeledFrame>> = Vec::new();
-    let mut ref_qs: Vec<FeedbackQueue<LabeledFrame>> = Vec::new();
+    let mut tyolo_qs: Vec<FeedbackQueue<InFlight>> = Vec::new();
+    let mut ref_qs: Vec<FeedbackQueue<InFlight>> = Vec::new();
     let mut out_qs: Vec<FeedbackQueue<SurvivingFrame>> = Vec::new();
     let mut ref_handles = Vec::new();
     let mut targets = Vec::new();
+    let mut tyolo_tels = Vec::new();
     let mut shared_tyolo: Option<Arc<TinyYolo>> = None;
 
     for (s, (clip, bank)) in streams.into_iter().enumerate() {
@@ -199,62 +295,91 @@ pub fn run_multi_pipeline_rt(
         }
         let t_pre = snm.t_pre(cfg.filter_degree);
 
-        let q_sdd: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.sdd_queue_depth.max(1));
-        let q_snm: FeedbackQueue<LabeledFrame> = FeedbackQueue::new(cfg.snm_queue_depth.max(1));
-        let q_tyolo: FeedbackQueue<LabeledFrame> =
-            FeedbackQueue::new(cfg.tyolo_queue_depth.max(1));
-        let q_ref: FeedbackQueue<LabeledFrame> =
-            FeedbackQueue::new(cfg.reference_queue_depth.max(1));
+        let q_sdd: FeedbackQueue<InFlight> =
+            FeedbackQueue::with_telemetry(cfg.sdd_queue_depth.max(1), qt_sdd.clone());
+        let q_snm: FeedbackQueue<InFlight> =
+            FeedbackQueue::with_telemetry(cfg.snm_queue_depth.max(1), qt_snm.clone());
+        let q_tyolo: FeedbackQueue<InFlight> =
+            FeedbackQueue::with_telemetry(cfg.tyolo_queue_depth.max(1), qt_tyolo.clone());
+        let q_ref: FeedbackQueue<InFlight> =
+            FeedbackQueue::with_telemetry(cfg.reference_queue_depth.max(1), qt_ref.clone());
         let q_out: FeedbackQueue<SurvivingFrame> = FeedbackQueue::new(4096);
 
         let delta = sdd.delta_diff;
-        sdd_handles.push(spawn_filter_stage(
+        let lat = lat_e2e.clone();
+        sdd_handles.push(spawn_filter_stage_instrumented(
             format!("sdd-{}", s),
             q_sdd.clone(),
             q_snm.clone(),
-            move |lf: LabeledFrame| {
+            StageTelemetry::register(&tel, &format!("stream{}.sdd", s)),
+            move |(t0, lf): InFlight| {
                 if sdd.distance(&lf.frame) > delta {
-                    Some(lf)
+                    Some((t0, lf))
                 } else {
+                    lat.record(elapsed_us(t0));
                     None
                 }
             },
         ));
-        snm_handles.push(spawn_batch_stage(
+        let batches = c_batches.clone();
+        let lat = lat_e2e.clone();
+        snm_handles.push(spawn_batch_stage_instrumented(
             format!("snm-{}", s),
             q_snm,
             q_tyolo.clone(),
             cfg.batch_policy,
-            move |batch: Vec<LabeledFrame>| {
-                let inputs: Vec<Vec<f32>> = batch.iter().map(|lf| snm_input(&lf.frame)).collect();
+            StageTelemetry::register(&tel, &format!("stream{}.snm", s)),
+            move |batch: Vec<InFlight>| {
+                batches.inc();
+                let inputs: Vec<Vec<f32>> =
+                    batch.iter().map(|(_, lf)| snm_input(&lf.frame)).collect();
                 let probs = snm.predict_batch(&inputs);
                 batch
                     .into_iter()
                     .zip(probs)
-                    .filter(|(_, p)| *p >= t_pre)
-                    .map(|(lf, _)| lf)
+                    .filter_map(|((t0, lf), p)| {
+                        if p >= t_pre {
+                            Some((t0, lf))
+                        } else {
+                            lat.record(elapsed_us(t0));
+                            None
+                        }
+                    })
                     .collect()
             },
         ));
-        ref_handles.push(spawn_filter_stage(
+        let lat = lat_e2e.clone();
+        let lat_r = lat_ref.clone();
+        ref_handles.push(spawn_filter_stage_instrumented(
             format!("reference-{}", s),
             q_ref.clone(),
             q_out.clone(),
-            move |lf: LabeledFrame| {
-                Some(SurvivingFrame {
+            StageTelemetry::register(&tel, &format!("stream{}.reference", s)),
+            move |(t0, lf): InFlight| {
+                let out = SurvivingFrame {
                     seq: lf.frame.seq,
                     pts_ms: lf.frame.pts_ms,
                     reference_count: reference.count(&lf.truth, target),
-                })
+                };
+                let us = elapsed_us(t0);
+                lat.record(us);
+                lat_r.record(us);
+                Some(out)
             },
+        ));
+        tyolo_tels.push(StageTelemetry::register(
+            &tel,
+            &format!("stream{}.tyolo", s),
         ));
 
         let q_in = q_sdd;
+        let frames_in = c_in.clone();
         feeders.push(std::thread::spawn(move || {
             for lf in clip {
-                if q_in.push(lf).is_err() {
+                if q_in.push((Instant::now(), lf)).is_err() {
                     break;
                 }
+                frames_in.inc();
             }
             q_in.close();
         }));
@@ -269,6 +394,8 @@ pub fn run_multi_pipeline_rt(
     let tyolo_in = tyolo_qs.clone();
     let tyolo_out = ref_qs.clone();
     let tyolo_targets = targets.clone();
+    let c_cycles = tel.counter("tyolo.cycles");
+    let lat = lat_e2e.clone();
     let tyolo_handle = std::thread::Builder::new()
         .name("tyolo-shared".into())
         .spawn(move || {
@@ -281,13 +408,21 @@ pub fn run_multi_pipeline_rt(
                         all_closed = false;
                     }
                     // §3.2.3: at most num_tyolo frames per stream per cycle
-                    for lf in tyolo_in[s].try_pop_up_to(num_tyolo) {
+                    for (t0, lf) in tyolo_in[s].try_pop_up_to(num_tyolo) {
                         any = true;
                         processed += 1;
+                        tyolo_tels[s].frames_in.inc();
                         if tyolo.count(&lf.frame, tyolo_targets[s]) >= number_of_objects {
-                            let _ = tyolo_out[s].push(lf);
+                            tyolo_tels[s].frames_out.inc();
+                            let _ = tyolo_out[s].push((t0, lf));
+                        } else {
+                            tyolo_tels[s].frames_dropped.inc();
+                            lat.record(elapsed_us(t0));
                         }
                     }
+                }
+                if any {
+                    c_cycles.inc();
                 }
                 if all_closed {
                     break;
@@ -333,12 +468,14 @@ pub fn run_multi_pipeline_rt(
     let ref_n: u64 = ref_handles.into_iter().map(|h| h.join()).sum();
 
     let wall = start.elapsed().as_secs_f64();
+    tel.counter("rt.wall_time_us").add((wall * 1e6) as u64);
     MultiRtResult {
         total_frames: total,
         stage_processed: [sdd_n, snm_n, tyolo_n, ref_n],
         survivors,
         wall_time_s: wall,
         throughput_fps: total as f64 / wall.max(1e-9),
+        telemetry: tel.snapshot(),
     }
 }
 
@@ -399,6 +536,35 @@ mod tests {
             r.survivors.len(),
             targets
         );
+        // telemetry frame counters mirror the stage handles exactly
+        let snap = &r.telemetry;
+        assert_eq!(snap.counter("pipeline.frames_in"), 900);
+        for (i, stage) in ["sdd", "snm", "tyolo", "reference"].iter().enumerate() {
+            assert_eq!(
+                snap.counter(&format!("stream0.{}.frames_in", stage)),
+                r.stage_processed[i],
+                "{} frames_in",
+                stage
+            );
+            assert_eq!(
+                snap.counter(&format!("stream0.{}.frames_in", stage)),
+                snap.counter(&format!("stream0.{}.frames_out", stage))
+                    + snap.counter(&format!("stream0.{}.frames_dropped", stage)),
+                "{} conservation",
+                stage
+            );
+        }
+        assert_eq!(
+            snap.counter("stream0.reference.frames_out"),
+            r.survivors.len() as u64
+        );
+        // every frame was disposed with an end-to-end latency sample
+        assert_eq!(snap.histograms["latency.e2e_us"].count, 900);
+        assert_eq!(
+            snap.histograms["latency.ref_us"].count,
+            r.stage_processed[3]
+        );
+        assert!(snap.histograms["queue.sdd.depth_on_push"].count >= 900);
     }
 
     #[test]
@@ -440,12 +606,7 @@ mod tests {
         assert_eq!(r.stage_processed[0], 800);
         assert_eq!(r.survivors.len(), 2);
         for (s, n_expected) in expected.iter().enumerate() {
-            assert_eq!(
-                r.survivors[s].len(),
-                *n_expected,
-                "stream {} survivors",
-                s
-            );
+            assert_eq!(r.survivors[s].len(), *n_expected, "stream {} survivors", s);
             // FIFO order preserved per stream
             for w in r.survivors[s].windows(2) {
                 assert!(w[0].seq < w[1].seq);

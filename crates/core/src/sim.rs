@@ -14,6 +14,10 @@ use crate::config::{FfsVaConfig, StreamThresholds};
 use ffsva_models::cost::{sdd_cost, snm_cost, tyolo_cost, yolov2_cost};
 use ffsva_models::FrameTrace;
 use ffsva_sched::{Device, DeviceKind, EventQueue, LatencyStats, ModelKey, SimQueue};
+use ffsva_telemetry::{
+    Counter, Histogram, QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot,
+    LATENCY_BOUNDS_US,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -168,6 +172,10 @@ pub struct SimResult {
     pub snm_switches: u64,
     /// Mean SNM batch size actually formed.
     pub mean_snm_batch: f64,
+    /// Every named series the run emitted (DESIGN.md §Telemetry). Frame
+    /// counters carry the same names and values as the RT engine's.
+    #[serde(default)]
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl SimResult {
@@ -217,6 +225,15 @@ pub struct Engine {
     snm_batches: u64,
     snm_batched_frames: u64,
     timelines: Option<Vec<Vec<FrameTimeline>>>,
+    telemetry: Telemetry,
+    /// Per-stream per-stage frame accounting (`stream{s}.{stage}.frames_*`),
+    /// indexed by [`Stage`].
+    stage_tel: Vec<[StageTelemetry; 4]>,
+    c_frames_in: Counter,
+    c_snm_batches: Counter,
+    c_tyolo_cycles: Counter,
+    h_e2e: Histogram,
+    h_ref: Histogram,
 }
 
 impl Engine {
@@ -227,6 +244,24 @@ impl Engine {
         } else {
             usize::MAX / 4 // static batching implies unbounded SNM queues
         };
+        // Every stream's stage-N queue feeds one shared telemetry bundle,
+        // so the series aggregate across streams under a single name — the
+        // same scopes the RT engine registers.
+        let telemetry = Telemetry::new();
+        let qt_sdd = QueueTelemetry::register(&telemetry, "queue.sdd");
+        let qt_snm = QueueTelemetry::register(&telemetry, "queue.snm");
+        let qt_tyolo = QueueTelemetry::register(&telemetry, "queue.tyolo");
+        let qt_ref = QueueTelemetry::register(&telemetry, "queue.reference");
+        let stage_tel: Vec<[StageTelemetry; 4]> = (0..inputs.len())
+            .map(|s| {
+                [
+                    StageTelemetry::register(&telemetry, &format!("stream{}.sdd", s)),
+                    StageTelemetry::register(&telemetry, &format!("stream{}.snm", s)),
+                    StageTelemetry::register(&telemetry, &format!("stream{}.tyolo", s)),
+                    StageTelemetry::register(&telemetry, &format!("stream{}.reference", s)),
+                ]
+            })
+            .collect();
         let streams: Vec<StreamState> = inputs
             .into_iter()
             .map(|input| StreamState {
@@ -234,9 +269,9 @@ impl Engine {
                 next_idx: 0,
                 backlog: VecDeque::new(),
                 max_backlog: 0,
-                sdd_q: SimQueue::new(cfg.sdd_queue_depth),
-                snm_q: SimQueue::new(snm_cap),
-                tyolo_q: SimQueue::new(cfg.tyolo_queue_depth),
+                sdd_q: SimQueue::with_telemetry(cfg.sdd_queue_depth, qt_sdd.clone()),
+                snm_q: SimQueue::with_telemetry(snm_cap, qt_snm.clone()),
+                tyolo_q: SimQueue::with_telemetry(cfg.tyolo_queue_depth, qt_tyolo.clone()),
                 sdd_busy: false,
                 snm_busy: false,
                 sdd_out_pending: VecDeque::new(),
@@ -268,7 +303,7 @@ impl Engine {
             tyolo_inflight: 0,
             tyolo_out_pending: VecDeque::new(),
             tyolo_rr: 0,
-            ref_q: SimQueue::new(cfg.reference_queue_depth),
+            ref_q: SimQueue::with_telemetry(cfg.reference_queue_depth, qt_ref),
             ref_busy: vec![false; n_ref],
             latency: LatencyStats::new(),
             ref_latency: LatencyStats::new(),
@@ -279,7 +314,19 @@ impl Engine {
             snm_batches: 0,
             snm_batched_frames: 0,
             timelines: None,
+            c_frames_in: telemetry.counter("pipeline.frames_in"),
+            c_snm_batches: telemetry.counter("snm.batches"),
+            c_tyolo_cycles: telemetry.counter("tyolo.cycles"),
+            h_e2e: telemetry.histogram("latency.e2e_us", LATENCY_BOUNDS_US),
+            h_ref: telemetry.histogram("latency.ref_us", LATENCY_BOUNDS_US),
+            telemetry,
+            stage_tel,
         }
+    }
+
+    /// The run's metrics registry (series per DESIGN.md §Telemetry).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Enable per-frame stage-timestamp tracing; retrieve the timelines with
@@ -365,6 +412,8 @@ impl Engine {
                         arrival_us: now,
                     };
                     st.next_idx += 1;
+                    self.c_frames_in.inc();
+                    let st = &mut self.streams[stream];
                     if let Err(t) = st.sdd_q.push(token) {
                         st.backlog.push_back(t);
                         st.max_backlog = st.max_backlog.max(st.backlog.len());
@@ -381,14 +430,23 @@ impl Engine {
                 self.streams[stream].sdd_busy = false;
                 for t in tokens {
                     self.stage_executed[Stage::Sdd as usize] += 1;
+                    self.stage_tel[t.stream][Stage::Sdd as usize]
+                        .frames_in
+                        .inc();
                     self.record(t.stream, t.idx, |tl| tl.sdd_done_us = now);
                     let st = &mut self.streams[t.stream];
                     let pass = st.trace(t.idx).sdd_pass(st.input.thresholds.delta_diff);
                     if pass {
                         st.sdd_out_pending.push_back(t);
+                        self.stage_tel[t.stream][Stage::Sdd as usize]
+                            .frames_out
+                            .inc();
                     } else {
                         self.record(t.stream, t.idx, |tl| tl.dropped_at = Some(Stage::Sdd));
                         self.stage_dropped[Stage::Sdd as usize] += 1;
+                        self.stage_tel[t.stream][Stage::Sdd as usize]
+                            .frames_dropped
+                            .inc();
                         self.dispose(t, now);
                     }
                 }
@@ -397,14 +455,23 @@ impl Engine {
                 self.streams[stream].snm_busy = false;
                 for t in tokens {
                     self.stage_executed[Stage::Snm as usize] += 1;
+                    self.stage_tel[t.stream][Stage::Snm as usize]
+                        .frames_in
+                        .inc();
                     self.record(t.stream, t.idx, |tl| tl.snm_done_us = now);
                     let st = &mut self.streams[stream];
                     let pass = st.trace(t.idx).snm_pass(st.input.thresholds.t_pre);
                     if pass {
                         st.snm_out_pending.push_back(t);
+                        self.stage_tel[t.stream][Stage::Snm as usize]
+                            .frames_out
+                            .inc();
                     } else {
                         self.record(t.stream, t.idx, |tl| tl.dropped_at = Some(Stage::Snm));
                         self.stage_dropped[Stage::Snm as usize] += 1;
+                        self.stage_tel[t.stream][Stage::Snm as usize]
+                            .frames_dropped
+                            .inc();
                         self.dispose(t, now);
                     }
                 }
@@ -414,6 +481,9 @@ impl Engine {
                 for t in tokens {
                     self.stage_executed[Stage::TYolo as usize] += 1;
                     self.tyolo_frames += 1;
+                    self.stage_tel[t.stream][Stage::TYolo as usize]
+                        .frames_in
+                        .inc();
                     self.record(t.stream, t.idx, |tl| tl.tyolo_done_us = now);
                     let st = &self.streams[t.stream];
                     let pass = st
@@ -421,9 +491,15 @@ impl Engine {
                         .tyolo_pass(st.input.thresholds.number_of_objects);
                     if pass {
                         self.tyolo_out_pending.push_back(t);
+                        self.stage_tel[t.stream][Stage::TYolo as usize]
+                            .frames_out
+                            .inc();
                     } else {
                         self.record(t.stream, t.idx, |tl| tl.dropped_at = Some(Stage::TYolo));
                         self.stage_dropped[Stage::TYolo as usize] += 1;
+                        self.stage_tel[t.stream][Stage::TYolo as usize]
+                            .frames_dropped
+                            .inc();
                         self.dispose(t, now);
                     }
                 }
@@ -431,8 +507,12 @@ impl Engine {
             Ev::RefDone { token, gpu } => {
                 self.ref_busy[gpu] = false;
                 self.stage_executed[Stage::Reference as usize] += 1;
+                let rt = &self.stage_tel[token.stream][Stage::Reference as usize];
+                rt.frames_in.inc();
+                rt.frames_out.inc(); // the reference model analyzes, never drops
                 self.record(token.stream, token.idx, |tl| tl.reference_done_us = now);
                 self.ref_latency.record(now - token.arrival_us);
+                self.h_ref.record(now - token.arrival_us);
                 self.per_stream_ref_latency[token.stream].record(now - token.arrival_us);
                 self.dispose(token, now);
             }
@@ -442,6 +522,7 @@ impl Engine {
     /// Record a frame's final disposition (dropped or fully analyzed).
     fn dispose(&mut self, t: Token, now: f64) {
         self.latency.record(now - t.arrival_us);
+        self.h_e2e.record(now - t.arrival_us);
         let st = &mut self.streams[t.stream];
         st.disposed += 1;
         st.first_disposed_us = st.first_disposed_us.min(now);
@@ -530,6 +611,7 @@ impl Engine {
                     progress = true;
                 }
             }
+            self.c_frames_in.add(recorded.len() as u64);
             for idx in recorded {
                 self.record(s, idx, |tl| tl.arrival_us = now);
             }
@@ -608,6 +690,7 @@ impl Engine {
             );
             self.snm_batches += 1;
             self.snm_batched_frames += tokens.len() as u64;
+            self.c_snm_batches.inc();
             self.events
                 .schedule(done.end_us, Ev::SnmDone { stream: s, tokens });
             progress = true;
@@ -648,6 +731,7 @@ impl Engine {
                 return false;
             }
             self.tyolo_inflight += 1;
+            self.c_tyolo_cycles.inc();
             let done = self.filter_gpus[gpu_idx].invoke(
                 ModelKey::TYolo,
                 tokens.len(),
@@ -679,6 +763,7 @@ impl Engine {
                 return false;
             }
             self.tyolo_inflight += 1;
+            self.c_tyolo_cycles.inc();
             let extra = if n_streams > 1 { TYOLO_RELOAD_US } else { 0.0 };
             let done = self.filter_gpus[gpu_idx].invoke(
                 ModelKey::TYoloStream(served as u32),
@@ -709,21 +794,28 @@ impl Engine {
                 spec.per_frame_us,
                 now,
             );
-            self.events.schedule(done.end_us, Ev::RefDone { token, gpu });
+            self.events
+                .schedule(done.end_us, Ev::RefDone { token, gpu });
             progress = true;
         }
         progress
     }
 
-    fn finish(self) -> SimResult {
+    fn finish(mut self) -> SimResult {
         let makespan = self.events.now().max(1.0);
+        // engine-private series carry the `des.` prefix and are excluded
+        // from DES↔RT name conformance
+        self.telemetry
+            .counter("des.events_processed")
+            .add(self.events.processed());
+        let telemetry = self.telemetry.snapshot();
         let total: u64 = self.streams.iter().map(|s| s.disposed).sum();
         let per_stream_fps: Vec<f64> = self
             .streams
             .iter()
             .map(|s| {
-                let span = (s.last_disposed_us - s.first_disposed_us.min(s.last_disposed_us))
-                    .max(1.0);
+                let span =
+                    (s.last_disposed_us - s.first_disposed_us.min(s.last_disposed_us)).max(1.0);
                 s.disposed as f64 * 1e6 / span
             })
             .collect();
@@ -777,9 +869,9 @@ impl Engine {
             } else {
                 self.snm_batched_frames as f64 / self.snm_batches as f64
             },
+            telemetry,
         }
     }
-
 }
 
 #[cfg(test)]
@@ -826,7 +918,7 @@ mod tests {
         let r = Engine::new(base_cfg(), Mode::Offline, vec![input]).run();
         assert_eq!(r.total_frames, 1000);
         assert_eq!(r.stage_executed[0], 1000); // SDD sees everything
-        // 10% of frames are targets: they flow down the cascade
+                                               // 10% of frames are targets: they flow down the cascade
         assert_eq!(r.stage_executed[3], 100);
         assert_eq!(
             r.stage_dropped[0] + r.stage_dropped[1] + r.stage_dropped[2] + r.stage_executed[3],
@@ -884,11 +976,7 @@ mod tests {
 
     #[test]
     fn dynamic_batching_has_lower_latency_than_static() {
-        let mk = || {
-            (0..6)
-                .map(|_| synthetic_input(900, 5))
-                .collect::<Vec<_>>()
-        };
+        let mk = || (0..6).map(|_| synthetic_input(900, 5)).collect::<Vec<_>>();
         let mut cfg_static = base_cfg();
         cfg_static.batch_policy = BatchPolicy::Static { size: 30 };
         let r_static = Engine::new(cfg_static, Mode::Online, mk()).run();
@@ -907,11 +995,7 @@ mod tests {
 
     #[test]
     fn batching_reduces_model_switches() {
-        let mk = || {
-            (0..8)
-                .map(|_| synthetic_input(600, 3))
-                .collect::<Vec<_>>()
-        };
+        let mk = || (0..8).map(|_| synthetic_input(600, 3)).collect::<Vec<_>>();
         let mut cfg1 = base_cfg();
         cfg1.batch_policy = BatchPolicy::Dynamic { size: 1 };
         let r1 = Engine::new(cfg1, Mode::Offline, mk()).run();
@@ -988,8 +1072,7 @@ mod tests {
     #[test]
     fn traced_run_timelines_are_monotonic_and_complete() {
         let input = synthetic_input(600, 5);
-        let (r, timelines) = Engine::new(base_cfg(), Mode::Offline, vec![input])
-            .run_traced();
+        let (r, timelines) = Engine::new(base_cfg(), Mode::Offline, vec![input]).run_traced();
         assert_eq!(r.total_frames, 600);
         assert_eq!(timelines.len(), 1);
         assert_eq!(timelines[0].len(), 600);
@@ -1028,6 +1111,48 @@ mod tests {
         let (traced, _) = Engine::new(base_cfg(), Mode::Offline, mk()).run_traced();
         assert_eq!(plain.makespan_us, traced.makespan_us);
         assert_eq!(plain.stage_executed, traced.stage_executed);
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_stage_accounting() {
+        let input = synthetic_input(800, 4);
+        let r = Engine::new(base_cfg(), Mode::Offline, vec![input]).run();
+        let snap = &r.telemetry;
+        assert_eq!(snap.counter("pipeline.frames_in"), 800);
+        for (i, stage) in ["sdd", "snm", "tyolo", "reference"].iter().enumerate() {
+            assert_eq!(
+                snap.stage_total(stage, "frames_in"),
+                r.stage_executed[i],
+                "{} frames_in",
+                stage
+            );
+            if i < 3 {
+                assert_eq!(
+                    snap.stage_total(stage, "frames_dropped"),
+                    r.stage_dropped[i],
+                    "{} frames_dropped",
+                    stage
+                );
+            }
+        }
+        // conservation per stage: in = out + dropped
+        for stage in ["sdd", "snm", "tyolo", "reference"] {
+            assert_eq!(
+                snap.stage_total(stage, "frames_in"),
+                snap.stage_total(stage, "frames_out") + snap.stage_total(stage, "frames_dropped"),
+                "{} conservation",
+                stage
+            );
+        }
+        // latency histogram saw every disposed frame, and its quantiles
+        // bracket the exact sample-based ones
+        let h = &snap.histograms["latency.e2e_us"];
+        assert_eq!(h.count, 800);
+        assert!(h.max >= r.p99_latency_us);
+        // queue depth histograms observed every push
+        assert!(snap.histograms["queue.sdd.depth_on_push"].count >= 800);
+        assert!(snap.counter("des.events_processed") > 0);
+        assert_eq!(snap.counter("snm.batches"), r.snm_invocations);
     }
 
     #[test]

@@ -82,9 +82,13 @@ pub fn render_stage_activity(timelines: &[Vec<FrameTimeline>], width: usize) -> 
 /// model-switch-heavy buckets.
 pub fn render_device_occupancy(log: &[InvocationRecord], width: usize) -> String {
     assert!(width >= 2, "need at least two buckets");
-    let Some(t_max) = log.iter().map(|r| r.end_us).fold(None, |a: Option<f64>, v| {
-        Some(a.map_or(v, |m: f64| m.max(v)))
-    }) else {
+    let Some(t_max) = log
+        .iter()
+        .map(|r| r.end_us)
+        .fold(None, |a: Option<f64>, v| {
+            Some(a.map_or(v, |m: f64| m.max(v)))
+        })
+    else {
         return "(no invocations)\n".to_string();
     };
     let bucket = t_max / width as f64;
@@ -149,12 +153,16 @@ pub fn stage_latency_breakdown(timelines: &[Vec<FrameTimeline>]) -> [ffsva_sched
 
 /// Render the breakdown as an aligned text table.
 pub fn render_latency_breakdown(timelines: &[Vec<FrameTimeline>]) -> String {
-    let stats = stage_latency_breakdown(timelines);
+    let mut stats = stage_latency_breakdown(timelines);
     let names = ["SDD", "SNM", "T-YOLO", "reference"];
     let mut out = String::new();
     let _ = writeln!(out, "per-stage latency (queueing + service, ms):");
-    let _ = writeln!(out, "{:<10} {:>8} {:>10} {:>10} {:>10}", "stage", "frames", "mean", "p99", "max");
-    for (name, st) in names.iter().zip(stats.iter()) {
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>10} {:>10} {:>10}",
+        "stage", "frames", "mean", "p99", "max"
+    );
+    for (name, st) in names.iter().zip(stats.iter_mut()) {
         let _ = writeln!(
             out,
             "{:<10} {:>8} {:>10.2} {:>10.2} {:>10.2}",
@@ -244,7 +252,7 @@ mod tests {
     #[test]
     fn latency_breakdown_measures_hops() {
         let timelines = vec![vec![
-            tl(10.0, 25.0, 75.0, 175.0), // hops: 10, 15, 50, 100
+            tl(10.0, 25.0, 75.0, 175.0),            // hops: 10, 15, 50, 100
             tl(20.0, f64::NAN, f64::NAN, f64::NAN), // only the SDD hop (20)
         ]];
         let stats = stage_latency_breakdown(&timelines);

@@ -188,7 +188,11 @@ mod tests {
         assert_eq!(ps.traces.len(), 800);
         assert!(ps.delta_diff > 0.0);
         assert!(ps.c_low < ps.c_high);
-        assert!((0.1..0.6).contains(&ps.measured_tor), "tor {}", ps.measured_tor);
+        assert!(
+            (0.1..0.6).contains(&ps.measured_tor),
+            "tor {}",
+            ps.measured_tor
+        );
     }
 
     #[test]

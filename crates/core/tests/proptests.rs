@@ -12,10 +12,10 @@ use proptest::prelude::*;
 fn arb_traces() -> impl Strategy<Value = Vec<FrameTrace>> {
     proptest::collection::vec(
         (
-            0.0f32..0.02,  // sdd distance
-            0.0f32..1.0,   // snm prob
-            0u16..4,       // tyolo count
-            0u16..4,       // reference count
+            0.0f32..0.02, // sdd distance
+            0.0f32..1.0,  // snm prob
+            0u16..4,      // tyolo count
+            0u16..4,      // reference count
         ),
         1..400,
     )

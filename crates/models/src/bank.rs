@@ -137,16 +137,16 @@ impl FilterBank {
             pts_ms: lf.frame.pts_ms,
             sdd_distance: self.sdd.distance(&lf.frame),
             snm_prob: self.snm.predict(&lf.frame),
-            tyolo_count: self.tyolo.count(&lf.frame, self.target).min(u16::MAX as usize) as u16,
+            tyolo_count: self
+                .tyolo
+                .count(&lf.frame, self.target)
+                .min(u16::MAX as usize) as u16,
             reference_count: self
                 .reference
                 .count(&lf.truth, self.target)
                 .min(u16::MAX as usize) as u16,
             truth_count: lf.truth.count(self.target).min(u16::MAX as usize) as u16,
-            truth_complete: lf
-                .truth
-                .count_complete(self.target)
-                .min(u16::MAX as usize) as u16,
+            truth_complete: lf.truth.count_complete(self.target).min(u16::MAX as usize) as u16,
         }
     }
 

@@ -121,10 +121,7 @@ mod tests {
     fn is_target_frame_thresholds_count() {
         let r = ReferenceModel::default();
         let truth = GroundTruth {
-            objects: vec![
-                gt(1.0).objects[0],
-                gt(1.0).objects[0],
-            ],
+            objects: vec![gt(1.0).objects[0], gt(1.0).objects[0]],
         };
         assert!(r.is_target_frame(&truth, ObjectClass::Car, 2));
         assert!(!r.is_target_frame(&truth, ObjectClass::Car, 3));

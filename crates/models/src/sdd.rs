@@ -361,7 +361,11 @@ mod tests {
     #[test]
     fn metrics_are_zero_on_reference_itself() {
         let (_, bg) = clips();
-        for metric in [DistanceMetric::Mse, DistanceMetric::Nrmse, DistanceMetric::Sad] {
+        for metric in [
+            DistanceMetric::Mse,
+            DistanceMetric::Nrmse,
+            DistanceMetric::Sad,
+        ] {
             let sdd = SddFilter::from_background(&bg[..1], metric, 0.0);
             let d = sdd.distance(&bg[0]);
             assert!(d < 1e-6, "{:?} distance {}", metric, d);
@@ -437,7 +441,11 @@ mod tests {
         }
         assert!(n > 100);
         assert!(moving_ref as f64 / n as f64 > 0.9);
-        assert!(moving_diff as f64 / n as f64 > 0.5, "moving diff pass {}", moving_diff as f64 / n as f64);
+        assert!(
+            moving_diff as f64 / n as f64 > 0.5,
+            "moving diff pass {}",
+            moving_diff as f64 / n as f64
+        );
 
         // a parked car: synthesize by repeating one target frame
         let parked = clip

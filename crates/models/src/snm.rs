@@ -11,9 +11,9 @@
 //! ```
 
 use crate::filter::Verdict;
-use ffsva_tensor::prelude::*;
 use ffsva_tensor::layers::{Activation, Conv2d, Dense, GlobalMaxPool};
 use ffsva_tensor::ops::sigmoid_scalar;
+use ffsva_tensor::prelude::*;
 use ffsva_tensor::train::{self, TrainConfig};
 use ffsva_video::resize::resize_frame_f32;
 use ffsva_video::{Frame, LabeledFrame, ObjectClass};
@@ -447,7 +447,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         let mut m = SnmModel::architecture(ObjectClass::Car, &mut rng);
         let inputs: Vec<Vec<f32>> = (0..3)
-            .map(|k| (0..SNM_SIZE * SNM_SIZE).map(|i| ((i + k) % 7) as f32 / 7.0).collect())
+            .map(|k| {
+                (0..SNM_SIZE * SNM_SIZE)
+                    .map(|i| ((i + k) % 7) as f32 / 7.0)
+                    .collect()
+            })
             .collect();
         let batch = m.predict_batch(&inputs);
         for (i, inp) in inputs.iter().enumerate() {
@@ -474,7 +478,11 @@ mod tests {
             .zip(b.iter())
             .map(|(x, y)| (x - y).abs())
             .fold(0.0f32, f32::max);
-        assert!(max_diff < 0.02, "standardization should cancel gain/offset: {}", max_diff);
+        assert!(
+            max_diff < 0.02,
+            "standardization should cancel gain/offset: {}",
+            max_diff
+        );
     }
 
     #[test]

@@ -180,7 +180,11 @@ pub fn train_multi_snm(
             total += loss;
             batches += 1;
         }
-        losses.push(if batches > 0 { total / batches as f32 } else { 0.0 });
+        losses.push(if batches > 0 {
+            total / batches as f32
+        } else {
+            0.0
+        });
         sgd.lr *= 0.92;
     }
 
@@ -227,8 +231,13 @@ mod tests {
         cfg.distractor_classes = vec![ObjectClass::Dog];
         let mut s = VideoStream::new(0, cfg);
         let clip = s.clip(3500);
-        let (mut model, report) =
-            train_multi_snm(&clip, vec![ObjectClass::Car, ObjectClass::Dog], 20, 0.08, &mut rng);
+        let (mut model, report) = train_multi_snm(
+            &clip,
+            vec![ObjectClass::Car, ObjectClass::Dog],
+            20,
+            0.08,
+            &mut rng,
+        );
         assert!(report.class_counts[0] > 0, "background samples");
         assert!(report.class_counts[1] > 0, "car samples");
         assert!(report.class_counts[2] > 0, "dog samples");

@@ -56,12 +56,10 @@ impl Default for TinyYoloConfig {
 }
 
 /// The shared T-YOLO detector instance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct TinyYolo {
     pub cfg: TinyYoloConfig,
 }
-
 
 /// Box blur with an integral image (O(1) per pixel).
 fn box_blur(src: &[f32], w: usize, h: usize, r: usize) -> Vec<f32> {
@@ -81,7 +79,8 @@ fn box_blur(src: &[f32], w: usize, h: usize, r: usize) -> Vec<f32> {
         for x in 0..w {
             let x0 = x.saturating_sub(r);
             let x1 = (x + r + 1).min(w);
-            let sum = integral[y1 * (w + 1) + x1] - integral[y0 * (w + 1) + x1]
+            let sum = integral[y1 * (w + 1) + x1]
+                - integral[y0 * (w + 1) + x1]
                 - integral[y1 * (w + 1) + x0]
                 + integral[y0 * (w + 1) + x0];
             out[y * w + x] = (sum / ((y1 - y0) * (x1 - x0)) as f64) as f32;
@@ -518,7 +517,10 @@ mod tests {
         let ty = TinyYolo::default();
         let lf = clip
             .iter()
-            .find(|lf| lf.truth.count_complete(ObjectClass::Car) >= 1 && ty.count(&lf.frame, ObjectClass::Car) >= 1)
+            .find(|lf| {
+                lf.truth.count_complete(ObjectClass::Car) >= 1
+                    && ty.count(&lf.frame, ObjectClass::Car) >= 1
+            })
             .expect("a detectable car frame");
         assert_eq!(ty.check(&lf.frame, ObjectClass::Car, 1), Verdict::Pass);
         assert_eq!(ty.check(&lf.frame, ObjectClass::Car, 50), Verdict::Drop);

@@ -8,16 +8,21 @@ use ffsva_video::{Frame, ObjectClass};
 use proptest::prelude::*;
 
 fn arb_detection() -> impl Strategy<Value = Detection> {
-    (0.0f32..1.0, 0.0f32..1.0, 0.01f32..0.5, 0.01f32..0.5, 0.0f32..1.0).prop_map(
-        |(cx, cy, w, h, c)| Detection {
+    (
+        0.0f32..1.0,
+        0.0f32..1.0,
+        0.01f32..0.5,
+        0.01f32..0.5,
+        0.0f32..1.0,
+    )
+        .prop_map(|(cx, cy, w, h, c)| Detection {
             class: ObjectClass::Car,
             cx,
             cy,
             w,
             h,
             confidence: c,
-        },
-    )
+        })
 }
 
 proptest! {

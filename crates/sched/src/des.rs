@@ -79,6 +79,11 @@ impl<E> EventQueue<E> {
         self.processed
     }
 
+    /// Total events ever scheduled (processed + pending).
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Schedule an event at absolute virtual time `at_us`.
     ///
     /// # Panics

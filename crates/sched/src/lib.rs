@@ -42,6 +42,10 @@ pub mod stats;
 pub use batch::BatchPolicy;
 pub use des::EventQueue;
 pub use device::{Completion, Device, DeviceKind, InvocationRecord, ModelKey};
+pub use ffsva_telemetry::{QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot};
 pub use queue::{FeedbackQueue, QueueStats, SimQueue};
-pub use rt::{spawn_batch_stage, spawn_filter_stage, StageHandle};
+pub use rt::{
+    spawn_batch_stage, spawn_batch_stage_instrumented, spawn_filter_stage,
+    spawn_filter_stage_instrumented, StageHandle,
+};
 pub use stats::{LatencyStats, Throughput};

@@ -10,11 +10,12 @@
 //!   real-time engine; a full queue blocks the producer, which *is* the
 //!   paper's feedback mechanism (§4.3.1).
 
+use ffsva_telemetry::QueueTelemetry;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Statistics kept by both queue flavours.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -33,6 +34,7 @@ pub struct SimQueue<T> {
     items: VecDeque<T>,
     capacity: usize,
     stats: QueueStats,
+    telemetry: Option<QueueTelemetry>,
 }
 
 impl<T> SimQueue<T> {
@@ -44,7 +46,16 @@ impl<T> SimQueue<T> {
             items: VecDeque::with_capacity(capacity.min(1024)),
             capacity,
             stats: QueueStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Like [`SimQueue::new`], but every push/backpressure event also feeds
+    /// the given telemetry bundle (depth gauge + at-push histogram).
+    pub fn with_telemetry(capacity: usize, telemetry: QueueTelemetry) -> Self {
+        let mut q = Self::new(capacity);
+        q.telemetry = Some(telemetry);
+        q
     }
 
     pub fn capacity(&self) -> usize {
@@ -68,11 +79,19 @@ impl<T> SimQueue<T> {
     pub fn push(&mut self, item: T) -> Result<(), T> {
         if self.is_full() {
             self.stats.backpressure_events += 1;
+            if let Some(t) = &self.telemetry {
+                t.backpressure.inc();
+            }
             return Err(item);
         }
         self.items.push_back(item);
         self.stats.pushed += 1;
-        self.stats.max_depth = self.stats.max_depth.max(self.items.len());
+        let depth = self.items.len();
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        if let Some(t) = &self.telemetry {
+            t.depth.set(depth as u64);
+            t.depth_on_push.record(depth as f64);
+        }
         Ok(())
     }
 
@@ -107,6 +126,30 @@ struct Inner<T> {
     not_empty: Condvar,
     capacity: usize,
     closed: AtomicBool,
+    telemetry: Option<QueueTelemetry>,
+}
+
+impl<T> Inner<T> {
+    /// Depth gauge + at-push histogram, fed after a successful push.
+    fn note_push(&self, depth: usize) {
+        if let Some(t) = &self.telemetry {
+            t.depth.set(depth as u64);
+            t.depth_on_push.record(depth as f64);
+        }
+    }
+
+    /// Wall time a producer just spent blocked on a full queue.
+    fn note_blocked(&self, since: Instant) {
+        if let Some(t) = &self.telemetry {
+            t.blocked_push_us.add(since.elapsed().as_micros() as u64);
+        }
+    }
+
+    fn note_backpressure(&self) {
+        if let Some(t) = &self.telemetry {
+            t.backpressure.inc();
+        }
+    }
 }
 
 /// Thread-safe blocking bounded queue (the real-time engine's feedback
@@ -125,14 +168,30 @@ impl<T> Clone for FeedbackQueue<T> {
 
 impl<T> FeedbackQueue<T> {
     pub fn new(capacity: usize) -> Self {
+        Self::build(capacity, None)
+    }
+
+    /// Like [`FeedbackQueue::new`], but pushes also feed the given telemetry
+    /// bundle: depth gauge, at-push depth histogram, wall time producers
+    /// spend blocked on a full queue, and backpressure events.
+    pub fn with_telemetry(capacity: usize, telemetry: QueueTelemetry) -> Self {
+        Self::build(capacity, Some(telemetry))
+    }
+
+    fn build(capacity: usize, telemetry: Option<QueueTelemetry>) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         FeedbackQueue {
             inner: Arc::new(Inner {
-                queue: Mutex::new((VecDeque::with_capacity(capacity), QueueStats::default(), false)),
+                queue: Mutex::new((
+                    VecDeque::with_capacity(capacity),
+                    QueueStats::default(),
+                    false,
+                )),
                 not_full: Condvar::new(),
                 not_empty: Condvar::new(),
                 capacity,
                 closed: AtomicBool::new(false),
+                telemetry,
             }),
         }
     }
@@ -171,12 +230,16 @@ impl<T> FeedbackQueue<T> {
         let mut g = self.inner.queue.lock();
         if g.0.len() >= self.inner.capacity {
             g.1.backpressure_events += 1;
-        }
-        while g.0.len() >= self.inner.capacity {
-            if g.2 {
-                return Err(item);
+            self.inner.note_backpressure();
+            let blocked_at = Instant::now();
+            while g.0.len() >= self.inner.capacity {
+                if g.2 {
+                    self.inner.note_blocked(blocked_at);
+                    return Err(item);
+                }
+                self.inner.not_full.wait(&mut g);
             }
-            self.inner.not_full.wait(&mut g);
+            self.inner.note_blocked(blocked_at);
         }
         if g.2 {
             return Err(item);
@@ -185,6 +248,7 @@ impl<T> FeedbackQueue<T> {
         g.1.pushed += 1;
         let depth = g.0.len();
         g.1.max_depth = g.1.max_depth.max(depth);
+        self.inner.note_push(depth);
         drop(g);
         self.inner.not_empty.notify_one();
         Ok(())
@@ -195,12 +259,14 @@ impl<T> FeedbackQueue<T> {
         let mut g = self.inner.queue.lock();
         if g.2 || g.0.len() >= self.inner.capacity {
             g.1.backpressure_events += 1;
+            self.inner.note_backpressure();
             return Err(item);
         }
         g.0.push_back(item);
         g.1.pushed += 1;
         let depth = g.0.len();
         g.1.max_depth = g.1.max_depth.max(depth);
+        self.inner.note_push(depth);
         drop(g);
         self.inner.not_empty.notify_one();
         Ok(())
@@ -428,6 +494,37 @@ mod tests {
         assert_eq!(s.pushed, 2000);
         assert_eq!(s.popped, 2000);
         assert!(s.max_depth <= 16);
+    }
+
+    #[test]
+    fn queues_feed_their_telemetry_bundle() {
+        use ffsva_telemetry::Telemetry;
+
+        let tel = Telemetry::new();
+        let mut sq = SimQueue::with_telemetry(2, QueueTelemetry::register(&tel, "queue.sim"));
+        sq.push(1).unwrap();
+        sq.push(2).unwrap();
+        assert_eq!(sq.push(3), Err(3));
+        let snap = tel.snapshot();
+        assert_eq!(snap.gauges["queue.sim.depth"].max, 2);
+        assert_eq!(snap.histograms["queue.sim.depth_on_push"].count, 2);
+        assert_eq!(snap.counter("queue.sim.backpressure"), 1);
+
+        let fq = FeedbackQueue::with_telemetry(1, QueueTelemetry::register(&tel, "queue.fb"));
+        fq.push(10).unwrap();
+        let fq2 = fq.clone();
+        let t = thread::spawn(move || fq2.push(11).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(fq.pop(), Some(10));
+        t.join().unwrap();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("queue.fb.backpressure"), 1);
+        assert!(
+            snap.counter("queue.fb.blocked_push_us") >= 10_000,
+            "blocked push time should cover the stalled window, got {}",
+            snap.counter("queue.fb.blocked_push_us")
+        );
+        assert_eq!(snap.histograms["queue.fb.depth_on_push"].count, 2);
     }
 
     #[test]

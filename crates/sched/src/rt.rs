@@ -8,6 +8,7 @@
 
 use crate::batch::BatchPolicy;
 use crate::queue::FeedbackQueue;
+use ffsva_telemetry::StageTelemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -56,6 +57,24 @@ pub fn spawn_filter_stage<I, O, F>(
     name: impl Into<String>,
     input: FeedbackQueue<I>,
     output: FeedbackQueue<O>,
+    f: F,
+) -> StageHandle
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(I) -> Option<O> + Send + 'static,
+{
+    spawn_filter_stage_instrumented(name, input, output, StageTelemetry::noop(), f)
+}
+
+/// [`spawn_filter_stage`] with per-stage frame accounting: every popped item
+/// counts as `frames_in`, a `Some` result as `frames_out`, a `None` as
+/// `frames_dropped`.
+pub fn spawn_filter_stage_instrumented<I, O, F>(
+    name: impl Into<String>,
+    input: FeedbackQueue<I>,
+    output: FeedbackQueue<O>,
+    tel: StageTelemetry,
     mut f: F,
 ) -> StageHandle
 where
@@ -74,13 +93,18 @@ where
         .spawn(move || {
             while let Some(item) = input.pop() {
                 p2.fetch_add(1, Ordering::Relaxed);
+                tel.frames_in.inc();
                 let t0 = Instant::now();
                 let result = f(item);
                 b2.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                if let Some(out) = result {
-                    if output.push(out).is_err() {
-                        break; // downstream closed
+                match result {
+                    Some(out) => {
+                        tel.frames_out.inc();
+                        if output.push(out).is_err() {
+                            break; // downstream closed
+                        }
                     }
+                    None => tel.frames_dropped.inc(),
                 }
             }
             output.close();
@@ -102,6 +126,26 @@ pub fn spawn_batch_stage<I, O, F>(
     input: FeedbackQueue<I>,
     output: FeedbackQueue<O>,
     policy: BatchPolicy,
+    f: F,
+) -> StageHandle
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(Vec<I>) -> Vec<O> + Send + 'static,
+{
+    spawn_batch_stage_instrumented(name, input, output, policy, StageTelemetry::noop(), f)
+}
+
+/// [`spawn_batch_stage`] with per-stage frame accounting: batch members
+/// count as `frames_in`, forwarded results as `frames_out`, and — since a
+/// batch stage is a filter over its batch — the shortfall as
+/// `frames_dropped`.
+pub fn spawn_batch_stage_instrumented<I, O, F>(
+    name: impl Into<String>,
+    input: FeedbackQueue<I>,
+    output: FeedbackQueue<O>,
+    policy: BatchPolicy,
+    tel: StageTelemetry,
     mut f: F,
 ) -> StageHandle
 where
@@ -156,10 +200,15 @@ where
                     }
                     continue;
                 }
-                p2.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                let n_in = batch.len() as u64;
+                p2.fetch_add(n_in, Ordering::Relaxed);
+                tel.frames_in.add(n_in);
                 let t0 = Instant::now();
                 let outs = f(std::mem::take(&mut batch));
                 b2.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                tel.frames_out.add(outs.len() as u64);
+                tel.frames_dropped
+                    .add(n_in.saturating_sub(outs.len() as u64));
                 for out in outs {
                     if output.push(out).is_err() {
                         break 'run;
@@ -205,6 +254,50 @@ mod tests {
         }
         assert_eq!(h.join(), 10);
         assert_eq!(got, vec![0, 4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn instrumented_stages_account_in_out_dropped() {
+        use ffsva_telemetry::Telemetry;
+
+        let tel = Telemetry::new();
+        let input = FeedbackQueue::new(16);
+        let mid = FeedbackQueue::new(16);
+        let output = FeedbackQueue::new(64);
+        let h1 = spawn_filter_stage_instrumented(
+            "evens",
+            input.clone(),
+            mid.clone(),
+            StageTelemetry::register(&tel, "stream0.sdd"),
+            |x: i32| if x % 2 == 0 { Some(x) } else { None },
+        );
+        let h2 = spawn_batch_stage_instrumented(
+            "gt4",
+            mid,
+            output.clone(),
+            BatchPolicy::Dynamic { size: 4 },
+            StageTelemetry::register(&tel, "stream0.snm"),
+            |batch: Vec<i32>| batch.into_iter().filter(|&x| x > 4).collect(),
+        );
+        for i in 0..10 {
+            input.push(i).unwrap();
+        }
+        input.close();
+        let mut survivors = Vec::new();
+        while let Some(v) = output.pop() {
+            survivors.push(v);
+        }
+        h1.join();
+        h2.join();
+        survivors.sort_unstable();
+        assert_eq!(survivors, vec![6, 8]);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("stream0.sdd.frames_in"), 10);
+        assert_eq!(snap.counter("stream0.sdd.frames_out"), 5);
+        assert_eq!(snap.counter("stream0.sdd.frames_dropped"), 5);
+        assert_eq!(snap.counter("stream0.snm.frames_in"), 5);
+        assert_eq!(snap.counter("stream0.snm.frames_out"), 2);
+        assert_eq!(snap.counter("stream0.snm.frames_dropped"), 3);
     }
 
     #[test]

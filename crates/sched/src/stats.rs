@@ -3,9 +3,14 @@
 use serde::{Deserialize, Serialize};
 
 /// Accumulates latency samples (µs) and reports distribution statistics.
+///
+/// Samples are sorted lazily: the first `quantile_us` call after a
+/// `record`/`merge` sorts in place, subsequent calls reuse the order.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LatencyStats {
     samples_us: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
 }
 
 impl LatencyStats {
@@ -15,6 +20,7 @@ impl LatencyStats {
 
     pub fn record(&mut self, us: f64) {
         self.samples_us.push(us);
+        self.sorted = false;
     }
 
     pub fn count(&self) -> usize {
@@ -30,26 +36,27 @@ impl LatencyStats {
     }
 
     /// Quantile in `[0, 1]` by nearest-rank on the sorted samples.
-    pub fn quantile_us(&self, q: f64) -> f64 {
+    pub fn quantile_us(&mut self, q: f64) -> f64 {
         if self.samples_us.is_empty() {
             return 0.0;
         }
-        let mut v = self.samples_us.clone();
-        v.sort_by(f64::total_cmp);
+        if !self.sorted {
+            self.samples_us.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        let v = &self.samples_us;
         let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
         v[idx]
     }
 
     pub fn max_us(&self) -> f64 {
-        self.samples_us
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max)
+        self.samples_us.iter().copied().fold(0.0f64, f64::max)
     }
 
     /// Merge another set of samples into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         self.samples_us.extend_from_slice(&other.samples_us);
+        self.sorted = false;
     }
 }
 
@@ -91,10 +98,37 @@ mod tests {
 
     #[test]
     fn empty_stats_are_zero() {
-        let s = LatencyStats::new();
+        let mut s = LatencyStats::new();
         assert_eq!(s.mean_us(), 0.0);
         assert_eq!(s.quantile_us(0.5), 0.0);
         assert_eq!(s.max_us(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_stable_across_repeated_calls_after_merge() {
+        let mut a = LatencyStats::new();
+        for i in (1..=50).rev() {
+            a.record(i as f64);
+        }
+        // Sort once, then interleave more records and a merge: every
+        // quantile must see the refreshed ordering, and repeated calls
+        // must keep returning the same value.
+        assert_eq!(a.quantile_us(1.0), 50.0);
+        a.record(75.0);
+        let mut b = LatencyStats::new();
+        for i in 51..=100 {
+            b.record(i as f64);
+        }
+        a.merge(&b);
+        let p50_first = a.quantile_us(0.5);
+        let p99_first = a.quantile_us(0.99);
+        for _ in 0..5 {
+            assert_eq!(a.quantile_us(0.5), p50_first);
+            assert_eq!(a.quantile_us(0.99), p99_first);
+        }
+        assert_eq!(a.quantile_us(1.0), 100.0);
+        assert_eq!(a.quantile_us(0.0), 1.0);
+        assert_eq!(a.count(), 101);
     }
 
     #[test]

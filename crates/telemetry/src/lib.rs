@@ -1,0 +1,735 @@
+//! `ffsva-telemetry` — lock-cheap pipeline metrics shared by both FFS-VA
+//! execution engines.
+//!
+//! FFS-VA's contribution is pipeline *mechanics* — per-stage threads, bounded
+//! feedback queues, the shared T-YOLO round-robin — so the observability
+//! layer is organized around named per-stream/per-stage series:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (frames in/out/dropped).
+//! * [`Gauge`] — last value + high-water mark (queue depth).
+//! * [`Histogram`] — fixed-bucket distribution (latency, depth-on-push).
+//!
+//! Handles are registered once through the [`Telemetry`] registry (the only
+//! lock, taken at registration and snapshot time) and then updated with
+//! relaxed atomics, so instrumentation is cheap enough to stay always-on in
+//! the hot stage loops. [`TelemetrySnapshot`] freezes every series into
+//! serializable `BTreeMap`s (deterministic JSON key order), and
+//! [`PipelineDigest`] reduces a snapshot to the headline numbers the
+//! `ffsva bench` regression gate tracks.
+//!
+//! Both engines emit the **same series names** (DESIGN.md §Telemetry), which
+//! is what makes a DES↔RT telemetry-conformance test possible: all counters
+//! whose name contains `".frames_"` are deterministic frame counts and must
+//! match exactly between engines for a fixed seed; names under the `des.` /
+//! `rt.` prefixes are engine-private and excluded.
+//!
+//! ```
+//! use ffsva_telemetry::{PipelineDigest, Telemetry, LATENCY_BOUNDS_US};
+//!
+//! let tel = Telemetry::new();
+//! tel.counter("stream0.sdd.frames_in").add(900);
+//! tel.counter("pipeline.frames_in").add(900);
+//! tel.histogram("latency.e2e_us", LATENCY_BOUNDS_US).record(1500.0);
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.counter("stream0.sdd.frames_in"), 900);
+//! let digest = PipelineDigest::from_snapshot(&snap, 1_000_000.0);
+//! assert_eq!(digest.throughput_fps, 900.0);
+//! ```
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The pipeline stages every engine reports on, in cascade order.
+pub const STAGES: [&str; 4] = ["sdd", "snm", "tyolo", "reference"];
+
+/// Histogram bounds (µs) for end-to-end and reference-path latencies:
+/// exponential 50 µs … 100 s, overflow bucket beyond.
+pub const LATENCY_BOUNDS_US: &[f64] = &[
+    50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7,
+    2e7, 5e7, 1e8,
+];
+
+/// Histogram bounds for queue depth observed at push time.
+pub const DEPTH_BOUNDS: &[f64] = &[
+    1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 128.0, 256.0, 1024.0,
+];
+
+/// Histogram bounds for SNM batch sizes actually formed.
+pub const BATCH_BOUNDS: &[f64] = &[
+    1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0,
+];
+
+// ---------------------------------------------------------------------------
+// instruments
+
+/// Monotonic counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (no-op sink).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    last: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Gauge tracking the last set value and the high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<GaugeInner>);
+
+impl Gauge {
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, v: u64) {
+        self.0.last.store(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn last(&self) -> u64 {
+        self.0.last.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    /// Ascending bucket upper bounds; one extra overflow bucket past the end.
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bit patterns updated by CAS.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Fixed-bucket histogram (no allocation after registration, no locks).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram(Arc::new(HistInner {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    }
+
+    pub fn detached() -> Self {
+        Self::with_bounds(LATENCY_BOUNDS_US)
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: f64) {
+        let i = self.0.bounds.partition_point(|&b| b < v);
+        self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.0.sum_bits, |s| s + v);
+        atomic_f64_update(&self.0.min_bits, |m| m.min(v));
+        atomic_f64_update(&self.0.max_bits, |m| m.max(v));
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// registry
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The metrics registry. Cloning shares the registry; handles returned by
+/// the accessors are cheap to clone and update without touching the lock.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl Telemetry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .lock()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .lock()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or register the histogram `name` with the given bucket bounds
+    /// (bounds of an already-registered histogram win).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.inner
+            .lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .clone()
+    }
+
+    /// Freeze every registered series.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let g = self.inner.lock();
+        TelemetrySnapshot {
+            counters: g
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: g
+                .gauges
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        GaugeSnapshot {
+                            last: v.last(),
+                            max: v.max(),
+                        },
+                    )
+                })
+                .collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let count = h.0.count.load(Ordering::Relaxed);
+                    let (min, max) = if count == 0 {
+                        (0.0, 0.0)
+                    } else {
+                        (
+                            f64::from_bits(h.0.min_bits.load(Ordering::Relaxed)),
+                            f64::from_bits(h.0.max_bits.load(Ordering::Relaxed)),
+                        )
+                    };
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            bounds: h.0.bounds.clone(),
+                            buckets: h
+                                .0
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            count,
+                            sum: f64::from_bits(h.0.sum_bits.load(Ordering::Relaxed)),
+                            min,
+                            max,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// snapshots
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    pub last: u64,
+    pub max: u64,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimated from the buckets: the upper bound of
+    /// the bucket holding the rank, clamped to the observed min/max (exact
+    /// for integer-valued series whose bounds enumerate the small values).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let bound = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                return bound.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A frozen view of every registered series, serializable as stable JSON.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Counter value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All deterministic frame-count series: counters whose name contains
+    /// `".frames_"`. This is the DES↔RT conformance domain — identical names
+    /// *and* values are required between engines for a fixed seed.
+    pub fn frames_counters(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.contains(".frames_"))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Series names excluding the engine-private `des.` / `rt.` prefixes —
+    /// the name set both engines must emit identically.
+    pub fn conformant_names(&self) -> Vec<String> {
+        let keep = |k: &&String| !k.starts_with("des.") && !k.starts_with("rt.");
+        let mut names: Vec<String> = self.counters.keys().filter(keep).cloned().collect();
+        names.extend(self.gauges.keys().filter(keep).cloned());
+        names.extend(self.histograms.keys().filter(keep).cloned());
+        names.sort();
+        names
+    }
+
+    /// Sum of all counters ending in `.{stage}.{field}` (per-stream series
+    /// aggregate here).
+    pub fn stage_total(&self, stage: &str, field: &str) -> u64 {
+        let suffix = format!(".{}.{}", stage, field);
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.ends_with(&suffix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pre-wired instrument bundles
+
+/// The deterministic per-stage frame accounting both engines share.
+#[derive(Debug, Clone)]
+pub struct StageTelemetry {
+    pub frames_in: Counter,
+    pub frames_out: Counter,
+    pub frames_dropped: Counter,
+}
+
+impl StageTelemetry {
+    /// Register `{scope}.frames_in/out/dropped` (e.g. scope `stream0.sdd`).
+    pub fn register(tel: &Telemetry, scope: &str) -> Self {
+        StageTelemetry {
+            frames_in: tel.counter(&format!("{}.frames_in", scope)),
+            frames_out: tel.counter(&format!("{}.frames_out", scope)),
+            frames_dropped: tel.counter(&format!("{}.frames_dropped", scope)),
+        }
+    }
+
+    /// Detached counters for uninstrumented callers.
+    pub fn noop() -> Self {
+        StageTelemetry {
+            frames_in: Counter::detached(),
+            frames_out: Counter::detached(),
+            frames_dropped: Counter::detached(),
+        }
+    }
+}
+
+/// Queue-level accounting: depth (gauge + at-push histogram), wall time a
+/// producer spent blocked pushing (RT engines; the DES engine models stalls
+/// in virtual time and leaves this 0), and backpressure events.
+#[derive(Debug, Clone)]
+pub struct QueueTelemetry {
+    pub depth: Gauge,
+    pub depth_on_push: Histogram,
+    pub blocked_push_us: Counter,
+    pub backpressure: Counter,
+}
+
+impl QueueTelemetry {
+    /// Register `{scope}.depth`, `{scope}.depth_on_push`,
+    /// `{scope}.blocked_push_us`, `{scope}.backpressure`
+    /// (e.g. scope `queue.snm`).
+    pub fn register(tel: &Telemetry, scope: &str) -> Self {
+        QueueTelemetry {
+            depth: tel.gauge(&format!("{}.depth", scope)),
+            depth_on_push: tel.histogram(&format!("{}.depth_on_push", scope), DEPTH_BOUNDS),
+            blocked_push_us: tel.counter(&format!("{}.blocked_push_us", scope)),
+            backpressure: tel.counter(&format!("{}.backpressure", scope)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// digest
+
+/// The headline numbers `ffsva bench` writes to `BENCH.json` and the CI
+/// regression gate compares against the committed baseline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineDigest {
+    /// Frames entering the pipeline per second of run time.
+    pub throughput_fps: f64,
+    /// Per-stage processing rate (frames entering the stage / run time).
+    pub stage_fps: BTreeMap<String, f64>,
+    /// Per-stage drop rate (dropped / entered; the reference stage drops 0).
+    pub stage_drop_rate: BTreeMap<String, f64>,
+    /// p99 of the queue depth observed at push time, per stage queue.
+    pub queue_depth_p99: BTreeMap<String, f64>,
+    pub latency_e2e_p50_us: f64,
+    pub latency_e2e_p99_us: f64,
+    pub latency_ref_p50_us: f64,
+    pub latency_ref_p99_us: f64,
+}
+
+impl PipelineDigest {
+    /// Reduce a snapshot to the gate metrics. `elapsed_us` is the run's
+    /// makespan: virtual for the DES engine, wall time for the RT engine.
+    pub fn from_snapshot(snap: &TelemetrySnapshot, elapsed_us: f64) -> Self {
+        let elapsed = elapsed_us.max(1e-9);
+        let mut stage_fps = BTreeMap::new();
+        let mut stage_drop_rate = BTreeMap::new();
+        let mut queue_depth_p99 = BTreeMap::new();
+        for stage in STAGES {
+            let frames_in = snap.stage_total(stage, "frames_in");
+            let dropped = snap.stage_total(stage, "frames_dropped");
+            stage_fps.insert(stage.to_string(), frames_in as f64 * 1e6 / elapsed);
+            stage_drop_rate.insert(
+                stage.to_string(),
+                if frames_in == 0 {
+                    0.0
+                } else {
+                    dropped as f64 / frames_in as f64
+                },
+            );
+            let p99 = snap
+                .histograms
+                .get(&format!("queue.{}.depth_on_push", stage))
+                .map(|h| h.quantile(0.99))
+                .unwrap_or(0.0);
+            queue_depth_p99.insert(stage.to_string(), p99);
+        }
+        let q = |name: &str, p: f64| {
+            snap.histograms
+                .get(name)
+                .map(|h| h.quantile(p))
+                .unwrap_or(0.0)
+        };
+        PipelineDigest {
+            throughput_fps: snap.counter("pipeline.frames_in") as f64 * 1e6 / elapsed,
+            stage_fps,
+            stage_drop_rate,
+            queue_depth_p99,
+            latency_e2e_p50_us: q("latency.e2e_us", 0.5),
+            latency_e2e_p99_us: q("latency.e2e_us", 0.99),
+            latency_ref_p50_us: q("latency.ref_us", 0.5),
+            latency_ref_p99_us: q("latency.ref_us", 0.99),
+        }
+    }
+
+    /// Rows for an aligned table: one row per stage plus pipeline totals.
+    /// Headers: metric, fps, drop rate, queue p99 depth.
+    pub fn rows(&self) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        for stage in STAGES {
+            rows.push(vec![
+                format!("stage {}", stage),
+                format!("{:.1}", self.stage_fps.get(stage).copied().unwrap_or(0.0)),
+                format!(
+                    "{:.1}%",
+                    100.0 * self.stage_drop_rate.get(stage).copied().unwrap_or(0.0)
+                ),
+                format!(
+                    "{:.0}",
+                    self.queue_depth_p99.get(stage).copied().unwrap_or(0.0)
+                ),
+            ]);
+        }
+        rows.push(vec![
+            "pipeline".into(),
+            format!("{:.1}", self.throughput_fps),
+            format!(
+                "e2e p50/p99 {:.1}/{:.1} ms",
+                self.latency_e2e_p50_us / 1e3,
+                self.latency_e2e_p99_us / 1e3
+            ),
+            format!(
+                "ref p50/p99 {:.1}/{:.1} ms",
+                self.latency_ref_p50_us / 1e3,
+                self.latency_ref_p99_us / 1e3
+            ),
+        ]);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_and_gauges_register_and_update() {
+        let tel = Telemetry::new();
+        let c = tel.counter("a.frames_in");
+        c.inc();
+        c.add(4);
+        // same name returns the same underlying cell
+        assert_eq!(tel.counter("a.frames_in").get(), 5);
+        let g = tel.gauge("queue.a.depth");
+        g.set(3);
+        g.set(1);
+        assert_eq!(g.last(), 1);
+        assert_eq!(g.max(), 3);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("a.frames_in"), 5);
+        assert_eq!(snap.gauges["queue.a.depth"].max, 3);
+    }
+
+    #[test]
+    fn histogram_buckets_quantiles_and_stats() {
+        let tel = Telemetry::new();
+        let h = tel.histogram("lat", &[10.0, 100.0, 1000.0]);
+        for v in [
+            5.0, 7.0, 50.0, 60.0, 70.0, 80.0, 500.0, 900.0, 5000.0, 9000.0,
+        ] {
+            h.record(v);
+        }
+        let snap = tel.snapshot();
+        let hs = &snap.histograms["lat"];
+        assert_eq!(hs.count, 10);
+        assert_eq!(hs.buckets, vec![2, 4, 2, 2]);
+        assert!((hs.mean() - 1567.2).abs() < 1e-9);
+        assert_eq!(hs.min, 5.0);
+        assert_eq!(hs.max, 9000.0);
+        // p50 lands in the (10, 100] bucket -> bound 100
+        assert_eq!(hs.quantile(0.5), 100.0);
+        // p99+ lands in the overflow bucket -> observed max
+        assert_eq!(hs.quantile(0.99), 9000.0);
+        assert_eq!(hs.quantile(1.0), 9000.0);
+        // q=0 clamps to min via the first bound
+        assert_eq!(hs.quantile(0.0), 10.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let tel = Telemetry::new();
+        let _ = tel.histogram("empty", DEPTH_BOUNDS);
+        let hs = &tel.snapshot().histograms["empty"];
+        assert_eq!(hs.count, 0);
+        assert_eq!(hs.quantile(0.99), 0.0);
+        assert_eq!(hs.mean(), 0.0);
+        assert_eq!(hs.min, 0.0);
+        assert_eq!(hs.max, 0.0);
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let tel = Telemetry::new();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = tel.counter("hot.frames_in");
+                let h = tel.histogram("hot.lat", LATENCY_BOUNDS_US);
+                thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("hot.frames_in"), 40_000);
+        assert_eq!(snap.histograms["hot.lat"].count, 40_000);
+        assert_eq!(
+            snap.histograms["hot.lat"].buckets.iter().sum::<u64>(),
+            40_000
+        );
+    }
+
+    #[test]
+    fn snapshot_scopes_frames_and_conformance_domains() {
+        let tel = Telemetry::new();
+        tel.counter("stream0.sdd.frames_in").add(10);
+        tel.counter("stream1.sdd.frames_in").add(20);
+        tel.counter("stream0.sdd.frames_dropped").add(3);
+        tel.counter("snm.batches").add(7);
+        tel.counter("des.events_processed").add(99);
+        tel.gauge("queue.sdd.depth").set(2);
+        let snap = tel.snapshot();
+
+        let frames = snap.frames_counters();
+        assert_eq!(frames.len(), 3);
+        assert!(frames.keys().all(|k| k.contains(".frames_")));
+        assert_eq!(snap.stage_total("sdd", "frames_in"), 30);
+        assert_eq!(snap.stage_total("sdd", "frames_dropped"), 3);
+
+        let names = snap.conformant_names();
+        assert!(names.contains(&"snm.batches".to_string()));
+        assert!(names.contains(&"queue.sdd.depth".to_string()));
+        assert!(!names.iter().any(|n| n.starts_with("des.")));
+    }
+
+    #[test]
+    fn stage_and_queue_bundles_register_expected_names() {
+        let tel = Telemetry::new();
+        let st = StageTelemetry::register(&tel, "stream0.snm");
+        st.frames_in.add(4);
+        st.frames_out.add(3);
+        st.frames_dropped.inc();
+        let qt = QueueTelemetry::register(&tel, "queue.snm");
+        qt.depth.set(5);
+        qt.depth_on_push.record(5.0);
+        qt.backpressure.inc();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("stream0.snm.frames_in"), 4);
+        assert_eq!(snap.counter("stream0.snm.frames_out"), 3);
+        assert_eq!(snap.counter("stream0.snm.frames_dropped"), 1);
+        assert_eq!(snap.counter("queue.snm.backpressure"), 1);
+        assert_eq!(snap.gauges["queue.snm.depth"].max, 5);
+        assert_eq!(snap.histograms["queue.snm.depth_on_push"].count, 1);
+        // noop bundle updates nothing registered
+        let noop = StageTelemetry::noop();
+        noop.frames_in.add(100);
+        assert_eq!(tel.snapshot().counter("stream0.snm.frames_in"), 4);
+    }
+
+    #[test]
+    fn digest_reduces_snapshot_to_gate_metrics() {
+        let tel = Telemetry::new();
+        for (s, n_in, n_drop) in [
+            ("sdd", 1000u64, 700u64),
+            ("snm", 300, 150),
+            ("tyolo", 150, 50),
+        ] {
+            tel.counter(&format!("stream0.{}.frames_in", s)).add(n_in);
+            tel.counter(&format!("stream0.{}.frames_dropped", s))
+                .add(n_drop);
+        }
+        tel.counter("stream0.reference.frames_in").add(100);
+        tel.counter("pipeline.frames_in").add(1000);
+        let qh = tel.histogram("queue.snm.depth_on_push", DEPTH_BOUNDS);
+        for _ in 0..99 {
+            qh.record(2.0);
+        }
+        qh.record(8.0);
+        let lh = tel.histogram("latency.e2e_us", LATENCY_BOUNDS_US);
+        for _ in 0..99 {
+            lh.record(900.0);
+        }
+        lh.record(40_000.0);
+
+        let d = PipelineDigest::from_snapshot(&tel.snapshot(), 2_000_000.0);
+        assert_eq!(d.throughput_fps, 500.0);
+        assert_eq!(d.stage_fps["sdd"], 500.0);
+        assert_eq!(d.stage_fps["reference"], 50.0);
+        assert!((d.stage_drop_rate["sdd"] - 0.7).abs() < 1e-12);
+        assert_eq!(d.stage_drop_rate["reference"], 0.0);
+        assert_eq!(d.queue_depth_p99["snm"], 8.0);
+        assert_eq!(d.queue_depth_p99["sdd"], 0.0);
+        assert_eq!(d.latency_e2e_p50_us, 1e3);
+        assert_eq!(d.latency_e2e_p99_us, 40_000.0);
+        let rows = d.rows();
+        assert_eq!(rows.len(), STAGES.len() + 1);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip_is_stable() {
+        let tel = Telemetry::new();
+        tel.counter("stream0.sdd.frames_in").add(9);
+        tel.gauge("queue.sdd.depth").set(2);
+        tel.histogram("latency.e2e_us", &[10.0, 100.0]).record(42.0);
+        let snap = tel.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

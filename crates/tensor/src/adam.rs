@@ -140,6 +140,10 @@ mod tests {
             adam.step(&mut net);
         }
         let y = net.forward(&x, false);
-        assert!((y.data()[0] - 3.0).abs() < 0.05, "converged to {}", y.data()[0]);
+        assert!(
+            (y.data()[0] - 3.0).abs() < 0.05,
+            "converged to {}",
+            y.data()[0]
+        );
     }
 }

@@ -36,10 +36,20 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let t = he_normal(&[10_000], 50, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         let target = 2.0 / 50.0;
         assert!(mean.abs() < 0.01, "mean {}", mean);
-        assert!((var - target).abs() < 0.2 * target, "var {} vs {}", var, target);
+        assert!(
+            (var - target).abs() < 0.2 * target,
+            "var {} vs {}",
+            var,
+            target
+        );
     }
 
     #[test]

@@ -195,7 +195,8 @@ pub struct Dense {
 
 impl Dense {
     pub fn new(in_features: usize, out_features: usize, rng: &mut impl rand::Rng) -> Self {
-        let weight = init::xavier_uniform(&[out_features, in_features], in_features, out_features, rng);
+        let weight =
+            init::xavier_uniform(&[out_features, in_features], in_features, out_features, rng);
         Dense {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_features])),
@@ -344,7 +345,8 @@ impl AvgPool2d {
                         let mut acc = 0.0;
                         for ky in 0..k {
                             for kx in 0..k {
-                                acc += input.at4(b, ch, oy * self.stride + ky, ox * self.stride + kx);
+                                acc +=
+                                    input.at4(b, ch, oy * self.stride + ky, ox * self.stride + kx);
                             }
                         }
                         *out.at4_mut(b, ch, oy, ox) = acc * norm;
@@ -376,7 +378,12 @@ impl AvgPool2d {
                         let g = grad_out.at4(b, ch, oy, ox) * norm;
                         for ky in 0..k {
                             for kx in 0..k {
-                                *grad_in.at4_mut(b, ch, oy * self.stride + ky, ox * self.stride + kx) += g;
+                                *grad_in.at4_mut(
+                                    b,
+                                    ch,
+                                    oy * self.stride + ky,
+                                    ox * self.stride + kx,
+                                ) += g;
                             }
                         }
                     }
@@ -619,16 +626,17 @@ impl GlobalMaxPool {
         #[allow(clippy::needless_range_loop)] // i indexes out, arg, and input planes
         for i in 0..n * c {
             let plane = &input.data()[i * hw..(i + 1) * hw];
-            let (best_j, best) = plane
-                .iter()
-                .enumerate()
-                .fold((0usize, f32::NEG_INFINITY), |(bj, bv), (j, &v)| {
-                    if v > bv {
-                        (j, v)
-                    } else {
-                        (bj, bv)
-                    }
-                });
+            let (best_j, best) =
+                plane
+                    .iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bj, bv), (j, &v)| {
+                        if v > bv {
+                            (j, v)
+                        } else {
+                            (bj, bv)
+                        }
+                    });
             out.data_mut()[i] = best;
             arg[i] = (i * hw + best_j) as u32;
         }
@@ -796,7 +804,10 @@ impl Sequential {
 
     /// All learnable parameters, in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Zero every parameter gradient.
@@ -966,7 +977,8 @@ mod tests {
                 .map(|(b, i)| y.data()[(b * 2 + ch) * 4 + i])
                 .collect();
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {}", mean);
             assert!((var - 1.0).abs() < 0.05, "var {}", var);
         }
@@ -1002,7 +1014,7 @@ mod tests {
         bn.gamma.zero_grad();
         bn.beta.zero_grad();
         let gin = bn.backward(&y); // dL/dy = y for L = 0.5*|y|^2
-        // numeric check for one input coordinate
+                                   // numeric check for one input coordinate
         let eps = 1e-3;
         for idx in [0usize, 3] {
             let mut xp = x.clone();

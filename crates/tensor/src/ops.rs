@@ -428,7 +428,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let input = Tensor::from_vec(
             &[2, 3, 6, 7],
-            (0..2 * 3 * 6 * 7).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            (0..2 * 3 * 6 * 7)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
         );
         let weight = Tensor::from_vec(
             &[4, 3, 3, 3],
@@ -539,7 +541,10 @@ mod tests {
 
     #[test]
     fn global_avg_pool_means() {
-        let input = Tensor::from_vec(&[1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let input = Tensor::from_vec(
+            &[1, 2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+        );
         let out = global_avg_pool(&input);
         assert_eq!(out.data(), &[2.5, 10.0]);
     }

@@ -220,7 +220,11 @@ pub fn train_binary_classifier(
             total += loss;
             batches += 1;
         }
-        losses.push(if batches > 0 { total / batches as f32 } else { 0.0 });
+        losses.push(if batches > 0 {
+            total / batches as f32
+        } else {
+            0.0
+        });
         sgd.lr *= cfg.lr_decay;
     }
     losses

@@ -56,7 +56,14 @@ impl Frame {
     ///
     /// # Panics
     /// Panics if `data.len() != width * height`.
-    pub fn gray8(stream: StreamId, seq: u64, pts_ms: u64, width: usize, height: usize, data: Vec<u8>) -> Self {
+    pub fn gray8(
+        stream: StreamId,
+        seq: u64,
+        pts_ms: u64,
+        width: usize,
+        height: usize,
+        data: Vec<u8>,
+    ) -> Self {
         assert_eq!(data.len(), width * height, "gray8 buffer size mismatch");
         Frame {
             stream,
@@ -73,7 +80,14 @@ impl Frame {
     ///
     /// # Panics
     /// Panics if `data.len() != width * height * 3`.
-    pub fn rgb8(stream: StreamId, seq: u64, pts_ms: u64, width: usize, height: usize, data: Vec<u8>) -> Self {
+    pub fn rgb8(
+        stream: StreamId,
+        seq: u64,
+        pts_ms: u64,
+        width: usize,
+        height: usize,
+        data: Vec<u8>,
+    ) -> Self {
         assert_eq!(data.len(), width * height * 3, "rgb8 buffer size mismatch");
         Frame {
             stream,
@@ -204,7 +218,11 @@ mod pgm_tests {
     fn rgb_frame_luma_and_access() {
         // one red, one green, one blue, one white pixel
         let f = Frame::rgb8(
-            0, 0, 0, 2, 2,
+            0,
+            0,
+            0,
+            2,
+            2,
             vec![255, 0, 0, 0, 255, 0, 0, 0, 255, 255, 255, 255],
         );
         assert_eq!(f.at_rgb(0, 0), (255, 0, 0));

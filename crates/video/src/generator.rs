@@ -149,14 +149,30 @@ impl VideoStream {
         };
         self.scene_size = k;
         for i in 0..k {
-            let w = self.rng.gen_range(self.cfg.object_w.0..=self.cfg.object_w.1);
-            let h = self.rng.gen_range(self.cfg.object_h.0..=self.cfg.object_h.1);
+            let w = self
+                .rng
+                .gen_range(self.cfg.object_w.0..=self.cfg.object_w.1);
+            let h = self
+                .rng
+                .gen_range(self.cfg.object_h.0..=self.cfg.object_h.1);
             // The first object of a scene always *enters* (partial
             // appearance, §3.3); the rest are a mix.
             let obj = if i == 0 || self.rng.gen_bool(0.4) {
-                MovingObject::spawn_entering(self.cfg.target, w, h, self.cfg.object_speed, &mut self.rng)
+                MovingObject::spawn_entering(
+                    self.cfg.target,
+                    w,
+                    h,
+                    self.cfg.object_speed,
+                    &mut self.rng,
+                )
             } else {
-                MovingObject::spawn_inside(self.cfg.target, w, h, self.cfg.object_speed, &mut self.rng)
+                MovingObject::spawn_inside(
+                    self.cfg.target,
+                    w,
+                    h,
+                    self.cfg.object_speed,
+                    &mut self.rng,
+                )
             };
             self.targets.push(obj);
         }
@@ -183,8 +199,12 @@ impl VideoStream {
                 // Keep the scene populated at its drawn size: objects that
                 // wander off camera are replaced by new ones entering.
                 while self.targets.len() < self.scene_size {
-                    let wo = self.rng.gen_range(self.cfg.object_w.0..=self.cfg.object_w.1);
-                    let ho = self.rng.gen_range(self.cfg.object_h.0..=self.cfg.object_h.1);
+                    let wo = self
+                        .rng
+                        .gen_range(self.cfg.object_w.0..=self.cfg.object_w.1);
+                    let ho = self
+                        .rng
+                        .gen_range(self.cfg.object_h.0..=self.cfg.object_h.1);
                     self.targets.push(MovingObject::spawn_entering(
                         self.cfg.target,
                         wo,
@@ -336,7 +356,11 @@ impl VideoStream {
                     self.spawn_scene();
                 } else {
                     let (lo, hi) = self.cfg.objects_per_scene;
-                    self.scene_size = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo };
+                    self.scene_size = if hi > lo {
+                        self.rng.gen_range(lo..=hi)
+                    } else {
+                        lo
+                    };
                 }
             }
         }
@@ -442,9 +466,9 @@ mod tests {
         let mut s = VideoStream::new(0, cfg);
         let clip = s.clip(2000);
         let bg_frame = clip.iter().find(|lf| !lf.truth.has(ObjectClass::Car));
-        let tg_frame = clip.iter().find(|lf| {
-            lf.truth.count_complete(ObjectClass::Car) > 0
-        });
+        let tg_frame = clip
+            .iter()
+            .find(|lf| lf.truth.count_complete(ObjectClass::Car) > 0);
         let (bg, tg) = (bg_frame.expect("bg frame"), tg_frame.expect("target frame"));
         // mean absolute difference should be clearly larger than noise
         let mad: f64 = bg
@@ -484,7 +508,10 @@ mod tests {
             .iter()
             .all(|lf| lf.frame.pixels().len() == lf.frame.num_pixels() * 3));
         // luma of a target frame still differs clearly from a background frame
-        let bg = clip.iter().find(|lf| lf.truth.objects.is_empty()).expect("bg");
+        let bg = clip
+            .iter()
+            .find(|lf| lf.truth.objects.is_empty())
+            .expect("bg");
         let tg = clip
             .iter()
             .find(|lf| lf.truth.count_complete(ObjectClass::Car) > 0)

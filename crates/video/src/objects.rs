@@ -29,7 +29,13 @@ pub struct MovingObject {
 
 impl MovingObject {
     /// Spawn an object just outside a random edge, heading into the frame.
-    pub fn spawn_entering(class: ObjectClass, w: f32, h: f32, speed: f32, rng: &mut impl Rng) -> Self {
+    pub fn spawn_entering(
+        class: ObjectClass,
+        w: f32,
+        h: f32,
+        speed: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
         let from_left = rng.gen_bool(0.5);
         let cy = rng.gen_range(0.25..0.85);
         let (cx, vx) = if from_left {
@@ -57,7 +63,13 @@ impl MovingObject {
     }
 
     /// Spawn fully inside the frame (used for dense crowds).
-    pub fn spawn_inside(class: ObjectClass, w: f32, h: f32, speed: f32, rng: &mut impl Rng) -> Self {
+    pub fn spawn_inside(
+        class: ObjectClass,
+        w: f32,
+        h: f32,
+        speed: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
         let cx = rng.gen_range(w / 2.0..1.0 - w / 2.0);
         let cy = rng.gen_range(h / 2.0..1.0 - h / 2.0);
         let ang: f32 = rng.gen_range(0.0..std::f32::consts::TAU);

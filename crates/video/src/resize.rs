@@ -28,8 +28,16 @@ pub fn resize_bilinear(src: &[u8], sw: usize, sh: usize, dw: usize, dh: usize) -
     assert_eq!(src.len(), sw * sh, "source buffer size mismatch");
     assert!(dw > 0 && dh > 0, "destination must be non-empty");
     let mut out = vec![0u8; dw * dh];
-    let x_ratio = if dw > 1 { (sw - 1) as f32 / (dw - 1) as f32 } else { 0.0 };
-    let y_ratio = if dh > 1 { (sh - 1) as f32 / (dh - 1) as f32 } else { 0.0 };
+    let x_ratio = if dw > 1 {
+        (sw - 1) as f32 / (dw - 1) as f32
+    } else {
+        0.0
+    };
+    let y_ratio = if dh > 1 {
+        (sh - 1) as f32 / (dh - 1) as f32
+    } else {
+        0.0
+    };
     for y in 0..dh {
         let fy = y as f32 * y_ratio;
         let y0 = fy.floor() as usize;

@@ -90,13 +90,7 @@ impl Background {
 
     /// Render the background into `buf` with an illumination factor and
     /// sensor noise of std-dev `noise_sigma` gray levels.
-    pub fn render_into(
-        &self,
-        buf: &mut [u8],
-        illum: f32,
-        noise_sigma: f32,
-        rng: &mut impl Rng,
-    ) {
+    pub fn render_into(&self, buf: &mut [u8], illum: f32, noise_sigma: f32, rng: &mut impl Rng) {
         assert_eq!(buf.len(), self.base.len(), "background buffer size");
         if noise_sigma <= 0.0 {
             for (d, &b) in buf.iter_mut().zip(self.base.iter()) {

@@ -59,7 +59,10 @@ fn rle_decode(encoded: &[u8], expect: usize) -> io::Result<Vec<u8>> {
     for pair in encoded.chunks(2) {
         let (run, v) = (pair[0] as usize, pair[1]);
         if run == 0 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "zero-length run"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "zero-length run",
+            ));
         }
         out.resize(out.len() + run, v);
     }
@@ -153,11 +156,17 @@ impl ClipReader {
         let mut magic = [0u8; 6];
         input.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an FFSV1 clip"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an FFSV1 clip",
+            ));
         }
         let hlen = read_u32(&mut input)? as usize;
         if hlen > 1 << 20 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "header too large"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "header too large",
+            ));
         }
         let mut hjson = vec![0u8; hlen];
         input.read_exact(&mut hjson)?;
@@ -181,8 +190,7 @@ impl ClipReader {
         let rlen = read_u32(&mut self.input)? as usize;
         let mut rle = vec![0u8; rlen];
         self.input.read_exact(&mut rle)?;
-        let expect =
-            self.header.width * self.header.height * self.header.format.bytes_per_pixel();
+        let expect = self.header.width * self.header.height * self.header.format.bytes_per_pixel();
         let pixels = rle_decode(&rle, expect)?;
         let frame = match self.header.format {
             PixelFormat::Gray8 => Frame::gray8(

@@ -34,7 +34,10 @@ impl ObjectClass {
 
     /// Stable numeric id of the class.
     pub fn id(&self) -> usize {
-        Self::ALL.iter().position(|c| c == self).expect("class in ALL")
+        Self::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("class in ALL")
     }
 
     /// Human-readable name.

@@ -1,9 +1,9 @@
 //! Workload presets matching Table 1 of the paper, plus parameterized
 //! variants used throughout the evaluation figures.
 
+use crate::generator::StreamConfig;
 use crate::scene::BackgroundKind;
 use crate::truth::ObjectClass;
-use crate::generator::StreamConfig;
 
 /// *Jackson* (Table 1): 600×400, cars at a crossroad, 30 FPS, TOR 8 %.
 /// Vehicles are large — a scene holds at most ~3 of them (Fig. 8a) — and the

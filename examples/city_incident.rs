@@ -33,13 +33,22 @@ fn main() {
         }
         let mut cam = VideoStream::new(cam_id as u32, vcfg);
         let training = cam.clip(1500);
-        let bank = FilterBank::build(&training, ObjectClass::Car, &BankOptions::default(), &mut rng);
+        let bank = FilterBank::build(
+            &training,
+            ObjectClass::Car,
+            &BankOptions::default(),
+            &mut rng,
+        );
         let clip = cam.clip(1800);
         let tor = measured_tor(&clip, ObjectClass::Car);
         names.push(format!(
             "camera {} ({})",
             cam_id,
-            if cam_id < 2 { "sees the incident" } else { "quiet" }
+            if cam_id < 2 {
+                "sees the incident"
+            } else {
+                "quiet"
+            }
         ));
         println!("  camera {}: measured TOR {:.3}", cam_id, tor);
         streams.push((clip, bank));

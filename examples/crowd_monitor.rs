@@ -25,8 +25,12 @@ fn main() {
 
     println!("training the aquarium cascade ...");
     let training = camera.clip(1800);
-    let mut bank =
-        FilterBank::build(&training, ObjectClass::Person, &BankOptions::default(), &mut rng);
+    let mut bank = FilterBank::build(
+        &training,
+        ObjectClass::Person,
+        &BankOptions::default(),
+        &mut rng,
+    );
 
     let clip = camera.clip(900);
     let traces = bank.trace_clip(&clip);

@@ -28,8 +28,12 @@ fn main() {
         cfg.seed ^= i.wrapping_mul(0x9E37);
         let mut cam = VideoStream::new(i as u32, cfg);
         let training = cam.clip(1500);
-        let mut bank =
-            FilterBank::build(&training, ObjectClass::Car, &BankOptions::default(), &mut rng);
+        let mut bank = FilterBank::build(
+            &training,
+            ObjectClass::Car,
+            &BankOptions::default(),
+            &mut rng,
+        );
         let clip = cam.clip(2400);
         let traces = bank.trace_clip(&clip);
         pool.push(PreparedStream {

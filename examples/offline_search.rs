@@ -39,7 +39,12 @@ fn main() {
 
     // 2. Train the stream's cascade (once per camera, §4.1).
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let mut bank = FilterBank::build(&train_clip, ObjectClass::Car, &BankOptions::default(), &mut rng);
+    let mut bank = FilterBank::build(
+        &train_clip,
+        ObjectClass::Car,
+        &BankOptions::default(),
+        &mut rng,
+    );
 
     // 3. Search: stream the file, filter each frame, collect event scenes
     //    with >= 2 cars (a congestion query).

@@ -32,13 +32,18 @@ fn main() {
     let cfg = FfsVaConfig::default();
     let inputs: Vec<StreamInput> = (0..2u64)
         .map(|i| {
-            ffs_va::core::prepare_stream(workloads::test_tiny(ObjectClass::Car, 0.3, 900 + i), &opts)
-                .input(&cfg)
+            ffs_va::core::prepare_stream(
+                workloads::test_tiny(ObjectClass::Car, 0.3, 900 + i),
+                &opts,
+            )
+            .input(&cfg)
         })
         .collect();
 
     // Online run with tracing.
-    let (r, timelines) = Engine::new(cfg, Mode::Online, inputs).with_tracing().run_traced();
+    let (r, timelines) = Engine::new(cfg, Mode::Online, inputs)
+        .with_tracing()
+        .run_traced();
     println!(
         "\nonline run: {} frames, {:.1} FPS, realtime: {}\n",
         r.total_frames,

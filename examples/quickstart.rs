@@ -19,7 +19,12 @@ fn main() {
     // YOLOv2's auto-labeling), then train + calibrate the cascade.
     println!("training the stream-specialized cascade ...");
     let training = camera.clip(1500);
-    let mut bank = FilterBank::build(&training, ObjectClass::Car, &BankOptions::default(), &mut rng);
+    let mut bank = FilterBank::build(
+        &training,
+        ObjectClass::Car,
+        &BankOptions::default(),
+        &mut rng,
+    );
     println!(
         "  SDD δ_diff = {:.2e}   SNM band = [{:.3}, {:.3}]   SNM test accuracy = {:.3}",
         bank.sdd.delta_diff, bank.snm.c_low, bank.snm.c_high, bank.snm_report.test_accuracy
@@ -43,8 +48,15 @@ fn main() {
             survived += 1;
         }
     }
-    let targets = clip.iter().filter(|lf| lf.truth.has(ObjectClass::Car)).count();
-    println!("\nfiltered {} frames ({} contain cars):", clip.len(), targets);
+    let targets = clip
+        .iter()
+        .filter(|lf| lf.truth.has(ObjectClass::Car))
+        .count();
+    println!(
+        "\nfiltered {} frames ({} contain cars):",
+        clip.len(),
+        targets
+    );
     println!("  dropped by SDD (background)      : {}", dropped[0]);
     println!("  dropped by SNM (no target)       : {}", dropped[1]);
     println!("  dropped by T-YOLO (< N objects)  : {}", dropped[2]);

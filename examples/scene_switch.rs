@@ -37,7 +37,12 @@ fn main() {
     let mut cam_a = VideoStream::new(0, vcfg_a.clone());
     println!("training on camera A's viewpoint ...");
     let train_a = cam_a.clip(1800);
-    let mut bank_a = FilterBank::build(&train_a, ObjectClass::Car, &BankOptions::default(), &mut rng);
+    let mut bank_a = FilterBank::build(
+        &train_a,
+        ObjectClass::Car,
+        &BankOptions::default(),
+        &mut rng,
+    );
 
     let eval_a = cam_a.clip(1000);
     let (err_a, miss_a) = evaluate_on(&mut bank_a, &eval_a, &cfg);
@@ -61,7 +66,12 @@ fn main() {
     // §5.5 remedy: retrain on footage from the new viewpoint.
     println!("retraining on the new viewpoint ...");
     let train_b = cam_b.clip(1800);
-    let mut bank_b = FilterBank::build(&train_b, ObjectClass::Car, &BankOptions::default(), &mut rng);
+    let mut bank_b = FilterBank::build(
+        &train_b,
+        ObjectClass::Car,
+        &BankOptions::default(),
+        &mut rng,
+    );
     let eval_b2 = cam_b.clip(1000);
     let (err_b2, miss_b2) = evaluate_on(&mut bank_b, &eval_b2, &cfg);
     println!(

@@ -26,7 +26,12 @@ fn main() {
 
     println!("training the crossroad cascade ...");
     let training = camera.clip(1800);
-    let bank = FilterBank::build(&training, ObjectClass::Car, &BankOptions::default(), &mut rng);
+    let bank = FilterBank::build(
+        &training,
+        ObjectClass::Car,
+        &BankOptions::default(),
+        &mut rng,
+    );
 
     // Congestion = at least 2 cars on camera.
     let sys = FfsVaConfig::default().with_number_of_objects(2);
@@ -34,8 +39,12 @@ fn main() {
     // Run 900 fresh frames through the *threaded* pipeline (SDD, SNM,
     // T-YOLO, reference each on their own thread, feedback queues between).
     let clip = camera.clip(900);
-    let mut bank_for_traces =
-        FilterBank::build(&training, ObjectClass::Car, &BankOptions::default(), &mut rng);
+    let mut bank_for_traces = FilterBank::build(
+        &training,
+        ObjectClass::Car,
+        &BankOptions::default(),
+        &mut rng,
+    );
     let traces = bank_for_traces.trace_clip(&clip);
     let result = run_pipeline_rt(clip, bank, &sys);
 

@@ -18,7 +18,10 @@ fn main() {
 
     // 1. Auto-label a training clip (ground truth stands in for YOLOv2).
     let clip = camera.clip(2500);
-    let positives = clip.iter().filter(|lf| lf.truth.has(ObjectClass::Car)).count();
+    let positives = clip
+        .iter()
+        .filter(|lf| lf.truth.has(ObjectClass::Car))
+        .count();
     println!(
         "labeled {} frames: {} positive, {} negative",
         clip.len(),

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""CI performance-regression gate over `ffsva bench` output.
+
+Compares a fresh BENCH.json against the committed baseline
+(results/BENCH_BASELINE.json) and fails the build when the pipeline got
+slower or its filtering behavior drifted:
+
+* any FPS metric (throughput or per-stage) regressing more than
+  --fps-tolerance (default 15%) relative to the baseline fails;
+* any drop-rate metric moving more than --drop-tolerance (default 2
+  percentage points) in either direction fails — drop rates are
+  deterministic per seed, so a shift means the cascade's decisions changed,
+  not that the runner was slow.
+
+Latency and queue-depth metrics are reported but not gated: they are
+wall-clock- and scheduler-noisy in the RT leg, and the DES leg's are
+implied by the gated FPS numbers.
+
+A baseline with a top-level `"provisional": true` marks numbers that were
+not produced on the CI runner class (e.g. authored before the gate first
+ran there). The comparison still prints, but the gate passes with a notice
+so the first CI run can bless a real baseline via
+scripts/update-baseline.sh.
+
+Usage: bench_gate.py BASELINE CURRENT [--fps-tolerance F] [--drop-tolerance F]
+Exit codes: 0 pass, 1 regression, 2 bad invocation/input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten(node, prefix=""):
+    """Flatten nested dicts to {dotted.path: leaf}; lists are indexed."""
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            out.update(flatten(value, f"{prefix}{key}." if prefix or key else key))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            out.update(flatten(value, f"{prefix}{i}."))
+    else:
+        out[prefix.rstrip(".")] = node
+    return out
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_gate: cannot load {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def is_fps_metric(path):
+    return "fps" in path.split(".")[-1]
+
+
+def is_drop_metric(path):
+    return "drop_rate" in path
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_BASELINE.json")
+    parser.add_argument("current", help="freshly produced BENCH.json")
+    parser.add_argument("--fps-tolerance", type=float, default=0.15,
+                        help="max relative FPS regression (default 0.15)")
+    parser.add_argument("--drop-tolerance", type=float, default=0.02,
+                        help="max absolute drop-rate change (default 0.02)")
+    args = parser.parse_args()
+
+    baseline_doc = load(args.baseline)
+    current_doc = load(args.current)
+    provisional = bool(baseline_doc.get("provisional", False))
+
+    baseline = flatten(baseline_doc)
+    current = flatten(current_doc)
+
+    failures = []
+    rows = []
+    for path in sorted(baseline):
+        base = baseline[path]
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            continue
+        cur = current.get(path)
+        if not isinstance(cur, (int, float)) or isinstance(cur, bool):
+            if is_fps_metric(path) or is_drop_metric(path):
+                failures.append(f"{path}: present in baseline but missing from current run")
+            continue
+
+        verdict = ""
+        if is_fps_metric(path):
+            floor = base * (1.0 - args.fps_tolerance)
+            if cur < floor:
+                verdict = "FAIL"
+                failures.append(
+                    f"{path}: {cur:.2f} FPS is below {floor:.2f} "
+                    f"(baseline {base:.2f}, tolerance {args.fps_tolerance:.0%})"
+                )
+            else:
+                verdict = "ok"
+        elif is_drop_metric(path):
+            delta = abs(cur - base)
+            if delta > args.drop_tolerance:
+                verdict = "FAIL"
+                failures.append(
+                    f"{path}: drop rate moved {delta * 100:.2f}pp "
+                    f"(baseline {base:.4f} -> {cur:.4f}, tolerance "
+                    f"{args.drop_tolerance * 100:.0f}pp)"
+                )
+            else:
+                verdict = "ok"
+        rows.append((path, base, cur, verdict))
+
+    width = max((len(p) for p, *_ in rows), default=10)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  gate")
+    print("-" * (width + 36))
+    for path, base, cur, verdict in rows:
+        print(f"{path:<{width}}  {base:>12.3f}  {cur:>12.3f}  {verdict}")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"bench_gate: {failure}", file=sys.stderr)
+        if provisional:
+            print(
+                "bench_gate: baseline is marked provisional — passing despite the "
+                "deltas above; bless a real baseline with scripts/update-baseline.sh",
+            )
+            return 0
+        print(
+            f"bench_gate: {len(failures)} regression(s) vs {args.baseline}; "
+            "if intentional, re-bless via scripts/update-baseline.sh",
+            file=sys.stderr,
+        )
+        return 1
+
+    notice = " (baseline provisional)" if provisional else ""
+    print(f"\nbench_gate: all gated metrics within tolerance{notice}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

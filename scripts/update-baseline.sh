@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Bless the current machine's bench numbers as the committed CI baseline.
+#
+# Run this on the CI runner class (or a machine of comparable speed) after an
+# intentional performance change, then commit the result:
+#
+#   ./scripts/update-baseline.sh
+#   git add results/BENCH_BASELINE.json && git commit -m "Bless new bench baseline"
+#
+# The freshly blessed file drops the `provisional` marker, so the bench-gate
+# job enforces tolerances against it from the next run on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin ffsva
+./target/release/ffsva bench --out results/BENCH_BASELINE.json "$@"
+
+python3 - <<'EOF'
+import json
+
+path = "results/BENCH_BASELINE.json"
+with open(path, encoding="utf-8") as fh:
+    doc = json.load(fh)
+doc.pop("provisional", None)
+with open(path, "w", encoding="utf-8") as fh:
+    json.dump(doc, fh, indent=2, sort_keys=False)
+    fh.write("\n")
+print(f"blessed {path} (workload '{doc.get('workload')}', seed {doc.get('seed')})")
+EOF

@@ -11,8 +11,11 @@
 //!                latency, device utilization for N streams).
 //! * `capacity` — find how many live streams one instance sustains vs. the
 //!                YOLOv2 baseline (§4.3.1 / Fig. 6).
+//! * `bench`    — run the headline workload on both engines and write
+//!                `BENCH.json` (the CI performance-regression gate input).
 
 use ffs_va::core::accuracy::cascade_pass;
+use ffs_va::core::report::digest_table;
 use ffs_va::core::{evaluate_accuracy, find_max_online_streams, AccuracyReport};
 use ffs_va::models::reference::ReferenceModel;
 use ffs_va::models::sdd::SddFilter;
@@ -36,6 +39,7 @@ USAGE:
   ffsva analyze  --clip <clip.ffsv> --target <class> [--number N]
                  [--filter-degree F] [--profile <profile.json>]
                  [--train-frames N] [--seed N] [--fast] [--report <out.json>]
+                 [--telemetry <out.json>]
   ffsva simulate --workload <name> --streams N [--frames N] [--train-frames N]
                  [--mode online|offline] [--batch <static|feedback|dynamic>[:SIZE]]
                  [--filter-gpus N] [--ref-gpus N] [--filter-degree F]
@@ -44,6 +48,8 @@ USAGE:
   ffsva capacity --workload <name> [--frames N] [--train-frames N]
                  [--filter-gpus N] [--ref-gpus N] [--max-streams N]
                  [--tor F] [--seed N] [--target <class>] [--fast]
+  ffsva bench    [--out <BENCH.json>] [--streams N] [--frames N]
+                 [--train-frames N] [--tor F] [--seed N] [--full]
 
 Object classes: car, bus, truck, person, dog, cat, bicycle.
 ";
@@ -73,6 +79,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         "analyze" => cmd_analyze(&mut args),
         "simulate" => cmd_simulate(&mut args),
         "capacity" => cmd_capacity(&mut args),
+        "bench" => cmd_bench(&mut args),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             return Ok(());
@@ -321,8 +328,8 @@ fn cmd_record(args: &mut Args) -> Result<(), String> {
     let (w, h) = (cfg.render_width, cfg.render_height);
     let mut camera = VideoStream::new(0, cfg);
     let clip = camera.clip(frames);
-    let bytes =
-        write_clip(&out, &clip, fps).map_err(|e| format!("cannot write {}: {}", out.display(), e))?;
+    let bytes = write_clip(&out, &clip, fps)
+        .map_err(|e| format!("cannot write {}: {}", out.display(), e))?;
     let tor = measured_tor(&clip, target);
     println!(
         "recorded {} frames ({}x{} @ {} FPS, target {}) to {} ({} bytes)",
@@ -422,6 +429,7 @@ fn cmd_analyze(args: &mut Args) -> Result<(), String> {
     let seed: u64 = args.parsed("seed", 7)?;
     let fast = args.flag("fast");
     let report_path = args.opt("report")?.map(PathBuf::from);
+    let telemetry_path = args.opt("telemetry")?.map(PathBuf::from);
 
     // A profile skips in-situ training, so the whole clip is analyzed;
     // otherwise the clip's head trains the cascade and the tail is analyzed.
@@ -449,7 +457,8 @@ fn cmd_analyze(args: &mut Args) -> Result<(), String> {
                 ));
             }
             let mut rng = StdRng::seed_from_u64(seed);
-            let bank = FilterBank::build(&all[..train_frames], target, &bank_options(fast), &mut rng);
+            let bank =
+                FilterBank::build(&all[..train_frames], target, &bank_options(fast), &mut rng);
             (bank, all[train_frames..].to_vec())
         }
     };
@@ -503,11 +512,35 @@ fn cmd_analyze(args: &mut Args) -> Result<(), String> {
             accuracy,
             events,
         };
-        let json =
-            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize report: {}", e))?;
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("serialize report: {}", e))?;
         std::fs::write(&path, json)
             .map_err(|e| format!("cannot write report {}: {}", path.display(), e))?;
         println!("report written to {}", path.display());
+    }
+
+    // Replay the analyzed traces through the discrete-event engine to get the
+    // full named-series snapshot (DESIGN.md §Telemetry) plus its digest.
+    if let Some(path) = telemetry_path {
+        let sys = FfsVaConfig::default();
+        let input = StreamInput {
+            traces: traces.clone(),
+            thresholds: th,
+        };
+        let sim = Engine::new(sys, Mode::Offline, vec![input]).run();
+        let digest = PipelineDigest::from_snapshot(&sim.telemetry, sim.makespan_us);
+        let export = serde_json::json!({
+            "schema_version": 1,
+            "clip": clip_path.display().to_string(),
+            "makespan_us": sim.makespan_us,
+            "digest": digest,
+            "snapshot": sim.telemetry,
+        });
+        let json = serde_json::to_string_pretty(&export)
+            .map_err(|e| format!("serialize telemetry: {}", e))?;
+        std::fs::write(&path, json)
+            .map_err(|e| format!("cannot write telemetry {}: {}", path.display(), e))?;
+        println!("telemetry written to {}", path.display());
     }
     Ok(())
 }
@@ -611,7 +644,8 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
         );
     }
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&r).map_err(|e| format!("serialize result: {}", e))?;
+        let json =
+            serde_json::to_string_pretty(&r).map_err(|e| format!("serialize result: {}", e))?;
         std::fs::write(&path, json)
             .map_err(|e| format!("cannot write {}: {}", path.display(), e))?;
         println!("result written to {}", path.display());
@@ -655,5 +689,116 @@ fn cmd_capacity(args: &mut Args) -> Result<(), String> {
             max as f64 / baseline_max as f64
         );
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// bench
+
+/// One engine leg of the bench report.
+#[derive(Serialize)]
+struct BenchSection {
+    engine: &'static str,
+    streams: usize,
+    frames_per_stream: usize,
+    elapsed_s: f64,
+    digest: PipelineDigest,
+}
+
+/// The `BENCH.json` schema the CI gate (`scripts/bench_gate.py`) consumes.
+#[derive(Serialize)]
+struct BenchReport {
+    schema_version: u32,
+    workload: String,
+    seed: u64,
+    des: BenchSection,
+    rt: BenchSection,
+}
+
+/// Run the headline workload through both engines and write `BENCH.json`.
+///
+/// The DES leg runs N identical streams in virtual time, so its numbers are
+/// bit-deterministic for a fixed seed; the RT leg runs the real pixel models
+/// on one stream and measures wall time (the noisy, machine-dependent half —
+/// the gate's relative tolerance exists for it).
+fn cmd_bench(args: &mut Args) -> Result<(), String> {
+    let out = PathBuf::from(args.opt("out")?.unwrap_or_else(|| "BENCH.json".into()));
+    let full = args.flag("full");
+    let streams: usize = args.parsed("streams", 4)?;
+    let frames: usize = args.parsed("frames", if full { 2000 } else { 600 })?;
+    let train_frames: usize = args.parsed("train-frames", if full { 2200 } else { 900 })?;
+    let tor: f64 = args.parsed("tor", 0.3)?;
+    let seed: u64 = args.parsed("seed", 42)?;
+    if streams == 0 || frames == 0 {
+        return Err("--streams and --frames must be positive".into());
+    }
+
+    let cfg = if full {
+        let mut c = workloads::jackson();
+        c.seed = seed;
+        c
+    } else {
+        workloads::test_tiny(ObjectClass::Car, tor, seed)
+    };
+    let workload_name = cfg.name.clone();
+    let target = cfg.target;
+    let sys = FfsVaConfig::default();
+    println!(
+        "bench: workload '{}' (train {} frames, bench {} frames; {} DES stream(s) + 1 RT stream)",
+        workload_name, train_frames, frames, streams
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut camera = VideoStream::new(0, cfg);
+    let training = camera.clip(train_frames);
+    let mut bank = FilterBank::build(&training, target, &bank_options(!full), &mut rng);
+    let clip = camera.clip(frames);
+    let traces = bank.trace_clip(&clip);
+    let th = StreamThresholds {
+        delta_diff: bank.sdd.delta_diff,
+        t_pre: bank.snm.t_pre(sys.filter_degree),
+        number_of_objects: sys.number_of_objects,
+    };
+
+    let inputs: Vec<StreamInput> = (0..streams)
+        .map(|_| StreamInput {
+            traces: traces.clone(),
+            thresholds: th,
+        })
+        .collect();
+    let des = Engine::new(sys, Mode::Offline, inputs).run();
+    let des_digest = PipelineDigest::from_snapshot(&des.telemetry, des.makespan_us);
+    println!();
+    println!("DES engine ({} stream(s), virtual time):", streams);
+    println!("{}", digest_table(&des_digest));
+
+    let rt = run_pipeline_rt(clip, bank, &sys);
+    let rt_digest = PipelineDigest::from_snapshot(&rt.telemetry, rt.wall_time_s * 1e6);
+    println!("RT engine (1 stream, wall time):");
+    println!("{}", digest_table(&rt_digest));
+
+    let report = BenchReport {
+        schema_version: 1,
+        workload: workload_name,
+        seed,
+        des: BenchSection {
+            engine: "des",
+            streams,
+            frames_per_stream: frames,
+            elapsed_s: des.makespan_us / 1e6,
+            digest: des_digest,
+        },
+        rt: BenchSection {
+            engine: "rt",
+            streams: 1,
+            frames_per_stream: frames,
+            elapsed_s: rt.wall_time_s,
+            digest: rt_digest,
+        },
+    };
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("serialize bench: {}", e))?;
+    std::fs::write(&out, json).map_err(|e| format!("cannot write {}: {}", out.display(), e))?;
+    println!("bench report written to {}", out.display());
     Ok(())
 }

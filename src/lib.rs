@@ -5,12 +5,13 @@
 //! (grid detector, GPU) — in front of an expensive reference model (YOLOv2)
 //! so that only frames the user cares about pay full inference cost.
 //!
-//! This crate re-exports the five workspace crates under stable paths:
+//! This crate re-exports the workspace crates under stable paths:
 //!
 //! * [`tensor`] — pure-Rust CNN engine (inference + training).
 //! * [`video`] — synthetic surveillance workload substrate with ground truth.
 //! * [`models`] — the four cascade models and per-stream training (§4.1).
 //! * [`sched`] — devices, feedback queues, batch policies, DES + threads.
+//! * [`telemetry`] — lock-cheap pipeline metrics shared by both engines.
 //! * [`core`] — the assembled system: engines, accuracy, instance management.
 //!
 //! Most programs only need the [`prelude`]:
@@ -47,6 +48,7 @@
 pub use ffsva_core as core;
 pub use ffsva_models as models;
 pub use ffsva_sched as sched;
+pub use ffsva_telemetry as telemetry;
 pub use ffsva_tensor as tensor;
 pub use ffsva_video as video;
 
@@ -61,5 +63,6 @@ pub mod prelude {
     pub use ffsva_models::bank::{BankOptions, FilterBank, FrameTrace};
     pub use ffsva_models::snm::SnmModel;
     pub use ffsva_sched::BatchPolicy;
+    pub use ffsva_telemetry::{PipelineDigest, Telemetry, TelemetrySnapshot};
     pub use ffsva_video::prelude::*;
 }

@@ -179,6 +179,89 @@ fn simulate_writes_engine_result_json() {
 }
 
 #[test]
+fn analyze_exports_telemetry_snapshot() {
+    let dir = Scratch::new("telemetry");
+    let clip = dir.path("clip.ffsv");
+    let tele = dir.path("telemetry.json");
+    record(&clip, "700", "42");
+
+    let out = ffsva(&[
+        "analyze",
+        "--clip",
+        clip.to_str().unwrap(),
+        "--target",
+        "car",
+        "--train-frames",
+        "400",
+        "--fast",
+        "--telemetry",
+        tele.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "analyze --telemetry");
+
+    let json: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(&tele).expect("telemetry written"))
+            .expect("telemetry is valid JSON");
+    assert_eq!(json["schema_version"], 1);
+    // the replayed DES run covers exactly the analyzed tail of the clip
+    assert_eq!(json["snapshot"]["counters"]["pipeline.frames_in"], 300);
+    assert!(json["digest"]["throughput_fps"].as_f64().unwrap() > 0.0);
+    assert!(json["snapshot"]["histograms"]["latency.e2e_us"]["count"].is_number());
+}
+
+#[test]
+fn bench_writes_gate_ready_report() {
+    let dir = Scratch::new("bench");
+    let bench = dir.path("BENCH.json");
+    let out = ffsva(&[
+        "bench",
+        "--out",
+        bench.to_str().unwrap(),
+        "--streams",
+        "2",
+        "--frames",
+        "200",
+        "--train-frames",
+        "500",
+        "--seed",
+        "5",
+    ]);
+    assert_ok(&out, "bench");
+    let text = stdout(&out);
+    assert!(text.contains("DES engine"), "missing DES table:\n{}", text);
+    assert!(text.contains("RT engine"), "missing RT table:\n{}", text);
+
+    let json: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(&bench).expect("BENCH.json written"))
+            .expect("BENCH.json is valid JSON");
+    assert_eq!(json["schema_version"], 1);
+    for engine in ["des", "rt"] {
+        let digest = &json[engine]["digest"];
+        for stage in ["sdd", "snm", "tyolo", "reference"] {
+            assert!(
+                digest["stage_fps"][stage].is_number(),
+                "{}: missing stage_fps.{}",
+                engine,
+                stage
+            );
+            assert!(digest["stage_drop_rate"][stage].is_number());
+            assert!(digest["queue_depth_p99"][stage].is_number());
+        }
+        assert!(digest["throughput_fps"].as_f64().unwrap() > 0.0);
+        assert!(digest["latency_e2e_p50_us"].is_number());
+        assert!(digest["latency_e2e_p99_us"].is_number());
+    }
+    // the DES leg saw 2 streams x 200 frames
+    let des_frames = json["des"]["digest"]["throughput_fps"].as_f64().unwrap()
+        * json["des"]["elapsed_s"].as_f64().unwrap();
+    assert!(
+        (des_frames - 400.0).abs() < 1e-6,
+        "DES leg counted {} frames, expected 400",
+        des_frames
+    );
+}
+
+#[test]
 fn capacity_compares_cascade_against_baseline() {
     let out = ffsva(&[
         "capacity",
@@ -194,8 +277,16 @@ fn capacity_compares_cascade_against_baseline() {
     ]);
     assert_ok(&out, "capacity");
     let text = stdout(&out);
-    assert!(text.contains("FFS-VA"), "missing cascade capacity line:\n{}", text);
-    assert!(text.contains("baseline"), "missing baseline line:\n{}", text);
+    assert!(
+        text.contains("FFS-VA"),
+        "missing cascade capacity line:\n{}",
+        text
+    );
+    assert!(
+        text.contains("baseline"),
+        "missing baseline line:\n{}",
+        text
+    );
 }
 
 #[test]

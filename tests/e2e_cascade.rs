@@ -109,7 +109,10 @@ fn des_and_rt_engines_agree_on_survivor_set() {
     let rt_survivors: Vec<u64> = rt.survivors.iter().map(|s| s.seq).collect();
 
     assert_eq!(sim.total_frames, rt.total_frames);
-    assert!(!des_survivors.is_empty(), "degenerate run: nothing survived");
+    assert!(
+        !des_survivors.is_empty(),
+        "degenerate run: nothing survived"
+    );
     assert_eq!(
         des_survivors, rt_survivors,
         "DES and RT engines disagree on the survivor set"
@@ -121,6 +124,78 @@ fn des_and_rt_engines_agree_on_survivor_set() {
         .map(|tr| tr.seq)
         .collect();
     assert_eq!(des_survivors, expected);
+}
+
+/// DES↔RT telemetry conformance: for the same fixed-seed workload, both
+/// engines must register the *same* named series (engine-private `des.` /
+/// `rt.` prefixes aside) and report bit-identical values for every
+/// deterministic frame-count series. Time-valued series (latencies, blocked
+/// time, queue depths) legitimately differ — virtual vs. wall clock — but
+/// must exist under the same names so dashboards and the bench gate read
+/// either engine interchangeably.
+#[test]
+fn des_and_rt_engines_emit_conformant_telemetry() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let sys = FfsVaConfig::default();
+    let mut camera = VideoStream::new(0, workloads::test_tiny(ObjectClass::Car, 0.3, 42));
+    let training = camera.clip(1200);
+    let mut bank = FilterBank::build(&training, ObjectClass::Car, &quick_bank_opts(), &mut rng);
+    let clip = camera.clip(400);
+
+    let th = StreamThresholds {
+        delta_diff: bank.sdd.delta_diff,
+        t_pre: bank.snm.t_pre(sys.filter_degree),
+        number_of_objects: sys.number_of_objects,
+    };
+    let traces = bank.trace_clip(&clip);
+    let sim = Engine::new(
+        sys,
+        Mode::Offline,
+        vec![StreamInput {
+            traces,
+            thresholds: th,
+        }],
+    )
+    .run();
+    let rt = run_pipeline_rt(clip, bank, &sys);
+
+    // Same metric namespace from both engines.
+    let des_names = sim.telemetry.conformant_names();
+    let rt_names = rt.telemetry.conformant_names();
+    assert!(!des_names.is_empty(), "DES engine registered no series");
+    assert_eq!(
+        des_names, rt_names,
+        "DES and RT engines disagree on the telemetry namespace"
+    );
+
+    // Identical values for every deterministic frame-count series.
+    let des_frames = sim.telemetry.frames_counters();
+    let rt_frames = rt.telemetry.frames_counters();
+    assert!(
+        des_frames.len() > 12,
+        "conformance domain implausibly small: {:?}",
+        des_frames.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        des_frames, rt_frames,
+        "DES and RT engines disagree on frame accounting"
+    );
+
+    // Spot-check the domain is anchored to this run, not vacuously equal.
+    assert_eq!(sim.telemetry.counter("pipeline.frames_in"), 400);
+    assert_eq!(
+        sim.telemetry.stage_total("reference", "frames_out"),
+        rt.survivors.len() as u64
+    );
+
+    // Both latency histograms exist and saw every disposed frame.
+    for snap in [&sim.telemetry, &rt.telemetry] {
+        let e2e = snap
+            .histograms
+            .get("latency.e2e_us")
+            .expect("latency.e2e_us registered");
+        assert_eq!(e2e.count, 400, "e2e latency must cover every frame");
+    }
 }
 
 /// Determinism under fixed seeds: preparing the same stream twice yields
@@ -204,10 +279,7 @@ fn admission_fills_instance_then_rejects_on_real_traces() {
 
     let load = ctl.into_instances().remove(0);
     let r = Engine::new(sys, Mode::Online, load).run();
-    assert!(
-        r.realtime(sys.online_fps),
-        "admitted load is not real-time"
-    );
+    assert!(r.realtime(sys.online_fps), "admitted load is not real-time");
 }
 
 /// FFSV1 round trip feeds the cascade: a recorded clip read back from disk

@@ -129,11 +129,22 @@ fn stream_overload_triggers_reforwarding_to_spare_instances() {
     let all_on_zero = vec![0usize; streams.len()];
     let packed: Vec<StreamInput> = streams.clone();
     let r0 = Engine::new(cfg, Mode::Online, packed).run();
-    assert!(is_overloaded(&r0, &cfg), "12 heavy streams should overload one instance");
+    assert!(
+        is_overloaded(&r0, &cfg),
+        "12 heavy streams should overload one instance"
+    );
 
     let out = balance_instances_from(&cfg, &streams, 3, 48, all_on_zero);
-    assert!(out.reforwarded >= 2, "only {} streams re-forwarded", out.reforwarded);
-    assert!(out.all_realtime, "assignment {:?} not real-time", out.assignment);
+    assert!(
+        out.reforwarded >= 2,
+        "only {} streams re-forwarded",
+        out.reforwarded
+    );
+    assert!(
+        out.all_realtime,
+        "assignment {:?} not real-time",
+        out.assignment
+    );
     let still_on_zero = out.assignment.iter().filter(|&&a| a == 0).count();
     assert!(
         still_on_zero < streams.len(),

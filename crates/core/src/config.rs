@@ -1,7 +1,20 @@
 //! System-wide configuration of an FFS-VA instance.
 
-use ffsva_sched::BatchPolicy;
+use ffsva_sched::{BatchPolicy, DegradePolicy};
 use serde::{Deserialize, Serialize};
+
+fn default_restart_budget() -> u32 {
+    2
+}
+fn default_restart_backoff_ms() -> u64 {
+    10
+}
+fn default_watchdog_deadline_ms() -> u64 {
+    200
+}
+fn default_degrade_policy() -> DegradePolicy {
+    DegradePolicy::Block
+}
 
 /// Tunable parameters of an FFS-VA instance, with the paper's defaults.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -42,6 +55,22 @@ pub struct FfsVaConfig {
     /// first reason for sharing ("reduce the switch overhead of loading
     /// different models, e.g. 1.2 GB for T-YOLO").
     pub shared_tyolo: bool,
+    /// How many times a panicked per-stream stage (SDD/SNM) is restarted
+    /// before its stream is quarantined. Serde-defaulted so configs written
+    /// before the supervision subsystem still deserialize.
+    #[serde(default = "default_restart_budget")]
+    pub restart_budget: u32,
+    /// Backoff before the first restart (doubles per subsequent restart).
+    #[serde(default = "default_restart_backoff_ms")]
+    pub restart_backoff_ms: u64,
+    /// Watchdog stall deadline: a stage making no progress for this long
+    /// while input is queued triggers the degrade policy. 0 disables the
+    /// watchdog.
+    #[serde(default = "default_watchdog_deadline_ms")]
+    pub watchdog_deadline_ms: u64,
+    /// What to do when the watchdog detects a stalled stage.
+    #[serde(default = "default_degrade_policy")]
+    pub degrade_policy: DegradePolicy,
 }
 
 impl Default for FfsVaConfig {
@@ -62,6 +91,10 @@ impl Default for FfsVaConfig {
             admission_tyolo_fps: 140.0,
             admission_window_s: 5.0,
             shared_tyolo: true,
+            restart_budget: default_restart_budget(),
+            restart_backoff_ms: default_restart_backoff_ms(),
+            watchdog_deadline_ms: default_watchdog_deadline_ms(),
+            degrade_policy: default_degrade_policy(),
         }
     }
 }
@@ -82,6 +115,24 @@ impl FfsVaConfig {
     /// Builder-style setter for the batch policy.
     pub fn with_batch_policy(mut self, p: BatchPolicy) -> Self {
         self.batch_policy = p;
+        self
+    }
+
+    /// Builder-style setter for the degrade policy.
+    pub fn with_degrade_policy(mut self, p: DegradePolicy) -> Self {
+        self.degrade_policy = p;
+        self
+    }
+
+    /// Builder-style setter for the watchdog stall deadline (ms; 0 disables).
+    pub fn with_watchdog_deadline_ms(mut self, ms: u64) -> Self {
+        self.watchdog_deadline_ms = ms;
+        self
+    }
+
+    /// Builder-style setter for the stage restart budget.
+    pub fn with_restart_budget(mut self, n: u32) -> Self {
+        self.restart_budget = n;
         self
     }
 }
@@ -118,7 +169,9 @@ mod tests {
         let c = FfsVaConfig::default()
             .with_filter_degree(0.3)
             .with_number_of_objects(2)
-            .with_batch_policy(ffsva_sched::BatchPolicy::Feedback { size: 7 });
+            .with_batch_policy(ffsva_sched::BatchPolicy::Feedback { size: 7 })
+            .with_degrade_policy(DegradePolicy::ShedOldest { max_lag_ms: 500 })
+            .with_restart_budget(5);
         let json = serde_json::to_string(&c).unwrap();
         let back: FfsVaConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.filter_degree, 0.3);
@@ -126,6 +179,31 @@ mod tests {
         assert_eq!(back.batch_policy.size(), 7);
         assert_eq!(back.snm_queue_depth, c.snm_queue_depth);
         assert_eq!(back.shared_tyolo, c.shared_tyolo);
+        assert_eq!(
+            back.degrade_policy,
+            DegradePolicy::ShedOldest { max_lag_ms: 500 }
+        );
+        assert_eq!(back.restart_budget, 5);
+    }
+
+    #[test]
+    fn pre_supervision_configs_deserialize_with_defaults() {
+        // a config serialized before the supervision fields existed
+        let old = r#"{
+            "filter_degree": 0.5, "number_of_objects": 1,
+            "batch_policy": {"Dynamic": {"size": 10}},
+            "sdd_queue_depth": 2, "snm_queue_depth": 10,
+            "tyolo_queue_depth": 2, "reference_queue_depth": 4,
+            "num_tyolo": 8, "online_fps": 30, "cpu_lanes": 28,
+            "filter_gpus": 1, "reference_gpus": 1,
+            "admission_tyolo_fps": 140.0, "admission_window_s": 5.0,
+            "shared_tyolo": true
+        }"#;
+        let c: FfsVaConfig = serde_json::from_str(old).unwrap();
+        assert_eq!(c.restart_budget, 2);
+        assert_eq!(c.restart_backoff_ms, 10);
+        assert_eq!(c.watchdog_deadline_ms, 200);
+        assert_eq!(c.degrade_policy, DegradePolicy::Block);
     }
 
     #[test]

@@ -53,13 +53,15 @@ pub use accuracy::{
 };
 pub use baseline::{run_baseline, BaselineResult};
 pub use config::{FfsVaConfig, StreamThresholds};
+pub use ffsva_sched::{DegradePolicy, FaultPlan, FaultStage, StageFault};
 pub use ffsva_telemetry::{PipelineDigest, Telemetry, TelemetrySnapshot};
 pub use instance::{
     balance_instances, balance_instances_from, find_max_online_streams, has_spare_capacity,
     is_overloaded, AdmissionController, Placement,
 };
 pub use rt_engine::{
-    run_multi_pipeline_rt, run_pipeline_rt, MultiRtResult, RtResult, SurvivingFrame,
+    run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, run_pipeline_rt, MultiRtResult, RtResult,
+    StreamHealth, SurvivingFrame,
 };
 pub use sim::{Engine, FrameTimeline, Mode, SimResult, Stage, StreamInput};
 pub use viz::{

@@ -9,14 +9,19 @@ use crate::config::FfsVaConfig;
 use ffsva_models::bank::FilterBank;
 use ffsva_models::snm::snm_input;
 use ffsva_models::tyolo::TinyYolo;
-use ffsva_sched::{spawn_batch_stage_instrumented, spawn_filter_stage_instrumented, FeedbackQueue};
+use ffsva_sched::{
+    spawn_batch_stage_faulted, spawn_batch_stage_instrumented, spawn_filter_stage_faulted,
+    spawn_filter_stage_instrumented, supervise, DegradePolicy, FaultAction, FaultPlan, FaultStage,
+    FeedbackQueue, StageFaultCtx, SupervisorPolicy, SupervisorTelemetry, WatchEntry, Watchdog,
+};
 use ffsva_telemetry::{
-    Histogram, QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot, LATENCY_BOUNDS_US,
+    QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot, LATENCY_BOUNDS_US,
 };
 use ffsva_video::LabeledFrame;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A frame in flight through the threaded pipeline, stamped with its
 /// pipeline-entry instant so stages can record end-to-end latency at the
@@ -203,10 +208,12 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
         survivors.push(s);
     }
     feeder.join().expect("feeder thread");
-    let c_sdd = h_sdd.join();
-    let c_snm = h_snm.join();
-    let c_tyolo = h_tyolo.join();
-    let c_ref = h_ref.join();
+    // An un-faulted, un-supervised pipeline never injects panics, so a
+    // stage failure here is a genuine bug worth surfacing loudly.
+    let c_sdd = h_sdd.join().expect("sdd stage");
+    let c_snm = h_snm.join().expect("snm stage");
+    let c_tyolo = h_tyolo.join().expect("tyolo stage");
+    let c_ref = h_ref.join().expect("reference stage");
 
     let wall = start.elapsed().as_secs_f64();
     // engine-private series carry the `rt.` prefix and are excluded from
@@ -222,6 +229,27 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
     }
 }
 
+/// Supervision outcome for one stream of a multi-stream run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamHealth {
+    /// The stream's SDD or SNM exhausted its restart budget; every frame
+    /// from the fault point on was disposed as quarantined while sibling
+    /// streams kept running.
+    pub quarantined: bool,
+    /// Which supervised stage gave up (`"sdd"` or `"snm"`), if any.
+    pub failed_stage: Option<String>,
+    /// Restarts attempted across the stream's supervised stages.
+    pub restarts: u64,
+    /// Frames disposed as quarantined for this stream.
+    pub frames_quarantined: u64,
+}
+
+impl StreamHealth {
+    pub fn healthy(&self) -> bool {
+        !self.quarantined
+    }
+}
+
 /// Result of a multi-stream threaded run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MultiRtResult {
@@ -232,9 +260,26 @@ pub struct MultiRtResult {
     pub survivors: Vec<Vec<SurvivingFrame>>,
     pub wall_time_s: f64,
     pub throughput_fps: f64,
+    /// Per-stream supervision outcome, in stream order.
+    #[serde(default)]
+    pub stream_health: Vec<StreamHealth>,
+    /// Frames shed by the `ShedOldest` degrade policy (RT-only; the DES has
+    /// no wall-clock lag to shed against).
+    #[serde(default)]
+    pub shed_frames: u64,
     /// Every named series the run emitted (DESIGN.md §Telemetry).
     #[serde(default)]
     pub telemetry: TelemetrySnapshot,
+}
+
+impl MultiRtResult {
+    /// Frames disposed as quarantined across all streams.
+    pub fn quarantined_frames(&self) -> u64 {
+        self.stream_health
+            .iter()
+            .map(|h| h.frames_quarantined)
+            .sum()
+    }
 }
 
 /// Run several streams through real threaded pipelines that share **one**
@@ -243,15 +288,41 @@ pub struct MultiRtResult {
 /// the queues round-robin, takes at most `num_tyolo` frames from each
 /// (skipping empty queues), and forwards survivors to per-stream reference
 /// stages.
+///
+/// Every per-stream stage runs under supervision (restart budget
+/// `cfg.restart_budget`, exponential backoff from `cfg.restart_backoff_ms`),
+/// and the shared T-YOLO is watched for stalls (`cfg.watchdog_deadline_ms`,
+/// degraded per `cfg.degrade_policy`). This entry point injects no faults —
+/// it delegates to [`run_multi_pipeline_rt_faulted`] with an empty plan, so
+/// faulted and unfaulted runs share one code path.
 pub fn run_multi_pipeline_rt(
     streams: Vec<(Vec<LabeledFrame>, FilterBank)>,
     cfg: &FfsVaConfig,
 ) -> MultiRtResult {
+    run_multi_pipeline_rt_faulted(streams, cfg, &FaultPlan::default())
+}
+
+/// [`run_multi_pipeline_rt`] with a deterministic [`FaultPlan`].
+///
+/// A stream whose SDD or SNM exhausts the restart budget is quarantined:
+/// its remaining frames are drained and accounted `frames_quarantined`, its
+/// downstream queue is closed, and every other stream — plus the shared
+/// T-YOLO and reference stages — keeps running untouched.
+pub fn run_multi_pipeline_rt_faulted(
+    streams: Vec<(Vec<LabeledFrame>, FilterBank)>,
+    cfg: &FfsVaConfig,
+    plan: &FaultPlan,
+) -> MultiRtResult {
     assert!(!streams.is_empty(), "need at least one stream");
+    plan.validate().expect("invalid fault plan");
     let start = Instant::now();
     let n_streams = streams.len();
     let num_tyolo = cfg.num_tyolo.max(1);
     let number_of_objects = cfg.number_of_objects.max(1);
+    let sup_policy = SupervisorPolicy {
+        restart_budget: cfg.restart_budget,
+        backoff: Duration::from_millis(cfg.restart_backoff_ms),
+    };
 
     let tel = Telemetry::new();
     let lat_e2e = tel.histogram("latency.e2e_us", LATENCY_BOUNDS_US);
@@ -265,10 +336,18 @@ pub fn run_multi_pipeline_rt(
     let qt_snm = QueueTelemetry::register(&tel, "queue.snm");
     let qt_tyolo = QueueTelemetry::register(&tel, "queue.tyolo");
     let qt_ref = QueueTelemetry::register(&tel, "queue.reference");
+    // engine-private (`rt.`-prefixed) series, excluded from DES↔RT name
+    // conformance
+    let c_trips = tel.counter("rt.watchdog.trips");
+    let c_shed = tel.counter("rt.watchdog.shed");
+
+    // Flipped by the watchdog under `DegradePolicy::Bypass`: SNM-positive
+    // frames then route straight to the reference queue.
+    let bypass = Arc::new(AtomicBool::new(false));
 
     let mut total = 0u64;
-    let mut sdd_handles = Vec::new();
-    let mut snm_handles = Vec::new();
+    let mut sdd_sups = Vec::new();
+    let mut snm_sups = Vec::new();
     let mut feeders = Vec::new();
     let mut tyolo_qs: Vec<FeedbackQueue<InFlight>> = Vec::new();
     let mut ref_qs: Vec<FeedbackQueue<InFlight>> = Vec::new();
@@ -276,6 +355,7 @@ pub fn run_multi_pipeline_rt(
     let mut ref_handles = Vec::new();
     let mut targets = Vec::new();
     let mut tyolo_tels = Vec::new();
+    let mut tyolo_injs = Vec::new();
     let mut shared_tyolo: Option<Arc<TinyYolo>> = None;
 
     for (s, (clip, bank)) in streams.into_iter().enumerate() {
@@ -283,7 +363,7 @@ pub fn run_multi_pipeline_rt(
         let FilterBank {
             target,
             sdd,
-            mut snm,
+            snm,
             tyolo,
             reference,
             ..
@@ -293,7 +373,14 @@ pub fn run_multi_pipeline_rt(
         if shared_tyolo.is_none() {
             shared_tyolo = Some(Arc::new(tyolo));
         }
+        let mut snm = snm;
         let t_pre = snm.t_pre(cfg.filter_degree);
+        // Shared ownership so every restarted incarnation attaches to the
+        // *same* models: SDD inference is `&self`; the SNM is mutated per
+        // batch, so it sits behind a mutex whose poisoning (a panic inside
+        // `predict_batch`) is recovered on the next lock.
+        let sdd = Arc::new(sdd);
+        let snm = Arc::new(Mutex::new(snm));
 
         let q_sdd: FeedbackQueue<InFlight> =
             FeedbackQueue::with_telemetry(cfg.sdd_queue_depth.max(1), qt_sdd.clone());
@@ -305,56 +392,177 @@ pub fn run_multi_pipeline_rt(
             FeedbackQueue::with_telemetry(cfg.reference_queue_depth.max(1), qt_ref.clone());
         let q_out: FeedbackQueue<SurvivingFrame> = FeedbackQueue::new(4096);
 
-        let delta = sdd.delta_diff;
-        let lat = lat_e2e.clone();
-        sdd_handles.push(spawn_filter_stage_instrumented(
-            format!("sdd-{}", s),
-            q_sdd.clone(),
-            q_snm.clone(),
-            StageTelemetry::register(&tel, &format!("stream{}.sdd", s)),
-            move |(t0, lf): InFlight| {
-                if sdd.distance(&lf.frame) > delta {
-                    Some((t0, lf))
-                } else {
-                    lat.record(elapsed_us(t0));
-                    None
-                }
-            },
+        let sdd_tel = StageTelemetry::register(&tel, &format!("stream{}.sdd", s));
+        let snm_tel = StageTelemetry::register(&tel, &format!("stream{}.snm", s));
+        tyolo_tels.push(StageTelemetry::register(
+            &tel,
+            &format!("stream{}.tyolo", s),
         ));
-        let batches = c_batches.clone();
-        let lat = lat_e2e.clone();
-        snm_handles.push(spawn_batch_stage_instrumented(
-            format!("snm-{}", s),
-            q_snm,
-            q_tyolo.clone(),
-            cfg.batch_policy,
-            StageTelemetry::register(&tel, &format!("stream{}.snm", s)),
-            move |batch: Vec<InFlight>| {
-                batches.inc();
-                let inputs: Vec<Vec<f32>> =
-                    batch.iter().map(|(_, lf)| snm_input(&lf.frame)).collect();
-                let probs = snm.predict_batch(&inputs);
-                batch
-                    .into_iter()
-                    .zip(probs)
-                    .filter_map(|((t0, lf), p)| {
-                        if p >= t_pre {
+        let ref_tel = StageTelemetry::register(&tel, &format!("stream{}.reference", s));
+
+        let inj_sdd = plan.injector(s, FaultStage::Sdd);
+        let inj_snm = plan.injector(s, FaultStage::Snm);
+        tyolo_injs.push(plan.injector(s, FaultStage::TYolo));
+        let inj_ref = plan.injector(s, FaultStage::Reference);
+
+        // --- supervised SDD stage (CPU in the paper) ---
+        let factory = {
+            let q_in = q_sdd.clone();
+            let q_down = q_snm.clone();
+            let stage_tel = sdd_tel.clone();
+            let inj = inj_sdd;
+            let lat = lat_e2e.clone();
+            let sdd = Arc::clone(&sdd);
+            let delta = sdd.delta_diff;
+            move || {
+                let sdd = Arc::clone(&sdd);
+                let lat_drop = lat.clone();
+                let lat_q = lat.clone();
+                let lat_l = lat.clone();
+                let ctx: StageFaultCtx<InFlight, InFlight> = StageFaultCtx {
+                    inj: inj.clone(),
+                    seq_in: Box::new(|(_, lf)| lf.frame.seq),
+                    seq_out: Box::new(|(_, lf)| lf.frame.seq),
+                    on_quarantine: Box::new(move |(t0, _)| lat_q.record(elapsed_us(t0))),
+                    on_lost: Box::new(move |(t0, _)| lat_l.record(elapsed_us(t0))),
+                };
+                spawn_filter_stage_faulted(
+                    format!("sdd-{}", s),
+                    q_in.clone(),
+                    q_down.clone(),
+                    stage_tel.clone(),
+                    ctx,
+                    move |(t0, lf): InFlight| {
+                        if sdd.distance(&lf.frame) > delta {
                             Some((t0, lf))
                         } else {
-                            lat.record(elapsed_us(t0));
+                            lat_drop.record(elapsed_us(t0));
                             None
                         }
-                    })
-                    .collect()
-            },
+                    },
+                )
+            }
+        };
+        let give_up = {
+            let q_in = q_sdd.clone();
+            let q_down = q_snm.clone();
+            let stage_tel = sdd_tel.clone();
+            let lat = lat_e2e.clone();
+            move |_f: &ffsva_sched::StageFailure| {
+                // Quarantine-drain everything still arriving (the feeder
+                // closes the queue when the clip ends), then release
+                // downstream so the rest of the cascade can finish.
+                while let Some((t0, _)) = q_in.pop() {
+                    stage_tel.frames_quarantined.inc();
+                    lat.record(elapsed_us(t0));
+                }
+                q_down.close();
+            }
+        };
+        sdd_sups.push(supervise(
+            format!("sdd-{}", s),
+            sup_policy,
+            SupervisorTelemetry::register(&tel, &format!("rt.supervisor.stream{}.sdd", s)),
+            factory,
+            give_up,
         ));
+
+        // --- supervised SNM stage with batch formation (GPU-0) ---
+        let factory = {
+            let q_in = q_snm.clone();
+            let outs = vec![q_tyolo.clone(), q_ref.clone()];
+            let stage_tel = snm_tel.clone();
+            let inj = inj_snm;
+            let lat = lat_e2e.clone();
+            let snm = Arc::clone(&snm);
+            let batches = c_batches.clone();
+            let bypass = Arc::clone(&bypass);
+            let policy = cfg.batch_policy;
+            move || {
+                let snm = Arc::clone(&snm);
+                let lat_drop = lat.clone();
+                let lat_q = lat.clone();
+                let lat_l = lat.clone();
+                let batches = batches.clone();
+                let bypass = Arc::clone(&bypass);
+                let ctx: StageFaultCtx<InFlight, InFlight> = StageFaultCtx {
+                    inj: inj.clone(),
+                    seq_in: Box::new(|(_, lf)| lf.frame.seq),
+                    seq_out: Box::new(|(_, lf)| lf.frame.seq),
+                    on_quarantine: Box::new(move |(t0, _)| lat_q.record(elapsed_us(t0))),
+                    on_lost: Box::new(move |(t0, _)| lat_l.record(elapsed_us(t0))),
+                };
+                spawn_batch_stage_faulted(
+                    format!("snm-{}", s),
+                    q_in.clone(),
+                    outs.clone(),
+                    move |_| usize::from(bypass.load(Ordering::Relaxed)),
+                    policy,
+                    stage_tel.clone(),
+                    ctx,
+                    move |batch: Vec<InFlight>| {
+                        batches.inc();
+                        let inputs: Vec<Vec<f32>> =
+                            batch.iter().map(|(_, lf)| snm_input(&lf.frame)).collect();
+                        let probs = snm
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .predict_batch(&inputs);
+                        batch
+                            .into_iter()
+                            .zip(probs)
+                            .filter_map(|((t0, lf), p)| {
+                                if p >= t_pre {
+                                    Some((t0, lf))
+                                } else {
+                                    lat_drop.record(elapsed_us(t0));
+                                    None
+                                }
+                            })
+                            .collect()
+                    },
+                )
+            }
+        };
+        let give_up = {
+            let q_in = q_snm.clone();
+            let q_down = q_tyolo.clone();
+            let stage_tel = snm_tel.clone();
+            let lat = lat_e2e.clone();
+            move |_f: &ffsva_sched::StageFailure| {
+                while let Some((t0, _)) = q_in.pop() {
+                    stage_tel.frames_quarantined.inc();
+                    lat.record(elapsed_us(t0));
+                }
+                q_down.close();
+            }
+        };
+        snm_sups.push(supervise(
+            format!("snm-{}", s),
+            sup_policy,
+            SupervisorTelemetry::register(&tel, &format!("rt.supervisor.stream{}.snm", s)),
+            factory,
+            give_up,
+        ));
+
+        // --- reference stage (GPU-1), shared-fate with the whole run ---
         let lat = lat_e2e.clone();
         let lat_r = lat_ref.clone();
-        ref_handles.push(spawn_filter_stage_instrumented(
+        let ctx: StageFaultCtx<InFlight, SurvivingFrame> = StageFaultCtx {
+            inj: inj_ref,
+            seq_in: Box::new(|(_, lf)| lf.frame.seq),
+            seq_out: Box::new(|sf| sf.seq),
+            // validate() forbids panic/failpush on the reference stage, so
+            // these hooks are unreachable; stalls need no disposal.
+            on_quarantine: Box::new(|_| {}),
+            on_lost: Box::new(|_| {}),
+        };
+        ref_handles.push(spawn_filter_stage_faulted(
             format!("reference-{}", s),
             q_ref.clone(),
             q_out.clone(),
-            StageTelemetry::register(&tel, &format!("stream{}.reference", s)),
+            ref_tel,
+            ctx,
             move |(t0, lf): InFlight| {
                 let out = SurvivingFrame {
                     seq: lf.frame.seq,
@@ -366,10 +574,6 @@ pub fn run_multi_pipeline_rt(
                 lat_r.record(us);
                 Some(out)
             },
-        ));
-        tyolo_tels.push(StageTelemetry::register(
-            &tel,
-            &format!("stream{}.tyolo", s),
         ));
 
         let q_in = q_sdd;
@@ -396,6 +600,9 @@ pub fn run_multi_pipeline_rt(
     let tyolo_targets = targets.clone();
     let c_cycles = tel.counter("tyolo.cycles");
     let lat = lat_e2e.clone();
+    let tyolo_progress = Arc::new(AtomicU64::new(0));
+    let progress = Arc::clone(&tyolo_progress);
+    let injs = tyolo_injs;
     let tyolo_handle = std::thread::Builder::new()
         .name("tyolo-shared".into())
         .spawn(move || {
@@ -410,15 +617,27 @@ pub fn run_multi_pipeline_rt(
                     // §3.2.3: at most num_tyolo frames per stream per cycle
                     for (t0, lf) in tyolo_in[s].try_pop_up_to(num_tyolo) {
                         any = true;
+                        let seq = lf.frame.seq;
+                        // the only injectable T-YOLO faults are stalls (the
+                        // watchdog's trigger) and lost pushes
+                        if let FaultAction::Stall(us) = injs[s].check(seq) {
+                            std::thread::sleep(Duration::from_micros(us));
+                        }
                         processed += 1;
                         tyolo_tels[s].frames_in.inc();
                         if tyolo.count(&lf.frame, tyolo_targets[s]) >= number_of_objects {
-                            tyolo_tels[s].frames_out.inc();
-                            let _ = tyolo_out[s].push((t0, lf));
+                            if injs[s].fail_push(seq) {
+                                tyolo_tels[s].frames_dropped.inc();
+                                lat.record(elapsed_us(t0));
+                            } else {
+                                tyolo_tels[s].frames_out.inc();
+                                let _ = tyolo_out[s].push((t0, lf));
+                            }
                         } else {
                             tyolo_tels[s].frames_dropped.inc();
                             lat.record(elapsed_us(t0));
                         }
+                        progress.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 if any {
@@ -437,6 +656,47 @@ pub fn run_multi_pipeline_rt(
             processed
         })
         .expect("spawn shared tyolo");
+
+    // Watchdog over the shared T-YOLO's progress heartbeat. `Block` is the
+    // do-nothing policy, so the watchdog only spawns when a degradation
+    // action exists to fire.
+    let watchdog = if cfg.watchdog_deadline_ms > 0 && cfg.degrade_policy != DegradePolicy::Block {
+        let backlog_qs = tyolo_qs.clone();
+        let on_stall: Box<dyn FnMut() + Send> = match cfg.degrade_policy {
+            DegradePolicy::ShedOldest { max_lag_ms } => {
+                let qs = tyolo_qs.clone();
+                let lat = lat_e2e.clone();
+                let shed = c_shed.clone();
+                Box::new(move || {
+                    for q in &qs {
+                        for (t0, _) in
+                            q.drain_while(|(t0, _)| t0.elapsed().as_millis() as u64 >= max_lag_ms)
+                        {
+                            shed.inc();
+                            lat.record(elapsed_us(t0));
+                        }
+                    }
+                })
+            }
+            DegradePolicy::Bypass => {
+                let bypass = Arc::clone(&bypass);
+                Box::new(move || bypass.store(true, Ordering::Relaxed))
+            }
+            DegradePolicy::Block => Box::new(|| {}),
+        };
+        Some(Watchdog::spawn(
+            Duration::from_millis(cfg.watchdog_deadline_ms),
+            c_trips.clone(),
+            vec![WatchEntry {
+                name: "tyolo-shared".into(),
+                progress: tyolo_progress,
+                backlog: Box::new(move || backlog_qs.iter().map(|q| q.len()).sum()),
+                on_stall,
+            }],
+        ))
+    } else {
+        None
+    };
 
     // Drain survivors concurrently — draining sequentially could deadlock:
     // a full output queue on stream B would backpressure the shared T-YOLO
@@ -462,20 +722,53 @@ pub fn run_multi_pipeline_rt(
     for f in feeders {
         f.join().expect("feeder");
     }
-    let sdd_n: u64 = sdd_handles.into_iter().map(|h| h.join()).sum();
-    let snm_n: u64 = snm_handles.into_iter().map(|h| h.join()).sum();
+    let sdd_outcomes: Vec<_> = sdd_sups.into_iter().map(|sup| sup.join()).collect();
+    let snm_outcomes: Vec<_> = snm_sups.into_iter().map(|sup| sup.join()).collect();
     let tyolo_n = tyolo_handle.join().expect("tyolo thread");
-    let ref_n: u64 = ref_handles.into_iter().map(|h| h.join()).sum();
+    let ref_n: u64 = ref_handles
+        .into_iter()
+        .map(|h| h.join().expect("reference stage"))
+        .sum();
+    if let Some(wd) = watchdog {
+        wd.stop();
+    }
 
     let wall = start.elapsed().as_secs_f64();
     tel.counter("rt.wall_time_us").add((wall * 1e6) as u64);
+    let snapshot = tel.snapshot();
+
+    let sdd_n: u64 = sdd_outcomes.iter().map(|o| o.processed()).sum();
+    let snm_n: u64 = snm_outcomes.iter().map(|o| o.processed()).sum();
+    let stream_health: Vec<StreamHealth> = (0..n_streams)
+        .map(|s| {
+            let (sdd_o, snm_o) = (&sdd_outcomes[s], &snm_outcomes[s]);
+            let failed_stage = if sdd_o.gave_up() {
+                Some("sdd".to_string())
+            } else if snm_o.gave_up() {
+                Some("snm".to_string())
+            } else {
+                None
+            };
+            StreamHealth {
+                quarantined: failed_stage.is_some(),
+                failed_stage,
+                restarts: u64::from(sdd_o.restarts()) + u64::from(snm_o.restarts()),
+                frames_quarantined: snapshot
+                    .counter(&format!("stream{}.sdd.frames_quarantined", s))
+                    + snapshot.counter(&format!("stream{}.snm.frames_quarantined", s)),
+            }
+        })
+        .collect();
+
     MultiRtResult {
         total_frames: total,
         stage_processed: [sdd_n, snm_n, tyolo_n, ref_n],
         survivors,
         wall_time_s: wall,
         throughput_fps: total as f64 / wall.max(1e-9),
-        telemetry: tel.snapshot(),
+        stream_health,
+        shed_frames: snapshot.counter("rt.watchdog.shed"),
+        telemetry: snapshot,
     }
 }
 
@@ -605,6 +898,11 @@ mod tests {
         assert_eq!(r.total_frames, 800);
         assert_eq!(r.stage_processed[0], 800);
         assert_eq!(r.survivors.len(), 2);
+        // an unfaulted run reports every stream healthy and sheds nothing
+        assert_eq!(r.stream_health.len(), 2);
+        assert!(r.stream_health.iter().all(|h| h.healthy()));
+        assert_eq!(r.quarantined_frames(), 0);
+        assert_eq!(r.shed_frames, 0);
         for (s, n_expected) in expected.iter().enumerate() {
             assert_eq!(r.survivors[s].len(), *n_expected, "stream {} survivors", s);
             // FIFO order preserved per stream

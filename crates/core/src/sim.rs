@@ -13,7 +13,10 @@
 use crate::config::{FfsVaConfig, StreamThresholds};
 use ffsva_models::cost::{sdd_cost, snm_cost, tyolo_cost, yolov2_cost};
 use ffsva_models::FrameTrace;
-use ffsva_sched::{Device, DeviceKind, EventQueue, LatencyStats, ModelKey, SimQueue};
+use ffsva_sched::{
+    Device, DeviceKind, EventQueue, FaultAction, FaultInjector, FaultPlan, FaultStage,
+    LatencyStats, ModelKey, SimQueue,
+};
 use ffsva_telemetry::{
     Counter, Histogram, QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot,
     LATENCY_BOUNDS_US,
@@ -91,6 +94,11 @@ struct StreamState {
     first_disposed_us: f64,
     last_disposed_us: f64,
     disposed: u64,
+    /// Set when an injected panic quarantined this stream at a stage: from
+    /// then on every frame reaching that stage is disposed as quarantined
+    /// while upstream stages keep draining (mirrors the RT give-up drain).
+    quarantined_at: Option<Stage>,
+    quarantined_frames: u64,
 }
 
 impl StreamState {
@@ -172,6 +180,10 @@ pub struct SimResult {
     pub snm_switches: u64,
     /// Mean SNM batch size actually formed.
     pub mean_snm_batch: f64,
+    /// Frames disposed as quarantined per stream (an injected panic killed
+    /// the stream's SDD or SNM; zero everywhere in unfaulted runs).
+    #[serde(default)]
+    pub per_stream_quarantined: Vec<u64>,
     /// Every named series the run emitted (DESIGN.md §Telemetry). Frame
     /// counters carry the same names and values as the RT engine's.
     #[serde(default)]
@@ -225,6 +237,9 @@ pub struct Engine {
     snm_batches: u64,
     snm_batched_frames: u64,
     timelines: Option<Vec<Vec<FrameTimeline>>>,
+    /// Per-stream, per-[`Stage`] fault injectors (noop unless a
+    /// [`FaultPlan`] was attached with [`Engine::with_fault_plan`]).
+    injectors: Vec<[FaultInjector; 4]>,
     telemetry: Telemetry,
     /// Per-stream per-stage frame accounting (`stream{s}.{stage}.frames_*`),
     /// indexed by [`Stage`].
@@ -279,6 +294,8 @@ impl Engine {
                 first_disposed_us: f64::INFINITY,
                 last_disposed_us: 0.0,
                 disposed: 0,
+                quarantined_at: None,
+                quarantined_frames: 0,
             })
             .collect();
         let cpu = (0..cfg.cpu_lanes.max(1))
@@ -314,6 +331,9 @@ impl Engine {
             snm_batches: 0,
             snm_batched_frames: 0,
             timelines: None,
+            injectors: (0..n_streams)
+                .map(|_| std::array::from_fn(|_| FaultInjector::noop()))
+                .collect(),
             c_frames_in: telemetry.counter("pipeline.frames_in"),
             c_snm_batches: telemetry.counter("snm.batches"),
             c_tyolo_cycles: telemetry.counter("tyolo.cycles"),
@@ -338,6 +358,24 @@ impl Engine {
                 .map(|st| vec![FrameTimeline::default(); st.input.traces.len()])
                 .collect(),
         );
+        self
+    }
+
+    /// Attach a deterministic fault plan (DESIGN.md §Supervision). Faults
+    /// are keyed on frame `seq`, the quantity both engines agree on exactly,
+    /// so the same plan reproduces the same per-stage drop/quarantine
+    /// counters here and in the RT engine.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Self {
+        plan.validate().expect("invalid fault plan");
+        const STAGES: [FaultStage; 4] = [
+            FaultStage::Sdd,
+            FaultStage::Snm,
+            FaultStage::TYolo,
+            FaultStage::Reference,
+        ];
+        self.injectors = (0..self.streams.len())
+            .map(|s| std::array::from_fn(|i| plan.injector(s, STAGES[i])))
+            .collect();
         self
     }
 
@@ -434,10 +472,13 @@ impl Engine {
                         .frames_in
                         .inc();
                     self.record(t.stream, t.idx, |tl| tl.sdd_done_us = now);
-                    let st = &mut self.streams[t.stream];
+                    let st = &self.streams[t.stream];
                     let pass = st.trace(t.idx).sdd_pass(st.input.thresholds.delta_diff);
-                    if pass {
-                        st.sdd_out_pending.push_back(t);
+                    let seq = st.trace(t.idx).seq;
+                    // a failpush fault loses the forward of a passing frame
+                    let lost = pass && self.injectors[t.stream][Stage::Sdd as usize].fail_push(seq);
+                    if pass && !lost {
+                        self.streams[t.stream].sdd_out_pending.push_back(t);
                         self.stage_tel[t.stream][Stage::Sdd as usize]
                             .frames_out
                             .inc();
@@ -459,10 +500,12 @@ impl Engine {
                         .frames_in
                         .inc();
                     self.record(t.stream, t.idx, |tl| tl.snm_done_us = now);
-                    let st = &mut self.streams[stream];
+                    let st = &self.streams[stream];
                     let pass = st.trace(t.idx).snm_pass(st.input.thresholds.t_pre);
-                    if pass {
-                        st.snm_out_pending.push_back(t);
+                    let seq = st.trace(t.idx).seq;
+                    let lost = pass && self.injectors[t.stream][Stage::Snm as usize].fail_push(seq);
+                    if pass && !lost {
+                        self.streams[stream].snm_out_pending.push_back(t);
                         self.stage_tel[t.stream][Stage::Snm as usize]
                             .frames_out
                             .inc();
@@ -489,7 +532,10 @@ impl Engine {
                     let pass = st
                         .trace(t.idx)
                         .tyolo_pass(st.input.thresholds.number_of_objects);
-                    if pass {
+                    let seq = st.trace(t.idx).seq;
+                    let lost =
+                        pass && self.injectors[t.stream][Stage::TYolo as usize].fail_push(seq);
+                    if pass && !lost {
                         self.tyolo_out_pending.push_back(t);
                         self.stage_tel[t.stream][Stage::TYolo as usize]
                             .frames_out
@@ -517,6 +563,23 @@ impl Engine {
                 self.dispose(token, now);
             }
         }
+    }
+
+    /// Dispose a frame as quarantined at `stage`: it is never accounted as
+    /// `frames_in` there, only as `frames_quarantined` (the RT engine's
+    /// panic/give-up paths account identically).
+    fn quarantine(&mut self, t: Token, stage: Stage, now: f64) {
+        self.stage_tel[t.stream][stage as usize]
+            .frames_quarantined
+            .inc();
+        self.streams[t.stream].quarantined_frames += 1;
+        self.record(t.stream, t.idx, |tl| tl.dropped_at = Some(stage));
+        self.dispose(t, now);
+    }
+
+    /// Frame seq for a token (the fault-plan key).
+    fn seq_of(&self, t: Token) -> u64 {
+        self.streams[t.stream].trace(t.idx).seq
     }
 
     /// Record a frame's final disposition (dropped or fully analyzed).
@@ -623,20 +686,40 @@ impl Engine {
         let now = self.events.now();
         let mut progress = false;
         for s in 0..self.streams.len() {
+            // A quarantined-at-SDD stream drains straight to disposal — the
+            // DES analogue of the RT supervisor's give-up drain.
+            if self.streams[s].quarantined_at == Some(Stage::Sdd) {
+                let st = &mut self.streams[s];
+                let n = st.sdd_q.len();
+                let tokens = st.sdd_q.pop_up_to(n);
+                for t in tokens {
+                    self.quarantine(t, Stage::Sdd, now);
+                    progress = true;
+                }
+                continue;
+            }
             let st = &mut self.streams[s];
             // Feedback: a stalled output (SNM queue full) blocks the SDD.
             if st.sdd_busy || !st.sdd_out_pending.is_empty() || st.sdd_q.is_empty() {
                 continue;
             }
-            let tokens = st.sdd_q.pop_up_to(st.sdd_q.capacity());
+            let mut tokens = st.sdd_q.pop_up_to(st.sdd_q.capacity());
+            let (extra_us, doomed) = self.scan_faults(s, Stage::Sdd, &mut tokens);
+            for t in doomed {
+                self.quarantine(t, Stage::Sdd, now);
+                progress = true;
+            }
+            if tokens.is_empty() {
+                continue;
+            }
             let n = tokens.len();
-            st.sdd_busy = true;
+            self.streams[s].sdd_busy = true;
             let lane = s % self.cpu.len();
             let spec = sdd_cost();
             let done = self.cpu[lane].invoke(
                 ModelKey::Sdd(s as u32),
                 n,
-                spec.invoke_us,
+                spec.invoke_us + extra_us,
                 spec.per_frame_us + spec.resize_us,
                 now,
             );
@@ -648,10 +731,59 @@ impl Engine {
         progress
     }
 
+    /// Consult a (stream, stage) injector over a just-popped batch: returns
+    /// extra service time from stall faults and splits off the suffix from
+    /// the first panicking frame (marking the stream quarantined at that
+    /// stage). FIFO ordering makes the split independent of batch shape, so
+    /// the RT engine partitions the very same frames.
+    fn scan_faults(
+        &mut self,
+        s: usize,
+        stage: Stage,
+        tokens: &mut Vec<Token>,
+    ) -> (f64, Vec<Token>) {
+        if self.injectors[s][stage as usize].is_noop() {
+            return (0.0, Vec::new());
+        }
+        let mut extra_us = 0.0;
+        let mut cut = None;
+        for (i, &t) in tokens.iter().enumerate() {
+            match self.injectors[s][stage as usize].check(self.streams[s].trace(t.idx).seq) {
+                FaultAction::Proceed => {}
+                FaultAction::Stall(us) => extra_us += us as f64,
+                FaultAction::Panic => {
+                    cut = Some(i);
+                    break;
+                }
+            }
+        }
+        let doomed = match cut {
+            Some(i) => {
+                self.streams[s].quarantined_at = Some(stage);
+                tokens.split_off(i)
+            }
+            None => Vec::new(),
+        };
+        (extra_us, doomed)
+    }
+
     fn start_snm(&mut self) -> bool {
         let now = self.events.now();
         let mut progress = false;
         for s in 0..self.streams.len() {
+            // Quarantined-at-SNM: drain whatever SDD keeps forwarding,
+            // bypassing batch formation (the stage is dead; the RT drain
+            // does not batch either).
+            if self.streams[s].quarantined_at == Some(Stage::Snm) {
+                let st = &mut self.streams[s];
+                let n = st.snm_q.len();
+                let tokens = st.snm_q.pop_up_to(n);
+                for t in tokens {
+                    self.quarantine(t, Stage::Snm, now);
+                    progress = true;
+                }
+                continue;
+            }
             let st = &mut self.streams[s];
             if st.snm_busy || !st.snm_out_pending.is_empty() || st.snm_q.is_empty() {
                 continue;
@@ -676,15 +808,23 @@ impl Engine {
             if n == 0 {
                 continue;
             }
-            let tokens = st.snm_q.pop_up_to(n);
-            st.snm_busy = true;
+            let mut tokens = st.snm_q.pop_up_to(n);
+            let (extra_us, doomed) = self.scan_faults(s, Stage::Snm, &mut tokens);
+            for t in doomed {
+                self.quarantine(t, Stage::Snm, now);
+                progress = true;
+            }
+            if tokens.is_empty() {
+                continue;
+            }
+            self.streams[s].snm_busy = true;
             let spec = snm_cost();
             let gpu = &mut self.filter_gpus[s % self.cfg.filter_gpus.max(1)];
             gpu.ensure_resident(ModelKey::Snm(s as u32), spec.mem_bytes);
             let done = gpu.invoke(
                 ModelKey::Snm(s as u32),
                 tokens.len(),
-                spec.invoke_us,
+                spec.invoke_us + extra_us,
                 spec.per_frame_us,
                 now,
             );
@@ -696,6 +836,23 @@ impl Engine {
             progress = true;
         }
         progress
+    }
+
+    /// Extra service time from one-shot stall faults over a popped batch
+    /// (shared stages check every token's own stream injector; panics are
+    /// structurally impossible here — `FaultPlan::validate`).
+    fn stall_us(&self, tokens: &[Token], stage: Stage) -> f64 {
+        let mut extra = 0.0;
+        for &t in tokens {
+            let inj = &self.injectors[t.stream][stage as usize];
+            if inj.is_noop() {
+                continue;
+            }
+            if let FaultAction::Stall(us) = inj.check(self.streams[t.stream].trace(t.idx).seq) {
+                extra += us as f64;
+            }
+        }
+        extra
     }
 
     fn start_tyolo(&mut self) -> bool {
@@ -732,10 +889,11 @@ impl Engine {
             }
             self.tyolo_inflight += 1;
             self.c_tyolo_cycles.inc();
+            let extra_us = self.stall_us(&tokens, Stage::TYolo);
             let done = self.filter_gpus[gpu_idx].invoke(
                 ModelKey::TYolo,
                 tokens.len(),
-                spec.invoke_us,
+                spec.invoke_us + extra_us,
                 spec.per_frame_us,
                 now,
             );
@@ -765,6 +923,7 @@ impl Engine {
             self.tyolo_inflight += 1;
             self.c_tyolo_cycles.inc();
             let extra = if n_streams > 1 { TYOLO_RELOAD_US } else { 0.0 };
+            let extra = extra + self.stall_us(&tokens, Stage::TYolo);
             let done = self.filter_gpus[gpu_idx].invoke(
                 ModelKey::TYoloStream(served as u32),
                 tokens.len(),
@@ -787,10 +946,11 @@ impl Engine {
             }
             let token = self.ref_q.pop().expect("non-empty");
             self.ref_busy[gpu] = true;
+            let extra_us = self.stall_us(std::slice::from_ref(&token), Stage::Reference);
             let done = self.ref_gpus[gpu].invoke(
                 ModelKey::Reference,
                 1,
-                spec.invoke_us,
+                spec.invoke_us + extra_us,
                 spec.per_frame_us,
                 now,
             );
@@ -825,6 +985,7 @@ impl Engine {
             .map(|s| (s.last_disposed_us - s.first_disposed_us.min(s.last_disposed_us)).max(0.0))
             .collect();
         let per_stream_max_backlog = self.streams.iter().map(|s| s.max_backlog).collect();
+        let per_stream_quarantined = self.streams.iter().map(|s| s.quarantined_frames).collect();
         let cpu_busy: f64 = self.cpu.iter().map(|d| d.busy_time_us()).sum();
         // The filter GPUs host both the SNMs and T-YOLO; their switch count
         // is exactly the model-(re)loading batching amortizes (§4.3.2).
@@ -869,6 +1030,7 @@ impl Engine {
             } else {
                 self.snm_batched_frames as f64 / self.snm_batches as f64
             },
+            per_stream_quarantined,
             telemetry,
         }
     }
@@ -1161,5 +1323,90 @@ mod tests {
         let r = Engine::new(base_cfg(), Mode::Offline, vec![input]).run();
         assert_eq!(r.stage_executed[3], 0);
         assert_eq!(r.total_frames, 500);
+    }
+
+    #[test]
+    fn snm_panic_quarantines_stream_and_conserves_frames() {
+        use ffsva_sched::{FaultStage, StageFault};
+        // Every 10th frame is a target; SDD forwards only targets. A panic
+        // at seq 50 on stream 1's SNM quarantines exactly the targets with
+        // seq >= 50 that reach it: seqs 50, 60, …, 390 = 35 frames.
+        let mk = || (0..2).map(|_| synthetic_input(400, 10)).collect::<Vec<_>>();
+        let plan = FaultPlan::new().with(1, FaultStage::Snm, StageFault::PanicAtFrame(50));
+        let r = Engine::new(base_cfg(), Mode::Offline, mk())
+            .with_fault_plan(&plan)
+            .run();
+        // nothing is ever lost: every frame is disposed exactly once
+        assert_eq!(r.total_frames, 800);
+        assert_eq!(r.per_stream_quarantined, vec![0, 35]);
+        let snap = &r.telemetry;
+        assert_eq!(snap.counter("stream1.snm.frames_quarantined"), 35);
+        // quarantined frames never count as frames_in at the dead stage
+        assert_eq!(snap.counter("stream1.snm.frames_in"), 5);
+        // the sibling stream is fully isolated: all 40 targets survive
+        assert_eq!(snap.counter("stream0.snm.frames_quarantined"), 0);
+        assert_eq!(snap.counter("stream0.reference.frames_in"), 40);
+        // upstream SDD keeps draining the quarantined stream to completion
+        assert_eq!(snap.counter("stream1.sdd.frames_in"), 400);
+    }
+
+    #[test]
+    fn failpush_fault_drops_exactly_one_passing_frame() {
+        use ffsva_sched::{FaultStage, StageFault};
+        let plan =
+            FaultPlan::new().with(0, FaultStage::Sdd, StageFault::FailNextPush { at_frame: 0 });
+        let faulted = Engine::new(base_cfg(), Mode::Offline, vec![synthetic_input(200, 5)])
+            .with_fault_plan(&plan)
+            .run();
+        let plain = Engine::new(base_cfg(), Mode::Offline, vec![synthetic_input(200, 5)]).run();
+        assert_eq!(faulted.total_frames, 200);
+        // exactly one passing frame was lost at the SDD push, one-shot
+        assert_eq!(
+            faulted.stage_dropped[Stage::Sdd as usize],
+            plain.stage_dropped[Stage::Sdd as usize] + 1
+        );
+        assert_eq!(faulted.stage_executed[3], plain.stage_executed[3] - 1);
+    }
+
+    #[test]
+    fn stall_fault_extends_virtual_time_only() {
+        use ffsva_sched::{FaultStage, StageFault};
+        let plan = FaultPlan::new().with(
+            0,
+            FaultStage::TYolo,
+            StageFault::StallFor {
+                at_frame: 0,
+                dur_us: 500_000,
+            },
+        );
+        let faulted = Engine::new(base_cfg(), Mode::Offline, vec![synthetic_input(300, 5)])
+            .with_fault_plan(&plan)
+            .run();
+        let plain = Engine::new(base_cfg(), Mode::Offline, vec![synthetic_input(300, 5)]).run();
+        // same frame accounting, strictly more virtual time
+        assert_eq!(faulted.stage_executed, plain.stage_executed);
+        assert_eq!(faulted.stage_dropped, plain.stage_dropped);
+        // the stall sits on the critical path ahead of the reference stage,
+        // so most of its 500 ms lands on the makespan
+        assert!(
+            faulted.makespan_us >= plain.makespan_us + 300_000.0,
+            "faulted {} vs plain {}",
+            faulted.makespan_us,
+            plain.makespan_us
+        );
+    }
+
+    #[test]
+    fn same_plan_reproduces_identical_counters() {
+        let plan = FaultPlan::parse("stream0.snm:panic@100,stream1.sdd:failpush@30").unwrap();
+        let mk = || (0..2).map(|_| synthetic_input(300, 3)).collect::<Vec<_>>();
+        let a = Engine::new(base_cfg(), Mode::Offline, mk())
+            .with_fault_plan(&plan)
+            .run();
+        let b = Engine::new(base_cfg(), Mode::Offline, mk())
+            .with_fault_plan(&plan)
+            .run();
+        assert_eq!(a.telemetry.frames_counters(), b.telemetry.frames_counters());
+        assert_eq!(a.per_stream_quarantined, b.per_stream_quarantined);
     }
 }

@@ -1,0 +1,410 @@
+//! Deterministic fault injection for both execution engines.
+//!
+//! A [`FaultPlan`] names, per stream and per stage, a fault keyed on the
+//! frame *sequence number* — the one quantity both engines agree on exactly
+//! (frame routing is trace-deterministic and per-stream FIFO). The same plan
+//! therefore reproduces the same failure in the discrete-event simulator and
+//! in the threaded engine, which is what lets the DES↔RT conformance suite
+//! cover faulted runs.
+//!
+//! Fault semantics:
+//!
+//! * [`StageFault::PanicAtFrame`] — the stage panics when it picks up the
+//!   first frame with `seq >= n`, *and on every restart after that* (the
+//!   fault is persistent), so a bounded restart budget is guaranteed to
+//!   exhaust and the supervisor's give-up path is exercised. The faulting
+//!   frame is accounted as `quarantined`, never as `frames_in`.
+//! * [`StageFault::StallFor`] — one-shot: the first frame with `seq >= n`
+//!   takes an extra `dur_us` of service time (a real sleep in the RT engine,
+//!   virtual time in the DES). Progress heartbeats freeze, which is what the
+//!   watchdog detects.
+//! * [`StageFault::FailNextPush`] — one-shot: the first frame with
+//!   `seq >= n` that *passes* the stage is dropped instead of forwarded
+//!   (a lost push), accounted as `frames_dropped` at that stage.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Panic payload prefix used by injected panics, so supervision tests can
+/// distinguish an injected fault from a genuine bug.
+pub const INJECTED_PANIC: &str = "injected fault";
+
+/// The four cascade stages a fault can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FaultStage {
+    Sdd,
+    Snm,
+    TYolo,
+    Reference,
+}
+
+impl FaultStage {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultStage::Sdd => "sdd",
+            FaultStage::Snm => "snm",
+            FaultStage::TYolo => "tyolo",
+            FaultStage::Reference => "reference",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "sdd" => Ok(FaultStage::Sdd),
+            "snm" => Ok(FaultStage::Snm),
+            "tyolo" => Ok(FaultStage::TYolo),
+            "reference" | "ref" => Ok(FaultStage::Reference),
+            other => Err(format!("unknown stage `{other}` (sdd|snm|tyolo|reference)")),
+        }
+    }
+}
+
+impl fmt::Display for FaultStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single injected fault, keyed on frame sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StageFault {
+    /// Panic when picking up the first frame with `seq >= n` (persistent:
+    /// re-fires after every restart until the stage is given up on).
+    PanicAtFrame(u64),
+    /// One-shot: the first frame with `seq >= at_frame` takes an extra
+    /// `dur_us` of service time.
+    StallFor { at_frame: u64, dur_us: u64 },
+    /// One-shot: the first *passing* frame with `seq >= at_frame` is lost
+    /// instead of forwarded downstream.
+    FailNextPush { at_frame: u64 },
+}
+
+/// One fault bound to a (stream, stage) coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultEntry {
+    pub stream: usize,
+    pub stage: FaultStage,
+    pub fault: StageFault,
+}
+
+/// A deterministic, validated set of injected faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    entries: Vec<FaultEntry>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: add one fault.
+    pub fn with(mut self, stream: usize, stage: FaultStage, fault: StageFault) -> Self {
+        self.entries.push(FaultEntry {
+            stream,
+            stage,
+            fault,
+        });
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[FaultEntry] {
+        &self.entries
+    }
+
+    /// Reject plans neither engine can honour identically.
+    ///
+    /// * Panics are only injectable into per-stream stages (SDD/SNM): the
+    ///   shared T-YOLO and reference stages serve *all* streams, so a panic
+    ///   there cannot be attributed to one stream's quarantine.
+    /// * A lost push needs a downstream queue, so `FailNextPush` applies to
+    ///   SDD/SNM/T-YOLO only.
+    pub fn validate(&self) -> Result<(), String> {
+        for e in &self.entries {
+            match e.fault {
+                StageFault::PanicAtFrame(_) => {
+                    if !matches!(e.stage, FaultStage::Sdd | FaultStage::Snm) {
+                        return Err(format!(
+                            "panic fault on shared stage `{}`: only per-stream stages \
+                             (sdd, snm) can panic-quarantine",
+                            e.stage
+                        ));
+                    }
+                }
+                StageFault::FailNextPush { .. } => {
+                    if matches!(e.stage, FaultStage::Reference) {
+                        return Err("failpush fault on `reference`: the last stage has no \
+                             downstream push to lose"
+                            .to_string());
+                    }
+                }
+                StageFault::StallFor { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the injector for one (stream, stage) coordinate. Each call
+    /// creates fresh one-shot state, so build injectors once per run.
+    pub fn injector(&self, stream: usize, stage: FaultStage) -> FaultInjector {
+        let mut inj = FaultInjector::noop();
+        for e in &self.entries {
+            if e.stream != stream || e.stage != stage {
+                continue;
+            }
+            match e.fault {
+                StageFault::PanicAtFrame(n) => {
+                    inj.panic_at = Some(inj.panic_at.map_or(n, |p| p.min(n)));
+                }
+                StageFault::StallFor { at_frame, dur_us } => {
+                    inj.stall = Some(StallState {
+                        at_frame,
+                        dur_us,
+                        fired: Arc::new(AtomicBool::new(false)),
+                    });
+                }
+                StageFault::FailNextPush { at_frame } => {
+                    inj.fail_push = Some(OneShot {
+                        at_frame,
+                        fired: Arc::new(AtomicBool::new(false)),
+                    });
+                }
+            }
+        }
+        inj
+    }
+
+    /// Parse the CLI grammar: a comma- or semicolon-separated list of
+    /// `stream<S>.<stage>:<fault>` where `<fault>` is one of
+    /// `panic@<n>`, `stall@<n>+<ms>ms`, `failpush@<n>`.
+    ///
+    /// Example: `stream1.snm:panic@50,stream0.tyolo:stall@0+2500ms`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split([',', ';']) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (coord, fault) = part
+                .split_once(':')
+                .ok_or_else(|| format!("`{part}`: expected stream<S>.<stage>:<fault>"))?;
+            let (stream_s, stage_s) = coord
+                .split_once('.')
+                .ok_or_else(|| format!("`{coord}`: expected stream<S>.<stage>"))?;
+            let stream: usize = stream_s
+                .strip_prefix("stream")
+                .ok_or_else(|| format!("`{stream_s}`: expected stream<S>"))?
+                .parse()
+                .map_err(|_| format!("`{stream_s}`: bad stream index"))?;
+            let stage = FaultStage::parse(stage_s)?;
+            let (kind, arg) = fault
+                .split_once('@')
+                .ok_or_else(|| format!("`{fault}`: expected <kind>@<frame>"))?;
+            let fault = match kind {
+                "panic" => StageFault::PanicAtFrame(
+                    arg.parse().map_err(|_| format!("`{arg}`: bad frame seq"))?,
+                ),
+                "failpush" => StageFault::FailNextPush {
+                    at_frame: arg.parse().map_err(|_| format!("`{arg}`: bad frame seq"))?,
+                },
+                "stall" => {
+                    let (at_s, dur_s) = arg
+                        .split_once('+')
+                        .ok_or_else(|| format!("`{arg}`: expected <frame>+<ms>ms"))?;
+                    let at_frame = at_s
+                        .parse()
+                        .map_err(|_| format!("`{at_s}`: bad frame seq"))?;
+                    let ms: u64 = dur_s
+                        .strip_suffix("ms")
+                        .ok_or_else(|| format!("`{dur_s}`: expected <ms>ms"))?
+                        .parse()
+                        .map_err(|_| format!("`{dur_s}`: bad duration"))?;
+                    StageFault::StallFor {
+                        at_frame,
+                        dur_us: ms * 1000,
+                    }
+                }
+                other => return Err(format!("unknown fault kind `{other}`")),
+            };
+            plan.entries.push(FaultEntry {
+                stream,
+                stage,
+                fault,
+            });
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+/// What a stage must do with the frame it just picked up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: process normally.
+    Proceed,
+    /// Panic now; the frame has already been accounted as quarantined.
+    Panic,
+    /// Add this many microseconds of service time, then process normally.
+    Stall(u64),
+}
+
+#[derive(Debug, Clone)]
+struct StallState {
+    at_frame: u64,
+    dur_us: u64,
+    fired: Arc<AtomicBool>,
+}
+
+#[derive(Debug, Clone)]
+struct OneShot {
+    at_frame: u64,
+    fired: Arc<AtomicBool>,
+}
+
+/// Per-(stream, stage) fault state shared across stage restarts: the same
+/// injector is captured by every incarnation of a supervised stage, so
+/// one-shot faults stay one-shot across restarts while `PanicAtFrame`
+/// re-fires by design.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    panic_at: Option<u64>,
+    stall: Option<StallState>,
+    fail_push: Option<OneShot>,
+}
+
+impl FaultInjector {
+    /// An injector that never fires — the zero-cost default for unfaulted
+    /// runs.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    pub fn is_noop(&self) -> bool {
+        self.panic_at.is_none() && self.stall.is_none() && self.fail_push.is_none()
+    }
+
+    /// Consult the injector for the frame about to be processed. Stall is
+    /// checked first so a plan carrying both faults behaves identically in
+    /// both engines.
+    pub fn check(&self, seq: u64) -> FaultAction {
+        if let Some(st) = &self.stall {
+            if seq >= st.at_frame && !st.fired.swap(true, Ordering::Relaxed) {
+                return FaultAction::Stall(st.dur_us);
+            }
+        }
+        if let Some(n) = self.panic_at {
+            if seq >= n {
+                return FaultAction::Panic;
+            }
+        }
+        FaultAction::Proceed
+    }
+
+    /// Should the forward of this *passing* frame be lost? One-shot.
+    pub fn fail_push(&self, seq: u64) -> bool {
+        if let Some(fp) = &self.fail_push {
+            if seq >= fp.at_frame && !fp.fired.swap(true, Ordering::Relaxed) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_readme_grammar() {
+        let plan = FaultPlan::parse(
+            "stream1.snm:panic@50, stream0.tyolo:stall@0+2500ms;stream2.sdd:failpush@7",
+        )
+        .unwrap();
+        assert_eq!(plan.entries().len(), 3);
+        assert_eq!(
+            plan.entries()[0],
+            FaultEntry {
+                stream: 1,
+                stage: FaultStage::Snm,
+                fault: StageFault::PanicAtFrame(50),
+            }
+        );
+        assert_eq!(
+            plan.entries()[1].fault,
+            StageFault::StallFor {
+                at_frame: 0,
+                dur_us: 2_500_000,
+            }
+        );
+        assert_eq!(
+            plan.entries()[2].fault,
+            StageFault::FailNextPush { at_frame: 7 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("snm:panic@50").is_err());
+        assert!(FaultPlan::parse("stream0.snm:explode@1").is_err());
+        assert!(FaultPlan::parse("stream0.snm:stall@5").is_err());
+        // panic on a shared stage is structurally invalid
+        assert!(FaultPlan::parse("stream0.tyolo:panic@1").is_err());
+        assert!(FaultPlan::parse("stream0.reference:failpush@1").is_err());
+    }
+
+    #[test]
+    fn panic_fault_is_persistent() {
+        let plan = FaultPlan::new().with(0, FaultStage::Snm, StageFault::PanicAtFrame(10));
+        let inj = plan.injector(0, FaultStage::Snm);
+        assert_eq!(inj.check(9), FaultAction::Proceed);
+        assert_eq!(inj.check(10), FaultAction::Panic);
+        // fires again: restarts re-panic until the budget exhausts
+        assert_eq!(inj.check(11), FaultAction::Panic);
+        assert_eq!(inj.check(10), FaultAction::Panic);
+    }
+
+    #[test]
+    fn stall_and_fail_push_are_one_shot_even_across_clones() {
+        let plan = FaultPlan::new()
+            .with(
+                0,
+                FaultStage::Sdd,
+                StageFault::StallFor {
+                    at_frame: 5,
+                    dur_us: 100,
+                },
+            )
+            .with(0, FaultStage::Sdd, StageFault::FailNextPush { at_frame: 5 });
+        let inj = plan.injector(0, FaultStage::Sdd);
+        let restarted = inj.clone(); // a restarted stage shares fault state
+        assert_eq!(inj.check(4), FaultAction::Proceed);
+        assert_eq!(inj.check(5), FaultAction::Stall(100));
+        assert_eq!(restarted.check(6), FaultAction::Proceed);
+        assert!(restarted.fail_push(5));
+        assert!(!inj.fail_push(6));
+    }
+
+    #[test]
+    fn injector_for_unfaulted_coordinate_is_noop() {
+        let plan = FaultPlan::new().with(3, FaultStage::Snm, StageFault::PanicAtFrame(1));
+        assert!(plan.injector(0, FaultStage::Snm).is_noop());
+        assert!(plan.injector(3, FaultStage::Sdd).is_noop());
+        assert!(!plan.injector(3, FaultStage::Snm).is_noop());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan = FaultPlan::parse("stream0.snm:panic@50,stream1.sdd:stall@3+10ms").unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -9,7 +9,11 @@
 //! * [`queue`] — bounded feedback queues (simulation + threaded flavours).
 //! * [`batch`] — static / feedback / dynamic batch policies (§4.3.2).
 //! * [`des`] — deterministic discrete-event core (virtual clock).
-//! * [`rt`] — real threaded pipeline stages over blocking feedback queues.
+//! * [`rt`] — real threaded pipeline stages over blocking feedback queues,
+//!   panic-isolated via `catch_unwind`.
+//! * [`fault`] — deterministic seq-keyed fault plans both engines honour.
+//! * [`supervisor`] — stage restart with backoff, watchdog stall detection,
+//!   degradation policies.
 //! * [`stats`] — latency/throughput accounting.
 //!
 //! ```
@@ -35,17 +39,26 @@
 pub mod batch;
 pub mod des;
 pub mod device;
+pub mod fault;
 pub mod queue;
 pub mod rt;
 pub mod stats;
+pub mod supervisor;
 
 pub use batch::BatchPolicy;
 pub use des::EventQueue;
 pub use device::{Completion, Device, DeviceKind, InvocationRecord, ModelKey};
-pub use ffsva_telemetry::{QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot};
+pub use fault::{FaultAction, FaultEntry, FaultInjector, FaultPlan, FaultStage, StageFault};
+pub use ffsva_telemetry::{
+    QueueTelemetry, StageTelemetry, SupervisorTelemetry, Telemetry, TelemetrySnapshot,
+};
 pub use queue::{FeedbackQueue, QueueStats, SimQueue};
 pub use rt::{
-    spawn_batch_stage, spawn_batch_stage_instrumented, spawn_filter_stage,
-    spawn_filter_stage_instrumented, StageHandle,
+    spawn_batch_stage, spawn_batch_stage_faulted, spawn_batch_stage_instrumented,
+    spawn_filter_stage, spawn_filter_stage_faulted, spawn_filter_stage_instrumented, StageFailure,
+    StageFaultCtx, StageHandle,
 };
 pub use stats::{LatencyStats, Throughput};
+pub use supervisor::{
+    supervise, DegradePolicy, StageOutcome, SupervisedStage, SupervisorPolicy, WatchEntry, Watchdog,
+};

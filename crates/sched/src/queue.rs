@@ -351,6 +351,27 @@ impl<T> FeedbackQueue<T> {
         out
     }
 
+    /// Drop-oldest shedding: pop items from the front while `pred` holds,
+    /// without waiting. The watchdog's `ShedOldest` degradation policy uses
+    /// this to evict frames that have exceeded their lag budget; freed slots
+    /// wake blocked producers like any other pop.
+    pub fn drain_while(&self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut g = self.inner.queue.lock();
+        let mut out = Vec::new();
+        while let Some(front) = g.0.front() {
+            if !pred(front) {
+                break;
+            }
+            out.push(g.0.pop_front().expect("front checked"));
+        }
+        g.1.popped += out.len() as u64;
+        drop(g);
+        if !out.is_empty() {
+            self.inner.not_full.notify_all();
+        }
+        out
+    }
+
     pub fn stats(&self) -> QueueStats {
         self.inner.queue.lock().1
     }

@@ -5,20 +5,67 @@
 //! its producer *is* the paper's feedback mechanism. These helpers spawn the
 //! per-filter worker threads and implement batch draining per
 //! [`BatchPolicy`].
+//!
+//! Every worker body runs inside `catch_unwind`: a panicking filter function
+//! (or an injected [`FaultInjector`] panic) is contained to its own stage.
+//! [`StageHandle::join`] reports the failure as a [`StageFailure`] value
+//! instead of re-panicking, and — crucially for supervision — a panicked
+//! stage does **not** close its output queue, so a restarted incarnation can
+//! re-attach to the same queues without losing in-flight frames.
 
 use crate::batch::BatchPolicy;
+use crate::fault::{FaultAction, FaultInjector, INJECTED_PANIC};
 use crate::queue::FeedbackQueue;
 use ffsva_telemetry::StageTelemetry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// A stage thread died by panic. Carries what the stage had done so far so
+/// a supervisor can keep cumulative accounting across restarts.
+#[derive(Debug, Clone)]
+pub struct StageFailure {
+    /// Stage name as given at spawn time.
+    pub stage: String,
+    /// Rendered panic payload.
+    pub message: String,
+    /// Frames the failed incarnation processed before dying.
+    pub processed: u64,
+    /// Compute seconds the failed incarnation spent in its filter function.
+    pub busy_s: f64,
+}
+
+impl std::fmt::Display for StageFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stage `{}` panicked after {} frames: {}",
+            self.stage, self.processed, self.message
+        )
+    }
+}
+
+impl std::error::Error for StageFailure {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "stage panicked with a non-string payload".to_string()
+    }
+}
 
 /// Handle to a spawned stage thread.
 pub struct StageHandle {
     pub name: String,
     processed: Arc<AtomicU64>,
     busy_ns: Arc<AtomicU64>,
+    progress: Arc<AtomicU64>,
+    failure: Arc<Mutex<Option<String>>>,
     join: JoinHandle<()>,
 }
 
@@ -34,25 +81,83 @@ impl StageHandle {
         self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9
     }
 
-    /// Wait for the stage to finish (its input closed and drained).
-    pub fn join(self) -> u64 {
-        let n = self.processed.load(Ordering::Relaxed);
-        self.join.join().expect("stage thread panicked");
-        n
+    /// The stage's progress heartbeat: bumped once per frame the worker
+    /// finishes. A watchdog polls this cell to detect stalls (no progress
+    /// within a deadline while input is queued).
+    pub fn progress_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.progress)
     }
 
-    /// Join, returning `(frames processed, busy seconds)`.
-    pub fn join_with_stats(self) -> (u64, f64) {
+    /// Wait for the stage to finish. `Ok(frames processed)` on a clean exit
+    /// (input closed and drained); `Err(StageFailure)` if the worker body
+    /// panicked — the panic is contained, never re-thrown here.
+    pub fn join(self) -> Result<u64, StageFailure> {
+        self.join_with_stats().map(|(n, _)| n)
+    }
+
+    /// Join, returning `(frames processed, busy seconds)` or the failure.
+    pub fn join_with_stats(self) -> Result<(u64, f64), StageFailure> {
+        // The worker catches its own unwinds, so this join only fails if the
+        // catch itself was bypassed (e.g. panic=abort would never get here).
+        let joined = self.join.join();
         let n = self.processed.load(Ordering::Relaxed);
         let busy = self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
-        self.join.join().expect("stage thread panicked");
-        (n, busy)
+        let stored = self
+            .failure
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        let message = match (stored, joined) {
+            (Some(msg), _) => msg,
+            (None, Err(payload)) => panic_message(payload),
+            (None, Ok(())) => return Ok((n, busy)),
+        };
+        Err(StageFailure {
+            stage: self.name,
+            message,
+            processed: n,
+            busy_s: busy,
+        })
     }
 }
 
+/// Disposal hooks and fault state for a fault-aware stage.
+///
+/// The worker consults `inj` per frame (keyed by the frame's sequence
+/// number) and must dispose every frame it cannot forward: quarantined
+/// frames (accounted `frames_quarantined`, handed to `on_quarantine` for
+/// latency recording *before* the worker panics) and lost pushes (accounted
+/// `frames_dropped`, handed to `on_lost`).
+pub struct StageFaultCtx<I, O> {
+    pub inj: FaultInjector,
+    pub seq_in: Box<dyn Fn(&I) -> u64 + Send>,
+    pub seq_out: Box<dyn Fn(&O) -> u64 + Send>,
+    pub on_quarantine: Box<dyn FnMut(I) + Send>,
+    pub on_lost: Box<dyn FnMut(O) + Send>,
+}
+
+impl<I, O> StageFaultCtx<I, O> {
+    /// A context that never fires — used by the plain instrumented spawns.
+    pub fn noop() -> Self {
+        StageFaultCtx {
+            inj: FaultInjector::noop(),
+            seq_in: Box::new(|_| 0),
+            seq_out: Box::new(|_| 0),
+            on_quarantine: Box::new(|_| {}),
+            on_lost: Box::new(|_| {}),
+        }
+    }
+}
+
+fn injected_panic(stage: &str, seq: u64) -> ! {
+    std::panic::panic_any(format!(
+        "{INJECTED_PANIC}: stage `{stage}` at frame seq {seq}"
+    ))
+}
+
 /// Spawn a 1-in/1-out filter stage: pops items until the input closes, maps
-/// them through `f`, and forwards `Some` results. When the stage exits it
-/// closes its output so downstream stages drain and stop.
+/// them through `f`, and forwards `Some` results. When the stage exits
+/// cleanly it closes its output so downstream stages drain and stop.
 pub fn spawn_filter_stage<I, O, F>(
     name: impl Into<String>,
     input: FeedbackQueue<I>,
@@ -75,6 +180,31 @@ pub fn spawn_filter_stage_instrumented<I, O, F>(
     input: FeedbackQueue<I>,
     output: FeedbackQueue<O>,
     tel: StageTelemetry,
+    f: F,
+) -> StageHandle
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(I) -> Option<O> + Send + 'static,
+{
+    spawn_filter_stage_faulted(name, input, output, tel, StageFaultCtx::noop(), f)
+}
+
+/// [`spawn_filter_stage_instrumented`] plus deterministic fault injection.
+///
+/// Per popped frame the injector decides: `Proceed` (normal), `Stall(us)`
+/// (sleep, then process normally — the heartbeat freezes, which the watchdog
+/// sees), or `Panic` (the frame is accounted `frames_quarantined`, disposed
+/// through `on_quarantine`, and the worker panics *without* closing its
+/// output, so a supervisor can re-attach a replacement). A passing frame the
+/// injector marks `fail_push` is accounted `frames_dropped` and disposed
+/// through `on_lost` instead of being forwarded.
+pub fn spawn_filter_stage_faulted<I, O, F>(
+    name: impl Into<String>,
+    input: FeedbackQueue<I>,
+    output: FeedbackQueue<O>,
+    tel: StageTelemetry,
+    mut ctx: StageFaultCtx<I, O>,
     mut f: F,
 ) -> StageHandle
 where
@@ -85,35 +215,67 @@ where
     let name = name.into();
     let processed = Arc::new(AtomicU64::new(0));
     let busy_ns = Arc::new(AtomicU64::new(0));
+    let progress = Arc::new(AtomicU64::new(0));
+    let failure: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
     let p2 = Arc::clone(&processed);
     let b2 = Arc::clone(&busy_ns);
+    let pr2 = Arc::clone(&progress);
+    let f2 = Arc::clone(&failure);
     let tname = name.clone();
+    let sname = name.clone();
     let join = thread::Builder::new()
         .name(tname)
         .spawn(move || {
-            while let Some(item) = input.pop() {
-                p2.fetch_add(1, Ordering::Relaxed);
-                tel.frames_in.inc();
-                let t0 = Instant::now();
-                let result = f(item);
-                b2.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                match result {
-                    Some(out) => {
-                        tel.frames_out.inc();
-                        if output.push(out).is_err() {
-                            break; // downstream closed
+            let out2 = output.clone();
+            let body = catch_unwind(AssertUnwindSafe(move || {
+                while let Some(item) = input.pop() {
+                    let seq = (ctx.seq_in)(&item);
+                    match ctx.inj.check(seq) {
+                        FaultAction::Panic => {
+                            tel.frames_quarantined.inc();
+                            (ctx.on_quarantine)(item);
+                            injected_panic(&sname, seq);
                         }
+                        FaultAction::Stall(us) => thread::sleep(Duration::from_micros(us)),
+                        FaultAction::Proceed => {}
                     }
-                    None => tel.frames_dropped.inc(),
+                    p2.fetch_add(1, Ordering::Relaxed);
+                    tel.frames_in.inc();
+                    let t0 = Instant::now();
+                    let result = f(item);
+                    b2.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    match result {
+                        Some(out) => {
+                            if ctx.inj.fail_push((ctx.seq_out)(&out)) {
+                                tel.frames_dropped.inc();
+                                (ctx.on_lost)(out);
+                            } else {
+                                tel.frames_out.inc();
+                                if output.push(out).is_err() {
+                                    break; // downstream closed
+                                }
+                            }
+                        }
+                        None => tel.frames_dropped.inc(),
+                    }
+                    pr2.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+            match body {
+                Ok(()) => out2.close(),
+                Err(payload) => {
+                    // leave the output open: a supervisor may re-attach
+                    *f2.lock().unwrap_or_else(|e| e.into_inner()) = Some(panic_message(payload));
                 }
             }
-            output.close();
         })
         .expect("spawn stage thread");
     StageHandle {
         name,
         processed,
         busy_ns,
+        progress,
+        failure,
         join,
     }
 }
@@ -146,85 +308,183 @@ pub fn spawn_batch_stage_instrumented<I, O, F>(
     output: FeedbackQueue<O>,
     policy: BatchPolicy,
     tel: StageTelemetry,
-    mut f: F,
+    f: F,
 ) -> StageHandle
 where
     I: Send + 'static,
     O: Send + 'static,
     F: FnMut(Vec<I>) -> Vec<O> + Send + 'static,
 {
+    spawn_batch_stage_faulted(
+        name,
+        input,
+        vec![output],
+        |_| 0,
+        policy,
+        tel,
+        StageFaultCtx::noop(),
+        f,
+    )
+}
+
+/// [`spawn_batch_stage_instrumented`] plus fault injection and output
+/// routing.
+///
+/// `route` picks, per forwarded item, which queue in `outputs` receives it —
+/// this is how the `Bypass` degradation policy diverts SNM-positive frames
+/// straight to the reference queue. On clean exit only `outputs[0]` (the
+/// primary downstream) is closed; alternate routes are owned elsewhere.
+///
+/// When the injector fires `Panic` inside a popped batch, the pre-fault
+/// prefix is processed and forwarded as a normal (smaller) batch first, then
+/// the faulting frame and every other frame already popped behind it is
+/// accounted `frames_quarantined` and disposed through `on_quarantine`
+/// before the worker panics. Because queues are per-stream FIFO, the set of
+/// frames each side of the fault boundary is independent of batch shape —
+/// which is what keeps the DES and RT engines' faulted counters identical.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_batch_stage_faulted<I, O, F, R>(
+    name: impl Into<String>,
+    input: FeedbackQueue<I>,
+    outputs: Vec<FeedbackQueue<O>>,
+    mut route: R,
+    policy: BatchPolicy,
+    tel: StageTelemetry,
+    mut ctx: StageFaultCtx<I, O>,
+    mut f: F,
+) -> StageHandle
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(Vec<I>) -> Vec<O> + Send + 'static,
+    R: FnMut(&O) -> usize + Send + 'static,
+{
+    assert!(!outputs.is_empty(), "batch stage needs at least one output");
     let name = name.into();
     let processed = Arc::new(AtomicU64::new(0));
     let busy_ns = Arc::new(AtomicU64::new(0));
+    let progress = Arc::new(AtomicU64::new(0));
+    let failure: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
     let p2 = Arc::clone(&processed);
     let b2 = Arc::clone(&busy_ns);
+    let pr2 = Arc::clone(&progress);
+    let f2 = Arc::clone(&failure);
     let capacity = input.capacity();
     let tname = name.clone();
+    let sname = name.clone();
     let join = thread::Builder::new()
         .name(tname)
         .spawn(move || {
-            let mut buf: Vec<I> = Vec::new();
-            let mut closed = false;
-            'run: loop {
-                // Decide how many items this batch needs.
-                let want = loop {
-                    if closed {
-                        break buf.len(); // flush whatever remains
+            let primary = outputs[0].clone();
+            let body = catch_unwind(AssertUnwindSafe(move || {
+                let mut buf: Vec<I> = Vec::new();
+                let mut closed = false;
+                'run: loop {
+                    // Decide how many items this batch needs.
+                    let want = loop {
+                        if closed {
+                            break buf.len(); // flush whatever remains
+                        }
+                        if let Some(take) = policy.take(buf.len(), capacity) {
+                            break take;
+                        }
+                        // Need more items: wait briefly for one.
+                        match input.pop_timeout(Duration::from_millis(2)) {
+                            Ok(Some(it)) => buf.push(it),
+                            Ok(None) => closed = true,
+                            Err(()) => {
+                                // Timed out. Dynamic policy never reaches here
+                                // with a non-empty buffer; static/feedback keep
+                                // waiting for a full batch.
+                            }
+                        }
+                    };
+                    if want == 0 {
+                        if closed {
+                            break 'run;
+                        }
+                        continue;
                     }
-                    if let Some(take) = policy.take(buf.len(), capacity) {
-                        break take;
+                    let mut batch: Vec<I> = buf.drain(..want.min(buf.len())).collect();
+                    if batch.is_empty() {
+                        if closed {
+                            break 'run;
+                        }
+                        continue;
                     }
-                    // Need more items: wait briefly for one.
-                    match input.pop_timeout(Duration::from_millis(2)) {
-                        Ok(Some(it)) => buf.push(it),
-                        Ok(None) => closed = true,
-                        Err(()) => {
-                            // Timed out. Dynamic policy never reaches here
-                            // with a non-empty buffer; static/feedback keep
-                            // waiting for a full batch.
+                    // Scan for the first panic fault; stalls fire inline.
+                    let mut panic_idx: Option<(usize, u64)> = None;
+                    for (i, item) in batch.iter().enumerate() {
+                        let seq = (ctx.seq_in)(item);
+                        match ctx.inj.check(seq) {
+                            FaultAction::Panic => {
+                                panic_idx = Some((i, seq));
+                                break;
+                            }
+                            FaultAction::Stall(us) => thread::sleep(Duration::from_micros(us)),
+                            FaultAction::Proceed => {}
                         }
                     }
-                };
-                if want == 0 {
-                    if closed {
+                    let doomed: Vec<I> = match panic_idx {
+                        Some((i, _)) => batch.split_off(i),
+                        None => Vec::new(),
+                    };
+                    if !batch.is_empty() {
+                        let n_in = batch.len() as u64;
+                        p2.fetch_add(n_in, Ordering::Relaxed);
+                        tel.frames_in.add(n_in);
+                        let t0 = Instant::now();
+                        let outs = f(std::mem::take(&mut batch));
+                        b2.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let mut forwarded = 0u64;
+                        for out in outs {
+                            if ctx.inj.fail_push((ctx.seq_out)(&out)) {
+                                (ctx.on_lost)(out);
+                            } else {
+                                let dst = route(&out).min(outputs.len() - 1);
+                                if outputs[dst].push(out).is_err() {
+                                    break 'run;
+                                }
+                                forwarded += 1;
+                            }
+                        }
+                        tel.frames_out.add(forwarded);
+                        tel.frames_dropped.add(n_in - forwarded);
+                        pr2.fetch_add(n_in, Ordering::Relaxed);
+                    }
+                    if let Some((_, seq)) = panic_idx {
+                        // Quarantine everything already popped past the fault
+                        // boundary, then die. The input queue itself stays
+                        // intact for the supervisor's give-up drain.
+                        let nq = (doomed.len() + buf.len()) as u64;
+                        tel.frames_quarantined.add(nq);
+                        for it in doomed {
+                            (ctx.on_quarantine)(it);
+                        }
+                        for it in buf.drain(..) {
+                            (ctx.on_quarantine)(it);
+                        }
+                        injected_panic(&sname, seq);
+                    }
+                    if closed && buf.is_empty() {
                         break 'run;
                     }
-                    continue;
                 }
-                // For the dynamic policy, opportunistically top up with items
-                // that arrived since `take` was computed.
-                let mut batch: Vec<I> = buf.drain(..want.min(buf.len())).collect();
-                if batch.is_empty() {
-                    if closed {
-                        break 'run;
-                    }
-                    continue;
-                }
-                let n_in = batch.len() as u64;
-                p2.fetch_add(n_in, Ordering::Relaxed);
-                tel.frames_in.add(n_in);
-                let t0 = Instant::now();
-                let outs = f(std::mem::take(&mut batch));
-                b2.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                tel.frames_out.add(outs.len() as u64);
-                tel.frames_dropped
-                    .add(n_in.saturating_sub(outs.len() as u64));
-                for out in outs {
-                    if output.push(out).is_err() {
-                        break 'run;
-                    }
-                }
-                if closed && buf.is_empty() {
-                    break 'run;
+            }));
+            match body {
+                Ok(()) => primary.close(),
+                Err(payload) => {
+                    *f2.lock().unwrap_or_else(|e| e.into_inner()) = Some(panic_message(payload));
                 }
             }
-            output.close();
         })
         .expect("spawn batch stage thread");
     StageHandle {
         name,
         processed,
         busy_ns,
+        progress,
+        failure,
         join,
     }
 }
@@ -232,6 +492,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultStage, StageFault};
 
     #[test]
     fn filter_stage_maps_and_filters() {
@@ -252,7 +513,7 @@ mod tests {
         while let Some(v) = output.pop() {
             got.push(v);
         }
-        assert_eq!(h.join(), 10);
+        assert_eq!(h.join().unwrap(), 10);
         assert_eq!(got, vec![0, 4, 8, 12, 16]);
     }
 
@@ -287,8 +548,8 @@ mod tests {
         while let Some(v) = output.pop() {
             survivors.push(v);
         }
-        h1.join();
-        h2.join();
+        h1.join().unwrap();
+        h2.join().unwrap();
         survivors.sort_unstable();
         assert_eq!(survivors, vec![6, 8]);
         let snap = tel.snapshot();
@@ -298,6 +559,7 @@ mod tests {
         assert_eq!(snap.counter("stream0.snm.frames_in"), 5);
         assert_eq!(snap.counter("stream0.snm.frames_out"), 2);
         assert_eq!(snap.counter("stream0.snm.frames_dropped"), 3);
+        assert_eq!(snap.counter("stream0.sdd.frames_quarantined"), 0);
     }
 
     #[test]
@@ -315,7 +577,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(80));
         input.close();
         while output.pop().is_some() {}
-        let (n, busy) = h.join_with_stats();
+        let (n, busy) = h.join_with_stats().unwrap();
         assert_eq!(n, 4);
         // ~20ms of compute, definitely less than the 80ms+ of wall time
         assert!(busy >= 0.015, "busy {}", busy);
@@ -342,8 +604,8 @@ mod tests {
             got.push(v);
         }
         producer.join().unwrap();
-        h1.join();
-        h2.join();
+        h1.join().unwrap();
+        h2.join().unwrap();
         assert_eq!(got.len(), 50);
         assert_eq!(got[0], -1);
         assert_eq!(got[49], -50);
@@ -371,7 +633,7 @@ mod tests {
             total += v;
             batches += 1;
         }
-        assert_eq!(h.join(), 20);
+        assert_eq!(h.join().unwrap(), 20);
         assert_eq!(total, 20);
         assert!(batches >= 3); // at most 8 per batch
     }
@@ -395,11 +657,121 @@ mod tests {
         while let Some(v) = output.pop() {
             sizes.push(v);
         }
-        h.join();
+        h.join().unwrap();
         // two full batches of 5 plus a flushed partial of 2
         assert_eq!(sizes.iter().sum::<i32>(), 12);
         assert_eq!(sizes[0], 5);
         assert_eq!(sizes[1], 5);
         assert_eq!(sizes[2], 2);
+    }
+
+    #[test]
+    fn panicking_filter_is_contained_and_reported() {
+        let input: FeedbackQueue<i32> = FeedbackQueue::new(8);
+        let output: FeedbackQueue<i32> = FeedbackQueue::new(8);
+        let h = spawn_filter_stage("bomb", input.clone(), output.clone(), |x: i32| {
+            if x == 3 {
+                panic!("boom on {x}");
+            }
+            Some(x)
+        });
+        for i in 0..6 {
+            input.push(i).unwrap();
+        }
+        input.close();
+        // give the worker time to reach the bomb
+        std::thread::sleep(Duration::from_millis(50));
+        let failure = h.join().expect_err("stage must report its panic");
+        assert_eq!(failure.stage, "bomb");
+        assert!(failure.message.contains("boom on 3"), "{}", failure.message);
+        assert_eq!(failure.processed, 4, "frames 0..=3 were picked up");
+        // the output was NOT closed: in-flight frames survive for a restart
+        assert!(!output.is_closed());
+        assert_eq!(output.try_pop_up_to(usize::MAX), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn injected_panic_quarantines_the_faulting_frame() {
+        use ffsva_telemetry::Telemetry;
+
+        let tel = Telemetry::new();
+        let plan = FaultPlan::new().with(0, FaultStage::Sdd, StageFault::PanicAtFrame(4));
+        let input: FeedbackQueue<u64> = FeedbackQueue::new(16);
+        let output: FeedbackQueue<u64> = FeedbackQueue::new(16);
+        let quarantined = Arc::new(Mutex::new(Vec::new()));
+        let q2 = Arc::clone(&quarantined);
+        let ctx = StageFaultCtx {
+            inj: plan.injector(0, FaultStage::Sdd),
+            seq_in: Box::new(|x: &u64| *x),
+            seq_out: Box::new(|x: &u64| *x),
+            on_quarantine: Box::new(move |x| q2.lock().unwrap().push(x)),
+            on_lost: Box::new(|_| {}),
+        };
+        let h = spawn_filter_stage_faulted(
+            "sdd",
+            input.clone(),
+            output.clone(),
+            StageTelemetry::register(&tel, "stream0.sdd"),
+            ctx,
+            Some,
+        );
+        for i in 0..8u64 {
+            input.push(i).unwrap();
+        }
+        input.close();
+        std::thread::sleep(Duration::from_millis(50));
+        let failure = h.join().expect_err("injected panic");
+        assert!(failure.message.contains(INJECTED_PANIC));
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("stream0.sdd.frames_in"), 4, "frames 0..4");
+        assert_eq!(snap.counter("stream0.sdd.frames_quarantined"), 1);
+        assert_eq!(*quarantined.lock().unwrap(), vec![4]);
+        // frames 5..8 still sit in the input for a restarted incarnation
+        assert_eq!(input.len(), 3);
+    }
+
+    #[test]
+    fn fail_push_fault_drops_exactly_one_passing_frame() {
+        use ffsva_telemetry::Telemetry;
+
+        let tel = Telemetry::new();
+        let plan =
+            FaultPlan::new().with(0, FaultStage::Snm, StageFault::FailNextPush { at_frame: 2 });
+        let input: FeedbackQueue<u64> = FeedbackQueue::new(16);
+        let output: FeedbackQueue<u64> = FeedbackQueue::new(16);
+        let lost = Arc::new(Mutex::new(Vec::new()));
+        let l2 = Arc::clone(&lost);
+        let ctx = StageFaultCtx {
+            inj: plan.injector(0, FaultStage::Snm),
+            seq_in: Box::new(|x: &u64| *x),
+            seq_out: Box::new(|x: &u64| *x),
+            on_quarantine: Box::new(|_| {}),
+            on_lost: Box::new(move |x| l2.lock().unwrap().push(x)),
+        };
+        let h = spawn_batch_stage_faulted(
+            "snm",
+            input.clone(),
+            vec![output.clone()],
+            |_| 0,
+            BatchPolicy::Dynamic { size: 4 },
+            StageTelemetry::register(&tel, "stream0.snm"),
+            ctx,
+            |batch: Vec<u64>| batch,
+        );
+        for i in 0..6u64 {
+            input.push(i).unwrap();
+        }
+        input.close();
+        let mut got = Vec::new();
+        while let Some(v) = output.pop() {
+            got.push(v);
+        }
+        h.join().unwrap();
+        assert_eq!(got, vec![0, 1, 3, 4, 5], "seq 2 was lost in the push");
+        assert_eq!(*lost.lock().unwrap(), vec![2]);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("stream0.snm.frames_in"), 6);
+        assert_eq!(snap.counter("stream0.snm.frames_out"), 5);
+        assert_eq!(snap.counter("stream0.snm.frames_dropped"), 1);
     }
 }

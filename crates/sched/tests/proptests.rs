@@ -198,7 +198,7 @@ proptest! {
         while let Some(v) = output.pop() {
             got.push(v);
         }
-        let processed = stage.join();
+        let processed = stage.join().expect("stage failed");
         prop_assert_eq!(processed, n as u64);
         prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
         let sizes = batch_sizes.lock().unwrap();

@@ -36,11 +36,18 @@
 //! assert_eq!(digest.throughput_fps, 900.0);
 //! ```
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Poison-tolerant lock: a thread that panicked while holding the registry
+/// lock (e.g. an instrumented stage dying mid-registration) must not wedge
+/// telemetry export for everyone else — the registry's invariants are
+/// per-entry, so recovering the guard is always safe.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// The pipeline stages every engine reports on, in cascade order.
 pub const STAGES: [&str; 4] = ["sdd", "snm", "tyolo", "reference"];
@@ -204,8 +211,7 @@ impl Telemetry {
 
     /// Get or register the counter `name`.
     pub fn counter(&self, name: &str) -> Counter {
-        self.inner
-            .lock()
+        lock_recovering(&self.inner)
             .counters
             .entry(name.to_string())
             .or_default()
@@ -214,8 +220,7 @@ impl Telemetry {
 
     /// Get or register the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        self.inner
-            .lock()
+        lock_recovering(&self.inner)
             .gauges
             .entry(name.to_string())
             .or_default()
@@ -225,8 +230,7 @@ impl Telemetry {
     /// Get or register the histogram `name` with the given bucket bounds
     /// (bounds of an already-registered histogram win).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
-        self.inner
-            .lock()
+        lock_recovering(&self.inner)
             .histograms
             .entry(name.to_string())
             .or_insert_with(|| Histogram::with_bounds(bounds))
@@ -235,7 +239,7 @@ impl Telemetry {
 
     /// Freeze every registered series.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let g = self.inner.lock();
+        let g = lock_recovering(&self.inner);
         TelemetrySnapshot {
             counters: g
                 .counters
@@ -394,20 +398,28 @@ impl TelemetrySnapshot {
 // pre-wired instrument bundles
 
 /// The deterministic per-stage frame accounting both engines share.
+///
+/// `frames_quarantined` counts frames disposed because their stage was
+/// fault-quarantined (injected panic, or the supervisor's give-up drain);
+/// it stays 0 on healthy runs but is registered unconditionally so the
+/// DES↔RT conformance name set is identical with and without faults.
 #[derive(Debug, Clone)]
 pub struct StageTelemetry {
     pub frames_in: Counter,
     pub frames_out: Counter,
     pub frames_dropped: Counter,
+    pub frames_quarantined: Counter,
 }
 
 impl StageTelemetry {
-    /// Register `{scope}.frames_in/out/dropped` (e.g. scope `stream0.sdd`).
+    /// Register `{scope}.frames_in/out/dropped/quarantined`
+    /// (e.g. scope `stream0.sdd`).
     pub fn register(tel: &Telemetry, scope: &str) -> Self {
         StageTelemetry {
             frames_in: tel.counter(&format!("{}.frames_in", scope)),
             frames_out: tel.counter(&format!("{}.frames_out", scope)),
             frames_dropped: tel.counter(&format!("{}.frames_dropped", scope)),
+            frames_quarantined: tel.counter(&format!("{}.frames_quarantined", scope)),
         }
     }
 
@@ -417,6 +429,38 @@ impl StageTelemetry {
             frames_in: Counter::detached(),
             frames_out: Counter::detached(),
             frames_dropped: Counter::detached(),
+            frames_quarantined: Counter::detached(),
+        }
+    }
+}
+
+/// Supervision accounting for one supervised stage: restarts attempted,
+/// give-ups (restart budget exhausted), and total backoff wall time. These
+/// series are engine-private (`rt.` scopes) — the DES has no real restarts.
+#[derive(Debug, Clone)]
+pub struct SupervisorTelemetry {
+    pub restarts: Counter,
+    pub give_ups: Counter,
+    pub backoff_ms: Counter,
+}
+
+impl SupervisorTelemetry {
+    /// Register `{scope}.restarts/give_ups/backoff_ms`
+    /// (e.g. scope `rt.supervisor.stream0.snm`).
+    pub fn register(tel: &Telemetry, scope: &str) -> Self {
+        SupervisorTelemetry {
+            restarts: tel.counter(&format!("{}.restarts", scope)),
+            give_ups: tel.counter(&format!("{}.give_ups", scope)),
+            backoff_ms: tel.counter(&format!("{}.backoff_ms", scope)),
+        }
+    }
+
+    /// Detached counters for unsupervised callers.
+    pub fn noop() -> Self {
+        SupervisorTelemetry {
+            restarts: Counter::detached(),
+            give_ups: Counter::detached(),
+            backoff_ms: Counter::detached(),
         }
     }
 }
@@ -680,6 +724,41 @@ mod tests {
         let noop = StageTelemetry::noop();
         noop.frames_in.add(100);
         assert_eq!(tel.snapshot().counter("stream0.snm.frames_in"), 4);
+    }
+
+    #[test]
+    fn supervisor_bundle_registers_expected_names() {
+        let tel = Telemetry::new();
+        let sup = SupervisorTelemetry::register(&tel, "rt.supervisor.stream0.snm");
+        sup.restarts.inc();
+        sup.restarts.inc();
+        sup.give_ups.inc();
+        sup.backoff_ms.add(30);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("rt.supervisor.stream0.snm.restarts"), 2);
+        assert_eq!(snap.counter("rt.supervisor.stream0.snm.give_ups"), 1);
+        assert_eq!(snap.counter("rt.supervisor.stream0.snm.backoff_ms"), 30);
+        // supervision series are rt.-private: excluded from conformance
+        assert!(snap.conformant_names().is_empty());
+    }
+
+    #[test]
+    fn poisoned_registry_lock_recovers() {
+        let tel = Telemetry::new();
+        tel.counter("a.frames_in").inc();
+        // Poison the registry mutex: panic while holding it.
+        let t2 = tel.clone();
+        let _ = thread::spawn(move || {
+            let _g = t2.inner.lock().unwrap();
+            panic!("die holding the registry lock");
+        })
+        .join();
+        // Registration and snapshot must both still work.
+        tel.counter("a.frames_in").add(2);
+        tel.counter("b.frames_in").inc();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("a.frames_in"), 3);
+        assert_eq!(snap.counter("b.frames_in"), 1);
     }
 
     #[test]

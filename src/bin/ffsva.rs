@@ -45,6 +45,11 @@ USAGE:
                  [--filter-gpus N] [--ref-gpus N] [--filter-degree F]
                  [--number N] [--tor F] [--seed N] [--target <class>]
                  [--fast] [--baseline] [--json <out.json>]
+                 [--fault-plan <spec>] [--telemetry <out.json>]
+
+Fault plans inject deterministic failures, keyed on frame seq, e.g.
+  --fault-plan 'stream0.snm:panic@50,stream1.tyolo:stall@100+250ms'
+(grammar: stream<S>.<sdd|snm|tyolo|ref>:panic@N|stall@N+DURms|failpush@N).
   ffsva capacity --workload <name> [--frames N] [--train-frames N]
                  [--filter-gpus N] [--ref-gpus N] [--max-streams N]
                  [--tor F] [--seed N] [--target <class>] [--fast]
@@ -594,6 +599,16 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
     let mode = parse_mode(&args.opt("mode")?.unwrap_or_else(|| "online".into()))?;
     let want_baseline = args.flag("baseline");
     let json_path = args.opt("json")?.map(PathBuf::from);
+    let telemetry_path = args.opt("telemetry")?.map(PathBuf::from);
+    let fault_plan = match args.opt("fault-plan")? {
+        Some(spec) => {
+            let plan = FaultPlan::parse(&spec).map_err(|e| format!("invalid --fault-plan: {e}"))?;
+            plan.validate()
+                .map_err(|e| format!("invalid --fault-plan: {e}"))?;
+            Some(plan)
+        }
+        None => None,
+    };
     let sys = system_config(args)?;
     if streams == 0 {
         return Err("--streams must be positive".into());
@@ -602,7 +617,11 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
 
     let inputs = tile_inputs(&[ps], streams, &sys);
     let frames_per_stream = inputs[0].traces.len();
-    let r = Engine::new(sys, mode, inputs).run();
+    let mut engine = Engine::new(sys, mode, inputs);
+    if let Some(plan) = &fault_plan {
+        engine = engine.with_fault_plan(plan);
+    }
+    let r = engine.run();
 
     println!(
         "simulated {} stream(s) x {} frames ({:?}): makespan {:.2}s, {:.1} FPS aggregate",
@@ -616,6 +635,12 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
         "  stages executed SDD/SNM/T-YOLO/ref: {:?}; dropped: {:?}",
         r.stage_executed, r.stage_dropped
     );
+    if fault_plan.is_some() {
+        println!(
+            "  fault plan active; frames quarantined per stream: {:?}",
+            r.per_stream_quarantined
+        );
+    }
     println!(
         "  ref-path latency mean {:.1} ms, p99 {:.1} ms; T-YOLO {:.1} FPS; \
          CPU {:.0}%, GPU0 {:.0}%, GPU1 {:.0}%",
@@ -649,6 +674,20 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
         std::fs::write(&path, json)
             .map_err(|e| format!("cannot write {}: {}", path.display(), e))?;
         println!("result written to {}", path.display());
+    }
+    if let Some(path) = telemetry_path {
+        let digest = PipelineDigest::from_snapshot(&r.telemetry, r.makespan_us);
+        let export = serde_json::json!({
+            "schema_version": 1,
+            "makespan_us": r.makespan_us,
+            "digest": digest,
+            "snapshot": r.telemetry,
+        });
+        let json = serde_json::to_string_pretty(&export)
+            .map_err(|e| format!("serialize telemetry: {}", e))?;
+        std::fs::write(&path, json)
+            .map_err(|e| format!("cannot write telemetry {}: {}", path.display(), e))?;
+        println!("telemetry written to {}", path.display());
     }
     Ok(())
 }

@@ -56,13 +56,15 @@ pub use ffsva_video as video;
 pub mod prelude {
     pub use ffsva_core::{
         evaluate_accuracy, prepare_stream, prepare_stream_cached, run_baseline,
-        run_multi_pipeline_rt, run_pipeline_rt, tile_inputs, Engine, FfsVaConfig, Mode,
-        MultiRtResult, PrepareOptions, PreparedStream, RtResult, SimResult, StreamInput,
-        StreamThresholds, SurvivingFrame,
+        run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, run_pipeline_rt, tile_inputs, Engine,
+        FfsVaConfig, Mode, MultiRtResult, PrepareOptions, PreparedStream, RtResult, SimResult,
+        StreamHealth, StreamInput, StreamThresholds, SurvivingFrame,
     };
     pub use ffsva_models::bank::{BankOptions, FilterBank, FrameTrace};
     pub use ffsva_models::snm::SnmModel;
-    pub use ffsva_sched::BatchPolicy;
+    pub use ffsva_sched::{
+        BatchPolicy, DegradePolicy, FaultPlan, FaultStage, StageFailure, StageFault,
+    };
     pub use ffsva_telemetry::{PipelineDigest, Telemetry, TelemetrySnapshot};
     pub use ffsva_video::prelude::*;
 }

@@ -198,6 +198,81 @@ fn des_and_rt_engines_emit_conformant_telemetry() {
     }
 }
 
+/// Faulted DES↔RT conformance: the same deterministic [`FaultPlan`] — one
+/// stream's SNM panicking persistently, the other stream losing one SDD
+/// push — must produce bit-identical per-stage frame counters (including
+/// `frames_quarantined`) in both engines. Faults are keyed on frame seq and
+/// queues are FIFO, so the disposition of every frame is schedule-invariant.
+#[test]
+fn des_and_rt_engines_agree_on_faulted_frame_accounting() {
+    use ffs_va::prelude::{FaultPlan, FaultStage, StageFault};
+
+    let sys = FfsVaConfig {
+        restart_budget: 1,
+        restart_backoff_ms: 1,
+        ..FfsVaConfig::default()
+    };
+    let plan = FaultPlan::new()
+        .with(1, FaultStage::Snm, StageFault::PanicAtFrame(50))
+        .with(
+            0,
+            FaultStage::Sdd,
+            StageFault::FailNextPush { at_frame: 30 },
+        );
+
+    let mut inputs = Vec::new();
+    let mut rt_streams = Vec::new();
+    for seed in [41u64, 42] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut camera = VideoStream::new(
+            seed as u32,
+            workloads::test_tiny(ObjectClass::Car, 0.3, seed),
+        );
+        let training = camera.clip(1200);
+        let mut bank = FilterBank::build(&training, ObjectClass::Car, &quick_bank_opts(), &mut rng);
+        let clip = camera.clip(400);
+        let th = StreamThresholds {
+            delta_diff: bank.sdd.delta_diff,
+            t_pre: bank.snm.t_pre(sys.filter_degree),
+            number_of_objects: sys.number_of_objects,
+        };
+        inputs.push(StreamInput {
+            traces: bank.trace_clip(&clip),
+            thresholds: th,
+        });
+        rt_streams.push((clip, bank));
+    }
+
+    let des = Engine::new(sys, Mode::Offline, inputs)
+        .with_fault_plan(&plan)
+        .run();
+    let rt = run_multi_pipeline_rt_faulted(rt_streams, &sys, &plan);
+
+    // identical namespaces, identical frame accounting — quarantine included
+    assert_eq!(
+        des.telemetry.conformant_names(),
+        rt.telemetry.conformant_names(),
+        "faulted runs diverge on the telemetry namespace"
+    );
+    assert_eq!(
+        des.telemetry.frames_counters(),
+        rt.telemetry.frames_counters(),
+        "faulted DES and RT runs disagree on frame accounting"
+    );
+    // and both attribute the same quarantine totals to the same stream
+    assert_eq!(des.per_stream_quarantined.len(), 2);
+    assert_eq!(des.per_stream_quarantined[0], 0);
+    assert!(des.per_stream_quarantined[1] > 0);
+    for s in 0..2 {
+        assert_eq!(
+            des.per_stream_quarantined[s], rt.stream_health[s].frames_quarantined,
+            "stream {s} quarantine totals diverge"
+        );
+    }
+    assert!(rt.stream_health[1].quarantined);
+    assert!(rt.stream_health[0].healthy());
+}
+
 /// Determinism under fixed seeds: preparing the same stream twice yields
 /// bit-identical traces and thresholds, and the DES engine reproduces the
 /// same schedule.

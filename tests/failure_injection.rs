@@ -6,8 +6,16 @@ use ffs_va::core::instance::{
     balance_instances_from, has_spare_capacity, is_overloaded, AdmissionController, Placement,
 };
 use ffs_va::core::{Engine, FfsVaConfig, Mode, StreamInput, StreamThresholds};
-use ffs_va::prelude::{BatchPolicy, FrameTrace};
+use ffs_va::models::snm::SnmTrainOptions;
+use ffs_va::prelude::{
+    run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, BankOptions, BatchPolicy, DegradePolicy,
+    FaultPlan, FaultStage, FilterBank, FrameTrace, LabeledFrame, ObjectClass, StageFault,
+    VideoStream,
+};
 use ffs_va::sched::{spawn_batch_stage, spawn_filter_stage, FeedbackQueue};
+use ffs_va::video::workloads;
+use proptest::prelude::*;
+use rand::SeedableRng;
 use std::time::Duration;
 
 /// Synthetic decision trace: every `target_every`-th frame is a target.
@@ -100,9 +108,9 @@ fn stalled_tyolo_stage_bounds_upstream_queues_via_feedback() {
     while let Some(v) = q_ref.pop() {
         received.push(v);
     }
-    h_sdd.join();
-    h_snm.join();
-    h_tyolo.join();
+    h_sdd.join().unwrap();
+    h_snm.join().unwrap();
+    h_tyolo.join().unwrap();
 
     let entered_total = q_src.stats().pushed;
     assert_eq!(
@@ -216,4 +224,229 @@ fn degenerate_config_minimal_queues_still_drains_every_frame() {
     assert_eq!(r.stage_executed[3] + dropped, n as u64);
     // every 3rd frame passes the whole cascade: 0, 3, …, 120 → 41 frames
     assert_eq!(r.stage_executed[3], 41);
+}
+
+// ---------------------------------------------------------------------------
+// supervision & graceful degradation (DESIGN.md §7)
+
+fn fast_bank_opts() -> BankOptions {
+    BankOptions {
+        snm: SnmTrainOptions {
+            epochs: 10,
+            batch_size: 16,
+            lr: 0.08,
+            train_frac: 0.7,
+            max_samples: 300,
+            restarts: 2,
+        },
+        ..Default::default()
+    }
+}
+
+/// Two independent streams with real trained banks. Rebuilding from the same
+/// seeds yields bit-identical banks, so two calls produce runs whose cascade
+/// decisions can be compared frame for frame.
+fn two_rt_streams() -> Vec<(Vec<LabeledFrame>, FilterBank)> {
+    let mut out = Vec::new();
+    for seed in [41u64, 42] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100 + seed);
+        let vcfg = workloads::test_tiny(ObjectClass::Car, 0.3, seed);
+        let mut cam = VideoStream::new(seed as u32, vcfg);
+        let training = cam.clip(1200);
+        let bank = FilterBank::build(&training, ObjectClass::Car, &fast_bank_opts(), &mut rng);
+        let clip = cam.clip(400);
+        out.push((clip, bank));
+    }
+    out
+}
+
+/// Failure injection #4 (supervision tentpole): one stream's SNM panics
+/// persistently at frame 50. The supervisor must restart it, exhaust the
+/// budget, quarantine that stream — and the sibling stream's survivor set
+/// must be bit-identical to an unfaulted run, with every offered frame of
+/// the quarantined stream disposed exactly once.
+#[test]
+fn snm_panic_quarantines_stream_and_isolates_siblings() {
+    let cfg = FfsVaConfig {
+        restart_budget: 1,
+        restart_backoff_ms: 1,
+        ..FfsVaConfig::default()
+    };
+    let clean = run_multi_pipeline_rt(two_rt_streams(), &cfg);
+    assert!(clean.stream_health.iter().all(|h| h.healthy()));
+
+    let plan = FaultPlan::new().with(1, FaultStage::Snm, StageFault::PanicAtFrame(50));
+    let faulted = run_multi_pipeline_rt_faulted(two_rt_streams(), &cfg, &plan);
+
+    // the faulted stream is quarantined, after burning its restart budget
+    assert!(
+        faulted.stream_health[0].healthy(),
+        "sibling was quarantined"
+    );
+    assert!(faulted.stream_health[1].quarantined);
+    assert_eq!(
+        faulted.stream_health[1].failed_stage.as_deref(),
+        Some("snm")
+    );
+    assert_eq!(faulted.stream_health[1].restarts, 1);
+    let snap = &faulted.telemetry;
+    assert_eq!(snap.counter("rt.supervisor.stream1.snm.restarts"), 1);
+    assert_eq!(snap.counter("rt.supervisor.stream1.snm.give_ups"), 1);
+    assert_eq!(snap.counter("rt.supervisor.stream0.snm.give_ups"), 0);
+
+    // sibling isolation: stream 0's survivors are bit-identical
+    let clean0: Vec<u64> = clean.survivors[0].iter().map(|f| f.seq).collect();
+    let faulted0: Vec<u64> = faulted.survivors[0].iter().map(|f| f.seq).collect();
+    assert_eq!(clean0, faulted0, "fault on stream 1 leaked into stream 0");
+
+    // conservation on the quarantined stream: survivors + dropped +
+    // quarantined account for all 400 offered frames, exactly once each
+    let survivors1 = faulted.survivors[1].len() as u64;
+    let mut dropped = 0u64;
+    let mut quarantined = 0u64;
+    for stage in ["sdd", "snm", "tyolo", "reference"] {
+        dropped += snap.counter(&format!("stream1.{stage}.frames_dropped"));
+        quarantined += snap.counter(&format!("stream1.{stage}.frames_quarantined"));
+    }
+    assert_eq!(
+        survivors1 + dropped + quarantined,
+        400,
+        "frames lost or double-disposed under quarantine"
+    );
+    assert!(quarantined > 0, "no frame was quarantined");
+    assert_eq!(faulted.stream_health[1].frames_quarantined, quarantined);
+    // everything from the fault point on died before T-YOLO
+    assert!(faulted.survivors[1].iter().all(|f| f.seq < 50));
+    // the stream's SDD kept draining its feeder: no frame stuck upstream
+    assert_eq!(
+        snap.counter("stream1.sdd.frames_in") + snap.counter("stream1.sdd.frames_quarantined"),
+        400
+    );
+}
+
+/// Failure injection #5 (watchdog + degrade policy): the shared T-YOLO
+/// stalls for 2.5 s. Under `Block` the stall propagates into multi-second
+/// end-to-end latencies; under `ShedOldest` the watchdog keeps evicting
+/// over-age frames so p99 stays bounded near `max_lag_ms`.
+#[test]
+fn watchdog_shed_oldest_bounds_e2e_latency_under_stall() {
+    let stall = StageFault::StallFor {
+        at_frame: 0,
+        dur_us: 2_500_000,
+    };
+    let plan = FaultPlan::new().with(0, FaultStage::TYolo, stall);
+    // Deep T-YOLO queues so in-flight frames wait at the stalled stage
+    // (where ShedOldest can see them) instead of backing up the pipeline.
+    let base = FfsVaConfig {
+        tyolo_queue_depth: 64,
+        watchdog_deadline_ms: 100,
+        ..FfsVaConfig::default()
+    };
+
+    let blocked = run_multi_pipeline_rt_faulted(
+        two_rt_streams(),
+        &FfsVaConfig {
+            degrade_policy: DegradePolicy::Block,
+            ..base
+        },
+        &plan,
+    );
+    let shed = run_multi_pipeline_rt_faulted(
+        two_rt_streams(),
+        &FfsVaConfig {
+            degrade_policy: DegradePolicy::ShedOldest { max_lag_ms: 500 },
+            ..base
+        },
+        &plan,
+    );
+
+    let p99 = |r: &ffs_va::prelude::MultiRtResult| {
+        r.telemetry.histograms["latency.e2e_us"].quantile(0.99)
+    };
+    assert!(
+        p99(&blocked) > 1e6,
+        "Block should let the stall blow past 1 s e2e, got p99 {} µs",
+        p99(&blocked)
+    );
+    assert!(
+        p99(&shed) <= 1e6,
+        "ShedOldest{{max_lag_ms:500}} must bound e2e p99 to ~1 s, got {} µs",
+        p99(&shed)
+    );
+    assert!(shed.shed_frames > 0, "watchdog never shed a frame");
+    assert!(
+        shed.telemetry.counter("rt.watchdog.trips") > 0,
+        "watchdog never tripped"
+    );
+    assert_eq!(blocked.shed_frames, 0, "Block must not shed");
+    // shedding disposes frames, it never loses them: survivors + dropped +
+    // shed + quarantined == offered
+    let snap = &shed.telemetry;
+    let mut disposed = shed.shed_frames;
+    for s in 0..2 {
+        disposed += shed.survivors[s].len() as u64;
+        for stage in ["sdd", "snm", "tyolo", "reference"] {
+            disposed += snap.counter(&format!("stream{s}.{stage}.frames_dropped"));
+            disposed += snap.counter(&format!("stream{s}.{stage}.frames_quarantined"));
+        }
+    }
+    assert_eq!(disposed, 800, "ShedOldest lost or double-disposed frames");
+}
+
+// Failure injection #6: random fault plans thrown at the DES engine must
+// never lose or double-dispose a frame — survivors + drops + quarantines
+// always account for the whole offer, and identical plans reproduce
+// identical counters.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #[test]
+    fn random_fault_plans_conserve_every_frame_in_des(
+        faults in proptest::collection::vec((0usize..2, 0u8..9, 0u64..200), 0..6)
+    ) {
+        let mut plan = FaultPlan::new();
+        for (stream, kind, at) in faults {
+            let (stage, fault) = match kind {
+                0 => (FaultStage::Sdd, StageFault::PanicAtFrame(at)),
+                1 => (FaultStage::Snm, StageFault::PanicAtFrame(at)),
+                2 => (FaultStage::Sdd, StageFault::StallFor { at_frame: at, dur_us: 5_000 }),
+                3 => (FaultStage::Snm, StageFault::StallFor { at_frame: at, dur_us: 5_000 }),
+                4 => (FaultStage::TYolo, StageFault::StallFor { at_frame: at, dur_us: 5_000 }),
+                5 => (FaultStage::Reference, StageFault::StallFor { at_frame: at, dur_us: 5_000 }),
+                6 => (FaultStage::Sdd, StageFault::FailNextPush { at_frame: at }),
+                7 => (FaultStage::Snm, StageFault::FailNextPush { at_frame: at }),
+                _ => (FaultStage::TYolo, StageFault::FailNextPush { at_frame: at }),
+            };
+            plan = plan.with(stream, stage, fault);
+        }
+        prop_assert!(plan.validate().is_ok());
+
+        let n = 150usize;
+        let run = || {
+            Engine::new(
+                FfsVaConfig::default(),
+                Mode::Offline,
+                vec![synthetic_input(n, 3), synthetic_input(n, 4)],
+            )
+            .with_fault_plan(&plan)
+            .run()
+        };
+        let r = run();
+        prop_assert_eq!(r.total_frames, 2 * n as u64);
+        // conservation: every frame is disposed exactly once
+        let dropped: u64 = r.stage_dropped.iter().sum();
+        let quarantined: u64 = r.per_stream_quarantined.iter().sum();
+        prop_assert_eq!(
+            r.stage_executed[3] + dropped + quarantined,
+            2 * n as u64,
+            "lost/double-disposed frames under plan {:?}",
+            plan
+        );
+        // determinism: the same plan reproduces the same counters
+        let r2 = run();
+        prop_assert_eq!(
+            r.telemetry.frames_counters(),
+            r2.telemetry.frames_counters()
+        );
+        prop_assert_eq!(r.per_stream_quarantined, r2.per_stream_quarantined);
+    }
 }

@@ -1,0 +1,235 @@
+//! Crash-safe checkpoint/resume for long-running analytics jobs.
+//!
+//! The paper's deployment story is day-long surveillance streams; losing a
+//! whole day of per-stream position and model state to a process restart is
+//! not acceptable. This module persists, per stream, everything needed to
+//! continue a run as if it had never stopped: the source cursor, the
+//! per-stage frame counters, the trained SDD reference background and SNM
+//! thresholds, the supervisor restart budget already spent, and the
+//! survivor set accumulated so far.
+//!
+//! Atomicity: each snapshot is written to a dot-prefixed temp file in the
+//! same directory and then `rename(2)`d into place, so a crash mid-write
+//! leaves either the previous checkpoint or the new one — never a torn
+//! file. Both engines write and accept the same format, extending DES↔RT
+//! conformance to resumed runs.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::StreamThresholds;
+use crate::rt_engine::SurvivingFrame;
+use ffsva_models::SddFilter;
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every checkpoint file.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// Where and how often to checkpoint, and whether to resume from what is
+/// already there.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointSpec {
+    /// Directory holding one `stream<N>.ckpt.json` per stream.
+    pub dir: PathBuf,
+    /// Write cadence in fully-accounted source frames.
+    pub interval_frames: u64,
+    /// Load existing checkpoints before starting (ignored when absent).
+    pub resume: bool,
+}
+
+impl CheckpointSpec {
+    pub fn new(dir: impl Into<PathBuf>, interval_frames: u64, resume: bool) -> Self {
+        CheckpointSpec {
+            dir: dir.into(),
+            interval_frames: interval_frames.max(1),
+            resume,
+        }
+    }
+}
+
+/// Everything needed to continue one stream from where it stopped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCheckpoint {
+    pub schema_version: u32,
+    pub stream: usize,
+    /// Source frames fully accounted (delivered, dropped, quarantined, or
+    /// evicted) — the resume point in the input.
+    pub cursor: u64,
+    /// Telemetry counters owned by this stream (its `stream<N>.*` scope
+    /// plus its share of the ingest globals), re-seeded on resume.
+    pub counters: BTreeMap<String, u64>,
+    /// Frames that survived the full cascade so far.
+    pub survivors: Vec<SurvivingFrame>,
+    /// Calibrated per-stream thresholds (None before calibration ran).
+    #[serde(default)]
+    pub thresholds: Option<StreamThresholds>,
+    /// The SDD's reference background (pixel engines only; the DES carries
+    /// no pixel state).
+    #[serde(default)]
+    pub sdd: Option<SddFilter>,
+    /// SNM confidence band `(c_low, c_high)` (pixel engines only).
+    #[serde(default)]
+    pub snm_thresholds: Option<(f32, f32)>,
+    /// Supervisor restarts already consumed by this stream's stages.
+    #[serde(default)]
+    pub restarts_used: u64,
+    /// Whether the stream's source was given up as lost.
+    #[serde(default)]
+    pub source_lost: bool,
+}
+
+impl StreamCheckpoint {
+    /// An empty checkpoint at the start of a stream.
+    pub fn fresh(stream: usize) -> Self {
+        StreamCheckpoint {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            stream,
+            cursor: 0,
+            counters: BTreeMap::new(),
+            survivors: Vec::new(),
+            thresholds: None,
+            sdd: None,
+            snm_thresholds: None,
+            restarts_used: 0,
+            source_lost: false,
+        }
+    }
+}
+
+/// The checkpoint file for one stream.
+pub fn stream_ckpt_path(dir: &Path, stream: usize) -> PathBuf {
+    dir.join(format!("stream{stream}.ckpt.json"))
+}
+
+/// Atomically persist one stream's checkpoint (write temp, fsync, rename).
+pub fn write_stream_checkpoint(dir: &Path, ckpt: &StreamCheckpoint) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(".stream{}.ckpt.tmp", ckpt.stream));
+    let json = serde_json::to_vec_pretty(ckpt)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    {
+        use std::io::Write;
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&json)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, stream_ckpt_path(dir, ckpt.stream))
+}
+
+/// Load one stream's checkpoint; `Ok(None)` when none exists yet.
+pub fn load_stream_checkpoint(dir: &Path, stream: usize) -> io::Result<Option<StreamCheckpoint>> {
+    let path = stream_ckpt_path(dir, stream);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let ckpt: StreamCheckpoint = serde_json::from_slice(&bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if ckpt.schema_version > CHECKPOINT_SCHEMA_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "checkpoint schema {} is newer than supported {}",
+                ckpt.schema_version, CHECKPOINT_SCHEMA_VERSION
+            ),
+        ));
+    }
+    Ok(Some(ckpt))
+}
+
+/// Load checkpoints for streams `0..num_streams`; missing streams come back
+/// as fresh (a run may have checkpointed some streams and not others).
+pub fn load_all(dir: &Path, num_streams: usize) -> io::Result<Vec<StreamCheckpoint>> {
+    (0..num_streams)
+        .map(|s| Ok(load_stream_checkpoint(dir, s)?.unwrap_or_else(|| StreamCheckpoint::fresh(s))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ffsva_ckpt_{}_{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(stream: usize) -> StreamCheckpoint {
+        let mut ck = StreamCheckpoint::fresh(stream);
+        ck.cursor = 512;
+        ck.counters.insert("stream0.sdd.frames_in".into(), 512);
+        ck.counters.insert("src.reconnects".into(), 1);
+        ck.survivors.push(SurvivingFrame {
+            seq: 17,
+            pts_ms: 566,
+            reference_count: 2,
+        });
+        ck.thresholds = Some(StreamThresholds {
+            delta_diff: 0.01,
+            t_pre: 0.5,
+            number_of_objects: 1,
+        });
+        ck.snm_thresholds = Some((0.2, 0.8));
+        ck.restarts_used = 1;
+        ck
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let dir = tmp_dir("roundtrip");
+        let ck = sample(0);
+        write_stream_checkpoint(&dir, &ck).unwrap();
+        let back = load_stream_checkpoint(&dir, 0).unwrap().unwrap();
+        assert_eq!(back, ck);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none_and_load_all_fills_fresh() {
+        let dir = tmp_dir("missing");
+        assert!(load_stream_checkpoint(&dir, 3).unwrap().is_none());
+        write_stream_checkpoint(&dir, &sample(1)).unwrap();
+        let all = load_all(&dir, 3).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].cursor, 0);
+        assert_eq!(all[1].cursor, 512);
+        assert_eq!(all[2].cursor, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writes_replace_atomically_leaving_no_temp_files() {
+        let dir = tmp_dir("atomic");
+        let mut ck = sample(2);
+        write_stream_checkpoint(&dir, &ck).unwrap();
+        ck.cursor = 1024;
+        write_stream_checkpoint(&dir, &ck).unwrap();
+        let back = load_stream_checkpoint(&dir, 2).unwrap().unwrap();
+        assert_eq!(back.cursor, 1024);
+        // the temp file must not linger after a successful rename
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_or_future_checkpoints_are_rejected() {
+        let dir = tmp_dir("torn");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(stream_ckpt_path(&dir, 0), b"{ torn").unwrap();
+        assert!(load_stream_checkpoint(&dir, 0).is_err());
+        let mut future = sample(1);
+        future.schema_version = CHECKPOINT_SCHEMA_VERSION + 1;
+        write_stream_checkpoint(&dir, &future).unwrap();
+        assert!(load_stream_checkpoint(&dir, 1).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -15,6 +15,21 @@ fn default_watchdog_deadline_ms() -> u64 {
 fn default_degrade_policy() -> DegradePolicy {
     DegradePolicy::Block
 }
+fn default_source_retry_budget() -> u32 {
+    6
+}
+fn default_source_backoff_ms() -> u64 {
+    50
+}
+fn default_source_backoff_cap_ms() -> u64 {
+    1000
+}
+fn default_reorder_buffer() -> usize {
+    8
+}
+fn default_checkpoint_interval_frames() -> u64 {
+    256
+}
 
 /// Tunable parameters of an FFS-VA instance, with the paper's defaults.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -71,6 +86,24 @@ pub struct FfsVaConfig {
     /// What to do when the watchdog detects a stalled stage.
     #[serde(default = "default_degrade_policy")]
     pub degrade_policy: DegradePolicy,
+    /// Reconnect attempts after a source disconnect before the stream
+    /// degrades to `SourceLost`. Serde-defaulted so configs written before
+    /// the ingest-robustness layer still deserialize.
+    #[serde(default = "default_source_retry_budget")]
+    pub source_retry_budget: u32,
+    /// Backoff before the first reconnect attempt (doubles per attempt).
+    #[serde(default = "default_source_backoff_ms")]
+    pub source_backoff_ms: u64,
+    /// Ceiling on any single reconnect backoff.
+    #[serde(default = "default_source_backoff_cap_ms")]
+    pub source_backoff_cap_ms: u64,
+    /// Per-stream reorder buffer capacity at ingest; frames arriving later
+    /// than the window tolerates are evicted (counted, never delivered).
+    #[serde(default = "default_reorder_buffer")]
+    pub reorder_buffer: usize,
+    /// Checkpoint cadence in source frames when a checkpoint dir is set.
+    #[serde(default = "default_checkpoint_interval_frames")]
+    pub checkpoint_interval_frames: u64,
 }
 
 impl Default for FfsVaConfig {
@@ -95,6 +128,11 @@ impl Default for FfsVaConfig {
             restart_backoff_ms: default_restart_backoff_ms(),
             watchdog_deadline_ms: default_watchdog_deadline_ms(),
             degrade_policy: default_degrade_policy(),
+            source_retry_budget: default_source_retry_budget(),
+            source_backoff_ms: default_source_backoff_ms(),
+            source_backoff_cap_ms: default_source_backoff_cap_ms(),
+            reorder_buffer: default_reorder_buffer(),
+            checkpoint_interval_frames: default_checkpoint_interval_frames(),
         }
     }
 }
@@ -135,11 +173,40 @@ impl FfsVaConfig {
         self.restart_budget = n;
         self
     }
+
+    /// Builder-style setter for the source reconnect policy.
+    pub fn with_source_reconnect(mut self, budget: u32, backoff_ms: u64, cap_ms: u64) -> Self {
+        self.source_retry_budget = budget;
+        self.source_backoff_ms = backoff_ms;
+        self.source_backoff_cap_ms = cap_ms;
+        self
+    }
+
+    /// Builder-style setter for the ingest reorder buffer capacity.
+    pub fn with_reorder_buffer(mut self, cap: usize) -> Self {
+        self.reorder_buffer = cap;
+        self
+    }
+
+    /// Builder-style setter for the checkpoint cadence (source frames).
+    pub fn with_checkpoint_interval(mut self, frames: u64) -> Self {
+        self.checkpoint_interval_frames = frames;
+        self
+    }
+
+    /// The reconnect policy the ingest workers apply on disconnect.
+    pub fn reconnect_policy(&self) -> ffsva_video::ReconnectPolicy {
+        ffsva_video::ReconnectPolicy {
+            retry_budget: self.source_retry_budget,
+            backoff_ms: self.source_backoff_ms,
+            backoff_cap_ms: self.source_backoff_cap_ms,
+        }
+    }
 }
 
 /// Per-stream filter thresholds extracted from a trained
 /// [`ffsva_models::FilterBank`] plus the instance config.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StreamThresholds {
     /// SDD δ_diff.
     pub delta_diff: f32,
@@ -204,6 +271,21 @@ mod tests {
         assert_eq!(c.restart_backoff_ms, 10);
         assert_eq!(c.watchdog_deadline_ms, 200);
         assert_eq!(c.degrade_policy, DegradePolicy::Block);
+        // ingest-robustness fields are likewise serde-defaulted
+        assert_eq!(c.source_retry_budget, 6);
+        assert_eq!(c.source_backoff_ms, 50);
+        assert_eq!(c.source_backoff_cap_ms, 1000);
+        assert_eq!(c.reorder_buffer, 8);
+        assert_eq!(c.checkpoint_interval_frames, 256);
+    }
+
+    #[test]
+    fn reconnect_policy_reflects_config() {
+        let c = FfsVaConfig::default().with_source_reconnect(3, 20, 200);
+        let p = c.reconnect_policy();
+        assert_eq!(p.retry_budget, 3);
+        assert_eq!(p.backoff_ms, 20);
+        assert_eq!(p.backoff_cap_ms, 200);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 pub mod accuracy;
 pub mod baseline;
+pub mod checkpoint;
 pub mod config;
 pub mod instance;
 pub mod report;
@@ -52,6 +53,10 @@ pub use accuracy::{
     precision_recall_sweep, AccuracyReport, ErrorRunStats, PrPoint,
 };
 pub use baseline::{run_baseline, BaselineResult};
+pub use checkpoint::{
+    load_all, load_stream_checkpoint, stream_ckpt_path, write_stream_checkpoint, CheckpointSpec,
+    StreamCheckpoint, CHECKPOINT_SCHEMA_VERSION,
+};
 pub use config::{FfsVaConfig, StreamThresholds};
 pub use ffsva_sched::{DegradePolicy, FaultPlan, FaultStage, StageFault};
 pub use ffsva_telemetry::{PipelineDigest, Telemetry, TelemetrySnapshot};
@@ -60,8 +65,8 @@ pub use instance::{
     is_overloaded, AdmissionController, Placement,
 };
 pub use rt_engine::{
-    run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, run_pipeline_rt, MultiRtResult, RtResult,
-    StreamHealth, SurvivingFrame,
+    run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, run_multi_pipeline_rt_robust,
+    run_pipeline_rt, MultiRtResult, RtResult, StreamHealth, SurvivingFrame,
 };
 pub use sim::{Engine, FrameTimeline, Mode, SimResult, Stage, StreamInput};
 pub use viz::{

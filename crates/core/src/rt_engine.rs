@@ -5,19 +5,25 @@
 //! computation; the discrete-event engine (`sim`) reproduces the paper's
 //! timing figures on the calibrated device substrate.
 
-use crate::config::FfsVaConfig;
+use crate::checkpoint::{load_all, write_stream_checkpoint, CheckpointSpec, StreamCheckpoint};
+use crate::config::{FfsVaConfig, StreamThresholds};
 use ffsva_models::bank::FilterBank;
 use ffsva_models::snm::snm_input;
 use ffsva_models::tyolo::TinyYolo;
+use ffsva_models::SddFilter;
 use ffsva_sched::{
     spawn_batch_stage_faulted, spawn_batch_stage_instrumented, spawn_filter_stage_faulted,
     spawn_filter_stage_instrumented, supervise, DegradePolicy, FaultAction, FaultPlan, FaultStage,
-    FeedbackQueue, StageFaultCtx, SupervisorPolicy, SupervisorTelemetry, WatchEntry, Watchdog,
+    FeedbackQueue, IngestCore, IngestOutput, StageFaultCtx, SupervisorPolicy, SupervisorTelemetry,
+    WatchEntry, Watchdog,
 };
 use ffsva_telemetry::{
     QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot, LATENCY_BOUNDS_US,
 };
-use ffsva_video::LabeledFrame;
+use ffsva_video::{
+    frame_checksum, plan_reconnect, ClipSource, LabeledFrame, ReconnectOutcome, SourceFaultPlan,
+    SourceItem, UnreliableSource,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -33,7 +39,7 @@ fn elapsed_us(since: Instant) -> f64 {
 }
 
 /// A frame that survived the full cascade.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SurvivingFrame {
     pub seq: u64,
     pub pts_ms: u64,
@@ -242,11 +248,46 @@ pub struct StreamHealth {
     pub restarts: u64,
     /// Frames disposed as quarantined for this stream.
     pub frames_quarantined: u64,
+    /// The stream's source exhausted its reconnect budget mid-run: the link
+    /// was declared lost and the unread tail of the clip was dropped, while
+    /// sibling streams kept running.
+    #[serde(default)]
+    pub source_lost: bool,
 }
 
 impl StreamHealth {
     pub fn healthy(&self) -> bool {
-        !self.quarantined
+        !self.quarantined && !self.source_lost
+    }
+}
+
+/// What one ingest worker observed, returned through its join handle and
+/// folded into [`StreamHealth`] and the stream's final checkpoint.
+struct SourceReport {
+    /// Absolute source cursor after the run: every frame below it has been
+    /// fully accounted (delivered, dropped, quarantined, or evicted).
+    cursor: u64,
+    source_lost: bool,
+    delivered: u64,
+    corrupt: u64,
+    evicted: u64,
+    duplicates: u64,
+    reconnects: u64,
+}
+
+impl SourceReport {
+    /// The report of a plain (fault-free) feeder that pushed `fed` frames
+    /// starting at absolute position `skip`.
+    fn clean(skip: u64, fed: u64) -> Self {
+        SourceReport {
+            cursor: skip + fed,
+            source_lost: false,
+            delivered: fed,
+            corrupt: 0,
+            evicted: 0,
+            duplicates: 0,
+            reconnects: 0,
+        }
     }
 }
 
@@ -313,8 +354,37 @@ pub fn run_multi_pipeline_rt_faulted(
     cfg: &FfsVaConfig,
     plan: &FaultPlan,
 ) -> MultiRtResult {
+    run_multi_pipeline_rt_robust(streams, cfg, plan, &SourceFaultPlan::default(), None)
+}
+
+/// [`run_multi_pipeline_rt_faulted`] plus the unreliable-source ingest layer
+/// and crash-safe checkpointing.
+///
+/// When `src_plan` is non-empty, every stream's feeder becomes an ingest
+/// worker: it pulls from an [`UnreliableSource`] wrapping the clip, validates
+/// each arrival's checksum (corrupt frames are quarantined, never the
+/// stream), restores order through a bounded [`IngestCore`] reorder gate
+/// (late frames are evicted and accounted), and rides out disconnects with
+/// capped exponential backoff ([`plan_reconnect`]). A stream whose retry
+/// budget is exhausted degrades to `source_lost` — its unread tail is
+/// dropped and accounted, and every sibling stream keeps running untouched.
+///
+/// When `ckpt` is given, per-stream [`StreamCheckpoint`]s are written
+/// atomically after the pipeline drains (the RT engine checkpoints at
+/// end-of-run; the DES also checkpoints periodically at quiescent
+/// boundaries), and `spec.resume` re-seeds counters, survivors, and the
+/// source cursor so a killed-and-resumed run reports telemetry identical to
+/// an uninterrupted one.
+pub fn run_multi_pipeline_rt_robust(
+    streams: Vec<(Vec<LabeledFrame>, FilterBank)>,
+    cfg: &FfsVaConfig,
+    plan: &FaultPlan,
+    src_plan: &SourceFaultPlan,
+    ckpt: Option<&CheckpointSpec>,
+) -> MultiRtResult {
     assert!(!streams.is_empty(), "need at least one stream");
     plan.validate().expect("invalid fault plan");
+    src_plan.validate().expect("invalid source fault plan");
     let start = Instant::now();
     let n_streams = streams.len();
     let num_tyolo = cfg.num_tyolo.max(1);
@@ -341,6 +411,37 @@ pub fn run_multi_pipeline_rt_faulted(
     let c_trips = tel.counter("rt.watchdog.trips");
     let c_shed = tel.counter("rt.watchdog.shed");
 
+    let faulty = !src_plan.is_empty();
+    // Resume: load per-stream checkpoints and re-seed their counters into
+    // the live cells, so the final telemetry reads as one uninterrupted run.
+    let bases: Vec<StreamCheckpoint> = match ckpt {
+        Some(spec) if spec.resume => load_all(&spec.dir, n_streams).expect("load checkpoints"),
+        _ => (0..n_streams).map(StreamCheckpoint::fresh).collect(),
+    };
+    for base in &bases {
+        for (name, v) in &base.counters {
+            tel.counter(name).add(*v);
+        }
+    }
+    // Ingest-fault series exist only when a source plan is active, keeping
+    // an unfaulted run's telemetry name-identical to pre-ingest builds.
+    let src_counters = if faulty {
+        Some((
+            tel.counter("src.reconnects"),
+            tel.counter("src.corrupt"),
+            tel.counter("src.reorder_evictions"),
+            tel.counter("src.duplicates"),
+        ))
+    } else {
+        None
+    };
+    let ckpt_tel = ckpt.map(|_| {
+        (
+            tel.counter("checkpoint.writes"),
+            tel.histogram("checkpoint.age_ms", LATENCY_BOUNDS_US),
+        )
+    });
+
     // Flipped by the watchdog under `DegradePolicy::Bypass`: SNM-positive
     // frames then route straight to the reference queue.
     let bypass = Arc::new(AtomicBool::new(false));
@@ -348,7 +449,8 @@ pub fn run_multi_pipeline_rt_faulted(
     let mut total = 0u64;
     let mut sdd_sups = Vec::new();
     let mut snm_sups = Vec::new();
-    let mut feeders = Vec::new();
+    let mut feeders: Vec<std::thread::JoinHandle<SourceReport>> = Vec::new();
+    let mut ckpt_states: Vec<Option<(StreamThresholds, SddFilter, (f32, f32))>> = Vec::new();
     let mut tyolo_qs: Vec<FeedbackQueue<InFlight>> = Vec::new();
     let mut ref_qs: Vec<FeedbackQueue<InFlight>> = Vec::new();
     let mut out_qs: Vec<FeedbackQueue<SurvivingFrame>> = Vec::new();
@@ -359,7 +461,14 @@ pub fn run_multi_pipeline_rt_faulted(
     let mut shared_tyolo: Option<Arc<TinyYolo>> = None;
 
     for (s, (clip, bank)) in streams.into_iter().enumerate() {
-        total += clip.len() as u64;
+        // A resumed stream restarts at its checkpoint cursor; a stream whose
+        // source was already lost has nothing left to read.
+        let skip = if bases[s].source_lost {
+            clip.len()
+        } else {
+            (bases[s].cursor as usize).min(clip.len())
+        };
+        total += (clip.len() - skip) as u64;
         let FilterBank {
             target,
             sdd,
@@ -375,6 +484,19 @@ pub fn run_multi_pipeline_rt_faulted(
         }
         let mut snm = snm;
         let t_pre = snm.t_pre(cfg.filter_degree);
+        // Model state captured for the final checkpoint before the models
+        // move into their stage threads.
+        ckpt_states.push(ckpt.map(|_| {
+            (
+                StreamThresholds {
+                    delta_diff: sdd.delta_diff,
+                    t_pre,
+                    number_of_objects: cfg.number_of_objects,
+                },
+                sdd.clone(),
+                (snm.c_low, snm.c_high),
+            )
+        }));
         // Shared ownership so every restarted incarnation attaches to the
         // *same* models: SDD inference is `&self`; the SNM is mutated per
         // batch, so it sits behind a mutex whose poisoning (a panic inside
@@ -576,17 +698,115 @@ pub fn run_multi_pipeline_rt_faulted(
             },
         ));
 
+        // --- ingest worker: feed the pipeline, defending the cascade from
+        // source faults (disconnects, corruption, drops, reorder, dups) ---
         let q_in = q_sdd;
         let frames_in = c_in.clone();
-        feeders.push(std::thread::spawn(move || {
-            for lf in clip {
-                if q_in.push((Instant::now(), lf)).is_err() {
-                    break;
-                }
-                frames_in.inc();
+        if faulty {
+            let src_tel = StageTelemetry::register(&tel, &format!("stream{}.src", s));
+            let inj = src_plan.injector(s);
+            let policy = cfg.reconnect_policy();
+            let reorder_cap = cfg.reorder_buffer;
+            let (c_rec, c_cor, c_evi, c_dup) =
+                src_counters.clone().expect("registered when faulty");
+            // One-shot faults aimed below the resume point already fired in
+            // the segment that wrote the checkpoint.
+            let first_seq = clip.get(skip).map(|lf| lf.frame.seq);
+            if let Some(fs) = first_seq {
+                inj.fast_forward(fs);
             }
-            q_in.close();
-        }));
+            feeders.push(std::thread::spawn(move || {
+                let mut src =
+                    UnreliableSource::new(ClipSource::starting_at(clip, skip as u64), inj);
+                let mut core = IngestCore::<LabeledFrame>::new(reorder_cap);
+                if let Some(fs) = first_seq {
+                    core = core.resume_at(fs);
+                }
+                let mut lost = false;
+                let mut reconnects = 0u64;
+                let deliver = |out: IngestOutput<LabeledFrame>| match out {
+                    IngestOutput::Deliver(_, lf) => {
+                        if q_in.push((Instant::now(), lf)).is_ok() {
+                            frames_in.inc();
+                            src_tel.frames_out.inc();
+                        }
+                    }
+                    IngestOutput::Corrupt(..) => {
+                        src_tel.frames_quarantined.inc();
+                        c_cor.inc();
+                    }
+                    IngestOutput::Evict(..) => {
+                        src_tel.frames_dropped.inc();
+                        c_evi.inc();
+                    }
+                    IngestOutput::Duplicate(..) => c_dup.inc(),
+                };
+                loop {
+                    match src.next_item() {
+                        SourceItem::Frame {
+                            lf,
+                            claimed_checksum,
+                        } => {
+                            let corrupt = frame_checksum(&lf.frame) != claimed_checksum;
+                            let seq = lf.frame.seq;
+                            for out in core.accept(seq, lf, corrupt) {
+                                deliver(out);
+                            }
+                        }
+                        // silently lost at the source; totalled once below
+                        // via `src.dropped()`
+                        SourceItem::Dropped { .. } => {}
+                        SourceItem::Disconnect { dur_ms } => match plan_reconnect(dur_ms, policy) {
+                            ReconnectOutcome::Reconnected { waited_ms, .. } => {
+                                reconnects += 1;
+                                c_rec.inc();
+                                std::thread::sleep(Duration::from_millis(waited_ms));
+                            }
+                            ReconnectOutcome::Lost { .. } => {
+                                // Retry budget exhausted: everything still in
+                                // flight or unread is lost with the link.
+                                lost = true;
+                                src_tel.frames_dropped.add(src.abandon());
+                                break;
+                            }
+                        },
+                        SourceItem::End => break,
+                    }
+                }
+                // Flush the reorder gate even after link loss: held frames
+                // were already received on our side of the link. The DES
+                // ingest prep drains its gate identically.
+                for out in core.finish() {
+                    deliver(out);
+                }
+                src_tel.frames_dropped.add(src.dropped());
+                src_tel.frames_in.add(src.position() - skip as u64);
+                q_in.close();
+                let stats = core.stats();
+                SourceReport {
+                    cursor: src.position(),
+                    source_lost: lost,
+                    delivered: stats.delivered,
+                    corrupt: stats.corrupt,
+                    evicted: stats.evicted,
+                    duplicates: stats.duplicates,
+                    reconnects,
+                }
+            }));
+        } else {
+            feeders.push(std::thread::spawn(move || {
+                let mut fed = 0u64;
+                for lf in clip.into_iter().skip(skip) {
+                    if q_in.push((Instant::now(), lf)).is_err() {
+                        break;
+                    }
+                    frames_in.inc();
+                    fed += 1;
+                }
+                q_in.close();
+                SourceReport::clean(skip as u64, fed)
+            }));
+        }
 
         tyolo_qs.push(q_tyolo);
         ref_qs.push(q_ref);
@@ -718,10 +938,21 @@ pub fn run_multi_pipeline_rt_faulted(
         .into_iter()
         .map(|c| c.join().expect("collector"))
         .collect();
+    // Resume: survivors collected before the checkpoint precede this run's.
+    let survivors: Vec<Vec<SurvivingFrame>> = survivors
+        .into_iter()
+        .enumerate()
+        .map(|(s, tail)| {
+            let mut v = bases[s].survivors.clone();
+            v.extend(tail);
+            v
+        })
+        .collect();
 
-    for f in feeders {
-        f.join().expect("feeder");
-    }
+    let reports: Vec<SourceReport> = feeders
+        .into_iter()
+        .map(|f| f.join().expect("feeder"))
+        .collect();
     let sdd_outcomes: Vec<_> = sdd_sups.into_iter().map(|sup| sup.join()).collect();
     let snm_outcomes: Vec<_> = snm_sups.into_iter().map(|sup| sup.join()).collect();
     let tyolo_n = tyolo_handle.join().expect("tyolo thread");
@@ -731,6 +962,60 @@ pub fn run_multi_pipeline_rt_faulted(
         .sum();
     if let Some(wd) = watchdog {
         wd.stop();
+    }
+
+    // Final checkpoints: every stage has joined, so all counters are
+    // quiescent. Written before the final snapshot so `checkpoint.writes`
+    // lands in the reported telemetry.
+    if let Some(spec) = ckpt {
+        let snap = tel.snapshot();
+        let (c_writes, h_age) = ckpt_tel.as_ref().expect("registered with spec");
+        for s in 0..n_streams {
+            let mut ck = StreamCheckpoint::fresh(s);
+            ck.cursor = reports[s].cursor.max(bases[s].cursor);
+            ck.survivors = survivors[s].clone();
+            if let Some((th, sdd, band)) = &ckpt_states[s] {
+                ck.thresholds = Some(*th);
+                ck.sdd = Some(sdd.clone());
+                ck.snm_thresholds = Some(*band);
+            }
+            ck.restarts_used = bases[s].restarts_used
+                + u64::from(sdd_outcomes[s].restarts())
+                + u64::from(snm_outcomes[s].restarts());
+            ck.source_lost = bases[s].source_lost || reports[s].source_lost;
+            // Live counters already include the resumed base shares, so the
+            // stream scope copies over verbatim; the globals record this
+            // stream's share only.
+            let scope = format!("stream{}.", s);
+            for (name, v) in &snap.counters {
+                if name.starts_with(&scope) {
+                    ck.counters.insert(name.clone(), *v);
+                }
+            }
+            let base_in = bases[s]
+                .counters
+                .get("pipeline.frames_in")
+                .copied()
+                .unwrap_or(0);
+            ck.counters.insert(
+                "pipeline.frames_in".to_string(),
+                base_in + reports[s].delivered,
+            );
+            for (name, live) in [
+                ("src.reconnects", reports[s].reconnects),
+                ("src.corrupt", reports[s].corrupt),
+                ("src.reorder_evictions", reports[s].evicted),
+                ("src.duplicates", reports[s].duplicates),
+            ] {
+                let base = bases[s].counters.get(name).copied().unwrap_or(0);
+                if faulty || base > 0 {
+                    ck.counters.insert(name.to_string(), base + live);
+                }
+            }
+            write_stream_checkpoint(&spec.dir, &ck).expect("write checkpoint");
+            c_writes.inc();
+            h_age.record(start.elapsed().as_secs_f64() * 1e3);
+        }
     }
 
     let wall = start.elapsed().as_secs_f64();
@@ -756,6 +1041,7 @@ pub fn run_multi_pipeline_rt_faulted(
                 frames_quarantined: snapshot
                     .counter(&format!("stream{}.sdd.frames_quarantined", s))
                     + snapshot.counter(&format!("stream{}.snm.frames_quarantined", s)),
+                source_lost: bases[s].source_lost || reports[s].source_lost,
             }
         })
         .collect();

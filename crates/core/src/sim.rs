@@ -10,19 +10,25 @@
 //! re-run only the scheduling, exactly like the paper sweeps one knob at a
 //! time on fixed videos.
 
+use crate::checkpoint::{load_all, write_stream_checkpoint, CheckpointSpec, StreamCheckpoint};
 use crate::config::{FfsVaConfig, StreamThresholds};
+use crate::rt_engine::SurvivingFrame;
 use ffsva_models::cost::{sdd_cost, snm_cost, tyolo_cost, yolov2_cost};
 use ffsva_models::FrameTrace;
 use ffsva_sched::{
-    Device, DeviceKind, EventQueue, FaultAction, FaultInjector, FaultPlan, FaultStage,
-    LatencyStats, ModelKey, SimQueue,
+    Device, DeviceKind, EventQueue, FaultAction, FaultInjector, FaultPlan, FaultStage, IngestCore,
+    IngestOutput, LatencyStats, ModelKey, SimQueue,
 };
 use ffsva_telemetry::{
     Counter, Histogram, QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot,
     LATENCY_BOUNDS_US,
 };
+use ffsva_video::{
+    plan_reconnect, ReconnectOutcome, ReconnectPolicy, SourceEvent, SourceFaultPlan,
+    SourceInjector, Turbulence,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 const GB: u64 = 1024 * 1024 * 1024;
 
@@ -99,16 +105,193 @@ struct StreamState {
     /// while upstream stages keep draining (mirrors the RT give-up drain).
     quarantined_at: Option<Stage>,
     quarantined_frames: u64,
+    /// Ingest pre-computation under a source-fault plan (`None` = pristine
+    /// source, the identity path: every trace index is admitted in order).
+    ingest: Option<IngestPrep>,
+    /// Frames that completed the full cascade, in completion order.
+    survivors: Vec<SurvivingFrame>,
+    /// Resume base loaded from a checkpoint (fresh unless resuming).
+    base: StreamCheckpoint,
+    /// `disposed` at the last checkpoint write (periodic cadence anchor).
+    last_ckpt_disposed: u64,
+    /// Virtual time of the last checkpoint write (`checkpoint.age_ms`).
+    last_ckpt_us: f64,
 }
 
 impl StreamState {
+    /// Frames this stream admits into the cascade.
+    fn admit_len(&self) -> usize {
+        self.ingest
+            .as_ref()
+            .map_or(self.input.traces.len(), |p| p.admit.len())
+    }
+
+    /// Trace index of the `pos`-th admitted frame.
+    fn admit_idx(&self, pos: usize) -> usize {
+        self.ingest.as_ref().map_or(pos, |p| p.admit[pos])
+    }
+
+    /// Extra arrival delay carried by the `pos`-th admitted frame
+    /// (reconnect backoff riding on the first delivery after an outage).
+    fn arrival_delay_us(&self, pos: usize) -> f64 {
+        self.ingest
+            .as_ref()
+            .map_or(0.0, |p| p.delay_us.get(pos).copied().unwrap_or(0.0))
+    }
+
+    /// Whether this stream's source has been given up as lost, now or in a
+    /// checkpointed previous segment.
+    fn source_lost(&self) -> bool {
+        self.base.source_lost || self.ingest.as_ref().map_or(false, |p| p.source_lost)
+    }
+
     fn exhausted_upstream(&self) -> bool {
-        self.next_idx >= self.input.traces.len() && self.backlog.is_empty()
+        self.next_idx >= self.admit_len() && self.backlog.is_empty()
     }
 
     fn trace(&self, idx: usize) -> &FrameTrace {
         &self.input.traces[idx]
     }
+}
+
+/// Pre-computed ingest outcome for one stream under a source-fault plan.
+///
+/// The DES has no wall clock against which source weather could unfold, so
+/// it resolves the whole ingest timeline eagerly — running the same
+/// [`Turbulence`] → [`IngestCore`] → [`plan_reconnect`] decision chain the
+/// RT ingest workers execute frame by frame. Both engines therefore
+/// classify every source frame identically, and the `src` counters agree
+/// bit for bit.
+struct IngestPrep {
+    /// Trace indices admitted into the cascade, in delivery order.
+    admit: Vec<usize>,
+    /// Extra arrival delay (µs) carried by each admitted frame: reconnect
+    /// backoff charged to the first delivery after a survived outage.
+    delay_us: Vec<f64>,
+    /// Source frames consumed when each admitted frame was emitted — the
+    /// checkpoint cursor at that delivery point.
+    cursor_after: Vec<u64>,
+    /// Unique source frames the stream generated (delivered or not).
+    frames_in: u64,
+    /// Frames silently lost at the source (drop faults).
+    src_dropped: u64,
+    /// Frames whose payload failed checksum validation (quarantined).
+    corrupt: u64,
+    /// Frames that arrived too late for the reorder window.
+    evicted: u64,
+    /// Extra copies of frames already seen (counted, not conserved).
+    duplicates: u64,
+    /// Outages survived via retry/backoff.
+    reconnects: u64,
+    /// Distinct frames lost with the link when the retry budget ran out:
+    /// in flight at the loss point plus the unpulled tail.
+    lost_with_link: u64,
+    source_lost: bool,
+}
+
+impl IngestPrep {
+    /// Record ingest-core outputs: deliveries join the admit schedule (the
+    /// first after an outage carries the accumulated backoff delay).
+    fn absorb(&mut self, outs: Vec<IngestOutput<usize>>, pending_delay_us: &mut f64, pulled: u64) {
+        for out in outs {
+            if let IngestOutput::Deliver(_, idx) = out {
+                self.admit.push(idx);
+                self.delay_us.push(*pending_delay_us);
+                *pending_delay_us = 0.0;
+                self.cursor_after.push(pulled);
+            }
+        }
+    }
+}
+
+/// Run one stream's traces through the shared ingest decision chain.
+fn prep_ingest(
+    traces: &[FrameTrace],
+    inj: SourceInjector,
+    reorder_cap: usize,
+    policy: ReconnectPolicy,
+) -> IngestPrep {
+    let mut prep = IngestPrep {
+        admit: Vec::new(),
+        delay_us: Vec::new(),
+        cursor_after: Vec::new(),
+        frames_in: traces.len() as u64,
+        src_dropped: 0,
+        corrupt: 0,
+        evicted: 0,
+        duplicates: 0,
+        reconnects: 0,
+        lost_with_link: 0,
+        source_lost: false,
+    };
+    let mut turb: Turbulence<usize> = Turbulence::new(inj);
+    let mut core: IngestCore<usize> = IngestCore::new(reorder_cap);
+    let mut pending_delay_us = 0.0f64;
+    let mut pulled = 0u64;
+    let mut lost = false;
+    // distinct frames caught in flight when the link is written off (the RT
+    // wrapper's `abandon` dedupes identically)
+    let mut lost_seqs: BTreeSet<u64> = BTreeSet::new();
+    for (idx, tr) in traces.iter().enumerate() {
+        pulled += 1;
+        for ev in turb.feed(tr.seq, idx) {
+            match ev {
+                SourceEvent::Disconnect { dur_ms } => {
+                    if lost {
+                        continue;
+                    }
+                    match plan_reconnect(dur_ms, policy) {
+                        ReconnectOutcome::Reconnected { waited_ms, .. } => {
+                            prep.reconnects += 1;
+                            pending_delay_us += waited_ms as f64 * 1e3;
+                        }
+                        ReconnectOutcome::Lost { .. } => lost = true,
+                    }
+                }
+                // totalled once at the end via `turb.dropped()`
+                SourceEvent::Dropped { .. } => {}
+                SourceEvent::Frame { seq, item, corrupt } => {
+                    if lost {
+                        lost_seqs.insert(seq);
+                    } else {
+                        let outs = core.accept(seq, item, corrupt);
+                        prep.absorb(outs, &mut pending_delay_us, pulled);
+                    }
+                }
+            }
+        }
+        if lost {
+            break;
+        }
+    }
+    if lost {
+        for ev in turb.finish() {
+            if let SourceEvent::Frame { seq, .. } = ev {
+                lost_seqs.insert(seq);
+            }
+        }
+        prep.lost_with_link = lost_seqs.len() as u64 + (traces.len() as u64 - pulled);
+    } else {
+        // end of stream: reorder holds mature before the gate flushes
+        for ev in turb.finish() {
+            if let SourceEvent::Frame { seq, item, corrupt } = ev {
+                let outs = core.accept(seq, item, corrupt);
+                prep.absorb(outs, &mut pending_delay_us, pulled);
+            }
+        }
+    }
+    // Flush the reorder gate even after a loss: frames it holds were already
+    // received on our side of the link, so they still feed the cascade (the
+    // RT worker drains its gate identically before reporting `SourceLost`).
+    let outs = core.finish();
+    prep.absorb(outs, &mut pending_delay_us, pulled);
+    prep.src_dropped = turb.dropped();
+    let stats = core.stats();
+    prep.corrupt = stats.corrupt;
+    prep.evicted = stats.evicted;
+    prep.duplicates = stats.duplicates;
+    prep.source_lost = lost;
+    prep
 }
 
 /// Per-frame stage timestamps recorded when tracing is enabled
@@ -184,6 +367,15 @@ pub struct SimResult {
     /// the stream's SDD or SNM; zero everywhere in unfaulted runs).
     #[serde(default)]
     pub per_stream_quarantined: Vec<u64>,
+    /// Frames that survived the full cascade, per stream, in completion
+    /// order. Resumed runs include the checkpointed prefix, so a killed
+    /// run plus its resume reports the same set as an uninterrupted one.
+    #[serde(default)]
+    pub per_stream_survivors: Vec<Vec<SurvivingFrame>>,
+    /// Streams whose source was given up as lost (reconnect retry budget
+    /// exhausted), now or in a checkpointed previous segment.
+    #[serde(default)]
+    pub per_stream_source_lost: Vec<bool>,
     /// Every named series the run emitted (DESIGN.md §Telemetry). Frame
     /// counters carry the same names and values as the RT engine's.
     #[serde(default)]
@@ -240,6 +432,14 @@ pub struct Engine {
     /// Per-stream, per-[`Stage`] fault injectors (noop unless a
     /// [`FaultPlan`] was attached with [`Engine::with_fault_plan`]).
     injectors: Vec<[FaultInjector; 4]>,
+    /// Source-fault plan (ingest weather), attached via
+    /// [`Engine::with_source_plan`]; `None` keeps the pristine feed path and
+    /// leaves the `src` telemetry scopes unregistered.
+    source_plan: Option<SourceFaultPlan>,
+    /// Crash-safe checkpointing, attached via [`Engine::with_checkpoint`].
+    ckpt: Option<CheckpointSpec>,
+    c_ckpt_writes: Option<Counter>,
+    h_ckpt_age: Option<Histogram>,
     telemetry: Telemetry,
     /// Per-stream per-stage frame accounting (`stream{s}.{stage}.frames_*`),
     /// indexed by [`Stage`].
@@ -279,7 +479,8 @@ impl Engine {
             .collect();
         let streams: Vec<StreamState> = inputs
             .into_iter()
-            .map(|input| StreamState {
+            .enumerate()
+            .map(|(s, input)| StreamState {
                 input,
                 next_idx: 0,
                 backlog: VecDeque::new(),
@@ -296,6 +497,11 @@ impl Engine {
                 disposed: 0,
                 quarantined_at: None,
                 quarantined_frames: 0,
+                ingest: None,
+                survivors: Vec::new(),
+                base: StreamCheckpoint::fresh(s),
+                last_ckpt_disposed: 0,
+                last_ckpt_us: 0.0,
             })
             .collect();
         let cpu = (0..cfg.cpu_lanes.max(1))
@@ -334,6 +540,10 @@ impl Engine {
             injectors: (0..n_streams)
                 .map(|_| std::array::from_fn(|_| FaultInjector::noop()))
                 .collect(),
+            source_plan: None,
+            ckpt: None,
+            c_ckpt_writes: None,
+            h_ckpt_age: None,
             c_frames_in: telemetry.counter("pipeline.frames_in"),
             c_snm_batches: telemetry.counter("snm.batches"),
             c_tyolo_cycles: telemetry.counter("tyolo.cycles"),
@@ -379,9 +589,102 @@ impl Engine {
         self
     }
 
+    /// Attach a deterministic source-fault plan (DESIGN.md §Ingest). Like
+    /// stage faults it is keyed on frame `seq`; the DES resolves the whole
+    /// ingest timeline eagerly through the same `Turbulence` → `IngestCore`
+    /// → `plan_reconnect` chain the RT ingest workers run live, so both
+    /// engines classify every source frame identically. The `stream<N>.src`
+    /// scopes and `src.*` globals are registered only when the plan is
+    /// non-empty, keeping the no-fault conformance name set unchanged.
+    pub fn with_source_plan(mut self, plan: &SourceFaultPlan) -> Self {
+        plan.validate().expect("invalid source fault plan");
+        if !plan.is_empty() {
+            self.source_plan = Some(plan.clone());
+        }
+        self
+    }
+
+    /// Attach crash-safe checkpointing: periodic per-stream snapshots into
+    /// `spec.dir` at quiescent boundaries plus a final snapshot per stream
+    /// at run end. With `spec.resume`, checkpoints already in the directory
+    /// seed the counters, survivors, and source cursors so the run
+    /// continues exactly where the previous one stopped.
+    pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.c_ckpt_writes = Some(self.telemetry.counter("checkpoint.writes"));
+        self.h_ckpt_age = Some(
+            self.telemetry
+                .histogram("checkpoint.age_ms", LATENCY_BOUNDS_US),
+        );
+        self.ckpt = Some(spec);
+        self
+    }
+
     fn record<F: FnOnce(&mut FrameTimeline)>(&mut self, stream: usize, idx: usize, f: F) {
         if let Some(tl) = self.timelines.as_mut() {
             f(&mut tl[stream][idx]);
+        }
+    }
+
+    /// Resolve resume state and ingest preps before the first event fires.
+    ///
+    /// Resume seeding re-adds every counter share a previous segment banked
+    /// (counter handles intern by name, so the additions land on the live
+    /// cells), preloads the survivor prefix, and skips the already-consumed
+    /// head of each stream's input. Ingest prep then classifies what is left
+    /// and accounts all source-level rejections eagerly — the run itself
+    /// only ever sees admitted frames.
+    fn prepare_sources(&mut self) {
+        if let Some(spec) = &self.ckpt {
+            if spec.resume {
+                let loaded =
+                    load_all(&spec.dir, self.streams.len()).expect("load checkpoints for resume");
+                for (s, base) in loaded.into_iter().enumerate() {
+                    for (name, v) in &base.counters {
+                        self.telemetry.counter(name).add(*v);
+                    }
+                    let st = &mut self.streams[s];
+                    st.survivors = base.survivors.clone();
+                    let skip = (base.cursor as usize).min(st.input.traces.len());
+                    st.input.traces.drain(..skip);
+                    st.base = base;
+                }
+            }
+        }
+        let plan = match &self.source_plan {
+            Some(p) => p.clone(),
+            None => return,
+        };
+        let policy = self.cfg.reconnect_policy();
+        let reorder_cap = self.cfg.reorder_buffer;
+        let c_reconnects = self.telemetry.counter("src.reconnects");
+        let c_corrupt = self.telemetry.counter("src.corrupt");
+        let c_evict = self.telemetry.counter("src.reorder_evictions");
+        let c_dup = self.telemetry.counter("src.duplicates");
+        for s in 0..self.streams.len() {
+            let src_tel = StageTelemetry::register(&self.telemetry, &format!("stream{}.src", s));
+            let inj = plan.injector(s);
+            let st = &mut self.streams[s];
+            if st.base.source_lost {
+                // the link was written off in a previous segment; its cursor
+                // already covers everything, so nothing is left to ingest
+                st.input.traces.clear();
+            }
+            if let Some(first) = st.input.traces.first() {
+                // one-shots aimed below the resume point already fired
+                inj.fast_forward(first.seq);
+            }
+            let prep = prep_ingest(&st.input.traces, inj, reorder_cap, policy);
+            src_tel.frames_in.add(prep.frames_in);
+            src_tel.frames_out.add(prep.admit.len() as u64);
+            src_tel
+                .frames_dropped
+                .add(prep.src_dropped + prep.evicted + prep.lost_with_link);
+            src_tel.frames_quarantined.add(prep.corrupt);
+            c_reconnects.add(prep.reconnects);
+            c_corrupt.add(prep.corrupt);
+            c_evict.add(prep.evicted);
+            c_dup.add(prep.duplicates);
+            st.ingest = Some(prep);
         }
     }
 
@@ -402,6 +705,7 @@ impl Engine {
     }
 
     fn run_internal(mut self, keeper: &mut TimelineKeeper) -> SimResult {
+        self.prepare_sources();
         // Pin the big models: a T-YOLO replica per filter GPU, the
         // reference model on every reference GPU.
         for g in self.filter_gpus.iter_mut() {
@@ -414,7 +718,9 @@ impl Engine {
         match self.mode {
             Mode::Online => {
                 for s in 0..self.streams.len() {
-                    self.events.schedule(0.0, Ev::Arrival { stream: s });
+                    // the first frame may already carry reconnect backoff
+                    let delay = self.streams[s].arrival_delay_us(0);
+                    self.events.schedule(delay, Ev::Arrival { stream: s });
                 }
             }
             Mode::Offline => {
@@ -442,8 +748,8 @@ impl Engine {
         match ev {
             Ev::Arrival { stream } => {
                 let st = &mut self.streams[stream];
-                if st.next_idx < st.input.traces.len() {
-                    let idx = st.next_idx;
+                if st.next_idx < st.admit_len() {
+                    let idx = st.admit_idx(st.next_idx);
                     let token = Token {
                         stream,
                         idx,
@@ -456,11 +762,14 @@ impl Engine {
                         st.backlog.push_back(t);
                         st.max_backlog = st.max_backlog.max(st.backlog.len());
                     }
-                    let more = st.next_idx < st.input.traces.len();
+                    let more = st.next_idx < st.admit_len();
+                    // reconnect backoff delays the next admitted frame
+                    let next_delay = st.arrival_delay_us(st.next_idx);
                     self.record(stream, idx, |tl| tl.arrival_us = now);
                     if more {
                         let period = self.frame_period_us();
-                        self.events.schedule_in(period, Ev::Arrival { stream });
+                        self.events
+                            .schedule_in(period + next_delay, Ev::Arrival { stream });
                     }
                 }
             }
@@ -560,6 +869,14 @@ impl Engine {
                 self.ref_latency.record(now - token.arrival_us);
                 self.h_ref.record(now - token.arrival_us);
                 self.per_stream_ref_latency[token.stream].record(now - token.arrival_us);
+                let st = &mut self.streams[token.stream];
+                let tr = &st.input.traces[token.idx];
+                let survivor = SurvivingFrame {
+                    seq: tr.seq,
+                    pts_ms: tr.pts_ms,
+                    reference_count: tr.reference_count as usize,
+                };
+                st.survivors.push(survivor);
                 self.dispose(token, now);
             }
         }
@@ -590,6 +907,95 @@ impl Engine {
         st.disposed += 1;
         st.first_disposed_us = st.first_disposed_us.min(now);
         st.last_disposed_us = st.last_disposed_us.max(now);
+        self.maybe_checkpoint(t.stream, now);
+    }
+
+    /// Periodic checkpointing, taken only at quiescent boundaries: every
+    /// admitted frame is disposed, so the stream's counters are exact and
+    /// the cursor unambiguous. Streams under an active source plan skip the
+    /// periodic writes — their ingest rejections are accounted eagerly at
+    /// run start, so a mid-run counter snapshot would overstate them — and
+    /// rely on the final write in `finish` (kill granularity for faulted
+    /// runs comes from segmenting the input, e.g. the CLI's `--stop-after`).
+    fn maybe_checkpoint(&mut self, s: usize, now: f64) {
+        let Some(spec) = &self.ckpt else { return };
+        let interval = spec.interval_frames;
+        let st = &self.streams[s];
+        if st.ingest.is_some()
+            || st.disposed != st.next_idx as u64
+            || st.disposed < st.last_ckpt_disposed + interval
+        {
+            return;
+        }
+        let spec = spec.clone();
+        self.write_checkpoint(s, &spec, now);
+    }
+
+    /// Names of the ingest globals a stream banks its share of.
+    const SRC_GLOBALS: [&'static str; 4] = [
+        "src.reconnects",
+        "src.corrupt",
+        "src.reorder_evictions",
+        "src.duplicates",
+    ];
+
+    /// Persist one stream's checkpoint: its counter shares (scoped series
+    /// verbatim, globals as this stream's contribution so summing the
+    /// per-stream files reconstructs them), survivors, thresholds, and the
+    /// source cursor.
+    fn write_checkpoint(&mut self, s: usize, spec: &CheckpointSpec, now: f64) {
+        let snap = self.telemetry.snapshot();
+        let st = &self.streams[s];
+        let mut ck = StreamCheckpoint::fresh(s);
+        ck.cursor = st.base.cursor
+            + match &st.ingest {
+                // fully drained: every pulled frame is accounted
+                Some(p) if st.next_idx >= p.admit.len() => p.frames_in,
+                Some(_) if st.next_idx == 0 => 0,
+                Some(p) => p.cursor_after[st.next_idx - 1],
+                None => st.next_idx as u64,
+            };
+        ck.survivors = st.survivors.clone();
+        ck.thresholds = Some(st.input.thresholds);
+        ck.restarts_used = st.base.restarts_used;
+        ck.source_lost = st.source_lost();
+        let scope = format!("stream{}.", s);
+        for (name, v) in &snap.counters {
+            if name.starts_with(&scope) {
+                ck.counters.insert(name.clone(), *v);
+            }
+        }
+        ck.counters.insert(
+            "pipeline.frames_in".to_string(),
+            st.base
+                .counters
+                .get("pipeline.frames_in")
+                .copied()
+                .unwrap_or(0)
+                + st.next_idx as u64,
+        );
+        let live_src = st
+            .ingest
+            .as_ref()
+            .map(|p| [p.reconnects, p.corrupt, p.evicted, p.duplicates]);
+        for (i, name) in Self::SRC_GLOBALS.iter().enumerate() {
+            let base = st.base.counters.get(*name).copied();
+            let live = live_src.map(|v| v[i]);
+            if base.is_some() || live.is_some() {
+                ck.counters
+                    .insert((*name).to_string(), base.unwrap_or(0) + live.unwrap_or(0));
+            }
+        }
+        write_stream_checkpoint(&spec.dir, &ck).expect("write checkpoint");
+        if let Some(c) = &self.c_ckpt_writes {
+            c.inc();
+        }
+        let st = &mut self.streams[s];
+        if let Some(h) = &self.h_ckpt_age {
+            h.record((now - st.last_ckpt_us).max(0.0) / 1e3);
+        }
+        st.last_ckpt_disposed = st.disposed;
+        st.last_ckpt_us = now;
     }
 
     /// Try to make progress everywhere until a fixpoint.
@@ -661,8 +1067,11 @@ impl Engine {
             let mut recorded: Vec<usize> = Vec::new();
             {
                 let st = &mut self.streams[s];
-                while st.next_idx < st.input.traces.len() && !st.sdd_q.is_full() {
-                    let idx = st.next_idx;
+                // offline mode ignores arrival delays: all admitted frames
+                // are on disk already (reconnect backoff shaped what was
+                // admitted, not when an offline job may read it)
+                while st.next_idx < st.admit_len() && !st.sdd_q.is_full() {
+                    let idx = st.admit_idx(st.next_idx);
                     let token = Token {
                         stream: s,
                         idx,
@@ -963,6 +1372,15 @@ impl Engine {
 
     fn finish(mut self) -> SimResult {
         let makespan = self.events.now().max(1.0);
+        // final checkpoints precede the snapshot so `checkpoint.writes`
+        // lands in the reported telemetry; the run is fully drained, so
+        // every stream is quiescent and its cursor covers the whole input
+        if let Some(spec) = self.ckpt.clone() {
+            let now = self.events.now();
+            for s in 0..self.streams.len() {
+                self.write_checkpoint(s, &spec, now);
+            }
+        }
         // engine-private series carry the `des.` prefix and are excluded
         // from DES↔RT name conformance
         self.telemetry
@@ -986,6 +1404,8 @@ impl Engine {
             .collect();
         let per_stream_max_backlog = self.streams.iter().map(|s| s.max_backlog).collect();
         let per_stream_quarantined = self.streams.iter().map(|s| s.quarantined_frames).collect();
+        let per_stream_survivors = self.streams.iter().map(|s| s.survivors.clone()).collect();
+        let per_stream_source_lost = self.streams.iter().map(|s| s.source_lost()).collect();
         let cpu_busy: f64 = self.cpu.iter().map(|d| d.busy_time_us()).sum();
         // The filter GPUs host both the SNMs and T-YOLO; their switch count
         // is exactly the model-(re)loading batching amortizes (§4.3.2).
@@ -1031,6 +1451,8 @@ impl Engine {
                 self.snm_batched_frames as f64 / self.snm_batches as f64
             },
             per_stream_quarantined,
+            per_stream_survivors,
+            per_stream_source_lost,
             telemetry,
         }
     }
@@ -1408,5 +1830,194 @@ mod tests {
             .run();
         assert_eq!(a.telemetry.frames_counters(), b.telemetry.frames_counters());
         assert_eq!(a.per_stream_quarantined, b.per_stream_quarantined);
+    }
+
+    #[test]
+    fn source_plan_accounts_every_fault_kind() {
+        use ffsva_video::{SourceFault, SourceFaultPlan};
+        let plan = SourceFaultPlan::new()
+            .with(0, SourceFault::DropRange { from: 10, to: 13 })
+            .with(0, SourceFault::CorruptAt { at_frame: 20 })
+            .with(0, SourceFault::DuplicateAt { at_frame: 30 })
+            .with(
+                0,
+                SourceFault::ReorderAt {
+                    at_frame: 40,
+                    by: 2,
+                },
+            );
+        let r = Engine::new(base_cfg(), Mode::Offline, vec![synthetic_input(100, 5)])
+            .with_source_plan(&plan)
+            .run();
+        let snap = &r.telemetry;
+        assert_eq!(snap.counter("stream0.src.frames_in"), 100);
+        // 3 frames dropped at the source, 1 corrupt-quarantined; the small
+        // reorder is smoothed by the default 8-deep buffer (no eviction)
+        // and the duplicate copy is discarded
+        assert_eq!(snap.counter("stream0.src.frames_out"), 96);
+        assert_eq!(snap.counter("stream0.src.frames_dropped"), 3);
+        assert_eq!(snap.counter("stream0.src.frames_quarantined"), 1);
+        assert_eq!(snap.counter("src.corrupt"), 1);
+        assert_eq!(snap.counter("src.duplicates"), 1);
+        assert_eq!(snap.counter("src.reorder_evictions"), 0);
+        assert_eq!(snap.counter("src.reconnects"), 0);
+        // only delivered frames ever enter the cascade
+        assert_eq!(snap.counter("pipeline.frames_in"), 96);
+        assert_eq!(r.total_frames, 96);
+        assert!(!r.per_stream_source_lost[0]);
+        // source-level conservation: in = out + dropped + quarantined
+        assert_eq!(
+            snap.counter("stream0.src.frames_in"),
+            snap.counter("stream0.src.frames_out")
+                + snap.counter("stream0.src.frames_dropped")
+                + snap.counter("stream0.src.frames_quarantined")
+        );
+    }
+
+    #[test]
+    fn disconnect_reconnects_and_isolates_siblings() {
+        use ffsva_video::SourceFaultPlan;
+        let plan = SourceFaultPlan::parse("stream1.src:disconnect@50+500ms").unwrap();
+        let mk = || (0..2).map(|_| synthetic_input(200, 10)).collect::<Vec<_>>();
+        let r = Engine::new(base_cfg(), Mode::Online, mk())
+            .with_source_plan(&plan)
+            .run();
+        let snap = &r.telemetry;
+        // the outage is survived: the stream reconnects and loses nothing
+        assert!(snap.counter("src.reconnects") >= 1);
+        assert!(!r.per_stream_source_lost[1]);
+        assert_eq!(snap.counter("stream1.src.frames_in"), 200);
+        assert_eq!(snap.counter("stream1.src.frames_out"), 200);
+        assert_eq!(snap.counter("stream1.src.frames_dropped"), 0);
+        // the sibling stream is fully isolated from the outage
+        assert_eq!(snap.counter("stream0.src.frames_out"), 200);
+        assert_eq!(snap.counter("stream0.reference.frames_in"), 20);
+        assert_eq!(snap.counter("stream1.reference.frames_in"), 20);
+    }
+
+    #[test]
+    fn reconnect_budget_exhaustion_degrades_to_source_lost() {
+        use ffsva_video::SourceFaultPlan;
+        // the default policy covers at most 2550 ms of outage; a 60 s one
+        // exhausts the retry budget and writes the link off
+        let plan = SourceFaultPlan::parse("stream0.src:disconnect@100+60000ms").unwrap();
+        let mk = || (0..2).map(|_| synthetic_input(300, 10)).collect::<Vec<_>>();
+        let r = Engine::new(base_cfg(), Mode::Offline, mk())
+            .with_source_plan(&plan)
+            .run();
+        let snap = &r.telemetry;
+        assert!(r.per_stream_source_lost[0]);
+        assert_eq!(snap.counter("src.reconnects"), 0);
+        // frames 0..100 were delivered before the outage; the rest are
+        // lost with the link, every one of them accounted as dropped
+        assert_eq!(snap.counter("stream0.src.frames_in"), 300);
+        assert_eq!(snap.counter("stream0.src.frames_out"), 100);
+        assert_eq!(snap.counter("stream0.src.frames_dropped"), 200);
+        // the delivered prefix still flows the cascade to completion
+        assert_eq!(snap.counter("stream0.reference.frames_in"), 10);
+        assert_eq!(r.per_stream_survivors[0].len(), 10);
+        // the sibling is untouched and fully analyzed
+        assert!(!r.per_stream_source_lost[1]);
+        assert_eq!(snap.counter("stream1.src.frames_out"), 300);
+        assert_eq!(snap.counter("stream1.reference.frames_in"), 30);
+    }
+
+    #[test]
+    fn same_source_plan_is_deterministic() {
+        use ffsva_video::SourceFaultPlan;
+        let plan = SourceFaultPlan::parse(
+            "stream0.src:drop@5..9,stream1.src:reorder@20+3,stream1.src:dup@33",
+        )
+        .unwrap();
+        let mk = || (0..2).map(|_| synthetic_input(250, 7)).collect::<Vec<_>>();
+        let a = Engine::new(base_cfg(), Mode::Offline, mk())
+            .with_source_plan(&plan)
+            .run();
+        let b = Engine::new(base_cfg(), Mode::Offline, mk())
+            .with_source_plan(&plan)
+            .run();
+        assert_eq!(a.telemetry.frames_counters(), b.telemetry.frames_counters());
+        assert_eq!(a.per_stream_survivors, b.per_stream_survivors);
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted_run() {
+        use crate::checkpoint::CheckpointSpec;
+        let dir = std::env::temp_dir().join(format!("ffsva_sim_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let full = || synthetic_input(600, 5);
+        let uninterrupted = Engine::new(base_cfg(), Mode::Offline, vec![full()]).run();
+
+        // segment 1: the run "dies" after 250 frames (truncated input),
+        // having checkpointed along the way and at its end
+        let mut head = full();
+        head.traces.truncate(250);
+        let first = Engine::new(base_cfg(), Mode::Offline, vec![head])
+            .with_checkpoint(CheckpointSpec::new(&dir, 64, false))
+            .run();
+        assert!(first.telemetry.counter("checkpoint.writes") >= 1);
+
+        // segment 2: resume over the full input picks up at frame 250
+        let resumed = Engine::new(base_cfg(), Mode::Offline, vec![full()])
+            .with_checkpoint(CheckpointSpec::new(&dir, 64, true))
+            .run();
+
+        // bit-identical survivor sets and frame counters
+        assert_eq!(
+            resumed.per_stream_survivors,
+            uninterrupted.per_stream_survivors
+        );
+        assert_eq!(
+            resumed.telemetry.frames_counters(),
+            uninterrupted.telemetry.frames_counters()
+        );
+        assert_eq!(
+            resumed.telemetry.counter("pipeline.frames_in"),
+            uninterrupted.telemetry.counter("pipeline.frames_in")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_under_source_faults_matches_uninterrupted() {
+        use crate::checkpoint::CheckpointSpec;
+        use ffsva_video::SourceFaultPlan;
+        let plan =
+            SourceFaultPlan::parse("stream0.src:drop@40..44,stream0.src:corrupt@120").unwrap();
+        let dir = std::env::temp_dir().join(format!("ffsva_sim_srcckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let full = || synthetic_input(400, 5);
+        let uninterrupted = Engine::new(base_cfg(), Mode::Offline, vec![full()])
+            .with_source_plan(&plan)
+            .run();
+
+        let mut head = full();
+        head.traces.truncate(200);
+        Engine::new(base_cfg(), Mode::Offline, vec![head])
+            .with_source_plan(&plan)
+            .with_checkpoint(CheckpointSpec::new(&dir, 64, false))
+            .run();
+        let resumed = Engine::new(base_cfg(), Mode::Offline, vec![full()])
+            .with_source_plan(&plan)
+            .with_checkpoint(CheckpointSpec::new(&dir, 64, true))
+            .run();
+
+        // faults behind the resume point fired in segment 1 and are not
+        // re-applied; counters and survivors add up exactly
+        assert_eq!(
+            resumed.per_stream_survivors,
+            uninterrupted.per_stream_survivors
+        );
+        assert_eq!(
+            resumed.telemetry.frames_counters(),
+            uninterrupted.telemetry.frames_counters()
+        );
+        assert_eq!(
+            resumed.telemetry.counter("src.corrupt"),
+            uninterrupted.telemetry.counter("src.corrupt")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -26,7 +26,7 @@ pub enum DistanceMetric {
 }
 
 /// Stream-specialized difference detector.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SddFilter {
     /// Averaged background, `SDD_SIZE`², values in `[0, 1]`.
     reference: Vec<f32>,

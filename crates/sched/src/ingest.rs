@@ -1,0 +1,418 @@
+//! Ingest validation core: reorder gating, duplicate suppression, and
+//! corrupt-frame quarantine with exactly-once accounting.
+//!
+//! The unreliable-source layer (`ffsva_video::source`) delivers frames
+//! possibly out of order, duplicated, corrupted, or not at all. Before a
+//! frame may enter the cascade the ingest worker must restore order within
+//! a bounded window and classify every arrival exactly once. That logic is
+//! pure and engine-agnostic, so it lives here — both the DES and the
+//! threaded engine drive the same [`IngestCore`], which is what makes their
+//! per-stream drop/quarantine counters bit-identical under any source plan.
+//!
+//! Accounting contract (the frame-conservation identity the proptests pin
+//! down): every *unique* frame pulled from the source ends up in exactly one
+//! of delivered / source-dropped / corrupt-quarantined / reorder-evicted.
+//! Duplicate copies are counted separately and are excluded from the
+//! identity — they are extra arrivals beyond what the source generated.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// What the reorder gate decided about one offered arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateEvent<T> {
+    /// In-order (possibly after buffering): hand the frame to the pipeline.
+    Deliver(u64, T),
+    /// Arrived later than the reorder window tolerates: discard, count as
+    /// a reorder eviction.
+    Evict(u64, T),
+    /// A sequence number seen before: discard, count as a duplicate.
+    Duplicate(u64, T),
+}
+
+/// Bounded per-stream reorder buffer with late-frame eviction.
+///
+/// Frames arriving ahead of the expected sequence are held (up to `cap`);
+/// when the buffer would overflow, the gate gives up on the gap and
+/// force-advances to the earliest held frame. A frame arriving *behind* the
+/// released front is late: it is evicted, never delivered. Sequence numbers
+/// already released or held are duplicates.
+#[derive(Debug, Clone)]
+pub struct IngestGate<T> {
+    cap: usize,
+    /// Next sequence number the pipeline is owed.
+    expected: u64,
+    /// Out-of-order arrivals waiting for the gap to fill.
+    held: BTreeMap<u64, T>,
+    /// Recently released sequence numbers, for duplicate detection.
+    recent: VecDeque<u64>,
+}
+
+impl<T> IngestGate<T> {
+    /// A gate holding at most `cap` out-of-order frames (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        IngestGate {
+            cap: cap.max(1),
+            expected: 0,
+            held: BTreeMap::new(),
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// Resume support: the pipeline has already been fed everything below
+    /// `seq`, so the gate starts owed `seq`.
+    pub fn resume_at(mut self, seq: u64) -> Self {
+        self.expected = seq;
+        self
+    }
+
+    /// The next sequence number the pipeline is owed.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    fn mark_released(&mut self, seq: u64) {
+        self.recent.push_back(seq);
+        let keep = self.cap * 2 + 16;
+        while self.recent.len() > keep {
+            self.recent.pop_front();
+        }
+    }
+
+    /// Offer one arrival; returns the gate's decisions in order (an
+    /// in-order arrival can release a run of held successors).
+    pub fn offer(&mut self, seq: u64, item: T) -> Vec<GateEvent<T>> {
+        let mut out = Vec::new();
+        if self.recent.contains(&seq) || self.held.contains_key(&seq) {
+            out.push(GateEvent::Duplicate(seq, item));
+            return out;
+        }
+        if seq < self.expected {
+            out.push(GateEvent::Evict(seq, item));
+            return out;
+        }
+        if seq == self.expected {
+            self.expected = seq + 1;
+            self.mark_released(seq);
+            out.push(GateEvent::Deliver(seq, item));
+        } else {
+            self.held.insert(seq, item);
+            // overflow: give up on the gap, jump to the earliest held frame
+            while self.held.len() > self.cap {
+                let (&front, _) = self.held.iter().next().expect("non-empty");
+                let item = self.held.remove(&front).expect("present");
+                self.expected = front + 1;
+                self.mark_released(front);
+                out.push(GateEvent::Deliver(front, item));
+            }
+        }
+        // drain the run of now-consecutive held frames
+        while let Some(item) = self.held.remove(&self.expected) {
+            let seq = self.expected;
+            self.expected = seq + 1;
+            self.mark_released(seq);
+            out.push(GateEvent::Deliver(seq, item));
+        }
+        out
+    }
+
+    /// End of stream: whatever is still held is delivered in order (the
+    /// gaps below it are known lost — nothing else is coming).
+    pub fn finish(&mut self) -> Vec<GateEvent<T>> {
+        let held = std::mem::take(&mut self.held);
+        let mut out = Vec::new();
+        for (seq, item) in held {
+            self.expected = seq + 1;
+            self.mark_released(seq);
+            out.push(GateEvent::Deliver(seq, item));
+        }
+        out
+    }
+}
+
+/// Per-stream ingest counters (the exactly-once classification).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Unique frames handed to the pipeline.
+    pub delivered: u64,
+    /// Frames that arrived too late for the reorder window.
+    pub evicted: u64,
+    /// Frames whose payload failed checksum validation.
+    pub corrupt: u64,
+    /// Extra copies of frames already seen (not part of conservation).
+    pub duplicates: u64,
+}
+
+/// The ingest worker's verdict on one arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestOutput<T> {
+    /// Validated and in order: feed the cascade.
+    Deliver(u64, T),
+    /// Checksum violation: quarantine the frame, never the stream.
+    Corrupt(u64, T),
+    /// Too late for the reorder window: account as dropped at ingest.
+    Evict(u64, T),
+    /// Duplicate copy: discard silently (counted, not conserved).
+    Duplicate(u64, T),
+}
+
+/// Reorder gate + corruption classification + counters: the complete ingest
+/// decision procedure both engines share.
+///
+/// Corrupt frames still flow *through* the gate so their sequence numbers
+/// advance the window (otherwise one corrupt frame would hold the gap open
+/// until overflow); the core then reinterprets their `Deliver`/`Evict` as
+/// `Corrupt` — corruption wins over lateness, and each unique frame is
+/// classified exactly once.
+#[derive(Debug, Clone)]
+pub struct IngestCore<T> {
+    gate: IngestGate<T>,
+    /// Sequence numbers whose payload failed validation, pending release.
+    corrupt: BTreeSet<u64>,
+    stats: IngestStats,
+}
+
+impl<T> IngestCore<T> {
+    pub fn new(reorder_cap: usize) -> Self {
+        IngestCore {
+            gate: IngestGate::new(reorder_cap),
+            corrupt: BTreeSet::new(),
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Resume support: see [`IngestGate::resume_at`].
+    pub fn resume_at(mut self, seq: u64) -> Self {
+        self.gate = self.gate.resume_at(seq);
+        self
+    }
+
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    fn classify(&mut self, ev: GateEvent<T>) -> IngestOutput<T> {
+        match ev {
+            GateEvent::Deliver(seq, item) | GateEvent::Evict(seq, item)
+                if self.corrupt.remove(&seq) =>
+            {
+                self.stats.corrupt += 1;
+                IngestOutput::Corrupt(seq, item)
+            }
+            GateEvent::Deliver(seq, item) => {
+                self.stats.delivered += 1;
+                IngestOutput::Deliver(seq, item)
+            }
+            GateEvent::Evict(seq, item) => {
+                self.stats.evicted += 1;
+                IngestOutput::Evict(seq, item)
+            }
+            GateEvent::Duplicate(seq, item) => {
+                self.stats.duplicates += 1;
+                IngestOutput::Duplicate(seq, item)
+            }
+        }
+    }
+
+    /// Offer one arrival with its validation verdict; returns the worker's
+    /// decisions in order.
+    pub fn accept(&mut self, seq: u64, item: T, corrupt: bool) -> Vec<IngestOutput<T>> {
+        if corrupt {
+            self.corrupt.insert(seq);
+        }
+        let events = self.gate.offer(seq, item);
+        events.into_iter().map(|ev| self.classify(ev)).collect()
+    }
+
+    /// End of stream: release held frames, then drop stale corrupt marks.
+    pub fn finish(&mut self) -> Vec<IngestOutput<T>> {
+        let events = self.gate.finish();
+        let out: Vec<_> = events.into_iter().map(|ev| self.classify(ev)).collect();
+        self.corrupt.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs<T>(evs: &[IngestOutput<T>]) -> Vec<(u64, char)> {
+        evs.iter()
+            .map(|e| match e {
+                IngestOutput::Deliver(s, _) => (*s, 'd'),
+                IngestOutput::Corrupt(s, _) => (*s, 'c'),
+                IngestOutput::Evict(s, _) => (*s, 'e'),
+                IngestOutput::Duplicate(s, _) => (*s, '2'),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_order_stream_passes_straight_through() {
+        let mut core = IngestCore::new(4);
+        let mut all = Vec::new();
+        for s in 0..5u64 {
+            all.extend(core.accept(s, s, false));
+        }
+        all.extend(core.finish());
+        assert_eq!(
+            seqs(&all),
+            vec![(0, 'd'), (1, 'd'), (2, 'd'), (3, 'd'), (4, 'd')]
+        );
+        assert_eq!(core.stats().delivered, 5);
+    }
+
+    #[test]
+    fn small_reorder_is_smoothed_in_order() {
+        let mut core = IngestCore::new(4);
+        let mut all = Vec::new();
+        for s in [0u64, 2, 1, 3] {
+            all.extend(core.accept(s, s, false));
+        }
+        all.extend(core.finish());
+        // 2 is held until 1 arrives, then both release in order
+        assert_eq!(seqs(&all), vec![(0, 'd'), (1, 'd'), (2, 'd'), (3, 'd')]);
+        assert_eq!(core.stats().evicted, 0);
+    }
+
+    #[test]
+    fn gate_overflow_force_advances_and_late_frame_is_evicted() {
+        let mut core = IngestCore::new(2);
+        let mut all = Vec::new();
+        // 0 delivers; 2,3,4 overflow a cap-2 buffer → force-advance past 1
+        for s in [0u64, 2, 3, 4] {
+            all.extend(core.accept(s, s, false));
+        }
+        // frame 1 finally shows up: too late, evicted
+        all.extend(core.accept(1, 1, false));
+        all.extend(core.finish());
+        assert_eq!(
+            seqs(&all),
+            vec![(0, 'd'), (2, 'd'), (3, 'd'), (4, 'd'), (1, 'e')]
+        );
+        assert_eq!(core.stats().delivered, 4);
+        assert_eq!(core.stats().evicted, 1);
+    }
+
+    #[test]
+    fn gap_never_filled_counts_nothing_at_the_gate() {
+        // a source-dropped frame's gap is the *source's* drop to account —
+        // the gate force-advances without charging anyone
+        let mut core = IngestCore::new(1);
+        let mut all = Vec::new();
+        for s in [0u64, 2, 3] {
+            all.extend(core.accept(s, s, false));
+        }
+        all.extend(core.finish());
+        assert_eq!(seqs(&all), vec![(0, 'd'), (2, 'd'), (3, 'd')]);
+        let st = core.stats();
+        assert_eq!(
+            (st.delivered, st.evicted, st.corrupt, st.duplicates),
+            (3, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn duplicates_are_counted_not_delivered() {
+        let mut core = IngestCore::new(4);
+        let mut all = Vec::new();
+        for s in [0u64, 1, 1, 0, 3, 3] {
+            all.extend(core.accept(s, s, false));
+        }
+        all.extend(core.finish());
+        assert_eq!(
+            seqs(&all),
+            vec![(0, 'd'), (1, 'd'), (1, '2'), (0, '2'), (3, '2'), (3, 'd')]
+        );
+        let st = core.stats();
+        assert_eq!(st.delivered, 3);
+        assert_eq!(st.duplicates, 3);
+    }
+
+    #[test]
+    fn corrupt_frames_advance_the_window_but_are_quarantined() {
+        let mut core = IngestCore::new(4);
+        let mut all = Vec::new();
+        all.extend(core.accept(0, 0, false));
+        all.extend(core.accept(1, 1, true)); // corrupt, in order
+        all.extend(core.accept(2, 2, false));
+        all.extend(core.finish());
+        assert_eq!(seqs(&all), vec![(0, 'd'), (1, 'c'), (2, 'd')]);
+        let st = core.stats();
+        assert_eq!((st.delivered, st.corrupt), (2, 1));
+    }
+
+    #[test]
+    fn corruption_wins_over_lateness() {
+        let mut core = IngestCore::new(1);
+        let mut all = Vec::new();
+        // overflow past the gap at 1, then 1 arrives late AND corrupt
+        for s in [0u64, 2, 3] {
+            all.extend(core.accept(s, s, false));
+        }
+        all.extend(core.accept(1, 1, true));
+        all.extend(core.finish());
+        assert_eq!(seqs(&all), vec![(0, 'd'), (2, 'd'), (3, 'd'), (1, 'c')]);
+        let st = core.stats();
+        assert_eq!((st.corrupt, st.evicted), (1, 0));
+    }
+
+    #[test]
+    fn finish_releases_held_frames_in_order() {
+        let mut core = IngestCore::new(8);
+        let mut all = Vec::new();
+        for s in [0u64, 5, 3] {
+            all.extend(core.accept(s, s, false));
+        }
+        all.extend(core.finish());
+        assert_eq!(seqs(&all), vec![(0, 'd'), (3, 'd'), (5, 'd')]);
+        assert_eq!(core.stats().delivered, 3);
+    }
+
+    #[test]
+    fn resume_starts_the_window_past_the_checkpoint() {
+        let mut core = IngestCore::<u64>::new(4).resume_at(100);
+        let mut all = Vec::new();
+        all.extend(core.accept(99, 99, false)); // pre-checkpoint straggler
+        all.extend(core.accept(100, 100, false));
+        all.extend(core.finish());
+        assert_eq!(seqs(&all), vec![(99, 'e'), (100, 'd')]);
+    }
+
+    #[test]
+    fn conservation_holds_across_a_messy_run() {
+        let mut core = IngestCore::new(2);
+        let mut all = Vec::new();
+        let arrivals: &[(u64, bool)] = &[
+            (0, false),
+            (2, true), // corrupt, out of order
+            (4, false),
+            (5, false), // overflow: force-advance releases 2 (as corrupt)
+            (1, false), // late → evicted
+            (3, false), // on time after the jump; back-fills 4 and 5
+            (6, true),  // corrupt in order
+            (6, false), // duplicate
+            (7, false),
+        ];
+        for &(s, c) in arrivals {
+            all.extend(core.accept(s, s, c));
+        }
+        all.extend(core.finish());
+        let st = core.stats();
+        // every unique seq 0..=7 classified exactly once
+        assert_eq!(st.delivered + st.evicted + st.corrupt, 8);
+        assert_eq!(st.duplicates, 1);
+        let mut seen: Vec<u64> = all
+            .iter()
+            .filter(|e| !matches!(e, IngestOutput::Duplicate(..)))
+            .map(|e| match e {
+                IngestOutput::Deliver(s, _)
+                | IngestOutput::Corrupt(s, _)
+                | IngestOutput::Evict(s, _)
+                | IngestOutput::Duplicate(s, _) => *s,
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..=7).collect::<Vec<_>>());
+    }
+}

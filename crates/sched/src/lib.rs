@@ -12,6 +12,8 @@
 //! * [`rt`] — real threaded pipeline stages over blocking feedback queues,
 //!   panic-isolated via `catch_unwind`.
 //! * [`fault`] — deterministic seq-keyed fault plans both engines honour.
+//! * [`ingest`] — reorder gating, duplicate suppression, and corrupt-frame
+//!   quarantine for frames arriving from unreliable sources.
 //! * [`supervisor`] — stage restart with backoff, watchdog stall detection,
 //!   degradation policies.
 //! * [`stats`] — latency/throughput accounting.
@@ -40,6 +42,7 @@ pub mod batch;
 pub mod des;
 pub mod device;
 pub mod fault;
+pub mod ingest;
 pub mod queue;
 pub mod rt;
 pub mod stats;
@@ -52,6 +55,7 @@ pub use fault::{FaultAction, FaultEntry, FaultInjector, FaultPlan, FaultStage, S
 pub use ffsva_telemetry::{
     QueueTelemetry, StageTelemetry, SupervisorTelemetry, Telemetry, TelemetrySnapshot,
 };
+pub use ingest::{GateEvent, IngestCore, IngestGate, IngestOutput, IngestStats};
 pub use queue::{FeedbackQueue, QueueStats, SimQueue};
 pub use rt::{
     spawn_batch_stage, spawn_batch_stage_faulted, spawn_batch_stage_instrumented,

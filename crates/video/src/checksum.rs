@@ -1,0 +1,70 @@
+//! FNV-1a 64-bit checksums over frame payloads and clip records.
+//!
+//! One tiny dependency-free hash shared by the ingest layer (payload
+//! validation of frames arriving from an unreliable source, [`crate::source`])
+//! and the clip container ([`crate::storage`], per-record integrity in the
+//! FFSV2 format). FNV-1a is not cryptographic — the threat model is torn
+//! writes and bit rot, not adversaries.
+
+use crate::frame::Frame;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash `bytes` from the standard offset basis.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_continue(FNV_OFFSET, bytes)
+}
+
+/// Continue an FNV-1a hash from a prior state (for multi-field records).
+pub fn fnv1a_continue(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Checksum of a frame's pixel payload, bound to its geometry and format so
+/// a payload of the right length but the wrong shape still mismatches.
+pub fn frame_checksum(f: &Frame) -> u64 {
+    let mut h = fnv1a_continue(FNV_OFFSET, &[f.format.bytes_per_pixel() as u8]);
+    h = fnv1a_continue(h, &(f.width as u64).to_le_bytes());
+    h = fnv1a_continue(h, &(f.height as u64).to_le_bytes());
+    fnv1a_continue(h, &f.data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // published FNV-1a 64 test vectors
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn continuation_equals_one_shot() {
+        let whole = fnv1a(b"hello world");
+        let split = fnv1a_continue(fnv1a(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn frame_checksum_sees_payload_and_geometry() {
+        let a = Frame::gray8(0, 0, 0, 4, 2, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = Frame::gray8(0, 0, 0, 4, 2, vec![1, 2, 3, 4, 5, 6, 7, 9]);
+        let c = Frame::gray8(0, 0, 0, 2, 4, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_ne!(frame_checksum(&a), frame_checksum(&b));
+        assert_ne!(frame_checksum(&a), frame_checksum(&c));
+        // metadata that is not part of the payload does not affect the sum
+        let d = Frame::gray8(9, 77, 1234, 4, 2, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(frame_checksum(&a), frame_checksum(&d));
+    }
+}

@@ -24,26 +24,40 @@
 //! ```
 
 pub mod arrival;
+pub mod checksum;
 pub mod frame;
 pub mod generator;
 pub mod objects;
 pub mod resize;
 pub mod scene;
+pub mod source;
 pub mod storage;
 pub mod truth;
 pub mod workloads;
 
 pub use arrival::{ScenePhase, SceneProcess};
+pub use checksum::{fnv1a, fnv1a_continue, frame_checksum};
 pub use frame::{write_pgm, Frame, PixelFormat, StreamId};
 pub use generator::{measured_tor, LabeledFrame, StreamConfig, VideoStream};
 pub use scene::{Background, BackgroundKind};
-pub use storage::{read_clip, write_clip, ClipHeader, ClipReader, ClipWriter};
+pub use source::{
+    plan_reconnect, ClipSource, FrameSource, GeneratorSource, ReconnectOutcome, ReconnectPolicy,
+    SourceAction, SourceEvent, SourceFault, SourceFaultEntry, SourceFaultPlan, SourceInjector,
+    SourceItem, Turbulence, UnreliableSource,
+};
+pub use storage::{
+    read_clip, write_clip, ClipHeader, ClipIntegrityError, ClipReader, ClipWriter, CLIP_VERSION,
+};
 pub use truth::{GroundTruth, GtObject, ObjectClass};
 
 /// Common imports for generating workloads.
 pub mod prelude {
+    pub use crate::checksum::frame_checksum;
     pub use crate::frame::{Frame, StreamId};
     pub use crate::generator::{measured_tor, LabeledFrame, StreamConfig, VideoStream};
+    pub use crate::source::{
+        ClipSource, FrameSource, GeneratorSource, SourceFault, SourceFaultPlan, UnreliableSource,
+    };
     pub use crate::truth::{GroundTruth, GtObject, ObjectClass};
     pub use crate::workloads;
 }

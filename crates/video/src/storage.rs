@@ -9,16 +9,30 @@
 //! record per frame — sequence number, timestamp, ground-truth JSON, and
 //! RLE-compressed Gray8 pixels (how well RLE does depends on sensor noise;
 //! the reader never needs more than one frame in memory either way).
+//! Container version 2 (header field `version`, same magic) appends a
+//! 64-bit FNV-1a checksum to every record so torn writes and bit rot are
+//! detected instead of decoded into garbage; v1 files remain readable.
 
+use crate::checksum::{fnv1a_continue, FNV_OFFSET};
 use crate::frame::{Frame, PixelFormat};
 use crate::generator::LabeledFrame;
 use crate::truth::GroundTruth;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 6] = b"FFSV1\n";
+
+/// Container version stamped by [`ClipWriter`]. Version 2 adds a per-record
+/// FNV-1a checksum; version 1 files (written before the field existed) have
+/// none and remain readable.
+pub const CLIP_VERSION: u32 = 2;
+
+fn clip_version_v1() -> u32 {
+    1
+}
 
 /// Clip-level metadata stored in the header.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -31,10 +45,52 @@ pub struct ClipHeader {
     /// written by earlier versions).
     #[serde(default)]
     pub format: PixelFormat,
+    /// Container version. Headers written before the field existed
+    /// deserialize as 1 (no record checksums); the writer always stamps
+    /// [`CLIP_VERSION`].
+    #[serde(default = "clip_version_v1")]
+    pub version: u32,
+}
+
+/// A record failed integrity checks: truncated mid-frame, undecodable, or
+/// checksum mismatch. Carried inside an [`io::Error`] of kind
+/// [`io::ErrorKind::InvalidData`]; downcast to recover the failing index:
+///
+/// ```ignore
+/// err.get_ref().and_then(|e| e.downcast_ref::<ClipIntegrityError>())
+/// ```
+#[derive(Debug)]
+pub struct ClipIntegrityError {
+    /// Zero-based index of the record that failed (frames successfully read
+    /// before the damage).
+    pub frame_index: u64,
+    /// Human-readable description of the damage.
+    pub detail: String,
+}
+
+impl fmt::Display for ClipIntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clip record {} corrupt: {}",
+            self.frame_index, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ClipIntegrityError {}
+
+/// FNV-1a over the serialized record fields (exactly the bytes on disk
+/// between the seq field and the checksum itself).
+fn record_checksum(seq: u64, pts_ms: u64, truth: &[u8], rle: &[u8]) -> u64 {
+    let mut h = fnv1a_continue(FNV_OFFSET, &seq.to_le_bytes());
+    h = fnv1a_continue(h, &pts_ms.to_le_bytes());
+    h = fnv1a_continue(h, truth);
+    fnv1a_continue(h, rle)
 }
 
 /// Run-length encode a Gray8 buffer as (count, value) pairs.
-fn rle_encode(data: &[u8]) -> Vec<u8> {
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2);
     let mut i = 0;
     while i < data.len() {
@@ -50,8 +106,10 @@ fn rle_encode(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decode RLE back into a buffer of `expect` bytes.
-fn rle_decode(encoded: &[u8], expect: usize) -> io::Result<Vec<u8>> {
+/// Decode RLE back into a buffer of exactly `expect` bytes. Total work and
+/// allocation are bounded by `expect` no matter what `encoded` contains:
+/// malformed input returns `Err`, never a panic or an oversized buffer.
+pub fn rle_decode(encoded: &[u8], expect: usize) -> io::Result<Vec<u8>> {
     if !encoded.len().is_multiple_of(2) {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "odd RLE length"));
     }
@@ -62,6 +120,14 @@ fn rle_decode(encoded: &[u8], expect: usize) -> io::Result<Vec<u8>> {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "zero-length run",
+            ));
+        }
+        // Bail before growing past the declared length: adversarial input
+        // must not be able to allocate more than `expect` bytes.
+        if out.len() + run > expect {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("RLE overruns declared length {expect}"),
             ));
         }
         out.resize(out.len() + run, v);
@@ -103,8 +169,11 @@ pub struct ClipWriter {
 }
 
 impl ClipWriter {
-    /// Create a clip file and write its header.
-    pub fn create(path: &Path, header: ClipHeader) -> io::Result<Self> {
+    /// Create a clip file and write its header. The header is always
+    /// stamped with the current [`CLIP_VERSION`] regardless of what the
+    /// caller passed — only the reader honours older versions.
+    pub fn create(path: &Path, mut header: ClipHeader) -> io::Result<Self> {
+        header.version = CLIP_VERSION;
         let mut out = BufWriter::new(File::create(path)?);
         out.write_all(MAGIC)?;
         let hjson = serde_json::to_string(&header).expect("serializable header");
@@ -133,6 +202,10 @@ impl ClipWriter {
         let rle = rle_encode(lf.frame.pixels());
         write_u32(&mut self.out, rle.len() as u32)?;
         self.out.write_all(&rle)?;
+        if self.header.version >= 2 {
+            let sum = record_checksum(lf.frame.seq, lf.frame.pts_ms, &truth, &rle);
+            write_u64(&mut self.out, sum)?;
+        }
         self.frames += 1;
         Ok(())
     }
@@ -148,6 +221,8 @@ impl ClipWriter {
 pub struct ClipReader {
     input: BufReader<File>,
     pub header: ClipHeader,
+    /// Records successfully read so far (the index reported on damage).
+    index: u64,
 }
 
 impl ClipReader {
@@ -172,7 +247,31 @@ impl ClipReader {
         input.read_exact(&mut hjson)?;
         let header: ClipHeader = serde_json::from_slice(&hjson)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        Ok(ClipReader { input, header })
+        Ok(ClipReader {
+            input,
+            header,
+            index: 0,
+        })
+    }
+
+    /// Wrap damage at the current record into a typed, downcastable error.
+    fn integrity(&self, detail: impl Into<String>) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            ClipIntegrityError {
+                frame_index: self.index,
+                detail: detail.into(),
+            },
+        )
+    }
+
+    /// Mid-record EOF means a torn tail, not a clean end of stream.
+    fn torn(&self, e: io::Error) -> io::Error {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            self.integrity("record truncated mid-frame")
+        } else {
+            e
+        }
     }
 
     fn read_frame(&mut self) -> io::Result<Option<LabeledFrame>> {
@@ -181,17 +280,28 @@ impl ClipReader {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
             Err(e) => return Err(e),
         };
-        let pts_ms = read_u64(&mut self.input)?;
-        let tlen = read_u32(&mut self.input)? as usize;
+        let pts_ms = read_u64(&mut self.input).map_err(|e| self.torn(e))?;
+        let tlen = read_u32(&mut self.input).map_err(|e| self.torn(e))? as usize;
         let mut tjson = vec![0u8; tlen];
-        self.input.read_exact(&mut tjson)?;
-        let truth: GroundTruth = serde_json::from_slice(&tjson)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let rlen = read_u32(&mut self.input)? as usize;
+        self.input
+            .read_exact(&mut tjson)
+            .map_err(|e| self.torn(e))?;
+        let truth: GroundTruth =
+            serde_json::from_slice(&tjson).map_err(|e| self.integrity(e.to_string()))?;
+        let rlen = read_u32(&mut self.input).map_err(|e| self.torn(e))? as usize;
         let mut rle = vec![0u8; rlen];
-        self.input.read_exact(&mut rle)?;
+        self.input.read_exact(&mut rle).map_err(|e| self.torn(e))?;
+        if self.header.version >= 2 {
+            let stored = read_u64(&mut self.input).map_err(|e| self.torn(e))?;
+            let computed = record_checksum(seq, pts_ms, &tjson, &rle);
+            if stored != computed {
+                return Err(self.integrity(format!(
+                    "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )));
+            }
+        }
         let expect = self.header.width * self.header.height * self.header.format.bytes_per_pixel();
-        let pixels = rle_decode(&rle, expect)?;
+        let pixels = rle_decode(&rle, expect).map_err(|e| self.integrity(e.to_string()))?;
         let frame = match self.header.format {
             PixelFormat::Gray8 => Frame::gray8(
                 self.header.stream,
@@ -210,6 +320,7 @@ impl ClipReader {
                 pixels,
             ),
         };
+        self.index += 1;
         Ok(Some(LabeledFrame { frame, truth }))
     }
 }
@@ -232,6 +343,7 @@ pub fn write_clip(path: &Path, clip: &[LabeledFrame], fps: u32) -> io::Result<u6
             fps,
             stream: first.frame.stream,
             format: first.frame.format,
+            version: CLIP_VERSION,
         },
     )?;
     for lf in clip {
@@ -346,6 +458,112 @@ mod tests {
         let path = tmp("garbage.ffsv");
         std::fs::write(&path, b"not a clip at all").unwrap();
         assert!(ClipReader::open(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rle_decode_never_allocates_past_declared_length() {
+        // a stream of max runs that would decode to 510 bytes must bail the
+        // moment it would exceed the declared 10
+        assert!(rle_decode(&[255, 7, 255, 7], 10).is_err());
+        // exact fit still works
+        assert_eq!(rle_decode(&[255, 7], 255).unwrap(), vec![7u8; 255]);
+    }
+
+    fn integrity_of(err: &io::Error) -> &ClipIntegrityError {
+        err.get_ref()
+            .and_then(|e| e.downcast_ref::<ClipIntegrityError>())
+            .expect("a typed ClipIntegrityError")
+    }
+
+    fn small_clip(seed: u64) -> Vec<LabeledFrame> {
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.5, seed);
+        VideoStream::new(seed as u32, cfg).clip(5)
+    }
+
+    #[test]
+    fn v2_checksum_catches_a_flipped_bit() {
+        let clip = small_clip(21);
+        let path = tmp("bitflip.ffsv");
+        write_clip(&path, &clip, 30).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // flip a bit in the last record's trailing checksum
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let results: Vec<_> = ClipReader::open(&path).unwrap().collect();
+        assert_eq!(results.len(), 5);
+        assert!(results[..4].iter().all(|r| r.is_ok()));
+        let err = results[4].as_ref().unwrap_err();
+        let det = integrity_of(err);
+        assert_eq!(det.frame_index, 4);
+        assert!(det.detail.contains("checksum mismatch"), "{}", det.detail);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn v2_truncated_tail_is_a_typed_error_not_garbage() {
+        let clip = small_clip(22);
+        let path = tmp("torn.ffsv");
+        write_clip(&path, &clip, 30).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let results: Vec<_> = ClipReader::open(&path).unwrap().collect();
+        assert_eq!(results.len(), 5);
+        let err = results[4].as_ref().unwrap_err();
+        let det = integrity_of(err);
+        assert_eq!(det.frame_index, 4);
+        assert!(det.detail.contains("truncated"), "{}", det.detail);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn v1_files_without_checksums_still_read() {
+        // hand-write a v1 file: header has no `version` field and records
+        // have no trailing checksum
+        let clip = small_clip(23);
+        let path = tmp("v1compat.ffsv");
+        {
+            let mut out = BufWriter::new(File::create(&path).unwrap());
+            out.write_all(MAGIC).unwrap();
+            let f0 = &clip[0].frame;
+            let hjson = format!(
+                r#"{{"width":{},"height":{},"fps":30,"stream":{}}}"#,
+                f0.width, f0.height, f0.stream
+            );
+            write_u32(&mut out, hjson.len() as u32).unwrap();
+            out.write_all(hjson.as_bytes()).unwrap();
+            for lf in &clip {
+                write_u64(&mut out, lf.frame.seq).unwrap();
+                write_u64(&mut out, lf.frame.pts_ms).unwrap();
+                let truth = serde_json::to_vec(&lf.truth).unwrap();
+                write_u32(&mut out, truth.len() as u32).unwrap();
+                out.write_all(&truth).unwrap();
+                let rle = rle_encode(lf.frame.pixels());
+                write_u32(&mut out, rle.len() as u32).unwrap();
+                out.write_all(&rle).unwrap();
+            }
+            out.flush().unwrap();
+        }
+        let reader = ClipReader::open(&path).unwrap();
+        assert_eq!(reader.header.version, 1);
+        let back: Vec<_> = reader.collect::<io::Result<_>>().unwrap();
+        assert_eq!(back.len(), clip.len());
+        for (a, b) in clip.iter().zip(back.iter()) {
+            assert_eq!(a.frame.pixels(), b.frame.pixels());
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn writer_stamps_current_version() {
+        let clip = small_clip(24);
+        let path = tmp("stamped.ffsv");
+        write_clip(&path, &clip, 30).unwrap();
+        let reader = ClipReader::open(&path).unwrap();
+        assert_eq!(reader.header.version, CLIP_VERSION);
         std::fs::remove_file(path).unwrap();
     }
 }

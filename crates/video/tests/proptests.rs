@@ -90,6 +90,29 @@ proptest! {
         prop_assert_eq!(back[0].frame.seq, seq as u64);
     }
 
+    /// Arbitrary bytes fed to the RLE decoder never panic and never come
+    /// back longer than the declared length — damage is an `Err`, and a
+    /// successful decode is exactly `expect` bytes (the allocation is
+    /// bounded by `expect` by construction).
+    #[test]
+    fn rle_decode_arbitrary_bytes_never_panics_or_overallocates(
+        encoded in proptest::collection::vec(any::<u8>(), 0..512),
+        expect in 0usize..4096,
+    ) {
+        use ffsva_video::storage::rle_decode;
+        if let Ok(out) = rle_decode(&encoded, expect) {
+            prop_assert_eq!(out.len(), expect);
+        }
+    }
+
+    /// Decoding an honest encoding round-trips for any payload.
+    #[test]
+    fn rle_roundtrip_arbitrary_payload(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        use ffsva_video::storage::{rle_decode, rle_encode};
+        let enc = rle_encode(&data);
+        prop_assert_eq!(rle_decode(&enc, data.len()).unwrap(), data);
+    }
+
     /// RGB luma stays within the channel extrema for arbitrary colors.
     #[test]
     fn rgb_luma_bounded_by_channels(rgb in proptest::collection::vec(any::<u8>(), 3 * 8)) {

@@ -22,8 +22,15 @@ ran there). The comparison still prints, but the gate passes with a notice
 so the first CI run can bless a real baseline via
 scripts/update-baseline.sh.
 
+`--require SERIES` (repeatable) pins a dotted metric path that must exist
+as a numeric leaf in the CURRENT report — use it for newly added series
+(e.g. ingest/checkpoint telemetry) so a refactor cannot silently stop
+emitting them. Missing required series fail the gate even when the
+baseline is provisional, since they describe the current run, not a delta.
+
 Usage: bench_gate.py BASELINE CURRENT [--fps-tolerance F] [--drop-tolerance F]
-Exit codes: 0 pass, 1 regression, 2 bad invocation/input.
+                     [--require SERIES]...
+Exit codes: 0 pass, 1 regression/missing series, 2 bad invocation/input.
 """
 
 import argparse
@@ -70,6 +77,10 @@ def main():
                         help="max relative FPS regression (default 0.15)")
     parser.add_argument("--drop-tolerance", type=float, default=0.02,
                         help="max absolute drop-rate change (default 0.02)")
+    parser.add_argument("--require", action="append", default=[], metavar="SERIES",
+                        help="dotted metric path that must be a numeric leaf in "
+                             "CURRENT (repeatable); missing series fail the gate "
+                             "even against a provisional baseline")
     args = parser.parse_args()
 
     baseline_doc = load(args.baseline)
@@ -88,7 +99,12 @@ def main():
         cur = current.get(path)
         if not isinstance(cur, (int, float)) or isinstance(cur, bool):
             if is_fps_metric(path) or is_drop_metric(path):
-                failures.append(f"{path}: present in baseline but missing from current run")
+                failures.append(
+                    f"{path}: gated series is in the baseline but missing from "
+                    f"{args.current} — the current run no longer emits it "
+                    "(renamed or dropped series fail the gate; if the removal "
+                    "is intentional, re-bless via scripts/update-baseline.sh)"
+                )
             continue
 
         verdict = ""
@@ -115,6 +131,24 @@ def main():
                 verdict = "ok"
         rows.append((path, base, cur, verdict))
 
+    missing_required = []
+    for path in args.require:
+        value = current.get(path)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            missing_required.append(
+                f"required series `{path}` is missing from {args.current} — "
+                "the run no longer emits it (or its name changed); every "
+                "--require series must appear as a numeric leaf in the report"
+            )
+        base_value = baseline.get(path)
+        if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
+            failures.append(
+                f"required series `{path}` is missing from {args.baseline} — "
+                "the committed baseline predates it; re-bless via "
+                "scripts/update-baseline.sh to start gating it"
+            )
+    failures.extend(missing_required)
+
     width = max((len(p) for p, *_ in rows), default=10)
     print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  gate")
     print("-" * (width + 36))
@@ -125,7 +159,7 @@ def main():
         print()
         for failure in failures:
             print(f"bench_gate: {failure}", file=sys.stderr)
-        if provisional:
+        if provisional and not missing_required:
             print(
                 "bench_gate: baseline is marked provisional — passing despite the "
                 "deltas above; bless a real baseline with scripts/update-baseline.sh",

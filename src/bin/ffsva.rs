@@ -46,10 +46,18 @@ USAGE:
                  [--number N] [--tor F] [--seed N] [--target <class>]
                  [--fast] [--baseline] [--json <out.json>]
                  [--fault-plan <spec>] [--telemetry <out.json>]
+                 [--source-faults <spec>] [--checkpoint-dir <dir>] [--resume]
+                 [--stop-after N]
 
 Fault plans inject deterministic failures, keyed on frame seq, e.g.
   --fault-plan 'stream0.snm:panic@50,stream1.tyolo:stall@100+250ms'
 (grammar: stream<S>.<sdd|snm|tyolo|ref>:panic@N|stall@N+DURms|failpush@N).
+
+Source-fault plans make the ingest links unreliable, e.g.
+  --source-faults 'stream0.src:disconnect@50+500ms,stream1.src:drop@10..13'
+(grammar: stream<S>.src:disconnect@N+DURms|corrupt@N|drop@N..M|reorder@N+K|dup@N).
+--checkpoint-dir writes crash-safe per-stream snapshots; --resume continues
+from them; --stop-after N truncates each stream's input to simulate a kill.
   ffsva capacity --workload <name> [--frames N] [--train-frames N]
                  [--filter-gpus N] [--ref-gpus N] [--max-streams N]
                  [--tor F] [--seed N] [--target <class>] [--fast]
@@ -609,17 +617,50 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
         }
         None => None,
     };
+    let source_plan = match args.opt("source-faults")? {
+        Some(spec) => {
+            let plan = SourceFaultPlan::parse(&spec)
+                .map_err(|e| format!("invalid --source-faults: {e}"))?;
+            plan.validate()
+                .map_err(|e| format!("invalid --source-faults: {e}"))?;
+            Some(plan)
+        }
+        None => None,
+    };
+    let checkpoint_dir = args.opt("checkpoint-dir")?.map(PathBuf::from);
+    let resume = args.flag("resume");
+    let stop_after: usize = args.parsed("stop-after", usize::MAX)?;
+    if resume && checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
+    if stop_after == 0 {
+        return Err("--stop-after must be positive".into());
+    }
     let sys = system_config(args)?;
     if streams == 0 {
         return Err("--streams must be positive".into());
     }
+    let ckpt_interval = sys.checkpoint_interval_frames;
     let (ps, fps) = prepare_pool(args, 900)?;
 
-    let inputs = tile_inputs(&[ps], streams, &sys);
+    let mut inputs = tile_inputs(&[ps], streams, &sys);
+    // Simulate a kill: the run drains cleanly after the first N frames, so
+    // the checkpoints on disk describe a consistent prefix to resume from.
+    if stop_after != usize::MAX {
+        for input in &mut inputs {
+            input.traces.truncate(stop_after);
+        }
+    }
     let frames_per_stream = inputs[0].traces.len();
     let mut engine = Engine::new(sys, mode, inputs);
     if let Some(plan) = &fault_plan {
         engine = engine.with_fault_plan(plan);
+    }
+    if let Some(plan) = &source_plan {
+        engine = engine.with_source_plan(plan);
+    }
+    if let Some(dir) = &checkpoint_dir {
+        engine = engine.with_checkpoint(CheckpointSpec::new(dir, ckpt_interval, resume));
     }
     let r = engine.run();
 
@@ -639,6 +680,25 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
         println!(
             "  fault plan active; frames quarantined per stream: {:?}",
             r.per_stream_quarantined
+        );
+    }
+    if source_plan.is_some() {
+        println!(
+            "  source faults active: reconnects {}, corrupt {}, reorder evictions {}, \
+             duplicates {}; sources lost: {:?}",
+            r.telemetry.counter("src.reconnects"),
+            r.telemetry.counter("src.corrupt"),
+            r.telemetry.counter("src.reorder_evictions"),
+            r.telemetry.counter("src.duplicates"),
+            r.per_stream_source_lost
+        );
+    }
+    if let Some(dir) = &checkpoint_dir {
+        println!(
+            "  checkpoints: {} write(s) to {}{}",
+            r.telemetry.counter("checkpoint.writes"),
+            dir.display(),
+            if resume { " (resumed)" } else { "" }
         );
     }
     println!(

@@ -56,9 +56,10 @@ pub use ffsva_video as video;
 pub mod prelude {
     pub use ffsva_core::{
         evaluate_accuracy, prepare_stream, prepare_stream_cached, run_baseline,
-        run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, run_pipeline_rt, tile_inputs, Engine,
-        FfsVaConfig, Mode, MultiRtResult, PrepareOptions, PreparedStream, RtResult, SimResult,
-        StreamHealth, StreamInput, StreamThresholds, SurvivingFrame,
+        run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, run_multi_pipeline_rt_robust,
+        run_pipeline_rt, tile_inputs, CheckpointSpec, Engine, FfsVaConfig, Mode, MultiRtResult,
+        PrepareOptions, PreparedStream, RtResult, SimResult, StreamCheckpoint, StreamHealth,
+        StreamInput, StreamThresholds, SurvivingFrame,
     };
     pub use ffsva_models::bank::{BankOptions, FilterBank, FrameTrace};
     pub use ffsva_models::snm::SnmModel;

@@ -178,6 +178,110 @@ fn simulate_writes_engine_result_json() {
     assert_eq!(json["num_streams"], 3);
 }
 
+/// Crash-safe checkpointing end to end: a run checkpointed and killed partway
+/// (`--stop-after`), then resumed over the full input, must report the same
+/// survivor sets and frame counters as one uninterrupted run.
+#[test]
+fn simulate_checkpoint_kill_resume_reproduces_uninterrupted_run() {
+    let dir = Scratch::new("resume");
+    let base = [
+        "simulate",
+        "--workload",
+        "test",
+        "--streams",
+        "2",
+        "--frames",
+        "300",
+        "--train-frames",
+        "600",
+        "--fast",
+        "--mode",
+        "offline",
+    ];
+    let run = |extra: &[&str]| {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend_from_slice(extra);
+        ffsva(&args)
+    };
+    let read_json = |path: &Path| -> serde_json::Value {
+        serde_json::from_slice(&std::fs::read(path).expect("result written"))
+            .expect("result is valid JSON")
+    };
+    let frames_counters = |v: &serde_json::Value| -> std::collections::BTreeMap<String, u64> {
+        v["telemetry"]["counters"]
+            .as_object()
+            .expect("telemetry counters present")
+            .iter()
+            .filter(|(k, _)| k.contains("frames_"))
+            .map(|(k, c)| (k.clone(), c.as_u64().unwrap()))
+            .collect()
+    };
+
+    // the uninterrupted reference run
+    let full_json = dir.path("full.json");
+    let ckpt_full = dir.path("ckpt_full");
+    let out = run(&[
+        "--checkpoint-dir",
+        ckpt_full.to_str().unwrap(),
+        "--json",
+        full_json.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "simulate --checkpoint-dir");
+    assert!(
+        stdout(&out).contains("checkpoint"),
+        "no checkpoint summary:\n{}",
+        stdout(&out)
+    );
+    assert!(
+        std::fs::read_dir(&ckpt_full)
+            .map(|d| d.count() > 0)
+            .unwrap_or(false),
+        "no checkpoint files written"
+    );
+
+    // the same run killed after 150 frames per stream...
+    let ckpt_cut = dir.path("ckpt_cut");
+    let out = run(&[
+        "--checkpoint-dir",
+        ckpt_cut.to_str().unwrap(),
+        "--stop-after",
+        "150",
+    ]);
+    assert_ok(&out, "simulate --stop-after");
+
+    // ...then resumed over the full input
+    let resumed_json = dir.path("resumed.json");
+    let out = run(&[
+        "--checkpoint-dir",
+        ckpt_cut.to_str().unwrap(),
+        "--resume",
+        "--json",
+        resumed_json.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "simulate --resume");
+    assert!(
+        stdout(&out).contains("(resumed)"),
+        "resume not reported:\n{}",
+        stdout(&out)
+    );
+
+    let full = read_json(&full_json);
+    let resumed = read_json(&resumed_json);
+    assert_eq!(
+        resumed["per_stream_survivors"], full["per_stream_survivors"],
+        "kill+resume changed the survivor sets"
+    );
+    assert_eq!(
+        frames_counters(&resumed),
+        frames_counters(&full),
+        "kill+resume changed the frame counters"
+    );
+
+    // --resume without a checkpoint dir is a usage error
+    let out = run(&["--resume"]);
+    assert!(!out.status.success());
+}
+
 #[test]
 fn analyze_exports_telemetry_snapshot() {
     let dir = Scratch::new("telemetry");

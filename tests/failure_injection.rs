@@ -9,8 +9,8 @@ use ffs_va::core::{Engine, FfsVaConfig, Mode, StreamInput, StreamThresholds};
 use ffs_va::models::snm::SnmTrainOptions;
 use ffs_va::prelude::{
     run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, BankOptions, BatchPolicy, DegradePolicy,
-    FaultPlan, FaultStage, FilterBank, FrameTrace, LabeledFrame, ObjectClass, StageFault,
-    VideoStream,
+    FaultPlan, FaultStage, FilterBank, FrameTrace, LabeledFrame, ObjectClass, SourceFault,
+    SourceFaultPlan, StageFault, VideoStream,
 };
 use ffs_va::sched::{spawn_batch_stage, spawn_filter_stage, FeedbackQueue};
 use ffs_va::video::workloads;
@@ -448,5 +448,66 @@ proptest! {
             r2.telemetry.frames_counters()
         );
         prop_assert_eq!(r.per_stream_quarantined, r2.per_stream_quarantined);
+    }
+}
+
+// Failure injection #7 (ingest robustness): random source-fault plans thrown
+// at the DES ingest layer must classify every unique source frame exactly
+// once — delivered, dropped, or quarantined — and identical plans must
+// reproduce identical counters. Outages beyond the retry budget's coverage
+// (~2.5 s at the default policy) degrade the stream to SourceLost instead of
+// losing the run, and the dropped tail still counts toward conservation.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #[test]
+    fn random_source_plans_conserve_every_frame_in_des(
+        faults in proptest::collection::vec((0usize..2, 0u8..5, 0u64..200, 1u64..8), 1..6)
+    ) {
+        let mut plan = SourceFaultPlan::new();
+        for (stream, kind, at, k) in faults {
+            let fault = match kind {
+                0 => SourceFault::DropRange { from: at, to: at + k },
+                1 => SourceFault::CorruptAt { at_frame: at },
+                // displacement up to 21 overflows the default reorder buffer
+                // of 8, so late-frame eviction is exercised too
+                2 => SourceFault::ReorderAt { at_frame: at, by: k * 3 },
+                3 => SourceFault::DuplicateAt { at_frame: at },
+                // outages from "one retry" to "budget exhausted" (SourceLost)
+                _ => SourceFault::DisconnectAt { at_frame: at, dur_ms: 600 * k },
+            };
+            plan = plan.with(stream, fault);
+        }
+        prop_assert!(plan.validate().is_ok());
+
+        let n = 150usize;
+        let run = || {
+            Engine::new(
+                FfsVaConfig::default(),
+                Mode::Offline,
+                vec![synthetic_input(n, 3), synthetic_input(n, 4)],
+            )
+            .with_source_plan(&plan)
+            .run()
+        };
+        let r = run();
+        for s in 0..2 {
+            let t = &r.telemetry;
+            prop_assert_eq!(t.counter(&format!("stream{s}.src.frames_in")), n as u64);
+            prop_assert_eq!(
+                t.counter(&format!("stream{s}.src.frames_out"))
+                    + t.counter(&format!("stream{s}.src.frames_dropped"))
+                    + t.counter(&format!("stream{s}.src.frames_quarantined")),
+                n as u64,
+                "lost/double-disposed source frames under plan {:?}",
+                plan
+            );
+        }
+        // determinism: the same plan reproduces the same counters
+        let r2 = run();
+        prop_assert_eq!(
+            r.telemetry.frames_counters(),
+            r2.telemetry.frames_counters()
+        );
+        prop_assert_eq!(r.per_stream_source_lost.clone(), r2.per_stream_source_lost);
     }
 }

@@ -8,8 +8,9 @@ use ffsva_models::sdd::{DistanceMetric, SddFilter};
 use ffsva_models::snm::{snm_input, SnmModel};
 use ffsva_models::tyolo::TinyYolo;
 use ffsva_models::FrameTrace;
+use ffsva_models::Scratch;
 use ffsva_sched::{BatchPolicy, EventQueue, FeedbackQueue, SimQueue};
-use ffsva_tensor::ops::{self, ConvGeom};
+use ffsva_tensor::ops::{self, ConvGeom, ConvScratch};
 use ffsva_tensor::Tensor;
 use ffsva_video::prelude::*;
 use ffsva_video::resize::resize_bilinear;
@@ -27,6 +28,13 @@ fn bench_tensor(c: &mut Criterion) {
         bch.iter(|| ops::matmul(black_box(&a), black_box(&b)))
     });
 
+    // The scratch variant is what the inference hot path runs (DESIGN.md §10):
+    // the gap between this and `matmul_128` is pure allocator traffic.
+    let mut out = Vec::new();
+    c.bench_function("tensor/matmul_into_128", |bch| {
+        bch.iter(|| ops::matmul_into(black_box(&a), black_box(&b), black_box(&mut out)))
+    });
+
     let input = Tensor::from_vec(
         &[1, 1, 50, 50],
         (0..2500).map(|_| rng.gen_range(-0.5..0.5)).collect(),
@@ -36,13 +44,7 @@ fn bench_tensor(c: &mut Criterion) {
         (0..200).map(|_| rng.gen_range(-0.5..0.5)).collect(),
     );
     let bias = Tensor::zeros(&[8]);
-    let geom = ConvGeom {
-        in_h: 50,
-        in_w: 50,
-        kernel: 5,
-        stride: 2,
-        pad: 2,
-    };
+    let geom = ConvGeom::new(50, 50, 5, 2, 2).unwrap();
     c.bench_function("tensor/conv2d_snm_layer1", |bch| {
         bch.iter(|| {
             ops::conv2d(
@@ -50,6 +52,25 @@ fn bench_tensor(c: &mut Criterion) {
                 black_box(&weight),
                 black_box(&bias),
                 geom,
+            )
+        })
+    });
+
+    // One im2col + one GEMM over a whole 10-image batch with reused buffers —
+    // the shape of the SNM batch stage after the hot-path overhaul.
+    let batch = Tensor::from_vec(
+        &[10, 1, 50, 50],
+        (0..10 * 2500).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+    );
+    let mut conv_scratch = ConvScratch::default();
+    c.bench_function("tensor/conv2d_batch10_snm_layer1", |bch| {
+        bch.iter(|| {
+            ops::conv2d_scratch(
+                black_box(&batch),
+                black_box(&weight),
+                black_box(&bias),
+                geom,
+                black_box(&mut conv_scratch),
             )
         })
     });
@@ -66,6 +87,10 @@ fn bench_models(c: &mut Criterion) {
     c.bench_function("models/sdd_distance", |bch| {
         bch.iter(|| sdd.distance(black_box(&frame)))
     });
+    let mut sdd_scratch = Scratch::new();
+    c.bench_function("models/sdd_distance_scratch", |bch| {
+        bch.iter(|| sdd.distance_with(black_box(&frame), black_box(&mut sdd_scratch)))
+    });
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let mut snm = SnmModel::architecture(ObjectClass::Car, &mut rng);
@@ -76,6 +101,13 @@ fn bench_models(c: &mut Criterion) {
     let batch: Vec<Vec<f32>> = (0..10).map(|_| small.clone()).collect();
     c.bench_function("models/snm_forward_batch10", |bch| {
         bch.iter(|| snm.predict_batch(black_box(&batch)))
+    });
+    // Frame-to-probabilities in one shot: resize + standardize into reused
+    // scratch, then a single batched forward (the RT batch stage's call).
+    let frame_batch: Vec<&Frame> = clip.iter().skip(30).take(10).map(|lf| &lf.frame).collect();
+    let mut snm_scratch = Scratch::new();
+    c.bench_function("models/snm_forward_batch10_frames", |bch| {
+        bch.iter(|| snm.predict_batch_frames(black_box(&frame_batch), black_box(&mut snm_scratch)))
     });
 
     let tyolo = TinyYolo::default();

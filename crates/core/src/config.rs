@@ -1,5 +1,6 @@
 //! System-wide configuration of an FFS-VA instance.
 
+use ffsva_models::CostSpec;
 use ffsva_sched::{BatchPolicy, DegradePolicy};
 use serde::{Deserialize, Serialize};
 
@@ -104,6 +105,14 @@ pub struct FfsVaConfig {
     /// Checkpoint cadence in source frames when a checkpoint dir is set.
     #[serde(default = "default_checkpoint_interval_frames")]
     pub checkpoint_interval_frames: u64,
+    /// Measured SNM cost curve overriding the paper's calibrated
+    /// [`ffsva_models::snm_cost`] in the DES engine — fit from the real
+    /// kernel's batch-latency samples (`ffsva bench --fit-cost`) via
+    /// [`ffsva_models::cost::fit_batch_curve`], so simulated service times
+    /// track this machine instead of the GTX-1080 testbed. `None` keeps the
+    /// paper numbers.
+    #[serde(default)]
+    pub snm_cost_override: Option<CostSpec>,
 }
 
 impl Default for FfsVaConfig {
@@ -133,6 +142,7 @@ impl Default for FfsVaConfig {
             source_backoff_cap_ms: default_source_backoff_cap_ms(),
             reorder_buffer: default_reorder_buffer(),
             checkpoint_interval_frames: default_checkpoint_interval_frames(),
+            snm_cost_override: None,
         }
     }
 }
@@ -191,6 +201,12 @@ impl FfsVaConfig {
     /// Builder-style setter for the checkpoint cadence (source frames).
     pub fn with_checkpoint_interval(mut self, frames: u64) -> Self {
         self.checkpoint_interval_frames = frames;
+        self
+    }
+
+    /// Builder-style setter for the measured SNM cost curve (DES override).
+    pub fn with_snm_cost(mut self, spec: CostSpec) -> Self {
+        self.snm_cost_override = Some(spec);
         self
     }
 
@@ -267,6 +283,7 @@ mod tests {
             "shared_tyolo": true
         }"#;
         let c: FfsVaConfig = serde_json::from_str(old).unwrap();
+        assert_eq!(c.snm_cost_override, None);
         assert_eq!(c.restart_budget, 2);
         assert_eq!(c.restart_backoff_ms, 10);
         assert_eq!(c.watchdog_deadline_ms, 200);
@@ -286,6 +303,20 @@ mod tests {
         assert_eq!(p.retry_budget, 3);
         assert_eq!(p.backoff_ms, 20);
         assert_eq!(p.backoff_cap_ms, 200);
+    }
+
+    #[test]
+    fn snm_cost_override_roundtrips() {
+        let spec = CostSpec {
+            resize_us: 150.0,
+            invoke_us: 1234.5,
+            per_frame_us: 87.5,
+            mem_bytes: 200 * 1024,
+        };
+        let c = FfsVaConfig::default().with_snm_cost(spec);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FfsVaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.snm_cost_override, Some(spec));
     }
 
     #[test]

@@ -8,9 +8,8 @@
 use crate::checkpoint::{load_all, write_stream_checkpoint, CheckpointSpec, StreamCheckpoint};
 use crate::config::{FfsVaConfig, StreamThresholds};
 use ffsva_models::bank::FilterBank;
-use ffsva_models::snm::snm_input;
 use ffsva_models::tyolo::TinyYolo;
-use ffsva_models::SddFilter;
+use ffsva_models::{Scratch, SddFilter};
 use ffsva_sched::{
     spawn_batch_stage_faulted, spawn_batch_stage_instrumented, spawn_filter_stage_faulted,
     spawn_filter_stage_instrumented, supervise, DegradePolicy, FaultAction, FaultPlan, FaultStage,
@@ -21,8 +20,8 @@ use ffsva_telemetry::{
     QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot, LATENCY_BOUNDS_US,
 };
 use ffsva_video::{
-    frame_checksum, plan_reconnect, ClipSource, LabeledFrame, ReconnectOutcome, SourceFaultPlan,
-    SourceItem, UnreliableSource,
+    frame_checksum, plan_reconnect, ClipSource, Frame, LabeledFrame, ReconnectOutcome,
+    SourceFaultPlan, SourceItem, UnreliableSource,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -115,12 +114,15 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
         q_sdd.clone(),
         q_snm.clone(),
         StageTelemetry::register(&tel, "stream0.sdd"),
-        move |(t0, lf): InFlight| {
-            if sdd.distance(&lf.frame) > delta {
-                Some((t0, lf))
-            } else {
-                lat.record(elapsed_us(t0));
-                None
+        {
+            let mut scratch = Scratch::new();
+            move |(t0, lf): InFlight| {
+                if sdd.distance_with(&lf.frame, &mut scratch) > delta {
+                    Some((t0, lf))
+                } else {
+                    lat.record(elapsed_us(t0));
+                    None
+                }
             }
         },
     );
@@ -135,22 +137,25 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
         q_tyolo.clone(),
         policy,
         StageTelemetry::register(&tel, "stream0.snm"),
-        move |batch: Vec<InFlight>| {
-            c_batches.inc();
-            let inputs: Vec<Vec<f32>> = batch.iter().map(|(_, lf)| snm_input(&lf.frame)).collect();
-            let probs = snm.predict_batch(&inputs);
-            batch
-                .into_iter()
-                .zip(probs)
-                .filter_map(|((t0, lf), p)| {
-                    if p >= t_pre {
-                        Some((t0, lf))
-                    } else {
-                        lat.record(elapsed_us(t0));
-                        None
-                    }
-                })
-                .collect()
+        {
+            let mut scratch = Scratch::new();
+            move |batch: Vec<InFlight>| {
+                c_batches.inc();
+                let frames: Vec<&Frame> = batch.iter().map(|(_, lf)| &lf.frame).collect();
+                let probs = snm.predict_batch_frames(&frames, &mut scratch);
+                batch
+                    .into_iter()
+                    .zip(probs)
+                    .filter_map(|((t0, lf), p)| {
+                        if p >= t_pre {
+                            Some((t0, lf))
+                        } else {
+                            lat.record(elapsed_us(t0));
+                            None
+                        }
+                    })
+                    .collect()
+            }
         },
     );
 
@@ -164,13 +169,16 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
         q_tyolo,
         q_ref.clone(),
         StageTelemetry::register(&tel, "stream0.tyolo"),
-        move |(t0, lf): InFlight| {
-            c_cycles.inc();
-            if ty.count(&lf.frame, target) >= number_of_objects {
-                Some((t0, lf))
-            } else {
-                lat.record(elapsed_us(t0));
-                None
+        {
+            let mut scratch = Scratch::new();
+            move |(t0, lf): InFlight| {
+                c_cycles.inc();
+                if ty.count_with(&lf.frame, target, &mut scratch) >= number_of_objects {
+                    Some((t0, lf))
+                } else {
+                    lat.record(elapsed_us(t0));
+                    None
+                }
             }
         },
     );
@@ -548,6 +556,7 @@ pub fn run_multi_pipeline_rt_robust(
                     on_quarantine: Box::new(move |(t0, _)| lat_q.record(elapsed_us(t0))),
                     on_lost: Box::new(move |(t0, _)| lat_l.record(elapsed_us(t0))),
                 };
+                let mut scratch = Scratch::new();
                 spawn_filter_stage_faulted(
                     format!("sdd-{}", s),
                     q_in.clone(),
@@ -555,7 +564,7 @@ pub fn run_multi_pipeline_rt_robust(
                     stage_tel.clone(),
                     ctx,
                     move |(t0, lf): InFlight| {
-                        if sdd.distance(&lf.frame) > delta {
+                        if sdd.distance_with(&lf.frame, &mut scratch) > delta {
                             Some((t0, lf))
                         } else {
                             lat_drop.record(elapsed_us(t0));
@@ -614,6 +623,7 @@ pub fn run_multi_pipeline_rt_robust(
                     on_quarantine: Box::new(move |(t0, _)| lat_q.record(elapsed_us(t0))),
                     on_lost: Box::new(move |(t0, _)| lat_l.record(elapsed_us(t0))),
                 };
+                let mut scratch = Scratch::new();
                 spawn_batch_stage_faulted(
                     format!("snm-{}", s),
                     q_in.clone(),
@@ -624,12 +634,11 @@ pub fn run_multi_pipeline_rt_robust(
                     ctx,
                     move |batch: Vec<InFlight>| {
                         batches.inc();
-                        let inputs: Vec<Vec<f32>> =
-                            batch.iter().map(|(_, lf)| snm_input(&lf.frame)).collect();
+                        let frames: Vec<&Frame> = batch.iter().map(|(_, lf)| &lf.frame).collect();
                         let probs = snm
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
-                            .predict_batch(&inputs);
+                            .predict_batch_frames(&frames, &mut scratch);
                         batch
                             .into_iter()
                             .zip(probs)
@@ -827,6 +836,7 @@ pub fn run_multi_pipeline_rt_robust(
         .name("tyolo-shared".into())
         .spawn(move || {
             let mut processed = 0u64;
+            let mut scratch = Scratch::new();
             loop {
                 let mut any = false;
                 let mut all_closed = true;
@@ -845,7 +855,9 @@ pub fn run_multi_pipeline_rt_robust(
                         }
                         processed += 1;
                         tyolo_tels[s].frames_in.inc();
-                        if tyolo.count(&lf.frame, tyolo_targets[s]) >= number_of_objects {
+                        if tyolo.count_with(&lf.frame, tyolo_targets[s], &mut scratch)
+                            >= number_of_objects
+                        {
                             if injs[s].fail_push(seq) {
                                 tyolo_tels[s].frames_dropped.inc();
                                 lat.record(elapsed_us(t0));

@@ -1227,7 +1227,9 @@ impl Engine {
                 continue;
             }
             self.streams[s].snm_busy = true;
-            let spec = snm_cost();
+            // Measured batch curve (ffsva bench --fit-cost) wins over the
+            // paper-calibrated constants when the config carries one.
+            let spec = self.cfg.snm_cost_override.unwrap_or_else(snm_cost);
             let gpu = &mut self.filter_gpus[s % self.cfg.filter_gpus.max(1)];
             gpu.ensure_resident(ModelKey::Snm(s as u32), spec.mem_bytes);
             let done = gpu.invoke(

@@ -44,6 +44,51 @@ impl CostSpec {
     }
 }
 
+/// Fit a [`CostSpec`] to a measured batch-latency curve by least squares.
+///
+/// `samples` are `(batch_size, measured_batch_us)` pairs from probing the
+/// real kernel (e.g. `SnmModel::predict_batch_frames` at several sizes); the
+/// affine model `batch_us(n) = invoke_us + per_frame_us · n` is exactly the
+/// DES service-time model, so the fitted spec plugs straight into the
+/// simulator via `FfsVaConfig::snm_cost_override`. Returns `None` when the
+/// samples cannot identify a line (fewer than two distinct batch sizes) or
+/// the fit comes out non-physical (negative marginal cost).
+pub fn fit_batch_curve(
+    samples: &[(usize, f64)],
+    resize_us: f64,
+    mem_bytes: u64,
+) -> Option<CostSpec> {
+    let n = samples.len() as f64;
+    if samples.len() < 2 {
+        return None;
+    }
+    let mean_x = samples.iter().map(|&(b, _)| b as f64).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|&(_, t)| t).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for &(b, t) in samples {
+        let dx = b as f64 - mean_x;
+        sxx += dx * dx;
+        sxy += dx * (t - mean_y);
+    }
+    if sxx <= 0.0 {
+        return None; // all samples at one batch size: slope unidentifiable
+    }
+    let per_frame_us = sxy / sxx;
+    // launch overhead can be lost in measurement noise; clamp at zero rather
+    // than rejecting the fit
+    let invoke_us = (mean_y - per_frame_us * mean_x).max(0.0);
+    if !per_frame_us.is_finite() || per_frame_us <= 0.0 {
+        return None;
+    }
+    Some(CostSpec {
+        resize_us,
+        invoke_us,
+        per_frame_us,
+        mem_bytes,
+    })
+}
+
 /// SDD: runs on the CPU over 100×100 inputs. Standalone 100 K FPS → 10 µs.
 pub fn sdd_cost() -> CostSpec {
     CostSpec {
@@ -146,6 +191,35 @@ mod tests {
         let d2 = c.batch_us(31) - c.batch_us(30);
         assert!((d1 - d2).abs() < 1e-9);
         assert!((d1 - c.per_frame_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_batch_curve_recovers_exact_affine_costs() {
+        let truth = snm_cost();
+        let samples: Vec<(usize, f64)> = [1usize, 2, 5, 10, 20, 30]
+            .iter()
+            .map(|&n| (n, truth.batch_us(n)))
+            .collect();
+        let fit = fit_batch_curve(&samples, truth.resize_us, truth.mem_bytes).unwrap();
+        assert!((fit.invoke_us - truth.invoke_us).abs() < 1e-6, "{:?}", fit);
+        assert!((fit.per_frame_us - truth.per_frame_us).abs() < 1e-9);
+        assert_eq!(fit.resize_us, truth.resize_us);
+        assert_eq!(fit.mem_bytes, truth.mem_bytes);
+    }
+
+    #[test]
+    fn fit_batch_curve_tolerates_noise_and_rejects_degenerate_input() {
+        // noisy but clearly-sloped curve fits to something close
+        let samples = vec![(1usize, 3210.0), (10, 5050.0), (30, 9020.0)];
+        let fit = fit_batch_curve(&samples, 150.0, 200 * 1024).unwrap();
+        assert!((150.0..=260.0).contains(&fit.per_frame_us), "{:?}", fit);
+        assert!(fit.invoke_us > 1000.0);
+        // degenerate inputs are rejected, not mis-fit
+        assert!(fit_batch_curve(&[], 0.0, 0).is_none());
+        assert!(fit_batch_curve(&[(5, 100.0)], 0.0, 0).is_none());
+        assert!(fit_batch_curve(&[(5, 100.0), (5, 120.0)], 0.0, 0).is_none());
+        // a flat-or-falling curve has no positive marginal cost
+        assert!(fit_batch_curve(&[(1, 100.0), (10, 100.0)], 0.0, 0).is_none());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod compress;
 pub mod cost;
 pub mod filter;
 pub mod reference;
+pub mod scratch;
 pub mod sdd;
 pub mod snm;
 pub mod snm_multi;
@@ -44,9 +45,10 @@ pub mod tyolo;
 
 pub use bank::{BankOptions, FilterBank, FrameTrace};
 pub use compress::{compress, prune_magnitude, quantize_int8, CompressionReport};
-pub use cost::{sdd_cost, snm_cost, tyolo_cost, yolov2_cost, CostSpec};
+pub use cost::{fit_batch_curve, sdd_cost, snm_cost, tyolo_cost, yolov2_cost, CostSpec};
 pub use filter::{Detection, Verdict};
 pub use reference::{ReferenceConfig, ReferenceModel};
+pub use scratch::Scratch;
 pub use sdd::{AdaptiveSdd, DistanceMetric, FrameDiffSdd, SddFilter, SDD_SIZE};
 pub use snm::{train_snm, SnmModel, SnmReport, SnmTrainOptions, SNM_SIZE};
 pub use snm_multi::{train_multi_snm, MultiSnm, MultiSnmReport};

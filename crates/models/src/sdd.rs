@@ -7,7 +7,8 @@
 //! (MSE, NRMSE, SAD) are implemented, on 100×100 luminance inputs.
 
 use crate::filter::Verdict;
-use ffsva_video::resize::resize_frame_f32;
+use crate::scratch::Scratch;
+use ffsva_video::resize::{resize_frame_f32, resize_frame_f32_into};
 use ffsva_video::Frame;
 use serde::{Deserialize, Serialize};
 
@@ -108,6 +109,13 @@ impl SddFilter {
     pub fn distance(&self, frame: &Frame) -> f32 {
         let small = resize_frame_f32(frame, SDD_SIZE, SDD_SIZE);
         self.distance_small(&small)
+    }
+
+    /// [`Self::distance`] resizing into caller-owned scratch — the RT
+    /// pipeline's per-frame entry point (no allocation after warm-up).
+    pub fn distance_with(&self, frame: &Frame, scratch: &mut Scratch) -> f32 {
+        resize_frame_f32_into(frame, SDD_SIZE, SDD_SIZE, &mut scratch.resized);
+        self.distance_small(&scratch.resized)
     }
 
     /// Filter decision for a frame: `Pass` when the content differs from the
@@ -356,6 +364,18 @@ mod tests {
             drop_b,
             bg_d.len()
         );
+    }
+
+    #[test]
+    fn distance_with_scratch_is_bit_identical_to_allocating_path() {
+        let (clip, bg) = clips();
+        let sdd = SddFilter::from_background(&bg, DistanceMetric::Mse, 0.0);
+        let mut scratch = Scratch::new();
+        for lf in clip.iter().take(25) {
+            let a = sdd.distance(&lf.frame);
+            let b = sdd.distance_with(&lf.frame, &mut scratch);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -11,11 +11,12 @@
 //! ```
 
 use crate::filter::Verdict;
+use crate::scratch::Scratch;
 use ffsva_tensor::layers::{Activation, Conv2d, Dense, GlobalMaxPool};
 use ffsva_tensor::ops::sigmoid_scalar;
 use ffsva_tensor::prelude::*;
 use ffsva_tensor::train::{self, TrainConfig};
-use ffsva_video::resize::resize_frame_f32;
+use ffsva_video::resize::resize_frame_f32_into;
 use ffsva_video::{Frame, LabeledFrame, ObjectClass};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -30,16 +31,23 @@ pub const SNM_SIZE: usize = 50;
 /// (day/night cycles, exposure drift — §5.5 "Scene Switch"), which would
 /// otherwise shift the input distribution between training and serving.
 pub fn snm_input(frame: &Frame) -> Vec<f32> {
-    let mut v = resize_frame_f32(frame, SNM_SIZE, SNM_SIZE);
-    let n = v.len().max(1) as f32;
-    let mean = v.iter().sum::<f32>() / n;
-    let var = v.iter().map(|p| (p - mean) * (p - mean)).sum::<f32>() / n;
+    let mut v = Vec::new();
+    snm_input_into(frame, &mut v);
+    v
+}
+
+/// [`snm_input`] into a caller-owned buffer (resized and overwritten) — the
+/// scratch-reusing entry point for RT pipeline workers.
+pub fn snm_input_into(frame: &Frame, out: &mut Vec<f32>) {
+    resize_frame_f32_into(frame, SNM_SIZE, SNM_SIZE, out);
+    let n = out.len().max(1) as f32;
+    let mean = out.iter().sum::<f32>() / n;
+    let var = out.iter().map(|p| (p - mean) * (p - mean)).sum::<f32>() / n;
     let inv_std = 1.0 / var.sqrt().max(1e-3);
-    for p in v.iter_mut() {
+    for p in out.iter_mut() {
         // scaled down so pixel magnitudes stay O(0.1), like the raw inputs
         *p = (*p - mean) * inv_std * 0.25;
     }
-    v
 }
 
 /// A trained stream-specialized network model with its thresholds.
@@ -90,7 +98,9 @@ impl SnmModel {
         self.predict_small(&snm_input(frame))
     }
 
-    /// Batched prediction over many pre-resized inputs (how the GPU runs it).
+    /// Batched prediction over many pre-resized inputs (how the GPU runs it):
+    /// the whole batch goes through ONE network forward, so each conv layer
+    /// does one im2col and one GEMM for all `n` images.
     pub fn predict_batch(&mut self, smalls: &[Vec<f32>]) -> Vec<f32> {
         if smalls.is_empty() {
             return Vec::new();
@@ -100,9 +110,38 @@ impl SnmModel {
         for s in smalls {
             data.extend_from_slice(s);
         }
-        let x = Tensor::from_vec(&[n, 1, SNM_SIZE, SNM_SIZE], data);
+        self.forward_batch(n, data).0
+    }
+
+    /// Batched prediction straight from frames, resizing into caller-owned
+    /// scratch — the RT SNM stage's entry point for a drained batch. The
+    /// batched conv lowering preserves per-output-element accumulation order,
+    /// so results are bit-identical to per-frame [`Self::predict`] at any
+    /// batch size (which keeps DES and RT survivor sets identical).
+    pub fn predict_batch_frames(&mut self, frames: &[&Frame], scratch: &mut Scratch) -> Vec<f32> {
+        if frames.is_empty() {
+            return Vec::new();
+        }
+        let n = frames.len();
+        let mut flat = std::mem::take(&mut scratch.batch);
+        flat.clear();
+        flat.reserve(n * SNM_SIZE * SNM_SIZE);
+        for frame in frames {
+            snm_input_into(frame, &mut scratch.resized);
+            flat.extend_from_slice(&scratch.resized);
+        }
+        let (probs, recycled) = self.forward_batch(n, flat);
+        scratch.batch = recycled;
+        probs
+    }
+
+    /// One shared forward for every batched entry point; returns the
+    /// probabilities and hands the input buffer back for recycling.
+    fn forward_batch(&mut self, n: usize, flat: Vec<f32>) -> (Vec<f32>, Vec<f32>) {
+        let x = Tensor::from_vec(&[n, 1, SNM_SIZE, SNM_SIZE], flat);
         let logits = self.net.forward(&x, false);
-        logits.data().iter().map(|&z| sigmoid_scalar(z)).collect()
+        let probs = logits.data().iter().map(|&z| sigmoid_scalar(z)).collect();
+        (probs, x.into_vec())
     }
 
     /// Effective filtering threshold for a FilterDegree in `[0, 1]` (Eq. 2).
@@ -457,6 +496,81 @@ mod tests {
         for (i, inp) in inputs.iter().enumerate() {
             let single = m.predict_small(inp);
             assert!((batch[i] - single).abs() < 1e-5);
+        }
+    }
+
+    /// The batched-frames path (one forward per batch, scratch-resident
+    /// buffers) must be bit-identical to per-frame prediction — the invariant
+    /// that keeps DES and RT survivor sets identical when RT batches.
+    #[test]
+    fn predict_batch_frames_is_bit_identical_to_predict() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut m = SnmModel::architecture(ObjectClass::Car, &mut rng);
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.4, 21);
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(12);
+        let frames: Vec<&Frame> = clip.iter().map(|lf| &lf.frame).collect();
+        let mut scratch = Scratch::new();
+        let batched = m.predict_batch_frames(&frames, &mut scratch);
+        // a second batch through the now-dirty scratch must also agree
+        let again = m.predict_batch_frames(&frames, &mut scratch);
+        for (i, f) in frames.iter().enumerate() {
+            let single = m.predict(f);
+            assert_eq!(batched[i].to_bits(), single.to_bits(), "frame {}", i);
+            assert_eq!(again[i].to_bits(), single.to_bits(), "frame {} reuse", i);
+        }
+    }
+
+    /// Drain a real RT batching stage into `predict_batch_frames` and check
+    /// the survivor probabilities match per-frame prediction bit-for-bit —
+    /// the end-to-end version of `batch_prediction_matches_single`.
+    #[test]
+    fn rt_batch_stage_matches_per_frame_prediction() {
+        use ffsva_sched::{spawn_batch_stage, BatchPolicy, FeedbackQueue};
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut m = SnmModel::architecture(ObjectClass::Car, &mut rng);
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.4, 55);
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(24);
+
+        let input: FeedbackQueue<(u64, Frame)> = FeedbackQueue::new(64);
+        let output: FeedbackQueue<(u64, f32)> = FeedbackQueue::new(64);
+        let mut worker = m.clone();
+        let handle = spawn_batch_stage(
+            "snm-test",
+            input.clone(),
+            output.clone(),
+            BatchPolicy::Static { size: 8 },
+            {
+                let mut scratch = Scratch::new();
+                move |batch: Vec<(u64, Frame)>| {
+                    let frames: Vec<&Frame> = batch.iter().map(|(_, f)| f).collect();
+                    let probs = worker.predict_batch_frames(&frames, &mut scratch);
+                    batch
+                        .iter()
+                        .zip(probs)
+                        .map(|(&(idx, _), p)| (idx, p))
+                        .collect()
+                }
+            },
+        );
+        for (i, lf) in clip.iter().enumerate() {
+            input.push((i as u64, lf.frame.clone())).unwrap();
+        }
+        input.close();
+        let processed = handle.join().expect("snm stage");
+        assert_eq!(processed, clip.len() as u64);
+
+        let mut got = Vec::new();
+        while let Some(pair) = output.pop() {
+            got.push(pair);
+        }
+        got.sort_by_key(|&(idx, _)| idx);
+        assert_eq!(got.len(), clip.len());
+        for (idx, p) in got {
+            let single = m.predict(&clip[idx as usize].frame);
+            assert_eq!(p.to_bits(), single.to_bits(), "frame {}", idx);
         }
     }
 

@@ -12,7 +12,8 @@
 //! still finds them.
 
 use crate::filter::{Detection, Verdict};
-use ffsva_video::resize::resize_bilinear;
+use crate::scratch::Scratch;
+use ffsva_video::resize::resize_frame_into;
 use ffsva_video::{Frame, ObjectClass};
 use serde::{Deserialize, Serialize};
 
@@ -128,9 +129,20 @@ impl TinyYolo {
 
     /// Detect objects in a frame. Returns boxes with normalized coordinates.
     pub fn detect(&self, frame: &Frame) -> Vec<Detection> {
-        let small = resize_bilinear(&frame.luma(), frame.width, frame.height, INTERNAL, INTERNAL);
-        let gray: Vec<f32> = small.iter().map(|&p| p as f32 / 255.0).collect();
-        self.detect_internal(&gray)
+        self.detect_with(frame, &mut Scratch::new())
+    }
+
+    /// [`Self::detect`] resizing into caller-owned scratch. The resize
+    /// deliberately keeps the u8 quantization step ([`Scratch::luma8`], then
+    /// normalize) so detection counts stay identical to [`Self::detect`] —
+    /// only the allocations go away.
+    pub fn detect_with(&self, frame: &Frame, scratch: &mut Scratch) -> Vec<Detection> {
+        resize_frame_into(frame, INTERNAL, INTERNAL, &mut scratch.luma8);
+        scratch.resized.clear();
+        scratch
+            .resized
+            .extend(scratch.luma8.iter().map(|&p| p as f32 / 255.0));
+        self.detect_internal(&scratch.resized)
     }
 
     /// Detection on a pre-resized `INTERNAL`×`INTERNAL` normalized image.
@@ -304,6 +316,14 @@ impl TinyYolo {
     /// Count detected objects of a class.
     pub fn count(&self, frame: &Frame, class: ObjectClass) -> usize {
         self.detect(frame)
+            .iter()
+            .filter(|d| d.class == class)
+            .count()
+    }
+
+    /// [`Self::count`] resizing into caller-owned scratch.
+    pub fn count_with(&self, frame: &Frame, class: ObjectClass, scratch: &mut Scratch) -> usize {
+        self.detect_with(frame, scratch)
             .iter()
             .filter(|d| d.class == class)
             .count()
@@ -509,6 +529,20 @@ mod tests {
         };
         let dets: Vec<Detection> = (0..5).map(|i| mk(0.1 + 0.2 * i as f32)).collect();
         assert_eq!(TinyYolo::nms(dets, 0.5).len(), 5);
+    }
+
+    #[test]
+    fn count_with_scratch_matches_allocating_path() {
+        use crate::scratch::Scratch;
+        let clip = car_clip();
+        let ty = TinyYolo::default();
+        let mut scratch = Scratch::new();
+        for lf in clip.iter().take(30) {
+            assert_eq!(
+                ty.count(&lf.frame, ObjectClass::Car),
+                ty.count_with(&lf.frame, ObjectClass::Car, &mut scratch),
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! per §4.1 of the paper).
 
 use crate::init;
-use crate::ops::{self, ConvGeom};
+use crate::ops::{self, ConvGeom, ConvScratch};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +47,10 @@ pub struct Conv2d {
     pub pad: usize,
     #[serde(skip)]
     cache_input: Option<Tensor>,
+    /// Persistent im2col/GEMM buffers reused across forward calls so the
+    /// inference hot path stops reallocating per image (DESIGN.md §10).
+    #[serde(skip)]
+    scratch: ConvScratch,
 }
 
 impl Conv2d {
@@ -70,17 +74,13 @@ impl Conv2d {
             stride,
             pad,
             cache_input: None,
+            scratch: ConvScratch::default(),
         }
     }
 
     fn geom(&self, h: usize, w: usize) -> ConvGeom {
-        ConvGeom {
-            in_h: h,
-            in_w: w,
-            kernel: self.kernel,
-            stride: self.stride,
-            pad: self.pad,
-        }
+        ConvGeom::new(h, w, self.kernel, self.stride, self.pad)
+            .unwrap_or_else(|e| panic!("Conv2d: {}", e))
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
@@ -88,7 +88,13 @@ impl Conv2d {
         if train {
             self.cache_input = Some(input.clone());
         }
-        ops::conv2d(input, &self.weight.value, &self.bias.value, geom)
+        ops::conv2d_scratch(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            geom,
+            &mut self.scratch,
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

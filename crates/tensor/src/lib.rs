@@ -36,7 +36,7 @@ pub use layers::{
     Act, Activation, AvgPool2d, BatchNorm2d, Conv2d, Dense, Dropout, Flatten, GlobalMaxPool,
     LayerKind, MaxPool2d, Param, Sequential,
 };
-pub use ops::ConvGeom;
+pub use ops::{ConvGeom, ConvScratch};
 pub use tensor::Tensor;
 pub use train::{Dataset, Sgd, TrainConfig};
 

@@ -51,7 +51,7 @@ proptest! {
         x2.scale(2.0);
         let weight = Tensor::from_vec(&[1, 1, 3, 3], w);
         let bias = Tensor::zeros(&[1]);
-        let geom = ConvGeom { in_h: 8, in_w: 8, kernel: 3, stride: 1, pad: 1 };
+        let geom = ConvGeom::new(8, 8, 3, 1, 1).unwrap();
         let y1 = ops::conv2d(&x, &weight, &bias, geom);
         let y2 = ops::conv2d(&x2, &weight, &bias, geom);
         for (a, b) in y1.data().iter().zip(y2.data().iter()) {
@@ -65,8 +65,50 @@ proptest! {
         let x = Tensor::from_vec(&[1, 2, 7, 7], data);
         let weight = Tensor::from_vec(&[2, 2, 3, 3], w);
         let bias = Tensor::from_vec(&[2], b);
-        let geom = ConvGeom { in_h: 7, in_w: 7, kernel: 3, stride: 2, pad: 1 };
+        let geom = ConvGeom::new(7, 7, 3, 2, 1).unwrap();
         let fast = ops::conv2d(&x, &weight, &bias, geom);
+        let slow = ops::conv2d_naive(&x, &weight, &bias, geom);
+        for (a, c) in fast.data().iter().zip(slow.data().iter()) {
+            prop_assert!((a - c).abs() < 1e-3, "{} vs {}", a, c);
+        }
+    }
+
+    /// The blocked/tiled GEMM matches the unblocked, unskipped reference on
+    /// random shapes — including shapes far smaller than one tile.
+    #[test]
+    fn blocked_matmul_matches_naive(
+        (m, k, n, a, b) in (1usize..9, 1usize..9, 1usize..9).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), small_vec(m * k), small_vec(k * n))
+        })
+    ) {
+        let ta = Tensor::from_vec(&[m, k], a);
+        let tb = Tensor::from_vec(&[k, n], b);
+        let fast = ops::matmul(&ta, &tb);
+        let slow = ops::matmul_naive(&ta, &tb);
+        let mut reused = vec![f32::NAN; 3]; // dirty buffer must not leak through
+        ops::matmul_into(&ta, &tb, &mut reused);
+        for ((x, y), z) in fast.data().iter().zip(slow.data().iter()).zip(reused.iter()) {
+            prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+            prop_assert!(x.to_bits() == z.to_bits(), "matmul vs matmul_into");
+        }
+    }
+
+    /// Scratch-buffer convolution matches the naive reference even when the
+    /// scratch arrives dirty from an unrelated earlier call.
+    #[test]
+    fn conv_scratch_matches_naive(
+        data in small_vec(2 * 2 * 49),
+        w in small_vec(2 * 2 * 9),
+        b in small_vec(2)
+    ) {
+        let x = Tensor::from_vec(&[2, 2, 7, 7], data);
+        let weight = Tensor::from_vec(&[2, 2, 3, 3], w);
+        let bias = Tensor::from_vec(&[2], b);
+        let geom = ConvGeom::new(7, 7, 3, 2, 1).unwrap();
+        let mut scratch = ops::ConvScratch::default();
+        scratch.cols.resize(31, f32::NAN);
+        scratch.gemm.resize(17, f32::NAN);
+        let fast = ops::conv2d_scratch(&x, &weight, &bias, geom, &mut scratch);
         let slow = ops::conv2d_naive(&x, &weight, &bias, geom);
         for (a, c) in fast.data().iter().zip(slow.data().iter()) {
             prop_assert!((a - c).abs() < 1e-3, "{} vs {}", a, c);

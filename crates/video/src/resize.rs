@@ -25,9 +25,64 @@ pub fn resize_nearest(src: &[u8], sw: usize, sh: usize, dw: usize, dh: usize) ->
 
 /// Bilinear resize of a Gray8 buffer.
 pub fn resize_bilinear(src: &[u8], sw: usize, sh: usize, dw: usize, dh: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    resize_bilinear_into(src, sw, sh, dw, dh, &mut out);
+    out
+}
+
+/// Bilinear resize into a caller-owned buffer (resized and overwritten), so
+/// per-worker scratch can be reused across frames without reallocating.
+pub fn resize_bilinear_into(
+    src: &[u8],
+    sw: usize,
+    sh: usize,
+    dw: usize,
+    dh: usize,
+    out: &mut Vec<u8>,
+) {
     assert_eq!(src.len(), sw * sh, "source buffer size mismatch");
     assert!(dw > 0 && dh > 0, "destination must be non-empty");
-    let mut out = vec![0u8; dw * dh];
+    out.clear();
+    out.resize(dw * dh, 0);
+    let (x_ratio, y_ratio) = bilinear_ratios(sw, sh, dw, dh);
+    for y in 0..dh {
+        let (y0, y1, wy) = bilinear_axis(y, y_ratio, sh);
+        for x in 0..dw {
+            let (x0, x1, wx) = bilinear_axis(x, x_ratio, sw);
+            let v = bilinear_sample(src, sw, y0, y1, wy, x0, x1, wx);
+            out[y * dw + x] = v.round().clamp(0.0, 255.0) as u8;
+        }
+    }
+}
+
+/// Bilinear resize of a Gray8 buffer straight to normalized `f32` in `[0, 1]`,
+/// without rounding through `u8` — keeps the sub-LSB precision that
+/// `SddFilter::calibrate` bakes into δ_diff. Same sample points and weights as
+/// [`resize_bilinear`], so the two stay within 1/255 of each other.
+pub fn resize_bilinear_f32_into(
+    src: &[u8],
+    sw: usize,
+    sh: usize,
+    dw: usize,
+    dh: usize,
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(src.len(), sw * sh, "source buffer size mismatch");
+    assert!(dw > 0 && dh > 0, "destination must be non-empty");
+    out.clear();
+    out.resize(dw * dh, 0.0);
+    let (x_ratio, y_ratio) = bilinear_ratios(sw, sh, dw, dh);
+    for y in 0..dh {
+        let (y0, y1, wy) = bilinear_axis(y, y_ratio, sh);
+        for x in 0..dw {
+            let (x0, x1, wx) = bilinear_axis(x, x_ratio, sw);
+            out[y * dw + x] = bilinear_sample(src, sw, y0, y1, wy, x0, x1, wx) / 255.0;
+        }
+    }
+}
+
+/// Edge-aligned scale factors shared by the u8 and f32 bilinear paths.
+fn bilinear_ratios(sw: usize, sh: usize, dw: usize, dh: usize) -> (f32, f32) {
     let x_ratio = if dw > 1 {
         (sw - 1) as f32 / (dw - 1) as f32
     } else {
@@ -38,41 +93,65 @@ pub fn resize_bilinear(src: &[u8], sw: usize, sh: usize, dw: usize, dh: usize) -
     } else {
         0.0
     };
-    for y in 0..dh {
-        let fy = y as f32 * y_ratio;
-        let y0 = fy.floor() as usize;
-        let y1 = (y0 + 1).min(sh - 1);
-        let wy = fy - y0 as f32;
-        for x in 0..dw {
-            let fx = x as f32 * x_ratio;
-            let x0 = fx.floor() as usize;
-            let x1 = (x0 + 1).min(sw - 1);
-            let wx = fx - x0 as f32;
-            let p00 = src[y0 * sw + x0] as f32;
-            let p01 = src[y0 * sw + x1] as f32;
-            let p10 = src[y1 * sw + x0] as f32;
-            let p11 = src[y1 * sw + x1] as f32;
-            let top = p00 + (p01 - p00) * wx;
-            let bot = p10 + (p11 - p10) * wx;
-            out[y * dw + x] = (top + (bot - top) * wy).round().clamp(0.0, 255.0) as u8;
-        }
-    }
-    out
+    (x_ratio, y_ratio)
+}
+
+/// Source taps and interpolation weight for one destination coordinate.
+#[inline]
+fn bilinear_axis(d: usize, ratio: f32, src_len: usize) -> (usize, usize, f32) {
+    let f = d as f32 * ratio;
+    let lo = f.floor() as usize;
+    let hi = (lo + 1).min(src_len - 1);
+    (lo, hi, f - lo as f32)
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)] // tap coordinates come straight from bilinear_axis
+fn bilinear_sample(
+    src: &[u8],
+    sw: usize,
+    y0: usize,
+    y1: usize,
+    wy: f32,
+    x0: usize,
+    x1: usize,
+    wx: f32,
+) -> f32 {
+    let p00 = src[y0 * sw + x0] as f32;
+    let p01 = src[y0 * sw + x1] as f32;
+    let p10 = src[y1 * sw + x0] as f32;
+    let p11 = src[y1 * sw + x1] as f32;
+    let top = p00 + (p01 - p00) * wx;
+    let bot = p10 + (p11 - p10) * wx;
+    top + (bot - top) * wy
 }
 
 /// Resize a frame's luminance plane to `(dw, dh)` with bilinear filtering.
 /// Color frames are converted to luma first — every filter in the cascade
 /// works on luminance.
 pub fn resize_frame(frame: &Frame, dw: usize, dh: usize) -> Vec<u8> {
-    resize_bilinear(&frame.luma(), frame.width, frame.height, dw, dh)
+    let mut out = Vec::new();
+    resize_frame_into(frame, dw, dh, &mut out);
+    out
+}
+
+/// [`resize_frame`] into a caller-owned buffer.
+pub fn resize_frame_into(frame: &Frame, dw: usize, dh: usize, out: &mut Vec<u8>) {
+    resize_bilinear_into(&frame.luma(), frame.width, frame.height, dw, dh, out);
 }
 
 /// Resize a frame and normalize to `f32` in `[0, 1]` (filter input format).
+/// Computes the f32 path directly — no intermediate `u8` quantization, no
+/// second allocation.
 pub fn resize_frame_f32(frame: &Frame, dw: usize, dh: usize) -> Vec<f32> {
-    resize_frame(frame, dw, dh)
-        .into_iter()
-        .map(|p| p as f32 / 255.0)
-        .collect()
+    let mut out = Vec::new();
+    resize_frame_f32_into(frame, dw, dh, &mut out);
+    out
+}
+
+/// [`resize_frame_f32`] into a caller-owned buffer.
+pub fn resize_frame_f32_into(frame: &Frame, dw: usize, dh: usize, out: &mut Vec<f32>) {
+    resize_bilinear_f32_into(&frame.luma(), frame.width, frame.height, dw, dh, out);
 }
 
 #[cfg(test)]
@@ -112,6 +191,50 @@ mod tests {
         // 1x2 image [0, 100] upscaled to 1x3 -> midpoint is 50
         let out = resize_bilinear(&[0, 100], 2, 1, 3, 1);
         assert_eq!(out, vec![0, 50, 100]);
+    }
+
+    #[test]
+    fn f32_path_stays_within_one_lsb_of_u8_path() {
+        // deterministic pseudo-random source so every tap weight is exercised
+        let src: Vec<u8> = (0..40 * 30)
+            .map(|i| ((i * 2654435761u64 as usize) >> 7) as u8)
+            .collect();
+        let mut f32_out = Vec::new();
+        resize_bilinear_f32_into(&src, 40, 30, 17, 11, &mut f32_out);
+        let u8_out = resize_bilinear(&src, 40, 30, 17, 11);
+        for (f, &q) in f32_out.iter().zip(u8_out.iter()) {
+            let diff = (f - q as f32 / 255.0).abs();
+            // u8 path rounds to the nearest level, so half an LSB either way
+            assert!(diff <= 0.5 / 255.0 + 1e-6, "diff {} exceeds 1/255", diff);
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_and_reuse_buffers() {
+        let src: Vec<u8> = (0..64).map(|i| (i * 3) as u8).collect();
+        let fresh = resize_bilinear(&src, 8, 8, 5, 5);
+        let mut buf = vec![123u8; 3]; // stale, wrongly sized
+        resize_bilinear_into(&src, 8, 8, 5, 5, &mut buf);
+        assert_eq!(fresh, buf);
+        // shrink through the same buffer: no stale tail
+        resize_bilinear_into(&src, 8, 8, 2, 2, &mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf, resize_bilinear(&src, 8, 8, 2, 2));
+        let mut fbuf = vec![9.9f32; 100];
+        resize_bilinear_f32_into(&src, 8, 8, 5, 5, &mut fbuf);
+        assert_eq!(fbuf.len(), 25);
+        assert!(fbuf.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn f32_identity_is_exact() {
+        // identity resize must reproduce src/255 exactly (no quantization)
+        let src = vec![5u8, 9, 200, 17];
+        let mut out = Vec::new();
+        resize_bilinear_f32_into(&src, 2, 2, 2, 2, &mut out);
+        for (o, &s) in out.iter().zip(src.iter()) {
+            assert_eq!(*o, s as f32 / 255.0);
+        }
     }
 
     #[test]

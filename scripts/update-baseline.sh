@@ -22,6 +22,7 @@ path = "results/BENCH_BASELINE.json"
 with open(path, encoding="utf-8") as fh:
     doc = json.load(fh)
 doc.pop("provisional", None)
+doc.pop("provisional_note", None)
 with open(path, "w", encoding="utf-8") as fh:
     json.dump(doc, fh, indent=2, sort_keys=False)
     fh.write("\n")

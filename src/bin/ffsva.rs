@@ -21,6 +21,7 @@ use ffs_va::models::reference::ReferenceModel;
 use ffs_va::models::sdd::SddFilter;
 use ffs_va::models::snm::{SnmReport, SnmTrainOptions};
 use ffs_va::models::tyolo::TinyYolo;
+use ffs_va::models::{fit_batch_curve, CostSpec, Scratch};
 use ffs_va::prelude::*;
 use ffs_va::video::storage::{write_clip, ClipReader};
 use rand::rngs::StdRng;
@@ -62,7 +63,7 @@ from them; --stop-after N truncates each stream's input to simulate a kill.
                  [--filter-gpus N] [--ref-gpus N] [--max-streams N]
                  [--tor F] [--seed N] [--target <class>] [--fast]
   ffsva bench    [--out <BENCH.json>] [--streams N] [--frames N]
-                 [--train-frames N] [--tor F] [--seed N] [--full]
+                 [--train-frames N] [--tor F] [--seed N] [--full] [--fit-cost]
 
 Object classes: car, bus, truck, person, dog, cat, bicycle.
 ";
@@ -810,8 +811,126 @@ struct BenchReport {
     schema_version: u32,
     workload: String,
     seed: u64,
+    kernel: KernelBench,
+    stage: StageBench,
     des: BenchSection,
     rt: BenchSection,
+}
+
+/// Kernel-level series (`kernel.*` dotted paths in `BENCH.json`).
+#[derive(Serialize)]
+struct KernelBench {
+    /// Blocked-GEMM throughput on a cache-warm 128x128x128 `matmul_into`.
+    matmul_gflops: f64,
+    /// One `im2col_into` pass on the SNM layer-1 geometry (1x50x50, k5 s2 p2).
+    im2col_us: f64,
+}
+
+/// Stage-level series (`stage.*` dotted paths in `BENCH.json`).
+#[derive(Serialize)]
+struct StageBench {
+    snm: SnmStageBench,
+}
+
+/// Measured SNM batch-forward throughput via `predict_batch_frames` — the
+/// exact entry point the RT batch stage calls.
+#[derive(Serialize)]
+struct SnmStageBench {
+    /// Frames/s at the headline batch size (`batch_size`).
+    batch_fps: f64,
+    /// Frames/s at batch size 1 (the pre-batching per-frame path).
+    batch1_fps: f64,
+    batch_size: usize,
+    /// Affine fit of the measured curve (`fit_batch_curve`); 0 when degenerate.
+    fitted_invoke_us: f64,
+    fitted_per_frame_us: f64,
+}
+
+/// Headline batch size the `stage.snm.batch_fps` series is reported at.
+const SNM_BENCH_BATCH: usize = 10;
+
+/// Measure raw kernel throughput for the two hot primitives every cascade
+/// stage bottoms out in: the blocked GEMM and the im2col lowering.
+fn bench_kernels() -> KernelBench {
+    use ffs_va::tensor::ops::{im2col_into, matmul_into, ConvGeom};
+    use ffs_va::tensor::Tensor;
+    use std::time::Instant;
+
+    let n = 128usize;
+    let fill = |seed: usize| -> Vec<f32> {
+        (0..n * n)
+            .map(|i| (((i * 31 + seed) % 17) as f32 - 8.0) * 0.1)
+            .collect()
+    };
+    let a = Tensor::from_vec(&[n, n], fill(1));
+    let b = Tensor::from_vec(&[n, n], fill(2));
+    let mut out = Vec::new();
+    matmul_into(&a, &b, &mut out); // warm-up: allocates the output buffer
+    let reps = 40;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        matmul_into(&a, &b, &mut out);
+    }
+    let matmul_gflops = 2.0 * (n * n * n) as f64 * reps as f64 / t0.elapsed().as_secs_f64() / 1e9;
+
+    let geom = ConvGeom::new(50, 50, 5, 2, 2).expect("SNM layer-1 geometry");
+    let img: Vec<f32> = (0..50 * 50).map(|i| (i % 251) as f32 / 250.0).collect();
+    let mut cols = Vec::new();
+    im2col_into(&img, 1, geom, &mut cols); // warm-up
+    let reps = 400;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        im2col_into(&img, 1, geom, &mut cols);
+    }
+    let im2col_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    KernelBench {
+        matmul_gflops,
+        im2col_us,
+    }
+}
+
+/// Probe the trained SNM's real batch-latency curve through
+/// `predict_batch_frames` and fit the DES cost model to it.
+///
+/// Returns the stage series plus the fitted `CostSpec` (for `--fit-cost`).
+fn bench_snm_stage(snm: &mut SnmModel, clip: &[LabeledFrame]) -> (SnmStageBench, Option<CostSpec>) {
+    use std::time::Instant;
+
+    let mut scratch = Scratch::new();
+    let sizes = [1usize, 2, 5, SNM_BENCH_BATCH, 20, 30];
+    let mut samples: Vec<(usize, f64)> = Vec::new();
+    let (mut batch_fps, mut batch1_fps) = (0.0, 0.0);
+    for &size in &sizes {
+        let frames: Vec<&Frame> = (0..size).map(|i| &clip[i % clip.len()].frame).collect();
+        let _ = snm.predict_batch_frames(&frames, &mut scratch); // warm scratch
+        let reps = (64 / size).max(3);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = snm.predict_batch_frames(&frames, &mut scratch);
+        }
+        let batch_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        samples.push((size, batch_us));
+        let fps = size as f64 * 1e6 / batch_us;
+        if size == 1 {
+            batch1_fps = fps;
+        }
+        if size == SNM_BENCH_BATCH {
+            batch_fps = fps;
+        }
+    }
+    // Fit keeps the paper-calibrated resize/memory costs; only the invoke
+    // intercept and per-frame slope come from the measured curve.
+    let paper = ffs_va::models::snm_cost();
+    let fitted = fit_batch_curve(&samples, paper.resize_us, paper.mem_bytes);
+    let stage = SnmStageBench {
+        batch_fps,
+        batch1_fps,
+        batch_size: SNM_BENCH_BATCH,
+        fitted_invoke_us: fitted.map_or(0.0, |s| s.invoke_us),
+        fitted_per_frame_us: fitted.map_or(0.0, |s| s.per_frame_us),
+    };
+    (stage, fitted)
 }
 
 /// Run the headline workload through both engines and write `BENCH.json`.
@@ -823,6 +942,7 @@ struct BenchReport {
 fn cmd_bench(args: &mut Args) -> Result<(), String> {
     let out = PathBuf::from(args.opt("out")?.unwrap_or_else(|| "BENCH.json".into()));
     let full = args.flag("full");
+    let fit_cost = args.flag("fit-cost");
     let streams: usize = args.parsed("streams", 4)?;
     let frames: usize = args.parsed("frames", if full { 2000 } else { 600 })?;
     let train_frames: usize = args.parsed("train-frames", if full { 2200 } else { 900 })?;
@@ -841,7 +961,7 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
     };
     let workload_name = cfg.name.clone();
     let target = cfg.target;
-    let sys = FfsVaConfig::default();
+    let mut sys = FfsVaConfig::default();
     println!(
         "bench: workload '{}' (train {} frames, bench {} frames; {} DES stream(s) + 1 RT stream)",
         workload_name, train_frames, frames, streams
@@ -853,6 +973,35 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
     let mut bank = FilterBank::build(&training, target, &bank_options(!full), &mut rng);
     let clip = camera.clip(frames);
     let traces = bank.trace_clip(&clip);
+
+    // Kernel + stage series come before the engine legs: `run_pipeline_rt`
+    // consumes the bank, so probe a clone of the trained SNM here.
+    let kernel = bench_kernels();
+    let mut probe_snm = bank.snm.clone();
+    let (snm_stage, fitted) = bench_snm_stage(&mut probe_snm, &clip);
+    println!();
+    println!(
+        "kernels: matmul {:.2} GFLOP/s, im2col {:.1} us (SNM layer 1)",
+        kernel.matmul_gflops, kernel.im2col_us
+    );
+    println!(
+        "snm stage: batch{} {:.0} fps vs batch1 {:.0} fps (fit: invoke {:.0} us + {:.1} us/frame)",
+        snm_stage.batch_size,
+        snm_stage.batch_fps,
+        snm_stage.batch1_fps,
+        snm_stage.fitted_invoke_us,
+        snm_stage.fitted_per_frame_us
+    );
+    if fit_cost {
+        match fitted {
+            Some(spec) => {
+                println!("--fit-cost: DES SNM stage uses the measured batch curve");
+                sys = sys.with_snm_cost(spec);
+            }
+            None => println!("--fit-cost: degenerate batch curve, keeping calibrated costs"),
+        }
+    }
+
     let th = StreamThresholds {
         delta_diff: bank.sdd.delta_diff,
         t_pre: bank.snm.t_pre(sys.filter_degree),
@@ -880,6 +1029,8 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
         schema_version: 1,
         workload: workload_name,
         seed,
+        kernel,
+        stage: StageBench { snm: snm_stage },
         des: BenchSection {
             engine: "des",
             streams,

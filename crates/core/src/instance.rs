@@ -5,6 +5,7 @@
 
 use crate::config::FfsVaConfig;
 use crate::sim::{Engine, Mode, SimResult, StreamInput};
+use ffsva_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Admission signal (§4.3.1): the instance has spare capacity when the
@@ -21,26 +22,42 @@ pub fn is_overloaded(result: &SimResult, cfg: &FfsVaConfig) -> bool {
 
 /// Find the maximum number of concurrent online streams the instance
 /// sustains in real time, by doubling then binary-searching over stream
-/// counts. `make_inputs(n)` must build `n` stream inputs.
+/// counts.
+///
+/// `make_inputs` is invoked **exactly once**, with `upper_bound`, and every
+/// probe at `n` simulates the first `n` of those inputs. This makes the
+/// search deterministic for any builder — seeded, stateful, or otherwise:
+/// the input set cannot drift between probe steps (the old behaviour
+/// rebuilt inputs from scratch at every step, so a builder advancing an RNG
+/// or counter across calls would hand different workloads to different
+/// probes of the same search). It also means the builder must produce its
+/// streams position-independently: input `i` is the same stream whether 3
+/// or 300 are ultimately probed, which holds for every in-tree builder
+/// (`tile_inputs` rotations depend only on the index).
 pub fn find_max_online_streams(
     cfg: &FfsVaConfig,
     mut make_inputs: impl FnMut(usize) -> Vec<StreamInput>,
     upper_bound: usize,
 ) -> usize {
-    let ok = |n: usize, make_inputs: &mut dyn FnMut(usize) -> Vec<StreamInput>| -> bool {
+    if upper_bound == 0 {
+        return 0;
+    }
+    let pool = make_inputs(upper_bound);
+    let upper_bound = upper_bound.min(pool.len());
+    let ok = |n: usize| -> bool {
         if n == 0 {
             return true;
         }
-        let r = Engine::new(*cfg, Mode::Online, make_inputs(n)).run();
+        let r = Engine::new(*cfg, Mode::Online, pool[..n].to_vec()).run();
         r.realtime(cfg.online_fps)
     };
-    if !ok(1, &mut make_inputs) {
+    if pool.is_empty() || !ok(1) {
         return 0;
     }
     // exponential probe
     let mut lo = 1usize;
     let mut hi = 2usize;
-    while hi <= upper_bound && ok(hi, &mut make_inputs) {
+    while hi <= upper_bound && ok(hi) {
         lo = hi;
         hi *= 2;
     }
@@ -48,13 +65,50 @@ pub fn find_max_online_streams(
     // binary search in (lo, hi)
     while hi - lo > 1 {
         let mid = (lo + hi) / 2;
-        if ok(mid, &mut make_inputs) {
+        if ok(mid) {
             lo = mid;
         } else {
             hi = mid;
         }
     }
     lo
+}
+
+/// OS threads one FFS-VA process can realistically dedicate to pipeline
+/// stages before scheduler churn and stack memory dominate — the planning
+/// budget behind `ffsva capacity --pooled`.
+pub const DEFAULT_THREAD_BUDGET: usize = 256;
+
+/// Threads the RT engine needs to host `n` concurrent streams under the
+/// layout `cfg` selects.
+///
+/// * Per-stream-thread layout: each stream owns an SDD thread, an SNM
+///   thread, their two supervisor monitor threads, and a reference-stage
+///   thread (5 per stream), plus the one shared T-YOLO thread.
+/// * Pooled layout (`cfg.pooled()`): the SDD and SNM pools hold a fixed
+///   worker count regardless of stream count, supervision is folded into
+///   the workers (no monitor threads), so only the reference stage still
+///   scales per stream, plus the shared T-YOLO.
+///
+/// Feeder/ingest threads are workload-shaped identically in both layouts
+/// and cancel out of the ratio, so they are left out of the model.
+pub fn threads_for_streams(cfg: &FfsVaConfig, n: usize) -> usize {
+    if cfg.pooled() {
+        cfg.pool_workers_sdd.max(1) + cfg.pool_workers_snm.max(1) + 1 + n
+    } else {
+        5 * n + 1
+    }
+}
+
+/// The largest stream count whose thread demand fits `budget` under the
+/// layout `cfg` selects — the instance's structural stream ceiling.
+pub fn max_streams_by_threads(cfg: &FfsVaConfig, budget: usize) -> usize {
+    if cfg.pooled() {
+        let fixed = cfg.pool_workers_sdd.max(1) + cfg.pool_workers_snm.max(1) + 1;
+        budget.saturating_sub(fixed)
+    } else {
+        budget.saturating_sub(1) / 5
+    }
 }
 
 /// Where a newly offered stream ended up.
@@ -74,20 +128,44 @@ pub enum Placement {
 pub struct AdmissionController {
     cfg: FfsVaConfig,
     instances: Vec<Vec<StreamInput>>,
+    /// Live T-YOLO throughput per instance, fed from running-engine
+    /// telemetry via [`AdmissionController::observe_telemetry`]. `None`
+    /// means no live measurement yet — decisions fall back to simulation.
+    measured_tyolo_fps: Vec<Option<f64>>,
 }
 
 impl AdmissionController {
+    /// A controller over `n_instances` instances. Zero instances is a valid
+    /// (degenerate) fleet: every offer is rejected until capacity is added.
     pub fn new(cfg: FfsVaConfig, n_instances: usize) -> Self {
-        assert!(n_instances > 0);
         AdmissionController {
             cfg,
             instances: vec![Vec::new(); n_instances],
+            measured_tyolo_fps: vec![None; n_instances],
         }
     }
 
     /// Streams currently placed on each instance.
     pub fn loads(&self) -> Vec<usize> {
         self.instances.iter().map(|v| v.len()).collect()
+    }
+
+    /// Fold a live telemetry snapshot from `instance`'s running engine into
+    /// admission decisions: the measured shared-T-YOLO rate replaces the
+    /// simulated spare-capacity probe for that instance (§4.3.1's "T-YOLO
+    /// speed" signal, measured rather than predicted). `wall_s` is the
+    /// window the snapshot covers.
+    pub fn observe_telemetry(&mut self, instance: usize, snap: &TelemetrySnapshot, wall_s: f64) {
+        if instance >= self.measured_tyolo_fps.len() || wall_s <= 0.0 {
+            return;
+        }
+        let tyolo_in = snap.stage_total("tyolo", "frames_in");
+        self.measured_tyolo_fps[instance] = Some(tyolo_in as f64 / wall_s);
+    }
+
+    /// The live T-YOLO rates currently informing admission, per instance.
+    pub fn measured_rates(&self) -> &[Option<f64>] {
+        &self.measured_tyolo_fps
     }
 
     fn simulate(&self, instance: usize, extra: Option<&StreamInput>) -> Option<SimResult> {
@@ -108,6 +186,14 @@ impl AdmissionController {
         let mut order: Vec<usize> = (0..self.instances.len()).collect();
         order.sort_by_key(|&i| self.instances[i].len());
         for i in order {
+            // Fast reject on live telemetry: an instance whose *measured*
+            // shared T-YOLO already runs at or above the admission rate has
+            // no spare capacity, whatever the simulation would predict.
+            if let Some(fps) = self.measured_tyolo_fps[i] {
+                if fps >= self.cfg.admission_tyolo_fps {
+                    continue;
+                }
+            }
             // Fast reject: if the instance already shows no spare capacity,
             // skip the expensive what-if (§4.3.1's T-YOLO speed signal).
             if !self.instances[i].is_empty() {
@@ -352,6 +438,140 @@ mod tests {
         // least-loaded-first keeps the split even
         assert_eq!(loads[0], 3);
         assert_eq!(loads[1], 3);
+    }
+
+    #[test]
+    fn find_max_is_deterministic_with_a_stateful_builder() {
+        let cfg = FfsVaConfig::default();
+        // A builder that would drift if invoked once per probe step: it
+        // advances a counter across *calls*, so a second invocation would
+        // produce different (heavier) streams. The search must call it
+        // exactly once and probe prefixes of that one input set.
+        let run = || {
+            let mut calls = 0usize;
+            let n_streams = find_max_online_streams(
+                &cfg,
+                |n| {
+                    calls += 1;
+                    // stream i is the same whatever n is (prefix-stable) …
+                    (0..n)
+                        .map(|_| synthetic_input(400, 3 + calls - 1))
+                        .collect()
+                    // … but a second call would use target_every=4, a
+                    // different workload entirely.
+                },
+                64,
+            );
+            (n_streams, calls)
+        };
+        let (a, calls_a) = run();
+        let (b, calls_b) = run();
+        assert_eq!(calls_a, 1, "builder must be invoked exactly once");
+        assert_eq!(calls_b, 1);
+        assert_eq!(a, b, "same seed, same count: {} vs {}", a, b);
+        assert!(a >= 1);
+    }
+
+    #[test]
+    fn find_max_handles_degenerate_bounds() {
+        let cfg = FfsVaConfig::default();
+        assert_eq!(
+            find_max_online_streams(
+                &cfg,
+                |n| (0..n).map(|_| synthetic_input(400, 10)).collect(),
+                0
+            ),
+            0
+        );
+        // builder returning fewer inputs than requested clamps the search
+        assert!(find_max_online_streams(&cfg, |_| vec![synthetic_input(400, 10)], 64) <= 1);
+    }
+
+    #[test]
+    fn zero_instance_controller_rejects_without_panicking() {
+        let cfg = FfsVaConfig::default();
+        let mut ctl = AdmissionController::new(cfg, 0);
+        assert!(ctl.loads().is_empty());
+        assert_eq!(ctl.try_admit(synthetic_input(300, 4)), Placement::Rejected);
+        assert!(ctl.into_instances().is_empty());
+    }
+
+    #[test]
+    fn all_overloaded_fleet_rejects_newcomers() {
+        let cfg = FfsVaConfig::default();
+        let mut ctl = AdmissionController::new(cfg, 2);
+        // Saturate both instances with TOR-1 streams (every frame matters),
+        // then verify the next offer is refused by every instance.
+        let mut rejected = false;
+        for _ in 0..64 {
+            if ctl.try_admit(synthetic_input(400, 1)) == Placement::Rejected {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "fleet must saturate within the offer budget");
+        assert_eq!(ctl.try_admit(synthetic_input(400, 1)), Placement::Rejected);
+        // both instances actually carry load — the rejection is a true
+        // all-overloaded verdict, not an empty-fleet artifact
+        assert!(
+            ctl.loads().iter().all(|&l| l > 0),
+            "loads {:?}",
+            ctl.loads()
+        );
+    }
+
+    #[test]
+    fn live_telemetry_overrides_simulated_spare_capacity() {
+        use ffsva_telemetry::Telemetry;
+
+        let cfg = FfsVaConfig::default();
+        let mut ctl = AdmissionController::new(cfg, 2);
+        // One light stream per instance, so the fleet is tied on load and
+        // the next offer would land on instance 0 by index order.
+        assert_eq!(
+            ctl.try_admit(synthetic_input(300, 10)),
+            Placement::Admitted { instance: 0 }
+        );
+        assert_eq!(
+            ctl.try_admit(synthetic_input(300, 10)),
+            Placement::Admitted { instance: 1 }
+        );
+        // Live telemetry says instance 0's shared T-YOLO is already at the
+        // admission rate: 1500 frames over 10 s ≥ 140 FPS.
+        let tel = Telemetry::new();
+        tel.counter("stream0.tyolo.frames_in").add(1500);
+        ctl.observe_telemetry(0, &tel.snapshot(), 10.0);
+        assert!(ctl.measured_rates()[0].unwrap() >= cfg.admission_tyolo_fps);
+        let p = ctl.try_admit(synthetic_input(300, 10));
+        assert_eq!(
+            p,
+            Placement::Admitted { instance: 1 },
+            "measured overload must steer admission to the other instance"
+        );
+        // A fresh (cheap) measurement releases the instance again.
+        let tel2 = Telemetry::new();
+        tel2.counter("stream0.tyolo.frames_in").add(100);
+        ctl.observe_telemetry(0, &tel2.snapshot(), 10.0);
+        assert!(ctl.measured_rates()[0].unwrap() < cfg.admission_tyolo_fps);
+        // out-of-range instance and zero wall are ignored, not panics
+        ctl.observe_telemetry(99, &tel2.snapshot(), 10.0);
+        ctl.observe_telemetry(0, &tel2.snapshot(), 0.0);
+    }
+
+    #[test]
+    fn pooled_thread_ceiling_is_at_least_4x_per_stream_threads() {
+        let threaded = FfsVaConfig::default();
+        let pooled = FfsVaConfig::default().with_pool_workers(8, 8);
+        let t = max_streams_by_threads(&threaded, DEFAULT_THREAD_BUDGET);
+        let p = max_streams_by_threads(&pooled, DEFAULT_THREAD_BUDGET);
+        assert_eq!(t, 51, "5 threads/stream + shared tyolo under 256");
+        assert_eq!(p, 239, "8+8 pool workers + shared tyolo under 256");
+        assert!(p >= 4 * t, "pooled {} vs threaded {}", p, t);
+        // the demand model and the ceiling agree at the boundary
+        assert!(threads_for_streams(&threaded, t) <= DEFAULT_THREAD_BUDGET);
+        assert!(threads_for_streams(&threaded, t + 1) > DEFAULT_THREAD_BUDGET);
+        assert!(threads_for_streams(&pooled, p) <= DEFAULT_THREAD_BUDGET);
+        assert!(threads_for_streams(&pooled, p + 1) > DEFAULT_THREAD_BUDGET);
     }
 
     #[test]

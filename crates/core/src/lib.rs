@@ -62,7 +62,8 @@ pub use ffsva_sched::{DegradePolicy, FaultPlan, FaultStage, StageFault};
 pub use ffsva_telemetry::{PipelineDigest, Telemetry, TelemetrySnapshot};
 pub use instance::{
     balance_instances, balance_instances_from, find_max_online_streams, has_spare_capacity,
-    is_overloaded, AdmissionController, Placement,
+    is_overloaded, max_streams_by_threads, threads_for_streams, AdmissionController, Placement,
+    DEFAULT_THREAD_BUDGET,
 };
 pub use rt_engine::{
     run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, run_multi_pipeline_rt_robust,

@@ -12,12 +12,13 @@ use ffsva_models::tyolo::TinyYolo;
 use ffsva_models::{Scratch, SddFilter};
 use ffsva_sched::{
     spawn_batch_stage_faulted, spawn_batch_stage_instrumented, spawn_filter_stage_faulted,
-    spawn_filter_stage_instrumented, supervise, DegradePolicy, FaultAction, FaultPlan, FaultStage,
-    FeedbackQueue, IngestCore, IngestOutput, StageFaultCtx, SupervisorPolicy, SupervisorTelemetry,
+    spawn_filter_stage_instrumented, spawn_stage_pool, supervise, DegradePolicy, FaultAction,
+    FaultPlan, FaultStage, FeedbackQueue, IngestCore, IngestOutput, PoolPolicy, PoolSlot,
+    PoolStreamOutcome, StageFaultCtx, StageOutcome, SupervisorPolicy, SupervisorTelemetry,
     WatchEntry, Watchdog,
 };
 use ffsva_telemetry::{
-    QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot, LATENCY_BOUNDS_US,
+    PoolTelemetry, QueueTelemetry, StageTelemetry, Telemetry, TelemetrySnapshot, LATENCY_BOUNDS_US,
 };
 use ffsva_video::{
     frame_checksum, plan_reconnect, ClipSource, Frame, LabeledFrame, ReconnectOutcome,
@@ -331,12 +332,51 @@ impl MultiRtResult {
     }
 }
 
+/// What a per-stream filter stage (SDD/SNM) reports at the end of a run,
+/// whichever execution layout produced it: a threaded supervisor's
+/// [`StageOutcome`] or a sharded pool's [`PoolStreamOutcome`]. Collapsing
+/// both into one shape lets the checkpoint and health accounting stay
+/// layout-agnostic — which is itself part of the bit-identity argument.
+struct StageReport {
+    processed: u64,
+    restarts: u32,
+    gave_up: bool,
+}
+
+impl From<StageOutcome> for StageReport {
+    fn from(o: StageOutcome) -> Self {
+        StageReport {
+            processed: o.processed(),
+            restarts: o.restarts(),
+            gave_up: o.gave_up(),
+        }
+    }
+}
+
+impl From<PoolStreamOutcome> for StageReport {
+    fn from(o: PoolStreamOutcome) -> Self {
+        StageReport {
+            processed: o.processed,
+            restarts: o.restarts,
+            gave_up: o.gave_up,
+        }
+    }
+}
+
 /// Run several streams through real threaded pipelines that share **one**
 /// T-YOLO thread, exactly as §3.2.3 prescribes: per-stream SDD and SNM
 /// threads feed per-stream T-YOLO queues; a single detector thread visits
 /// the queues round-robin, takes at most `num_tyolo` frames from each
 /// (skipping empty queues), and forwards survivors to per-stream reference
 /// stages.
+///
+/// When `cfg.pool_workers_sdd`/`cfg.pool_workers_snm` are non-zero the
+/// per-stream SDD/SNM threads are replaced by two sharded worker pools
+/// (`ffsva_sched::pool`): N workers per stage serve every stream's slot,
+/// per-stream FIFO preserved by exclusive slot ownership, supervision
+/// (restart budget, backoff, give-up quarantine) replicated per stream.
+/// Survivor sets, frame counters, and checkpoints are bit-identical across
+/// layouts — `tests/pool_conformance.rs` proves it.
 ///
 /// Every per-stream stage runs under supervision (restart budget
 /// `cfg.restart_budget`, exponential backoff from `cfg.restart_backoff_ms`),
@@ -454,9 +494,14 @@ pub fn run_multi_pipeline_rt_robust(
     // frames then route straight to the reference queue.
     let bypass = Arc::new(AtomicBool::new(false));
 
+    let pooled = cfg.pooled();
     let mut total = 0u64;
     let mut sdd_sups = Vec::new();
     let mut snm_sups = Vec::new();
+    // Pooled layout: per-stream slots accumulated here, then handed to two
+    // sharded worker pools after the per-stream wiring loop.
+    let mut sdd_slots: Vec<PoolSlot<InFlight, InFlight, Scratch>> = Vec::new();
+    let mut snm_slots: Vec<PoolSlot<InFlight, InFlight, Scratch>> = Vec::new();
     let mut feeders: Vec<std::thread::JoinHandle<SourceReport>> = Vec::new();
     let mut ckpt_states: Vec<Option<(StreamThresholds, SddFilter, (f32, f32))>> = Vec::new();
     let mut tyolo_qs: Vec<FeedbackQueue<InFlight>> = Vec::new();
@@ -536,145 +581,238 @@ pub fn run_multi_pipeline_rt_robust(
         let inj_ref = plan.injector(s, FaultStage::Reference);
 
         // --- supervised SDD stage (CPU in the paper) ---
-        let factory = {
-            let q_in = q_sdd.clone();
-            let q_down = q_snm.clone();
-            let stage_tel = sdd_tel.clone();
-            let inj = inj_sdd;
-            let lat = lat_e2e.clone();
+        let sdd_sup_tel =
+            SupervisorTelemetry::register(&tel, &format!("rt.supervisor.stream{}.sdd", s));
+        if pooled {
+            // Slot for the sharded SDD pool. Same fault context, accounting,
+            // and filter body as the threaded factory below — the scratch
+            // moves from per-incarnation to per-worker (handed in by the
+            // pool), which cannot affect results: SDD distances are scratch-
+            // shape-independent.
+            let lat_drop = lat_e2e.clone();
+            let lat_q = lat_e2e.clone();
+            let lat_l = lat_e2e.clone();
             let sdd = Arc::clone(&sdd);
             let delta = sdd.delta_diff;
-            move || {
-                let sdd = Arc::clone(&sdd);
-                let lat_drop = lat.clone();
-                let lat_q = lat.clone();
-                let lat_l = lat.clone();
-                let ctx: StageFaultCtx<InFlight, InFlight> = StageFaultCtx {
-                    inj: inj.clone(),
+            sdd_slots.push(PoolSlot {
+                stream: s,
+                input: q_sdd.clone(),
+                outputs: vec![q_snm.clone()],
+                route: Box::new(|_| 0),
+                batch: None,
+                tel: sdd_tel.clone(),
+                sup_tel: sdd_sup_tel,
+                ctx: StageFaultCtx {
+                    inj: inj_sdd.clone(),
                     seq_in: Box::new(|(_, lf)| lf.frame.seq),
                     seq_out: Box::new(|(_, lf)| lf.frame.seq),
                     on_quarantine: Box::new(move |(t0, _)| lat_q.record(elapsed_us(t0))),
                     on_lost: Box::new(move |(t0, _)| lat_l.record(elapsed_us(t0))),
-                };
-                let mut scratch = Scratch::new();
-                spawn_filter_stage_faulted(
-                    format!("sdd-{}", s),
-                    q_in.clone(),
-                    q_down.clone(),
-                    stage_tel.clone(),
-                    ctx,
-                    move |(t0, lf): InFlight| {
-                        if sdd.distance_with(&lf.frame, &mut scratch) > delta {
-                            Some((t0, lf))
-                        } else {
-                            lat_drop.record(elapsed_us(t0));
-                            None
-                        }
-                    },
-                )
-            }
-        };
-        let give_up = {
-            let q_in = q_sdd.clone();
-            let q_down = q_snm.clone();
-            let stage_tel = sdd_tel.clone();
-            let lat = lat_e2e.clone();
-            move |_f: &ffsva_sched::StageFailure| {
-                // Quarantine-drain everything still arriving (the feeder
-                // closes the queue when the clip ends), then release
-                // downstream so the rest of the cascade can finish.
-                while let Some((t0, _)) = q_in.pop() {
-                    stage_tel.frames_quarantined.inc();
-                    lat.record(elapsed_us(t0));
+                },
+                work: Box::new(move |mut items, scratch: &mut Scratch| {
+                    let (t0, lf) = items.pop().expect("one item per filter quantum");
+                    if sdd.distance_with(&lf.frame, scratch) > delta {
+                        vec![(t0, lf)]
+                    } else {
+                        lat_drop.record(elapsed_us(t0));
+                        Vec::new()
+                    }
+                }),
+            });
+        } else {
+            let factory = {
+                let q_in = q_sdd.clone();
+                let q_down = q_snm.clone();
+                let stage_tel = sdd_tel.clone();
+                let inj = inj_sdd;
+                let lat = lat_e2e.clone();
+                let sdd = Arc::clone(&sdd);
+                let delta = sdd.delta_diff;
+                move || {
+                    let sdd = Arc::clone(&sdd);
+                    let lat_drop = lat.clone();
+                    let lat_q = lat.clone();
+                    let lat_l = lat.clone();
+                    let ctx: StageFaultCtx<InFlight, InFlight> = StageFaultCtx {
+                        inj: inj.clone(),
+                        seq_in: Box::new(|(_, lf)| lf.frame.seq),
+                        seq_out: Box::new(|(_, lf)| lf.frame.seq),
+                        on_quarantine: Box::new(move |(t0, _)| lat_q.record(elapsed_us(t0))),
+                        on_lost: Box::new(move |(t0, _)| lat_l.record(elapsed_us(t0))),
+                    };
+                    let mut scratch = Scratch::new();
+                    spawn_filter_stage_faulted(
+                        format!("sdd-{}", s),
+                        q_in.clone(),
+                        q_down.clone(),
+                        stage_tel.clone(),
+                        ctx,
+                        move |(t0, lf): InFlight| {
+                            if sdd.distance_with(&lf.frame, &mut scratch) > delta {
+                                Some((t0, lf))
+                            } else {
+                                lat_drop.record(elapsed_us(t0));
+                                None
+                            }
+                        },
+                    )
                 }
-                q_down.close();
-            }
-        };
-        sdd_sups.push(supervise(
-            format!("sdd-{}", s),
-            sup_policy,
-            SupervisorTelemetry::register(&tel, &format!("rt.supervisor.stream{}.sdd", s)),
-            factory,
-            give_up,
-        ));
+            };
+            let give_up = {
+                let q_in = q_sdd.clone();
+                let q_down = q_snm.clone();
+                let stage_tel = sdd_tel.clone();
+                let lat = lat_e2e.clone();
+                move |_f: &ffsva_sched::StageFailure| {
+                    // Quarantine-drain everything still arriving (the feeder
+                    // closes the queue when the clip ends), then release
+                    // downstream so the rest of the cascade can finish.
+                    while let Some((t0, _)) = q_in.pop() {
+                        stage_tel.frames_quarantined.inc();
+                        lat.record(elapsed_us(t0));
+                    }
+                    q_down.close();
+                }
+            };
+            sdd_sups.push(supervise(
+                format!("sdd-{}", s),
+                sup_policy,
+                sdd_sup_tel,
+                factory,
+                give_up,
+            ));
+        }
 
         // --- supervised SNM stage with batch formation (GPU-0) ---
-        let factory = {
-            let q_in = q_snm.clone();
-            let outs = vec![q_tyolo.clone(), q_ref.clone()];
-            let stage_tel = snm_tel.clone();
-            let inj = inj_snm;
-            let lat = lat_e2e.clone();
+        let snm_sup_tel =
+            SupervisorTelemetry::register(&tel, &format!("rt.supervisor.stream{}.snm", s));
+        if pooled {
+            // Slot for the sharded SNM pool. Batch composition may differ
+            // from the threaded layout (the pool bulk-pops), but the batched
+            // SNM forward is bit-identical to per-frame inference, so the
+            // survivor set cannot move; `snm.batches` is name-conformant
+            // only, never value-compared.
+            let lat_drop = lat_e2e.clone();
+            let lat_q = lat_e2e.clone();
+            let lat_l = lat_e2e.clone();
             let snm = Arc::clone(&snm);
             let batches = c_batches.clone();
             let bypass = Arc::clone(&bypass);
-            let policy = cfg.batch_policy;
-            move || {
-                let snm = Arc::clone(&snm);
-                let lat_drop = lat.clone();
-                let lat_q = lat.clone();
-                let lat_l = lat.clone();
-                let batches = batches.clone();
-                let bypass = Arc::clone(&bypass);
-                let ctx: StageFaultCtx<InFlight, InFlight> = StageFaultCtx {
-                    inj: inj.clone(),
+            snm_slots.push(PoolSlot {
+                stream: s,
+                input: q_snm.clone(),
+                outputs: vec![q_tyolo.clone(), q_ref.clone()],
+                route: Box::new(move |_| usize::from(bypass.load(Ordering::Relaxed))),
+                batch: Some(cfg.batch_policy),
+                tel: snm_tel.clone(),
+                sup_tel: snm_sup_tel,
+                ctx: StageFaultCtx {
+                    inj: inj_snm.clone(),
                     seq_in: Box::new(|(_, lf)| lf.frame.seq),
                     seq_out: Box::new(|(_, lf)| lf.frame.seq),
                     on_quarantine: Box::new(move |(t0, _)| lat_q.record(elapsed_us(t0))),
                     on_lost: Box::new(move |(t0, _)| lat_l.record(elapsed_us(t0))),
-                };
-                let mut scratch = Scratch::new();
-                spawn_batch_stage_faulted(
-                    format!("snm-{}", s),
-                    q_in.clone(),
-                    outs.clone(),
-                    move |_| usize::from(bypass.load(Ordering::Relaxed)),
-                    policy,
-                    stage_tel.clone(),
-                    ctx,
-                    move |batch: Vec<InFlight>| {
-                        batches.inc();
-                        let frames: Vec<&Frame> = batch.iter().map(|(_, lf)| &lf.frame).collect();
-                        let probs = snm
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .predict_batch_frames(&frames, &mut scratch);
-                        batch
-                            .into_iter()
-                            .zip(probs)
-                            .filter_map(|((t0, lf), p)| {
-                                if p >= t_pre {
-                                    Some((t0, lf))
-                                } else {
-                                    lat_drop.record(elapsed_us(t0));
-                                    None
-                                }
-                            })
-                            .collect()
-                    },
-                )
-            }
-        };
-        let give_up = {
-            let q_in = q_snm.clone();
-            let q_down = q_tyolo.clone();
-            let stage_tel = snm_tel.clone();
-            let lat = lat_e2e.clone();
-            move |_f: &ffsva_sched::StageFailure| {
-                while let Some((t0, _)) = q_in.pop() {
-                    stage_tel.frames_quarantined.inc();
-                    lat.record(elapsed_us(t0));
+                },
+                work: Box::new(move |batch: Vec<InFlight>, scratch: &mut Scratch| {
+                    batches.inc();
+                    let frames: Vec<&Frame> = batch.iter().map(|(_, lf)| &lf.frame).collect();
+                    let probs = snm
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .predict_batch_frames(&frames, scratch);
+                    batch
+                        .into_iter()
+                        .zip(probs)
+                        .filter_map(|((t0, lf), p)| {
+                            if p >= t_pre {
+                                Some((t0, lf))
+                            } else {
+                                lat_drop.record(elapsed_us(t0));
+                                None
+                            }
+                        })
+                        .collect()
+                }),
+            });
+        } else {
+            let factory = {
+                let q_in = q_snm.clone();
+                let outs = vec![q_tyolo.clone(), q_ref.clone()];
+                let stage_tel = snm_tel.clone();
+                let inj = inj_snm;
+                let lat = lat_e2e.clone();
+                let snm = Arc::clone(&snm);
+                let batches = c_batches.clone();
+                let bypass = Arc::clone(&bypass);
+                let policy = cfg.batch_policy;
+                move || {
+                    let snm = Arc::clone(&snm);
+                    let lat_drop = lat.clone();
+                    let lat_q = lat.clone();
+                    let lat_l = lat.clone();
+                    let batches = batches.clone();
+                    let bypass = Arc::clone(&bypass);
+                    let ctx: StageFaultCtx<InFlight, InFlight> = StageFaultCtx {
+                        inj: inj.clone(),
+                        seq_in: Box::new(|(_, lf)| lf.frame.seq),
+                        seq_out: Box::new(|(_, lf)| lf.frame.seq),
+                        on_quarantine: Box::new(move |(t0, _)| lat_q.record(elapsed_us(t0))),
+                        on_lost: Box::new(move |(t0, _)| lat_l.record(elapsed_us(t0))),
+                    };
+                    let mut scratch = Scratch::new();
+                    spawn_batch_stage_faulted(
+                        format!("snm-{}", s),
+                        q_in.clone(),
+                        outs.clone(),
+                        move |_| usize::from(bypass.load(Ordering::Relaxed)),
+                        policy,
+                        stage_tel.clone(),
+                        ctx,
+                        move |batch: Vec<InFlight>| {
+                            batches.inc();
+                            let frames: Vec<&Frame> =
+                                batch.iter().map(|(_, lf)| &lf.frame).collect();
+                            let probs = snm
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .predict_batch_frames(&frames, &mut scratch);
+                            batch
+                                .into_iter()
+                                .zip(probs)
+                                .filter_map(|((t0, lf), p)| {
+                                    if p >= t_pre {
+                                        Some((t0, lf))
+                                    } else {
+                                        lat_drop.record(elapsed_us(t0));
+                                        None
+                                    }
+                                })
+                                .collect()
+                        },
+                    )
                 }
-                q_down.close();
-            }
-        };
-        snm_sups.push(supervise(
-            format!("snm-{}", s),
-            sup_policy,
-            SupervisorTelemetry::register(&tel, &format!("rt.supervisor.stream{}.snm", s)),
-            factory,
-            give_up,
-        ));
+            };
+            let give_up = {
+                let q_in = q_snm.clone();
+                let q_down = q_tyolo.clone();
+                let stage_tel = snm_tel.clone();
+                let lat = lat_e2e.clone();
+                move |_f: &ffsva_sched::StageFailure| {
+                    while let Some((t0, _)) = q_in.pop() {
+                        stage_tel.frames_quarantined.inc();
+                        lat.record(elapsed_us(t0));
+                    }
+                    q_down.close();
+                }
+            };
+            snm_sups.push(supervise(
+                format!("snm-{}", s),
+                sup_policy,
+                snm_sup_tel,
+                factory,
+                give_up,
+            ));
+        }
 
         // --- reference stage (GPU-1), shared-fate with the whole run ---
         let lat = lat_e2e.clone();
@@ -822,6 +960,40 @@ pub fn run_multi_pipeline_rt_robust(
         out_qs.push(q_out);
     }
 
+    // Pooled layout: two sharded worker pools host every stream's SDD and
+    // SNM slots on a fixed thread count. The pool names match the threaded
+    // stage-name prefixes ("sdd"/"snm") so injected-panic payloads render
+    // identically (`stage \`sdd-3\` at frame seq N`) in both layouts.
+    let pools = if pooled {
+        let wsdd = cfg.pool_workers_sdd.max(1);
+        let wsnm = cfg.pool_workers_snm.max(1);
+        let sdd_pool = spawn_stage_pool(
+            "sdd",
+            PoolPolicy {
+                workers: wsdd,
+                restart_budget: sup_policy.restart_budget,
+                backoff: sup_policy.backoff,
+            },
+            std::mem::take(&mut sdd_slots),
+            (0..wsdd).map(|_| Scratch::new()).collect(),
+            PoolTelemetry::register(&tel, "rt.pool.sdd"),
+        );
+        let snm_pool = spawn_stage_pool(
+            "snm",
+            PoolPolicy {
+                workers: wsnm,
+                restart_budget: sup_policy.restart_budget,
+                backoff: sup_policy.backoff,
+            },
+            std::mem::take(&mut snm_slots),
+            (0..wsnm).map(|_| Scratch::new()).collect(),
+            PoolTelemetry::register(&tel, "rt.pool.snm"),
+        );
+        Some((sdd_pool, snm_pool))
+    } else {
+        None
+    };
+
     // The single shared T-YOLO thread.
     let tyolo = shared_tyolo.expect("at least one stream");
     let tyolo_in = tyolo_qs.clone();
@@ -965,8 +1137,24 @@ pub fn run_multi_pipeline_rt_robust(
         .into_iter()
         .map(|f| f.join().expect("feeder"))
         .collect();
-    let sdd_outcomes: Vec<_> = sdd_sups.into_iter().map(|sup| sup.join()).collect();
-    let snm_outcomes: Vec<_> = snm_sups.into_iter().map(|sup| sup.join()).collect();
+    // Either layout collapses to the same per-stream report shape; pool
+    // outcomes arrive in slot order, which is stream order by construction.
+    let (sdd_outcomes, snm_outcomes): (Vec<StageReport>, Vec<StageReport>) = match pools {
+        Some((sdd_pool, snm_pool)) => (
+            sdd_pool.join().into_iter().map(StageReport::from).collect(),
+            snm_pool.join().into_iter().map(StageReport::from).collect(),
+        ),
+        None => (
+            sdd_sups
+                .into_iter()
+                .map(|sup| StageReport::from(sup.join()))
+                .collect(),
+            snm_sups
+                .into_iter()
+                .map(|sup| StageReport::from(sup.join()))
+                .collect(),
+        ),
+    };
     let tyolo_n = tyolo_handle.join().expect("tyolo thread");
     let ref_n: u64 = ref_handles
         .into_iter()
@@ -992,8 +1180,8 @@ pub fn run_multi_pipeline_rt_robust(
                 ck.snm_thresholds = Some(*band);
             }
             ck.restarts_used = bases[s].restarts_used
-                + u64::from(sdd_outcomes[s].restarts())
-                + u64::from(snm_outcomes[s].restarts());
+                + u64::from(sdd_outcomes[s].restarts)
+                + u64::from(snm_outcomes[s].restarts);
             ck.source_lost = bases[s].source_lost || reports[s].source_lost;
             // Live counters already include the resumed base shares, so the
             // stream scope copies over verbatim; the globals record this
@@ -1034,14 +1222,14 @@ pub fn run_multi_pipeline_rt_robust(
     tel.counter("rt.wall_time_us").add((wall * 1e6) as u64);
     let snapshot = tel.snapshot();
 
-    let sdd_n: u64 = sdd_outcomes.iter().map(|o| o.processed()).sum();
-    let snm_n: u64 = snm_outcomes.iter().map(|o| o.processed()).sum();
+    let sdd_n: u64 = sdd_outcomes.iter().map(|o| o.processed).sum();
+    let snm_n: u64 = snm_outcomes.iter().map(|o| o.processed).sum();
     let stream_health: Vec<StreamHealth> = (0..n_streams)
         .map(|s| {
             let (sdd_o, snm_o) = (&sdd_outcomes[s], &snm_outcomes[s]);
-            let failed_stage = if sdd_o.gave_up() {
+            let failed_stage = if sdd_o.gave_up {
                 Some("sdd".to_string())
-            } else if snm_o.gave_up() {
+            } else if snm_o.gave_up {
                 Some("snm".to_string())
             } else {
                 None
@@ -1049,7 +1237,7 @@ pub fn run_multi_pipeline_rt_robust(
             StreamHealth {
                 quarantined: failed_stage.is_some(),
                 failed_stage,
-                restarts: u64::from(sdd_o.restarts()) + u64::from(snm_o.restarts()),
+                restarts: u64::from(sdd_o.restarts) + u64::from(snm_o.restarts),
                 frames_quarantined: snapshot
                     .counter(&format!("stream{}.sdd.frames_quarantined", s))
                     + snapshot.counter(&format!("stream{}.snm.frames_quarantined", s)),

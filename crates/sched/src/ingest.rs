@@ -379,6 +379,73 @@ mod tests {
         assert_eq!(seqs(&all), vec![(99, 'e'), (100, 'd')]);
     }
 
+    /// Resume when the reorder window *straddles* the checkpoint boundary:
+    /// the gate died owing seq 100 while already holding 101–103 (arrived
+    /// early, not yet released, so not covered by the cursor). The resumed
+    /// gate replays from the cursor through the same disrupted arrival
+    /// order and must deliver the exact tail an uninterrupted run delivers,
+    /// each frame exactly once, with pre-cursor stragglers evicted.
+    #[test]
+    fn resume_replays_a_reorder_window_straddling_the_checkpoint() {
+        // segment 1: 96–99 delivered, then 101–103 arrive early and are
+        // held — the window now straddles the cursor (= expected = 100)
+        let mut before = IngestCore::<u64>::new(4).resume_at(96);
+        let mut pre = Vec::new();
+        for s in [96u64, 97, 98, 99, 101, 102, 103] {
+            pre.extend(before.accept(s, s, false));
+        }
+        assert_eq!(
+            seqs(&pre),
+            vec![(96, 'd'), (97, 'd'), (98, 'd'), (99, 'd')],
+            "held frames must not be delivered before the gap fills"
+        );
+        let cursor = 100u64; // fully-accounted point; 101–103 die in memory
+
+        // the uninterrupted run: the gap fills and the window drains
+        let mut unint = before.clone();
+        let mut tail = Vec::new();
+        for s in [100u64, 104] {
+            tail.extend(unint.accept(s, s, false));
+        }
+        tail.extend(unint.finish());
+        assert_eq!(
+            seqs(&tail),
+            vec![(100, 'd'), (101, 'd'), (102, 'd'), (103, 'd'), (104, 'd')]
+        );
+
+        // the resumed run: a fresh gate at the cursor re-reads the source
+        // from seq 100 in the same disrupted order (101–103 still early),
+        // plus a stale pre-cursor straggler that must not be redelivered
+        let mut resumed = IngestCore::<u64>::new(4).resume_at(cursor);
+        let mut replay = Vec::new();
+        for s in [101u64, 102, 103, 99, 100, 104] {
+            replay.extend(resumed.accept(s, s, false));
+        }
+        replay.extend(resumed.finish());
+
+        let delivered: Vec<(u64, char)> = seqs(&replay)
+            .into_iter()
+            .filter(|&(_, c)| c == 'd')
+            .collect();
+        assert_eq!(delivered, seqs(&tail), "resumed tail diverged");
+        assert_eq!(
+            seqs(&replay)
+                .iter()
+                .filter(|&&(s, c)| s == 99 && c == 'e')
+                .count(),
+            1
+        );
+        // exactly-once across the splice: pre-cursor deliveries + resumed
+        // deliveries cover 96..=104 with no repeats
+        let mut all: Vec<u64> = seqs(&pre)
+            .into_iter()
+            .chain(delivered)
+            .map(|(s, _)| s)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (96..=104).collect::<Vec<_>>());
+    }
+
     #[test]
     fn conservation_holds_across_a_messy_run() {
         let mut core = IngestCore::new(2);

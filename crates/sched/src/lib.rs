@@ -14,6 +14,8 @@
 //! * [`fault`] — deterministic seq-keyed fault plans both engines honour.
 //! * [`ingest`] — reorder gating, duplicate suppression, and corrupt-frame
 //!   quarantine for frames arriving from unreliable sources.
+//! * [`pool`] — sharded stage-worker pools: N workers serving hundreds of
+//!   per-stream slots with per-stream FIFO and supervision semantics intact.
 //! * [`supervisor`] — stage restart with backoff, watchdog stall detection,
 //!   degradation policies.
 //! * [`stats`] — latency/throughput accounting.
@@ -43,6 +45,7 @@ pub mod des;
 pub mod device;
 pub mod fault;
 pub mod ingest;
+pub mod pool;
 pub mod queue;
 pub mod rt;
 pub mod stats;
@@ -53,9 +56,11 @@ pub use des::EventQueue;
 pub use device::{Completion, Device, DeviceKind, InvocationRecord, ModelKey};
 pub use fault::{FaultAction, FaultEntry, FaultInjector, FaultPlan, FaultStage, StageFault};
 pub use ffsva_telemetry::{
-    QueueTelemetry, StageTelemetry, SupervisorTelemetry, Telemetry, TelemetrySnapshot,
+    PoolTelemetry, QueueTelemetry, StageTelemetry, SupervisorTelemetry, Telemetry,
+    TelemetrySnapshot,
 };
 pub use ingest::{GateEvent, IngestCore, IngestGate, IngestOutput, IngestStats};
+pub use pool::{spawn_stage_pool, PoolPolicy, PoolSlot, PoolStreamOutcome, StagePool};
 pub use queue::{FeedbackQueue, QueueStats, SimQueue};
 pub use rt::{
     spawn_batch_stage, spawn_batch_stage_faulted, spawn_batch_stage_instrumented,

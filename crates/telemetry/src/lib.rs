@@ -490,6 +490,41 @@ impl QueueTelemetry {
     }
 }
 
+/// Sharded stage-pool accounting (`rt.pool.*` scopes, engine-private): queue
+/// depth across the pool's shards, work items a worker completed for a
+/// foreign shard (steals), and the pool's busy fraction in basis points.
+#[derive(Debug, Clone)]
+pub struct PoolTelemetry {
+    /// Total buffered work items across every shard (sampled by workers).
+    pub queue_depth: Gauge,
+    /// Work quanta executed by a worker outside its home shard.
+    pub steal_count: Counter,
+    /// Pool-wide busy percentage, 0–100 (set at pool shutdown from the
+    /// accumulated busy-time / wall-time ratio).
+    pub worker_busy_pct: Gauge,
+}
+
+impl PoolTelemetry {
+    /// Register `{scope}.queue_depth/steal_count/worker_busy_pct`
+    /// (e.g. scope `rt.pool.sdd`).
+    pub fn register(tel: &Telemetry, scope: &str) -> Self {
+        PoolTelemetry {
+            queue_depth: tel.gauge(&format!("{}.queue_depth", scope)),
+            steal_count: tel.counter(&format!("{}.steal_count", scope)),
+            worker_busy_pct: tel.gauge(&format!("{}.worker_busy_pct", scope)),
+        }
+    }
+
+    /// Detached instruments for uninstrumented pools.
+    pub fn noop() -> Self {
+        PoolTelemetry {
+            queue_depth: Gauge::detached(),
+            steal_count: Counter::detached(),
+            worker_busy_pct: Gauge::detached(),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // digest
 
@@ -740,6 +775,27 @@ mod tests {
         assert_eq!(snap.counter("rt.supervisor.stream0.snm.backoff_ms"), 30);
         // supervision series are rt.-private: excluded from conformance
         assert!(snap.conformant_names().is_empty());
+    }
+
+    #[test]
+    fn pool_bundle_registers_expected_names() {
+        let tel = Telemetry::new();
+        let pt = PoolTelemetry::register(&tel, "rt.pool.sdd");
+        pt.queue_depth.set(12);
+        pt.queue_depth.set(3);
+        pt.steal_count.add(5);
+        pt.worker_busy_pct.set(87);
+        let snap = tel.snapshot();
+        assert_eq!(snap.gauges["rt.pool.sdd.queue_depth"].max, 12);
+        assert_eq!(snap.gauges["rt.pool.sdd.queue_depth"].last, 3);
+        assert_eq!(snap.counter("rt.pool.sdd.steal_count"), 5);
+        assert_eq!(snap.gauges["rt.pool.sdd.worker_busy_pct"].last, 87);
+        // pool series are rt.-private: excluded from DES↔RT conformance
+        assert!(snap.conformant_names().is_empty());
+        // noop bundle updates nothing registered
+        let noop = PoolTelemetry::noop();
+        noop.steal_count.add(100);
+        assert_eq!(tel.snapshot().counter("rt.pool.sdd.steal_count"), 5);
     }
 
     #[test]

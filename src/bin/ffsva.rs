@@ -16,7 +16,10 @@
 
 use ffs_va::core::accuracy::cascade_pass;
 use ffs_va::core::report::digest_table;
-use ffs_va::core::{evaluate_accuracy, find_max_online_streams, AccuracyReport};
+use ffs_va::core::{
+    evaluate_accuracy, find_max_online_streams, max_streams_by_threads, threads_for_streams,
+    AccuracyReport, DEFAULT_THREAD_BUDGET,
+};
 use ffs_va::models::reference::ReferenceModel;
 use ffs_va::models::sdd::SddFilter;
 use ffs_va::models::snm::{SnmReport, SnmTrainOptions};
@@ -62,6 +65,11 @@ from them; --stop-after N truncates each stream's input to simulate a kill.
   ffsva capacity --workload <name> [--frames N] [--train-frames N]
                  [--filter-gpus N] [--ref-gpus N] [--max-streams N]
                  [--tor F] [--seed N] [--target <class>] [--fast]
+                 [--pooled] [--pool-workers N] [--thread-budget N]
+
+--pooled adds the sharded stage-pool thread ceiling (DESIGN.md §11): how
+many streams fit the thread budget with pooled SDD/SNM workers vs. one
+thread per stream per stage.
   ffsva bench    [--out <BENCH.json>] [--streams N] [--frames N]
                  [--train-frames N] [--tor F] [--seed N] [--full] [--fit-cost]
 
@@ -758,6 +766,9 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
 
 fn cmd_capacity(args: &mut Args) -> Result<(), String> {
     let max_streams: usize = args.parsed("max-streams", 64)?;
+    let pooled = args.flag("pooled");
+    let pool_workers: usize = args.parsed("pool-workers", 8)?;
+    let thread_budget: usize = args.parsed("thread-budget", DEFAULT_THREAD_BUDGET)?;
     let sys = system_config(args)?;
     let (ps, fps) = prepare_pool(args, 900)?;
     let frames_per_stream = ps.traces.len();
@@ -788,6 +799,31 @@ fn cmd_capacity(args: &mut Args) -> Result<(), String> {
             "cascade sustains {:.1}x more streams",
             max as f64 / baseline_max as f64
         );
+    }
+    if pooled {
+        if pool_workers == 0 {
+            return Err("--pool-workers must be positive".into());
+        }
+        let threaded = max_streams_by_threads(&sys, thread_budget);
+        let pooled_sys = sys.with_pool_workers(pool_workers, pool_workers);
+        let pooled_max = max_streams_by_threads(&pooled_sys, thread_budget);
+        println!();
+        println!("thread ceiling at a {thread_budget}-thread budget (DESIGN.md §11):");
+        println!(
+            "  per-stream threads ({} threads per stream): {} stream(s)",
+            threads_for_streams(&sys, 1).saturating_sub(1),
+            threaded
+        );
+        println!(
+            "  sharded pools ({pool_workers} SDD + {pool_workers} SNM workers): {} stream(s)",
+            pooled_max
+        );
+        if threaded > 0 && pooled_max > 0 {
+            println!(
+                "  pooling hosts {:.1}x more streams per instance",
+                pooled_max as f64 / threaded as f64
+            );
+        }
     }
     Ok(())
 }
@@ -830,6 +866,36 @@ struct KernelBench {
 #[derive(Serialize)]
 struct StageBench {
     snm: SnmStageBench,
+    pool: PoolStageBench,
+}
+
+/// Stream-hosting ceiling of the sharded stage pools (`stage.pool.*`):
+/// how many concurrent streams fit the thread budget with pooled SDD/SNM
+/// workers vs. one thread per stream per stage. Both are structural
+/// (deterministic planner output, not wall-clock measurements).
+#[derive(Serialize)]
+struct PoolStageBench {
+    /// Streams one instance hosts with sharded pools (the headline series).
+    streams_sustained: f64,
+    /// Streams the per-stream-thread layout hosts at the same budget.
+    streams_threaded: f64,
+    /// Workers per pooled stage used for the ceiling.
+    workers: usize,
+    thread_budget: usize,
+}
+
+/// Workers per pooled stage the `stage.pool.*` ceiling is reported at.
+const POOL_BENCH_WORKERS: usize = 8;
+
+fn bench_pool_ceiling() -> PoolStageBench {
+    let sys = FfsVaConfig::default();
+    let pooled = sys.with_pool_workers(POOL_BENCH_WORKERS, POOL_BENCH_WORKERS);
+    PoolStageBench {
+        streams_sustained: max_streams_by_threads(&pooled, DEFAULT_THREAD_BUDGET) as f64,
+        streams_threaded: max_streams_by_threads(&sys, DEFAULT_THREAD_BUDGET) as f64,
+        workers: POOL_BENCH_WORKERS,
+        thread_budget: DEFAULT_THREAD_BUDGET,
+    }
 }
 
 /// Measured SNM batch-forward throughput via `predict_batch_frames` — the
@@ -992,6 +1058,11 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
         snm_stage.fitted_invoke_us,
         snm_stage.fitted_per_frame_us
     );
+    let pool_stage = bench_pool_ceiling();
+    println!(
+        "pool stage: {:.0} stream(s) pooled vs {:.0} threaded at a {}-thread budget",
+        pool_stage.streams_sustained, pool_stage.streams_threaded, pool_stage.thread_budget
+    );
     if fit_cost {
         match fitted {
             Some(spec) => {
@@ -1030,7 +1101,10 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
         workload: workload_name,
         seed,
         kernel,
-        stage: StageBench { snm: snm_stage },
+        stage: StageBench {
+            snm: snm_stage,
+            pool: pool_stage,
+        },
         des: BenchSection {
             engine: "des",
             streams,

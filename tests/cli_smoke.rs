@@ -363,6 +363,21 @@ fn bench_writes_gate_ready_report() {
         "DES leg counted {} frames, expected 400",
         des_frames
     );
+
+    // acceptance (DESIGN.md §11): the pooled layout hosts at least 4x the
+    // per-stream-thread stream count, reported as stage.pool.streams_sustained
+    let sustained = json["stage"]["pool"]["streams_sustained"]
+        .as_f64()
+        .expect("stage.pool.streams_sustained missing");
+    let threaded = json["stage"]["pool"]["streams_threaded"]
+        .as_f64()
+        .expect("stage.pool.streams_threaded missing");
+    assert!(
+        sustained >= 4.0 * threaded,
+        "pools sustain {} streams, need >= 4x the threaded {}",
+        sustained,
+        threaded
+    );
 }
 
 #[test]
@@ -391,6 +406,48 @@ fn capacity_compares_cascade_against_baseline() {
         "missing baseline line:\n{}",
         text
     );
+}
+
+#[test]
+fn capacity_pooled_reports_thread_ceiling() {
+    let out = ffsva(&[
+        "capacity",
+        "--workload",
+        "test",
+        "--frames",
+        "300",
+        "--train-frames",
+        "600",
+        "--fast",
+        "--max-streams",
+        "12",
+        "--pooled",
+    ]);
+    assert_ok(&out, "capacity --pooled");
+    let text = stdout(&out);
+    assert!(
+        text.contains("thread ceiling"),
+        "missing thread-ceiling section:\n{}",
+        text
+    );
+    assert!(
+        text.contains("sharded pools"),
+        "missing pooled ceiling line:\n{}",
+        text
+    );
+    // the ratio line carries the acceptance headline: >= 4x more streams
+    let ratio = text
+        .lines()
+        .find_map(|l| {
+            l.trim()
+                .strip_prefix("pooling hosts ")?
+                .split('x')
+                .next()?
+                .parse::<f64>()
+                .ok()
+        })
+        .expect("missing pooling ratio line");
+    assert!(ratio >= 4.0, "pooled/threaded ratio {} < 4x", ratio);
 }
 
 #[test]

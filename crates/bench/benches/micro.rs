@@ -35,6 +35,35 @@ fn bench_tensor(c: &mut Criterion) {
         bch.iter(|| ops::matmul_into(black_box(&a), black_box(&b), black_box(&mut out)))
     });
 
+    // Forced-scalar twin of the dispatched GEMM: on a `--features simd`
+    // build the gap between these two is the AVX2/FMA speedup (DESIGN.md
+    // §12); on a scalar build they must coincide within noise.
+    c.bench_function("tensor/matmul_into_scalar_128", |bch| {
+        bch.iter(|| ops::matmul_into_scalar(black_box(&a), black_box(&b), black_box(&mut out)))
+    });
+
+    // The int8 GEMM at the SNM layer-1 batch-10 shape (8×25 weights by
+    // 25×6250 columns): the kernel behind `stage.snm.int8_fps`.
+    let qa: Vec<i8> = (0..8usize * 25)
+        .map(|i| (((i * 37) % 255) as i16 - 127) as i8)
+        .collect();
+    let qb: Vec<i8> = (0..25usize * 6250)
+        .map(|i| (((i * 53) % 255) as i16 - 127) as i8)
+        .collect();
+    let mut qout = Vec::new();
+    c.bench_function("tensor/gemm_i8_snm_layer1_batch10", |bch| {
+        bch.iter(|| {
+            ffsva_tensor::quant::gemm_i8_into(
+                black_box(&qa),
+                8,
+                25,
+                black_box(&qb),
+                6250,
+                black_box(&mut qout),
+            )
+        })
+    });
+
     let input = Tensor::from_vec(
         &[1, 1, 50, 50],
         (0..2500).map(|_| rng.gen_range(-0.5..0.5)).collect(),
@@ -91,6 +120,19 @@ fn bench_models(c: &mut Criterion) {
     c.bench_function("models/sdd_distance_scratch", |bch| {
         bch.iter(|| sdd.distance_with(black_box(&frame), black_box(&mut sdd_scratch)))
     });
+    // Dispatched vs forced-scalar distance on a pre-resized 100×100 input:
+    // isolates the SIMD reduction (`kernel.sdd_distance_us`) from resize.
+    let small = {
+        let mut s = Scratch::new();
+        sdd.distance_with(&frame, &mut s);
+        s.resized.clone()
+    };
+    c.bench_function("models/sdd_distance_small", |bch| {
+        bch.iter(|| sdd.distance_small(black_box(&small)))
+    });
+    c.bench_function("models/sdd_distance_small_scalar", |bch| {
+        bch.iter(|| sdd.distance_small_scalar(black_box(&small)))
+    });
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let mut snm = SnmModel::architecture(ObjectClass::Car, &mut rng);
@@ -108,6 +150,13 @@ fn bench_models(c: &mut Criterion) {
     let mut snm_scratch = Scratch::new();
     c.bench_function("models/snm_forward_batch10_frames", |bch| {
         bch.iter(|| snm.predict_batch_frames(black_box(&frame_batch), black_box(&mut snm_scratch)))
+    });
+    // Quantized twin of the batch stage (`stage.snm.int8_fps`): per-sample
+    // activation quantization + exact i8 kernels.
+    c.bench_function("models/snm_forward_batch10_frames_int8", |bch| {
+        bch.iter(|| {
+            snm.predict_batch_frames_int8(black_box(&frame_batch), black_box(&mut snm_scratch))
+        })
     });
 
     let tyolo = TinyYolo::default();

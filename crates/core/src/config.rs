@@ -34,6 +34,27 @@ fn default_checkpoint_interval_frames() -> u64 {
 fn default_pool_workers() -> usize {
     0
 }
+fn default_precision() -> Precision {
+    Precision::F32
+}
+
+/// Numeric precision a model stage executes at.
+///
+/// `Int8` runs the SNM through [`ffsva_models::QuantizedSequential`]:
+/// symmetric per-tensor int8 weights, per-sample dynamic activation scales,
+/// and integer i8×i8→i32 GEMM/dot kernels (DESIGN.md §12). Activation scales
+/// are per *sample*, so batched int8 inference stays bit-identical to
+/// single-frame int8 inference and the DES/RT conformance battery keeps
+/// holding under either precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "lowercase")]
+pub enum Precision {
+    /// Full f32 inference — the reference numerics.
+    #[default]
+    F32,
+    /// Quantized int8 inference via the integer kernel path.
+    Int8,
+}
 
 /// Tunable parameters of an FFS-VA instance, with the paper's defaults.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -127,6 +148,11 @@ pub struct FfsVaConfig {
     /// paper numbers.
     #[serde(default)]
     pub snm_cost_override: Option<CostSpec>,
+    /// Numeric precision of SNM inference in both engines. Serde-defaulted
+    /// to [`Precision::F32`] so configs written before the quantized path
+    /// existed still deserialize (and keep today's numerics).
+    #[serde(default = "default_precision")]
+    pub snm_precision: Precision,
 }
 
 impl Default for FfsVaConfig {
@@ -159,6 +185,7 @@ impl Default for FfsVaConfig {
             pool_workers_sdd: default_pool_workers(),
             pool_workers_snm: default_pool_workers(),
             snm_cost_override: None,
+            snm_precision: default_precision(),
         }
     }
 }
@@ -223,6 +250,12 @@ impl FfsVaConfig {
     /// Builder-style setter for the measured SNM cost curve (DES override).
     pub fn with_snm_cost(mut self, spec: CostSpec) -> Self {
         self.snm_cost_override = Some(spec);
+        self
+    }
+
+    /// Builder-style setter for SNM inference precision.
+    pub fn with_snm_precision(mut self, p: Precision) -> Self {
+        self.snm_precision = p;
         self
     }
 
@@ -315,6 +348,7 @@ mod tests {
         }"#;
         let c: FfsVaConfig = serde_json::from_str(old).unwrap();
         assert_eq!(c.snm_cost_override, None);
+        assert_eq!(c.snm_precision, Precision::F32);
         assert_eq!(c.restart_budget, 2);
         assert_eq!(c.restart_backoff_ms, 10);
         assert_eq!(c.watchdog_deadline_ms, 200);
@@ -367,6 +401,16 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: FfsVaConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.snm_cost_override, Some(spec));
+    }
+
+    #[test]
+    fn snm_precision_roundtrips_and_serializes_lowercase() {
+        let c = FfsVaConfig::default().with_snm_precision(Precision::Int8);
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"snm_precision\":\"int8\""), "{}", json);
+        let back: FfsVaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.snm_precision, Precision::Int8);
+        assert_eq!(FfsVaConfig::default().snm_precision, Precision::F32);
     }
 
     #[test]

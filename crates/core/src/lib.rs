@@ -57,7 +57,7 @@ pub use checkpoint::{
     load_all, load_stream_checkpoint, stream_ckpt_path, write_stream_checkpoint, CheckpointSpec,
     StreamCheckpoint, CHECKPOINT_SCHEMA_VERSION,
 };
-pub use config::{FfsVaConfig, StreamThresholds};
+pub use config::{FfsVaConfig, Precision, StreamThresholds};
 pub use ffsva_sched::{DegradePolicy, FaultPlan, FaultStage, StageFault};
 pub use ffsva_telemetry::{PipelineDigest, Telemetry, TelemetrySnapshot};
 pub use instance::{

@@ -6,7 +6,7 @@
 //! timing figures on the calibrated device substrate.
 
 use crate::checkpoint::{load_all, write_stream_checkpoint, CheckpointSpec, StreamCheckpoint};
-use crate::config::{FfsVaConfig, StreamThresholds};
+use crate::config::{FfsVaConfig, Precision, StreamThresholds};
 use ffsva_models::bank::FilterBank;
 use ffsva_models::tyolo::TinyYolo;
 use ffsva_models::{Scratch, SddFilter};
@@ -36,6 +36,22 @@ type InFlight = (Instant, LabeledFrame);
 
 fn elapsed_us(since: Instant) -> f64 {
     since.elapsed().as_secs_f64() * 1e6
+}
+
+/// Run the SNM batch forward at the configured precision. Both paths are
+/// batching-invariant (batched output bit-identical to per-frame), so the
+/// survivor set depends only on the precision choice, never on how the
+/// engine happened to compose batches.
+fn snm_predict(
+    snm: &mut ffsva_models::SnmModel,
+    precision: Precision,
+    frames: &[&Frame],
+    scratch: &mut Scratch,
+) -> Vec<f32> {
+    match precision {
+        Precision::F32 => snm.predict_batch_frames(frames, scratch),
+        Precision::Int8 => snm.predict_batch_frames_int8(frames, scratch),
+    }
 }
 
 /// A frame that survived the full cascade.
@@ -130,6 +146,7 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
 
     // SNM stage with batch formation (GPU-0 in the paper).
     let policy = cfg.batch_policy;
+    let precision = cfg.snm_precision;
     let c_batches = tel.counter("snm.batches");
     let lat = lat_e2e.clone();
     let h_snm = spawn_batch_stage_instrumented(
@@ -143,7 +160,7 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
             move |batch: Vec<InFlight>| {
                 c_batches.inc();
                 let frames: Vec<&Frame> = batch.iter().map(|(_, lf)| &lf.frame).collect();
-                let probs = snm.predict_batch_frames(&frames, &mut scratch);
+                let probs = snm_predict(&mut snm, precision, &frames, &mut scratch);
                 batch
                     .into_iter()
                     .zip(probs)
@@ -696,6 +713,7 @@ pub fn run_multi_pipeline_rt_robust(
             let lat_q = lat_e2e.clone();
             let lat_l = lat_e2e.clone();
             let snm = Arc::clone(&snm);
+            let precision = cfg.snm_precision;
             let batches = c_batches.clone();
             let bypass = Arc::clone(&bypass);
             snm_slots.push(PoolSlot {
@@ -716,10 +734,12 @@ pub fn run_multi_pipeline_rt_robust(
                 work: Box::new(move |batch: Vec<InFlight>, scratch: &mut Scratch| {
                     batches.inc();
                     let frames: Vec<&Frame> = batch.iter().map(|(_, lf)| &lf.frame).collect();
-                    let probs = snm
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .predict_batch_frames(&frames, scratch);
+                    let probs = snm_predict(
+                        &mut snm.lock().unwrap_or_else(|e| e.into_inner()),
+                        precision,
+                        &frames,
+                        scratch,
+                    );
                     batch
                         .into_iter()
                         .zip(probs)
@@ -745,6 +765,7 @@ pub fn run_multi_pipeline_rt_robust(
                 let batches = c_batches.clone();
                 let bypass = Arc::clone(&bypass);
                 let policy = cfg.batch_policy;
+                let precision = cfg.snm_precision;
                 move || {
                     let snm = Arc::clone(&snm);
                     let lat_drop = lat.clone();
@@ -772,10 +793,12 @@ pub fn run_multi_pipeline_rt_robust(
                             batches.inc();
                             let frames: Vec<&Frame> =
                                 batch.iter().map(|(_, lf)| &lf.frame).collect();
-                            let probs = snm
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .predict_batch_frames(&frames, &mut scratch);
+                            let probs = snm_predict(
+                                &mut snm.lock().unwrap_or_else(|e| e.into_inner()),
+                                precision,
+                                &frames,
+                                &mut scratch,
+                            );
                             batch
                                 .into_iter()
                                 .zip(probs)

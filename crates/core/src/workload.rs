@@ -8,7 +8,7 @@
 //! non-overlapping video clips from each video file to simulate multiple
 //! video streams" — by tiling rotated trace segments of prepared streams.
 
-use crate::config::{FfsVaConfig, StreamThresholds};
+use crate::config::{FfsVaConfig, Precision, StreamThresholds};
 use crate::sim::StreamInput;
 use ffsva_models::bank::{BankOptions, FilterBank};
 use ffsva_models::FrameTrace;
@@ -78,6 +78,10 @@ pub struct PrepareOptions {
     /// Frames generated (continuing the same stream) for evaluation traces.
     pub eval_frames: usize,
     pub bank: BankOptions,
+    /// Precision of SNM inference while tracing the evaluation clip. With
+    /// [`Precision::Int8`] the decision traces — and therefore everything
+    /// the DES engine derives from them — reflect the quantized cascade.
+    pub snm_precision: Precision,
 }
 
 impl Default for PrepareOptions {
@@ -86,6 +90,7 @@ impl Default for PrepareOptions {
             train_frames: 2200,
             eval_frames: 5000, // §5.1: "5000 consecutive frames"
             bank: BankOptions::default(),
+            snm_precision: Precision::F32,
         }
     }
 }
@@ -99,7 +104,10 @@ pub fn prepare_stream(cfg: StreamConfig, opts: &PrepareOptions) -> PreparedStrea
     let train_clip: Vec<LabeledFrame> = stream.clip(opts.train_frames);
     let mut bank = FilterBank::build(&train_clip, target, &opts.bank, &mut rng);
     let eval_clip: Vec<LabeledFrame> = stream.clip(opts.eval_frames);
-    let traces = bank.trace_clip(&eval_clip);
+    let traces = match opts.snm_precision {
+        Precision::F32 => bank.trace_clip(&eval_clip),
+        Precision::Int8 => bank.trace_clip_int8(&eval_clip),
+    };
     PreparedStream {
         name,
         target,
@@ -126,9 +134,15 @@ pub fn prepare_stream_cached(
         Some((a, b, t)) => format!("_spike{}-{}-{:.3}", a, b, t),
         None => String::new(),
     };
+    // int8 traces get their own cache entries; f32 keeps the legacy key so
+    // caches written before the precision field existed stay valid.
+    let prec = match opts.snm_precision {
+        Precision::F32 => "",
+        Precision::Int8 => "_int8",
+    };
     let key = format!(
-        "{}_tor{:.3}_seed{}_t{}_e{}{}.json",
-        cfg.name, cfg.tor, cfg.seed, opts.train_frames, opts.eval_frames, spike
+        "{}_tor{:.3}_seed{}_t{}_e{}{}{}.json",
+        cfg.name, cfg.tor, cfg.seed, opts.train_frames, opts.eval_frames, spike, prec
     );
     let path: PathBuf = cache_dir.join(key);
     if let Ok(bytes) = fs::read(&path) {
@@ -165,6 +179,7 @@ mod tests {
 
     fn quick_opts() -> PrepareOptions {
         PrepareOptions {
+            snm_precision: Precision::F32,
             train_frames: 1200,
             eval_frames: 800,
             bank: BankOptions {

@@ -132,11 +132,26 @@ impl FilterBank {
 
     /// Evaluate one labeled frame into a trace record.
     pub fn trace_frame(&mut self, lf: &LabeledFrame) -> FrameTrace {
+        let p = self.snm.predict(&lf.frame);
+        self.trace_with_prob(lf, p)
+    }
+
+    /// [`Self::trace_frame`] with the SNM probability computed on the int8
+    /// quantized execution path ([`crate::compress::QuantizedSequential`]).
+    /// Every other column (SDD distance, T-YOLO count, reference counts) is
+    /// identical to [`Self::trace_frame`], so diffing the two traces
+    /// isolates exactly the quantization effect on the cascade.
+    pub fn trace_frame_int8(&mut self, lf: &LabeledFrame) -> FrameTrace {
+        let p = self.snm.predict_int8(&lf.frame);
+        self.trace_with_prob(lf, p)
+    }
+
+    fn trace_with_prob(&mut self, lf: &LabeledFrame, snm_prob: f32) -> FrameTrace {
         FrameTrace {
             seq: lf.frame.seq,
             pts_ms: lf.frame.pts_ms,
             sdd_distance: self.sdd.distance(&lf.frame),
-            snm_prob: self.snm.predict(&lf.frame),
+            snm_prob,
             tyolo_count: self
                 .tyolo
                 .count(&lf.frame, self.target)
@@ -153,6 +168,11 @@ impl FilterBank {
     /// Evaluate a whole clip.
     pub fn trace_clip(&mut self, clip: &[LabeledFrame]) -> Vec<FrameTrace> {
         clip.iter().map(|lf| self.trace_frame(lf)).collect()
+    }
+
+    /// Evaluate a whole clip on the int8 SNM path.
+    pub fn trace_clip_int8(&mut self, clip: &[LabeledFrame]) -> Vec<FrameTrace> {
+        clip.iter().map(|lf| self.trace_frame_int8(lf)).collect()
     }
 }
 

@@ -9,10 +9,29 @@
 //!   in `ffsva-tensor` skips zero lhs entries, so pruning genuinely speeds
 //!   up convolution here, just as sparse accelerators do.
 //! * **int8 quantization** — symmetric per-tensor linear quantization,
-//!   simulated by rounding weights through the int8 grid (the standard
-//!   "fake-quant" evaluation); reports the compressed size.
+//!   in two forms: the original in-place fake-quant ([`quantize_int8`],
+//!   which rounds weights through the int8 grid to *measure* the accuracy
+//!   cost), and a real execution path ([`QuantizedSequential`]) that
+//!   stores i8 weights, quantizes activations dynamically per sample, and
+//!   runs the convolutions and dense layers on the exact i8×i8→i32
+//!   kernels in `ffsva_tensor::quant` (DESIGN.md §12).
+//!
+//! # Why per-*sample* activation scales
+//!
+//! Each image in a batch gets its own activation scale, computed from that
+//! image's own max-abs. A per-batch scale would be cheaper but would make
+//! a frame's int8 prediction depend on its batch neighbours — breaking the
+//! batching-invariance (batch == single, bit-for-bit) that the DES↔RT
+//! survivor-set conformance relies on. With per-sample scales and exact
+//! integer GEMMs, int8 batched inference is bit-identical to int8
+//! single-frame inference at any batch size, mirroring PR 5's f32
+//! guarantee.
 
-use ffsva_tensor::Sequential;
+use ffsva_tensor::quant::{
+    dot_i8, gemm_i8_into, im2col_i8_into, quantize_rows_symmetric_i8_into,
+    quantize_symmetric_i8_into,
+};
+use ffsva_tensor::{Act, ConvGeom, LayerKind, Sequential};
 use serde::{Deserialize, Serialize};
 
 /// What compression did to a network.
@@ -112,6 +131,234 @@ fn finish_report(report: &mut CompressionReport) {
     report.compressed_bytes = report.nonzero + report.params / 8 + 4;
 }
 
+/// One layer of a [`QuantizedSequential`]: weights pre-quantized to i8
+/// with their per-tensor scale, biases kept in f32 (they are added after
+/// dequantization, so quantizing them would only add error for no speed).
+#[derive(Debug, Clone)]
+pub enum QuantLayer {
+    Conv {
+        /// `(oc, c·k²)` row-major — the GEMM lhs layout.
+        w_q: Vec<i8>,
+        w_scale: f32,
+        bias: Vec<f32>,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    },
+    Dense {
+        /// `(out, in)` row-major — each output is one i8 dot product.
+        w_q: Vec<i8>,
+        w_scale: f32,
+        bias: Vec<f32>,
+        in_f: usize,
+        out_f: usize,
+    },
+    Relu,
+    GlobalMaxPool,
+}
+
+/// Reusable buffers for [`QuantizedSequential::forward_nchw`]; recycled
+/// across calls so steady-state int8 inference allocates only the output.
+#[derive(Debug, Clone, Default)]
+struct QuantScratch {
+    /// Per-sample-quantized activations, i8.
+    q_in: Vec<i8>,
+    /// Per-sample activation scales (one per batch row).
+    a_scales: Vec<f32>,
+    /// i8 im2col matrix.
+    cols: Vec<i8>,
+    /// i32 GEMM accumulator.
+    acc: Vec<i32>,
+    /// Dequantized output activations (ping-pongs with `cur`).
+    next: Vec<f32>,
+}
+
+/// A `Sequential` lowered to a real int8 execution path: symmetric
+/// per-tensor i8 weights, per-sample dynamic activation scales, exact
+/// i8×i8→i32 GEMMs, f32 dequantization between layers.
+///
+/// Supports the layer set of the cascade's inference nets (Conv2d, ReLU,
+/// GlobalMaxPool, Dense; Flatten/Dropout are inference no-ops and are
+/// absorbed). [`Self::from_sequential`] rejects anything else rather than
+/// silently computing the wrong thing.
+#[derive(Debug, Clone)]
+pub struct QuantizedSequential {
+    layers: Vec<QuantLayer>,
+    scratch: QuantScratch,
+}
+
+impl QuantizedSequential {
+    /// Quantize a trained network's weights for int8 execution. The source
+    /// network is untouched (the f32 path stays available next to the
+    /// quantized one).
+    pub fn from_sequential(net: &Sequential) -> Result<Self, String> {
+        let mut layers = Vec::with_capacity(net.layers.len());
+        for layer in &net.layers {
+            match layer {
+                LayerKind::Conv2d(c) => {
+                    let mut w_q = Vec::new();
+                    let w_scale = quantize_symmetric_i8_into(c.weight.value.data(), &mut w_q);
+                    layers.push(QuantLayer::Conv {
+                        w_q,
+                        w_scale,
+                        bias: c.bias.value.data().to_vec(),
+                        in_c: c.in_channels,
+                        out_c: c.out_channels,
+                        kernel: c.kernel,
+                        stride: c.stride,
+                        pad: c.pad,
+                    });
+                }
+                LayerKind::Dense(d) => {
+                    let mut w_q = Vec::new();
+                    let w_scale = quantize_symmetric_i8_into(d.weight.value.data(), &mut w_q);
+                    layers.push(QuantLayer::Dense {
+                        w_q,
+                        w_scale,
+                        bias: d.bias.value.data().to_vec(),
+                        in_f: d.in_features,
+                        out_f: d.out_features,
+                    });
+                }
+                LayerKind::Activation(a) => match a.act {
+                    Act::Relu => layers.push(QuantLayer::Relu),
+                    other => {
+                        return Err(format!(
+                            "QuantizedSequential: unsupported activation {:?}",
+                            other
+                        ))
+                    }
+                },
+                LayerKind::GlobalMaxPool(_) => layers.push(QuantLayer::GlobalMaxPool),
+                // Inference no-ops: the flat activation buffer never needs
+                // an explicit reshape, and dropout is identity at inference.
+                LayerKind::Flatten(_) | LayerKind::Dropout(_) => {}
+                other => {
+                    return Err(format!(
+                        "QuantizedSequential: unsupported layer {}",
+                        other.name()
+                    ))
+                }
+            }
+        }
+        Ok(QuantizedSequential {
+            layers,
+            scratch: QuantScratch::default(),
+        })
+    }
+
+    /// Run a batch of `n` images shaped `(n, c, h, w)` through the
+    /// quantized network. Returns the final activations (for the SNM:
+    /// `n` logits — sigmoid is applied by the caller, like the f32 path).
+    ///
+    /// Per-sample activation scales + exact integer kernels make this
+    /// bit-identical to calling it once per image (see module docs).
+    pub fn forward_nchw(
+        &mut self,
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        input: &[f32],
+    ) -> Vec<f32> {
+        assert_eq!(input.len(), n * c * h * w, "forward_nchw: input length");
+        let s = &mut self.scratch;
+        let mut cur = input.to_vec();
+        let (mut cc, mut ch, mut cw) = (c, h, w);
+        for layer in &self.layers {
+            match layer {
+                QuantLayer::Conv {
+                    w_q,
+                    w_scale,
+                    bias,
+                    in_c,
+                    out_c,
+                    kernel,
+                    stride,
+                    pad,
+                } => {
+                    assert_eq!(cc, *in_c, "quantized conv channel mismatch");
+                    let geom = ConvGeom::new(ch, cw, *kernel, *stride, *pad)
+                        .unwrap_or_else(|e| panic!("QuantizedSequential: {}", e));
+                    let (oh, ow) = (geom.out_h(), geom.out_w());
+                    let img_cols = oh * ow;
+                    let total_cols = n * img_cols;
+                    let rows = cc * kernel * kernel;
+                    // per-sample activation quantization
+                    quantize_rows_symmetric_i8_into(&cur, n, &mut s.q_in, &mut s.a_scales);
+                    im2col_i8_into(&s.q_in, n, cc, geom, &mut s.cols);
+                    gemm_i8_into(w_q, *out_c, rows, &s.cols, total_cols, &mut s.acc);
+                    // dequantize + bias, scattering (oc, n·oh·ow) → NCHW
+                    s.next.clear();
+                    s.next.resize(n * out_c * img_cols, 0.0);
+                    for img in 0..n {
+                        let deq = w_scale * s.a_scales[img];
+                        for o in 0..*out_c {
+                            let src = &s.acc[o * total_cols + img * img_cols
+                                ..o * total_cols + (img + 1) * img_cols];
+                            let dst_off = (img * out_c + o) * img_cols;
+                            let dst = &mut s.next[dst_off..dst_off + img_cols];
+                            let b = bias[o];
+                            for (d, &a) in dst.iter_mut().zip(src.iter()) {
+                                *d = a as f32 * deq + b;
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut cur, &mut s.next);
+                    (cc, ch, cw) = (*out_c, oh, ow);
+                }
+                QuantLayer::Dense {
+                    w_q,
+                    w_scale,
+                    bias,
+                    in_f,
+                    out_f,
+                } => {
+                    let feat = cc * ch.max(1) * cw.max(1);
+                    assert_eq!(feat, *in_f, "quantized dense feature mismatch");
+                    quantize_rows_symmetric_i8_into(&cur, n, &mut s.q_in, &mut s.a_scales);
+                    s.next.clear();
+                    s.next.reserve(n * out_f);
+                    for img in 0..n {
+                        let x = &s.q_in[img * in_f..(img + 1) * in_f];
+                        let deq = w_scale * s.a_scales[img];
+                        for o in 0..*out_f {
+                            let wrow = &w_q[o * in_f..(o + 1) * in_f];
+                            s.next.push(dot_i8(wrow, x) as f32 * deq + bias[o]);
+                        }
+                    }
+                    std::mem::swap(&mut cur, &mut s.next);
+                    (cc, ch, cw) = (*out_f, 1, 1);
+                }
+                QuantLayer::Relu => {
+                    for v in cur.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+                QuantLayer::GlobalMaxPool => {
+                    let hw = ch * cw;
+                    s.next.clear();
+                    s.next.reserve(n * cc);
+                    for plane in cur.chunks_exact(hw) {
+                        s.next
+                            .push(plane.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v)));
+                    }
+                    std::mem::swap(&mut cur, &mut s.next);
+                    (ch, cw) = (1, 1);
+                }
+            }
+        }
+        cur
+    }
+
+    /// Number of quantized layers (diagnostics).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +435,69 @@ mod tests {
     fn invalid_fraction_panics() {
         let mut net = fresh_net();
         let _ = prune_magnitude(&mut net, 1.5);
+    }
+
+    use crate::snm::SNM_SIZE;
+
+    fn snm_inputs(n: usize) -> Vec<f32> {
+        (0..n * SNM_SIZE * SNM_SIZE)
+            .map(|i| ((i as f32 * 0.37).sin() - (i % 13) as f32 * 0.02) * 0.25)
+            .collect()
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_forward() {
+        use ffsva_tensor::Tensor;
+        let mut net = fresh_net();
+        let mut q = QuantizedSequential::from_sequential(&net).expect("SNM is quantizable");
+        let n = 3;
+        let data = snm_inputs(n);
+        let x = Tensor::from_vec(&[n, 1, SNM_SIZE, SNM_SIZE], data.clone());
+        let f32_logits = net.forward(&x, false);
+        let q_logits = q.forward_nchw(n, 1, SNM_SIZE, SNM_SIZE, &data);
+        assert_eq!(q_logits.len(), n);
+        for (i, (&qf, &ff)) in q_logits.iter().zip(f32_logits.data().iter()).enumerate() {
+            // int8 is approximate; the bound here is loose on purpose (the
+            // behavioural bound that matters — missed-scene delta — is
+            // asserted end-to-end in tests/int8_accuracy.rs)
+            assert!(
+                (qf - ff).abs() < 0.5 + 0.2 * ff.abs(),
+                "logit {i}: int8 {qf} vs f32 {ff}"
+            );
+        }
+    }
+
+    /// Per-sample activation scales + exact integer kernels: the int8 batch
+    /// forward must be bit-identical to int8 one-image forwards.
+    #[test]
+    fn quantized_batch_is_bit_identical_to_single() {
+        let net = fresh_net();
+        let mut q = QuantizedSequential::from_sequential(&net).unwrap();
+        let n = 4;
+        let data = snm_inputs(n);
+        let img = SNM_SIZE * SNM_SIZE;
+        let batched = q.forward_nchw(n, 1, SNM_SIZE, SNM_SIZE, &data);
+        // run again through dirty scratch: must be stable
+        let again = q.forward_nchw(n, 1, SNM_SIZE, SNM_SIZE, &data);
+        for i in 0..n {
+            let single = q.forward_nchw(1, 1, SNM_SIZE, SNM_SIZE, &data[i * img..(i + 1) * img]);
+            assert_eq!(batched[i].to_bits(), single[0].to_bits(), "image {i}");
+            assert_eq!(again[i].to_bits(), single[0].to_bits(), "image {i} reuse");
+        }
+    }
+
+    #[test]
+    fn unsupported_layers_are_rejected_loudly() {
+        use ffsva_tensor::layers::{Activation, MaxPool2d};
+        use ffsva_tensor::prelude::*;
+        let net = Sequential::new()
+            .push(LayerKind::MaxPool2d(MaxPool2d::new(2, 2)))
+            .push(LayerKind::Activation(Activation::new(Act::Relu)));
+        let err = QuantizedSequential::from_sequential(&net).unwrap_err();
+        assert!(err.contains("maxpool2d"), "got: {err}");
+
+        let net2 = Sequential::new().push(LayerKind::Activation(Activation::new(Act::Sigmoid)));
+        let err2 = QuantizedSequential::from_sequential(&net2).unwrap_err();
+        assert!(err2.contains("Sigmoid"), "got: {err2}");
     }
 }

@@ -44,7 +44,9 @@ pub mod snm_multi;
 pub mod tyolo;
 
 pub use bank::{BankOptions, FilterBank, FrameTrace};
-pub use compress::{compress, prune_magnitude, quantize_int8, CompressionReport};
+pub use compress::{
+    compress, prune_magnitude, quantize_int8, CompressionReport, QuantLayer, QuantizedSequential,
+};
 pub use cost::{fit_batch_curve, sdd_cost, snm_cost, tyolo_cost, yolov2_cost, CostSpec};
 pub use filter::{Detection, Verdict};
 pub use reference::{ReferenceConfig, ReferenceModel};

@@ -15,6 +15,34 @@ use serde::{Deserialize, Serialize};
 /// Input side length the SDD operates at (paper: 100×100).
 pub const SDD_SIZE: usize = 100;
 
+/// Distance under `metric` between two equal-length images via the
+/// runtime-dispatched reduction kernels. The scalar kernels accumulate
+/// left-to-right exactly like the historical inline loops, so on a
+/// scalar build (or non-AVX2 CPU) this is bit-identical to the old code;
+/// with `--features simd` on AVX2 the result is ULP-close (see
+/// `ffsva_tensor::simd` for the bound).
+#[inline]
+fn metric_distance(metric: DistanceMetric, a: &[f32], b: &[f32], range: f32) -> f32 {
+    let n = a.len() as f32;
+    match metric {
+        DistanceMetric::Mse => ffsva_tensor::simd::sum_sq_diff(a, b) / n,
+        DistanceMetric::Nrmse => (ffsva_tensor::simd::sum_sq_diff(a, b) / n).sqrt() / range,
+        DistanceMetric::Sad => ffsva_tensor::simd::sum_abs_diff(a, b) / n,
+    }
+}
+
+/// [`metric_distance`] pinned to the scalar kernels — the conformance
+/// reference for the SIMD path, available on every build.
+#[inline]
+fn metric_distance_scalar(metric: DistanceMetric, a: &[f32], b: &[f32], range: f32) -> f32 {
+    let n = a.len() as f32;
+    match metric {
+        DistanceMetric::Mse => ffsva_tensor::simd::sum_sq_diff_scalar(a, b) / n,
+        DistanceMetric::Nrmse => (ffsva_tensor::simd::sum_sq_diff_scalar(a, b) / n).sqrt() / range,
+        DistanceMetric::Sad => ffsva_tensor::simd::sum_abs_diff_scalar(a, b) / n,
+    }
+}
+
 /// Distance metric between a frame and the reference image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DistanceMetric {
@@ -75,34 +103,18 @@ impl SddFilter {
     }
 
     /// Distance between a (pre-resized, normalized) 100×100 image and the
-    /// reference under the configured metric.
+    /// reference under the configured metric (runtime-dispatched kernels).
     pub fn distance_small(&self, small: &[f32]) -> f32 {
         debug_assert_eq!(small.len(), self.reference.len());
-        match self.metric {
-            DistanceMetric::Mse => {
-                let mut acc = 0.0f32;
-                for (&a, &b) in small.iter().zip(self.reference.iter()) {
-                    let d = a - b;
-                    acc += d * d;
-                }
-                acc / small.len() as f32
-            }
-            DistanceMetric::Nrmse => {
-                let mut acc = 0.0f32;
-                for (&a, &b) in small.iter().zip(self.reference.iter()) {
-                    let d = a - b;
-                    acc += d * d;
-                }
-                (acc / small.len() as f32).sqrt() / self.ref_range
-            }
-            DistanceMetric::Sad => {
-                let mut acc = 0.0f32;
-                for (&a, &b) in small.iter().zip(self.reference.iter()) {
-                    acc += (a - b).abs();
-                }
-                acc / small.len() as f32
-            }
-        }
+        metric_distance(self.metric, small, &self.reference, self.ref_range)
+    }
+
+    /// [`Self::distance_small`] forced onto the scalar kernels — the SIMD
+    /// conformance reference and the `kernel.scalar_sdd_distance_us` bench
+    /// subject. Identical to `distance_small` on scalar builds.
+    pub fn distance_small_scalar(&self, small: &[f32]) -> f32 {
+        debug_assert_eq!(small.len(), self.reference.len());
+        metric_distance_scalar(self.metric, small, &self.reference, self.ref_range)
     }
 
     /// Distance of a full-resolution frame (resizes internally).
@@ -192,31 +204,9 @@ impl FrameDiffSdd {
         let small = resize_frame_f32(frame, SDD_SIZE, SDD_SIZE);
         let d = match self.previous.as_ref() {
             None => 0.0,
-            Some(prev) => match self.metric {
-                DistanceMetric::Mse => {
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in small.iter().zip(prev.iter()) {
-                        let d = a - b;
-                        acc += d * d;
-                    }
-                    acc / small.len() as f32
-                }
-                DistanceMetric::Nrmse => {
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in small.iter().zip(prev.iter()) {
-                        let d = a - b;
-                        acc += d * d;
-                    }
-                    (acc / small.len() as f32).sqrt()
-                }
-                DistanceMetric::Sad => {
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in small.iter().zip(prev.iter()) {
-                        acc += (a - b).abs();
-                    }
-                    acc / small.len() as f32
-                }
-            },
+            // range 1.0: the frame-diff NRMSE has no reference dynamic
+            // range to normalize by (same semantics as the old inline loop)
+            Some(prev) => metric_distance(self.metric, &small, prev, 1.0),
         };
         self.previous = Some(small);
         d
@@ -375,6 +365,36 @@ mod tests {
             let a = sdd.distance(&lf.frame);
             let b = sdd.distance_with(&lf.frame, &mut scratch);
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Dispatched vs scalar distance: bit-identical on scalar builds, and
+    /// within the documented relative bound when the SIMD path is active.
+    #[test]
+    fn distance_small_dispatched_matches_scalar_reference() {
+        let (clip, bg) = clips();
+        for metric in [
+            DistanceMetric::Mse,
+            DistanceMetric::Nrmse,
+            DistanceMetric::Sad,
+        ] {
+            let sdd = SddFilter::from_background(&bg, metric, 0.0);
+            for lf in clip.iter().take(20) {
+                let small = resize_frame_f32(&lf.frame, SDD_SIZE, SDD_SIZE);
+                let fast = sdd.distance_small(&small);
+                let reference = sdd.distance_small_scalar(&small);
+                if ffsva_tensor::simd_active() {
+                    assert!(
+                        (fast - reference).abs() <= 1e-5 * reference.abs().max(1e-3),
+                        "{:?}: {} vs {}",
+                        metric,
+                        fast,
+                        reference
+                    );
+                } else {
+                    assert_eq!(fast.to_bits(), reference.to_bits(), "{:?}", metric);
+                }
+            }
         }
     }
 

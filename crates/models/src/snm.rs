@@ -10,6 +10,7 @@
 //! t_pre = (c_high − c_low) · FilterDegree + c_low        (Eq. 2)
 //! ```
 
+use crate::compress::QuantizedSequential;
 use crate::filter::Verdict;
 use crate::scratch::Scratch;
 use ffsva_tensor::layers::{Activation, Conv2d, Dense, GlobalMaxPool};
@@ -60,6 +61,10 @@ pub struct SnmModel {
     pub c_low: f32,
     /// Predictions above `c_high` are confidently positive.
     pub c_high: f32,
+    /// Lazily-built int8 lowering of `net` (see DESIGN.md §12); rebuilt on
+    /// demand and invalidated whenever the weights become mutable.
+    #[serde(skip)]
+    quantized: Option<QuantizedSequential>,
 }
 
 impl SnmModel {
@@ -81,6 +86,7 @@ impl SnmModel {
             target,
             c_low: 0.3,
             c_high: 0.7,
+            quantized: None,
         }
     }
 
@@ -144,6 +150,63 @@ impl SnmModel {
         (probs, x.into_vec())
     }
 
+    /// Build (or reuse) the int8 lowering of the network. Cheap after the
+    /// first call; invalidated by [`Self::network_mut`].
+    fn ensure_quantized(&mut self) -> &mut QuantizedSequential {
+        if self.quantized.is_none() {
+            self.quantized = Some(
+                QuantizedSequential::from_sequential(&self.net)
+                    .expect("SNM architecture is int8-quantizable"),
+            );
+        }
+        self.quantized.as_mut().expect("just built")
+    }
+
+    /// Int8 prediction for a pre-resized 50×50 input: per-sample dynamic
+    /// activation quantization + exact i8×i8→i32 kernels, sigmoid outside
+    /// the net exactly like the f32 path.
+    pub fn predict_small_int8(&mut self, small: &[f32]) -> f32 {
+        debug_assert_eq!(small.len(), SNM_SIZE * SNM_SIZE);
+        let logits = self
+            .ensure_quantized()
+            .forward_nchw(1, 1, SNM_SIZE, SNM_SIZE, small);
+        sigmoid_scalar(logits[0])
+    }
+
+    /// Int8 prediction for a full-resolution frame.
+    pub fn predict_int8(&mut self, frame: &Frame) -> f32 {
+        self.predict_small_int8(&snm_input(frame))
+    }
+
+    /// Int8 batched prediction straight from frames — the quantized twin of
+    /// [`Self::predict_batch_frames`]. Per-sample activation scales keep
+    /// this bit-identical to per-frame [`Self::predict_int8`] at any batch
+    /// size, so switching `snm_precision` never breaks the DES↔RT
+    /// survivor-set conformance (both engines just agree on the *int8*
+    /// probabilities instead of the f32 ones).
+    pub fn predict_batch_frames_int8(
+        &mut self,
+        frames: &[&Frame],
+        scratch: &mut Scratch,
+    ) -> Vec<f32> {
+        if frames.is_empty() {
+            return Vec::new();
+        }
+        let n = frames.len();
+        let mut flat = std::mem::take(&mut scratch.batch);
+        flat.clear();
+        flat.reserve(n * SNM_SIZE * SNM_SIZE);
+        for frame in frames {
+            snm_input_into(frame, &mut scratch.resized);
+            flat.extend_from_slice(&scratch.resized);
+        }
+        let logits = self
+            .ensure_quantized()
+            .forward_nchw(n, 1, SNM_SIZE, SNM_SIZE, &flat);
+        scratch.batch = flat;
+        logits.iter().map(|&z| sigmoid_scalar(z)).collect()
+    }
+
     /// Effective filtering threshold for a FilterDegree in `[0, 1]` (Eq. 2).
     pub fn t_pre(&self, filter_degree: f32) -> f32 {
         let fd = filter_degree.clamp(0.0, 1.0);
@@ -165,7 +228,10 @@ impl SnmModel {
     }
 
     /// Mutable access to the underlying network (compression, inspection).
+    /// Drops the cached int8 lowering: the caller may change the weights,
+    /// and a stale quantization must never serve predictions.
     pub fn network_mut(&mut self) -> &mut Sequential {
+        self.quantized = None;
         &mut self.net
     }
 }
@@ -604,5 +670,67 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let mut m = SnmModel::architecture(ObjectClass::Car, &mut rng);
         assert!(m.predict_batch(&[]).is_empty());
+        let mut scratch = Scratch::new();
+        assert!(m.predict_batch_frames_int8(&[], &mut scratch).is_empty());
+    }
+
+    /// Int8 batching invariance: the quantized twin of
+    /// `predict_batch_frames_is_bit_identical_to_predict`.
+    #[test]
+    fn predict_batch_frames_int8_is_bit_identical_to_predict_int8() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut m = SnmModel::architecture(ObjectClass::Car, &mut rng);
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.4, 21);
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(12);
+        let frames: Vec<&Frame> = clip.iter().map(|lf| &lf.frame).collect();
+        let mut scratch = Scratch::new();
+        let batched = m.predict_batch_frames_int8(&frames, &mut scratch);
+        let again = m.predict_batch_frames_int8(&frames, &mut scratch);
+        for (i, f) in frames.iter().enumerate() {
+            let single = m.predict_int8(f);
+            assert_eq!(batched[i].to_bits(), single.to_bits(), "frame {}", i);
+            assert_eq!(again[i].to_bits(), single.to_bits(), "frame {} reuse", i);
+        }
+    }
+
+    /// The int8 probabilities must stay behaviourally close to f32 on real
+    /// frames (the end-to-end missed-scene bound lives in
+    /// tests/int8_accuracy.rs; this is the cheap unit-level guard).
+    #[test]
+    fn int8_probabilities_track_f32() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.4, 77);
+        let mut s = VideoStream::new(0, cfg);
+        let clip = s.clip(2500);
+        let (mut model, _) = train_snm(&clip, ObjectClass::Car, &quick_opts(), &mut rng);
+        let eval = s.clip(60);
+        let mut max_diff = 0.0f32;
+        for lf in &eval {
+            let pf = model.predict(&lf.frame);
+            let pq = model.predict_int8(&lf.frame);
+            max_diff = max_diff.max((pf - pq).abs());
+        }
+        assert!(max_diff < 0.25, "int8 drifted from f32 by {}", max_diff);
+    }
+
+    /// Mutating the network must invalidate the cached quantization.
+    #[test]
+    fn network_mut_invalidates_quantized_cache() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut m = SnmModel::architecture(ObjectClass::Car, &mut rng);
+        let input: Vec<f32> = (0..SNM_SIZE * SNM_SIZE)
+            .map(|i| ((i % 11) as f32 - 5.0) * 0.05)
+            .collect();
+        let before = m.predict_small_int8(&input);
+        // zero every weight: the quantized path must see the change
+        for p in m.network_mut().params_mut() {
+            for v in p.value.data_mut() {
+                *v = 0.0;
+            }
+        }
+        let after = m.predict_small_int8(&input);
+        assert_eq!(after, 0.5, "all-zero net must emit logit 0 → p=0.5");
+        assert_ne!(before.to_bits(), after.to_bits());
     }
 }

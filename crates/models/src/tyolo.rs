@@ -145,6 +145,70 @@ impl TinyYolo {
         self.detect_internal(&scratch.resized)
     }
 
+    /// Quantized detection: the saliency front-end (resize → blur →
+    /// high-pass → threshold) runs entirely in the integer domain on the
+    /// u8 luma plane — a u32 integral image instead of the f32 normalize +
+    /// f64 box blur — then shares the geometric post-processing
+    /// ([`Self::detect_from_saliency`]) with the float path. The integer
+    /// window sums are exact, so this is the *more* precise high-pass; it
+    /// differs from [`Self::detect_with`] only by the float path's own
+    /// rounding, which the int8 accuracy suite bounds behaviourally.
+    pub fn detect_quantized_with(&self, frame: &Frame, scratch: &mut Scratch) -> Vec<Detection> {
+        let (w, h) = (INTERNAL, INTERNAL);
+        resize_frame_into(frame, w, h, &mut scratch.luma8);
+        let luma = &scratch.luma8;
+
+        // u32 integral image with one row/col of padding (max total
+        // 104²·255 ≈ 2.8M, far inside u32)
+        let mut integral = vec![0u32; (w + 1) * (h + 1)];
+        for y in 0..h {
+            let mut row = 0u32;
+            for x in 0..w {
+                row += luma[y * w + x] as u32;
+                integral[(y + 1) * (w + 1) + (x + 1)] = integral[y * (w + 1) + (x + 1)] + row;
+            }
+        }
+
+        // Saliency s = |p/255 − sum/(255·area)|; the mask compare is done
+        // on the integer cross-multiplied form |p·area − sum| >
+        // threshold·255·area (one deterministic f64 compare per pixel, no
+        // accumulated float error).
+        let r = self.cfg.blur_radius;
+        let thr = self.cfg.saliency_threshold as f64 * 255.0;
+        let mut mask = vec![false; w * h];
+        let mut sal = vec![0.0f32; w * h];
+        for y in 0..h {
+            let y0 = y.saturating_sub(r);
+            let y1 = (y + r + 1).min(h);
+            for x in 0..w {
+                let x0 = x.saturating_sub(r);
+                let x1 = (x + r + 1).min(w);
+                let sum = (integral[y1 * (w + 1) + x1] + integral[y0 * (w + 1) + x0]) as i64
+                    - integral[y0 * (w + 1) + x1] as i64
+                    - integral[y1 * (w + 1) + x0] as i64;
+                let area = ((y1 - y0) * (x1 - x0)) as i64;
+                let lhs = (luma[y * w + x] as i64 * area - sum).abs();
+                let i = y * w + x;
+                mask[i] = lhs as f64 > thr * area as f64;
+                sal[i] = (lhs as f64 / (255.0 * area as f64)) as f32;
+            }
+        }
+        self.detect_from_saliency(&sal, &mask)
+    }
+
+    /// [`Self::count_with`] on the quantized detection path.
+    pub fn count_quantized_with(
+        &self,
+        frame: &Frame,
+        class: ObjectClass,
+        scratch: &mut Scratch,
+    ) -> usize {
+        self.detect_quantized_with(frame, scratch)
+            .iter()
+            .filter(|d| d.class == class)
+            .count()
+    }
+
     /// Detection on a pre-resized `INTERNAL`×`INTERNAL` normalized image.
     fn detect_internal(&self, gray: &[f32]) -> Vec<Detection> {
         let (w, h) = (INTERNAL, INTERNAL);
@@ -157,7 +221,15 @@ impl TinyYolo {
             sal[i] = s;
             mask[i] = s > self.cfg.saliency_threshold;
         }
+        self.detect_from_saliency(&sal, &mask)
+    }
 
+    /// Shared geometric back half of both detection paths: connected
+    /// components over `mask`, fragment merging, the per-cell box cap,
+    /// confidence scoring from `sal`, thresholding, and NMS. `sal`/`mask`
+    /// are `INTERNAL`×`INTERNAL`.
+    fn detect_from_saliency(&self, sal: &[f32], mask: &[bool]) -> Vec<Detection> {
+        let (w, h) = (INTERNAL, INTERNAL);
         // connected components (4-connectivity, iterative flood fill)
         let mut comps: Vec<Component> = Vec::new();
         let mut visited = vec![false; w * h];
@@ -543,6 +615,37 @@ mod tests {
                 ty.count_with(&lf.frame, ObjectClass::Car, &mut scratch),
             );
         }
+    }
+
+    #[test]
+    fn quantized_detection_tracks_float_path() {
+        // The integer saliency front-end computes the same high-pass as the
+        // float path with exact window sums; the two may only disagree on
+        // pixels where |gray − bg| straddles the threshold by float
+        // rounding. Per-class counts must agree on nearly every frame, and
+        // frame-level verdicts (any car present) must match scene behaviour.
+        let clip = car_clip();
+        let ty = TinyYolo::default();
+        let mut scratch = Scratch::new();
+        let mut frames = 0usize;
+        let mut count_match = 0usize;
+        let mut verdict_match = 0usize;
+        for lf in clip.iter().take(300) {
+            frames += 1;
+            let f = ty.count_with(&lf.frame, ObjectClass::Car, &mut scratch);
+            let q = ty.count_quantized_with(&lf.frame, ObjectClass::Car, &mut scratch);
+            if f == q {
+                count_match += 1;
+            }
+            if (f >= 1) == (q >= 1) {
+                verdict_match += 1;
+            }
+        }
+        assert!(frames >= 300);
+        let count_rate = count_match as f32 / frames as f32;
+        let verdict_rate = verdict_match as f32 / frames as f32;
+        assert!(count_rate > 0.9, "count agreement {}", count_rate);
+        assert!(verdict_rate > 0.95, "verdict agreement {}", verdict_rate);
     }
 
     #[test]

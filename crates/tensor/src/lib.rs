@@ -28,6 +28,8 @@ pub mod adam;
 pub mod init;
 pub mod layers;
 pub mod ops;
+pub mod quant;
+pub mod simd;
 pub mod tensor;
 pub mod train;
 
@@ -37,6 +39,8 @@ pub use layers::{
     LayerKind, MaxPool2d, Param, Sequential,
 };
 pub use ops::{ConvGeom, ConvScratch};
+pub use quant::{dot_i8, gemm_i8_into, im2col_i8_into, quantize_symmetric_i8_into};
+pub use simd::simd_active;
 pub use tensor::Tensor;
 pub use train::{Dataset, Sgd, TrainConfig};
 

@@ -29,6 +29,31 @@ const MM_K_TILE: usize = 64;
 /// training-gradient path uses [`matmul_tn`], which does *not* skip, so
 /// NaN/Inf gradients propagate instead of being masked by sparse operands.
 fn gemm_into(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut Vec<f32>) {
+    gemm_into_with(ad, m, k, bd, n, out, crate::simd::axpy)
+}
+
+/// [`gemm_into`] pinned to the scalar inner kernel regardless of the
+/// `simd` feature or CPU — the conformance reference the SIMD path is
+/// tested against (see [`matmul_into_scalar`]).
+fn gemm_into_scalar(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut Vec<f32>) {
+    gemm_into_with(ad, m, k, bd, n, out, crate::simd::axpy_scalar)
+}
+
+/// Shared blocking/zero-skip skeleton of the GEMM, generic over the
+/// `out[j] += a·b[j]` inner kernel so the dispatched and scalar variants
+/// are the same code path up to that one loop.
+#[inline]
+fn gemm_into_with<F>(
+    ad: &[f32],
+    m: usize,
+    k: usize,
+    bd: &[f32],
+    n: usize,
+    out: &mut Vec<f32>,
+    axpy: F,
+) where
+    F: Fn(f32, &[f32], &mut [f32]) + Sync,
+{
     debug_assert_eq!(ad.len(), m * k);
     debug_assert_eq!(bd.len(), k * n);
     out.clear();
@@ -48,9 +73,7 @@ fn gemm_into(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut Vec
                         continue;
                     }
                     let brow = &bd[p * n + j0..p * n + j1];
-                    for (o, &bv) in tile.iter_mut().zip(brow.iter()) {
-                        *o += av * bv;
-                    }
+                    axpy(av, brow, tile);
                 }
                 p0 = p1;
             }
@@ -78,6 +101,19 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) {
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul inner dims: {} vs {}", k, k2);
     gemm_into(a.data(), m, k, b.data(), n, out);
+}
+
+/// [`matmul_into`] forced onto the scalar inner kernel — always available,
+/// independent of the `simd` feature and CPU. This is the reference the
+/// SIMD conformance proptests and the `kernel.scalar_matmul_gflops` bench
+/// series compare against (on a scalar build it is exactly [`matmul_into`]).
+pub fn matmul_into_scalar(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dims: {} vs {}", k, k2);
+    gemm_into_scalar(a.data(), m, k, b.data(), n, out);
 }
 
 /// Unblocked, unskipped reference kernel — the correctness oracle for the
@@ -267,8 +303,25 @@ pub fn im2col_into(input: &[f32], c: usize, geom: ConvGeom, out: &mut Vec<f32>) 
 /// Fill one im2col row — the sweep of a fixed `(ky, kx)` tap over every
 /// output pixel of one channel plane. `dst` must be zeroed (padding taps
 /// stay zero) and `out_h·out_w` long.
+///
+/// im2col is pure data movement, so the span fast path selected under the
+/// `simd` feature is *bit-identical* to the per-element sweep — it copies
+/// the same elements to the same slots, just without per-element bounds
+/// checks (and via `copy_from_slice`/memcpy when the stride is 1).
 #[inline]
 fn im2col_row(plane: &[f32], geom: ConvGeom, ky: usize, kx: usize, dst: &mut [f32]) {
+    // cfg! (not #[cfg]) so both variants always compile: the scalar sweep
+    // stays warning-clean and available as the conformance reference.
+    if cfg!(feature = "simd") {
+        im2col_row_span(plane, geom, ky, kx, dst)
+    } else {
+        im2col_row_sweep(plane, geom, ky, kx, dst)
+    }
+}
+
+/// Per-element reference sweep (the pre-vectorization kernel).
+#[inline]
+fn im2col_row_sweep(plane: &[f32], geom: ConvGeom, ky: usize, kx: usize, dst: &mut [f32]) {
     let (oh, ow) = (geom.out_h(), geom.out_w());
     for oy in 0..oh {
         let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
@@ -282,6 +335,48 @@ fn im2col_row(plane: &[f32], geom: ConvGeom, ky: usize, kx: usize, dst: &mut [f3
                 continue;
             }
             dst[oy * ow + ox] = plane[iy * geom.in_w + ix as usize];
+        }
+    }
+}
+
+/// Span fast path: hoist the in-bounds `ox` interval out of the inner loop,
+/// then bulk-copy (stride 1) or walk a fixed stride with no bounds branch.
+#[inline]
+fn im2col_row_span(plane: &[f32], geom: ConvGeom, ky: usize, kx: usize, dst: &mut [f32]) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let stride = geom.stride;
+    // Valid ox satisfy 0 <= ox·stride + kx − pad < in_w.
+    let ox0 = if geom.pad > kx {
+        ((geom.pad - kx) + stride - 1) / stride
+    } else {
+        0
+    };
+    let limit = geom.in_w + geom.pad; // ix < in_w  ⇔  ox·stride + kx < limit
+    let ox1 = if limit > kx {
+        (((limit - kx - 1) / stride) + 1).min(ow)
+    } else {
+        0
+    };
+    if ox0 >= ox1 {
+        return; // this tap never lands in-bounds horizontally
+    }
+    let span = ox1 - ox0;
+    let ix0 = ox0 * stride + kx - geom.pad;
+    for oy in 0..oh {
+        let iy = (oy * stride + ky) as isize - geom.pad as isize;
+        if iy < 0 || iy >= geom.in_h as isize {
+            continue;
+        }
+        let src = &plane[iy as usize * geom.in_w..(iy as usize + 1) * geom.in_w];
+        let drow = &mut dst[oy * ow + ox0..oy * ow + ox1];
+        if stride == 1 {
+            drow.copy_from_slice(&src[ix0..ix0 + span]);
+        } else {
+            let mut ix = ix0;
+            for d in drow.iter_mut() {
+                *d = src[ix];
+                ix += stride;
+            }
         }
     }
 }
@@ -767,6 +862,39 @@ mod tests {
                 "image {} diverged between batched and single forward",
                 b
             );
+        }
+    }
+
+    /// The span fast path and the per-element sweep must place identical
+    /// bits in identical slots for every geometry shape (pad > kernel,
+    /// stride > 1, taps that never land in-bounds, 1×1 kernels).
+    #[test]
+    fn im2col_row_span_is_bit_identical_to_sweep() {
+        let cases = [
+            ConvGeom::new(5, 5, 3, 1, 1).unwrap(),
+            ConvGeom::new(10, 10, 5, 2, 2).unwrap(),
+            ConvGeom::new(7, 9, 3, 2, 0).unwrap(),
+            ConvGeom::new(3, 3, 3, 1, 2).unwrap(), // pad spans most of the input
+            ConvGeom::new(6, 6, 1, 1, 0).unwrap(),
+            ConvGeom::new(4, 4, 2, 3, 1).unwrap(), // stride > kernel
+            ConvGeom::new(2, 2, 3, 1, 3).unwrap(), // heavy padding, tiny input
+        ];
+        for geom in cases {
+            let plane: Vec<f32> = (0..geom.in_h * geom.in_w)
+                .map(|i| (i as f32 * 0.73).sin())
+                .collect();
+            let (oh, ow) = (geom.out_h(), geom.out_w());
+            for ky in 0..geom.kernel {
+                for kx in 0..geom.kernel {
+                    let mut sweep = vec![0.0f32; oh * ow];
+                    let mut span = vec![0.0f32; oh * ow];
+                    im2col_row_sweep(&plane, geom, ky, kx, &mut sweep);
+                    im2col_row_span(&plane, geom, ky, kx, &mut span);
+                    let sweep_bits: Vec<u32> = sweep.iter().map(|v| v.to_bits()).collect();
+                    let span_bits: Vec<u32> = span.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(sweep_bits, span_bits, "geom {:?} tap ({ky},{kx})", geom);
+                }
+            }
         }
     }
 

@@ -1,0 +1,404 @@
+//! Integer (int8) inference kernels: symmetric quantization, an
+//! i8×i8→i32 GEMM, and an i8 im2col.
+//!
+//! Unlike the f32 SIMD paths in [`crate::simd`], everything here is
+//! **exact**: i8 products fit in i16, sums of a realistic `k` fit in i32,
+//! and integer addition is associative — so the AVX2 fast paths (compiled
+//! under `--features simd`, dispatched at runtime) are *bit-identical* to
+//! the scalar reference, not merely ULP-close. These kernels are always
+//! compiled; only their vectorized inner loops are feature-gated.
+//!
+//! Quantization scheme (DESIGN.md §12): symmetric per-tensor, scale
+//! `s = max|v| / 127`, quantized range `[-127, 127]` (−128 unused so the
+//! scheme stays symmetric and i8×i8 products stay ≤ 127² = 16129 < i16::MAX).
+//! Real value ≈ `q as f32 * s`. Zero is exactly representable (`q = 0`),
+//! which matters because conv zero-padding must quantize to the same
+//! value as a genuinely zero input pixel.
+
+use crate::ops::ConvGeom;
+
+/// Quantize `data` symmetrically to i8 into `out` (resized to match) and
+/// return the scale such that `data[i] ≈ out[i] as f32 * scale`.
+///
+/// All-zero (or empty) input returns scale 1.0 with all-zero output, so
+/// dequantization is still exact. Rounds to nearest (ties away from zero,
+/// matching `f32::round`) and clamps to `[-127, 127]`.
+pub fn quantize_symmetric_i8_into(data: &[f32], out: &mut Vec<i8>) -> f32 {
+    out.clear();
+    out.reserve(data.len());
+    let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        out.resize(data.len(), 0);
+        return 1.0;
+    }
+    let scale = max_abs / 127.0;
+    let inv = 127.0 / max_abs;
+    for &v in data {
+        out.push((v * inv).round().clamp(-127.0, 127.0) as i8);
+    }
+    scale
+}
+
+/// Quantize `rows` equal-length rows of `data` independently (one scale
+/// per row) — the per-sample dynamic activation quantization. Each row is
+/// quantized exactly as [`quantize_symmetric_i8_into`] would quantize it
+/// alone, which is what makes int8 batched inference bit-identical to
+/// int8 single-sample inference: a sample's quantization never depends on
+/// its batch neighbours.
+pub fn quantize_rows_symmetric_i8_into(
+    data: &[f32],
+    rows: usize,
+    out: &mut Vec<i8>,
+    scales: &mut Vec<f32>,
+) {
+    assert!(rows > 0, "quantize_rows: rows must be >= 1");
+    assert_eq!(data.len() % rows, 0, "quantize_rows: ragged rows");
+    let row_len = data.len() / rows;
+    out.clear();
+    out.reserve(data.len());
+    scales.clear();
+    scales.reserve(rows);
+    for row in data.chunks_exact(row_len) {
+        let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if max_abs == 0.0 {
+            out.resize(out.len() + row_len, 0);
+            scales.push(1.0);
+            continue;
+        }
+        let inv = 127.0 / max_abs;
+        for &v in row {
+            out.push((v * inv).round().clamp(-127.0, 127.0) as i8);
+        }
+        scales.push(max_abs / 127.0);
+    }
+}
+
+/// `out = A(m×k, i8) × B(k×n, i8)` accumulated in i32. Exact in both the
+/// scalar and AVX2 paths (see module docs), so scalar↔SIMD is
+/// bit-identical. Mirrors the f32 GEMM's rank-1-update (axpy) order with
+/// an `a == 0` skip — legitimate here because integer math has no NaN/Inf
+/// to propagate.
+pub fn gemm_i8_into(ad: &[i8], m: usize, k: usize, bd: &[i8], n: usize, out: &mut Vec<i32>) {
+    assert_eq!(ad.len(), m * k, "i8 gemm: lhs length mismatch");
+    assert_eq!(bd.len(), k * n, "i8 gemm: rhs length mismatch");
+    out.clear();
+    out.resize(m * n, 0);
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            axpy_i8(av, brow, orow);
+        }
+    }
+}
+
+/// `out[j] += a · b[j]` over i8 operands into i32, dispatched.
+#[inline]
+fn axpy_i8(a: i8, b: &[i8], out: &mut [i32]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::simd_active() {
+        // SAFETY: simd_active() verified AVX2 on this CPU.
+        unsafe { avx2::axpy_i8(a, b, out) };
+        return;
+    }
+    axpy_i8_scalar(a, b, out)
+}
+
+#[inline]
+fn axpy_i8_scalar(a: i8, b: &[i8], out: &mut [i32]) {
+    let a = a as i32;
+    for (o, &bv) in out.iter_mut().zip(b.iter()) {
+        *o += a * bv as i32;
+    }
+}
+
+/// Exact i8 dot product accumulated in i32 (used by the quantized Dense
+/// layer, whose weights are stored row-major (out, in) so each output is
+/// one dot). Scalar and AVX2 paths are bit-identical.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::simd_active() {
+        // SAFETY: simd_active() verified AVX2 on this CPU.
+        return unsafe { avx2::dot_i8(a, b) };
+    }
+    dot_i8_scalar(a, b)
+}
+
+#[inline]
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    let n = a.len().min(b.len());
+    let mut acc = 0i32;
+    for i in 0..n {
+        acc += a[i] as i32 * b[i] as i32;
+    }
+    acc
+}
+
+/// i8 analogue of [`crate::ops::im2col_into`] for a batch of `n` images:
+/// unfolds `input` (n × c × in_h × in_w, quantized) into `out` with shape
+/// `(c·k²) × (n·oh·ow)`, columns grouped by image exactly like the f32
+/// batched lowering. Out-of-bounds taps contribute 0, which under
+/// symmetric quantization is exactly the quantized value of a zero pixel
+/// — so quantize-then-unfold equals unfold-then-quantize.
+pub fn im2col_i8_into(input: &[i8], n: usize, c: usize, geom: ConvGeom, out: &mut Vec<i8>) {
+    let k = geom.kernel;
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let plane_len = geom.in_h * geom.in_w;
+    assert_eq!(
+        input.len(),
+        n * c * plane_len,
+        "i8 im2col: input length mismatch"
+    );
+    let img_cols = oh * ow;
+    let cols = n * img_cols;
+    out.clear();
+    out.resize(c * k * k * cols, 0);
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let dst = &mut out[row * cols..(row + 1) * cols];
+                for img in 0..n {
+                    let off = (img * c + ch) * plane_len;
+                    let plane = &input[off..off + plane_len];
+                    let dst_img = &mut dst[img * img_cols..(img + 1) * img_cols];
+                    im2col_i8_row(plane, geom, ky, kx, dst_img);
+                }
+            }
+        }
+    }
+}
+
+/// One (channel, tap) row of the i8 unfold for a single image plane —
+/// structurally identical to the f32 `im2col_row` so the two lowerings
+/// place every element in the same slot.
+#[inline]
+fn im2col_i8_row(plane: &[i8], geom: ConvGeom, ky: usize, kx: usize, dst: &mut [i8]) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    for oy in 0..oh {
+        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+        if iy < 0 || iy >= geom.in_h as isize {
+            continue; // row already zeroed
+        }
+        let iy = iy as usize;
+        for ox in 0..ow {
+            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+            if ix < 0 || ix >= geom.in_w as isize {
+                continue;
+            }
+            dst[oy * ow + ox] = plane[iy * geom.in_w + ix as usize];
+        }
+    }
+}
+
+/// AVX2 inner loops for the integer kernels. Exactness argument: widen
+/// i8→i16 (`cvtepi8_epi16`), multiply in i16 (`mullo` — products are at
+/// most 127·127 = 16129, well inside i16), then widen/accumulate in i32.
+/// Every intermediate is exact, so these are bit-identical to the scalar
+/// loops for any input.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// `out[j] += a · b[j]` (i8 operands, i32 accumulation), 16 b-lanes
+    /// per step.
+    ///
+    /// # Safety
+    /// Requires AVX2 (check [`crate::simd::simd_active`] first).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_i8(a: i8, b: &[i8], out: &mut [i32]) {
+        let n = out.len().min(b.len());
+        let av16 = _mm256_set1_epi16(a as i16);
+        let mut j = 0usize;
+        while j + 16 <= n {
+            // 16 × i8 → 16 × i16
+            let bv8 = _mm_loadu_si128(b.as_ptr().add(j) as *const __m128i);
+            let bv16 = _mm256_cvtepi8_epi16(bv8);
+            // exact i16 products (≤ 16129)
+            let prod16 = _mm256_mullo_epi16(av16, bv16);
+            // widen to 2 × 8 × i32 and accumulate
+            let lo32 = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod16));
+            let hi32 = _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod16, 1));
+            let o0 = _mm256_loadu_si256(out.as_ptr().add(j) as *const __m256i);
+            let o1 = _mm256_loadu_si256(out.as_ptr().add(j + 8) as *const __m256i);
+            _mm256_storeu_si256(
+                out.as_mut_ptr().add(j) as *mut __m256i,
+                _mm256_add_epi32(o0, lo32),
+            );
+            _mm256_storeu_si256(
+                out.as_mut_ptr().add(j + 8) as *mut __m256i,
+                _mm256_add_epi32(o1, hi32),
+            );
+            j += 16;
+        }
+        let a32 = a as i32;
+        while j < n {
+            *out.get_unchecked_mut(j) += a32 * *b.get_unchecked(j) as i32;
+            j += 1;
+        }
+    }
+
+    /// Exact i8 dot product: widen both operands to i16, `madd_epi16`
+    /// (pairwise i16·i16 + i16·i16 → i32, exact), accumulate in i32.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len().min(b.len());
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i) as *const __m128i));
+            let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i) as *const __m128i));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+            i += 16;
+        }
+        // horizontal i32 sum (integer addition is associative: exact)
+        let lo = _mm256_castsi256_si128(acc);
+        let hi = _mm256_extracti128_si256(acc, 1);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+        let mut total = _mm_cvtsi128_si32(s);
+        while i < n {
+            total += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+            i += 1;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::ConvGeom;
+
+    #[test]
+    fn quantize_roundtrips_extremes_exactly() {
+        let data = vec![-2.0f32, -1.0, 0.0, 0.5, 2.0];
+        let mut q = Vec::new();
+        let scale = quantize_symmetric_i8_into(&data, &mut q);
+        assert_eq!(q[0], -127);
+        assert_eq!(q[2], 0);
+        assert_eq!(q[4], 127);
+        assert!((q[4] as f32 * scale - 2.0).abs() < 1e-6);
+        // max quantization error is scale/2
+        for (&v, &qi) in data.iter().zip(q.iter()) {
+            assert!((qi as f32 * scale - v).abs() <= scale * 0.5 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn quantize_all_zero_is_identity_under_dequant() {
+        let mut q = Vec::new();
+        let scale = quantize_symmetric_i8_into(&[0.0, 0.0, 0.0], &mut q);
+        assert_eq!(scale, 1.0);
+        assert_eq!(q, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn per_row_quantization_matches_single_row_quantization() {
+        // The property the int8 batch↔single bit-identity rests on.
+        let rows: Vec<Vec<f32>> = (0..4)
+            .map(|r| (0..10).map(|i| ((i + r * 3) as f32 - 4.5) * 0.21).collect())
+            .collect();
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let mut q_all = Vec::new();
+        let mut s_all = Vec::new();
+        quantize_rows_symmetric_i8_into(&flat, 4, &mut q_all, &mut s_all);
+        for (r, row) in rows.iter().enumerate() {
+            let mut q_one = Vec::new();
+            let s_one = quantize_symmetric_i8_into(row, &mut q_one);
+            assert_eq!(&q_all[r * 10..(r + 1) * 10], &q_one[..], "row {r}");
+            assert_eq!(s_all[r].to_bits(), s_one.to_bits(), "row {r} scale");
+        }
+    }
+
+    #[test]
+    fn i8_gemm_matches_wide_integer_reference() {
+        let (m, k, n) = (3usize, 5usize, 4usize);
+        let a: Vec<i8> = (0..m * k)
+            .map(|i| ((i * 37 + 11) % 255) as i16 as i8)
+            .collect();
+        let b: Vec<i8> = (0..k * n)
+            .map(|i| ((i * 53 + 7) % 255) as i16 as i8)
+            .collect();
+        let mut out = Vec::new();
+        gemm_i8_into(&a, m, k, &b, n, &mut out);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0i64;
+                for p in 0..k {
+                    want += a[i * k + p] as i64 * b[p * n + j] as i64;
+                }
+                assert_eq!(out[i * n + j] as i64, want, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_i8_matches_gemm_row() {
+        let a: Vec<i8> = (0..40).map(|i| (i as i32 * 19 % 255 - 127) as i8).collect();
+        let b: Vec<i8> = (0..40).map(|i| (i as i32 * 31 % 255 - 127) as i8).collect();
+        let mut out = Vec::new();
+        gemm_i8_into(&a, 1, 40, &b, 1, &mut out);
+        assert_eq!(dot_i8(&a, &b), out[0]);
+    }
+
+    #[test]
+    fn i8_im2col_matches_f32_im2col_after_quantizing_zero_padded_input() {
+        // Quantize-then-unfold must equal unfold-then-quantize: padding
+        // contributes exact zeros in both domains.
+        let geom = ConvGeom::new(5, 5, 3, 2, 1).unwrap();
+        let input_f: Vec<f32> = (0..2 * 25).map(|i| ((i % 11) as f32 - 5.0) * 0.3).collect();
+        let mut input_q = Vec::new();
+        let scale = quantize_symmetric_i8_into(&input_f, &mut input_q);
+
+        let mut cols_q = Vec::new();
+        im2col_i8_into(&input_q, 1, 2, geom, &mut cols_q);
+
+        let mut cols_f = Vec::new();
+        crate::ops::im2col_into(&input_f, 2, geom, &mut cols_f);
+        assert_eq!(cols_q.len(), cols_f.len());
+        let inv = 1.0 / scale;
+        for (&qc, &fc) in cols_q.iter().zip(cols_f.iter()) {
+            let want = (fc * inv).round().clamp(-127.0, 127.0) as i8;
+            assert_eq!(qc, want);
+        }
+    }
+
+    #[test]
+    fn i8_im2col_batched_is_concatenation_of_singles() {
+        let geom = ConvGeom::new(4, 4, 2, 1, 0).unwrap();
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let img0: Vec<i8> = (0..16).map(|i| i as i8).collect();
+        let img1: Vec<i8> = (0..16).map(|i| (i as i8).wrapping_mul(3)).collect();
+        let both: Vec<i8> = img0.iter().chain(img1.iter()).copied().collect();
+
+        let mut cols_b = Vec::new();
+        im2col_i8_into(&both, 2, 1, geom, &mut cols_b);
+        let mut c0 = Vec::new();
+        let mut c1 = Vec::new();
+        im2col_i8_into(&img0, 1, 1, geom, &mut c0);
+        im2col_i8_into(&img1, 1, 1, geom, &mut c1);
+
+        let cols = 2 * oh * ow;
+        let single = oh * ow;
+        for row in 0..4 {
+            assert_eq!(
+                &cols_b[row * cols..row * cols + single],
+                &c0[row * single..(row + 1) * single]
+            );
+            assert_eq!(
+                &cols_b[row * cols + single..(row + 1) * cols],
+                &c1[row * single..(row + 1) * single]
+            );
+        }
+    }
+}

@@ -27,6 +27,7 @@ fn main() {
             },
             ..Default::default()
         },
+        ..Default::default()
     };
     println!("preparing 2 streams ...");
     let cfg = FfsVaConfig::default();

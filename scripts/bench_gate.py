@@ -18,9 +18,9 @@ implied by the gated FPS numbers.
 
 A baseline with a top-level `"provisional": true` marks numbers that were
 not produced on the CI runner class (e.g. authored before the gate first
-ran there). The comparison still prints, but the gate passes with a notice
-so the first CI run can bless a real baseline via
-scripts/update-baseline.sh.
+ran there). The comparison still prints and a loud warning is emitted, but
+the gate passes so the first CI run can bless a real baseline via
+scripts/update-baseline.sh (or the bless-baseline workflow).
 
 `--require SERIES` (repeatable) pins a dotted metric path that must exist
 as a numeric leaf in the CURRENT report — use it for newly added series
@@ -28,9 +28,17 @@ as a numeric leaf in the CURRENT report — use it for newly added series
 emitting them. Missing required series fail the gate even when the
 baseline is provisional, since they describe the current run, not a delta.
 
+`--self-test` runs the gate's own logic against synthetic in-memory
+reports (no pytest, no files) and exits 0 only if every regression,
+missing-series and provisional path behaves as documented. CI runs it
+before the real comparison so a broken gate can never wave a regression
+through.
+
 Usage: bench_gate.py BASELINE CURRENT [--fps-tolerance F] [--drop-tolerance F]
                      [--require SERIES]...
-Exit codes: 0 pass, 1 regression/missing series, 2 bad invocation/input.
+       bench_gate.py --self-test
+Exit codes: 0 pass, 1 regression/missing series/self-test failure,
+            2 bad invocation/input.
 """
 
 import argparse
@@ -69,23 +77,26 @@ def is_drop_metric(path):
     return "drop_rate" in path
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed BENCH_BASELINE.json")
-    parser.add_argument("current", help="freshly produced BENCH.json")
-    parser.add_argument("--fps-tolerance", type=float, default=0.15,
-                        help="max relative FPS regression (default 0.15)")
-    parser.add_argument("--drop-tolerance", type=float, default=0.02,
-                        help="max absolute drop-rate change (default 0.02)")
-    parser.add_argument("--require", action="append", default=[], metavar="SERIES",
-                        help="dotted metric path that must be a numeric leaf in "
-                             "CURRENT (repeatable); missing series fail the gate "
-                             "even against a provisional baseline")
-    args = parser.parse_args()
+def gate(baseline_doc, current_doc, baseline_name, current_name,
+         fps_tolerance, drop_tolerance, require, quiet=False):
+    """Run the comparison; returns the process exit code (0 pass, 1 fail)."""
+    def say(*a, **kw):
+        if not quiet:
+            print(*a, **kw)
 
-    baseline_doc = load(args.baseline)
-    current_doc = load(args.current)
     provisional = bool(baseline_doc.get("provisional", False))
+    if provisional:
+        # Loud on purpose: a provisional baseline means the gate is NOT
+        # protecting this build, and that state should be impossible to miss
+        # in the CI log.
+        say("=" * 72, file=sys.stderr)
+        say("bench_gate: WARNING: baseline is PROVISIONAL — regressions are",
+            file=sys.stderr)
+        say("bench_gate: reported but NOT enforced. Bless a real baseline with",
+            file=sys.stderr)
+        say("bench_gate: scripts/update-baseline.sh (or the bless-baseline "
+            "workflow).", file=sys.stderr)
+        say("=" * 72, file=sys.stderr)
 
     baseline = flatten(baseline_doc)
     current = flatten(current_doc)
@@ -101,7 +112,7 @@ def main():
             if is_fps_metric(path) or is_drop_metric(path):
                 failures.append(
                     f"{path}: gated series is in the baseline but missing from "
-                    f"{args.current} — the current run no longer emits it "
+                    f"{current_name} — the current run no longer emits it "
                     "(renamed or dropped series fail the gate; if the removal "
                     "is intentional, re-bless via scripts/update-baseline.sh)"
                 )
@@ -109,72 +120,165 @@ def main():
 
         verdict = ""
         if is_fps_metric(path):
-            floor = base * (1.0 - args.fps_tolerance)
+            floor = base * (1.0 - fps_tolerance)
             if cur < floor:
                 verdict = "FAIL"
                 failures.append(
                     f"{path}: {cur:.2f} FPS is below {floor:.2f} "
-                    f"(baseline {base:.2f}, tolerance {args.fps_tolerance:.0%})"
+                    f"(baseline {base:.2f}, tolerance {fps_tolerance:.0%})"
                 )
             else:
                 verdict = "ok"
         elif is_drop_metric(path):
             delta = abs(cur - base)
-            if delta > args.drop_tolerance:
+            if delta > drop_tolerance:
                 verdict = "FAIL"
                 failures.append(
                     f"{path}: drop rate moved {delta * 100:.2f}pp "
                     f"(baseline {base:.4f} -> {cur:.4f}, tolerance "
-                    f"{args.drop_tolerance * 100:.0f}pp)"
+                    f"{drop_tolerance * 100:.0f}pp)"
                 )
             else:
                 verdict = "ok"
         rows.append((path, base, cur, verdict))
 
     missing_required = []
-    for path in args.require:
+    for path in require:
         value = current.get(path)
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             missing_required.append(
-                f"required series `{path}` is missing from {args.current} — "
+                f"required series `{path}` is missing from {current_name} — "
                 "the run no longer emits it (or its name changed); every "
                 "--require series must appear as a numeric leaf in the report"
             )
         base_value = baseline.get(path)
         if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
             failures.append(
-                f"required series `{path}` is missing from {args.baseline} — "
+                f"required series `{path}` is missing from {baseline_name} — "
                 "the committed baseline predates it; re-bless via "
                 "scripts/update-baseline.sh to start gating it"
             )
     failures.extend(missing_required)
 
     width = max((len(p) for p, *_ in rows), default=10)
-    print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  gate")
-    print("-" * (width + 36))
+    say(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  gate")
+    say("-" * (width + 36))
     for path, base, cur, verdict in rows:
-        print(f"{path:<{width}}  {base:>12.3f}  {cur:>12.3f}  {verdict}")
+        say(f"{path:<{width}}  {base:>12.3f}  {cur:>12.3f}  {verdict}")
 
     if failures:
-        print()
+        say()
         for failure in failures:
-            print(f"bench_gate: {failure}", file=sys.stderr)
+            say(f"bench_gate: {failure}", file=sys.stderr)
         if provisional and not missing_required:
-            print(
+            say(
                 "bench_gate: baseline is marked provisional — passing despite the "
                 "deltas above; bless a real baseline with scripts/update-baseline.sh",
             )
             return 0
-        print(
-            f"bench_gate: {len(failures)} regression(s) vs {args.baseline}; "
+        say(
+            f"bench_gate: {len(failures)} regression(s) vs {baseline_name}; "
             "if intentional, re-bless via scripts/update-baseline.sh",
             file=sys.stderr,
         )
         return 1
 
     notice = " (baseline provisional)" if provisional else ""
-    print(f"\nbench_gate: all gated metrics within tolerance{notice}")
+    say(f"\nbench_gate: all gated metrics within tolerance{notice}")
     return 0
+
+
+def self_test():
+    """Exercise every gate path on synthetic reports; 0 iff all behave."""
+    base = {
+        "kernel": {"matmul_gflops": 8.0},
+        "stage": {"snm": {"batch_fps": 1000.0, "int8_fps": 2000.0}},
+        "des": {"digest": {"drop_rate": 0.50}},
+    }
+
+    def variant(doc, **overrides):
+        out = json.loads(json.dumps(doc))
+        flat = overrides.items()
+        for dotted, value in flat:
+            node = out
+            *parents, leaf = dotted.split(".")
+            for key in parents:
+                node = node.setdefault(key, {})
+            node[leaf] = value
+        return out
+
+    cases = [
+        ("identical reports pass",
+         base, base, [], 0),
+        ("fps within tolerance passes",
+         base, variant(base, **{"stage.snm.batch_fps": 900.0}), [], 0),
+        ("fps regression fails",
+         base, variant(base, **{"stage.snm.batch_fps": 500.0}), [], 1),
+        ("drop-rate shift fails in either direction",
+         base, variant(base, **{"des.digest.drop_rate": 0.55}), [], 1),
+        ("gated series vanishing from current fails",
+         base, {"kernel": {"matmul_gflops": 8.0}}, [], 1),
+        ("required series present passes",
+         base, base, ["stage.snm.int8_fps"], 0),
+        ("required series missing from current fails",
+         base, variant(base, **{"stage.snm.int8_fps": "gone"}),
+         ["stage.snm.int8_fps"], 1),
+        ("required series missing from baseline fails",
+         variant(base, **{"stage.snm.int8_fps": None}), base,
+         ["stage.snm.int8_fps"], 1),
+        ("provisional baseline passes despite regression",
+         variant(base, provisional=True),
+         variant(base, **{"stage.snm.batch_fps": 500.0}), [], 0),
+        ("provisional baseline still fails on missing required series",
+         variant(base, provisional=True),
+         variant(base, **{"stage.snm.int8_fps": "gone"}),
+         ["stage.snm.int8_fps"], 1),
+        ("non-numeric leaves are ignored, not compared",
+         variant(base, workload="test"), variant(base, workload="other"),
+         [], 0),
+    ]
+
+    failed = 0
+    for name, b, c, require, want in cases:
+        got = gate(b, c, "<baseline>", "<current>",
+                   fps_tolerance=0.15, drop_tolerance=0.02,
+                   require=require, quiet=True)
+        status = "PASS" if got == want else "FAIL"
+        if got != want:
+            failed += 1
+        print(f"self-test {status}: {name} (exit {got}, want {want})")
+    if failed:
+        print(f"bench_gate: self-test FAILED ({failed}/{len(cases)} cases)",
+              file=sys.stderr)
+        return 1
+    print(f"bench_gate: self-test passed ({len(cases)} cases)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="committed BENCH_BASELINE.json")
+    parser.add_argument("current", nargs="?", help="freshly produced BENCH.json")
+    parser.add_argument("--fps-tolerance", type=float, default=0.15,
+                        help="max relative FPS regression (default 0.15)")
+    parser.add_argument("--drop-tolerance", type=float, default=0.02,
+                        help="max absolute drop-rate change (default 0.02)")
+    parser.add_argument("--require", action="append", default=[], metavar="SERIES",
+                        help="dotted metric path that must be a numeric leaf in "
+                             "CURRENT (repeatable); missing series fail the gate "
+                             "even against a provisional baseline")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's built-in conformance cases and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("BASELINE and CURRENT are required unless --self-test")
+
+    return gate(load(args.baseline), load(args.current),
+                args.baseline, args.current,
+                args.fps_tolerance, args.drop_tolerance, args.require)
 
 
 if __name__ == "__main__":

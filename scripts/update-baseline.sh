@@ -9,10 +9,14 @@
 #
 # The freshly blessed file drops the `provisional` marker, so the bench-gate
 # job enforces tolerances against it from the next run on.
+#
+# Cargo features for the build come from $FEATURES (e.g. FEATURES=simd to
+# bless the dispatched-kernel numbers the CI bench-gate measures); all
+# positional arguments are forwarded to `ffsva bench` itself.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --bin ffsva
+cargo build --release --bin ffsva ${FEATURES:+--features "$FEATURES"}
 ./target/release/ffsva bench --out results/BENCH_BASELINE.json "$@"
 
 python3 - <<'EOF'

@@ -51,7 +51,7 @@ USAGE:
                  [--fast] [--baseline] [--json <out.json>]
                  [--fault-plan <spec>] [--telemetry <out.json>]
                  [--source-faults <spec>] [--checkpoint-dir <dir>] [--resume]
-                 [--stop-after N]
+                 [--stop-after N] [--snm-precision f32|int8]
 
 Fault plans inject deterministic failures, keyed on frame seq, e.g.
   --fault-plan 'stream0.snm:panic@50,stream1.tyolo:stall@100+250ms'
@@ -72,6 +72,11 @@ many streams fit the thread budget with pooled SDD/SNM workers vs. one
 thread per stream per stage.
   ffsva bench    [--out <BENCH.json>] [--streams N] [--frames N]
                  [--train-frames N] [--tor F] [--seed N] [--full] [--fit-cost]
+                 [--snm-precision f32|int8]
+
+--snm-precision int8 runs SNM inference through the quantized int8 lowering
+(DESIGN.md §12) in simulate/capacity traces and in both bench engine legs;
+bench always reports the int8-vs-f32 scene-miss delta either way.
 
 Object classes: car, bus, truck, person, dog, cat, bicycle.
 ";
@@ -183,6 +188,14 @@ fn parse_mode(s: &str) -> Result<Mode, String> {
         "online" => Ok(Mode::Online),
         "offline" => Ok(Mode::Offline),
         other => Err(format!("invalid --mode '{}' (online|offline)", other)),
+    }
+}
+
+fn parse_precision(s: &str) -> Result<Precision, String> {
+    match s {
+        "f32" => Ok(Precision::F32),
+        "int8" => Ok(Precision::Int8),
+        other => Err(format!("invalid --snm-precision '{}' (f32|int8)", other)),
     }
 }
 
@@ -583,10 +596,17 @@ fn system_config(args: &mut Args) -> Result<FfsVaConfig, String> {
     if let Some(b) = args.opt("batch")? {
         sys.batch_policy = parse_batch(&b)?;
     }
+    if let Some(p) = args.opt("snm-precision")? {
+        sys.snm_precision = parse_precision(&p)?;
+    }
     Ok(sys)
 }
 
-fn prepare_pool(args: &mut Args, default_frames: usize) -> Result<(PreparedStream, u32), String> {
+fn prepare_pool(
+    args: &mut Args,
+    default_frames: usize,
+    precision: Precision,
+) -> Result<(PreparedStream, u32), String> {
     let cfg = workload_config(args)?;
     let frames: usize = args.parsed("frames", default_frames)?;
     let train_frames: usize = args.parsed("train-frames", 1500)?;
@@ -602,6 +622,7 @@ fn prepare_pool(args: &mut Args, default_frames: usize) -> Result<(PreparedStrea
             train_frames,
             eval_frames: frames.max(1),
             bank: bank_options(fast),
+            snm_precision: precision,
         },
     );
     println!(
@@ -650,7 +671,7 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
         return Err("--streams must be positive".into());
     }
     let ckpt_interval = sys.checkpoint_interval_frames;
-    let (ps, fps) = prepare_pool(args, 900)?;
+    let (ps, fps) = prepare_pool(args, 900, sys.snm_precision)?;
 
     let mut inputs = tile_inputs(&[ps], streams, &sys);
     // Simulate a kill: the run drains cleanly after the first N frames, so
@@ -770,7 +791,7 @@ fn cmd_capacity(args: &mut Args) -> Result<(), String> {
     let pool_workers: usize = args.parsed("pool-workers", 8)?;
     let thread_budget: usize = args.parsed("thread-budget", DEFAULT_THREAD_BUDGET)?;
     let sys = system_config(args)?;
-    let (ps, fps) = prepare_pool(args, 900)?;
+    let (ps, fps) = prepare_pool(args, 900, sys.snm_precision)?;
     let frames_per_stream = ps.traces.len();
     let pool = [ps];
 
@@ -849,17 +870,53 @@ struct BenchReport {
     seed: u64,
     kernel: KernelBench,
     stage: StageBench,
+    accuracy: AccuracyBench,
     des: BenchSection,
     rt: BenchSection,
 }
 
+/// int8-vs-f32 cascade accuracy (`accuracy.*`): what the quantized SNM path
+/// costs in missed scenes on this bench workload. Informational series for
+/// the gate's diffing, but `int8_scene_miss_delta_pp` is also bounded
+/// in-process: the bench command itself fails when quantization loses more
+/// than [`INT8_SCENE_MISS_BOUND_PP`] percentage points of scenes, so the CI
+/// bench-gate job catches a quantization regression even before the
+/// baseline comparison runs.
+#[derive(Serialize)]
+struct AccuracyBench {
+    /// Significant-scene miss rate of the f32 cascade.
+    f32_scene_miss_rate: f64,
+    /// The same clip and thresholds with int8 SNM inference.
+    int8_scene_miss_rate: f64,
+    /// Delta in percentage points (int8 − f32); negative when int8 wins.
+    int8_scene_miss_delta_pp: f64,
+}
+
+/// Hard ceiling on the int8 scene-miss delta, in percentage points.
+const INT8_SCENE_MISS_BOUND_PP: f64 = 2.0;
+
 /// Kernel-level series (`kernel.*` dotted paths in `BENCH.json`).
 #[derive(Serialize)]
 struct KernelBench {
-    /// Blocked-GEMM throughput on a cache-warm 128x128x128 `matmul_into`.
+    /// Blocked-GEMM throughput on a cache-warm 128x128x128 `matmul_into`
+    /// (the runtime-dispatched kernel — AVX2/FMA when built with `simd` on a
+    /// capable host, scalar otherwise).
     matmul_gflops: f64,
+    /// The same workload forced down the scalar reference GEMM.
+    scalar_matmul_gflops: f64,
+    /// Alias of `matmul_gflops` under the name the SIMD gate pins: the
+    /// dispatched kernel *is* the SIMD kernel on a capable `--features simd`
+    /// build, and the scalar one elsewhere — so this series gates the path
+    /// actually shipped.
+    simd_matmul_gflops: f64,
     /// One `im2col_into` pass on the SNM layer-1 geometry (1x50x50, k5 s2 p2).
     im2col_us: f64,
+    /// One dispatched SDD MSE distance over a 100x100 downsample pair.
+    sdd_distance_us: f64,
+    /// The same distance on the scalar reference reduction.
+    sdd_distance_scalar_us: f64,
+    /// Whether the AVX2/FMA paths were live for the run.
+    simd_active: bool,
 }
 
 /// Stage-level series (`stage.*` dotted paths in `BENCH.json`).
@@ -906,6 +963,9 @@ struct SnmStageBench {
     batch_fps: f64,
     /// Frames/s at batch size 1 (the pre-batching per-frame path).
     batch1_fps: f64,
+    /// Frames/s at the headline batch size on the int8 quantized path
+    /// (`predict_batch_frames_int8`).
+    int8_fps: f64,
     batch_size: usize,
     /// Affine fit of the measured curve (`fit_batch_curve`); 0 when degenerate.
     fitted_invoke_us: f64,
@@ -915,10 +975,12 @@ struct SnmStageBench {
 /// Headline batch size the `stage.snm.batch_fps` series is reported at.
 const SNM_BENCH_BATCH: usize = 10;
 
-/// Measure raw kernel throughput for the two hot primitives every cascade
-/// stage bottoms out in: the blocked GEMM and the im2col lowering.
+/// Measure raw kernel throughput for the hot primitives every cascade stage
+/// bottoms out in: the blocked GEMM (dispatched and scalar), the im2col
+/// lowering, and the SDD distance reduction (dispatched and scalar).
 fn bench_kernels() -> KernelBench {
-    use ffs_va::tensor::ops::{im2col_into, matmul_into, ConvGeom};
+    use ffs_va::tensor::ops::{im2col_into, matmul_into, matmul_into_scalar, ConvGeom};
+    use ffs_va::tensor::simd::{sum_sq_diff, sum_sq_diff_scalar};
     use ffs_va::tensor::Tensor;
     use std::time::Instant;
 
@@ -930,6 +992,7 @@ fn bench_kernels() -> KernelBench {
     };
     let a = Tensor::from_vec(&[n, n], fill(1));
     let b = Tensor::from_vec(&[n, n], fill(2));
+    let flops = |reps: usize, secs: f64| 2.0 * (n * n * n) as f64 * reps as f64 / secs / 1e9;
     let mut out = Vec::new();
     matmul_into(&a, &b, &mut out); // warm-up: allocates the output buffer
     let reps = 40;
@@ -937,7 +1000,13 @@ fn bench_kernels() -> KernelBench {
     for _ in 0..reps {
         matmul_into(&a, &b, &mut out);
     }
-    let matmul_gflops = 2.0 * (n * n * n) as f64 * reps as f64 / t0.elapsed().as_secs_f64() / 1e9;
+    let matmul_gflops = flops(reps, t0.elapsed().as_secs_f64());
+    matmul_into_scalar(&a, &b, &mut out); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        matmul_into_scalar(&a, &b, &mut out);
+    }
+    let scalar_matmul_gflops = flops(reps, t0.elapsed().as_secs_f64());
 
     let geom = ConvGeom::new(50, 50, 5, 2, 2).expect("SNM layer-1 geometry");
     let img: Vec<f32> = (0..50 * 50).map(|i| (i % 251) as f32 / 250.0).collect();
@@ -950,9 +1019,34 @@ fn bench_kernels() -> KernelBench {
     }
     let im2col_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
 
+    // SDD distance on its real geometry: MSE between two 100x100 downsamples.
+    let side = ffs_va::models::SDD_SIZE;
+    let x: Vec<f32> = (0..side * side).map(|i| (i % 253) as f32 / 252.0).collect();
+    let y: Vec<f32> = (0..side * side).map(|i| (i % 241) as f32 / 240.0).collect();
+    let reps = 2000;
+    let mut sink = 0.0f32;
+    sink += sum_sq_diff(&x, &y); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        sink += sum_sq_diff(&x, &y);
+    }
+    let sdd_distance_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    sink += sum_sq_diff_scalar(&x, &y);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        sink += sum_sq_diff_scalar(&x, &y);
+    }
+    let sdd_distance_scalar_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    assert!(sink.is_finite());
+
     KernelBench {
         matmul_gflops,
+        scalar_matmul_gflops,
+        simd_matmul_gflops: matmul_gflops,
         im2col_us,
+        sdd_distance_us,
+        sdd_distance_scalar_us,
+        simd_active: ffs_va::tensor::simd_active(),
     }
 }
 
@@ -985,6 +1079,18 @@ fn bench_snm_stage(snm: &mut SnmModel, clip: &[LabeledFrame]) -> (SnmStageBench,
             batch_fps = fps;
         }
     }
+    // int8 leg at the headline batch size, through the quantized lowering.
+    let frames: Vec<&Frame> = (0..SNM_BENCH_BATCH)
+        .map(|i| &clip[i % clip.len()].frame)
+        .collect();
+    let _ = snm.predict_batch_frames_int8(&frames, &mut scratch); // build + warm
+    let reps = 16;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = snm.predict_batch_frames_int8(&frames, &mut scratch);
+    }
+    let int8_fps = (SNM_BENCH_BATCH * reps) as f64 / t0.elapsed().as_secs_f64();
+
     // Fit keeps the paper-calibrated resize/memory costs; only the invoke
     // intercept and per-frame slope come from the measured curve.
     let paper = ffs_va::models::snm_cost();
@@ -992,6 +1098,7 @@ fn bench_snm_stage(snm: &mut SnmModel, clip: &[LabeledFrame]) -> (SnmStageBench,
     let stage = SnmStageBench {
         batch_fps,
         batch1_fps,
+        int8_fps,
         batch_size: SNM_BENCH_BATCH,
         fitted_invoke_us: fitted.map_or(0.0, |s| s.invoke_us),
         fitted_per_frame_us: fitted.map_or(0.0, |s| s.per_frame_us),
@@ -1009,6 +1116,10 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
     let out = PathBuf::from(args.opt("out")?.unwrap_or_else(|| "BENCH.json".into()));
     let full = args.flag("full");
     let fit_cost = args.flag("fit-cost");
+    let precision = match args.opt("snm-precision")? {
+        Some(p) => parse_precision(&p)?,
+        None => Precision::F32,
+    };
     let streams: usize = args.parsed("streams", 4)?;
     let frames: usize = args.parsed("frames", if full { 2000 } else { 600 })?;
     let train_frames: usize = args.parsed("train-frames", if full { 2200 } else { 900 })?;
@@ -1027,7 +1138,7 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
     };
     let workload_name = cfg.name.clone();
     let target = cfg.target;
-    let mut sys = FfsVaConfig::default();
+    let mut sys = FfsVaConfig::default().with_snm_precision(precision);
     println!(
         "bench: workload '{}' (train {} frames, bench {} frames; {} DES stream(s) + 1 RT stream)",
         workload_name, train_frames, frames, streams
@@ -1039,6 +1150,9 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
     let mut bank = FilterBank::build(&training, target, &bank_options(!full), &mut rng);
     let clip = camera.clip(frames);
     let traces = bank.trace_clip(&clip);
+    // The int8 trace differs only in snm_prob, so diffing the two accuracy
+    // reports isolates exactly what quantization costs the cascade.
+    let traces_int8 = bank.trace_clip_int8(&clip);
 
     // Kernel + stage series come before the engine legs: `run_pipeline_rt`
     // consumes the bank, so probe a clone of the trained SNM here.
@@ -1047,14 +1161,22 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
     let (snm_stage, fitted) = bench_snm_stage(&mut probe_snm, &clip);
     println!();
     println!(
-        "kernels: matmul {:.2} GFLOP/s, im2col {:.1} us (SNM layer 1)",
-        kernel.matmul_gflops, kernel.im2col_us
+        "kernels: matmul {:.2} GFLOP/s (scalar {:.2}), im2col {:.1} us (SNM layer 1), \
+         sdd distance {:.2} us (scalar {:.2}) [simd {}]",
+        kernel.matmul_gflops,
+        kernel.scalar_matmul_gflops,
+        kernel.im2col_us,
+        kernel.sdd_distance_us,
+        kernel.sdd_distance_scalar_us,
+        if kernel.simd_active { "on" } else { "off" }
     );
     println!(
-        "snm stage: batch{} {:.0} fps vs batch1 {:.0} fps (fit: invoke {:.0} us + {:.1} us/frame)",
+        "snm stage: batch{} {:.0} fps vs batch1 {:.0} fps, int8 {:.0} fps \
+         (fit: invoke {:.0} us + {:.1} us/frame)",
         snm_stage.batch_size,
         snm_stage.batch_fps,
         snm_stage.batch1_fps,
+        snm_stage.int8_fps,
         snm_stage.fitted_invoke_us,
         snm_stage.fitted_per_frame_us
     );
@@ -1079,9 +1201,34 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
         number_of_objects: sys.number_of_objects,
     };
 
+    let acc_f32 = evaluate_accuracy(&traces, &th);
+    let acc_int8 = evaluate_accuracy(&traces_int8, &th);
+    let accuracy = AccuracyBench {
+        f32_scene_miss_rate: acc_f32.scene_miss_rate,
+        int8_scene_miss_rate: acc_int8.scene_miss_rate,
+        int8_scene_miss_delta_pp: (acc_int8.scene_miss_rate - acc_f32.scene_miss_rate) * 100.0,
+    };
+    println!(
+        "accuracy: scene miss f32 {:.4} vs int8 {:.4} (delta {:+.2} pp, bound {:.1} pp)",
+        accuracy.f32_scene_miss_rate,
+        accuracy.int8_scene_miss_rate,
+        accuracy.int8_scene_miss_delta_pp,
+        INT8_SCENE_MISS_BOUND_PP
+    );
+    if accuracy.int8_scene_miss_delta_pp > INT8_SCENE_MISS_BOUND_PP {
+        return Err(format!(
+            "int8 quantization misses {:.2} pp more scenes than f32 (bound {:.1} pp)",
+            accuracy.int8_scene_miss_delta_pp, INT8_SCENE_MISS_BOUND_PP
+        ));
+    }
+
+    let engine_traces = match precision {
+        Precision::F32 => &traces,
+        Precision::Int8 => &traces_int8,
+    };
     let inputs: Vec<StreamInput> = (0..streams)
         .map(|_| StreamInput {
-            traces: traces.clone(),
+            traces: engine_traces.clone(),
             thresholds: th,
         })
         .collect();
@@ -1105,6 +1252,7 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
             snm: snm_stage,
             pool: pool_stage,
         },
+        accuracy,
         des: BenchSection {
             engine: "des",
             streams,

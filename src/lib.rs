@@ -58,8 +58,8 @@ pub mod prelude {
         evaluate_accuracy, prepare_stream, prepare_stream_cached, run_baseline,
         run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, run_multi_pipeline_rt_robust,
         run_pipeline_rt, tile_inputs, CheckpointSpec, Engine, FfsVaConfig, Mode, MultiRtResult,
-        PrepareOptions, PreparedStream, RtResult, SimResult, StreamCheckpoint, StreamHealth,
-        StreamInput, StreamThresholds, SurvivingFrame,
+        Precision, PrepareOptions, PreparedStream, RtResult, SimResult, StreamCheckpoint,
+        StreamHealth, StreamInput, StreamThresholds, SurvivingFrame,
     };
     pub use ffsva_models::bank::{BankOptions, FilterBank, FrameTrace};
     pub use ffsva_models::snm::SnmModel;

@@ -29,6 +29,7 @@ fn quick_prepare_opts() -> PrepareOptions {
         train_frames: 1200,
         eval_frames: 1500,
         bank: quick_bank_opts(),
+        ..Default::default()
     }
 }
 
@@ -282,6 +283,7 @@ fn fixed_seeds_make_runs_deterministic() {
         train_frames: 800,
         eval_frames: 400,
         bank: quick_bank_opts(),
+        ..Default::default()
     };
     let a = prepare_stream(workloads::test_tiny(ObjectClass::Car, 0.35, 11), &opts);
     let b = prepare_stream(workloads::test_tiny(ObjectClass::Car, 0.35, 11), &opts);

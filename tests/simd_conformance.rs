@@ -1,0 +1,271 @@
+//! SIMD ↔ scalar kernel conformance battery (DESIGN.md §12).
+//!
+//! CI runs this file twice — once on the default (scalar) build and once
+//! with `--features simd` — so every property below is checked on both
+//! sides of the dispatch:
+//!
+//! * without the feature (or on a non-AVX2 CPU) the dispatched entry
+//!   points ARE the scalar kernels, so the f32 properties collapse to
+//!   bit-identity and pin that the dispatchers add nothing;
+//! * with the feature on an AVX2+FMA host, the f32 kernels must agree
+//!   with the scalar references within the documented ULP-derived bounds,
+//!   and every integer kernel must stay bit-identical.
+
+use ffs_va::models::snm::SnmModel;
+use ffs_va::models::Scratch;
+use ffs_va::tensor::ops::{im2col_into, matmul_into, matmul_into_scalar, ConvGeom};
+use ffs_va::tensor::quant::{
+    dot_i8, gemm_i8_into, im2col_i8_into, quantize_rows_symmetric_i8_into,
+    quantize_symmetric_i8_into,
+};
+use ffs_va::tensor::simd::{
+    simd_active, sum_abs_diff, sum_abs_diff_scalar, sum_sq_diff, sum_sq_diff_scalar,
+};
+use ffs_va::tensor::Tensor;
+use ffs_va::video::workloads;
+use ffs_va::video::{ObjectClass, VideoStream};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Without the `simd` feature the dispatcher must never report an active
+/// fast path — the scalar semantics are the only semantics.
+#[test]
+fn dispatch_is_inert_without_feature() {
+    if cfg!(feature = "simd") {
+        // With the feature the answer is CPU-dependent; just force the
+        // probe so a broken CPUID check panics here and not mid-kernel.
+        let _ = simd_active();
+    } else {
+        assert!(
+            !simd_active(),
+            "simd_active() must be false on scalar builds"
+        );
+    }
+}
+
+/// (m, k, n, A, B) for a random small GEMM.
+fn matmul_case() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>)> {
+    (1usize..8, 1usize..32, 1usize..8).prop_flat_map(|(m, k, n)| {
+        (
+            Just(m),
+            Just(k),
+            Just(n),
+            prop::collection::vec(-3.0f32..3.0, m * k),
+            prop::collection::vec(-3.0f32..3.0, k * n),
+        )
+    })
+}
+
+/// Conv geometry + input plane(s) with the degenerate shapes filtered out.
+fn im2col_case() -> impl Strategy<Value = (usize, ConvGeom, Vec<f32>)> {
+    (
+        1usize..3,
+        1usize..8,
+        1usize..8,
+        1usize..4,
+        1usize..3,
+        0usize..2,
+    )
+        .prop_filter_map("kernel must fit padded input", |(c, h, w, k, s, p)| {
+            ConvGeom::new(h, w, k, s, p).ok().map(|g| (c, g, h, w))
+        })
+        .prop_flat_map(|(c, geom, h, w)| {
+            (
+                Just(c),
+                Just(geom),
+                prop::collection::vec(-2.0f32..2.0, c * h * w),
+            )
+        })
+}
+
+proptest! {
+    /// Dispatched GEMM vs the always-available scalar kernel. The FMA path
+    /// keeps the scalar accumulation order but single-rounds each step, so
+    /// each of the k updates differs by ≤1 ULP of the running magnitude —
+    /// bounded here by Σ|a·b| scaled by k·ε (with headroom). On a scalar
+    /// build the two calls are the same code and must agree bit-for-bit.
+    #[test]
+    fn matmul_dispatch_conforms_to_scalar((m, k, n, a, b) in matmul_case()) {
+        let at = Tensor::from_vec(&[m, k], a.clone());
+        let bt = Tensor::from_vec(&[k, n], b.clone());
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        matmul_into(&at, &bt, &mut got);
+        matmul_into_scalar(&at, &bt, &mut want);
+        prop_assert_eq!(got.len(), want.len());
+        for i in 0..m {
+            for j in 0..n {
+                let (g, w) = (got[i * n + j], want[i * n + j]);
+                if !simd_active() {
+                    prop_assert_eq!(g.to_bits(), w.to_bits(), "scalar build must be bit-identical at ({}, {})", i, j);
+                    continue;
+                }
+                let mag: f32 = (0..k).map(|p| (a[i * k + p] * b[p * n + j]).abs()).sum();
+                let tol = mag * (k as f32) * f32::EPSILON * 8.0 + 1e-6;
+                prop_assert!(
+                    (g - w).abs() <= tol,
+                    "({}, {}): dispatched {} vs scalar {} exceeds tol {}", i, j, g, w, tol
+                );
+            }
+        }
+    }
+
+    /// im2col is pure data movement, so the span fast path selected under
+    /// the `simd` feature must be bit-identical to an element-by-element
+    /// gather reference (padding taps exactly zero, everything else copied
+    /// from the computed source slot).
+    #[test]
+    fn im2col_matches_gather_reference((c, geom, input) in im2col_case()) {
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let (k, cols) = (geom.kernel, oh * ow);
+        let mut got = Vec::new();
+        im2col_into(&input, c, geom, &mut got);
+
+        let mut want = vec![0.0f32; c * k * k * cols];
+        for ch in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ch * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if iy < 0 || ix < 0 || iy >= geom.in_h as isize || ix >= geom.in_w as isize {
+                                continue;
+                            }
+                            want[row * cols + oy * ow + ox] = input
+                                [(ch * geom.in_h + iy as usize) * geom.in_w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            prop_assert_eq!(g.to_bits(), w.to_bits(), "im2col slot {} diverged", i);
+        }
+    }
+
+    /// The SDD distance reductions: lane-parallel accumulation reassociates
+    /// the sum, bounded by n·ε of the magnitude sum; scalar builds must be
+    /// bit-identical.
+    #[test]
+    fn sdd_reductions_conform_to_scalar(
+        pairs in prop::collection::vec((-3.0f32..3.0, -3.0f32..3.0), 0..300)
+    ) {
+        let a: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let (sq_s, sq_d) = (sum_sq_diff_scalar(&a, &b), sum_sq_diff(&a, &b));
+        let (ab_s, ab_d) = (sum_abs_diff_scalar(&a, &b), sum_abs_diff(&a, &b));
+        if !simd_active() {
+            prop_assert_eq!(sq_s.to_bits(), sq_d.to_bits());
+            prop_assert_eq!(ab_s.to_bits(), ab_d.to_bits());
+        } else {
+            let n = a.len().max(1) as f32;
+            prop_assert!((sq_s - sq_d).abs() <= n * f32::EPSILON * sq_s.abs() * 8.0 + 1e-6);
+            prop_assert!((ab_s - ab_d).abs() <= n * f32::EPSILON * ab_s.abs() * 8.0 + 1e-6);
+        }
+    }
+
+    /// Integer GEMM is exact on every path: i8 products fit i16, sums fit
+    /// i32, integer addition is associative — so scalar and AVX2 must match
+    /// a wide (i64) reference bit-for-bit, feature or no feature.
+    #[test]
+    fn i8_gemm_is_exact(
+        (m, k, n) in (1usize..6, 1usize..40, 1usize..6),
+        seed in any::<u64>()
+    ) {
+        let mut x = seed | 1;
+        let mut next_i8 = move || {
+            // xorshift; full i8 range except -128 (quantizer never emits it)
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x % 255) as i16 - 127) as i8
+        };
+        let a: Vec<i8> = (0..m * k).map(|_| next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| next_i8()).collect();
+        let mut got = Vec::new();
+        gemm_i8_into(&a, m, k, &b, n, &mut got);
+        for i in 0..m {
+            for j in 0..n {
+                let want: i64 = (0..k).map(|p| a[i * k + p] as i64 * b[p * n + j] as i64).sum();
+                prop_assert_eq!(got[i * n + j] as i64, want, "i8 gemm drifted at ({}, {})", i, j);
+            }
+        }
+        // dot_i8 is the Dense-layer inner kernel; pin it against row 0 too.
+        if m == 1 && n == 1 {
+            prop_assert_eq!(dot_i8(&a, &b) as i64,
+                (0..k).map(|p| a[p] as i64 * b[p] as i64).sum::<i64>());
+        }
+    }
+
+    /// Per-row (per-sample) quantization must equal quantizing each row in
+    /// isolation — scales included, bit-for-bit. This is the property the
+    /// int8 batch↔single inference identity rests on.
+    #[test]
+    fn row_quantization_is_independent_of_batch(
+        rows in prop::collection::vec(prop::collection::vec(-4.0f32..4.0, 12), 1..5)
+    ) {
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let mut q_all = Vec::new();
+        let mut s_all = Vec::new();
+        quantize_rows_symmetric_i8_into(&flat, rows.len(), &mut q_all, &mut s_all);
+        for (r, row) in rows.iter().enumerate() {
+            let mut q_one = Vec::new();
+            let s_one = quantize_symmetric_i8_into(row, &mut q_one);
+            prop_assert_eq!(&q_all[r * 12..(r + 1) * 12], &q_one[..], "row {} codes", r);
+            prop_assert_eq!(s_all[r].to_bits(), s_one.to_bits(), "row {} scale", r);
+        }
+    }
+
+    /// Quantize-then-unfold equals unfold-then-quantize: conv zero-padding
+    /// quantizes to exactly the code of a zero pixel, so the i8 im2col can
+    /// run on pre-quantized activations without changing any slot.
+    #[test]
+    fn i8_im2col_commutes_with_quantization((c, geom, input) in im2col_case()) {
+        let mut q = Vec::new();
+        let scale = quantize_symmetric_i8_into(&input, &mut q);
+        let mut cols_q = Vec::new();
+        im2col_i8_into(&q, 1, c, geom, &mut cols_q);
+        let mut cols_f = Vec::new();
+        im2col_into(&input, c, geom, &mut cols_f);
+        prop_assert_eq!(cols_q.len(), cols_f.len());
+        let inv = 1.0 / scale;
+        for (i, (&qc, &fc)) in cols_q.iter().zip(cols_f.iter()).enumerate() {
+            let want = (fc * inv).round().clamp(-127.0, 127.0) as i8;
+            prop_assert_eq!(qc, want, "slot {} diverged after quantization", i);
+        }
+    }
+}
+
+/// int8 batched SNM inference must be bit-identical to per-frame int8
+/// inference at every batch size — the invariant that lets `snm_precision:
+/// int8` keep the DES↔RT survivor-set conformance (both engines agree on
+/// the same quantized probabilities regardless of how frames were batched).
+#[test]
+fn int8_snm_batching_is_bit_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut snm = SnmModel::architecture(ObjectClass::Car, &mut rng);
+    let mut stream = VideoStream::new(0, workloads::test_tiny(ObjectClass::Car, 0.3, 7));
+    let clip = stream.clip(23);
+    let frames: Vec<&ffs_va::video::Frame> = clip.iter().map(|lf| &lf.frame).collect();
+
+    let mut scratch = Scratch::default();
+    let singles: Vec<f32> = frames.iter().map(|f| snm.predict_int8(f)).collect();
+    for batch in [1usize, 2, 7, 10, 23] {
+        let mut got = Vec::new();
+        for chunk in frames.chunks(batch) {
+            got.extend(snm.predict_batch_frames_int8(chunk, &mut scratch));
+        }
+        assert_eq!(got.len(), singles.len());
+        for (i, (g, s)) in got.iter().zip(singles.iter()).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                s.to_bits(),
+                "frame {i} diverged at batch size {batch}: {g} vs {s}"
+            );
+        }
+    }
+}

@@ -148,6 +148,62 @@ pub fn load_all(dir: &Path, num_streams: usize) -> io::Result<Vec<StreamCheckpoi
         .collect()
 }
 
+/// Re-key a checkpoint to a new engine-local stream index: the `stream`
+/// field and every `stream<old>.`-scoped counter move to the new index,
+/// while index-free series (`pipeline.frames_in`, the `src.*` globals) are
+/// carried verbatim. This is what makes a snapshot *portable*: an engine
+/// resuming it under a different stream slot re-seeds exactly the counters
+/// it would have accumulated had the stream always lived there.
+pub fn renumber_checkpoint(ckpt: &StreamCheckpoint, new_stream: usize) -> StreamCheckpoint {
+    let mut out = ckpt.clone();
+    if ckpt.stream == new_stream {
+        return out;
+    }
+    let old_scope = format!("stream{}.", ckpt.stream);
+    let new_scope = format!("stream{}.", new_stream);
+    out.stream = new_stream;
+    out.counters = ckpt
+        .counters
+        .iter()
+        .map(|(name, v)| match name.strip_prefix(&old_scope) {
+            Some(rest) => (format!("{new_scope}{rest}"), *v),
+            None => (name.clone(), *v),
+        })
+        .collect();
+    out
+}
+
+/// Atomically hand one stream's snapshot from `src_dir` (where it lives as
+/// stream `src_stream`) to `dst_dir` as stream `dst_stream` — the
+/// checkpoint-riding half of a cluster re-forward. The write into the
+/// target directory uses the same temp+fsync+rename protocol as a normal
+/// checkpoint, and the source file is removed only after the target rename
+/// succeeded, so a crash mid-migration leaves at least one complete copy
+/// (at worst both, which resume handles: the source instance is dead or
+/// has already dropped the stream from its membership).
+///
+/// Returns the renumbered snapshot that now lives at the target.
+pub fn migrate_stream_checkpoint(
+    src_dir: &Path,
+    src_stream: usize,
+    dst_dir: &Path,
+    dst_stream: usize,
+) -> io::Result<StreamCheckpoint> {
+    let ckpt = load_stream_checkpoint(src_dir, src_stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "no checkpoint for stream {src_stream} in {}",
+                src_dir.display()
+            ),
+        )
+    })?;
+    let moved = renumber_checkpoint(&ckpt, dst_stream);
+    write_stream_checkpoint(dst_dir, &moved)?;
+    fs::remove_file(stream_ckpt_path(src_dir, src_stream))?;
+    Ok(moved)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +274,44 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn renumber_moves_scoped_counters_and_keeps_globals() {
+        let ck = sample(0);
+        let moved = renumber_checkpoint(&ck, 4);
+        assert_eq!(moved.stream, 4);
+        assert_eq!(moved.counters.get("stream4.sdd.frames_in"), Some(&512));
+        assert!(!moved.counters.contains_key("stream0.sdd.frames_in"));
+        assert_eq!(moved.counters.get("src.reconnects"), Some(&1));
+        assert_eq!(moved.cursor, ck.cursor);
+        assert_eq!(moved.survivors, ck.survivors);
+        // same-index renumbering is the identity
+        assert_eq!(renumber_checkpoint(&ck, 0), ck);
+    }
+
+    #[test]
+    fn migrate_hands_the_snapshot_over_atomically() {
+        let src = tmp_dir("mig_src");
+        let dst = tmp_dir("mig_dst");
+        let mut ck = sample(2);
+        ck.counters.clear();
+        ck.counters.insert("stream2.sdd.frames_in".into(), 512);
+        ck.counters.insert("src.reconnects".into(), 1);
+        write_stream_checkpoint(&src, &ck).unwrap();
+        let moved = migrate_stream_checkpoint(&src, 2, &dst, 0).unwrap();
+        assert_eq!(moved.stream, 0);
+        // the source file is gone, the target readable and renumbered
+        assert!(load_stream_checkpoint(&src, 2).unwrap().is_none());
+        let back = load_stream_checkpoint(&dst, 0).unwrap().unwrap();
+        assert_eq!(back, moved);
+        assert_eq!(back.cursor, 512);
+        assert_eq!(back.counters.get("stream0.sdd.frames_in"), Some(&512));
+        // a second migration of the same stream fails loudly: the snapshot
+        // moved, it was not copied
+        assert!(migrate_stream_checkpoint(&src, 2, &dst, 1).is_err());
+        fs::remove_dir_all(&src).unwrap();
+        fs::remove_dir_all(&dst).unwrap();
     }
 
     #[test]

@@ -1,0 +1,950 @@
+//! Cluster control plane (§4.3.1 at fleet scale): N resident engine
+//! instances under one controller that admits offered streams through the
+//! telemetry-fed [`AdmissionController`], detects overloaded or dead
+//! instances, and re-forwards their streams by riding the per-stream
+//! checkpoint files.
+//!
+//! # Execution model
+//!
+//! Time advances in **control epochs** of `epoch_frames` frames per stream:
+//! epoch `e` covers the cluster frame clock `[e·F, (e+1)·F)`. Each epoch,
+//! every live instance runs one DES segment over its resident streams'
+//! next trace window, resuming from — and finishing into — per-stream
+//! checkpoints. Between epochs the controller:
+//!
+//! 1. fires [`InstanceFault`]s: `crash@n` kills the instance whose epoch
+//!    would cover frame `n` (that epoch never runs; only the on-disk
+//!    checkpoints survive it), `slow@n+Dms` inflates every subsequent
+//!    epoch's wall time by `D`;
+//! 2. recovers the dead instance's streams from its checkpoint directory
+//!    and re-forwards them to instances with spare capacity;
+//! 3. sheds the highest-backlog stream off any overloaded instance
+//!    (§4.3.1: "the corresponding video stream is re-forwarded to another
+//!    FFS-VA instance with spare capacity immediately");
+//! 4. re-syncs the admission controller with each instance's *remaining*
+//!    work and its measured per-epoch T-YOLO rate.
+//!
+//! # Why migration is bit-identical
+//!
+//! Survivor sets are trace+threshold deterministic: full queues cause
+//! backpressure stalls, never drops, so one stream's survivors do not
+//! depend on which siblings share its instance. A checkpoint carries the
+//! stream's cursor, cumulative counters, and survivor prefix;
+//! [`renumber_checkpoint`] re-keys it to any engine-local slot. A stream
+//! that crashes on instance A and resumes on instance B therefore reports
+//! exactly the survivors an uninterrupted run would — the invariant
+//! `tests/cluster_failover.rs` pins.
+//!
+//! # Degradation
+//!
+//! Re-forwarding retries are bounded: each failed placement backs off
+//! capped-exponentially ([`backoff_delay`] converted to whole epochs) and
+//! a stream whose retry or migration budget exhausts is `Rejected` with
+//! full accounting — the loop never hangs, and a hard `max_epochs` cap
+//! backstops even adversarial fault plans.
+
+use crate::checkpoint::{
+    load_stream_checkpoint, migrate_stream_checkpoint, renumber_checkpoint,
+    write_stream_checkpoint, CheckpointSpec,
+};
+use crate::config::FfsVaConfig;
+use crate::instance::{is_overloaded, AdmissionController, Placement};
+use crate::rt_engine::SurvivingFrame;
+use crate::sim::{Engine, Mode, SimResult, StreamInput};
+use ffsva_sched::{backoff_delay, ClusterFaultPlan, FaultPlan, StageFault, MAX_BACKOFF};
+use ffsva_telemetry::{Counter, Histogram, Telemetry, TelemetrySnapshot, LATENCY_BOUNDS_US};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Sizing and resilience knobs for a [`Cluster`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Resident engine instances.
+    pub instances: usize,
+    /// Frames per stream per control epoch (the re-forward/admission
+    /// decision granularity).
+    pub epoch_frames: u64,
+    /// Failed placement attempts a pending stream may burn before it is
+    /// rejected.
+    pub max_reforward_retries: u32,
+    /// Successful migrations one stream may ride before the controller
+    /// stops chasing it (bounds shed/re-admit ping-pong).
+    pub max_reforwards: u32,
+    /// Base delay of the capped-exponential retry backoff.
+    pub reforward_backoff: Duration,
+    /// Hard epoch cap: the loop always terminates, whatever the plan does.
+    pub max_epochs: u64,
+    /// Staleness window for live T-YOLO measurements (see
+    /// [`AdmissionController::with_measurement_max_age`]).
+    pub measurement_max_age_s: f64,
+    /// Root directory; instance `i` checkpoints under `inst<i>/`.
+    pub ckpt_root: PathBuf,
+}
+
+impl ClusterConfig {
+    pub fn new(instances: usize, ckpt_root: impl Into<PathBuf>) -> Self {
+        ClusterConfig {
+            instances,
+            epoch_frames: 150,
+            max_reforward_retries: 3,
+            max_reforwards: 4,
+            reforward_backoff: Duration::from_millis(250),
+            max_epochs: 1000,
+            measurement_max_age_s: crate::instance::DEFAULT_MEASUREMENT_MAX_AGE_S,
+            ckpt_root: ckpt_root.into(),
+        }
+    }
+
+    pub fn with_epoch_frames(mut self, frames: u64) -> Self {
+        self.epoch_frames = frames.max(1);
+        self
+    }
+
+    pub fn with_reforward_budget(mut self, retries: u32, reforwards: u32) -> Self {
+        self.max_reforward_retries = retries;
+        self.max_reforwards = reforwards;
+        self
+    }
+
+    pub fn with_max_epochs(mut self, cap: u64) -> Self {
+        self.max_epochs = cap.max(1);
+        self
+    }
+}
+
+/// Where one offered stream ended up after the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StreamOutcome {
+    /// Ran to the end of its trace; `survivors` is the cumulative set from
+    /// its final checkpoint, wherever the stream lived along the way.
+    Completed {
+        /// Instance that ran the final segment.
+        instance: usize,
+        /// Successful checkpoint-riding migrations.
+        reforwards: u32,
+        survivors: Vec<SurvivingFrame>,
+    },
+    /// Refused — at admission, or after the re-forward budget exhausted.
+    Rejected {
+        reforwards: u32,
+        /// Failed placement attempts burned before giving up.
+        retries: u32,
+    },
+    /// Still mid-trace when `max_epochs` cut the run off.
+    Unfinished {
+        instance: Option<usize>,
+        cursor: u64,
+        reforwards: u32,
+    },
+}
+
+/// Result of a [`Cluster::run`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// One outcome per offered stream, in offer order.
+    pub outcomes: Vec<StreamOutcome>,
+    /// Control epochs executed.
+    pub epochs: u64,
+    /// Liveness per instance at the end of the run.
+    pub alive: Vec<bool>,
+    /// Streams resident per instance at the end of the run.
+    pub final_loads: Vec<usize>,
+    /// The `cluster.*` series (plus nothing else — per-instance engine
+    /// telemetry stays per-instance).
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl ClusterReport {
+    /// Survivor set of one offered stream, if it completed.
+    pub fn survivors(&self, stream: usize) -> Option<&[SurvivingFrame]> {
+        match self.outcomes.get(stream)? {
+            StreamOutcome::Completed { survivors, .. } => Some(survivors),
+            _ => None,
+        }
+    }
+
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, StreamOutcome::Completed { .. }))
+            .count()
+    }
+
+    pub fn rejected(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, StreamOutcome::Rejected { .. }))
+            .count()
+    }
+
+    /// Total successful re-forwards across the run.
+    pub fn reforwards(&self) -> u64 {
+        self.telemetry.counter("cluster.reforwards")
+    }
+
+    /// Mean checkpoint-migration latency in milliseconds (0 when no
+    /// re-forward happened).
+    pub fn reforward_latency_ms(&self) -> f64 {
+        self.telemetry
+            .histograms
+            .get("cluster.reforward_latency_us")
+            .map(|h| h.mean() / 1000.0)
+            .unwrap_or(0.0)
+    }
+}
+
+/// One offered stream's control-plane state.
+struct StreamState {
+    /// The full trace from frame 0; epochs run windows of it.
+    input: StreamInput,
+    /// Frames fully accounted so far (mirrors its checkpoint cursor).
+    cursor: u64,
+    /// Instance currently hosting it; `None` while quiesced/pending.
+    home: Option<usize>,
+    /// Instance whose directory holds its checkpoint file.
+    ckpt_at: Option<usize>,
+    reforwards: u32,
+    retries: u32,
+    next_retry_epoch: u64,
+    admitted: bool,
+    done: bool,
+    rejected: bool,
+    survivors: Vec<SurvivingFrame>,
+}
+
+struct InstanceState {
+    dir: PathBuf,
+    alive: bool,
+    /// Global stream ids resident here, in engine-local order.
+    resident: Vec<usize>,
+    /// Set after an epoch the instance could not serve in real time;
+    /// cleared only by a subsequent healthy epoch. Pending streams are
+    /// never placed onto a flagged instance — the live low-FPS reading a
+    /// degraded instance reports looks exactly like spare capacity to the
+    /// admission signal, so the control plane must remember the overload.
+    overloaded: bool,
+}
+
+/// A fleet of N resident engine instances under one control loop.
+pub struct Cluster {
+    sys: FfsVaConfig,
+    cfg: ClusterConfig,
+    plan: ClusterFaultPlan,
+    /// Cluster-side fired latches for one-shot stream faults, indexed by
+    /// plan entry: an injected stall/failpush must not re-fire in every
+    /// epoch that rebuilds fresh engine injectors.
+    fault_fired: Vec<bool>,
+    telemetry: Telemetry,
+    c_offers: Counter,
+    c_admitted: Counter,
+    c_rejected_offers: Counter,
+    c_reforwards: Counter,
+    c_reforward_retries: Counter,
+    c_reforward_given_up: Counter,
+    c_recoveries: Counter,
+    c_instances_crashed: Counter,
+    c_epochs: Counter,
+    h_reforward_latency: Histogram,
+}
+
+impl Cluster {
+    pub fn new(sys: FfsVaConfig, cfg: ClusterConfig) -> Self {
+        let telemetry = Telemetry::new();
+        let c = |n: &str| telemetry.counter(n);
+        Cluster {
+            sys,
+            cfg,
+            plan: ClusterFaultPlan::new(),
+            fault_fired: Vec::new(),
+            c_offers: c("cluster.offers"),
+            c_admitted: c("cluster.admitted"),
+            c_rejected_offers: c("cluster.rejected_offers"),
+            c_reforwards: c("cluster.reforwards"),
+            c_reforward_retries: c("cluster.reforward_retries"),
+            c_reforward_given_up: c("cluster.reforward_given_up"),
+            c_recoveries: c("cluster.recoveries"),
+            c_instances_crashed: c("cluster.instances_crashed"),
+            c_epochs: c("cluster.epochs"),
+            h_reforward_latency: telemetry
+                .histogram("cluster.reforward_latency_us", LATENCY_BOUNDS_US),
+            telemetry,
+        }
+    }
+
+    /// Attach a cluster fault plan. Panics on structurally invalid plans or
+    /// instance indices beyond the fleet, mirroring
+    /// [`Engine::with_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: &ClusterFaultPlan) -> Self {
+        plan.validate().expect("invalid cluster fault plan");
+        if let Some(max) = plan.max_instance() {
+            assert!(
+                max < self.cfg.instances,
+                "fault plan names instance {max}, fleet has {}",
+                self.cfg.instances
+            );
+        }
+        self.fault_fired = vec![false; plan.stream_plan().entries().len()];
+        self.plan = plan.clone();
+        self
+    }
+
+    /// Nominal wall seconds one epoch covers at the live frame rate.
+    fn epoch_wall_s(&self) -> f64 {
+        self.cfg.epoch_frames as f64 / self.sys.online_fps.max(1) as f64
+    }
+
+    /// Convert a retry backoff into whole epochs (at least one).
+    fn backoff_epochs(&self, attempt: u32) -> u64 {
+        let delay = backoff_delay(self.cfg.reforward_backoff, attempt, MAX_BACKOFF);
+        (delay.as_secs_f64() / self.epoch_wall_s()).ceil().max(1.0) as u64
+    }
+
+    /// Run every offered stream to completion (or rejection) and report.
+    ///
+    /// Offers are admitted up front through the controller; admitted
+    /// streams then progress epoch by epoch until their traces are
+    /// exhausted, riding checkpoints across any re-forward the control
+    /// loop decides on. Deterministic modulo the wall-clock migration
+    /// latencies recorded into `cluster.reforward_latency_us`.
+    pub fn run(mut self, offers: Vec<StreamInput>) -> io::Result<ClusterReport> {
+        let n_inst = self.cfg.instances;
+        let mut instances: Vec<InstanceState> = (0..n_inst)
+            .map(|i| {
+                let dir = self.cfg.ckpt_root.join(format!("inst{i}"));
+                fs::create_dir_all(&dir)?;
+                Ok(InstanceState {
+                    dir,
+                    alive: true,
+                    resident: Vec::new(),
+                    overloaded: false,
+                })
+            })
+            .collect::<io::Result<_>>()?;
+
+        let mut ctl = AdmissionController::new(self.sys, n_inst)
+            .with_measurement_max_age(self.cfg.measurement_max_age_s);
+
+        // Admission: offer every stream to the fleet once. Fresh offers do
+        // not retry — a rejected camera is the operator's capacity signal.
+        let mut streams: Vec<StreamState> = Vec::with_capacity(offers.len());
+        for (gid, input) in offers.into_iter().enumerate() {
+            self.c_offers.inc();
+            let placement = ctl.try_admit(input.clone());
+            let home = match placement {
+                Placement::Admitted { instance } => {
+                    self.c_admitted.inc();
+                    instances[instance].resident.push(gid);
+                    Some(instance)
+                }
+                Placement::Rejected => {
+                    self.c_rejected_offers.inc();
+                    None
+                }
+            };
+            streams.push(StreamState {
+                input,
+                cursor: 0,
+                home,
+                ckpt_at: None,
+                reforwards: 0,
+                retries: 0,
+                next_retry_epoch: 0,
+                admitted: home.is_some(),
+                done: false,
+                rejected: home.is_none(),
+                survivors: Vec::new(),
+            });
+        }
+
+        let mut epoch = 0u64;
+        while epoch < self.cfg.max_epochs {
+            let active = streams.iter().any(|s| s.admitted && !s.done && !s.rejected);
+            if !active {
+                break;
+            }
+            let epoch_end_frame = (epoch + 1) * self.cfg.epoch_frames;
+
+            // 1. Instance faults. A crash covering this epoch kills the
+            // instance before the epoch runs; its on-disk checkpoints are
+            // all that survives.
+            for i in 0..n_inst {
+                if !instances[i].alive {
+                    continue;
+                }
+                if let Some(f) = self.plan.crash_frame(i) {
+                    if f < epoch_end_frame {
+                        instances[i].alive = false;
+                        ctl.set_alive(i, false);
+                        self.c_instances_crashed.inc();
+                        for gid in std::mem::take(&mut instances[i].resident) {
+                            let st = &mut streams[gid];
+                            st.home = None;
+                            // the snapshot to recover lives in the dead
+                            // instance's directory (written at the end of
+                            // its last completed epoch, if any ran)
+                            st.ckpt_at = Some(i);
+                            st.next_retry_epoch = epoch;
+                        }
+                    }
+                }
+            }
+
+            // 2. Re-sync the controller with each live instance's
+            // *remaining* work so placement probes price the future.
+            for (i, inst) in instances.iter().enumerate() {
+                if inst.alive {
+                    let remaining: Vec<StreamInput> = inst
+                        .resident
+                        .iter()
+                        .map(|&gid| remaining_input(&streams[gid]))
+                        .collect();
+                    ctl.set_streams(i, remaining);
+                }
+            }
+
+            // 3. Place pending streams (dead-instance recoveries and
+            // overload sheds), least-loaded live instances first.
+            let pending: Vec<usize> = (0..streams.len())
+                .filter(|&gid| {
+                    let s = &streams[gid];
+                    s.admitted
+                        && !s.done
+                        && !s.rejected
+                        && s.home.is_none()
+                        && s.next_retry_epoch <= epoch
+                })
+                .collect();
+            for gid in pending {
+                let remaining = remaining_input(&streams[gid]);
+                let mut order: Vec<usize> = (0..n_inst)
+                    .filter(|&i| instances[i].alive && !instances[i].overloaded)
+                    .collect();
+                order.sort_by_key(|&i| instances[i].resident.len());
+                let target = order.into_iter().find(|&i| ctl.can_place(i, &remaining));
+                match target {
+                    Some(to) => {
+                        let t0 = Instant::now();
+                        self.hand_over_checkpoint(&streams[gid], &instances, gid, to)?;
+                        self.h_reforward_latency
+                            .record(t0.elapsed().as_secs_f64() * 1e6);
+                        let st = &mut streams[gid];
+                        st.home = Some(to);
+                        st.ckpt_at = Some(to);
+                        st.reforwards += 1;
+                        self.c_reforwards.inc();
+                        instances[to].resident.push(gid);
+                        ctl.place(to, remaining);
+                        if st.reforwards > self.cfg.max_reforwards {
+                            // the stream keeps bouncing between instances;
+                            // stop chasing it rather than ping-pong to the
+                            // epoch cap
+                            self.give_up(&mut streams, &mut instances, gid);
+                        }
+                    }
+                    None => {
+                        let st = &mut streams[gid];
+                        st.retries += 1;
+                        self.c_reforward_retries.inc();
+                        if st.retries > self.cfg.max_reforward_retries {
+                            self.give_up(&mut streams, &mut instances, gid);
+                        } else {
+                            st.next_retry_epoch = epoch + self.backoff_epochs(st.retries - 1);
+                        }
+                    }
+                }
+            }
+
+            // 4. Run one epoch on every live instance with residents.
+            for i in 0..n_inst {
+                if !instances[i].alive || instances[i].resident.is_empty() {
+                    continue;
+                }
+                let result = self.run_instance_epoch(&mut streams, &mut instances[i], i)?;
+                let slow_penalty_us = match self.plan.slow_from(i) {
+                    Some((at, dur_us)) if at < epoch_end_frame => dur_us as f64,
+                    _ => 0.0,
+                };
+                let eff_makespan_us = result.makespan_us + slow_penalty_us;
+
+                // live admission signal: this epoch's T-YOLO rate over the
+                // *effective* wall (stage_executed counts only this
+                // segment; resumed counters would double-count history)
+                let wall_s = (eff_makespan_us / 1e6).max(1e-9);
+                let probe = Telemetry::new();
+                probe
+                    .counter("stream0.tyolo.frames_in")
+                    .add(result.stage_executed[2]);
+                ctl.observe_telemetry(i, &probe.snapshot(), wall_s);
+
+                let mut eff = result.clone();
+                eff.makespan_us = eff_makespan_us;
+                let overloaded = is_overloaded(&eff, &self.sys);
+                instances[i].overloaded = overloaded;
+
+                // retire completed streams
+                let finished: Vec<usize> = instances[i]
+                    .resident
+                    .iter()
+                    .copied()
+                    .filter(|&gid| streams[gid].cursor as usize >= streams[gid].input.traces.len())
+                    .collect();
+                for gid in finished {
+                    let st = &mut streams[gid];
+                    st.done = true;
+                    st.home = None;
+                    instances[i].resident.retain(|&g| g != gid);
+                }
+
+                // shed the highest-backlog stream off an overloaded
+                // instance; it re-enters placement next epoch
+                if overloaded && !instances[i].resident.is_empty() {
+                    let worst_local = result
+                        .per_stream_max_backlog
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &b)| b)
+                        .map(|(l, _)| l)
+                        .unwrap_or(0)
+                        .min(instances[i].resident.len() - 1);
+                    let gid = instances[i].resident.remove(worst_local);
+                    let st = &mut streams[gid];
+                    st.home = None;
+                    st.ckpt_at = Some(i);
+                    st.next_retry_epoch = epoch + 1;
+                }
+            }
+
+            ctl.advance_clock(self.epoch_wall_s());
+            self.c_epochs.inc();
+            epoch += 1;
+        }
+
+        let outcomes = streams
+            .iter()
+            .map(|s| {
+                if s.done {
+                    StreamOutcome::Completed {
+                        instance: s.ckpt_at.unwrap_or(0),
+                        reforwards: s.reforwards,
+                        survivors: s.survivors.clone(),
+                    }
+                } else if s.rejected {
+                    StreamOutcome::Rejected {
+                        reforwards: s.reforwards,
+                        retries: s.retries,
+                    }
+                } else {
+                    StreamOutcome::Unfinished {
+                        instance: s.home,
+                        cursor: s.cursor,
+                        reforwards: s.reforwards,
+                    }
+                }
+            })
+            .collect();
+
+        Ok(ClusterReport {
+            outcomes,
+            epochs: epoch,
+            alive: instances.iter().map(|i| i.alive).collect(),
+            final_loads: instances.iter().map(|i| i.resident.len()).collect(),
+            telemetry: self.telemetry.snapshot(),
+        })
+    }
+
+    /// Move `gid`'s checkpoint file (if one exists yet) into `to`'s
+    /// directory — the atomic hand-over half of a re-forward. A stream
+    /// that never completed an epoch has no file and simply starts fresh
+    /// at the target.
+    fn hand_over_checkpoint(
+        &self,
+        stream: &StreamState,
+        instances: &[InstanceState],
+        gid: usize,
+        to: usize,
+    ) -> io::Result<()> {
+        let Some(from) = stream.ckpt_at else {
+            return Ok(());
+        };
+        if from == to {
+            return Ok(());
+        }
+        match migrate_stream_checkpoint(&instances[from].dir, gid, &instances[to].dir, gid) {
+            Ok(_) => {
+                if !instances[from].alive {
+                    self.c_recoveries.inc();
+                }
+                Ok(())
+            }
+            // no file yet: the stream never finished an epoch there, so
+            // there is nothing to ride — it starts fresh at the target
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn give_up(&self, streams: &mut [StreamState], instances: &mut [InstanceState], gid: usize) {
+        let stream = &mut streams[gid];
+        if let Some(home) = stream.home.take() {
+            instances[home].resident.retain(|&g| g != gid);
+        }
+        stream.rejected = true;
+        self.c_reforward_given_up.inc();
+    }
+
+    /// One epoch of one instance: stage engine-local checkpoints, run the
+    /// DES over each resident stream's next trace window, and fold the
+    /// results back into global state.
+    fn run_instance_epoch(
+        &mut self,
+        streams: &mut [StreamState],
+        inst: &mut InstanceState,
+        i: usize,
+    ) -> io::Result<SimResult> {
+        let run_dir = inst.dir.join("epoch");
+        let _ = fs::remove_dir_all(&run_dir);
+        fs::create_dir_all(&run_dir)?;
+
+        // Stage: global-id-keyed snapshots become engine-local slots. A
+        // scratch subdirectory keeps them from colliding with quiesced
+        // streams' files parked in the instance directory.
+        for (local, &gid) in inst.resident.iter().enumerate() {
+            if let Some(ck) = load_stream_checkpoint(&inst.dir, gid)? {
+                write_stream_checkpoint(&run_dir, &renumber_checkpoint(&ck, local))?;
+            }
+        }
+
+        let inputs: Vec<StreamInput> = inst
+            .resident
+            .iter()
+            .map(|&gid| {
+                let st = &streams[gid];
+                let end = (st.cursor + self.cfg.epoch_frames).min(st.input.traces.len() as u64);
+                StreamInput {
+                    traces: st.input.traces[..end as usize].to_vec(),
+                    thresholds: st.input.thresholds,
+                }
+            })
+            .collect();
+
+        let plan = self.epoch_fault_plan(streams, &inst.resident);
+        let mut engine = Engine::new(self.sys, Mode::Online, inputs)
+            .with_checkpoint(CheckpointSpec::new(&run_dir, u64::MAX, true));
+        if !plan.is_empty() {
+            engine = engine.with_fault_plan(&plan);
+        }
+        let result = engine.run();
+
+        // Fold back: local slots return to global-id keys, stream cursors
+        // and cumulative survivor sets follow their checkpoints.
+        for (local, &gid) in inst.resident.iter().enumerate() {
+            let ck = load_stream_checkpoint(&run_dir, local)?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("instance {i} epoch left no checkpoint for local stream {local}"),
+                )
+            })?;
+            let st = &mut streams[gid];
+            st.cursor = ck.cursor;
+            st.survivors = ck.survivors.clone();
+            write_stream_checkpoint(&inst.dir, &renumber_checkpoint(&ck, gid))?;
+        }
+        let _ = fs::remove_dir_all(&run_dir);
+
+        // Latch one-shot stream faults whose frame window this epoch
+        // consumed: fresh engine injectors must not re-fire them.
+        for (idx, e) in self.plan.stream_plan().entries().iter().enumerate() {
+            if self.fault_fired.get(idx).copied().unwrap_or(true) {
+                continue;
+            }
+            if !inst.resident.contains(&e.stream) {
+                continue;
+            }
+            let fired_at = match e.fault {
+                StageFault::StallFor { at_frame, .. } => Some(at_frame),
+                StageFault::FailNextPush { at_frame } => Some(at_frame),
+                StageFault::PanicAtFrame(_) => None, // persistent by design
+            };
+            if let Some(at) = fired_at {
+                if streams[e.stream].cursor > at {
+                    self.fault_fired[idx] = true;
+                }
+            }
+        }
+
+        Ok(result)
+    }
+
+    /// The engine-local fault plan for one epoch: stream entries are keyed
+    /// by *global* stream id in the cluster grammar and remapped to the
+    /// instance's local slots here, dropping one-shots that already fired
+    /// in an earlier epoch.
+    fn epoch_fault_plan(&self, streams: &[StreamState], resident: &[usize]) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for (idx, e) in self.plan.stream_plan().entries().iter().enumerate() {
+            let Some(local) = resident.iter().position(|&g| g == e.stream) else {
+                continue;
+            };
+            if self.fault_fired.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            // skip one-shots aimed beyond this epoch's window — harmless
+            // to include, but pruning keeps injector state minimal
+            let window_end = streams[e.stream].cursor + self.cfg.epoch_frames;
+            let relevant = match e.fault {
+                StageFault::PanicAtFrame(n) => n < window_end,
+                StageFault::StallFor { at_frame, .. } => at_frame < window_end,
+                StageFault::FailNextPush { at_frame } => at_frame < window_end,
+            };
+            if relevant {
+                plan = plan.with(local, e.stage, e.fault);
+            }
+        }
+        plan
+    }
+}
+
+/// Build the remaining (un-run) input of a stream for placement probes.
+fn remaining_input(st: &StreamState) -> StreamInput {
+    StreamInput {
+        traces: st.input.traces[(st.cursor as usize).min(st.input.traces.len())..].to_vec(),
+        thresholds: st.input.thresholds,
+    }
+}
+
+/// Find the maximum stream count an `n_instances` fleet sustains in real
+/// time, with re-forwarding allowed to spread load — the cluster-level
+/// analogue of [`crate::instance::find_max_online_streams`], and the
+/// deterministic planner behind `cluster.streams_sustained`.
+pub fn find_max_cluster_streams(
+    cfg: &FfsVaConfig,
+    n_instances: usize,
+    mut make_inputs: impl FnMut(usize) -> Vec<StreamInput>,
+    upper_bound: usize,
+) -> usize {
+    use crate::instance::balance_instances;
+    if upper_bound == 0 || n_instances == 0 {
+        return 0;
+    }
+    let pool = make_inputs(upper_bound);
+    let upper_bound = upper_bound.min(pool.len());
+    let ok = |n: usize| -> bool {
+        if n == 0 {
+            return true;
+        }
+        balance_instances(cfg, &pool[..n], n_instances, 2 * n + 4).all_realtime
+    };
+    if pool.is_empty() || !ok(1) {
+        return 0;
+    }
+    let mut lo = 1usize;
+    let mut hi = 2usize;
+    while hi <= upper_bound && ok(hi) {
+        lo = hi;
+        hi *= 2;
+    }
+    let mut hi = hi.min(upper_bound + 1);
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if ok(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamThresholds;
+    use ffsva_models::FrameTrace;
+
+    fn synthetic_input(n: usize, target_every: usize) -> StreamInput {
+        let traces = (0..n)
+            .map(|i| {
+                let target = target_every > 0 && i % target_every == 0;
+                FrameTrace {
+                    seq: i as u64,
+                    pts_ms: (i as u64) * 33,
+                    sdd_distance: if target { 0.01 } else { 0.0001 },
+                    snm_prob: if target { 0.9 } else { 0.05 },
+                    tyolo_count: if target { 1 } else { 0 },
+                    reference_count: if target { 1 } else { 0 },
+                    truth_count: if target { 1 } else { 0 },
+                    truth_complete: if target { 1 } else { 0 },
+                }
+            })
+            .collect();
+        StreamInput {
+            traces,
+            thresholds: StreamThresholds {
+                delta_diff: 0.001,
+                t_pre: 0.5,
+                number_of_objects: 1,
+            },
+        }
+    }
+
+    fn tmp_root(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ffsva_cluster_{}_{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Reference survivor sets: the same streams run uninterrupted in one
+    /// monolithic engine (survivors are sibling-independent, so instance
+    /// membership cannot matter).
+    fn reference_survivors(
+        sys: &FfsVaConfig,
+        inputs: &[StreamInput],
+    ) -> Vec<Vec<crate::rt_engine::SurvivingFrame>> {
+        Engine::new(*sys, Mode::Online, inputs.to_vec())
+            .run()
+            .per_stream_survivors
+    }
+
+    #[test]
+    fn healthy_fleet_completes_with_reference_identical_survivors() {
+        let sys = FfsVaConfig::default();
+        let root = tmp_root("healthy");
+        let inputs: Vec<StreamInput> = (0..4).map(|_| synthetic_input(320, 8)).collect();
+        let expected = reference_survivors(&sys, &inputs);
+
+        let cfg = ClusterConfig::new(2, &root).with_epoch_frames(100);
+        let report = Cluster::new(sys, cfg).run(inputs).unwrap();
+
+        assert_eq!(report.completed(), 4, "outcomes {:?}", report.outcomes);
+        assert_eq!(report.rejected(), 0);
+        for (s, exp) in expected.iter().enumerate() {
+            assert_eq!(
+                report.survivors(s).unwrap(),
+                exp.as_slice(),
+                "stream {s} survivors drifted across epochs"
+            );
+            assert!(!exp.is_empty(), "test workload must produce survivors");
+        }
+        // 320 frames at 100/epoch: four epochs each, no faults, no moves
+        assert_eq!(report.telemetry.counter("cluster.offers"), 4);
+        assert_eq!(report.telemetry.counter("cluster.admitted"), 4);
+        assert_eq!(report.telemetry.counter("cluster.reforwards"), 0);
+        assert_eq!(report.telemetry.counter("cluster.instances_crashed"), 0);
+        assert_eq!(report.epochs, 4);
+        assert!(report.alive.iter().all(|&a| a));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crash_recovers_streams_elsewhere_with_identical_survivors() {
+        let sys = FfsVaConfig::default();
+        let root = tmp_root("crash");
+        let inputs: Vec<StreamInput> = (0..4).map(|_| synthetic_input(320, 8)).collect();
+        let expected = reference_survivors(&sys, &inputs);
+
+        // instance 0 dies at the epoch covering frame 150 (epoch 1): its
+        // streams finished exactly one epoch and must ride those
+        // checkpoints onto instance 1
+        let plan = ClusterFaultPlan::parse("instance0:crash@150").unwrap();
+        let cfg = ClusterConfig::new(2, &root).with_epoch_frames(100);
+        let report = Cluster::new(sys, cfg)
+            .with_fault_plan(&plan)
+            .run(inputs)
+            .unwrap();
+
+        assert_eq!(report.completed(), 4, "outcomes {:?}", report.outcomes);
+        for (s, exp) in expected.iter().enumerate() {
+            assert_eq!(
+                report.survivors(s).unwrap(),
+                exp.as_slice(),
+                "stream {s}: migrated survivors must be bit-identical"
+            );
+        }
+        assert_eq!(report.telemetry.counter("cluster.instances_crashed"), 1);
+        assert!(report.telemetry.counter("cluster.reforwards") >= 1);
+        assert!(report.telemetry.counter("cluster.recoveries") >= 1);
+        assert_eq!(report.alive, vec![false, true]);
+        assert_eq!(report.final_loads, vec![0, 0]);
+        // every re-forward measured a hand-over latency
+        let lat = &report.telemetry.histograms["cluster.reforward_latency_us"];
+        assert_eq!(lat.count, report.telemetry.counter("cluster.reforwards"));
+        assert!(report.reforward_latency_ms() >= 0.0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dead_fleet_rejects_with_bounded_retries_and_no_hang() {
+        let sys = FfsVaConfig::default();
+        let root = tmp_root("deadfleet");
+        let inputs: Vec<StreamInput> = (0..2).map(|_| synthetic_input(300, 8)).collect();
+        // the whole fleet dies before frame 0's epoch: nothing can ever be
+        // placed again, so every stream must burn its retry budget and be
+        // rejected — not spin to the epoch cap
+        let plan = ClusterFaultPlan::parse("instance0:crash@0,instance1:crash@0").unwrap();
+        let cfg = ClusterConfig::new(2, &root)
+            .with_epoch_frames(100)
+            .with_reforward_budget(2, 4)
+            .with_max_epochs(200);
+        let report = Cluster::new(sys, cfg)
+            .with_fault_plan(&plan)
+            .run(inputs)
+            .unwrap();
+
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.rejected(), 2, "outcomes {:?}", report.outcomes);
+        for o in &report.outcomes {
+            match o {
+                StreamOutcome::Rejected { retries, .. } => assert_eq!(*retries, 3),
+                other => panic!("expected rejection, got {other:?}"),
+            }
+        }
+        assert_eq!(report.telemetry.counter("cluster.reforward_given_up"), 2);
+        assert_eq!(report.telemetry.counter("cluster.reforward_retries"), 6);
+        assert!(
+            report.epochs < 200,
+            "retry exhaustion must end the run early, ran {} epochs",
+            report.epochs
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cluster_config_builders_and_backoff_pacing() {
+        let cfg = ClusterConfig::new(3, "/tmp/x")
+            .with_epoch_frames(0)
+            .with_reforward_budget(7, 9)
+            .with_max_epochs(0);
+        assert_eq!(cfg.epoch_frames, 1, "zero epoch frames clamps to 1");
+        assert_eq!(cfg.max_epochs, 1, "zero epoch cap clamps to 1");
+        assert_eq!((cfg.max_reforward_retries, cfg.max_reforwards), (7, 9));
+
+        let sys = FfsVaConfig::default();
+        let cl = Cluster::new(sys, ClusterConfig::new(1, "/tmp/x").with_epoch_frames(150));
+        // 150 frames @ 30 FPS = 5 s epochs; 250 ms, 500 ms, 1 s delays all
+        // round up to one epoch, and the cap keeps large attempts finite
+        assert_eq!(cl.backoff_epochs(0), 1);
+        assert_eq!(cl.backoff_epochs(2), 1);
+        assert_eq!(cl.backoff_epochs(31), 6, "30 s cap / 5 s epochs");
+        assert_eq!(cl.backoff_epochs(u32::MAX), 6);
+    }
+
+    #[test]
+    fn fleet_planner_sustains_more_streams_with_more_instances() {
+        let cfg = FfsVaConfig::default();
+        let make =
+            |n: usize| -> Vec<StreamInput> { (0..n).map(|_| synthetic_input(300, 2)).collect() };
+        let one = find_max_cluster_streams(&cfg, 1, make, 32);
+        let two = find_max_cluster_streams(&cfg, 2, make, 32);
+        assert!(one >= 1, "one instance sustains something");
+        assert!(
+            two > one,
+            "two instances must beat one: {two} vs {one} (re-forwarding spreads load)"
+        );
+        assert_eq!(find_max_cluster_streams(&cfg, 0, make, 32), 0);
+        assert_eq!(find_max_cluster_streams(&cfg, 2, make, 0), 0);
+    }
+}

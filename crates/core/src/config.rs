@@ -153,6 +153,13 @@ pub struct FfsVaConfig {
     /// existed still deserialize (and keep today's numerics).
     #[serde(default = "default_precision")]
     pub snm_precision: Precision,
+    /// Numeric precision of the shared T-YOLO front-end in both engines.
+    /// `Int8` routes detection through the integer pipeline
+    /// (`TinyYolo::count_quantized_with`) and traces through the quantized
+    /// counting path, mirroring `snm_precision` dispatch. Serde-defaulted
+    /// to [`Precision::F32`] for configs written before the knob existed.
+    #[serde(default = "default_precision")]
+    pub tyolo_precision: Precision,
 }
 
 impl Default for FfsVaConfig {
@@ -186,6 +193,7 @@ impl Default for FfsVaConfig {
             pool_workers_snm: default_pool_workers(),
             snm_cost_override: None,
             snm_precision: default_precision(),
+            tyolo_precision: default_precision(),
         }
     }
 }
@@ -256,6 +264,12 @@ impl FfsVaConfig {
     /// Builder-style setter for SNM inference precision.
     pub fn with_snm_precision(mut self, p: Precision) -> Self {
         self.snm_precision = p;
+        self
+    }
+
+    /// Builder-style setter for T-YOLO inference precision.
+    pub fn with_tyolo_precision(mut self, p: Precision) -> Self {
+        self.tyolo_precision = p;
         self
     }
 
@@ -349,6 +363,7 @@ mod tests {
         let c: FfsVaConfig = serde_json::from_str(old).unwrap();
         assert_eq!(c.snm_cost_override, None);
         assert_eq!(c.snm_precision, Precision::F32);
+        assert_eq!(c.tyolo_precision, Precision::F32);
         assert_eq!(c.restart_budget, 2);
         assert_eq!(c.restart_backoff_ms, 10);
         assert_eq!(c.watchdog_deadline_ms, 200);
@@ -411,6 +426,17 @@ mod tests {
         let back: FfsVaConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.snm_precision, Precision::Int8);
         assert_eq!(FfsVaConfig::default().snm_precision, Precision::F32);
+    }
+
+    #[test]
+    fn tyolo_precision_roundtrips_independently_of_snm() {
+        let c = FfsVaConfig::default().with_tyolo_precision(Precision::Int8);
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"tyolo_precision\":\"int8\""), "{}", json);
+        let back: FfsVaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tyolo_precision, Precision::Int8);
+        assert_eq!(back.snm_precision, Precision::F32, "knobs are independent");
+        assert_eq!(FfsVaConfig::default().tyolo_precision, Precision::F32);
     }
 
     #[test]

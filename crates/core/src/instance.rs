@@ -120,6 +120,12 @@ pub enum Placement {
     Rejected,
 }
 
+/// How long a live T-YOLO measurement keeps steering admission before it
+/// is considered stale and decisions fall back to simulation. A dead
+/// instance stops reporting; its last-good reading must not keep admitting
+/// streams onto it forever.
+pub const DEFAULT_MEASUREMENT_MAX_AGE_S: f64 = 30.0;
+
 /// A stateful admission controller over a fleet of FFS-VA instances
 /// (§4.3.1): new streams are admitted onto an instance only when its shared
 /// T-YOLO shows spare capacity *and* the instance stays real-time with the
@@ -128,10 +134,20 @@ pub enum Placement {
 pub struct AdmissionController {
     cfg: FfsVaConfig,
     instances: Vec<Vec<StreamInput>>,
-    /// Live T-YOLO throughput per instance, fed from running-engine
-    /// telemetry via [`AdmissionController::observe_telemetry`]. `None`
-    /// means no live measurement yet — decisions fall back to simulation.
-    measured_tyolo_fps: Vec<Option<f64>>,
+    /// Live T-YOLO throughput per instance as `(fps, taken_at_s)` on the
+    /// controller clock, fed from running-engine telemetry via
+    /// [`AdmissionController::observe_telemetry`]. `None` means no live
+    /// measurement yet; measurements older than `measurement_max_age_s`
+    /// are ignored — either way decisions fall back to simulation.
+    measured_tyolo_fps: Vec<Option<(f64, f64)>>,
+    /// Instances currently accepting placements. A dead instance is
+    /// skipped by every admission path until marked alive again.
+    alive: Vec<bool>,
+    /// The controller's notion of now (seconds); advanced by the owner via
+    /// [`AdmissionController::advance_clock`] as real or virtual time
+    /// passes. Measurement ages are computed against this clock.
+    clock_s: f64,
+    measurement_max_age_s: f64,
 }
 
 impl AdmissionController {
@@ -142,7 +158,28 @@ impl AdmissionController {
             cfg,
             instances: vec![Vec::new(); n_instances],
             measured_tyolo_fps: vec![None; n_instances],
+            alive: vec![true; n_instances],
+            clock_s: 0.0,
+            measurement_max_age_s: DEFAULT_MEASUREMENT_MAX_AGE_S,
         }
+    }
+
+    /// Builder-style: override the staleness window for live measurements.
+    pub fn with_measurement_max_age(mut self, max_age_s: f64) -> Self {
+        self.measurement_max_age_s = max_age_s.max(0.0);
+        self
+    }
+
+    /// Advance the controller clock (seconds of real or virtual time).
+    pub fn advance_clock(&mut self, dt_s: f64) {
+        if dt_s > 0.0 {
+            self.clock_s += dt_s;
+        }
+    }
+
+    /// The controller's current clock reading (seconds).
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
     }
 
     /// Streams currently placed on each instance.
@@ -150,22 +187,61 @@ impl AdmissionController {
         self.instances.iter().map(|v| v.len()).collect()
     }
 
+    /// Mark an instance dead (no placements, its measurements are void) or
+    /// alive again. Out-of-range indices are ignored.
+    pub fn set_alive(&mut self, instance: usize, alive: bool) {
+        if instance < self.alive.len() {
+            self.alive[instance] = alive;
+            if !alive {
+                self.measured_tyolo_fps[instance] = None;
+            }
+        }
+    }
+
+    /// Whether an instance currently accepts placements.
+    pub fn is_alive(&self, instance: usize) -> bool {
+        self.alive.get(instance).copied().unwrap_or(false)
+    }
+
+    /// Replace the stream set the controller models for `instance` — the
+    /// cluster control plane re-syncs each instance's *remaining* work
+    /// every epoch so what-if probes price the future, not the past.
+    pub fn set_streams(&mut self, instance: usize, streams: Vec<StreamInput>) {
+        if instance < self.instances.len() {
+            self.instances[instance] = streams;
+        }
+    }
+
     /// Fold a live telemetry snapshot from `instance`'s running engine into
     /// admission decisions: the measured shared-T-YOLO rate replaces the
     /// simulated spare-capacity probe for that instance (§4.3.1's "T-YOLO
     /// speed" signal, measured rather than predicted). `wall_s` is the
-    /// window the snapshot covers.
+    /// window the snapshot covers. The measurement is stamped with the
+    /// controller clock and expires after `measurement_max_age_s`.
     pub fn observe_telemetry(&mut self, instance: usize, snap: &TelemetrySnapshot, wall_s: f64) {
         if instance >= self.measured_tyolo_fps.len() || wall_s <= 0.0 {
             return;
         }
         let tyolo_in = snap.stage_total("tyolo", "frames_in");
-        self.measured_tyolo_fps[instance] = Some(tyolo_in as f64 / wall_s);
+        self.measured_tyolo_fps[instance] = Some((tyolo_in as f64 / wall_s, self.clock_s));
+    }
+
+    /// The live T-YOLO rate still fresh enough to steer admission for one
+    /// instance, if any.
+    fn live_rate(&self, instance: usize) -> Option<f64> {
+        let (fps, taken_at) = self.measured_tyolo_fps[instance]?;
+        if self.clock_s - taken_at > self.measurement_max_age_s {
+            return None;
+        }
+        Some(fps)
     }
 
     /// The live T-YOLO rates currently informing admission, per instance.
-    pub fn measured_rates(&self) -> &[Option<f64>] {
-        &self.measured_tyolo_fps
+    /// Stale measurements show up as `None`, exactly as admission sees them.
+    pub fn measured_rates(&self) -> Vec<Option<f64>> {
+        (0..self.measured_tyolo_fps.len())
+            .map(|i| self.live_rate(i))
+            .collect()
     }
 
     fn simulate(&self, instance: usize, extra: Option<&StreamInput>) -> Option<SimResult> {
@@ -179,17 +255,57 @@ impl AdmissionController {
         Some(Engine::new(self.cfg, Mode::Online, inputs).run())
     }
 
-    /// Offer a new stream to the fleet. Instances are tried in order of
-    /// current load (least-loaded first, the natural spare-capacity probe);
-    /// the first instance that remains real-time with the newcomer admits it.
+    /// Whether `instance` could take `stream` right now: alive, measured
+    /// T-YOLO (if fresh) below the admission rate, and real-time with the
+    /// newcomer under the what-if probe. This is [`try_admit`] restricted
+    /// to one named instance, without mutating the load model.
+    ///
+    /// [`try_admit`]: AdmissionController::try_admit
+    pub fn can_place(&self, instance: usize, stream: &StreamInput) -> bool {
+        if instance >= self.instances.len() || !self.alive[instance] {
+            return false;
+        }
+        if let Some(fps) = self.live_rate(instance) {
+            if fps >= self.cfg.admission_tyolo_fps {
+                return false;
+            }
+        }
+        if !self.instances[instance].is_empty() {
+            if let Some(r) = self.simulate(instance, None) {
+                if !has_spare_capacity(&r, &self.cfg) {
+                    return false;
+                }
+            }
+        }
+        match self.simulate(instance, Some(stream)) {
+            Some(r) => r.realtime(self.cfg.online_fps),
+            None => false,
+        }
+    }
+
+    /// Record that `stream` now runs on `instance` (a directed placement
+    /// the caller already decided, e.g. a cluster re-forward).
+    pub fn place(&mut self, instance: usize, stream: StreamInput) {
+        if instance < self.instances.len() {
+            self.instances[instance].push(stream);
+        }
+    }
+
+    /// Offer a new stream to the fleet. Live instances are tried in order
+    /// of current load (least-loaded first, the natural spare-capacity
+    /// probe); the first that remains real-time with the newcomer admits it.
     pub fn try_admit(&mut self, stream: StreamInput) -> Placement {
-        let mut order: Vec<usize> = (0..self.instances.len()).collect();
+        let mut order: Vec<usize> = (0..self.instances.len())
+            .filter(|&i| self.alive[i])
+            .collect();
         order.sort_by_key(|&i| self.instances[i].len());
         for i in order {
             // Fast reject on live telemetry: an instance whose *measured*
             // shared T-YOLO already runs at or above the admission rate has
             // no spare capacity, whatever the simulation would predict.
-            if let Some(fps) = self.measured_tyolo_fps[i] {
+            // Stale measurements no longer apply — a silent instance falls
+            // back to the simulated probes below.
+            if let Some(fps) = self.live_rate(i) {
                 if fps >= self.cfg.admission_tyolo_fps {
                     continue;
                 }
@@ -241,7 +357,7 @@ pub fn balance_instances(
     n_instances: usize,
     max_rounds: usize,
 ) -> BalanceOutcome {
-    let initial: Vec<usize> = (0..streams.len()).map(|i| i % n_instances).collect();
+    let initial: Vec<usize> = (0..streams.len()).map(|i| i % n_instances.max(1)).collect();
     balance_instances_from(cfg, streams, n_instances, max_rounds, initial)
 }
 
@@ -254,8 +370,17 @@ pub fn balance_instances_from(
     max_rounds: usize,
     initial: Vec<usize>,
 ) -> BalanceOutcome {
-    assert!(n_instances > 0);
     assert_eq!(initial.len(), streams.len(), "assignment arity");
+    // Degenerate empty fleet: nothing to move streams between. Real-time
+    // only in the vacuous no-streams case; with streams offered there is
+    // nowhere to run them, which is an operator problem, not a panic.
+    if n_instances == 0 {
+        return BalanceOutcome {
+            assignment: initial,
+            reforwarded: 0,
+            all_realtime: streams.is_empty(),
+        };
+    }
     let mut assignment = initial;
     let mut reforwarded = 0usize;
 
@@ -556,6 +681,108 @@ mod tests {
         // out-of-range instance and zero wall are ignored, not panics
         ctl.observe_telemetry(99, &tel2.snapshot(), 10.0);
         ctl.observe_telemetry(0, &tel2.snapshot(), 0.0);
+    }
+
+    #[test]
+    fn stale_measurements_expire_and_admission_falls_back_to_simulation() {
+        use ffsva_telemetry::Telemetry;
+
+        let cfg = FfsVaConfig::default();
+        let mut ctl = AdmissionController::new(cfg, 1).with_measurement_max_age(5.0);
+        // A hot reading pins the only instance shut even though simulation
+        // would admit: the fleet rejects on live telemetry alone.
+        let tel = Telemetry::new();
+        tel.counter("stream0.tyolo.frames_in").add(1500);
+        ctl.observe_telemetry(0, &tel.snapshot(), 10.0);
+        assert!(ctl.measured_rates()[0].unwrap() >= cfg.admission_tyolo_fps);
+        assert_eq!(ctl.try_admit(synthetic_input(300, 10)), Placement::Rejected);
+        // Time passes with no fresh report (the engine died or went
+        // silent): the measurement must expire, not steer forever.
+        ctl.advance_clock(6.0);
+        assert_eq!(ctl.clock_s(), 6.0);
+        assert_eq!(ctl.measured_rates()[0], None, "stale reading must be void");
+        assert_eq!(
+            ctl.try_admit(synthetic_input(300, 10)),
+            Placement::Admitted { instance: 0 },
+            "with the stale reading expired, the simulated probe admits"
+        );
+        // A reading exactly at the window edge is still fresh.
+        ctl.observe_telemetry(0, &tel.snapshot(), 10.0);
+        ctl.advance_clock(5.0);
+        assert!(ctl.measured_rates()[0].is_some());
+        // negative clock advances are ignored
+        ctl.advance_clock(-100.0);
+        assert_eq!(ctl.clock_s(), 11.0);
+    }
+
+    #[test]
+    fn dead_instances_take_no_placements_until_revived() {
+        let cfg = FfsVaConfig::default();
+        let mut ctl = AdmissionController::new(cfg, 2);
+        ctl.set_alive(0, false);
+        assert!(!ctl.is_alive(0));
+        assert!(ctl.is_alive(1));
+        for _ in 0..3 {
+            match ctl.try_admit(synthetic_input(300, 10)) {
+                Placement::Admitted { instance } => assert_eq!(instance, 1),
+                Placement::Rejected => panic!("instance 1 has room"),
+            }
+        }
+        assert_eq!(ctl.loads(), vec![0, 3]);
+        assert!(!ctl.can_place(0, &synthetic_input(300, 10)));
+        assert!(ctl.can_place(1, &synthetic_input(300, 10)));
+        // revive and the instance serves again
+        ctl.set_alive(0, true);
+        assert!(ctl.can_place(0, &synthetic_input(300, 10)));
+        assert_eq!(
+            ctl.try_admit(synthetic_input(300, 10)),
+            Placement::Admitted { instance: 0 }
+        );
+        // directed placement and load-model resync
+        ctl.place(0, synthetic_input(300, 10));
+        assert_eq!(ctl.loads(), vec![2, 3]);
+        ctl.set_streams(1, vec![synthetic_input(300, 10)]);
+        assert_eq!(ctl.loads(), vec![2, 1]);
+        // out-of-range indices are ignored, not panics
+        ctl.set_alive(9, false);
+        ctl.place(9, synthetic_input(300, 10));
+        ctl.set_streams(9, Vec::new());
+        assert!(!ctl.can_place(9, &synthetic_input(300, 10)));
+        assert!(!ctl.is_alive(9));
+    }
+
+    #[test]
+    fn balance_handles_empty_fleet_gracefully() {
+        let cfg = FfsVaConfig::default();
+        // no instances, no streams: vacuously balanced
+        let out = balance_instances_from(&cfg, &[], 0, 8, vec![]);
+        assert!(out.all_realtime);
+        assert_eq!(out.reforwarded, 0);
+        assert!(out.assignment.is_empty());
+        // no instances but streams offered: nowhere to run them
+        let streams = vec![synthetic_input(200, 10)];
+        let out = balance_instances_from(&cfg, &streams, 0, 8, vec![0]);
+        assert!(!out.all_realtime);
+        assert_eq!(out.reforwarded, 0);
+        assert_eq!(out.assignment, vec![0]);
+        let out = balance_instances(&cfg, &[], 0, 8);
+        assert!(out.all_realtime);
+    }
+
+    #[test]
+    fn balance_single_instance_never_reforwards() {
+        let cfg = FfsVaConfig::default();
+        // light load: one instance is balanced with itself
+        let streams: Vec<StreamInput> = (0..2).map(|_| synthetic_input(200, 10)).collect();
+        let out = balance_instances_from(&cfg, &streams, 1, 8, vec![0, 0]);
+        assert!(out.all_realtime);
+        assert_eq!(out.reforwarded, 0);
+        assert_eq!(out.assignment, vec![0, 0]);
+        // overload with nowhere to go: must terminate without moving
+        let heavy: Vec<StreamInput> = (0..24).map(|_| synthetic_input(300, 1)).collect();
+        let out = balance_instances_from(&cfg, &heavy, 1, 8, vec![0; 24]);
+        assert_eq!(out.reforwarded, 0, "single instance has no target");
+        assert!(out.assignment.iter().all(|&a| a == 0));
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`baseline`] — the YOLOv2-on-both-GPUs comparison system.
 //! * [`accuracy`] — false-negative/error-run/scene accounting (§5.3, Table 2).
 //! * [`instance`] — max-stream search, admission, and stream re-forwarding.
+//! * [`cluster`] — the fleet control plane: instance faults, telemetry-fed
+//!   admission, and checkpoint-riding re-forwarding across instances.
 //! * [`report`] — text tables and JSON/CSV result files.
 //!
 //! ```
@@ -40,6 +42,7 @@
 pub mod accuracy;
 pub mod baseline;
 pub mod checkpoint;
+pub mod cluster;
 pub mod config;
 pub mod instance;
 pub mod report;
@@ -54,11 +57,15 @@ pub use accuracy::{
 };
 pub use baseline::{run_baseline, BaselineResult};
 pub use checkpoint::{
-    load_all, load_stream_checkpoint, stream_ckpt_path, write_stream_checkpoint, CheckpointSpec,
-    StreamCheckpoint, CHECKPOINT_SCHEMA_VERSION,
+    load_all, load_stream_checkpoint, migrate_stream_checkpoint, renumber_checkpoint,
+    stream_ckpt_path, write_stream_checkpoint, CheckpointSpec, StreamCheckpoint,
+    CHECKPOINT_SCHEMA_VERSION,
 };
+pub use cluster::{find_max_cluster_streams, Cluster, ClusterConfig, ClusterReport, StreamOutcome};
 pub use config::{FfsVaConfig, Precision, StreamThresholds};
-pub use ffsva_sched::{DegradePolicy, FaultPlan, FaultStage, StageFault};
+pub use ffsva_sched::{
+    ClusterFaultPlan, DegradePolicy, FaultPlan, FaultStage, InstanceFault, StageFault,
+};
 pub use ffsva_telemetry::{PipelineDigest, Telemetry, TelemetrySnapshot};
 pub use instance::{
     balance_instances, balance_instances_from, find_max_online_streams, has_spare_capacity,

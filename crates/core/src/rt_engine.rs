@@ -54,6 +54,21 @@ fn snm_predict(
     }
 }
 
+/// Run the shared T-YOLO object count at the configured precision. Like
+/// [`snm_predict`], only the precision choice can move the survivor set.
+fn tyolo_count(
+    ty: &TinyYolo,
+    precision: Precision,
+    frame: &Frame,
+    class: ffsva_video::ObjectClass,
+    scratch: &mut Scratch,
+) -> usize {
+    match precision {
+        Precision::F32 => ty.count_with(frame, class, scratch),
+        Precision::Int8 => ty.count_quantized_with(frame, class, scratch),
+    }
+}
+
 /// A frame that survived the full cascade.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SurvivingFrame {
@@ -182,6 +197,7 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
     let ty = Arc::clone(&tyolo);
     let c_cycles = tel.counter("tyolo.cycles");
     let lat = lat_e2e.clone();
+    let ty_precision = cfg.tyolo_precision;
     let h_tyolo = spawn_filter_stage_instrumented(
         "tyolo",
         q_tyolo,
@@ -191,7 +207,9 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
             let mut scratch = Scratch::new();
             move |(t0, lf): InFlight| {
                 c_cycles.inc();
-                if ty.count_with(&lf.frame, target, &mut scratch) >= number_of_objects {
+                if tyolo_count(&ty, ty_precision, &lf.frame, target, &mut scratch)
+                    >= number_of_objects
+                {
                     Some((t0, lf))
                 } else {
                     lat.record(elapsed_us(t0));
@@ -1022,6 +1040,7 @@ pub fn run_multi_pipeline_rt_robust(
     let tyolo_in = tyolo_qs.clone();
     let tyolo_out = ref_qs.clone();
     let tyolo_targets = targets.clone();
+    let ty_precision = cfg.tyolo_precision;
     let c_cycles = tel.counter("tyolo.cycles");
     let lat = lat_e2e.clone();
     let tyolo_progress = Arc::new(AtomicU64::new(0));
@@ -1050,8 +1069,13 @@ pub fn run_multi_pipeline_rt_robust(
                         }
                         processed += 1;
                         tyolo_tels[s].frames_in.inc();
-                        if tyolo.count_with(&lf.frame, tyolo_targets[s], &mut scratch)
-                            >= number_of_objects
+                        if tyolo_count(
+                            &tyolo,
+                            ty_precision,
+                            &lf.frame,
+                            tyolo_targets[s],
+                            &mut scratch,
+                        ) >= number_of_objects
                         {
                             if injs[s].fail_push(seq) {
                                 tyolo_tels[s].frames_dropped.inc();

@@ -10,7 +10,7 @@
 
 use crate::config::{FfsVaConfig, Precision, StreamThresholds};
 use crate::sim::StreamInput;
-use ffsva_models::bank::{BankOptions, FilterBank};
+use ffsva_models::bank::{BankOptions, FilterBank, TraceOptions};
 use ffsva_models::FrameTrace;
 use ffsva_video::{measured_tor, LabeledFrame, ObjectClass, StreamConfig, VideoStream};
 use rand::rngs::StdRng;
@@ -82,6 +82,9 @@ pub struct PrepareOptions {
     /// [`Precision::Int8`] the decision traces — and therefore everything
     /// the DES engine derives from them — reflect the quantized cascade.
     pub snm_precision: Precision,
+    /// Precision of the shared T-YOLO front-end while tracing. Independent
+    /// of `snm_precision`: each stage quantizes on its own.
+    pub tyolo_precision: Precision,
 }
 
 impl Default for PrepareOptions {
@@ -91,6 +94,7 @@ impl Default for PrepareOptions {
             eval_frames: 5000, // §5.1: "5000 consecutive frames"
             bank: BankOptions::default(),
             snm_precision: Precision::F32,
+            tyolo_precision: Precision::F32,
         }
     }
 }
@@ -104,10 +108,13 @@ pub fn prepare_stream(cfg: StreamConfig, opts: &PrepareOptions) -> PreparedStrea
     let train_clip: Vec<LabeledFrame> = stream.clip(opts.train_frames);
     let mut bank = FilterBank::build(&train_clip, target, &opts.bank, &mut rng);
     let eval_clip: Vec<LabeledFrame> = stream.clip(opts.eval_frames);
-    let traces = match opts.snm_precision {
-        Precision::F32 => bank.trace_clip(&eval_clip),
-        Precision::Int8 => bank.trace_clip_int8(&eval_clip),
-    };
+    let traces = bank.trace_clip_opts(
+        &eval_clip,
+        TraceOptions {
+            snm_int8: opts.snm_precision == Precision::Int8,
+            tyolo_int8: opts.tyolo_precision == Precision::Int8,
+        },
+    );
     PreparedStream {
         name,
         target,
@@ -140,9 +147,13 @@ pub fn prepare_stream_cached(
         Precision::F32 => "",
         Precision::Int8 => "_int8",
     };
+    let typrec = match opts.tyolo_precision {
+        Precision::F32 => "",
+        Precision::Int8 => "_ty8",
+    };
     let key = format!(
-        "{}_tor{:.3}_seed{}_t{}_e{}{}{}.json",
-        cfg.name, cfg.tor, cfg.seed, opts.train_frames, opts.eval_frames, spike, prec
+        "{}_tor{:.3}_seed{}_t{}_e{}{}{}{}.json",
+        cfg.name, cfg.tor, cfg.seed, opts.train_frames, opts.eval_frames, spike, prec, typrec
     );
     let path: PathBuf = cache_dir.join(key);
     if let Ok(bytes) = fs::read(&path) {
@@ -180,6 +191,7 @@ mod tests {
     fn quick_opts() -> PrepareOptions {
         PrepareOptions {
             snm_precision: Precision::F32,
+            tyolo_precision: Precision::F32,
             train_frames: 1200,
             eval_frames: 800,
             bank: BankOptions {

@@ -2,6 +2,7 @@
 //! and engine conservation laws under arbitrary synthetic traces.
 
 use ffsva_core::accuracy::{evaluate, evaluate_relaxed};
+use ffsva_core::instance::balance_instances_from;
 use ffsva_core::{Engine, FfsVaConfig, Mode, StreamInput, StreamThresholds};
 use ffsva_models::FrameTrace;
 use ffsva_sched::BatchPolicy;
@@ -128,5 +129,93 @@ proptest! {
         prop_assert!(r.stage_executed[1] <= r.stage_executed[0]);
         prop_assert!(r.stage_executed[2] <= r.stage_executed[1]);
         prop_assert!(r.stage_executed[3] <= r.stage_executed[2]);
+    }
+}
+
+/// Strategy: a balancing scenario — short traces (the balancer simulates
+/// every instance each round, so frame counts stay small), a fleet size,
+/// and an arbitrary initial stream→instance assignment, including the
+/// adversarial all-on-one-instance pile-ups re-forwarding exists to fix.
+fn arb_balance_case() -> impl Strategy<Value = (Vec<FrameTrace>, usize, Vec<usize>)> {
+    let short_traces =
+        proptest::collection::vec((0.0f32..0.02, 0.0f32..1.0, 0u16..4, 0u16..4), 1..120).prop_map(
+            |rows| {
+                rows.into_iter()
+                    .enumerate()
+                    .map(|(i, (d, p, ty, rc))| FrameTrace {
+                        seq: i as u64,
+                        pts_ms: (i as u64) * 33,
+                        sdd_distance: d,
+                        snm_prob: p,
+                        tyolo_count: ty,
+                        reference_count: rc,
+                        truth_count: rc,
+                        truth_complete: rc,
+                    })
+                    .collect::<Vec<_>>()
+            },
+        );
+    (short_traces, 1usize..4, 1usize..5).prop_flat_map(|(traces, n_inst, n_streams)| {
+        proptest::collection::vec(0..n_inst, n_streams)
+            .prop_map(move |initial| (traces.clone(), n_inst, initial))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Re-forwarding conserves the fleet: every stream stays assigned to
+    /// exactly one valid instance (none lost, none duplicated, none sent to
+    /// a phantom instance), from any initial assignment, and each recorded
+    /// move accounts for at least one assignment change.
+    #[test]
+    fn balance_from_conserves_streams(
+        (traces, n_inst, initial) in arb_balance_case(),
+        max_rounds in 0usize..6,
+    ) {
+        let streams: Vec<StreamInput> = initial
+            .iter()
+            .map(|_| StreamInput { traces: traces.clone(), thresholds: th() })
+            .collect();
+        let out = balance_instances_from(
+            &FfsVaConfig::default(), &streams, n_inst, max_rounds, initial.clone(),
+        );
+        prop_assert_eq!(out.assignment.len(), streams.len());
+        prop_assert!(out.assignment.iter().all(|&a| a < n_inst));
+        let changed = initial
+            .iter()
+            .zip(&out.assignment)
+            .filter(|(a, b)| a != b)
+            .count();
+        prop_assert!(
+            changed <= out.reforwarded,
+            "{} assignment changes but only {} recorded moves",
+            changed,
+            out.reforwarded
+        );
+        prop_assert!(out.reforwarded <= max_rounds);
+    }
+
+    /// The balancer is a pure function of its inputs: re-running the same
+    /// scenario reproduces the assignment, move count, and verdict exactly
+    /// (the DES probes inside are virtual-time deterministic).
+    #[test]
+    fn balance_from_is_deterministic(
+        (traces, n_inst, initial) in arb_balance_case(),
+        max_rounds in 0usize..6,
+    ) {
+        let streams: Vec<StreamInput> = initial
+            .iter()
+            .map(|_| StreamInput { traces: traces.clone(), thresholds: th() })
+            .collect();
+        let a = balance_instances_from(
+            &FfsVaConfig::default(), &streams, n_inst, max_rounds, initial.clone(),
+        );
+        let b = balance_instances_from(
+            &FfsVaConfig::default(), &streams, n_inst, max_rounds, initial,
+        );
+        prop_assert_eq!(a.assignment, b.assignment);
+        prop_assert_eq!(a.reforwarded, b.reforwarded);
+        prop_assert_eq!(a.all_realtime, b.all_realtime);
     }
 }

@@ -8,12 +8,26 @@
 //! pixel models, exactly as the paper sweeps one knob at a time.
 
 use crate::reference::ReferenceModel;
+use crate::scratch::Scratch;
 use crate::sdd::{DistanceMetric, SddFilter};
 use crate::snm::{train_snm, SnmModel, SnmReport, SnmTrainOptions};
 use crate::tyolo::TinyYolo;
 use ffsva_video::{Frame, LabeledFrame, ObjectClass};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Which quantized execution paths a trace evaluates, mirroring the
+/// engines' `snm_precision` / `tyolo_precision` dispatch: each flag swaps
+/// exactly one model onto its int8 path while every other column stays
+/// identical, so diffing traces isolates each quantization effect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Run the SNM through [`crate::compress::QuantizedSequential`].
+    pub snm_int8: bool,
+    /// Run T-YOLO through the integer detection pipeline
+    /// ([`TinyYolo::count_quantized_with`]).
+    pub tyolo_int8: bool,
+}
 
 /// Raw filter measurements for one frame.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -146,16 +160,41 @@ impl FilterBank {
         self.trace_with_prob(lf, p)
     }
 
+    /// Evaluate one labeled frame with per-model precision selection
+    /// ([`TraceOptions`]); `scratch` backs the T-YOLO resize so clip-scale
+    /// tracing stays allocation-free across frames.
+    pub fn trace_frame_opts(
+        &mut self,
+        lf: &LabeledFrame,
+        opts: TraceOptions,
+        scratch: &mut Scratch,
+    ) -> FrameTrace {
+        let p = if opts.snm_int8 {
+            self.snm.predict_int8(&lf.frame)
+        } else {
+            self.snm.predict(&lf.frame)
+        };
+        let tyolo_count = if opts.tyolo_int8 {
+            self.tyolo
+                .count_quantized_with(&lf.frame, self.target, scratch)
+        } else {
+            self.tyolo.count_with(&lf.frame, self.target, scratch)
+        };
+        self.trace_fields(lf, p, tyolo_count)
+    }
+
     fn trace_with_prob(&mut self, lf: &LabeledFrame, snm_prob: f32) -> FrameTrace {
+        let tyolo_count = self.tyolo.count(&lf.frame, self.target);
+        self.trace_fields(lf, snm_prob, tyolo_count)
+    }
+
+    fn trace_fields(&self, lf: &LabeledFrame, snm_prob: f32, tyolo_count: usize) -> FrameTrace {
         FrameTrace {
             seq: lf.frame.seq,
             pts_ms: lf.frame.pts_ms,
             sdd_distance: self.sdd.distance(&lf.frame),
             snm_prob,
-            tyolo_count: self
-                .tyolo
-                .count(&lf.frame, self.target)
-                .min(u16::MAX as usize) as u16,
+            tyolo_count: tyolo_count.min(u16::MAX as usize) as u16,
             reference_count: self
                 .reference
                 .count(&lf.truth, self.target)
@@ -173,6 +212,22 @@ impl FilterBank {
     /// Evaluate a whole clip on the int8 SNM path.
     pub fn trace_clip_int8(&mut self, clip: &[LabeledFrame]) -> Vec<FrameTrace> {
         clip.iter().map(|lf| self.trace_frame_int8(lf)).collect()
+    }
+
+    /// Evaluate a whole clip with per-model precision selection. With both
+    /// flags off the scratch-backed paths produce the same counts as
+    /// [`Self::trace_clip`] (the conformance suites pin scratch vs
+    /// allocating equality), so this is the superset entry point the
+    /// engines' precision dispatch routes through.
+    pub fn trace_clip_opts(
+        &mut self,
+        clip: &[LabeledFrame],
+        opts: TraceOptions,
+    ) -> Vec<FrameTrace> {
+        let mut scratch = Scratch::new();
+        clip.iter()
+            .map(|lf| self.trace_frame_opts(lf, opts, &mut scratch))
+            .collect()
     }
 }
 
@@ -275,6 +330,51 @@ mod tests {
             cascade_pass_of_complete as f64 / complete_frames as f64 > 0.7,
             "cascade recall on complete frames {}",
             cascade_pass_of_complete as f64 / complete_frames as f64
+        );
+    }
+
+    #[test]
+    fn trace_opts_default_matches_trace_clip_and_tyolo_int8_touches_one_column() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg = workloads::test_tiny(ObjectClass::Car, 0.35, 55);
+        let mut s = VideoStream::new(0, cfg);
+        let train_clip = s.clip(800);
+        let mut bank = FilterBank::build(&train_clip, ObjectClass::Car, &small_opts(), &mut rng);
+        let eval = s.clip(200);
+
+        let base = bank.trace_clip(&eval);
+        let opts_default = bank.trace_clip_opts(&eval, TraceOptions::default());
+        for (a, b) in base.iter().zip(opts_default.iter()) {
+            assert_eq!(a.tyolo_count, b.tyolo_count);
+            assert_eq!(a.snm_prob, b.snm_prob);
+            assert_eq!(a.sdd_distance, b.sdd_distance);
+        }
+
+        let ty8 = bank.trace_clip_opts(
+            &eval,
+            TraceOptions {
+                snm_int8: false,
+                tyolo_int8: true,
+            },
+        );
+        let mut count_match = 0usize;
+        for (a, b) in base.iter().zip(ty8.iter()) {
+            // every non-T-YOLO column is untouched by the tyolo knob
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.snm_prob, b.snm_prob);
+            assert_eq!(a.sdd_distance, b.sdd_distance);
+            assert_eq!(a.reference_count, b.reference_count);
+            if a.tyolo_count == b.tyolo_count {
+                count_match += 1;
+            }
+        }
+        // the integer detector agrees with f32 on the vast majority of
+        // frames (the tyolo conformance test pins the exact rate bound)
+        assert!(
+            count_match as f64 / base.len() as f64 > 0.8,
+            "tyolo int8 count agreement {}/{}",
+            count_match,
+            base.len()
         );
     }
 

@@ -43,7 +43,7 @@ pub mod snm;
 pub mod snm_multi;
 pub mod tyolo;
 
-pub use bank::{BankOptions, FilterBank, FrameTrace};
+pub use bank::{BankOptions, FilterBank, FrameTrace, TraceOptions};
 pub use compress::{
     compress, prune_magnitude, quantize_int8, CompressionReport, QuantLayer, QuantizedSequential,
 };

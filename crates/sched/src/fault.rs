@@ -243,6 +243,179 @@ impl FaultPlan {
     }
 }
 
+/// A fault scoped to a whole engine instance rather than one stream's
+/// stage — the cluster control plane's failure model. Instance faults are
+/// keyed on the cluster's global frame clock (the per-stream frame `seq`
+/// every member of a control epoch shares), so a plan replays identically
+/// seed-for-seed, mirroring the stage-fault determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum InstanceFault {
+    /// The instance dies for good once the cluster frame clock reaches `n`:
+    /// the control epoch covering `n` never runs, the instance's on-disk
+    /// checkpoints are the only thing that survives it, and its streams
+    /// must be recovered elsewhere from those files.
+    CrashAtFrame(u64),
+    /// The instance degrades once the clock reaches `n`: every epoch from
+    /// there on takes an extra `dur_us` of wall time, which the control
+    /// loop's overload detector sees as lost real-time headroom (the
+    /// instance-level analogue of a persistent [`StageFault::StallFor`]).
+    SlowFrom { at_frame: u64, dur_us: u64 },
+}
+
+/// One instance fault bound to its instance index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InstanceFaultEntry {
+    pub instance: usize,
+    pub fault: InstanceFault,
+}
+
+/// A deterministic fault plan for a whole cluster: instance-scoped faults
+/// plus an ordinary per-stream [`FaultPlan`] carried alongside, so one
+/// `--fault-plan` string drives both layers.
+///
+/// Grammar (comma- or semicolon-separated parts):
+///
+/// * `instance<I>:crash@<frame>` — instance `I` dies at the epoch boundary
+///   covering `<frame>`.
+/// * `instance<I>:slow@<frame>+<ms>ms` — instance `I` degrades from
+///   `<frame>` on, each epoch costing an extra `<ms>` of wall time.
+/// * any `stream<S>.<stage>:<fault>` part of the [`FaultPlan`] grammar,
+///   delegated verbatim (stream indices are engine-local to the instance
+///   the cluster places the stream on).
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterFaultPlan {
+    instances: Vec<InstanceFaultEntry>,
+    streams: FaultPlan,
+}
+
+impl ClusterFaultPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: add one instance fault.
+    pub fn with_instance(mut self, instance: usize, fault: InstanceFault) -> Self {
+        self.instances.push(InstanceFaultEntry { instance, fault });
+        self
+    }
+
+    /// Builder-style: add one stream-stage fault (delegates to the
+    /// embedded [`FaultPlan`]).
+    pub fn with_stream(mut self, stream: usize, stage: FaultStage, fault: StageFault) -> Self {
+        self.streams = self.streams.with(stream, stage, fault);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty() && self.streams.is_empty()
+    }
+
+    pub fn instance_entries(&self) -> &[InstanceFaultEntry] {
+        &self.instances
+    }
+
+    /// The per-stream fault plan to hand to the engines.
+    pub fn stream_plan(&self) -> &FaultPlan {
+        &self.streams
+    }
+
+    /// Earliest frame at which `instance` crashes, if any entry says so.
+    pub fn crash_frame(&self, instance: usize) -> Option<u64> {
+        self.instances
+            .iter()
+            .filter(|e| e.instance == instance)
+            .filter_map(|e| match e.fault {
+                InstanceFault::CrashAtFrame(n) => Some(n),
+                InstanceFault::SlowFrom { .. } => None,
+            })
+            .min()
+    }
+
+    /// The slow-down governing `instance`: `(at_frame, dur_us)` of the
+    /// earliest slow entry (ties broken by the larger duration).
+    pub fn slow_from(&self, instance: usize) -> Option<(u64, u64)> {
+        self.instances
+            .iter()
+            .filter(|e| e.instance == instance)
+            .filter_map(|e| match e.fault {
+                InstanceFault::SlowFrom { at_frame, dur_us } => Some((at_frame, dur_us)),
+                InstanceFault::CrashAtFrame(_) => None,
+            })
+            .min_by_key(|&(at, dur)| (at, std::cmp::Reverse(dur)))
+    }
+
+    /// The largest instance index any entry names (for arity validation
+    /// against the fleet size).
+    pub fn max_instance(&self) -> Option<usize> {
+        self.instances.iter().map(|e| e.instance).max()
+    }
+
+    /// Validate the embedded stream plan (instance entries are
+    /// structurally valid by construction).
+    pub fn validate(&self) -> Result<(), String> {
+        self.streams.validate()
+    }
+
+    /// Parse the combined cluster grammar (see the type docs). Parts not
+    /// starting with `instance` are collected and delegated to
+    /// [`FaultPlan::parse`].
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = ClusterFaultPlan::new();
+        let mut stream_parts: Vec<&str> = Vec::new();
+        for part in spec.split([',', ';']) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if !part.starts_with("instance") {
+                stream_parts.push(part);
+                continue;
+            }
+            let (coord, fault) = part
+                .split_once(':')
+                .ok_or_else(|| format!("`{part}`: expected instance<I>:<fault>"))?;
+            let instance: usize = coord
+                .strip_prefix("instance")
+                .expect("checked prefix")
+                .parse()
+                .map_err(|_| format!("`{coord}`: bad instance index"))?;
+            let (kind, arg) = fault
+                .split_once('@')
+                .ok_or_else(|| format!("`{fault}`: expected <kind>@<frame>"))?;
+            let fault = match kind {
+                "crash" => InstanceFault::CrashAtFrame(
+                    arg.parse().map_err(|_| format!("`{arg}`: bad frame seq"))?,
+                ),
+                "slow" => {
+                    let (at_s, dur_s) = arg
+                        .split_once('+')
+                        .ok_or_else(|| format!("`{arg}`: expected <frame>+<ms>ms"))?;
+                    let at_frame = at_s
+                        .parse()
+                        .map_err(|_| format!("`{at_s}`: bad frame seq"))?;
+                    let ms: u64 = dur_s
+                        .strip_suffix("ms")
+                        .ok_or_else(|| format!("`{dur_s}`: expected <ms>ms"))?
+                        .parse()
+                        .map_err(|_| format!("`{dur_s}`: bad duration"))?;
+                    InstanceFault::SlowFrom {
+                        at_frame,
+                        dur_us: ms * 1000,
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown instance fault kind `{other}` (crash|slow)"
+                    ))
+                }
+            };
+            plan.instances.push(InstanceFaultEntry { instance, fault });
+        }
+        plan.streams = FaultPlan::parse(&stream_parts.join(","))?;
+        Ok(plan)
+    }
+}
+
 /// What a stage must do with the frame it just picked up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
@@ -405,6 +578,73 @@ mod tests {
         let plan = FaultPlan::parse("stream0.snm:panic@50,stream1.sdd:stall@3+10ms").unwrap();
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn cluster_grammar_parses_instance_and_stream_scopes_together() {
+        let plan = ClusterFaultPlan::parse(
+            "instance1:crash@200, stream0.snm:panic@50; instance0:slow@100+250ms",
+        )
+        .unwrap();
+        assert_eq!(plan.instance_entries().len(), 2);
+        assert_eq!(plan.crash_frame(1), Some(200));
+        assert_eq!(plan.crash_frame(0), None);
+        assert_eq!(plan.slow_from(0), Some((100, 250_000)));
+        assert_eq!(plan.slow_from(1), None);
+        assert_eq!(plan.max_instance(), Some(1));
+        assert_eq!(plan.stream_plan().entries().len(), 1);
+        assert_eq!(
+            plan.stream_plan().entries()[0].fault,
+            StageFault::PanicAtFrame(50)
+        );
+        assert!(!plan.is_empty());
+        assert!(ClusterFaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn cluster_grammar_rejects_bad_instance_parts() {
+        assert!(ClusterFaultPlan::parse("instance0:explode@5").is_err());
+        assert!(ClusterFaultPlan::parse("instanceX:crash@5").is_err());
+        assert!(ClusterFaultPlan::parse("instance0:crash@x").is_err());
+        assert!(ClusterFaultPlan::parse("instance0:slow@5").is_err());
+        assert!(ClusterFaultPlan::parse("instance0:slow@5+10").is_err());
+        assert!(ClusterFaultPlan::parse("instance0crash@5").is_err());
+        // the embedded stream plan still validates structurally
+        assert!(ClusterFaultPlan::parse("instance0:crash@5,stream0.tyolo:panic@1").is_err());
+    }
+
+    #[test]
+    fn cluster_crash_takes_earliest_frame_and_slow_breaks_ties_by_duration() {
+        let plan = ClusterFaultPlan::new()
+            .with_instance(2, InstanceFault::CrashAtFrame(90))
+            .with_instance(2, InstanceFault::CrashAtFrame(40))
+            .with_instance(
+                2,
+                InstanceFault::SlowFrom {
+                    at_frame: 10,
+                    dur_us: 500,
+                },
+            )
+            .with_instance(
+                2,
+                InstanceFault::SlowFrom {
+                    at_frame: 10,
+                    dur_us: 900,
+                },
+            );
+        assert_eq!(plan.crash_frame(2), Some(40));
+        assert_eq!(plan.slow_from(2), Some((10, 900)));
+    }
+
+    #[test]
+    fn cluster_serde_round_trip() {
+        let plan = ClusterFaultPlan::parse(
+            "instance0:crash@64,instance1:slow@0+10ms,stream0.sdd:failpush@3",
+        )
+        .unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ClusterFaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
     }
 }

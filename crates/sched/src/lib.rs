@@ -54,7 +54,10 @@ pub mod supervisor;
 pub use batch::BatchPolicy;
 pub use des::EventQueue;
 pub use device::{Completion, Device, DeviceKind, InvocationRecord, ModelKey};
-pub use fault::{FaultAction, FaultEntry, FaultInjector, FaultPlan, FaultStage, StageFault};
+pub use fault::{
+    ClusterFaultPlan, FaultAction, FaultEntry, FaultInjector, FaultPlan, FaultStage, InstanceFault,
+    InstanceFaultEntry, StageFault,
+};
 pub use ffsva_telemetry::{
     PoolTelemetry, QueueTelemetry, StageTelemetry, SupervisorTelemetry, Telemetry,
     TelemetrySnapshot,
@@ -69,5 +72,6 @@ pub use rt::{
 };
 pub use stats::{LatencyStats, Throughput};
 pub use supervisor::{
-    supervise, DegradePolicy, StageOutcome, SupervisedStage, SupervisorPolicy, WatchEntry, Watchdog,
+    backoff_delay, supervise, DegradePolicy, StageOutcome, SupervisedStage, SupervisorPolicy,
+    WatchEntry, Watchdog, MAX_BACKOFF,
 };

@@ -50,6 +50,18 @@ impl Default for DegradePolicy {
     }
 }
 
+/// Ceiling on any single supervision backoff sleep: exponential growth past
+/// this point only delays the inevitable give-up verdict.
+pub const MAX_BACKOFF: Duration = Duration::from_secs(30);
+
+/// Capped exponential backoff: `base * 2^attempt`, saturating, clamped to
+/// `cap`. Attempt 0 is the first retry. Shared by stage supervision
+/// (restart pacing) and the cluster control plane (re-forward retry
+/// pacing), so both layers degrade on the same curve.
+pub fn backoff_delay(base: Duration, attempt: u32, cap: Duration) -> Duration {
+    base.saturating_mul(2u32.saturating_pow(attempt)).min(cap)
+}
+
 /// Restart policy for a supervised stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SupervisorPolicy {
@@ -175,7 +187,7 @@ where
                                 restarts,
                             };
                         }
-                        let backoff = policy.backoff.saturating_mul(2u32.saturating_pow(restarts));
+                        let backoff = backoff_delay(policy.backoff, restarts, MAX_BACKOFF);
                         restarts += 1;
                         tel.restarts.inc();
                         tel.backoff_ms.add(backoff.as_millis() as u64);
@@ -250,6 +262,18 @@ mod tests {
     use crate::queue::FeedbackQueue;
     use crate::rt::spawn_filter_stage;
     use std::sync::Mutex;
+
+    #[test]
+    fn backoff_doubles_then_saturates_at_the_cap() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(100);
+        assert_eq!(backoff_delay(base, 0, cap), Duration::from_millis(10));
+        assert_eq!(backoff_delay(base, 1, cap), Duration::from_millis(20));
+        assert_eq!(backoff_delay(base, 3, cap), Duration::from_millis(80));
+        assert_eq!(backoff_delay(base, 4, cap), cap);
+        // overflow-proof at absurd attempt counts
+        assert_eq!(backoff_delay(base, u32::MAX, cap), cap);
+    }
 
     #[test]
     fn supervised_stage_completes_without_restarts_when_healthy() {

@@ -17,8 +17,8 @@
 use ffs_va::core::accuracy::cascade_pass;
 use ffs_va::core::report::digest_table;
 use ffs_va::core::{
-    evaluate_accuracy, find_max_online_streams, max_streams_by_threads, threads_for_streams,
-    AccuracyReport, DEFAULT_THREAD_BUDGET,
+    evaluate_accuracy, find_max_cluster_streams, find_max_online_streams, max_streams_by_threads,
+    threads_for_streams, AccuracyReport, DEFAULT_THREAD_BUDGET,
 };
 use ffs_va::models::reference::ReferenceModel;
 use ffs_va::models::sdd::SddFilter;
@@ -52,10 +52,20 @@ USAGE:
                  [--fault-plan <spec>] [--telemetry <out.json>]
                  [--source-faults <spec>] [--checkpoint-dir <dir>] [--resume]
                  [--stop-after N] [--snm-precision f32|int8]
+                 [--tyolo-precision f32|int8]
+                 [--instances N] [--epoch-frames N]
 
 Fault plans inject deterministic failures, keyed on frame seq, e.g.
   --fault-plan 'stream0.snm:panic@50,stream1.tyolo:stall@100+250ms'
 (grammar: stream<S>.<sdd|snm|tyolo|ref>:panic@N|stall@N+DURms|failpush@N).
+
+--instances N runs the cluster control plane: N resident engine instances
+under telemetry-driven admission, with streams re-forwarded across
+instances by riding their checkpoint files. Fault plans then also accept
+instance scope, e.g.
+  --fault-plan 'instance0:crash@150,instance1:slow@300+40ms'
+(grammar: instance<I>:crash@N|slow@N+DURms, mixable with stream faults).
+--epoch-frames sets the control-epoch granularity (default 150 frames).
 
 Source-fault plans make the ingest links unreliable, e.g.
   --source-faults 'stream0.src:disconnect@50+500ms,stream1.src:drop@10..13'
@@ -66,17 +76,21 @@ from them; --stop-after N truncates each stream's input to simulate a kill.
                  [--filter-gpus N] [--ref-gpus N] [--max-streams N]
                  [--tor F] [--seed N] [--target <class>] [--fast]
                  [--pooled] [--pool-workers N] [--thread-budget N]
+                 [--instances N]
 
 --pooled adds the sharded stage-pool thread ceiling (DESIGN.md §11): how
 many streams fit the thread budget with pooled SDD/SNM workers vs. one
-thread per stream per stage.
+thread per stream per stage. --instances N plans a whole fleet: the largest
+stream count N instances sustain with re-forwarding allowed to spread load.
   ffsva bench    [--out <BENCH.json>] [--streams N] [--frames N]
                  [--train-frames N] [--tor F] [--seed N] [--full] [--fit-cost]
-                 [--snm-precision f32|int8]
+                 [--snm-precision f32|int8] [--tyolo-precision f32|int8]
 
 --snm-precision int8 runs SNM inference through the quantized int8 lowering
 (DESIGN.md §12) in simulate/capacity traces and in both bench engine legs;
 bench always reports the int8-vs-f32 scene-miss delta either way.
+--tyolo-precision int8 routes the shared T-YOLO through its quantized
+counting path the same way, independently of the SNM knob.
 
 Object classes: car, bus, truck, person, dog, cat, bicycle.
 ";
@@ -195,7 +209,7 @@ fn parse_precision(s: &str) -> Result<Precision, String> {
     match s {
         "f32" => Ok(Precision::F32),
         "int8" => Ok(Precision::Int8),
-        other => Err(format!("invalid --snm-precision '{}' (f32|int8)", other)),
+        other => Err(format!("invalid precision '{}' (f32|int8)", other)),
     }
 }
 
@@ -599,6 +613,9 @@ fn system_config(args: &mut Args) -> Result<FfsVaConfig, String> {
     if let Some(p) = args.opt("snm-precision")? {
         sys.snm_precision = parse_precision(&p)?;
     }
+    if let Some(p) = args.opt("tyolo-precision")? {
+        sys.tyolo_precision = parse_precision(&p)?;
+    }
     Ok(sys)
 }
 
@@ -606,6 +623,7 @@ fn prepare_pool(
     args: &mut Args,
     default_frames: usize,
     precision: Precision,
+    tyolo_precision: Precision,
 ) -> Result<(PreparedStream, u32), String> {
     let cfg = workload_config(args)?;
     let frames: usize = args.parsed("frames", default_frames)?;
@@ -623,6 +641,7 @@ fn prepare_pool(
             eval_frames: frames.max(1),
             bank: bank_options(fast),
             snm_precision: precision,
+            tyolo_precision,
         },
     );
     println!(
@@ -638,14 +657,28 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
     let want_baseline = args.flag("baseline");
     let json_path = args.opt("json")?.map(PathBuf::from);
     let telemetry_path = args.opt("telemetry")?.map(PathBuf::from);
-    let fault_plan = match args.opt("fault-plan")? {
-        Some(spec) => {
-            let plan = FaultPlan::parse(&spec).map_err(|e| format!("invalid --fault-plan: {e}"))?;
+    let fault_spec = args.opt("fault-plan")?;
+    let instances: usize = args.parsed("instances", 0)?;
+    let epoch_frames: u64 = args.parsed("epoch-frames", 150)?;
+    if instances == 0 {
+        if let Some(spec) = &fault_spec {
+            if spec.contains("instance") {
+                return Err(
+                    "--fault-plan names instance-scoped faults; pass --instances N to run \
+                     the cluster control plane"
+                        .into(),
+                );
+            }
+        }
+    }
+    let fault_plan = match (&fault_spec, instances) {
+        (Some(spec), 0) => {
+            let plan = FaultPlan::parse(spec).map_err(|e| format!("invalid --fault-plan: {e}"))?;
             plan.validate()
                 .map_err(|e| format!("invalid --fault-plan: {e}"))?;
             Some(plan)
         }
-        None => None,
+        _ => None,
     };
     let source_plan = match args.opt("source-faults")? {
         Some(spec) => {
@@ -671,7 +704,7 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
         return Err("--streams must be positive".into());
     }
     let ckpt_interval = sys.checkpoint_interval_frames;
-    let (ps, fps) = prepare_pool(args, 900, sys.snm_precision)?;
+    let (ps, fps) = prepare_pool(args, 900, sys.snm_precision, sys.tyolo_precision)?;
 
     let mut inputs = tile_inputs(&[ps], streams, &sys);
     // Simulate a kill: the run drains cleanly after the first N frames, so
@@ -681,6 +714,109 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
             input.traces.truncate(stop_after);
         }
     }
+    if instances > 0 {
+        if !matches!(mode, Mode::Online) {
+            return Err("--instances runs the online cluster control plane; drop --mode".into());
+        }
+        if want_baseline || source_plan.is_some() || resume || stop_after != usize::MAX {
+            return Err(
+                "--instances is incompatible with --baseline/--source-faults/--resume/--stop-after"
+                    .into(),
+            );
+        }
+        let cluster_plan = match &fault_spec {
+            Some(spec) => {
+                let plan = ClusterFaultPlan::parse(spec)
+                    .map_err(|e| format!("invalid --fault-plan: {e}"))?;
+                plan.validate()
+                    .map_err(|e| format!("invalid --fault-plan: {e}"))?;
+                Some(plan)
+            }
+            None => None,
+        };
+        let root = checkpoint_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("ffsva_cluster_{}", std::process::id()))
+        });
+        let cfg = ClusterConfig::new(instances, &root).with_epoch_frames(epoch_frames);
+        let mut cluster = Cluster::new(sys, cfg);
+        if let Some(plan) = &cluster_plan {
+            cluster = cluster.with_fault_plan(plan);
+        }
+        let report = cluster
+            .run(inputs)
+            .map_err(|e| format!("cluster run failed: {e}"))?;
+
+        println!(
+            "cluster: {} instance(s) x {} stream(s) over {} control epoch(s) \
+             ({} frames/stream/epoch)",
+            instances,
+            report.outcomes.len(),
+            report.epochs,
+            epoch_frames
+        );
+        println!(
+            "  outcomes: {} completed, {} rejected; instances crashed {}; \
+             final liveness {:?}, loads {:?}",
+            report.completed(),
+            report.rejected(),
+            report.telemetry.counter("cluster.instances_crashed"),
+            report.alive,
+            report.final_loads
+        );
+        println!(
+            "  re-forwards {} (recovered from dead instances {}, retries {}, given up {}); \
+             mean hand-over {:.3} ms",
+            report.reforwards(),
+            report.telemetry.counter("cluster.recoveries"),
+            report.telemetry.counter("cluster.reforward_retries"),
+            report.telemetry.counter("cluster.reforward_given_up"),
+            report.reforward_latency_ms()
+        );
+        for (s, outcome) in report.outcomes.iter().enumerate() {
+            match outcome {
+                StreamOutcome::Completed {
+                    instance,
+                    reforwards,
+                    survivors,
+                } => println!(
+                    "  stream {s}: completed on instance {instance} \
+                     ({reforwards} re-forward(s), {} surviving frame(s))",
+                    survivors.len()
+                ),
+                StreamOutcome::Rejected {
+                    reforwards,
+                    retries,
+                } => println!(
+                    "  stream {s}: REJECTED after {reforwards} re-forward(s), \
+                     {retries} failed placement(s)"
+                ),
+                StreamOutcome::Unfinished {
+                    instance,
+                    cursor,
+                    reforwards,
+                } => println!(
+                    "  stream {s}: unfinished at frame {cursor} \
+                     (instance {instance:?}, {reforwards} re-forward(s))"
+                ),
+            }
+        }
+        if let Some(path) = json_path {
+            let json = serde_json::to_string_pretty(&report)
+                .map_err(|e| format!("serialize result: {}", e))?;
+            std::fs::write(&path, json)
+                .map_err(|e| format!("cannot write {}: {}", path.display(), e))?;
+            println!("result written to {}", path.display());
+        }
+        if let Some(path) = telemetry_path {
+            let json = serde_json::to_string_pretty(&report.telemetry)
+                .map_err(|e| format!("serialize telemetry: {}", e))?;
+            std::fs::write(&path, json)
+                .map_err(|e| format!("cannot write telemetry {}: {}", path.display(), e))?;
+            println!("telemetry written to {}", path.display());
+        }
+        return Ok(());
+    }
+
     let frames_per_stream = inputs[0].traces.len();
     let mut engine = Engine::new(sys, mode, inputs);
     if let Some(plan) = &fault_plan {
@@ -787,11 +923,12 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
 
 fn cmd_capacity(args: &mut Args) -> Result<(), String> {
     let max_streams: usize = args.parsed("max-streams", 64)?;
+    let instances: usize = args.parsed("instances", 1)?;
     let pooled = args.flag("pooled");
     let pool_workers: usize = args.parsed("pool-workers", 8)?;
     let thread_budget: usize = args.parsed("thread-budget", DEFAULT_THREAD_BUDGET)?;
     let sys = system_config(args)?;
-    let (ps, fps) = prepare_pool(args, 900, sys.snm_precision)?;
+    let (ps, fps) = prepare_pool(args, 900, sys.snm_precision, sys.tyolo_precision)?;
     let frames_per_stream = ps.traces.len();
     let pool = [ps];
 
@@ -819,6 +956,27 @@ fn cmd_capacity(args: &mut Args) -> Result<(), String> {
         println!(
             "cascade sustains {:.1}x more streams",
             max as f64 / baseline_max as f64
+        );
+    }
+    if instances > 1 {
+        let fleet_max = find_max_cluster_streams(
+            &sys,
+            instances,
+            |n| tile_inputs(&pool, n, &sys),
+            max_streams,
+        );
+        println!();
+        println!(
+            "fleet of {} instances (re-forwarding allowed to spread load): \
+             {} live {}-FPS stream(s){}",
+            instances,
+            fleet_max,
+            fps,
+            if max > 0 {
+                format!(" — {:.1}x one instance", fleet_max as f64 / max as f64)
+            } else {
+                String::new()
+            }
         );
     }
     if pooled {
@@ -871,8 +1029,82 @@ struct BenchReport {
     kernel: KernelBench,
     stage: StageBench,
     accuracy: AccuracyBench,
+    cluster: ClusterBench,
     des: BenchSection,
     rt: BenchSection,
+}
+
+/// Cluster control-plane series (`cluster.*`): a deterministic two-instance
+/// fleet with an injected `instance0:crash` mid-run, measuring the
+/// checkpoint-riding re-forward hand-over latency, plus the fleet planner's
+/// stream ceiling. Structural except for the hand-over latency, which is a
+/// real file-migration wall-time measurement.
+#[derive(Serialize)]
+struct ClusterBench {
+    /// Fleet size both series are reported at.
+    instances: usize,
+    /// Largest stream count the fleet sustains in real time (planner).
+    streams_sustained: f64,
+    /// Mean checkpoint hand-over latency across re-forwards (ms).
+    reforward_latency_ms: f64,
+    /// Successful re-forwards in the crash scenario.
+    reforwards: f64,
+    /// Streams that completed despite the crash (all offered must).
+    streams_completed: f64,
+}
+
+/// Fleet size the `cluster.*` series are reported at.
+const BENCH_CLUSTER_INSTANCES: usize = 2;
+/// Streams offered in the bench crash scenario.
+const BENCH_CLUSTER_STREAMS: usize = 2;
+
+/// Run the bench traces through a two-instance cluster that loses instance 0
+/// mid-run: every stream must complete by riding its checkpoint onto the
+/// survivor, and the hand-over latency lands in `cluster.reforward_latency_ms`.
+fn bench_cluster(
+    sys: &FfsVaConfig,
+    traces: &[FrameTrace],
+    th: StreamThresholds,
+) -> Result<ClusterBench, String> {
+    let input = StreamInput {
+        traces: traces.to_vec(),
+        thresholds: th,
+    };
+    let offers: Vec<StreamInput> = (0..BENCH_CLUSTER_STREAMS).map(|_| input.clone()).collect();
+    // three epochs per trace; the crash lands after one full epoch, so the
+    // dead instance's streams have checkpoints to ride
+    let epoch = (traces.len() as u64 / 3).max(1);
+    let crash = traces.len() as u64 / 2;
+    let plan = ClusterFaultPlan::parse(&format!("instance0:crash@{crash}"))
+        .map_err(|e| format!("cluster bench fault plan: {e}"))?;
+    let root = std::env::temp_dir().join(format!("ffsva_bench_cluster_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cfg = ClusterConfig::new(BENCH_CLUSTER_INSTANCES, &root).with_epoch_frames(epoch);
+    let report = Cluster::new(*sys, cfg)
+        .with_fault_plan(&plan)
+        .run(offers)
+        .map_err(|e| format!("cluster bench run: {e}"))?;
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Planner leg on a trace prefix: keeps the doubling search cheap on
+    // --full workloads while still pricing the real cascade costs.
+    let probe = StreamInput {
+        traces: traces[..traces.len().min(300)].to_vec(),
+        thresholds: th,
+    };
+    let sustained = find_max_cluster_streams(
+        sys,
+        BENCH_CLUSTER_INSTANCES,
+        |n| (0..n).map(|_| probe.clone()).collect(),
+        16,
+    );
+    Ok(ClusterBench {
+        instances: BENCH_CLUSTER_INSTANCES,
+        streams_sustained: sustained as f64,
+        reforward_latency_ms: report.reforward_latency_ms(),
+        reforwards: report.reforwards() as f64,
+        streams_completed: report.completed() as f64,
+    })
 }
 
 /// int8-vs-f32 cascade accuracy (`accuracy.*`): what the quantized SNM path
@@ -1120,6 +1352,10 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
         Some(p) => parse_precision(&p)?,
         None => Precision::F32,
     };
+    let tyolo_precision = match args.opt("tyolo-precision")? {
+        Some(p) => parse_precision(&p)?,
+        None => Precision::F32,
+    };
     let streams: usize = args.parsed("streams", 4)?;
     let frames: usize = args.parsed("frames", if full { 2000 } else { 600 })?;
     let train_frames: usize = args.parsed("train-frames", if full { 2200 } else { 900 })?;
@@ -1138,7 +1374,9 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
     };
     let workload_name = cfg.name.clone();
     let target = cfg.target;
-    let mut sys = FfsVaConfig::default().with_snm_precision(precision);
+    let mut sys = FfsVaConfig::default()
+        .with_snm_precision(precision)
+        .with_tyolo_precision(tyolo_precision);
     println!(
         "bench: workload '{}' (train {} frames, bench {} frames; {} DES stream(s) + 1 RT stream)",
         workload_name, train_frames, frames, streams
@@ -1226,6 +1464,19 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
         Precision::F32 => &traces,
         Precision::Int8 => &traces_int8,
     };
+
+    let cluster = bench_cluster(&sys, engine_traces, th)?;
+    println!(
+        "cluster: {} instance(s) sustain {:.0} stream(s); crash scenario: \
+         {:.0}/{} streams completed via {:.0} re-forward(s), hand-over {:.3} ms",
+        cluster.instances,
+        cluster.streams_sustained,
+        cluster.streams_completed,
+        BENCH_CLUSTER_STREAMS,
+        cluster.reforwards,
+        cluster.reforward_latency_ms
+    );
+
     let inputs: Vec<StreamInput> = (0..streams)
         .map(|_| StreamInput {
             traces: engine_traces.clone(),
@@ -1253,6 +1504,7 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
             pool: pool_stage,
         },
         accuracy,
+        cluster,
         des: BenchSection {
             engine: "des",
             streams,

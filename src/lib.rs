@@ -57,14 +57,16 @@ pub mod prelude {
     pub use ffsva_core::{
         evaluate_accuracy, prepare_stream, prepare_stream_cached, run_baseline,
         run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, run_multi_pipeline_rt_robust,
-        run_pipeline_rt, tile_inputs, CheckpointSpec, Engine, FfsVaConfig, Mode, MultiRtResult,
-        Precision, PrepareOptions, PreparedStream, RtResult, SimResult, StreamCheckpoint,
-        StreamHealth, StreamInput, StreamThresholds, SurvivingFrame,
+        run_pipeline_rt, tile_inputs, CheckpointSpec, Cluster, ClusterConfig, ClusterReport,
+        Engine, FfsVaConfig, Mode, MultiRtResult, Precision, PrepareOptions, PreparedStream,
+        RtResult, SimResult, StreamCheckpoint, StreamHealth, StreamInput, StreamOutcome,
+        StreamThresholds, SurvivingFrame,
     };
     pub use ffsva_models::bank::{BankOptions, FilterBank, FrameTrace};
     pub use ffsva_models::snm::SnmModel;
     pub use ffsva_sched::{
-        BatchPolicy, DegradePolicy, FaultPlan, FaultStage, StageFailure, StageFault,
+        BatchPolicy, ClusterFaultPlan, DegradePolicy, FaultPlan, FaultStage, InstanceFault,
+        StageFailure, StageFault,
     };
     pub use ffsva_telemetry::{PipelineDigest, Telemetry, TelemetrySnapshot};
     pub use ffsva_video::prelude::*;

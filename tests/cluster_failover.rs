@@ -1,0 +1,163 @@
+//! Cluster failover battery (DESIGN.md §13): the control plane must recover
+//! a crashed instance's streams on the survivors with **bit-identical**
+//! survivor sets — the checkpoint-riding re-forward changes where a stream
+//! runs, never what it reports — and must degrade to bounded rejection
+//! (never a hang) when no instance can take the work.
+
+use ffs_va::core::{Engine, FfsVaConfig, Mode, StreamInput, StreamThresholds};
+use ffs_va::prelude::{
+    Cluster, ClusterConfig, ClusterFaultPlan, ClusterReport, FrameTrace, StreamOutcome,
+};
+use std::path::PathBuf;
+
+/// Synthetic decision trace: every `target_every`-th frame is a target.
+fn synthetic_input(n: usize, target_every: usize) -> StreamInput {
+    let traces = (0..n)
+        .map(|i| {
+            let target = target_every > 0 && i % target_every == 0;
+            FrameTrace {
+                seq: i as u64,
+                pts_ms: (i as u64) * 33,
+                sdd_distance: if target { 0.01 } else { 0.0001 },
+                snm_prob: if target { 0.9 } else { 0.05 },
+                tyolo_count: u16::from(target),
+                reference_count: u16::from(target),
+                truth_count: u16::from(target),
+                truth_complete: u16::from(target),
+            }
+        })
+        .collect();
+    StreamInput {
+        traces,
+        thresholds: StreamThresholds {
+            delta_diff: 0.001,
+            t_pre: 0.5,
+            number_of_objects: 1,
+        },
+    }
+}
+
+fn tmp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ffsva_failover_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_cluster(
+    name: &str,
+    instances: usize,
+    offers: Vec<StreamInput>,
+    plan: Option<&ClusterFaultPlan>,
+) -> ClusterReport {
+    let root = tmp_root(name);
+    let cfg = ClusterConfig::new(instances, &root).with_epoch_frames(100);
+    let mut cluster = Cluster::new(FfsVaConfig::default(), cfg);
+    if let Some(p) = plan {
+        cluster = cluster.with_fault_plan(p);
+    }
+    let report = cluster.run(offers).expect("cluster run");
+    let _ = std::fs::remove_dir_all(&root);
+    report
+}
+
+/// THE acceptance invariant: `instance0:crash@N` on a 3-instance fleet
+/// re-forwards the dead instance's streams onto the survivors, and every
+/// stream's survivor set is bit-identical to (a) the same fleet run without
+/// the fault and (b) a monolithic unmigrated engine run.
+#[test]
+fn crashed_instance_streams_recover_bit_identical() {
+    let sys = FfsVaConfig::default();
+    let inputs: Vec<StreamInput> = (0..6).map(|_| synthetic_input(300, 8)).collect();
+
+    // reference 1: one engine, no cluster, no faults
+    let monolithic = Engine::new(sys, Mode::Online, inputs.clone())
+        .run()
+        .per_stream_survivors;
+    // reference 2: the same fleet with nothing injected
+    let healthy = run_cluster("healthy", 3, inputs.clone(), None);
+    // the measured run: instance 0 dies at the epoch covering frame 200,
+    // after its streams checkpointed two full epochs
+    let plan = ClusterFaultPlan::parse("instance0:crash@200").expect("plan");
+    let crashed = run_cluster("crash", 3, inputs, Some(&plan));
+
+    assert_eq!(
+        healthy.completed(),
+        6,
+        "healthy fleet: {:?}",
+        healthy.outcomes
+    );
+    assert_eq!(
+        crashed.completed(),
+        6,
+        "crashed fleet: {:?}",
+        crashed.outcomes
+    );
+    for s in 0..6 {
+        let expected = &monolithic[s];
+        assert!(!expected.is_empty(), "workload must produce survivors");
+        assert_eq!(
+            healthy.survivors(s).unwrap(),
+            expected.as_slice(),
+            "stream {s}: healthy fleet drifted from the monolithic run"
+        );
+        assert_eq!(
+            crashed.survivors(s).unwrap(),
+            expected.as_slice(),
+            "stream {s}: migrated survivors are not bit-identical"
+        );
+    }
+
+    // the fault actually fired and the recovery actually rode checkpoints
+    assert_eq!(crashed.alive, vec![false, true, true]);
+    assert_eq!(crashed.telemetry.counter("cluster.instances_crashed"), 1);
+    assert_eq!(crashed.telemetry.counter("cluster.reforwards"), 2);
+    assert_eq!(crashed.telemetry.counter("cluster.recoveries"), 2);
+    assert_eq!(crashed.telemetry.counter("cluster.reforward_given_up"), 0);
+    assert!(crashed.reforward_latency_ms() >= 0.0);
+    // nothing re-forwards in a healthy fleet
+    assert_eq!(healthy.telemetry.counter("cluster.reforwards"), 0);
+    assert!(healthy.alive.iter().all(|&a| a));
+}
+
+/// When every instance is overloaded (a persistent slow-down on the whole
+/// fleet), shed streams find no placement target: each burns its bounded
+/// retry budget and is `Rejected` with accounting — the loop terminates far
+/// below the epoch cap instead of hanging or ping-ponging forever.
+#[test]
+fn all_overloaded_fleet_rejects_boundedly() {
+    // +60s per epoch dwarfs the 3s real-time slack: every epoch on every
+    // instance is non-realtime from frame 0 on
+    let plan =
+        ClusterFaultPlan::parse("instance0:slow@0+60000ms,instance1:slow@0+60000ms").expect("plan");
+    let offers: Vec<StreamInput> = (0..4).map(|_| synthetic_input(300, 8)).collect();
+
+    let root = tmp_root("slowfleet");
+    let cfg = ClusterConfig::new(2, &root)
+        .with_epoch_frames(100)
+        .with_max_epochs(100);
+    let report = Cluster::new(FfsVaConfig::default(), cfg)
+        .with_fault_plan(&plan)
+        .run(offers)
+        .expect("cluster run");
+    let _ = std::fs::remove_dir_all(&root);
+
+    assert_eq!(report.completed(), 0, "outcomes: {:?}", report.outcomes);
+    assert_eq!(report.rejected(), 4, "outcomes: {:?}", report.outcomes);
+    for outcome in &report.outcomes {
+        match outcome {
+            StreamOutcome::Rejected { retries, .. } => {
+                assert!(
+                    (1..=4).contains(retries),
+                    "retry budget must be burned, not skipped or exceeded: {retries}"
+                );
+            }
+            other => panic!("expected bounded rejection, got {other:?}"),
+        }
+    }
+    assert_eq!(report.telemetry.counter("cluster.reforward_given_up"), 4);
+    assert!(
+        report.epochs < 50,
+        "bounded degradation must terminate early, ran {} epochs",
+        report.epochs
+    );
+}

@@ -47,12 +47,14 @@ use crate::checkpoint::{
     load_stream_checkpoint, migrate_stream_checkpoint, renumber_checkpoint,
     write_stream_checkpoint, CheckpointSpec,
 };
-use crate::config::FfsVaConfig;
-use crate::instance::{is_overloaded, AdmissionController, Placement};
+use crate::config::{FfsVaConfig, StreamThresholds};
+use crate::instance::{balance_instances_from, is_overloaded, AdmissionController, Placement};
 use crate::rt_engine::SurvivingFrame;
 use crate::sim::{Engine, Mode, SimResult, StreamInput};
+use ffsva_models::FrameTrace;
 use ffsva_sched::{backoff_delay, ClusterFaultPlan, FaultPlan, StageFault, MAX_BACKOFF};
 use ffsva_telemetry::{Counter, Histogram, Telemetry, TelemetrySnapshot, LATENCY_BOUNDS_US};
+use ffsva_video::SourceFaultPlan;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
@@ -139,6 +141,9 @@ pub enum StreamOutcome {
         cursor: u64,
         reforwards: u32,
     },
+    /// Dropped at runtime by the operator ([`ClusterSession::remove`])
+    /// before its trace finished.
+    Dropped { cursor: u64, reforwards: u32 },
 }
 
 /// Result of a [`Cluster::run`].
@@ -180,6 +185,14 @@ impl ClusterReport {
             .count()
     }
 
+    /// Streams dropped at runtime by the operator.
+    pub fn dropped(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, StreamOutcome::Dropped { .. }))
+            .count()
+    }
+
     /// Total successful re-forwards across the run.
     pub fn reforwards(&self) -> u64 {
         self.telemetry.counter("cluster.reforwards")
@@ -212,6 +225,11 @@ struct StreamState {
     admitted: bool,
     done: bool,
     rejected: bool,
+    /// Dropped at runtime by the operator; its partial work stands.
+    removed: bool,
+    /// The source link was written off (`SourceLost`): the stream is
+    /// terminal with whatever survivors it produced before the loss.
+    source_lost: bool,
     survivors: Vec<SurvivingFrame>,
 }
 
@@ -233,6 +251,12 @@ pub struct Cluster {
     sys: FfsVaConfig,
     cfg: ClusterConfig,
     plan: ClusterFaultPlan,
+    /// Source-side fault plan, keyed by *global* stream id; remapped to
+    /// engine-local slots every epoch. Frame-keyed one-shots self-latch
+    /// across epochs: the engine fast-forwards each stream's injector to
+    /// its resume cursor, so a fault consumed by an earlier window never
+    /// re-fires.
+    source_plan: SourceFaultPlan,
     /// Cluster-side fired latches for one-shot stream faults, indexed by
     /// plan entry: an injected stall/failpush must not re-fire in every
     /// epoch that rebuilds fresh engine injectors.
@@ -258,6 +282,7 @@ impl Cluster {
             sys,
             cfg,
             plan: ClusterFaultPlan::new(),
+            source_plan: SourceFaultPlan::default(),
             fault_fired: Vec::new(),
             c_offers: c("cluster.offers"),
             c_admitted: c("cluster.admitted"),
@@ -291,6 +316,14 @@ impl Cluster {
         self
     }
 
+    /// Attach a source fault plan keyed by global stream id. Panics on
+    /// structurally invalid plans, mirroring [`Engine::with_source_plan`].
+    pub fn with_source_plan(mut self, plan: &SourceFaultPlan) -> Self {
+        plan.validate().expect("invalid source fault plan");
+        self.source_plan = plan.clone();
+        self
+    }
+
     /// Nominal wall seconds one epoch covers at the live frame rate.
     fn epoch_wall_s(&self) -> f64 {
         self.cfg.epoch_frames as f64 / self.sys.online_fps.max(1) as f64
@@ -309,11 +342,104 @@ impl Cluster {
     /// exhausted, riding checkpoints across any re-forward the control
     /// loop decides on. Deterministic modulo the wall-clock migration
     /// latencies recorded into `cluster.reforward_latency_us`.
-    pub fn run(mut self, offers: Vec<StreamInput>) -> io::Result<ClusterReport> {
-        let n_inst = self.cfg.instances;
-        let mut instances: Vec<InstanceState> = (0..n_inst)
+    ///
+    /// This is the batch entry point; the resident daemon drives the same
+    /// loop one epoch at a time through [`ClusterSession`].
+    pub fn run(self, offers: Vec<StreamInput>) -> io::Result<ClusterReport> {
+        let mut session = self.into_session()?;
+        for input in offers {
+            session.offer(input);
+        }
+        while session.step()? {}
+        Ok(session.into_report())
+    }
+
+    /// Open the fleet for incremental operation: streams can then be
+    /// offered, stepped epoch by epoch, and removed at runtime — the shape
+    /// `ffsva serve` drives.
+    pub fn into_session(self) -> io::Result<ClusterSession> {
+        ClusterSession::create(self)
+    }
+}
+
+/// On-disk schema version of [`SessionManifest`].
+pub const SESSION_SCHEMA_VERSION: u32 = 1;
+
+/// Everything a [`ClusterSession`] needs beyond its per-stream checkpoint
+/// files to resume exactly where it stopped: the epoch clock, the fleet's
+/// liveness/overload flags, per-stream control state, and the cluster-side
+/// fired latches for one-shot stream faults. Survivor sets are *not* here —
+/// they ride the per-stream checkpoint files in the instance directories.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionManifest {
+    pub schema_version: u32,
+    pub epoch: u64,
+    pub fault_fired: Vec<bool>,
+    pub instances: Vec<InstanceManifest>,
+    pub streams: Vec<StreamManifest>,
+}
+
+/// One instance's persisted control state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceManifest {
+    pub alive: bool,
+    pub overloaded: bool,
+    /// Global stream ids resident here, in engine-local order.
+    pub resident: Vec<usize>,
+}
+
+/// One stream's persisted control state (its resolved trace rides along so
+/// a resumed daemon needs no access to the original source).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamManifest {
+    pub traces: Vec<FrameTrace>,
+    pub thresholds: StreamThresholds,
+    pub cursor: u64,
+    pub home: Option<usize>,
+    pub ckpt_at: Option<usize>,
+    pub reforwards: u32,
+    pub retries: u32,
+    pub next_retry_epoch: u64,
+    pub admitted: bool,
+    pub done: bool,
+    pub rejected: bool,
+    pub removed: bool,
+    pub source_lost: bool,
+}
+
+/// Point-in-time view of one stream for the ops surface.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamStatus {
+    pub id: usize,
+    /// `running` | `pending` | `completed` | `rejected` | `dropped`.
+    pub state: String,
+    pub instance: Option<usize>,
+    pub cursor: u64,
+    pub total_frames: u64,
+    pub reforwards: u32,
+    pub retries: u32,
+    pub source_lost: bool,
+    pub survivors: usize,
+}
+
+/// A [`Cluster`] opened for incremental operation: offer streams at any
+/// point, advance the control loop one epoch at a time, drop streams at
+/// runtime, and export/restore the full control state for crash-safe
+/// drain/resume. [`Cluster::run`] is a thin batch wrapper over this.
+pub struct ClusterSession {
+    ctrl: Cluster,
+    instances: Vec<InstanceState>,
+    ctl: AdmissionController,
+    streams: Vec<StreamState>,
+    epoch: u64,
+}
+
+impl ClusterSession {
+    fn create(ctrl: Cluster) -> io::Result<Self> {
+        let n_inst = ctrl.cfg.instances;
+        let instances: Vec<InstanceState> = (0..n_inst)
             .map(|i| {
-                let dir = self.cfg.ckpt_root.join(format!("inst{i}"));
+                let dir = ctrl.cfg.ckpt_root.join(format!("inst{i}"));
                 fs::create_dir_all(&dir)?;
                 Ok(InstanceState {
                     dir,
@@ -323,209 +449,569 @@ impl Cluster {
                 })
             })
             .collect::<io::Result<_>>()?;
+        let ctl = AdmissionController::new(ctrl.sys, n_inst)
+            .with_measurement_max_age(ctrl.cfg.measurement_max_age_s);
+        Ok(ClusterSession {
+            ctrl,
+            instances,
+            ctl,
+            streams: Vec::new(),
+            epoch: 0,
+        })
+    }
 
-        let mut ctl = AdmissionController::new(self.sys, n_inst)
-            .with_measurement_max_age(self.cfg.measurement_max_age_s);
+    /// Offer one stream to the fleet. Offers do not retry — a rejected
+    /// camera is the operator's capacity signal. Returns the stream's
+    /// global id and where it landed.
+    pub fn offer(&mut self, input: StreamInput) -> (usize, Placement) {
+        let gid = self.streams.len();
+        self.ctrl.c_offers.inc();
+        let placement = self.ctl.try_admit(input.clone());
+        let home = match placement {
+            Placement::Admitted { instance } => {
+                self.ctrl.c_admitted.inc();
+                self.instances[instance].resident.push(gid);
+                Some(instance)
+            }
+            Placement::Rejected => {
+                self.ctrl.c_rejected_offers.inc();
+                None
+            }
+        };
+        self.streams.push(StreamState {
+            input,
+            cursor: 0,
+            home,
+            ckpt_at: None,
+            reforwards: 0,
+            retries: 0,
+            next_retry_epoch: 0,
+            admitted: home.is_some(),
+            done: false,
+            rejected: home.is_none(),
+            removed: false,
+            source_lost: false,
+            survivors: Vec::new(),
+        });
+        (gid, placement)
+    }
 
-        // Admission: offer every stream to the fleet once. Fresh offers do
-        // not retry — a rejected camera is the operator's capacity signal.
-        let mut streams: Vec<StreamState> = Vec::with_capacity(offers.len());
-        for (gid, input) in offers.into_iter().enumerate() {
-            self.c_offers.inc();
-            let placement = ctl.try_admit(input.clone());
-            let home = match placement {
-                Placement::Admitted { instance } => {
-                    self.c_admitted.inc();
-                    instances[instance].resident.push(gid);
-                    Some(instance)
+    /// Drop a stream at runtime. Its partial work stands (final outcome
+    /// [`StreamOutcome::Dropped`]); returns `false` if the id is unknown
+    /// or the stream already reached a terminal state.
+    pub fn remove(&mut self, gid: usize) -> bool {
+        let Some(st) = self.streams.get_mut(gid) else {
+            return false;
+        };
+        if st.done || st.rejected || st.removed {
+            return false;
+        }
+        st.removed = true;
+        if let Some(home) = st.home.take() {
+            self.instances[home].resident.retain(|&g| g != gid);
+        }
+        true
+    }
+
+    /// Whether any admitted stream still has work.
+    pub fn active(&self) -> bool {
+        self.streams
+            .iter()
+            .any(|s| s.admitted && !s.done && !s.rejected && !s.removed)
+    }
+
+    /// Control epochs executed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Streams ever offered (terminal ones included).
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The cluster-scope telemetry registry (`cluster.*` plus whatever the
+    /// embedding daemon registers on it).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.ctrl.telemetry
+    }
+
+    /// Seconds an operator should wait before re-offering after a
+    /// rejection — the placement backoff converted to wall time.
+    pub fn admission_retry_after_s(&self) -> u64 {
+        let epochs = self.ctrl.backoff_epochs(0);
+        (epochs as f64 * self.ctrl.epoch_wall_s()).ceil().max(1.0) as u64
+    }
+
+    /// Point-in-time status of one stream.
+    pub fn status(&self, gid: usize) -> Option<StreamStatus> {
+        let s = self.streams.get(gid)?;
+        let state = if s.removed {
+            "dropped"
+        } else if s.done {
+            "completed"
+        } else if s.rejected {
+            "rejected"
+        } else if s.home.is_some() {
+            "running"
+        } else {
+            "pending"
+        };
+        Some(StreamStatus {
+            id: gid,
+            state: state.to_string(),
+            instance: s.home.or(s.ckpt_at),
+            cursor: s.cursor,
+            total_frames: s.input.traces.len() as u64,
+            reforwards: s.reforwards,
+            retries: s.retries,
+            source_lost: s.source_lost,
+            survivors: s.survivors.len(),
+        })
+    }
+
+    /// Survivor set of one stream so far (cumulative, checkpoint-backed).
+    pub fn survivors_of(&self, gid: usize) -> Option<&[SurvivingFrame]> {
+        self.streams.get(gid).map(|s| s.survivors.as_slice())
+    }
+
+    /// Advance the control loop by one epoch. Returns `false` (and does
+    /// nothing) once no admitted stream has work left or the epoch cap is
+    /// reached — the batch loop's exact termination condition.
+    pub fn step(&mut self) -> io::Result<bool> {
+        if self.epoch >= self.ctrl.cfg.max_epochs || !self.active() {
+            return Ok(false);
+        }
+        let n_inst = self.ctrl.cfg.instances;
+        let epoch = self.epoch;
+        let epoch_end_frame = (epoch + 1) * self.ctrl.cfg.epoch_frames;
+
+        // 1. Instance faults. A crash covering this epoch kills the
+        // instance before the epoch runs; its on-disk checkpoints are
+        // all that survives.
+        for i in 0..n_inst {
+            if !self.instances[i].alive {
+                continue;
+            }
+            if let Some(f) = self.ctrl.plan.crash_frame(i) {
+                if f < epoch_end_frame {
+                    self.instances[i].alive = false;
+                    self.ctl.set_alive(i, false);
+                    self.ctrl.c_instances_crashed.inc();
+                    for gid in std::mem::take(&mut self.instances[i].resident) {
+                        let st = &mut self.streams[gid];
+                        st.home = None;
+                        // the snapshot to recover lives in the dead
+                        // instance's directory (written at the end of
+                        // its last completed epoch, if any ran)
+                        st.ckpt_at = Some(i);
+                        st.next_retry_epoch = epoch;
+                    }
                 }
-                Placement::Rejected => {
-                    self.c_rejected_offers.inc();
-                    None
-                }
-            };
-            streams.push(StreamState {
-                input,
-                cursor: 0,
-                home,
-                ckpt_at: None,
-                reforwards: 0,
-                retries: 0,
-                next_retry_epoch: 0,
-                admitted: home.is_some(),
-                done: false,
-                rejected: home.is_none(),
-                survivors: Vec::new(),
-            });
+            }
         }
 
-        let mut epoch = 0u64;
-        while epoch < self.cfg.max_epochs {
-            let active = streams.iter().any(|s| s.admitted && !s.done && !s.rejected);
-            if !active {
-                break;
-            }
-            let epoch_end_frame = (epoch + 1) * self.cfg.epoch_frames;
-
-            // 1. Instance faults. A crash covering this epoch kills the
-            // instance before the epoch runs; its on-disk checkpoints are
-            // all that survives.
-            for i in 0..n_inst {
-                if !instances[i].alive {
-                    continue;
-                }
-                if let Some(f) = self.plan.crash_frame(i) {
-                    if f < epoch_end_frame {
-                        instances[i].alive = false;
-                        ctl.set_alive(i, false);
-                        self.c_instances_crashed.inc();
-                        for gid in std::mem::take(&mut instances[i].resident) {
-                            let st = &mut streams[gid];
-                            st.home = None;
-                            // the snapshot to recover lives in the dead
-                            // instance's directory (written at the end of
-                            // its last completed epoch, if any ran)
-                            st.ckpt_at = Some(i);
-                            st.next_retry_epoch = epoch;
-                        }
-                    }
-                }
-            }
-
-            // 2. Re-sync the controller with each live instance's
-            // *remaining* work so placement probes price the future.
-            for (i, inst) in instances.iter().enumerate() {
-                if inst.alive {
-                    let remaining: Vec<StreamInput> = inst
-                        .resident
-                        .iter()
-                        .map(|&gid| remaining_input(&streams[gid]))
-                        .collect();
-                    ctl.set_streams(i, remaining);
-                }
-            }
-
-            // 3. Place pending streams (dead-instance recoveries and
-            // overload sheds), least-loaded live instances first.
-            let pending: Vec<usize> = (0..streams.len())
-                .filter(|&gid| {
-                    let s = &streams[gid];
-                    s.admitted
-                        && !s.done
-                        && !s.rejected
-                        && s.home.is_none()
-                        && s.next_retry_epoch <= epoch
-                })
-                .collect();
-            for gid in pending {
-                let remaining = remaining_input(&streams[gid]);
-                let mut order: Vec<usize> = (0..n_inst)
-                    .filter(|&i| instances[i].alive && !instances[i].overloaded)
-                    .collect();
-                order.sort_by_key(|&i| instances[i].resident.len());
-                let target = order.into_iter().find(|&i| ctl.can_place(i, &remaining));
-                match target {
-                    Some(to) => {
-                        let t0 = Instant::now();
-                        self.hand_over_checkpoint(&streams[gid], &instances, gid, to)?;
-                        self.h_reforward_latency
-                            .record(t0.elapsed().as_secs_f64() * 1e6);
-                        let st = &mut streams[gid];
-                        st.home = Some(to);
-                        st.ckpt_at = Some(to);
-                        st.reforwards += 1;
-                        self.c_reforwards.inc();
-                        instances[to].resident.push(gid);
-                        ctl.place(to, remaining);
-                        if st.reforwards > self.cfg.max_reforwards {
-                            // the stream keeps bouncing between instances;
-                            // stop chasing it rather than ping-pong to the
-                            // epoch cap
-                            self.give_up(&mut streams, &mut instances, gid);
-                        }
-                    }
-                    None => {
-                        let st = &mut streams[gid];
-                        st.retries += 1;
-                        self.c_reforward_retries.inc();
-                        if st.retries > self.cfg.max_reforward_retries {
-                            self.give_up(&mut streams, &mut instances, gid);
-                        } else {
-                            st.next_retry_epoch = epoch + self.backoff_epochs(st.retries - 1);
-                        }
-                    }
-                }
-            }
-
-            // 4. Run one epoch on every live instance with residents.
-            for i in 0..n_inst {
-                if !instances[i].alive || instances[i].resident.is_empty() {
-                    continue;
-                }
-                let result = self.run_instance_epoch(&mut streams, &mut instances[i], i)?;
-                let slow_penalty_us = match self.plan.slow_from(i) {
-                    Some((at, dur_us)) if at < epoch_end_frame => dur_us as f64,
-                    _ => 0.0,
-                };
-                let eff_makespan_us = result.makespan_us + slow_penalty_us;
-
-                // live admission signal: this epoch's T-YOLO rate over the
-                // *effective* wall (stage_executed counts only this
-                // segment; resumed counters would double-count history)
-                let wall_s = (eff_makespan_us / 1e6).max(1e-9);
-                let probe = Telemetry::new();
-                probe
-                    .counter("stream0.tyolo.frames_in")
-                    .add(result.stage_executed[2]);
-                ctl.observe_telemetry(i, &probe.snapshot(), wall_s);
-
-                let mut eff = result.clone();
-                eff.makespan_us = eff_makespan_us;
-                let overloaded = is_overloaded(&eff, &self.sys);
-                instances[i].overloaded = overloaded;
-
-                // retire completed streams
-                let finished: Vec<usize> = instances[i]
+        // 2. Re-sync the controller with each live instance's
+        // *remaining* work so placement probes price the future.
+        for i in 0..n_inst {
+            if self.instances[i].alive {
+                let remaining: Vec<StreamInput> = self.instances[i]
                     .resident
                     .iter()
-                    .copied()
-                    .filter(|&gid| streams[gid].cursor as usize >= streams[gid].input.traces.len())
+                    .map(|&gid| remaining_input(&self.streams[gid]))
                     .collect();
-                for gid in finished {
-                    let st = &mut streams[gid];
-                    st.done = true;
-                    st.home = None;
-                    instances[i].resident.retain(|&g| g != gid);
-                }
-
-                // shed the highest-backlog stream off an overloaded
-                // instance; it re-enters placement next epoch
-                if overloaded && !instances[i].resident.is_empty() {
-                    let worst_local = result
-                        .per_stream_max_backlog
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, &b)| b)
-                        .map(|(l, _)| l)
-                        .unwrap_or(0)
-                        .min(instances[i].resident.len() - 1);
-                    let gid = instances[i].resident.remove(worst_local);
-                    let st = &mut streams[gid];
-                    st.home = None;
-                    st.ckpt_at = Some(i);
-                    st.next_retry_epoch = epoch + 1;
-                }
+                self.ctl.set_streams(i, remaining);
             }
-
-            ctl.advance_clock(self.epoch_wall_s());
-            self.c_epochs.inc();
-            epoch += 1;
         }
 
-        let outcomes = streams
+        // 3. Place pending streams (dead-instance recoveries and
+        // overload sheds), least-loaded live instances first.
+        let pending: Vec<usize> = (0..self.streams.len())
+            .filter(|&gid| {
+                let s = &self.streams[gid];
+                s.admitted
+                    && !s.done
+                    && !s.rejected
+                    && !s.removed
+                    && s.home.is_none()
+                    && s.next_retry_epoch <= epoch
+            })
+            .collect();
+        for gid in pending {
+            let remaining = remaining_input(&self.streams[gid]);
+            let mut order: Vec<usize> = (0..n_inst)
+                .filter(|&i| self.instances[i].alive && !self.instances[i].overloaded)
+                .collect();
+            order.sort_by_key(|&i| self.instances[i].resident.len());
+            let target = order
+                .into_iter()
+                .find(|&i| self.ctl.can_place(i, &remaining));
+            match target {
+                Some(to) => {
+                    let t0 = Instant::now();
+                    self.hand_over_checkpoint(gid, to)?;
+                    self.ctrl
+                        .h_reforward_latency
+                        .record(t0.elapsed().as_secs_f64() * 1e6);
+                    let st = &mut self.streams[gid];
+                    st.home = Some(to);
+                    st.ckpt_at = Some(to);
+                    st.reforwards += 1;
+                    self.ctrl.c_reforwards.inc();
+                    self.instances[to].resident.push(gid);
+                    self.ctl.place(to, remaining);
+                    if self.streams[gid].reforwards > self.ctrl.cfg.max_reforwards {
+                        // the stream keeps bouncing between instances;
+                        // stop chasing it rather than ping-pong to the
+                        // epoch cap
+                        self.give_up(gid);
+                    }
+                }
+                None => {
+                    let st = &mut self.streams[gid];
+                    st.retries += 1;
+                    self.ctrl.c_reforward_retries.inc();
+                    if self.streams[gid].retries > self.ctrl.cfg.max_reforward_retries {
+                        self.give_up(gid);
+                    } else {
+                        let attempt = self.streams[gid].retries - 1;
+                        self.streams[gid].next_retry_epoch =
+                            epoch + self.ctrl.backoff_epochs(attempt);
+                    }
+                }
+            }
+        }
+
+        // 4. Run one epoch on every live instance with residents.
+        let mut epoch_results: Vec<Option<SimResult>> = (0..n_inst).map(|_| None).collect();
+        for i in 0..n_inst {
+            if !self.instances[i].alive || self.instances[i].resident.is_empty() {
+                continue;
+            }
+            let result = self.run_instance_epoch(i)?;
+            let slow_penalty_us = match self.ctrl.plan.slow_from(i) {
+                Some((at, dur_us)) if at < epoch_end_frame => dur_us as f64,
+                _ => 0.0,
+            };
+            let eff_makespan_us = result.makespan_us + slow_penalty_us;
+
+            // live admission signal: this epoch's T-YOLO rate over the
+            // *effective* wall (stage_executed counts only this
+            // segment; resumed counters would double-count history)
+            let wall_s = (eff_makespan_us / 1e6).max(1e-9);
+            let probe = Telemetry::new();
+            probe
+                .counter("stream0.tyolo.frames_in")
+                .add(result.stage_executed[2]);
+            self.ctl.observe_telemetry(i, &probe.snapshot(), wall_s);
+
+            let mut eff = result.clone();
+            eff.makespan_us = eff_makespan_us;
+            let overloaded = is_overloaded(&eff, &self.ctrl.sys);
+            self.instances[i].overloaded = overloaded;
+
+            // retire completed streams — a written-off source is terminal
+            // too: nothing more will ever come over that link
+            let finished: Vec<usize> = self.instances[i]
+                .resident
+                .iter()
+                .copied()
+                .filter(|&gid| {
+                    let st = &self.streams[gid];
+                    st.cursor as usize >= st.input.traces.len() || st.source_lost
+                })
+                .collect();
+            for gid in finished {
+                let st = &mut self.streams[gid];
+                st.done = true;
+                st.home = None;
+                self.instances[i].resident.retain(|&g| g != gid);
+            }
+            epoch_results[i] = Some(result);
+        }
+
+        // 5. Rebalance overloaded instances: the deterministic planner
+        // first, falling back to the legacy one-shed-per-epoch when the
+        // planner sees no structural imbalance.
+        self.rebalance(epoch, &epoch_results)?;
+
+        self.ctl.advance_clock(self.ctrl.epoch_wall_s());
+        self.ctrl.c_epochs.inc();
+        self.epoch += 1;
+        Ok(true)
+    }
+
+    /// Re-forward streams away from overloaded instances.
+    ///
+    /// The planner ([`plan_rebalance`], built on `balance_instances_from`)
+    /// simulates the live fleet's *remaining* work from the current
+    /// residency and proposes the full set of moves that restores
+    /// real-time service — possibly several in one epoch, §4.3.1's
+    /// "re-forwarded … immediately". Its simulation is fault-blind: when
+    /// an overload is injected (a `slow@` fault) rather than structural,
+    /// the planner proposes nothing and the loop degrades to the legacy
+    /// shed — one highest-backlog stream per overloaded instance into
+    /// pending placement — which keeps rejection bounded instead of
+    /// hanging.
+    fn rebalance(&mut self, epoch: u64, epoch_results: &[Option<SimResult>]) -> io::Result<()> {
+        let overloaded: Vec<usize> = (0..self.instances.len())
+            .filter(|&i| {
+                self.instances[i].alive
+                    && self.instances[i].overloaded
+                    && !self.instances[i].resident.is_empty()
+            })
+            .collect();
+        if overloaded.is_empty() {
+            return Ok(());
+        }
+
+        let live: Vec<usize> = (0..self.instances.len())
+            .filter(|&i| self.instances[i].alive)
+            .collect();
+        let mut gids: Vec<usize> = Vec::new();
+        let mut initial: Vec<usize> = Vec::new();
+        for (compact, &i) in live.iter().enumerate() {
+            for &gid in &self.instances[i].resident {
+                gids.push(gid);
+                initial.push(compact);
+            }
+        }
+        let mut moves: Vec<(usize, usize)> = Vec::new();
+        if live.len() > 1 && !gids.is_empty() {
+            let remaining: Vec<StreamInput> = gids
+                .iter()
+                .map(|&gid| remaining_input(&self.streams[gid]))
+                .collect();
+            let rounds = gids.len().min(8) + 2;
+            moves = plan_rebalance(&self.ctrl.sys, &remaining, live.len(), &initial, rounds);
+        }
+
+        if moves.is_empty() {
+            for i in overloaded {
+                let Some(result) = &epoch_results[i] else {
+                    continue;
+                };
+                if self.instances[i].resident.is_empty() {
+                    continue;
+                }
+                let worst_local = result
+                    .per_stream_max_backlog
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &b)| b)
+                    .map(|(l, _)| l)
+                    .unwrap_or(0)
+                    .min(self.instances[i].resident.len() - 1);
+                let gid = self.instances[i].resident.remove(worst_local);
+                let st = &mut self.streams[gid];
+                st.home = None;
+                st.ckpt_at = Some(i);
+                st.next_retry_epoch = epoch + 1;
+            }
+            return Ok(());
+        }
+
+        for (k, to_compact) in moves {
+            let gid = gids[k];
+            let (from, to) = (live[initial[k]], live[to_compact]);
+            let s = &self.streams[gid];
+            if s.done || s.rejected || s.removed || s.home != Some(from) {
+                continue;
+            }
+            let t0 = Instant::now();
+            self.hand_over_checkpoint(gid, to)?;
+            self.ctrl
+                .h_reforward_latency
+                .record(t0.elapsed().as_secs_f64() * 1e6);
+            self.instances[from].resident.retain(|&g| g != gid);
+            self.instances[to].resident.push(gid);
+            let st = &mut self.streams[gid];
+            st.home = Some(to);
+            st.ckpt_at = Some(to);
+            st.reforwards += 1;
+            self.ctrl.c_reforwards.inc();
+            if self.streams[gid].reforwards > self.ctrl.cfg.max_reforwards {
+                self.give_up(gid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Move `gid`'s checkpoint file (if one exists yet) into `to`'s
+    /// directory — the atomic hand-over half of a re-forward. A stream
+    /// that never completed an epoch has no file and simply starts fresh
+    /// at the target.
+    fn hand_over_checkpoint(&self, gid: usize, to: usize) -> io::Result<()> {
+        let Some(from) = self.streams[gid].ckpt_at else {
+            return Ok(());
+        };
+        if from == to {
+            return Ok(());
+        }
+        match migrate_stream_checkpoint(
+            &self.instances[from].dir,
+            gid,
+            &self.instances[to].dir,
+            gid,
+        ) {
+            Ok(_) => {
+                if !self.instances[from].alive {
+                    self.ctrl.c_recoveries.inc();
+                }
+                Ok(())
+            }
+            // no file yet: the stream never finished an epoch there, so
+            // there is nothing to ride — it starts fresh at the target
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn give_up(&mut self, gid: usize) {
+        if let Some(home) = self.streams[gid].home.take() {
+            self.instances[home].resident.retain(|&g| g != gid);
+        }
+        self.streams[gid].rejected = true;
+        self.ctrl.c_reforward_given_up.inc();
+    }
+
+    /// One epoch of one instance: stage engine-local checkpoints, run the
+    /// DES over each resident stream's next trace window, and fold the
+    /// results back into global state.
+    fn run_instance_epoch(&mut self, i: usize) -> io::Result<SimResult> {
+        let dir = self.instances[i].dir.clone();
+        let resident = self.instances[i].resident.clone();
+        let run_dir = dir.join("epoch");
+        let _ = fs::remove_dir_all(&run_dir);
+        fs::create_dir_all(&run_dir)?;
+
+        // Stage: global-id-keyed snapshots become engine-local slots. A
+        // scratch subdirectory keeps them from colliding with quiesced
+        // streams' files parked in the instance directory.
+        for (local, &gid) in resident.iter().enumerate() {
+            if let Some(ck) = load_stream_checkpoint(&dir, gid)? {
+                write_stream_checkpoint(&run_dir, &renumber_checkpoint(&ck, local))?;
+            }
+        }
+
+        let inputs: Vec<StreamInput> = resident
+            .iter()
+            .map(|&gid| {
+                let st = &self.streams[gid];
+                let end =
+                    (st.cursor + self.ctrl.cfg.epoch_frames).min(st.input.traces.len() as u64);
+                StreamInput {
+                    traces: st.input.traces[..end as usize].to_vec(),
+                    thresholds: st.input.thresholds,
+                }
+            })
+            .collect();
+
+        let plan = self.epoch_fault_plan(&resident);
+        let splan = self.epoch_source_plan(&resident);
+        let mut engine = Engine::new(self.ctrl.sys, Mode::Online, inputs)
+            .with_checkpoint(CheckpointSpec::new(&run_dir, u64::MAX, true));
+        if !plan.is_empty() {
+            engine = engine.with_fault_plan(&plan);
+        }
+        if !splan.is_empty() {
+            engine = engine.with_source_plan(&splan);
+        }
+        let result = engine.run();
+
+        // Fold back: local slots return to global-id keys, stream cursors
+        // and cumulative survivor sets follow their checkpoints.
+        for (local, &gid) in resident.iter().enumerate() {
+            let ck = load_stream_checkpoint(&run_dir, local)?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("instance {i} epoch left no checkpoint for local stream {local}"),
+                )
+            })?;
+            let st = &mut self.streams[gid];
+            st.cursor = ck.cursor;
+            st.survivors = ck.survivors.clone();
+            st.source_lost = st.source_lost || ck.source_lost;
+            write_stream_checkpoint(&dir, &renumber_checkpoint(&ck, gid))?;
+        }
+        let _ = fs::remove_dir_all(&run_dir);
+
+        // Latch one-shot stream faults whose frame window this epoch
+        // consumed: fresh engine injectors must not re-fire them.
+        for (idx, e) in self.ctrl.plan.stream_plan().entries().iter().enumerate() {
+            if self.ctrl.fault_fired.get(idx).copied().unwrap_or(true) {
+                continue;
+            }
+            if !resident.contains(&e.stream) {
+                continue;
+            }
+            let fired_at = match e.fault {
+                StageFault::StallFor { at_frame, .. } => Some(at_frame),
+                StageFault::FailNextPush { at_frame } => Some(at_frame),
+                StageFault::PanicAtFrame(_) => None, // persistent by design
+            };
+            if let Some(at) = fired_at {
+                if self.streams[e.stream].cursor > at {
+                    self.ctrl.fault_fired[idx] = true;
+                }
+            }
+        }
+
+        Ok(result)
+    }
+
+    /// The engine-local fault plan for one epoch: stream entries are keyed
+    /// by *global* stream id in the cluster grammar and remapped to the
+    /// instance's local slots here, dropping one-shots that already fired
+    /// in an earlier epoch.
+    fn epoch_fault_plan(&self, resident: &[usize]) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for (idx, e) in self.ctrl.plan.stream_plan().entries().iter().enumerate() {
+            let Some(local) = resident.iter().position(|&g| g == e.stream) else {
+                continue;
+            };
+            if self.ctrl.fault_fired.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            // skip one-shots aimed beyond this epoch's window — harmless
+            // to include, but pruning keeps injector state minimal
+            let window_end = self.streams[e.stream].cursor + self.ctrl.cfg.epoch_frames;
+            let relevant = match e.fault {
+                StageFault::PanicAtFrame(n) => n < window_end,
+                StageFault::StallFor { at_frame, .. } => at_frame < window_end,
+                StageFault::FailNextPush { at_frame } => at_frame < window_end,
+            };
+            if relevant {
+                plan = plan.with(local, e.stage, e.fault);
+            }
+        }
+        plan
+    }
+
+    /// The engine-local source plan for one epoch: global stream ids
+    /// remapped to the instance's local slots. Frame-keyed one-shots below
+    /// a stream's resume cursor are fast-forwarded by the engine itself.
+    fn epoch_source_plan(&self, resident: &[usize]) -> SourceFaultPlan {
+        let mut plan = SourceFaultPlan::new();
+        for e in self.ctrl.source_plan.entries() {
+            if let Some(local) = resident.iter().position(|&g| g == e.stream) {
+                plan = plan.with(local, e.fault);
+            }
+        }
+        plan
+    }
+
+    /// Per-stream outcomes as of now (terminal or not).
+    fn outcomes(&self) -> Vec<StreamOutcome> {
+        self.streams
             .iter()
             .map(|s| {
-                if s.done {
+                if s.removed {
+                    StreamOutcome::Dropped {
+                        cursor: s.cursor,
+                        reforwards: s.reforwards,
+                    }
+                } else if s.done {
                     StreamOutcome::Completed {
                         instance: s.ckpt_at.unwrap_or(0),
                         reforwards: s.reforwards,
@@ -544,167 +1030,176 @@ impl Cluster {
                     }
                 }
             })
-            .collect();
-
-        Ok(ClusterReport {
-            outcomes,
-            epochs: epoch,
-            alive: instances.iter().map(|i| i.alive).collect(),
-            final_loads: instances.iter().map(|i| i.resident.len()).collect(),
-            telemetry: self.telemetry.snapshot(),
-        })
+            .collect()
     }
 
-    /// Move `gid`'s checkpoint file (if one exists yet) into `to`'s
-    /// directory — the atomic hand-over half of a re-forward. A stream
-    /// that never completed an epoch has no file and simply starts fresh
-    /// at the target.
-    fn hand_over_checkpoint(
-        &self,
-        stream: &StreamState,
-        instances: &[InstanceState],
-        gid: usize,
-        to: usize,
-    ) -> io::Result<()> {
-        let Some(from) = stream.ckpt_at else {
-            return Ok(());
-        };
-        if from == to {
-            return Ok(());
-        }
-        match migrate_stream_checkpoint(&instances[from].dir, gid, &instances[to].dir, gid) {
-            Ok(_) => {
-                if !instances[from].alive {
-                    self.c_recoveries.inc();
-                }
-                Ok(())
-            }
-            // no file yet: the stream never finished an epoch there, so
-            // there is nothing to ride — it starts fresh at the target
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(e),
+    /// Snapshot the session into a [`ClusterReport`] without ending it.
+    pub fn report(&self) -> ClusterReport {
+        ClusterReport {
+            outcomes: self.outcomes(),
+            epochs: self.epoch,
+            alive: self.instances.iter().map(|i| i.alive).collect(),
+            final_loads: self.instances.iter().map(|i| i.resident.len()).collect(),
+            telemetry: self.ctrl.telemetry.snapshot(),
         }
     }
 
-    fn give_up(&self, streams: &mut [StreamState], instances: &mut [InstanceState], gid: usize) {
-        let stream = &mut streams[gid];
-        if let Some(home) = stream.home.take() {
-            instances[home].resident.retain(|&g| g != gid);
-        }
-        stream.rejected = true;
-        self.c_reforward_given_up.inc();
+    /// End the session and report.
+    pub fn into_report(self) -> ClusterReport {
+        self.report()
     }
 
-    /// One epoch of one instance: stage engine-local checkpoints, run the
-    /// DES over each resident stream's next trace window, and fold the
-    /// results back into global state.
-    fn run_instance_epoch(
-        &mut self,
-        streams: &mut [StreamState],
-        inst: &mut InstanceState,
-        i: usize,
-    ) -> io::Result<SimResult> {
-        let run_dir = inst.dir.join("epoch");
-        let _ = fs::remove_dir_all(&run_dir);
-        fs::create_dir_all(&run_dir)?;
+    /// Export the full control state for a crash-safe drain. Pair with the
+    /// per-stream checkpoint files already in the instance directories;
+    /// [`ClusterSession::restore`] rebuilds an identical session from both.
+    pub fn export_manifest(&self) -> SessionManifest {
+        SessionManifest {
+            schema_version: SESSION_SCHEMA_VERSION,
+            epoch: self.epoch,
+            fault_fired: self.ctrl.fault_fired.clone(),
+            instances: self
+                .instances
+                .iter()
+                .map(|i| InstanceManifest {
+                    alive: i.alive,
+                    overloaded: i.overloaded,
+                    resident: i.resident.clone(),
+                })
+                .collect(),
+            streams: self
+                .streams
+                .iter()
+                .map(|s| StreamManifest {
+                    traces: s.input.traces.clone(),
+                    thresholds: s.input.thresholds,
+                    cursor: s.cursor,
+                    home: s.home,
+                    ckpt_at: s.ckpt_at,
+                    reforwards: s.reforwards,
+                    retries: s.retries,
+                    next_retry_epoch: s.next_retry_epoch,
+                    admitted: s.admitted,
+                    done: s.done,
+                    rejected: s.rejected,
+                    removed: s.removed,
+                    source_lost: s.source_lost,
+                })
+                .collect(),
+        }
+    }
 
-        // Stage: global-id-keyed snapshots become engine-local slots. A
-        // scratch subdirectory keeps them from colliding with quiesced
-        // streams' files parked in the instance directory.
-        for (local, &gid) in inst.resident.iter().enumerate() {
-            if let Some(ck) = load_stream_checkpoint(&inst.dir, gid)? {
-                write_stream_checkpoint(&run_dir, &renumber_checkpoint(&ck, local))?;
+    /// Rebuild a session from a drained manifest plus the per-stream
+    /// checkpoint files in `ctrl`'s checkpoint root. The `ctrl` must carry
+    /// the same fleet size and fault plans the drained session ran with.
+    pub fn restore(ctrl: Cluster, manifest: &SessionManifest) -> io::Result<ClusterSession> {
+        if manifest.schema_version != SESSION_SCHEMA_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "session manifest schema {} unsupported (expected {})",
+                    manifest.schema_version, SESSION_SCHEMA_VERSION
+                ),
+            ));
+        }
+        if manifest.instances.len() != ctrl.cfg.instances {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "manifest has {} instances, cluster config has {}",
+                    manifest.instances.len(),
+                    ctrl.cfg.instances
+                ),
+            ));
+        }
+        if manifest.fault_fired.len() != ctrl.fault_fired.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "manifest fault latches do not match the attached fault plan \
+                 — resume with the same --faults the drained run used",
+            ));
+        }
+        let mut session = ClusterSession::create(ctrl)?;
+        session.epoch = manifest.epoch;
+        session.ctrl.fault_fired = manifest.fault_fired.clone();
+        for (i, im) in manifest.instances.iter().enumerate() {
+            session.instances[i].alive = im.alive;
+            session.instances[i].overloaded = im.overloaded;
+            session.instances[i].resident = im.resident.clone();
+            if !im.alive {
+                session.ctl.set_alive(i, false);
             }
         }
-
-        let inputs: Vec<StreamInput> = inst
-            .resident
-            .iter()
-            .map(|&gid| {
-                let st = &streams[gid];
-                let end = (st.cursor + self.cfg.epoch_frames).min(st.input.traces.len() as u64);
-                StreamInput {
-                    traces: st.input.traces[..end as usize].to_vec(),
-                    thresholds: st.input.thresholds,
-                }
-            })
-            .collect();
-
-        let plan = self.epoch_fault_plan(streams, &inst.resident);
-        let mut engine = Engine::new(self.sys, Mode::Online, inputs)
-            .with_checkpoint(CheckpointSpec::new(&run_dir, u64::MAX, true));
-        if !plan.is_empty() {
-            engine = engine.with_fault_plan(&plan);
-        }
-        let result = engine.run();
-
-        // Fold back: local slots return to global-id keys, stream cursors
-        // and cumulative survivor sets follow their checkpoints.
-        for (local, &gid) in inst.resident.iter().enumerate() {
-            let ck = load_stream_checkpoint(&run_dir, local)?.ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::NotFound,
-                    format!("instance {i} epoch left no checkpoint for local stream {local}"),
-                )
-            })?;
-            let st = &mut streams[gid];
-            st.cursor = ck.cursor;
-            st.survivors = ck.survivors.clone();
-            write_stream_checkpoint(&inst.dir, &renumber_checkpoint(&ck, gid))?;
-        }
-        let _ = fs::remove_dir_all(&run_dir);
-
-        // Latch one-shot stream faults whose frame window this epoch
-        // consumed: fresh engine injectors must not re-fire them.
-        for (idx, e) in self.plan.stream_plan().entries().iter().enumerate() {
-            if self.fault_fired.get(idx).copied().unwrap_or(true) {
-                continue;
-            }
-            if !inst.resident.contains(&e.stream) {
-                continue;
-            }
-            let fired_at = match e.fault {
-                StageFault::StallFor { at_frame, .. } => Some(at_frame),
-                StageFault::FailNextPush { at_frame } => Some(at_frame),
-                StageFault::PanicAtFrame(_) => None, // persistent by design
+        for (gid, sm) in manifest.streams.iter().enumerate() {
+            let mut st = StreamState {
+                input: StreamInput {
+                    traces: sm.traces.clone(),
+                    thresholds: sm.thresholds,
+                },
+                cursor: sm.cursor,
+                home: sm.home,
+                ckpt_at: sm.ckpt_at,
+                reforwards: sm.reforwards,
+                retries: sm.retries,
+                next_retry_epoch: sm.next_retry_epoch,
+                admitted: sm.admitted,
+                done: sm.done,
+                rejected: sm.rejected,
+                removed: sm.removed,
+                source_lost: sm.source_lost,
+                survivors: Vec::new(),
             };
-            if let Some(at) = fired_at {
-                if streams[e.stream].cursor > at {
-                    self.fault_fired[idx] = true;
+            // survivors ride the checkpoint files, not the manifest
+            if let Some(at) = st.ckpt_at {
+                if let Some(ck) = load_stream_checkpoint(&session.instances[at].dir, gid)? {
+                    st.cursor = ck.cursor;
+                    st.survivors = ck.survivors.clone();
+                    st.source_lost = st.source_lost || ck.source_lost;
                 }
             }
+            session.streams.push(st);
         }
-
-        Ok(result)
-    }
-
-    /// The engine-local fault plan for one epoch: stream entries are keyed
-    /// by *global* stream id in the cluster grammar and remapped to the
-    /// instance's local slots here, dropping one-shots that already fired
-    /// in an earlier epoch.
-    fn epoch_fault_plan(&self, streams: &[StreamState], resident: &[usize]) -> FaultPlan {
-        let mut plan = FaultPlan::new();
-        for (idx, e) in self.plan.stream_plan().entries().iter().enumerate() {
-            let Some(local) = resident.iter().position(|&g| g == e.stream) else {
-                continue;
-            };
-            if self.fault_fired.get(idx).copied().unwrap_or(false) {
-                continue;
-            }
-            // skip one-shots aimed beyond this epoch's window — harmless
-            // to include, but pruning keeps injector state minimal
-            let window_end = streams[e.stream].cursor + self.cfg.epoch_frames;
-            let relevant = match e.fault {
-                StageFault::PanicAtFrame(n) => n < window_end,
-                StageFault::StallFor { at_frame, .. } => at_frame < window_end,
-                StageFault::FailNextPush { at_frame } => at_frame < window_end,
-            };
-            if relevant {
-                plan = plan.with(local, e.stage, e.fault);
+        // price the restored residency so offers arriving before the first
+        // step are admitted against real load
+        for i in 0..session.instances.len() {
+            if session.instances[i].alive {
+                let remaining: Vec<StreamInput> = session.instances[i]
+                    .resident
+                    .iter()
+                    .map(|&gid| remaining_input(&session.streams[gid]))
+                    .collect();
+                session.ctl.set_streams(i, remaining);
             }
         }
-        plan
+        Ok(session)
     }
+}
+
+/// Plan the checkpoint-riding re-forwards that rebalance `remaining` work
+/// across `n_instances`, starting from the current residency `initial`.
+/// Returns `(stream index, target instance)` for every stream the planner
+/// moves. Deterministic: same inputs, same moves. Conservation: the
+/// planner reassigns streams, it never duplicates or loses one — pinned by
+/// the unit tests.
+pub fn plan_rebalance(
+    sys: &FfsVaConfig,
+    remaining: &[StreamInput],
+    n_instances: usize,
+    initial: &[usize],
+    max_rounds: usize,
+) -> Vec<(usize, usize)> {
+    let outcome = balance_instances_from(sys, remaining, n_instances, max_rounds, initial.to_vec());
+    assert_eq!(
+        outcome.assignment.len(),
+        remaining.len(),
+        "balancer must conserve streams"
+    );
+    initial
+        .iter()
+        .zip(outcome.assignment.iter())
+        .enumerate()
+        .filter(|(_, (&a, &b))| a != b)
+        .map(|(k, (_, &b))| (k, b))
+        .collect()
 }
 
 /// Build the remaining (un-run) input of a stream for placement probes.
@@ -930,6 +1425,178 @@ mod tests {
         assert_eq!(cl.backoff_epochs(2), 1);
         assert_eq!(cl.backoff_epochs(31), 6, "30 s cap / 5 s epochs");
         assert_eq!(cl.backoff_epochs(u32::MAX), 6);
+    }
+
+    /// The satellite regression for wiring `balance_instances_from` into
+    /// the epoch loop: the planner is a pure function of its inputs (same
+    /// moves twice) and conserves streams (every stream keeps exactly one
+    /// home, no duplicates, no losses).
+    #[test]
+    fn rebalance_planner_is_deterministic_and_conserves_streams() {
+        let sys = FfsVaConfig::default();
+        // 16 maximally heavy streams (every frame a target) all piled onto
+        // instance 0 of 3 — a structural imbalance the planner must fix
+        let remaining: Vec<StreamInput> = (0..16).map(|_| synthetic_input(300, 1)).collect();
+        let initial = vec![0usize; 16];
+        let a = plan_rebalance(&sys, &remaining, 3, &initial, 20);
+        let b = plan_rebalance(&sys, &remaining, 3, &initial, 20);
+        assert_eq!(a, b, "same inputs must plan the same moves");
+        assert!(
+            !a.is_empty(),
+            "an all-on-one-instance overload must shed streams"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        let mut assign = initial.clone();
+        for &(k, to) in &a {
+            assert!(k < 16 && to < 3, "move ({k}, {to}) out of range");
+            assert_ne!(to, initial[k], "a move must change the stream's home");
+            assert!(seen.insert(k), "stream {k} planned twice");
+            assign[k] = to;
+        }
+        // conservation: still exactly 16 placed streams, all on real instances
+        assert_eq!(assign.len(), 16);
+        assert!(assign.iter().all(|&i| i < 3));
+    }
+
+    /// Source faults injected at cluster scope produce survivors
+    /// bit-identical to a monolithic engine running the same plan: the
+    /// per-epoch global→local remap plus engine-side fast-forward must not
+    /// re-fire, drop, or duplicate any fault across epoch windows.
+    #[test]
+    fn cluster_source_plan_matches_monolithic_engine() {
+        let sys = FfsVaConfig::default();
+        let root = tmp_root("srcplan");
+        let inputs: Vec<StreamInput> = (0..4).map(|_| synthetic_input(320, 8)).collect();
+        // faults span epoch boundaries (epoch_frames = 100): a drop range
+        // inside epoch 0, a corrupt in epoch 1, a dup in epoch 0, and a
+        // reorder in epoch 2
+        let splan = ffsva_video::SourceFaultPlan::parse(
+            "stream0.src:drop@10..15,stream1.src:corrupt@120,\
+             stream2.src:dup@50,stream3.src:reorder@205+3",
+        )
+        .unwrap();
+
+        let expected = Engine::new(sys, Mode::Online, inputs.clone())
+            .with_source_plan(&splan)
+            .run()
+            .per_stream_survivors;
+
+        let cfg = ClusterConfig::new(2, &root).with_epoch_frames(100);
+        let report = Cluster::new(sys, cfg)
+            .with_source_plan(&splan)
+            .run(inputs)
+            .unwrap();
+
+        assert_eq!(report.completed(), 4, "outcomes {:?}", report.outcomes);
+        for (s, exp) in expected.iter().enumerate() {
+            assert_eq!(
+                report.survivors(s).unwrap(),
+                exp.as_slice(),
+                "stream {s}: cluster-scope source faults drifted from the monolithic run"
+            );
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// Drain/resume at session scope: export the manifest mid-run (through
+    /// a JSON round-trip, as the daemon persists it), rebuild the session
+    /// against the same checkpoint root, finish — bit-identical to an
+    /// uninterrupted run, with the fault latches surviving the splice.
+    #[test]
+    fn session_manifest_roundtrip_resumes_bit_identical() {
+        let sys = FfsVaConfig::default();
+        let inputs: Vec<StreamInput> = (0..4).map(|_| synthetic_input(320, 8)).collect();
+        let plan =
+            ClusterFaultPlan::parse("instance0:crash@150,stream1.snm:stall@120+100ms").unwrap();
+
+        // reference: the same fleet + faults, uninterrupted
+        let root_a = tmp_root("resume_ref");
+        let cfg_a = ClusterConfig::new(2, &root_a).with_epoch_frames(100);
+        let uninterrupted = Cluster::new(sys, cfg_a)
+            .with_fault_plan(&plan)
+            .run(inputs.clone())
+            .unwrap();
+
+        // interrupted: stop after two epochs, persist, restore, finish
+        let root_b = tmp_root("resume_cut");
+        let cfg_b = ClusterConfig::new(2, &root_b).with_epoch_frames(100);
+        let mut session = Cluster::new(sys, cfg_b.clone())
+            .with_fault_plan(&plan)
+            .into_session()
+            .unwrap();
+        for input in inputs {
+            session.offer(input);
+        }
+        assert!(session.step().unwrap());
+        assert!(session.step().unwrap());
+        let json = serde_json::to_string(&session.export_manifest()).unwrap();
+        drop(session);
+
+        let manifest: SessionManifest = serde_json::from_str(&json).unwrap();
+        let ctrl = Cluster::new(sys, cfg_b).with_fault_plan(&plan);
+        let mut resumed = ClusterSession::restore(ctrl, &manifest).unwrap();
+        assert_eq!(resumed.epoch(), 2);
+        while resumed.step().unwrap() {}
+        let report = resumed.into_report();
+
+        assert_eq!(report.completed(), uninterrupted.completed());
+        for s in 0..4 {
+            assert_eq!(
+                report.survivors(s),
+                uninterrupted.survivors(s),
+                "stream {s}: resumed survivors drifted from the uninterrupted run"
+            );
+        }
+        assert_eq!(report.alive, uninterrupted.alive);
+
+        // restore refuses a mismatched fault plan (latch arity drift)
+        let bare = Cluster::new(sys, ClusterConfig::new(2, &root_b).with_epoch_frames(100));
+        assert!(ClusterSession::restore(bare, &manifest).is_err());
+        let _ = fs::remove_dir_all(&root_a);
+        let _ = fs::remove_dir_all(&root_b);
+    }
+
+    /// Runtime stream removal: the operator drops a live stream mid-run;
+    /// its partial work stands as `Dropped`, siblings are untouched, and a
+    /// terminal stream cannot be dropped again.
+    #[test]
+    fn removed_stream_reports_dropped_outcome() {
+        let sys = FfsVaConfig::default();
+        let root = tmp_root("dropped");
+        let inputs: Vec<StreamInput> = (0..2).map(|_| synthetic_input(320, 8)).collect();
+        let expected = reference_survivors(&sys, &inputs);
+
+        let cfg = ClusterConfig::new(2, &root).with_epoch_frames(100);
+        let mut session = Cluster::new(sys, cfg).into_session().unwrap();
+        for input in inputs {
+            session.offer(input);
+        }
+        assert!(session.step().unwrap());
+        assert!(session.remove(0), "live stream must be removable");
+        assert!(!session.remove(0), "dropped is terminal");
+        assert!(!session.remove(99), "unknown id");
+        assert_eq!(session.status(0).unwrap().state, "dropped");
+        assert!(session.admission_retry_after_s() >= 1);
+        while session.step().unwrap() {}
+
+        let st1 = session.status(1).unwrap();
+        assert_eq!(st1.state, "completed");
+        assert_eq!(st1.cursor, 320);
+        let report = session.into_report();
+        assert_eq!(report.dropped(), 1);
+        assert_eq!(report.completed(), 1);
+        match &report.outcomes[0] {
+            StreamOutcome::Dropped { cursor, .. } => {
+                assert_eq!(*cursor, 100, "one epoch of work stands");
+            }
+            other => panic!("expected Dropped, got {other:?}"),
+        }
+        assert_eq!(
+            report.survivors(1).unwrap(),
+            expected[1].as_slice(),
+            "the sibling must be unaffected by the drop"
+        );
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

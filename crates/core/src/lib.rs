@@ -15,6 +15,8 @@
 //! * [`instance`] — max-stream search, admission, and stream re-forwarding.
 //! * [`cluster`] — the fleet control plane: instance faults, telemetry-fed
 //!   admission, and checkpoint-riding re-forwarding across instances.
+//! * [`serve`] — the crash-safe resident daemon (`ffsva serve`): HTTP/1.1
+//!   control API, graceful drain, network-attached sources.
 //! * [`report`] — text tables and JSON/CSV result files.
 //!
 //! ```
@@ -47,6 +49,7 @@ pub mod config;
 pub mod instance;
 pub mod report;
 pub mod rt_engine;
+pub mod serve;
 pub mod sim;
 pub mod viz;
 pub mod workload;
@@ -61,7 +64,11 @@ pub use checkpoint::{
     stream_ckpt_path, write_stream_checkpoint, CheckpointSpec, StreamCheckpoint,
     CHECKPOINT_SCHEMA_VERSION,
 };
-pub use cluster::{find_max_cluster_streams, Cluster, ClusterConfig, ClusterReport, StreamOutcome};
+pub use cluster::{
+    find_max_cluster_streams, plan_rebalance, Cluster, ClusterConfig, ClusterReport,
+    ClusterSession, InstanceManifest, SessionManifest, StreamManifest, StreamOutcome, StreamStatus,
+    SESSION_SCHEMA_VERSION,
+};
 pub use config::{FfsVaConfig, Precision, StreamThresholds};
 pub use ffsva_sched::{
     ClusterFaultPlan, DegradePolicy, FaultPlan, FaultStage, InstanceFault, StageFault,
@@ -75,6 +82,10 @@ pub use instance::{
 pub use rt_engine::{
     run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, run_multi_pipeline_rt_robust,
     run_pipeline_rt, MultiRtResult, RtResult, StreamHealth, SurvivingFrame,
+};
+pub use serve::{
+    install_signal_drain, signal_drain_requested, Daemon, DrainHandle, DrainReport, ResolvedStream,
+    ServeConfig, StreamSpec,
 };
 pub use sim::{Engine, FrameTimeline, Mode, SimResult, Stage, StreamInput};
 pub use viz::{

@@ -70,6 +70,14 @@ impl<T> IngestGate<T> {
         self.expected
     }
 
+    /// How many out-of-order frames the gate is holding right now.
+    ///
+    /// A drain is complete only when every gate reports zero — anything
+    /// still held would be lost by a process exit without being accounted.
+    pub fn pending(&self) -> usize {
+        self.held.len()
+    }
+
     fn mark_released(&mut self, seq: u64) {
         self.recent.push_back(seq);
         let keep = self.cap * 2 + 16;
@@ -188,6 +196,19 @@ impl<T> IngestCore<T> {
 
     pub fn stats(&self) -> IngestStats {
         self.stats
+    }
+
+    /// The next sequence number the pipeline is owed (the resume cursor a
+    /// drain should record for this stream's ingest position).
+    pub fn expected(&self) -> u64 {
+        self.gate.expected()
+    }
+
+    /// Frames held in the reorder window, not yet released. See
+    /// [`IngestGate::pending`]; a graceful drain flushes with
+    /// [`IngestCore::finish`] until this reads zero.
+    pub fn pending(&self) -> usize {
+        self.gate.pending()
     }
 
     fn classify(&mut self, ev: GateEvent<T>) -> IngestOutput<T> {
@@ -444,6 +465,26 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (96..=104).collect::<Vec<_>>());
+    }
+
+    /// Drain hooks: `pending()` tracks the reorder window depth and
+    /// `expected()` the resume cursor; a `finish()` flush empties the gate
+    /// so a drain can prove nothing is left in memory.
+    #[test]
+    fn drain_hooks_report_window_depth_and_cursor() {
+        let mut core = IngestCore::new(8);
+        assert_eq!((core.expected(), core.pending()), (0, 0));
+        core.accept(0, 0, false);
+        assert_eq!((core.expected(), core.pending()), (1, 0));
+        // 3 and 5 arrive early: held, cursor unchanged
+        core.accept(3, 3, false);
+        core.accept(5, 5, false);
+        assert_eq!((core.expected(), core.pending()), (1, 2));
+        // flushing releases the held frames and zeroes the window
+        let flushed = core.finish();
+        assert_eq!(seqs(&flushed), vec![(3, 'd'), (5, 'd')]);
+        assert_eq!(core.pending(), 0);
+        assert_eq!(core.expected(), 6);
     }
 
     #[test]

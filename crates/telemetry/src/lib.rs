@@ -526,6 +526,102 @@ impl PoolTelemetry {
 }
 
 // ---------------------------------------------------------------------------
+// snapshot feed
+
+/// One emission from a [`SnapshotFeed`]: a monotonically numbered snapshot
+/// plus the names of the series that changed since the previous emission.
+///
+/// `changed` is what lets a dashboard tail the feed cheaply — on most ticks
+/// only a handful of counters moved, and an empty diff is never emitted
+/// (the feed suppresses it), so the event stream is quiet when the system
+/// is idle.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FeedEvent {
+    /// Event number, starting at 0 for the feed's first emission.
+    pub seq: u64,
+    /// Sorted names of counters/gauges/histograms that differ from the
+    /// previously emitted snapshot (every name, on the first emission).
+    pub changed: Vec<String>,
+    /// The full frozen registry at emission time.
+    pub snapshot: TelemetrySnapshot,
+}
+
+/// Change-detecting poller over a [`Telemetry`] registry, the engine behind
+/// `GET /telemetry/stream`: each [`SnapshotFeed::next_event`] call snapshots
+/// the registry and emits only if something moved since the last emission.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotFeed {
+    last: Option<TelemetrySnapshot>,
+    seq: u64,
+}
+
+impl SnapshotFeed {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the registry; `Some(event)` iff anything changed since the
+    /// previously emitted event. The first poll always emits (baseline).
+    pub fn next_event(&mut self, tel: &Telemetry) -> Option<FeedEvent> {
+        let snap = tel.snapshot();
+        let changed = match &self.last {
+            None => {
+                let mut names: Vec<String> = snap.counters.keys().cloned().collect();
+                names.extend(snap.gauges.keys().cloned());
+                names.extend(snap.histograms.keys().cloned());
+                names.sort();
+                names
+            }
+            Some(prev) => {
+                if *prev == snap {
+                    return None;
+                }
+                let mut names = Vec::new();
+                for (k, v) in &snap.counters {
+                    if prev.counters.get(k) != Some(v) {
+                        names.push(k.clone());
+                    }
+                }
+                for (k, v) in &snap.gauges {
+                    if prev.gauges.get(k) != Some(v) {
+                        names.push(k.clone());
+                    }
+                }
+                for (k, v) in &snap.histograms {
+                    if prev.histograms.get(k) != Some(v) {
+                        names.push(k.clone());
+                    }
+                }
+                names.sort();
+                names
+            }
+        };
+        let ev = FeedEvent {
+            seq: self.seq,
+            changed,
+            snapshot: snap.clone(),
+        };
+        self.last = Some(snap);
+        self.seq += 1;
+        Some(ev)
+    }
+}
+
+/// Render one feed event as a Server-Sent Events frame
+/// (`id:` = event seq, `event: telemetry`, one `data:` line of JSON).
+pub fn sse_frame(ev: &FeedEvent) -> String {
+    let json = serde_json::to_string(ev).expect("feed event serializes");
+    format!("id: {}\nevent: telemetry\ndata: {}\n\n", ev.seq, json)
+}
+
+/// Render one feed event as a newline-delimited-JSON line.
+pub fn ndjson_line(ev: &FeedEvent) -> String {
+    let mut json = serde_json::to_string(ev).expect("feed event serializes");
+    json.push('\n');
+    json
+}
+
+// ---------------------------------------------------------------------------
 // digest
 
 /// The headline numbers `ffsva bench` writes to `BENCH.json` and the CI
@@ -854,6 +950,51 @@ mod tests {
         assert_eq!(d.latency_e2e_p99_us, 40_000.0);
         let rows = d.rows();
         assert_eq!(rows.len(), STAGES.len() + 1);
+    }
+
+    #[test]
+    fn snapshot_feed_emits_only_on_change_with_sorted_diffs() {
+        let tel = Telemetry::new();
+        tel.counter("serve.http_requests").add(2);
+        tel.gauge("queue.sdd.depth").set(1);
+        let mut feed = SnapshotFeed::new();
+
+        // first poll: baseline event listing every series
+        let ev0 = feed.next_event(&tel).expect("baseline emits");
+        assert_eq!(ev0.seq, 0);
+        assert_eq!(
+            ev0.changed,
+            vec![
+                "queue.sdd.depth".to_string(),
+                "serve.http_requests".to_string()
+            ]
+        );
+        assert_eq!(ev0.snapshot.counter("serve.http_requests"), 2);
+
+        // quiet registry: no event
+        assert!(feed.next_event(&tel).is_none());
+
+        // one counter moves + one new series registers: both named, sorted
+        tel.counter("serve.http_requests").inc();
+        tel.counter("cluster.epochs").inc();
+        let ev1 = feed.next_event(&tel).expect("change emits");
+        assert_eq!(ev1.seq, 1);
+        assert_eq!(
+            ev1.changed,
+            vec![
+                "cluster.epochs".to_string(),
+                "serve.http_requests".to_string()
+            ]
+        );
+
+        // wire formats: SSE frame fields and a parseable NDJSON line
+        let frame = sse_frame(&ev1);
+        assert!(frame.starts_with("id: 1\nevent: telemetry\ndata: {"));
+        assert!(frame.ends_with("\n\n"));
+        let line = ndjson_line(&ev1);
+        assert!(line.ends_with('\n') && !line[..line.len() - 1].contains('\n'));
+        let back: FeedEvent = serde_json::from_str(line.trim_end()).unwrap();
+        assert_eq!(back, ev1);
     }
 
     #[test]

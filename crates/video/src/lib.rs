@@ -41,9 +41,10 @@ pub use frame::{write_pgm, Frame, PixelFormat, StreamId};
 pub use generator::{measured_tor, LabeledFrame, StreamConfig, VideoStream};
 pub use scene::{Background, BackgroundKind};
 pub use source::{
-    plan_reconnect, ClipSource, FrameSource, GeneratorSource, ReconnectOutcome, ReconnectPolicy,
-    SourceAction, SourceEvent, SourceFault, SourceFaultEntry, SourceFaultPlan, SourceInjector,
-    SourceItem, Turbulence, UnreliableSource,
+    decode_wire_frame, encode_wire_frame, plan_reconnect, spawn_frame_server, ClipSource,
+    FrameServerOptions, FrameSource, GeneratorSource, ReconnectOutcome, ReconnectPolicy,
+    SocketSource, SourceAction, SourceEvent, SourceFault, SourceFaultEntry, SourceFaultPlan,
+    SourceInjector, SourceItem, Turbulence, UnreliableSource, WireHeader, MAX_WIRE_RECORD,
 };
 pub use storage::{
     read_clip, write_clip, ClipHeader, ClipIntegrityError, ClipReader, ClipWriter, CLIP_VERSION,

@@ -32,9 +32,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crate::checksum::frame_checksum;
-use crate::frame::{Frame, PixelFormat};
+use crate::checksum::{fnv1a_continue, frame_checksum, FNV_OFFSET};
+use crate::frame::{Frame, PixelFormat, StreamId};
 use crate::generator::{LabeledFrame, VideoStream};
+use crate::truth::GroundTruth;
 
 // ---------------------------------------------------------------------------
 // frame sources
@@ -756,6 +757,346 @@ fn corrupt_payload(lf: LabeledFrame) -> LabeledFrame {
     }
 }
 
+// ---------------------------------------------------------------------------
+// network-attached source
+
+/// Stream metadata sent once per connection before any frame record.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WireHeader {
+    pub stream: StreamId,
+    pub width: usize,
+    pub height: usize,
+    pub format: PixelFormat,
+    /// Total frames the server intends to deliver (the announced budget a
+    /// puller can bound its loop on).
+    pub total: u64,
+}
+
+/// Upper bound on one wire record (64 MiB) — anything larger is a framing
+/// error, rejected before allocation.
+pub const MAX_WIRE_RECORD: usize = 64 << 20;
+
+fn wire_checksum(seq: u64, pts_ms: u64, truth: &[u8], rle: &[u8]) -> u64 {
+    let mut h = fnv1a_continue(FNV_OFFSET, &seq.to_le_bytes());
+    h = fnv1a_continue(h, &pts_ms.to_le_bytes());
+    h = fnv1a_continue(h, truth);
+    fnv1a_continue(h, rle)
+}
+
+/// Encode one labeled frame as a wire record payload (no length prefix):
+/// `seq u64 | pts_ms u64 | truth_len u32 + truth JSON | rle_len u32 + RLE
+/// pixels | checksum u64`, all little-endian — the FFSV1 record layout,
+/// reused so the framing has exactly one on-disk/on-wire shape.
+pub fn encode_wire_frame(lf: &LabeledFrame) -> Vec<u8> {
+    let truth = serde_json::to_vec(&lf.truth).expect("serializable truth");
+    let rle = crate::storage::rle_encode(lf.frame.pixels());
+    let mut out = Vec::with_capacity(32 + truth.len() + rle.len());
+    out.extend_from_slice(&lf.frame.seq.to_le_bytes());
+    out.extend_from_slice(&lf.frame.pts_ms.to_le_bytes());
+    out.extend_from_slice(&(truth.len() as u32).to_le_bytes());
+    out.extend_from_slice(&truth);
+    out.extend_from_slice(&(rle.len() as u32).to_le_bytes());
+    out.extend_from_slice(&rle);
+    out.extend_from_slice(
+        &wire_checksum(lf.frame.seq, lf.frame.pts_ms, &truth, &rle).to_le_bytes(),
+    );
+    out
+}
+
+/// Decode one wire record payload against the connection's [`WireHeader`],
+/// verifying the record checksum and the RLE geometry.
+pub fn decode_wire_frame(buf: &[u8], header: &WireHeader) -> std::io::Result<LabeledFrame> {
+    use std::io::{Error, ErrorKind};
+    let bad = |d: &str| Error::new(ErrorKind::InvalidData, format!("wire record: {d}"));
+    let take = |buf: &[u8], at: usize, n: usize| -> std::io::Result<Vec<u8>> {
+        buf.get(at..at + n)
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| bad("truncated"))
+    };
+    let u64_at = |at: usize| -> std::io::Result<u64> {
+        Ok(u64::from_le_bytes(take(buf, at, 8)?.try_into().unwrap()))
+    };
+    let u32_at = |at: usize| -> std::io::Result<u32> {
+        Ok(u32::from_le_bytes(take(buf, at, 4)?.try_into().unwrap()))
+    };
+    let seq = u64_at(0)?;
+    let pts_ms = u64_at(8)?;
+    let tlen = u32_at(16)? as usize;
+    let truth_bytes = take(buf, 20, tlen)?;
+    let rlen = u32_at(20 + tlen)? as usize;
+    let rle = take(buf, 24 + tlen, rlen)?;
+    let stored = u64_at(24 + tlen + rlen)?;
+    let computed = wire_checksum(seq, pts_ms, &truth_bytes, &rle);
+    if stored != computed {
+        return Err(bad("checksum mismatch"));
+    }
+    let truth: GroundTruth =
+        serde_json::from_slice(&truth_bytes).map_err(|e| bad(&e.to_string()))?;
+    let expect = header.width * header.height * header.format.bytes_per_pixel();
+    let pixels = crate::storage::rle_decode(&rle, expect)?;
+    let frame = match header.format {
+        PixelFormat::Gray8 => Frame::gray8(
+            header.stream,
+            seq,
+            pts_ms,
+            header.width,
+            header.height,
+            pixels,
+        ),
+        PixelFormat::Rgb8 => Frame::rgb8(
+            header.stream,
+            seq,
+            pts_ms,
+            header.width,
+            header.height,
+            pixels,
+        ),
+    };
+    Ok(LabeledFrame { frame, truth })
+}
+
+fn read_exact_u32(s: &mut impl std::io::Read) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    s.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// A [`FrameSource`] pulling length-prefixed frames over TCP.
+///
+/// Protocol, client side: connect, send the resume position (`u64` LE —
+/// the index of the first frame wanted), read one `u32`-length-prefixed
+/// [`WireHeader`] JSON, then `u32`-length-prefixed frame records; a zero
+/// length is the clean end of stream.
+///
+/// Every socket read and write carries a deadline (`io_timeout`), so a hung
+/// peer looks exactly like a dead link: the source redials with the same
+/// capped-exponential backoff arithmetic [`plan_reconnect`] models, sending
+/// the current position so reconnection never duplicates or skips a frame.
+/// When the retry budget burns out the source marks itself [`lost`]
+/// (`SocketSource::lost`) and `next_frame` returns `None` — the caller
+/// degrades the stream to `SourceLost` quarantine, never a hung loop.
+pub struct SocketSource {
+    addr: String,
+    policy: ReconnectPolicy,
+    io_timeout: std::time::Duration,
+    conn: Option<(std::net::TcpStream, WireHeader)>,
+    pos: u64,
+    total: Option<u64>,
+    lost: bool,
+    done: bool,
+    reconnects: u64,
+}
+
+impl SocketSource {
+    /// A lazily-dialed socket source; the first `next_frame` connects.
+    pub fn new(
+        addr: impl Into<String>,
+        policy: ReconnectPolicy,
+        io_timeout: std::time::Duration,
+    ) -> Self {
+        SocketSource {
+            addr: addr.into(),
+            policy,
+            io_timeout,
+            conn: None,
+            pos: 0,
+            total: None,
+            lost: false,
+            done: false,
+            reconnects: 0,
+        }
+    }
+
+    /// Resume support: start pulling at frame index `start` (already
+    /// accounted by a checkpoint); `position()` continues from `start`.
+    pub fn resume_at(mut self, start: u64) -> Self {
+        self.pos = start;
+        self
+    }
+
+    /// The link died and the retry budget is exhausted: whatever was not
+    /// pulled is gone. Terminal.
+    pub fn lost(&self) -> bool {
+        self.lost
+    }
+
+    /// Redial attempts so far (not counting the initial connect).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// The server's announced frame budget, once a header has been read.
+    pub fn announced_total(&self) -> Option<u64> {
+        self.total
+    }
+
+    fn dial(&mut self) -> std::io::Result<()> {
+        use std::io::{Error, ErrorKind, Write};
+        let stream = std::net::TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        let mut stream = stream;
+        stream.write_all(&self.pos.to_le_bytes())?;
+        let hlen = read_exact_u32(&mut stream)? as usize;
+        if hlen == 0 || hlen > 1 << 16 {
+            return Err(Error::new(ErrorKind::InvalidData, "bad wire header length"));
+        }
+        let mut hjson = vec![0u8; hlen];
+        std::io::Read::read_exact(&mut stream, &mut hjson)?;
+        let header: WireHeader =
+            serde_json::from_slice(&hjson).map_err(|e| Error::new(ErrorKind::InvalidData, e))?;
+        self.total = Some(header.total);
+        self.conn = Some((stream, header));
+        Ok(())
+    }
+
+    fn pull_once(&mut self) -> std::io::Result<Option<LabeledFrame>> {
+        use std::io::{Error, ErrorKind, Read};
+        if self.conn.is_none() {
+            self.dial()?;
+        }
+        let (stream, header) = self.conn.as_mut().expect("dialed");
+        let len = read_exact_u32(stream)? as usize;
+        if len == 0 {
+            return Ok(None);
+        }
+        if len > MAX_WIRE_RECORD {
+            return Err(Error::new(ErrorKind::InvalidData, "oversized wire record"));
+        }
+        let mut buf = vec![0u8; len];
+        stream.read_exact(&mut buf)?;
+        decode_wire_frame(&buf, header).map(Some)
+    }
+}
+
+impl FrameSource for SocketSource {
+    fn next_frame(&mut self) -> Option<LabeledFrame> {
+        if self.done || self.lost {
+            return None;
+        }
+        let mut attempt = 0u32;
+        let base = self.policy.backoff_ms.max(1);
+        let cap = self.policy.backoff_cap_ms.max(base);
+        let mut backoff = base;
+        loop {
+            match self.pull_once() {
+                Ok(Some(lf)) => {
+                    self.pos += 1;
+                    return Some(lf);
+                }
+                Ok(None) => {
+                    self.done = true;
+                    self.conn = None;
+                    return None;
+                }
+                Err(_) => {
+                    // dead or hung link: redial at the current position with
+                    // capped-exponential backoff until the budget burns out
+                    self.conn = None;
+                    if attempt >= self.policy.retry_budget {
+                        self.lost = true;
+                        return None;
+                    }
+                    attempt += 1;
+                    self.reconnects += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                    backoff = backoff.saturating_mul(2).min(cap);
+                }
+            }
+        }
+    }
+
+    fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+/// Fault knobs for [`spawn_frame_server`] — deterministic network weather
+/// from the server side, complementing the client-side [`SourceFaultPlan`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrameServerOptions {
+    /// Cut each connection (no terminator) after sending this many records:
+    /// a mid-stream disconnect the client must ride out by redialing.
+    pub disconnect_after: Option<u64>,
+    /// Stop accepting after this many connections; later redials are
+    /// refused, so a client degrades to lost. `None` = keep accepting until
+    /// some client drains the clip cleanly.
+    pub max_conns: Option<usize>,
+}
+
+/// Serve `frames` over TCP on an ephemeral localhost port, one connection
+/// at a time, honouring resume positions. Returns the bound address and the
+/// accept-loop handle; the loop exits after a client drains the clip
+/// cleanly, or after `max_conns` connections.
+pub fn spawn_frame_server(
+    frames: Vec<LabeledFrame>,
+    opts: FrameServerOptions,
+) -> std::io::Result<(std::net::SocketAddr, std::thread::JoinHandle<()>)> {
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        let mut conns = 0usize;
+        let max = opts.max_conns.unwrap_or(usize::MAX);
+        while conns < max {
+            let Ok((mut stream, _)) = listener.accept() else {
+                break;
+            };
+            conns += 1;
+            if serve_wire_conn(&mut stream, &frames, opts.disconnect_after).unwrap_or(false) {
+                break; // a client reached the clean end of stream
+            }
+        }
+    });
+    Ok((addr, handle))
+}
+
+/// One connection: read the resume position, send header + records, then
+/// the zero-length terminator. `Ok(true)` iff the terminator was sent.
+fn serve_wire_conn(
+    stream: &mut std::net::TcpStream,
+    frames: &[LabeledFrame],
+    disconnect_after: Option<u64>,
+) -> std::io::Result<bool> {
+    use std::io::{Read, Write};
+    let io_timeout = std::time::Duration::from_secs(5);
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    let mut start = [0u8; 8];
+    stream.read_exact(&mut start)?;
+    let start = u64::from_le_bytes(start) as usize;
+    let header = match frames.first() {
+        Some(lf) => WireHeader {
+            stream: lf.frame.stream,
+            width: lf.frame.width,
+            height: lf.frame.height,
+            format: lf.frame.format,
+            total: frames.len() as u64,
+        },
+        None => WireHeader {
+            stream: 0,
+            width: 1,
+            height: 1,
+            format: PixelFormat::Gray8,
+            total: 0,
+        },
+    };
+    let hjson = serde_json::to_vec(&header).expect("serializable header");
+    stream.write_all(&(hjson.len() as u32).to_le_bytes())?;
+    stream.write_all(&hjson)?;
+    let mut sent = 0u64;
+    for lf in frames.iter().skip(start) {
+        if disconnect_after.is_some_and(|cut| sent >= cut) {
+            return Ok(false); // drop the link mid-stream, no terminator
+        }
+        let rec = encode_wire_frame(lf);
+        stream.write_all(&(rec.len() as u32).to_le_bytes())?;
+        stream.write_all(&rec)?;
+        sent += 1;
+    }
+    stream.write_all(&0u32.to_le_bytes())?;
+    Ok(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1056,6 +1397,174 @@ mod tests {
             }
         }
         assert_eq!(log, vec!["f0", "f1", "d300", "f2", "f3"]);
+    }
+
+    fn fast_reconnect() -> ReconnectPolicy {
+        ReconnectPolicy {
+            retry_budget: 6,
+            backoff_ms: 2,
+            backoff_cap_ms: 10,
+        }
+    }
+
+    fn io_timeout() -> std::time::Duration {
+        std::time::Duration::from_millis(2000)
+    }
+
+    fn pull_all(src: &mut SocketSource) -> Vec<LabeledFrame> {
+        let mut out = Vec::new();
+        while let Some(lf) = src.next_frame() {
+            out.push(lf);
+        }
+        out
+    }
+
+    #[test]
+    fn wire_codec_round_trips_and_rejects_damage() {
+        let clip = tiny_clip(3);
+        let header = WireHeader {
+            stream: clip[0].frame.stream,
+            width: clip[0].frame.width,
+            height: clip[0].frame.height,
+            format: clip[0].frame.format,
+            total: clip.len() as u64,
+        };
+        for lf in &clip {
+            let rec = encode_wire_frame(lf);
+            let back = decode_wire_frame(&rec, &header).unwrap();
+            assert_eq!(back.frame.seq, lf.frame.seq);
+            assert_eq!(back.frame.pts_ms, lf.frame.pts_ms);
+            assert_eq!(back.frame.pixels(), lf.frame.pixels());
+            assert_eq!(
+                back.truth.count(ObjectClass::Car),
+                lf.truth.count(ObjectClass::Car)
+            );
+            // any flipped byte fails the checksum; truncation fails framing
+            let mut torn = rec.clone();
+            torn[rec.len() / 2] ^= 0xFF;
+            assert!(decode_wire_frame(&torn, &header).is_err());
+            assert!(decode_wire_frame(&rec[..rec.len() - 1], &header).is_err());
+        }
+    }
+
+    #[test]
+    fn socket_source_streams_a_clip_bit_identical() {
+        let clip = tiny_clip(8);
+        let (addr, server) =
+            spawn_frame_server(clip.clone(), FrameServerOptions::default()).unwrap();
+        let mut src = SocketSource::new(addr.to_string(), fast_reconnect(), io_timeout());
+        let got = pull_all(&mut src);
+        server.join().unwrap();
+        assert_eq!(got.len(), clip.len());
+        for (g, want) in got.iter().zip(&clip) {
+            assert_eq!(g.frame.seq, want.frame.seq);
+            assert_eq!(g.frame.pixels(), want.frame.pixels());
+        }
+        assert_eq!(src.position(), 8);
+        assert_eq!(src.announced_total(), Some(8));
+        assert!(!src.lost());
+    }
+
+    #[test]
+    fn socket_source_rides_out_mid_stream_disconnects() {
+        let clip = tiny_clip(10);
+        // every connection is cut after 4 records: the client must redial
+        // (at its current position) at least twice to drain 10 frames
+        let (addr, server) = spawn_frame_server(
+            clip.clone(),
+            FrameServerOptions {
+                disconnect_after: Some(4),
+                max_conns: None,
+            },
+        )
+        .unwrap();
+        let mut src = SocketSource::new(addr.to_string(), fast_reconnect(), io_timeout());
+        let got = pull_all(&mut src);
+        server.join().unwrap();
+        let seqs: Vec<u64> = got.iter().map(|lf| lf.frame.seq).collect();
+        let want: Vec<u64> = clip.iter().map(|lf| lf.frame.seq).collect();
+        assert_eq!(seqs, want, "reconnects must not duplicate or skip");
+        assert!(src.reconnects() >= 2, "got {}", src.reconnects());
+        assert!(!src.lost());
+    }
+
+    #[test]
+    fn socket_source_degrades_to_lost_when_the_server_goes_away() {
+        let clip = tiny_clip(10);
+        // one connection only, cut after 3 records; redials are refused
+        let (addr, server) = spawn_frame_server(
+            clip,
+            FrameServerOptions {
+                disconnect_after: Some(3),
+                max_conns: Some(1),
+            },
+        )
+        .unwrap();
+        let mut src = SocketSource::new(
+            addr.to_string(),
+            ReconnectPolicy {
+                retry_budget: 2,
+                backoff_ms: 2,
+                backoff_cap_ms: 4,
+            },
+            io_timeout(),
+        );
+        let got = pull_all(&mut src);
+        server.join().unwrap();
+        assert_eq!(got.len(), 3, "partial delivery before the loss");
+        assert!(src.lost(), "budget exhaustion must mark the source lost");
+        assert_eq!(src.position(), 3);
+        assert!(src.next_frame().is_none(), "lost is terminal");
+    }
+
+    #[test]
+    fn socket_source_resumes_at_a_checkpoint_cursor() {
+        let clip = tiny_clip(9);
+        let (addr, server) =
+            spawn_frame_server(clip.clone(), FrameServerOptions::default()).unwrap();
+        let mut src =
+            SocketSource::new(addr.to_string(), fast_reconnect(), io_timeout()).resume_at(5);
+        assert_eq!(src.position(), 5);
+        let got = pull_all(&mut src);
+        server.join().unwrap();
+        let seqs: Vec<u64> = got.iter().map(|lf| lf.frame.seq).collect();
+        let want: Vec<u64> = clip[5..].iter().map(|lf| lf.frame.seq).collect();
+        assert_eq!(seqs, want);
+        assert_eq!(src.position(), 9);
+    }
+
+    #[test]
+    fn unreliable_source_composes_over_a_socket() {
+        // the deterministic fault grammar applies to a network-attached
+        // source exactly as it does to a local clip
+        let clip = tiny_clip(6);
+        let (addr, server) = spawn_frame_server(clip, FrameServerOptions::default()).unwrap();
+        let inj = SourceFaultPlan::new()
+            .with(0, SourceFault::CorruptAt { at_frame: 2 })
+            .injector(0);
+        let sock = SocketSource::new(addr.to_string(), fast_reconnect(), io_timeout());
+        let mut src = UnreliableSource::new(sock, inj);
+        let mut corrupt_seqs = Vec::new();
+        let mut seen = 0;
+        loop {
+            match src.next_item() {
+                SourceItem::Frame {
+                    lf,
+                    claimed_checksum,
+                } => {
+                    seen += 1;
+                    if frame_checksum(&lf.frame) != claimed_checksum {
+                        corrupt_seqs.push(lf.frame.seq);
+                    }
+                }
+                SourceItem::End => break,
+                SourceItem::Dropped { .. } | SourceItem::Disconnect { .. } => {}
+            }
+        }
+        server.join().unwrap();
+        assert_eq!(seen, 6);
+        assert_eq!(corrupt_seqs, vec![2]);
+        assert_eq!(src.position(), 6);
     }
 
     #[test]

@@ -153,7 +153,10 @@ def gate(baseline_doc, current_doc, baseline_name, current_name,
             )
         base_value = baseline.get(path)
         if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
-            failures.append(
+            # A baseline-side miss is just as hard a failure as a
+            # current-side one: the gate cannot compare what the committed
+            # baseline never recorded, provisional or not.
+            missing_required.append(
                 f"required series `{path}` is missing from {baseline_name} — "
                 "the committed baseline predates it; re-bless via "
                 "scripts/update-baseline.sh to start gating it"
@@ -233,6 +236,9 @@ def self_test():
          variant(base, provisional=True),
          variant(base, **{"stage.snm.int8_fps": "gone"}),
          ["stage.snm.int8_fps"], 1),
+        ("provisional baseline still fails when baseline lacks required series",
+         variant(base, provisional=True, **{"stage.snm.int8_fps": None}),
+         base, ["stage.snm.int8_fps"], 1),
         ("non-numeric leaves are ignored, not compared",
          variant(base, workload="test"), variant(base, workload="other"),
          [], 0),

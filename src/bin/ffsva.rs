@@ -13,12 +13,16 @@
 //!                YOLOv2 baseline (§4.3.1 / Fig. 6).
 //! * `bench`    — run the headline workload on both engines and write
 //!                `BENCH.json` (the CI performance-regression gate input).
+//! * `serve`    — resident daemon: the cluster control plane behind an
+//!                HTTP/1.1 ops API, with SIGTERM-triggered graceful drain
+//!                and crash-safe `--resume`.
 
 use ffs_va::core::accuracy::cascade_pass;
 use ffs_va::core::report::digest_table;
 use ffs_va::core::{
-    evaluate_accuracy, find_max_cluster_streams, find_max_online_streams, max_streams_by_threads,
-    threads_for_streams, AccuracyReport, DEFAULT_THREAD_BUDGET,
+    evaluate_accuracy, find_max_cluster_streams, find_max_online_streams, install_signal_drain,
+    max_streams_by_threads, threads_for_streams, AccuracyReport, Daemon, ServeConfig,
+    DEFAULT_THREAD_BUDGET,
 };
 use ffs_va::models::reference::ReferenceModel;
 use ffs_va::models::sdd::SddFilter;
@@ -86,6 +90,20 @@ stream count N instances sustain with re-forwarding allowed to spread load.
                  [--train-frames N] [--tor F] [--seed N] [--full] [--fit-cost]
                  [--snm-precision f32|int8] [--tyolo-precision f32|int8]
 
+  ffsva serve    --state-dir <dir> [--addr HOST:PORT] [--instances N]
+                 [--epoch-frames N] [--epoch-interval-ms N]
+                 [--fault-plan <spec>] [--source-faults <spec>] [--resume]
+
+serve runs the cluster control plane as a resident daemon behind an
+HTTP/1.1 ops API (POST/DELETE /streams, GET /healthz /readyz /telemetry,
+GET /telemetry/stream, POST /drain). SIGTERM or POST /drain triggers a
+graceful drain: the in-flight epoch completes, every live stream's
+checkpoint and the session manifest land in --state-dir, and the process
+exits 0; `serve --resume` continues bit-identically. The bound address is
+written to <state-dir>/serve.addr (use --addr 127.0.0.1:0 to let the OS
+pick). Fault plans (stage, instance, and source scope) drill the same
+failure modes as simulate.
+
 --snm-precision int8 runs SNM inference through the quantized int8 lowering
 (DESIGN.md §12) in simulate/capacity traces and in both bench engine legs;
 bench always reports the int8-vs-f32 scene-miss delta either way.
@@ -121,6 +139,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         "simulate" => cmd_simulate(&mut args),
         "capacity" => cmd_capacity(&mut args),
         "bench" => cmd_bench(&mut args),
+        "serve" => cmd_serve(&mut args),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             return Ok(());
@@ -181,6 +200,12 @@ impl Args {
 
     /// Error out on anything not consumed by the subcommand.
     fn finish(self) -> Result<(), String> {
+        self.ensure_empty()
+    }
+
+    /// Like [`Args::finish`], for subcommands that must reject leftovers
+    /// *before* starting long-running work (the daemon).
+    fn ensure_empty(&self) -> Result<(), String> {
         if self.0.is_empty() {
             Ok(())
         } else {
@@ -718,11 +743,8 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
         if !matches!(mode, Mode::Online) {
             return Err("--instances runs the online cluster control plane; drop --mode".into());
         }
-        if want_baseline || source_plan.is_some() || resume || stop_after != usize::MAX {
-            return Err(
-                "--instances is incompatible with --baseline/--source-faults/--resume/--stop-after"
-                    .into(),
-            );
+        if want_baseline || resume || stop_after != usize::MAX {
+            return Err("--instances is incompatible with --baseline/--resume/--stop-after".into());
         }
         let cluster_plan = match &fault_spec {
             Some(spec) => {
@@ -741,6 +763,9 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
         let mut cluster = Cluster::new(sys, cfg);
         if let Some(plan) = &cluster_plan {
             cluster = cluster.with_fault_plan(plan);
+        }
+        if let Some(plan) = &source_plan {
+            cluster = cluster.with_source_plan(plan);
         }
         let report = cluster
             .run(inputs)
@@ -797,6 +822,10 @@ fn cmd_simulate(args: &mut Args) -> Result<(), String> {
                 } => println!(
                     "  stream {s}: unfinished at frame {cursor} \
                      (instance {instance:?}, {reforwards} re-forward(s))"
+                ),
+                StreamOutcome::Dropped { cursor, reforwards } => println!(
+                    "  stream {s}: dropped by the operator at frame {cursor} \
+                     ({reforwards} re-forward(s))"
                 ),
             }
         }
@@ -1524,5 +1553,89 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
         serde_json::to_string_pretty(&report).map_err(|e| format!("serialize bench: {}", e))?;
     std::fs::write(&out, json).map_err(|e| format!("cannot write {}: {}", out.display(), e))?;
     println!("bench report written to {}", out.display());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// serve
+
+fn cmd_serve(args: &mut Args) -> Result<(), String> {
+    let state_dir = PathBuf::from(args.req("state-dir")?);
+    let addr = args.opt("addr")?.unwrap_or_else(|| "127.0.0.1:0".into());
+    let instances: usize = args.parsed("instances", 2)?;
+    let epoch_frames: u64 = args.parsed("epoch-frames", 150)?;
+    let epoch_interval_ms: u64 = args.parsed("epoch-interval-ms", 0)?;
+    let resume = args.flag("resume");
+    if instances == 0 {
+        return Err("--instances must be positive".into());
+    }
+    if epoch_frames == 0 {
+        return Err("--epoch-frames must be positive".into());
+    }
+    let fault_plan = match args.opt("fault-plan")? {
+        Some(spec) => {
+            let plan =
+                ClusterFaultPlan::parse(&spec).map_err(|e| format!("invalid --fault-plan: {e}"))?;
+            plan.validate()
+                .map_err(|e| format!("invalid --fault-plan: {e}"))?;
+            Some(plan)
+        }
+        None => None,
+    };
+    let source_plan = match args.opt("source-faults")? {
+        Some(spec) => {
+            let plan = SourceFaultPlan::parse(&spec)
+                .map_err(|e| format!("invalid --source-faults: {e}"))?;
+            plan.validate()
+                .map_err(|e| format!("invalid --source-faults: {e}"))?;
+            Some(plan)
+        }
+        None => None,
+    };
+    args.ensure_empty()?;
+
+    let cfg = ServeConfig {
+        addr,
+        state_dir: state_dir.clone(),
+        instances,
+        epoch_frames,
+        fault_plan,
+        source_plan,
+        resume,
+        epoch_interval: std::time::Duration::from_millis(epoch_interval_ms),
+    };
+    let daemon = Daemon::start(FfsVaConfig::default(), cfg).map_err(|e| format!("serve: {e}"))?;
+    install_signal_drain();
+    println!(
+        "ffsva serve: listening on {} (state dir {}, {} instance(s), {} frames/epoch{})",
+        daemon.local_addr(),
+        state_dir.display(),
+        instances,
+        epoch_frames,
+        if resume { ", resumed" } else { "" }
+    );
+    // supervisors scrape stdout for the address; don't sit on it
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let report = daemon.run().map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "drained at epoch {} ({}): {} stream(s); manifest {}",
+        report.epoch,
+        report.reason,
+        report.streams.len(),
+        report.manifest
+    );
+    for st in &report.streams {
+        println!(
+            "  stream {}: {} at frame {}/{} ({} survivor(s){})",
+            st.id,
+            st.state,
+            st.cursor,
+            st.total_frames,
+            st.survivors,
+            if st.source_lost { ", source lost" } else { "" }
+        );
+    }
     Ok(())
 }

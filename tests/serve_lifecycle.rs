@@ -1,0 +1,437 @@
+//! `ffsva serve` lifecycle battery (DESIGN.md §14): the resident daemon
+//! must register/drop streams over its HTTP ops API, answer health and
+//! telemetry without touching engine state, reject malformed requests and
+//! over-capacity offers deterministically, pull network-attached cameras
+//! with fault-modeled links — and above all drain gracefully: a drain mid-
+//! run followed by `--resume` must finish with survivor sets bit-identical
+//! to an uninterrupted run, even while stage-, instance- and source-fault
+//! plans are all firing.
+
+use ffs_va::core::{
+    Daemon, DrainReport, Engine, FfsVaConfig, Mode, ServeConfig, StreamInput, StreamThresholds,
+    SurvivingFrame,
+};
+use ffs_va::prelude::{ClusterFaultPlan, FrameTrace, SourceFaultPlan};
+use ffs_va::video::workloads;
+use ffs_va::video::{FrameServerOptions, ObjectClass, VideoStream};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// harness
+
+fn synthetic_input(n: usize, target_every: usize) -> StreamInput {
+    let traces = (0..n)
+        .map(|i| {
+            let target = target_every > 0 && i % target_every == 0;
+            FrameTrace {
+                seq: i as u64,
+                pts_ms: (i as u64) * 33,
+                sdd_distance: if target { 0.01 } else { 0.0001 },
+                snm_prob: if target { 0.9 } else { 0.05 },
+                tyolo_count: u16::from(target),
+                reference_count: u16::from(target),
+                truth_count: u16::from(target),
+                truth_complete: u16::from(target),
+            }
+        })
+        .collect();
+    StreamInput {
+        traces,
+        thresholds: StreamThresholds {
+            delta_diff: 0.001,
+            t_pre: 0.5,
+            number_of_objects: 1,
+        },
+    }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ffsva_serve_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawn a daemon and hand back its address, a drain trigger, and the
+/// running thread (joins into the drain report).
+fn spawn_daemon(
+    cfg: ServeConfig,
+) -> (
+    SocketAddr,
+    ffs_va::core::DrainHandle,
+    JoinHandle<std::io::Result<DrainReport>>,
+) {
+    let daemon = Daemon::start(FfsVaConfig::default(), cfg).expect("daemon start");
+    let addr = daemon.local_addr();
+    let handle = daemon.drain_handle();
+    let thread = std::thread::spawn(move || daemon.run());
+    (addr, handle, thread)
+}
+
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> serde_json::Value {
+        serde_json::from_slice(&self.body).expect("JSON body")
+    }
+}
+
+/// One raw HTTP/1.1 exchange; the server closes after each response.
+fn raw(addr: SocketAddr, request: &str) -> Response {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    conn.write_all(request.as_bytes()).expect("send");
+    let mut buf = Vec::new();
+    conn.read_to_end(&mut buf).expect("recv");
+    let text_end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = String::from_utf8_lossy(&buf[..text_end]).to_string();
+    let mut lines = head.lines();
+    let status = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Response {
+        status,
+        headers,
+        body: buf[text_end + 4..].to_vec(),
+    }
+}
+
+fn get(addr: SocketAddr, path: &str) -> Response {
+    raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
+    raw(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn delete(addr: SocketAddr, path: &str) -> Response {
+    raw(addr, &format!("DELETE {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn inline_body(input: &StreamInput) -> String {
+    serde_json::json!({
+        "kind": "inline",
+        "traces": input.traces,
+        "thresholds": input.thresholds,
+    })
+    .to_string()
+}
+
+/// Poll `GET /streams/<id>` until the predicate holds (panics on timeout).
+fn wait_stream(
+    addr: SocketAddr,
+    id: usize,
+    what: &str,
+    pred: impl Fn(&serde_json::Value) -> bool,
+) -> serde_json::Value {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let resp = get(addr, &format!("/streams/{id}"));
+        assert_eq!(resp.status, 200, "stream {id} status poll");
+        let status = resp.json();
+        if pred(&status) {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for stream {id} to be {what}; last status {status}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tests
+
+#[test]
+fn ops_api_covers_the_stream_lifecycle() {
+    let dir = tmp_dir("lifecycle");
+    let expected = Engine::new(
+        FfsVaConfig::default(),
+        Mode::Online,
+        vec![synthetic_input(320, 8)],
+    )
+    .run()
+    .per_stream_survivors;
+
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.epoch_frames = 100;
+    let (addr, drain, thread) = spawn_daemon(cfg);
+
+    // health surface is up before any stream exists
+    assert_eq!(get(addr, "/healthz").status, 200);
+    assert_eq!(get(addr, "/readyz").status, 200);
+    assert_eq!(get(addr, "/nonsense").status, 404);
+
+    // a malformed request is rejected without touching engine state
+    assert_eq!(raw(addr, "BLARG\r\n\r\n").status, 400);
+    assert_eq!(post(addr, "/streams", "{\"kind\":\"laser\"}").status, 400);
+    assert_eq!(get(addr, "/streams/xyz").status, 400);
+
+    // register, watch it run to completion, and check the survivors bit
+    let resp = post(addr, "/streams", &inline_body(&synthetic_input(320, 8)));
+    assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+    let created = resp.json();
+    assert_eq!(created["id"], 0);
+    assert_eq!(created["total_frames"], 320);
+    assert_eq!(created["source_lost"], false);
+
+    let done = wait_stream(addr, 0, "completed", |s| s["state"] == "completed");
+    assert_eq!(done["cursor"], 320);
+
+    let survivors: Vec<SurvivingFrame> =
+        serde_json::from_slice(&get(addr, "/streams/0/survivors").body).expect("survivors");
+    assert_eq!(
+        survivors, expected[0],
+        "daemon-run survivors must match the monolithic engine"
+    );
+
+    // telemetry: one-shot snapshot plus the NDJSON change feed
+    let snapshot = get(addr, "/telemetry").json();
+    assert_eq!(snapshot["counters"]["cluster.offers"], 1);
+    assert_eq!(snapshot["counters"]["serve.streams_registered"], 1);
+    assert!(
+        snapshot["counters"]["serve.http_requests"]
+            .as_u64()
+            .unwrap()
+            > 1
+    );
+
+    let feed = get(addr, "/telemetry/stream?max=2");
+    assert_eq!(feed.status, 200);
+    let lines: Vec<&[u8]> = feed
+        .body
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .collect();
+    assert_eq!(lines.len(), 2, "feed must emit exactly max events");
+    for (i, line) in lines.iter().enumerate() {
+        let ev: serde_json::Value = serde_json::from_slice(line).expect("feed event");
+        assert_eq!(ev["seq"], i as u64);
+        assert!(!ev["changed"].as_array().unwrap().is_empty());
+    }
+
+    // terminal streams cannot be dropped; unknown ids are distinct
+    assert_eq!(delete(addr, "/streams/0").status, 409);
+    assert_eq!(delete(addr, "/streams/99").status, 404);
+
+    // a live stream can: register a long server-side synthetic one (no
+    // 100k-trace body needed), then drop it mid-flight
+    let long = r#"{"kind":"synthetic","frames":100000,"target_every":8}"#;
+    let resp = post(addr, "/streams", long);
+    assert_eq!(resp.status, 201);
+    assert_eq!(resp.json()["id"], 1);
+    let resp = delete(addr, "/streams/1");
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(resp.json()["state"], "dropped");
+    assert_eq!(get(addr, "/streams/1").json()["state"], "dropped");
+
+    // drain over the API: readyz flips, registration refuses, run() returns
+    assert_eq!(post(addr, "/drain", "").status, 202);
+    drain.drain(); // idempotent with the API path
+    let report = thread.join().expect("join").expect("drain");
+    assert_eq!(report.reason, "api");
+    assert_eq!(report.streams.len(), 2);
+    assert_eq!(report.streams[0].state, "completed");
+    assert_eq!(report.streams[1].state, "dropped");
+    assert!(dir.join("manifest.json").is_file());
+    assert!(dir.join("drain-report.json").is_file());
+    let recorded = std::fs::read_to_string(dir.join("serve.addr")).expect("serve.addr");
+    assert_eq!(recorded.parse::<SocketAddr>().expect("recorded addr"), addr);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_and_resume_are_bit_identical_under_active_fault_plans() {
+    let dir = tmp_dir("drain_resume");
+    let inputs: Vec<StreamInput> = (0..3).map(|_| synthetic_input(1000, 8)).collect();
+    let splan = SourceFaultPlan::parse("stream0.src:drop@10..15,stream2.src:corrupt@260").unwrap();
+    let cplan = ClusterFaultPlan::parse("instance0:crash@150,stream1.snm:stall@120+60ms").unwrap();
+    // reference: the same streams, uninterrupted, in one monolithic engine
+    // with the same source faults (the stall shifts timing, the crash only
+    // moves streams — neither may change a single survivor bit)
+    let expected = Engine::new(FfsVaConfig::default(), Mode::Online, inputs.clone())
+        .with_source_plan(&splan)
+        .run()
+        .per_stream_survivors;
+
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.epoch_frames = 100;
+    cfg.epoch_interval = Duration::from_millis(25);
+    cfg.fault_plan = Some(cplan.clone());
+    cfg.source_plan = Some(splan.clone());
+    let (addr, drain, thread) = spawn_daemon(cfg);
+
+    for (i, input) in inputs.iter().enumerate() {
+        let resp = post(addr, "/streams", &inline_body(input));
+        assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+        assert_eq!(resp.json()["id"], i as u64);
+    }
+    // let at least one epoch land, then pull the plug mid-run
+    wait_stream(addr, 2, "past its first epoch", |s| {
+        s["cursor"].as_u64().unwrap() >= 100
+    });
+    drain.drain();
+    let report = thread.join().expect("join").expect("drain");
+    assert_eq!(report.reason, "handle");
+    assert!(report.epoch >= 1);
+    assert!(dir.join("manifest.json").is_file());
+
+    // resume against the same state dir and the same fault plans
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.epoch_frames = 100;
+    cfg.fault_plan = Some(cplan);
+    cfg.source_plan = Some(splan);
+    cfg.resume = true;
+    let (addr, drain, thread) = spawn_daemon(cfg);
+    for i in 0..3 {
+        wait_stream(addr, i, "completed", |s| s["state"] == "completed");
+    }
+    for (i, exp) in expected.iter().enumerate() {
+        let survivors: Vec<SurvivingFrame> =
+            serde_json::from_slice(&get(addr, &format!("/streams/{i}/survivors")).body)
+                .expect("survivors");
+        assert_eq!(
+            &survivors, exp,
+            "stream {i}: drain/resume drifted from the uninterrupted run"
+        );
+    }
+    drain.drain();
+    let report = thread.join().expect("join").expect("drain");
+    assert!(report.streams.iter().all(|s| s.state == "completed"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_rejects_over_capacity_offers_with_retry_after() {
+    let dir = tmp_dir("admission");
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.instances = 1;
+    // freeze the control loop so completed work cannot free capacity
+    // between registrations: rejection is then a pure admission decision
+    cfg.epoch_interval = Duration::from_secs(3600);
+    let (addr, drain, thread) = spawn_daemon(cfg);
+
+    let heavy = inline_body(&synthetic_input(300, 1));
+    let mut rejected = None;
+    for i in 0..40 {
+        let resp = post(addr, "/streams", &heavy);
+        match resp.status {
+            201 => continue,
+            429 => {
+                rejected = Some((i, resp));
+                break;
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    let (after, resp) = rejected.expect("a single instance must saturate within 40 heavy streams");
+    assert!(after >= 1, "one heavy stream must be admissible");
+    let retry_after: u64 = resp
+        .header("Retry-After")
+        .expect("Retry-After header")
+        .parse()
+        .expect("numeric Retry-After");
+    assert!(retry_after >= 1);
+    assert_eq!(resp.json()["state"], "rejected");
+    assert_eq!(resp.json()["retry_after_s"], retry_after);
+
+    drain.drain();
+    let report = thread.join().expect("join").expect("drain");
+    assert_eq!(report.reason, "handle");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn socket_cameras_register_and_degrade_on_link_loss() {
+    let dir = tmp_dir("socket");
+    let clip = VideoStream::new(0, workloads::test_tiny(ObjectClass::Car, 0.3, 42)).clip(40);
+    let (addr, _, thread) = spawn_daemon(ServeConfig::new(&dir));
+
+    // a healthy camera delivers its whole clip
+    let (cam, cam_thread) =
+        ffs_va::video::spawn_frame_server(clip.clone(), FrameServerOptions::default())
+            .expect("camera");
+    let spec = serde_json::json!({"kind": "socket", "addr": cam.to_string()}).to_string();
+    let resp = post(addr, "/streams", &spec);
+    assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(resp.json()["total_frames"], 40);
+    assert_eq!(resp.json()["source_lost"], false);
+    cam_thread.join().expect("camera thread");
+
+    // a camera that dies mid-clip and never comes back: the delivered
+    // prefix registers, flagged source_lost
+    let (cam, cam_thread) = ffs_va::video::spawn_frame_server(
+        clip,
+        FrameServerOptions {
+            disconnect_after: Some(8),
+            max_conns: Some(1),
+        },
+    )
+    .expect("flaky camera");
+    let spec = serde_json::json!({
+        "kind": "socket",
+        "addr": cam.to_string(),
+        "retry_budget": 2,
+        "backoff_ms": 2,
+        "backoff_cap_ms": 10,
+    })
+    .to_string();
+    let resp = post(addr, "/streams", &spec);
+    assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(resp.json()["source_lost"], true);
+    assert_eq!(resp.json()["total_frames"], 8);
+    cam_thread.join().expect("flaky camera thread");
+
+    // an unreachable camera is a clean 502, not a daemon fault
+    let gone = {
+        let l = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        l.local_addr().unwrap()
+    };
+    let spec = serde_json::json!({
+        "kind": "socket",
+        "addr": gone.to_string(),
+        "retry_budget": 1,
+        "backoff_ms": 2,
+        "backoff_cap_ms": 4,
+    })
+    .to_string();
+    assert_eq!(post(addr, "/streams", &spec).status, 502);
+    assert_eq!(get(addr, "/healthz").status, 200, "daemon must survive");
+
+    // in-process drain (the SIGTERM path shares this code)
+    assert_eq!(post(addr, "/drain", "").status, 202);
+    let report = thread.join().expect("join").expect("drain");
+    assert_eq!(report.reason, "api");
+    let _ = std::fs::remove_dir_all(&dir);
+}

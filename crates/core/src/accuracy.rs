@@ -20,8 +20,12 @@ pub fn cascade_pass(tr: &FrameTrace, th: &StreamThresholds) -> bool {
 /// objects (§5.3: "if one or two object misjudgment can be tolerated by
 /// relaxing the filtering threshold, the error rate will be greatly
 /// reduced"). The accuracy ground truth still uses the full requirement.
+///
+/// When the relaxed requirement reaches zero — including the any-motion
+/// query `number_of_objects == 0` — T-YOLO imposes no count requirement and
+/// SDD/SNM are the only gates ([`FrameTrace::tyolo_pass`] semantics).
 pub fn cascade_pass_relaxed(tr: &FrameTrace, th: &StreamThresholds, relax: usize) -> bool {
-    let need = th.number_of_objects.saturating_sub(relax).max(1);
+    let need = th.number_of_objects.saturating_sub(relax);
     tr.sdd_pass(th.delta_diff) && tr.snm_pass(th.t_pre) && tr.tyolo_pass(need)
 }
 
@@ -158,7 +162,9 @@ pub fn evaluate_relaxed(
             if passed {
                 scene_hit = true;
             }
-            if (tr.truth_complete as usize) >= n_obj.max(1) {
+            // n_obj = 0 (any-motion): every target scene is significant,
+            // mirroring `is_reference_target`'s vacuous-pass semantics.
+            if (tr.truth_complete as usize) >= n_obj {
                 scene_significant = true;
             }
         } else if in_scene {
@@ -191,11 +197,27 @@ pub struct PrPoint {
 
 /// Sweep `t_pre` across `[0, 1]` with the other thresholds fixed and report
 /// the cascade's frame-level precision/recall at each point — the quantity
-/// behind the paper's FilterDegree trade-off (Fig. 7).
+/// behind the paper's FilterDegree trade-off (Fig. 7). Evaluates the strict
+/// cascade; see [`precision_recall_sweep_relaxed`] for relaxed queries.
 pub fn precision_recall_sweep(
     traces: &[FrameTrace],
     th: &StreamThresholds,
     points: usize,
+) -> Vec<PrPoint> {
+    precision_recall_sweep_relaxed(traces, th, points, 0)
+}
+
+/// [`precision_recall_sweep`] with the T-YOLO count requirement relaxed by
+/// `relax` objects, matching what [`evaluate_relaxed`] scores — the sweep a
+/// relaxed query must be tuned against. (The unrelaxed sweep used to be the
+/// only one, so sweeps and accuracy reports silently disagreed whenever
+/// `relax > 0`.) The ground-truth target set still uses the full
+/// `number_of_objects` requirement, exactly like `evaluate_relaxed`.
+pub fn precision_recall_sweep_relaxed(
+    traces: &[FrameTrace],
+    th: &StreamThresholds,
+    points: usize,
+    relax: usize,
 ) -> Vec<PrPoint> {
     assert!(points >= 2, "need at least two sweep points");
     let targets = traces
@@ -210,7 +232,7 @@ pub fn precision_recall_sweep(
             let mut forwarded = 0usize;
             let mut tp = 0usize;
             for tr in traces {
-                if cascade_pass(tr, &sweep_th) {
+                if cascade_pass_relaxed(tr, &sweep_th, relax) {
                     forwarded += 1;
                     if tr.is_reference_target(th.number_of_objects) {
                         tp += 1;
@@ -372,5 +394,89 @@ mod tests {
         let rep = evaluate(&traces, &th());
         assert_eq!(rep.scenes, 1);
         assert_eq!(rep.scenes_detected, 1);
+    }
+
+    #[test]
+    fn sweep_honors_relax() {
+        // Crowd query (n_obj = 2) where T-YOLO systematically undercounts:
+        // every target frame carries tyolo_count = 1, so the strict sweep
+        // forwards nothing while relax = 1 recovers every target frame. The
+        // two curves must genuinely differ — this is the bug where sweeps
+        // ignored `relax` and disagreed with `evaluate_relaxed`.
+        let traces: Vec<FrameTrace> = (0..80)
+            .map(|i| {
+                let target = i % 4 == 0;
+                FrameTrace {
+                    seq: i as u64,
+                    pts_ms: 0,
+                    sdd_distance: 1.0,
+                    snm_prob: if target { 0.9 } else { 0.1 },
+                    tyolo_count: u16::from(target), // always one short of n_obj
+                    reference_count: if target { 2 } else { 0 },
+                    truth_count: if target { 2 } else { 0 },
+                    truth_complete: if target { 2 } else { 0 },
+                }
+            })
+            .collect();
+        let mut th2 = th();
+        th2.number_of_objects = 2;
+        let strict = precision_recall_sweep(&traces, &th2, 5);
+        let relaxed = precision_recall_sweep_relaxed(&traces, &th2, 5, 1);
+        // strict: no frame ever reaches 2 T-YOLO objects
+        assert!(strict.iter().all(|p| p.forwarded == 0 && p.recall == 0.0));
+        // relaxed: at low thresholds every target frame is forwarded
+        assert_eq!(relaxed[0].recall, 1.0);
+        assert!(relaxed[0].forwarded > 0);
+        // and the relaxed sweep agrees with evaluate_relaxed at t_pre = 0.5
+        let mut mid = th2;
+        mid.t_pre = 0.5;
+        let rep = evaluate_relaxed(&traces, &mid, 1);
+        let sweep_mid = relaxed.iter().find(|p| p.t_pre == 0.5).unwrap();
+        assert_eq!(sweep_mid.forwarded, rep.forwarded_frames);
+    }
+
+    #[test]
+    fn zero_objects_means_any_motion_not_one_object() {
+        // n_obj = 0: T-YOLO imposes no requirement, so frames with zero
+        // detections still pass (SDD/SNM gating only), and every frame is a
+        // reference target — the cascade is judged against full capture.
+        let mut th0 = th();
+        th0.number_of_objects = 0;
+        let quiet = FrameTrace {
+            tyolo_count: 0,
+            reference_count: 0,
+            ..tr(false, true) // sdd_distance 1.0, snm_prob 1.0
+        };
+        assert!(cascade_pass(&quiet, &th0));
+        let dropped = tr(false, false); // fails SDD
+        assert!(!cascade_pass(&dropped, &th0));
+
+        // full-capture accounting: one contiguous scene, every frame a
+        // target; dropping any frame is a false negative
+        let traces = vec![quiet; 10]
+            .into_iter()
+            .chain(vec![dropped; 5])
+            .collect::<Vec<_>>();
+        let rep = evaluate(&traces, &th0);
+        assert_eq!(rep.reference_target_frames, 15);
+        assert_eq!(rep.forwarded_frames, 10);
+        assert_eq!(rep.false_negative_frames, 5);
+        assert_eq!(rep.scenes, 1);
+        assert_eq!(rep.significant_scenes, 1);
+        assert_eq!(rep.scene_miss_rate, 0.0);
+    }
+
+    #[test]
+    fn relax_can_reach_zero_requirement() {
+        // relax ≥ n_obj used to clamp at "≥ 1 object"; now it degrades to
+        // the any-motion gate, so a zero-count frame passes under SDD/SNM.
+        let quiet = FrameTrace {
+            tyolo_count: 0,
+            ..tr(true, true)
+        };
+        let th1 = th(); // n_obj = 1
+        assert!(!cascade_pass_relaxed(&quiet, &th1, 0));
+        assert!(cascade_pass_relaxed(&quiet, &th1, 1));
+        assert!(cascade_pass_relaxed(&quiet, &th1, 2));
     }
 }

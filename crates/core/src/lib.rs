@@ -12,6 +12,8 @@
 //!   models with blocking feedback queues.
 //! * [`baseline`] — the YOLOv2-on-both-GPUs comparison system.
 //! * [`accuracy`] — false-negative/error-run/scene accounting (§5.3, Table 2).
+//! * [`tune`] — cost-based cascade auto-tuning (`ffsva tune`) and online
+//!   drift recalibration (windowed shift detection, SDD/SNM re-derivation).
 //! * [`instance`] — max-stream search, admission, and stream re-forwarding.
 //! * [`cluster`] — the fleet control plane: instance faults, telemetry-fed
 //!   admission, and checkpoint-riding re-forwarding across instances.
@@ -51,12 +53,13 @@ pub mod report;
 pub mod rt_engine;
 pub mod serve;
 pub mod sim;
+pub mod tune;
 pub mod viz;
 pub mod workload;
 
 pub use accuracy::{
     evaluate as evaluate_accuracy, evaluate_relaxed as evaluate_accuracy_relaxed,
-    precision_recall_sweep, AccuracyReport, ErrorRunStats, PrPoint,
+    precision_recall_sweep, precision_recall_sweep_relaxed, AccuracyReport, ErrorRunStats, PrPoint,
 };
 pub use baseline::{run_baseline, BaselineResult};
 pub use checkpoint::{
@@ -81,13 +84,18 @@ pub use instance::{
 };
 pub use rt_engine::{
     run_multi_pipeline_rt, run_multi_pipeline_rt_faulted, run_multi_pipeline_rt_robust,
-    run_pipeline_rt, MultiRtResult, RtResult, StreamHealth, SurvivingFrame,
+    run_pipeline_rt, run_pipeline_rt_recal, MultiRtResult, RtResult, StreamHealth, SurvivingFrame,
 };
 pub use serve::{
     install_signal_drain, signal_drain_requested, Daemon, DrainHandle, DrainReport, ResolvedStream,
     ServeConfig, StreamSpec,
 };
 pub use sim::{Engine, FrameTimeline, Mode, SimResult, Stage, StreamInput};
+pub use tune::{
+    config_for, drift_ablation, scene_miss_from_survivors, tune, DriftAblationReport, DriftConfig,
+    DriftDetector, TuneCandidate, TuneInput, TuneKnobs, TuneOptions, TuneReport,
+    TUNE_SCHEMA_VERSION,
+};
 pub use viz::{
     render_device_occupancy, render_latency_breakdown, render_stage_activity,
     stage_latency_breakdown,

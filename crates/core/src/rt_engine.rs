@@ -25,9 +25,12 @@ use ffsva_video::{
     SourceFaultPlan, SourceItem, UnreliableSource,
 };
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::tune::{DriftConfig, DriftDetector};
 
 /// A frame in flight through the threaded pipeline, stamped with its
 /// pipeline-entry instant so stages can record end-to-end latency at the
@@ -112,7 +115,9 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
         ..
     } = bank;
     let t_pre = snm.t_pre(cfg.filter_degree);
-    let number_of_objects = cfg.number_of_objects.max(1);
+    // 0 is the any-motion query: T-YOLO imposes no count requirement
+    // (matching `FrameTrace::tyolo_pass`), so no clamping to 1 here.
+    let number_of_objects = cfg.number_of_objects;
     let tyolo = Arc::new(tyolo);
 
     let tel = Telemetry::new();
@@ -268,6 +273,267 @@ pub fn run_pipeline_rt(clip: Vec<LabeledFrame>, bank: FilterBank, cfg: &FfsVaCon
     let wall = start.elapsed().as_secs_f64();
     // engine-private series carry the `rt.` prefix and are excluded from
     // DES↔RT name conformance
+    tel.counter("rt.wall_time_us").add((wall * 1e6) as u64);
+    RtResult {
+        total_frames: total,
+        stage_processed: [c_sdd, c_snm, c_tyolo, c_ref],
+        survivors,
+        wall_time_s: wall,
+        throughput_fps: total as f64 / wall.max(1e-9),
+        telemetry: tel.snapshot(),
+    }
+}
+
+/// [`run_pipeline_rt`] with online drift recalibration (DESIGN.md §15).
+///
+/// The SDD stage feeds every frame's distance to a [`DriftDetector`]; when
+/// a regime shift is declared (day → night illumination, §3.2.1's "changing
+/// light color and intensity" taken to its breaking point), the stage
+/// rebuilds its background reference from the lowest-distance half of the
+/// recent frame window — the best available estimate of content-free frames
+/// in the new regime — and raises a flag. The SNM stage answers the flag by
+/// re-deriving `t_pre` from its recent probability distribution so the
+/// pre-shift pass rate is preserved; the threshold only ever moves *down*,
+/// and never below the model's `c_low`, so recall cannot be lost to
+/// threshold motion.
+///
+/// A run in which the detector never fires is **bit-identical** to
+/// [`run_pipeline_rt`]: the added bookkeeping observes decisions but alters
+/// none until a detection lands (`tests` pin this). `drift.*` counters
+/// record detections, SDD rebuilds, and SNM retunes.
+pub fn run_pipeline_rt_recal(
+    clip: Vec<LabeledFrame>,
+    bank: FilterBank,
+    cfg: &FfsVaConfig,
+    drift: DriftConfig,
+) -> RtResult {
+    let start = Instant::now();
+    let total = clip.len() as u64;
+
+    let FilterBank {
+        target,
+        sdd,
+        mut snm,
+        tyolo,
+        reference,
+        ..
+    } = bank;
+    let c_low = snm.c_low;
+    let t_pre = snm.t_pre(cfg.filter_degree);
+    let number_of_objects = cfg.number_of_objects;
+    let tyolo = Arc::new(tyolo);
+
+    let tel = Telemetry::new();
+    let lat_e2e = tel.histogram("latency.e2e_us", LATENCY_BOUNDS_US);
+    let lat_ref = tel.histogram("latency.ref_us", LATENCY_BOUNDS_US);
+    // drift.* series exist (at zero) even when nothing fires, so ablation
+    // tooling can always read them
+    let c_detections = tel.counter("drift.detections");
+    let c_rebuilds = tel.counter("drift.sdd_rebuilds");
+    let c_retunes = tel.counter("drift.snm_retunes");
+    // set by the SDD stage on detection, consumed by the SNM stage
+    let drift_flag = Arc::new(AtomicBool::new(false));
+
+    let q_sdd: FeedbackQueue<InFlight> = FeedbackQueue::with_telemetry(
+        cfg.sdd_queue_depth.max(1),
+        QueueTelemetry::register(&tel, "queue.sdd"),
+    );
+    let q_snm: FeedbackQueue<InFlight> = FeedbackQueue::with_telemetry(
+        cfg.snm_queue_depth.max(1),
+        QueueTelemetry::register(&tel, "queue.snm"),
+    );
+    let q_tyolo: FeedbackQueue<InFlight> = FeedbackQueue::with_telemetry(
+        cfg.tyolo_queue_depth.max(1),
+        QueueTelemetry::register(&tel, "queue.tyolo"),
+    );
+    let q_ref: FeedbackQueue<InFlight> = FeedbackQueue::with_telemetry(
+        cfg.reference_queue_depth.max(1),
+        QueueTelemetry::register(&tel, "queue.reference"),
+    );
+    let q_out: FeedbackQueue<SurvivingFrame> = FeedbackQueue::new(1024);
+
+    // SDD stage: distance, drift watch, reference rebuild on detection.
+    let delta = sdd.delta_diff;
+    let lat = lat_e2e.clone();
+    let h_sdd = spawn_filter_stage_instrumented(
+        "sdd",
+        q_sdd.clone(),
+        q_snm.clone(),
+        StageTelemetry::register(&tel, "stream0.sdd"),
+        {
+            let mut scratch = Scratch::new();
+            let mut sdd = sdd;
+            let mut det = DriftDetector::new(drift);
+            let window = drift.window.max(1);
+            let mut recent: VecDeque<(f32, Vec<f32>)> = VecDeque::with_capacity(window);
+            let flag = Arc::clone(&drift_flag);
+            let detections = c_detections.clone();
+            let rebuilds = c_rebuilds.clone();
+            move |(t0, lf): InFlight| {
+                let d = sdd.distance_with(&lf.frame, &mut scratch);
+                if recent.len() == window {
+                    recent.pop_front();
+                }
+                recent.push_back((d, scratch.resized.clone()));
+                if det.observe(f64::from(d)) {
+                    detections.inc();
+                    // Re-lock the reference onto the shifted background: the
+                    // lowest-distance half of the recent window is the best
+                    // estimate of content-free frames in the new regime.
+                    let mut by_distance: Vec<usize> = (0..recent.len()).collect();
+                    by_distance
+                        .sort_by(|&a, &b| recent[a].0.total_cmp(&recent[b].0).then(a.cmp(&b)));
+                    let take = (by_distance.len() / 2).max(1);
+                    let smalls: Vec<&[f32]> = by_distance[..take]
+                        .iter()
+                        .map(|&i| recent[i].1.as_slice())
+                        .collect();
+                    sdd.rebuild_reference_from_smalls(&smalls);
+                    rebuilds.inc();
+                    flag.store(true, Ordering::Relaxed);
+                }
+                // δ_diff is kept: the rebuild re-centers distances instead
+                if d > delta {
+                    Some((t0, lf))
+                } else {
+                    lat.record(elapsed_us(t0));
+                    None
+                }
+            }
+        },
+    );
+
+    // SNM stage: batch inference plus flag-driven threshold re-derivation.
+    let policy = cfg.batch_policy;
+    let precision = cfg.snm_precision;
+    let c_batches = tel.counter("snm.batches");
+    let lat = lat_e2e.clone();
+    let h_snm = spawn_batch_stage_instrumented(
+        "snm",
+        q_snm,
+        q_tyolo.clone(),
+        policy,
+        StageTelemetry::register(&tel, "stream0.snm"),
+        {
+            let mut scratch = Scratch::new();
+            let flag = Arc::clone(&drift_flag);
+            let retunes = c_retunes.clone();
+            let window = drift.window.max(1);
+            let mut t_pre = t_pre;
+            let mut recent: VecDeque<f32> = VecDeque::with_capacity(window);
+            let mut seen = 0u64;
+            let mut passed = 0u64;
+            move |batch: Vec<InFlight>| {
+                c_batches.inc();
+                let frames: Vec<&Frame> = batch.iter().map(|(_, lf)| &lf.frame).collect();
+                let probs = snm_predict(&mut snm, precision, &frames, &mut scratch);
+                if flag.swap(false, Ordering::Relaxed) && seen > 0 && !recent.is_empty() {
+                    // Preserve the pre-shift pass rate: put the threshold at
+                    // the matching quantile of the recent probability
+                    // distribution, lowering-only and floored at c_low so
+                    // recall cannot regress from threshold motion.
+                    let mut sorted: Vec<f32> = recent.iter().copied().collect();
+                    sorted.sort_by(f32::total_cmp);
+                    let pass_rate = (passed as f64 / seen as f64).clamp(0.0, 1.0);
+                    let idx = ((sorted.len() as f64) * (1.0 - pass_rate)) as usize;
+                    let q = sorted[idx.min(sorted.len() - 1)];
+                    let lowered = q.clamp(c_low, t_pre);
+                    if lowered < t_pre {
+                        t_pre = lowered;
+                        retunes.inc();
+                    }
+                }
+                batch
+                    .into_iter()
+                    .zip(probs)
+                    .filter_map(|((t0, lf), p)| {
+                        seen += 1;
+                        if recent.len() == window {
+                            recent.pop_front();
+                        }
+                        recent.push_back(p);
+                        if p >= t_pre {
+                            passed += 1;
+                            Some((t0, lf))
+                        } else {
+                            lat.record(elapsed_us(t0));
+                            None
+                        }
+                    })
+                    .collect()
+            }
+        },
+    );
+
+    // T-YOLO and reference stages are untouched by recalibration.
+    let ty = Arc::clone(&tyolo);
+    let c_cycles = tel.counter("tyolo.cycles");
+    let lat = lat_e2e.clone();
+    let ty_precision = cfg.tyolo_precision;
+    let h_tyolo = spawn_filter_stage_instrumented(
+        "tyolo",
+        q_tyolo,
+        q_ref.clone(),
+        StageTelemetry::register(&tel, "stream0.tyolo"),
+        {
+            let mut scratch = Scratch::new();
+            move |(t0, lf): InFlight| {
+                c_cycles.inc();
+                if tyolo_count(&ty, ty_precision, &lf.frame, target, &mut scratch)
+                    >= number_of_objects
+                {
+                    Some((t0, lf))
+                } else {
+                    lat.record(elapsed_us(t0));
+                    None
+                }
+            }
+        },
+    );
+
+    let lat = lat_e2e.clone();
+    let lat_r = lat_ref.clone();
+    let h_ref = spawn_filter_stage_instrumented(
+        "reference",
+        q_ref,
+        q_out.clone(),
+        StageTelemetry::register(&tel, "stream0.reference"),
+        move |(t0, lf): InFlight| {
+            let out = SurvivingFrame {
+                seq: lf.frame.seq,
+                pts_ms: lf.frame.pts_ms,
+                reference_count: reference.count(&lf.truth, target),
+            };
+            let us = elapsed_us(t0);
+            lat.record(us);
+            lat_r.record(us);
+            Some(out)
+        },
+    );
+
+    let q_in = q_sdd.clone();
+    let c_in = tel.counter("pipeline.frames_in");
+    let feeder = std::thread::spawn(move || {
+        for lf in clip {
+            if q_in.push((Instant::now(), lf)).is_err() {
+                break;
+            }
+            c_in.inc();
+        }
+        q_in.close();
+    });
+
+    let mut survivors = Vec::new();
+    while let Some(s) = q_out.pop() {
+        survivors.push(s);
+    }
+    feeder.join().expect("feeder thread");
+    let c_sdd = h_sdd.join().expect("sdd stage");
+    let c_snm = h_snm.join().expect("snm stage");
+    let c_tyolo = h_tyolo.join().expect("tyolo stage");
+    let c_ref = h_ref.join().expect("reference stage");
+
+    let wall = start.elapsed().as_secs_f64();
     tel.counter("rt.wall_time_us").add((wall * 1e6) as u64);
     RtResult {
         total_frames: total,
@@ -471,7 +737,8 @@ pub fn run_multi_pipeline_rt_robust(
     let start = Instant::now();
     let n_streams = streams.len();
     let num_tyolo = cfg.num_tyolo.max(1);
-    let number_of_objects = cfg.number_of_objects.max(1);
+    // any-motion semantics for 0, matching `FrameTrace::tyolo_pass`
+    let number_of_objects = cfg.number_of_objects;
     let sup_policy = SupervisorPolicy {
         restart_budget: cfg.restart_budget,
         backoff: Duration::from_millis(cfg.restart_backoff_ms),
@@ -1443,6 +1710,35 @@ mod tests {
                 assert!(w[0].seq < w[1].seq);
             }
         }
+    }
+
+    #[test]
+    fn recal_pipeline_is_bit_identical_when_no_drift_fires() {
+        let cfg_v = workloads::test_tiny(ObjectClass::Car, 0.3, 11);
+        let mut s = VideoStream::new(0, cfg_v);
+        let train = s.clip(1200);
+        // identically trained twin banks (each run consumes its bank)
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
+        let bank_a = FilterBank::build(&train, ObjectClass::Car, &quick_bank_opts(), &mut r1);
+        let bank_b = FilterBank::build(&train, ObjectClass::Car, &quick_bank_opts(), &mut r2);
+        let eval = s.clip(400);
+        let cfg = FfsVaConfig::default();
+        // a ratio no real series can cross: the detector never fires, so
+        // the recalibrating pipeline must match the plain one bit for bit
+        let drift = DriftConfig {
+            window: 100,
+            ratio: 1e9,
+            cooldown: 0,
+            floor: 1e-4,
+        };
+        let plain = run_pipeline_rt(eval.clone(), bank_a, &cfg);
+        let recal = run_pipeline_rt_recal(eval, bank_b, &cfg, drift);
+        assert_eq!(plain.survivors, recal.survivors);
+        assert_eq!(plain.stage_processed, recal.stage_processed);
+        assert_eq!(recal.telemetry.counter("drift.detections"), 0);
+        assert_eq!(recal.telemetry.counter("drift.sdd_rebuilds"), 0);
+        assert_eq!(recal.telemetry.counter("drift.snm_retunes"), 0);
     }
 
     #[test]

@@ -137,6 +137,10 @@ pub enum StreamSpec {
         frames: usize,
         #[serde(default = "default_target_every")]
         target_every: usize,
+        /// Per-stream query thresholds (e.g. a tuned config); defaults to
+        /// the synthetic-trace-shaped thresholds when omitted.
+        #[serde(default)]
+        thresholds: Option<StreamThresholds>,
     },
     /// A fully spelled-out decision trace.
     Inline {
@@ -161,6 +165,10 @@ pub enum StreamSpec {
         backoff_cap_ms: u64,
         #[serde(default = "default_io_timeout_ms")]
         io_timeout_ms: u64,
+        /// Per-stream query thresholds (e.g. a tuned config); defaults to
+        /// the oracle-trace-shaped thresholds when omitted.
+        #[serde(default)]
+        thresholds: Option<StreamThresholds>,
     },
 }
 
@@ -246,6 +254,7 @@ impl StreamSpec {
             StreamSpec::Synthetic {
                 frames,
                 target_every,
+                thresholds,
             } => {
                 if frames == 0 || frames > MAX_TRACE_FRAMES {
                     return Err(format!("frames must be in 1..={MAX_TRACE_FRAMES}"));
@@ -256,7 +265,7 @@ impl StreamSpec {
                 Ok(ResolvedStream {
                     input: StreamInput {
                         traces,
-                        thresholds: synthetic_thresholds(),
+                        thresholds: thresholds.unwrap_or_else(synthetic_thresholds),
                     },
                     source_lost: false,
                 })
@@ -286,6 +295,7 @@ impl StreamSpec {
                 backoff_ms,
                 backoff_cap_ms,
                 io_timeout_ms,
+                thresholds,
             } => {
                 let class = match target.as_deref() {
                     Some(name) => parse_class(name)?,
@@ -322,7 +332,7 @@ impl StreamSpec {
                 Ok(ResolvedStream {
                     input: StreamInput {
                         traces,
-                        thresholds: synthetic_thresholds(),
+                        thresholds: thresholds.unwrap_or_else(synthetic_thresholds),
                     },
                     source_lost: lost,
                 })
@@ -991,6 +1001,7 @@ mod tests {
         let spec = StreamSpec::Synthetic {
             frames: 16,
             target_every: 4,
+            thresholds: None,
         };
         let r = spec.resolve().unwrap();
         assert!(!r.source_lost);
@@ -998,12 +1009,41 @@ mod tests {
         assert_eq!(r.input.traces[0].tyolo_count, 1);
         assert_eq!(r.input.traces[1].tyolo_count, 0);
         assert_eq!(r.input.traces[4].truth_complete, 1);
+        assert_eq!(r.input.thresholds, synthetic_thresholds());
         assert!(StreamSpec::Synthetic {
             frames: 0,
-            target_every: 4
+            target_every: 4,
+            thresholds: None,
         }
         .resolve()
         .is_err());
+    }
+
+    #[test]
+    fn synthetic_spec_honors_per_stream_thresholds() {
+        // A registered (e.g. tuned) threshold set rides the spec instead of
+        // being silently replaced by the defaults: t_pre above the synthetic
+        // target probability means nothing can pass the SNM gate.
+        let strict = StreamThresholds {
+            delta_diff: 0.001,
+            t_pre: 0.95,
+            number_of_objects: 1,
+        };
+        let r = StreamSpec::Synthetic {
+            frames: 16,
+            target_every: 4,
+            thresholds: Some(strict),
+        }
+        .resolve()
+        .unwrap();
+        assert_eq!(r.input.thresholds, strict);
+        // and the JSON form (what POST /streams receives) carries it too
+        let json = r#"{"kind":"synthetic","frames":8,
+                       "thresholds":{"delta_diff":0.5,"t_pre":0.25,"number_of_objects":2}}"#;
+        let spec: StreamSpec = serde_json::from_str(json).unwrap();
+        let r = spec.resolve().unwrap();
+        assert_eq!(r.input.thresholds.number_of_objects, 2);
+        assert!((r.input.thresholds.t_pre - 0.25).abs() < 1e-6);
     }
 
     #[test]
@@ -1030,9 +1070,11 @@ mod tests {
             StreamSpec::Synthetic {
                 frames,
                 target_every,
+                thresholds,
             } => {
                 assert_eq!(frames, 32);
                 assert_eq!(target_every, 8);
+                assert!(thresholds.is_none());
             }
             other => panic!("wrong spec: {other:?}"),
         }

@@ -243,13 +243,21 @@ impl FrameTrace {
     }
 
     /// T-YOLO verdict at a given NumberofObjects.
+    ///
+    /// `number_of_objects == 0` is the *any-motion* query: the count stage
+    /// imposes no requirement, so every frame that reached T-YOLO passes and
+    /// SDD/SNM remain the only gates. (Historically 0 was silently clamped
+    /// to 1, turning "any motion" into "≥ 1 object".)
     pub fn tyolo_pass(&self, number_of_objects: usize) -> bool {
-        (self.tyolo_count as usize) >= number_of_objects.max(1)
+        (self.tyolo_count as usize) >= number_of_objects
     }
 
-    /// Whether the reference model flags this frame as a target frame.
+    /// Whether the reference model flags this frame as a target frame. Under
+    /// the any-motion query (`number_of_objects == 0`) every frame is
+    /// trivially a target frame — the cascade is then judged against full
+    /// capture, consistent with [`Self::tyolo_pass`].
     pub fn is_reference_target(&self, number_of_objects: usize) -> bool {
-        (self.reference_count as usize) >= number_of_objects.max(1)
+        (self.reference_count as usize) >= number_of_objects
     }
 }
 
@@ -398,5 +406,27 @@ mod tests {
         assert!(!tr.tyolo_pass(3));
         assert!(tr.is_reference_target(3));
         assert!(!tr.is_reference_target(4));
+    }
+
+    #[test]
+    fn zero_objects_is_the_any_motion_query() {
+        // A frame where neither T-YOLO nor the reference model found
+        // anything: under n_obj = 0 the count stages impose no requirement,
+        // so both verdicts hold vacuously instead of being clamped to "≥ 1".
+        let tr = FrameTrace {
+            seq: 0,
+            pts_ms: 0,
+            sdd_distance: 0.01,
+            snm_prob: 0.6,
+            tyolo_count: 0,
+            reference_count: 0,
+            truth_count: 0,
+            truth_complete: 0,
+        };
+        assert!(tr.tyolo_pass(0));
+        assert!(tr.is_reference_target(0));
+        // n_obj ≥ 1 still requires actual detections
+        assert!(!tr.tyolo_pass(1));
+        assert!(!tr.is_reference_target(1));
     }
 }

@@ -44,7 +44,27 @@ impl CostSpec {
     }
 }
 
-/// Fit a [`CostSpec`] to a measured batch-latency curve by least squares.
+/// A fitted batch curve plus how well the affine model explains the samples.
+///
+/// [`fit_batch_curve`] rejects curves a line cannot *identify* (too few
+/// distinct sizes, non-positive slope), but a wildly non-affine curve still
+/// produces a line; consumers deciding whether to *trust* the fit (e.g.
+/// `ffsva tune --fit-cost` before feeding the DES) must look at the quality
+/// fields instead of assuming `Some` means "good".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchFit {
+    pub spec: CostSpec,
+    /// Coefficient of determination of `spec` against the samples, measured
+    /// on the *returned* model (i.e. after the non-negative `invoke_us`
+    /// clamp). 1.0 is an exact fit; near zero — or negative, which the
+    /// clamp can produce — means the affine model explains nothing.
+    pub r_squared: f64,
+    /// Root-mean-square residual of `spec` against the samples (µs).
+    pub rmse_us: f64,
+}
+
+/// Fit a [`CostSpec`] to a measured batch-latency curve by least squares,
+/// reporting fit quality.
 ///
 /// `samples` are `(batch_size, measured_batch_us)` pairs from probing the
 /// real kernel (e.g. `SnmModel::predict_batch_frames` at several sizes); the
@@ -53,11 +73,11 @@ impl CostSpec {
 /// simulator via `FfsVaConfig::snm_cost_override`. Returns `None` when the
 /// samples cannot identify a line (fewer than two distinct batch sizes) or
 /// the fit comes out non-physical (negative marginal cost).
-pub fn fit_batch_curve(
+pub fn fit_batch_curve_checked(
     samples: &[(usize, f64)],
     resize_us: f64,
     mem_bytes: u64,
-) -> Option<CostSpec> {
+) -> Option<BatchFit> {
     let n = samples.len() as f64;
     if samples.len() < 2 {
         return None;
@@ -66,10 +86,13 @@ pub fn fit_batch_curve(
     let mean_y = samples.iter().map(|&(_, t)| t).sum::<f64>() / n;
     let mut sxx = 0.0;
     let mut sxy = 0.0;
+    let mut syy = 0.0;
     for &(b, t) in samples {
         let dx = b as f64 - mean_x;
+        let dy = t - mean_y;
         sxx += dx * dx;
-        sxy += dx * (t - mean_y);
+        sxy += dx * dy;
+        syy += dy * dy;
     }
     if sxx <= 0.0 {
         return None; // all samples at one batch size: slope unidentifiable
@@ -81,12 +104,39 @@ pub fn fit_batch_curve(
     if !per_frame_us.is_finite() || per_frame_us <= 0.0 {
         return None;
     }
-    Some(CostSpec {
+    let spec = CostSpec {
         resize_us,
         invoke_us,
         per_frame_us,
         mem_bytes,
+    };
+    // residuals of the model actually returned (the clamp may have moved the
+    // intercept off the least-squares line)
+    let ss_res: f64 = samples
+        .iter()
+        .map(|&(b, t)| {
+            let e = t - spec.batch_us(b);
+            e * e
+        })
+        .sum();
+    // syy > 0 here: a positive slope needs sxy > 0, and by Cauchy–Schwarz
+    // syy ≥ sxy²/sxx
+    let r_squared = 1.0 - ss_res / syy;
+    Some(BatchFit {
+        spec,
+        r_squared,
+        rmse_us: (ss_res / n).sqrt(),
     })
+}
+
+/// [`fit_batch_curve_checked`] without the quality report — for callers that
+/// have already decided to trust the curve.
+pub fn fit_batch_curve(
+    samples: &[(usize, f64)],
+    resize_us: f64,
+    mem_bytes: u64,
+) -> Option<CostSpec> {
+    fit_batch_curve_checked(samples, resize_us, mem_bytes).map(|f| f.spec)
 }
 
 /// SDD: runs on the CPU over 100×100 inputs. Standalone 100 K FPS → 10 µs.
@@ -220,6 +270,36 @@ mod tests {
         assert!(fit_batch_curve(&[(5, 100.0), (5, 120.0)], 0.0, 0).is_none());
         // a flat-or-falling curve has no positive marginal cost
         assert!(fit_batch_curve(&[(1, 100.0), (10, 100.0)], 0.0, 0).is_none());
+    }
+
+    #[test]
+    fn fit_quality_separates_affine_from_garbage() {
+        // exact affine samples: essentially perfect fit
+        let truth = snm_cost();
+        let samples: Vec<(usize, f64)> = [1usize, 2, 5, 10, 20, 30]
+            .iter()
+            .map(|&n| (n, truth.batch_us(n)))
+            .collect();
+        let good = fit_batch_curve_checked(&samples, truth.resize_us, truth.mem_bytes).unwrap();
+        assert!(good.r_squared > 0.999, "r² {}", good.r_squared);
+        assert!(good.rmse_us < 1.0, "rmse {}", good.rmse_us);
+
+        // a wildly non-affine (sawtooth) curve with a positive overall slope
+        // still yields Some(spec) — the quality fields are what expose it
+        let garbage = vec![(1usize, 100.0), (10, 5000.0), (20, 200.0), (30, 6000.0)];
+        let bad = fit_batch_curve_checked(&garbage, 0.0, 0).unwrap();
+        assert!(bad.spec.per_frame_us > 0.0);
+        assert!(bad.r_squared < 0.5, "r² {}", bad.r_squared);
+        assert!(bad.rmse_us > 1000.0, "rmse {}", bad.rmse_us);
+
+        // the quality-blind wrapper returns the same spec
+        let spec = fit_batch_curve(&garbage, 0.0, 0).unwrap();
+        assert_eq!(spec, bad.spec);
+
+        // identifiability rejections are still None, not low-quality Some
+        assert!(fit_batch_curve_checked(&[], 0.0, 0).is_none());
+        assert!(fit_batch_curve_checked(&[(5, 100.0), (5, 120.0)], 0.0, 0).is_none());
+        assert!(fit_batch_curve_checked(&[(1, 100.0), (10, 90.0)], 0.0, 0).is_none());
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub use bank::{BankOptions, FilterBank, FrameTrace, TraceOptions};
 pub use compress::{
     compress, prune_magnitude, quantize_int8, CompressionReport, QuantLayer, QuantizedSequential,
 };
-pub use cost::{fit_batch_curve, sdd_cost, snm_cost, tyolo_cost, yolov2_cost, CostSpec};
+pub use cost::{
+    fit_batch_curve, fit_batch_curve_checked, sdd_cost, snm_cost, tyolo_cost, yolov2_cost,
+    BatchFit, CostSpec,
+};
 pub use filter::{Detection, Verdict};
 pub use reference::{ReferenceConfig, ReferenceModel};
 pub use scratch::Scratch;

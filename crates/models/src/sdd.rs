@@ -140,6 +140,36 @@ impl SddFilter {
         }
     }
 
+    /// Rebuild the reference image in place from pre-resized, normalized
+    /// `SDD_SIZE`² luminance images — typically the low-distance half of a
+    /// recent frame window that a drift detector collected after an
+    /// illumination regime shift. The metric and δ_diff are kept; the
+    /// reference and its dynamic range are recomputed exactly as
+    /// [`Self::from_background`] computes them, so a rebuilt filter is
+    /// indistinguishable from one trained on those frames.
+    ///
+    /// # Panics
+    /// Panics if `smalls` is empty or any image is not `SDD_SIZE`².
+    pub fn rebuild_reference_from_smalls(&mut self, smalls: &[&[f32]]) {
+        assert!(!smalls.is_empty(), "SDD rebuild needs at least one frame");
+        let len = SDD_SIZE * SDD_SIZE;
+        self.reference.clear();
+        self.reference.resize(len, 0.0);
+        for s in smalls {
+            assert_eq!(s.len(), len, "resized frame has wrong size");
+            for (r, v) in self.reference.iter_mut().zip(s.iter()) {
+                *r += v;
+            }
+        }
+        let n = smalls.len() as f32;
+        for r in self.reference.iter_mut() {
+            *r /= n;
+        }
+        let mx = self.reference.iter().copied().fold(f32::MIN, f32::max);
+        let mn = self.reference.iter().copied().fold(f32::MAX, f32::min);
+        self.ref_range = (mx - mn).max(1e-6);
+    }
+
     /// Calibrate δ_diff from labeled data (§4.1): choose the largest
     /// threshold that still passes at least `target_recall` of the
     /// target-object frames, then relax it (§3.3 "set the real filtering
@@ -427,6 +457,37 @@ mod tests {
     #[should_panic(expected = "background")]
     fn empty_background_panics() {
         let _ = SddFilter::from_background(&[], DistanceMetric::Mse, 0.0);
+    }
+
+    #[test]
+    fn rebuilt_reference_matches_from_background() {
+        // Rebuilding from pre-resized frames must be indistinguishable from
+        // training a fresh filter on those same frames — the guarantee the
+        // online drift-recalibration path leans on.
+        let (clip, bg) = clips();
+        let mut sdd = SddFilter::from_background(&bg[..10], DistanceMetric::Mse, 0.05);
+        let late: Vec<Vec<f32>> = clip
+            .iter()
+            .rev()
+            .take(12)
+            .map(|lf| resize_frame_f32(&lf.frame, SDD_SIZE, SDD_SIZE))
+            .collect();
+        let smalls: Vec<&[f32]> = late.iter().map(|v| v.as_slice()).collect();
+        sdd.rebuild_reference_from_smalls(&smalls);
+        let frames: Vec<Frame> = clip
+            .iter()
+            .rev()
+            .take(12)
+            .map(|lf| lf.frame.clone())
+            .collect();
+        let fresh = SddFilter::from_background(&frames, DistanceMetric::Mse, 0.05);
+        let probe = &clip[50].frame;
+        assert_eq!(
+            sdd.distance(probe).to_bits(),
+            fresh.distance(probe).to_bits()
+        );
+        // threshold survives the rebuild untouched
+        assert_eq!(sdd.delta_diff, 0.05);
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!                YOLOv2 baseline (§4.3.1 / Fig. 6).
 //! * `bench`    — run the headline workload on both engines and write
 //!                `BENCH.json` (the CI performance-regression gate input).
+//! * `tune`     — cost-based cascade auto-tuning: search the knob space
+//!                against a calibration clip, rank feasible points by
+//!                DES-predicted FPS, and emit a blessable config
+//!                (`TUNE.json`); `--drift-ablation` adds the online
+//!                recalibration before/after leg.
 //! * `serve`    — resident daemon: the cluster control plane behind an
 //!                HTTP/1.1 ops API, with SIGTERM-triggered graceful drain
 //!                and crash-safe `--resume`.
@@ -20,17 +25,18 @@
 use ffs_va::core::accuracy::cascade_pass;
 use ffs_va::core::report::digest_table;
 use ffs_va::core::{
-    evaluate_accuracy, find_max_cluster_streams, find_max_online_streams, install_signal_drain,
-    max_streams_by_threads, threads_for_streams, AccuracyReport, Daemon, ServeConfig,
-    DEFAULT_THREAD_BUDGET,
+    drift_ablation, evaluate_accuracy, find_max_cluster_streams, find_max_online_streams,
+    install_signal_drain, max_streams_by_threads, threads_for_streams, tune, AccuracyReport,
+    Daemon, DriftConfig, ServeConfig, TuneCandidate, TuneInput, TuneOptions, DEFAULT_THREAD_BUDGET,
 };
 use ffs_va::models::reference::ReferenceModel;
 use ffs_va::models::sdd::SddFilter;
 use ffs_va::models::snm::{SnmReport, SnmTrainOptions};
 use ffs_va::models::tyolo::TinyYolo;
-use ffs_va::models::{fit_batch_curve, CostSpec, Scratch};
+use ffs_va::models::{fit_batch_curve, fit_batch_curve_checked, CostSpec, Scratch};
 use ffs_va::prelude::*;
 use ffs_va::video::storage::{write_clip, ClipReader};
+use ffs_va::video::BackgroundKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -90,6 +96,28 @@ stream count N instances sustain with re-forwarding allowed to spread load.
                  [--train-frames N] [--tor F] [--seed N] [--full] [--fit-cost]
                  [--snm-precision f32|int8] [--tyolo-precision f32|int8]
 
+  ffsva tune     [--out <TUNE.json>] [--bless <config.json>] [--streams N]
+                 [--frames N] [--train-frames N] [--tor F] [--seed N] [--full]
+                 [--miss-bound F] [--des-budget N] [--top N] [--n-obj N]
+                 [--fit-cost] [--min-r2 F] [--drift-ablation]
+                 [--drift-out <DRIFT.json>] [--drift-window N]
+                 [--drift-ratio F]
+
+tune searches the cascade knob space (δ_diff scale, FilterDegree, query
+relaxation, BatchSize, num_tyolo, SNM precision) against a calibration
+clip: every point is scored for scene-miss accuracy on the real decision
+traces, feasible points (miss < --miss-bound, default 2%) are priced by
+the DES, and the report ranks them by predicted aggregate FPS next to the
+untuned baseline. The search is deterministic — same inputs, byte-identical
+TUNE.json. --bless writes the winner as an engine config + per-stream
+thresholds snippet. --fit-cost prices with the measured SNM batch curve
+instead of the paper-calibrated costs, but only when the affine fit's r²
+clears --min-r2 (default 0.9). --drift-ablation runs the same workload
+with a day/night illumination cycle through the static pipeline and the
+online-recalibrating one (windowed SDD-distance shift detector; SDD
+reference rebuild + SNM threshold re-derivation on detection) and writes
+the before/after scene-miss comparison to --drift-out.
+
   ffsva serve    --state-dir <dir> [--addr HOST:PORT] [--instances N]
                  [--epoch-frames N] [--epoch-interval-ms N]
                  [--fault-plan <spec>] [--source-faults <spec>] [--resume]
@@ -139,6 +167,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         "simulate" => cmd_simulate(&mut args),
         "capacity" => cmd_capacity(&mut args),
         "bench" => cmd_bench(&mut args),
+        "tune" => cmd_tune(&mut args),
         "serve" => cmd_serve(&mut args),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
@@ -543,7 +572,8 @@ fn cmd_analyze(args: &mut Args) -> Result<(), String> {
     let th = StreamThresholds {
         delta_diff: bank.sdd.delta_diff,
         t_pre: bank.snm.t_pre(filter_degree),
-        number_of_objects: number.max(1),
+        // 0 = the any-motion query (no T-YOLO count requirement)
+        number_of_objects: number,
     };
     let traces = bank.trace_clip(&analyzed);
     let accuracy = evaluate_accuracy(&traces, &th);
@@ -1553,6 +1583,299 @@ fn cmd_bench(args: &mut Args) -> Result<(), String> {
         serde_json::to_string_pretty(&report).map_err(|e| format!("serialize bench: {}", e))?;
     std::fs::write(&out, json).map_err(|e| format!("cannot write {}: {}", out.display(), e))?;
     println!("bench report written to {}", out.display());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// tune
+
+/// Probe the real SNM batch-latency curve (same sweep as bench). `--fit-cost`
+/// feeds this to `fit_batch_curve_checked` and only trusts the fit when its
+/// r² clears the `--min-r2` gate.
+fn probe_snm_curve(snm: &mut SnmModel, clip: &[LabeledFrame]) -> Vec<(usize, f64)> {
+    use std::time::Instant;
+    let mut scratch = Scratch::new();
+    let mut samples = Vec::new();
+    for &size in &[1usize, 2, 5, SNM_BENCH_BATCH, 20, 30] {
+        let frames: Vec<&Frame> = (0..size).map(|i| &clip[i % clip.len()].frame).collect();
+        let _ = snm.predict_batch_frames(&frames, &mut scratch); // warm scratch
+        let reps = (64 / size).max(3);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = snm.predict_batch_frames(&frames, &mut scratch);
+        }
+        samples.push((size, t0.elapsed().as_secs_f64() * 1e6 / reps as f64));
+    }
+    samples
+}
+
+fn precision_name(p: Precision) -> &'static str {
+    match p {
+        Precision::F32 => "f32",
+        Precision::Int8 => "int8",
+    }
+}
+
+fn tune_row(rank: usize, c: &TuneCandidate) -> String {
+    format!(
+        "{:>4} {:>6.2} {:>5.2} {:>5} {:>5} {:>5} {:>5} {:>7.3} {:>7} {:>9.0}",
+        rank,
+        c.knobs.delta_scale,
+        c.knobs.filter_degree,
+        c.knobs.relax,
+        c.knobs.batch_size,
+        c.knobs.num_tyolo,
+        precision_name(c.knobs.snm_precision),
+        c.scene_miss_rate * 100.0,
+        c.forwarded_frames,
+        c.predicted_fps.unwrap_or(0.0)
+    )
+}
+
+/// The `--bless` snippet: the winner as an engine config plus the matching
+/// per-stream thresholds (the shape `serve` stream specs accept).
+#[derive(Serialize)]
+struct BlessedConfig<'a> {
+    config: &'a FfsVaConfig,
+    thresholds: &'a StreamThresholds,
+}
+
+/// Deterministic knob search + optional drift-recalibration ablation.
+fn cmd_tune(args: &mut Args) -> Result<(), String> {
+    let out = PathBuf::from(args.opt("out")?.unwrap_or_else(|| "TUNE.json".into()));
+    let bless = args.opt("bless")?.map(PathBuf::from);
+    let drift_out = PathBuf::from(
+        args.opt("drift-out")?
+            .unwrap_or_else(|| "DRIFT.json".into()),
+    );
+    let full = args.flag("full");
+    let fit_cost = args.flag("fit-cost");
+    let want_drift = args.flag("drift-ablation");
+    let streams: usize = args.parsed("streams", 4)?;
+    let frames: usize = args.parsed("frames", if full { 2000 } else { 600 })?;
+    let train_frames: usize = args.parsed("train-frames", if full { 2200 } else { 900 })?;
+    let tor: f64 = args.parsed("tor", 0.3)?;
+    let seed: u64 = args.parsed("seed", 42)?;
+    let miss_bound: f64 = args.parsed("miss-bound", 0.02)?;
+    let des_budget: usize = args.parsed("des-budget", 64)?;
+    let top_k: usize = args.parsed("top", 10)?;
+    let n_obj: usize = args.parsed("n-obj", 1)?;
+    let min_r2: f64 = args.parsed("min-r2", 0.9)?;
+    // defaults sized for the eval-clip length, not the RT-engine default:
+    // ~10 windows across the day→night descent, firing at a 2× mean shift
+    let drift_window: usize = args.parsed("drift-window", 60)?;
+    let drift_ratio: f64 = args.parsed("drift-ratio", 2.0)?;
+    if streams == 0 || frames == 0 {
+        return Err("--streams and --frames must be positive".into());
+    }
+    if !(0.0..=1.0).contains(&miss_bound) {
+        return Err("--miss-bound must be in [0, 1]".into());
+    }
+
+    let cfg = if full {
+        let mut c = workloads::jackson();
+        c.seed = seed;
+        c
+    } else {
+        workloads::test_tiny(ObjectClass::Car, tor, seed)
+    };
+    let workload_name = cfg.name.clone();
+    let target = cfg.target;
+    println!(
+        "tune: workload '{}' (train {} frames, calibrate {} frames; \
+         miss bound {:.1}%, DES budget {})",
+        workload_name,
+        train_frames,
+        frames,
+        miss_bound * 100.0,
+        des_budget
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut camera = VideoStream::new(0, cfg);
+    let training = camera.clip(train_frames);
+    let mut bank = FilterBank::build(&training, target, &bank_options(!full), &mut rng);
+    let calib = camera.clip(frames);
+    let traces_f32 = bank.trace_clip(&calib);
+    let traces_int8 = bank.trace_clip_int8(&calib);
+
+    let snm_cost = if fit_cost {
+        let mut probe = bank.snm.clone();
+        let samples = probe_snm_curve(&mut probe, &calib);
+        let paper = ffs_va::models::snm_cost();
+        match fit_batch_curve_checked(&samples, paper.resize_us, paper.mem_bytes) {
+            Some(fit) if fit.r_squared >= min_r2 => {
+                println!(
+                    "--fit-cost: DES priced with the measured SNM curve \
+                     (invoke {:.0} us + {:.1} us/frame, r² {:.3})",
+                    fit.spec.invoke_us, fit.spec.per_frame_us, fit.r_squared
+                );
+                Some(fit.spec)
+            }
+            Some(fit) => {
+                println!(
+                    "--fit-cost: fit r² {:.3} below --min-r2 {:.2} \
+                     (rmse {:.0} us); keeping calibrated costs",
+                    fit.r_squared, min_r2, fit.rmse_us
+                );
+                None
+            }
+            None => {
+                println!("--fit-cost: degenerate batch curve, keeping calibrated costs");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let input = TuneInput {
+        workload: workload_name.clone(),
+        traces_f32,
+        traces_int8: Some(traces_int8),
+        delta_diff: bank.sdd.delta_diff,
+        c_low: bank.snm.c_low,
+        c_high: bank.snm.c_high,
+    };
+    let opts = TuneOptions {
+        miss_rate_bound: miss_bound,
+        streams,
+        number_of_objects: n_obj,
+        des_budget,
+        top_k,
+        snm_cost,
+        seed,
+    };
+    let report = tune(&input, &opts);
+
+    println!(
+        "searched {} candidate(s): {} feasible, {} DES run(s)",
+        report.evaluated, report.feasible, report.des_runs
+    );
+    let base = &report.baseline;
+    let base_fps = base.predicted_fps.unwrap_or(0.0);
+    println!(
+        "baseline: miss {:.3}%, {} forwarded -> {:.0} fps{}",
+        base.scene_miss_rate * 100.0,
+        base.forwarded_frames,
+        base_fps,
+        if base.feasible { "" } else { "  [infeasible]" }
+    );
+    match &report.winner {
+        Some(w) => {
+            let fps = w.predicted_fps.unwrap_or(0.0);
+            let gain = if base_fps > 0.0 {
+                (fps / base_fps - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "winner:   miss {:.3}%, {} forwarded -> {:.0} fps ({:+.1}% vs baseline)",
+                w.scene_miss_rate * 100.0,
+                w.forwarded_frames,
+                fps,
+                gain
+            );
+        }
+        None => println!(
+            "no feasible candidate under the {:.1}% miss bound",
+            miss_bound * 100.0
+        ),
+    }
+    println!();
+    println!(
+        "{:>4} {:>6} {:>5} {:>5} {:>5} {:>5} {:>5} {:>7} {:>7} {:>9}",
+        "rank", "dx", "FD", "relax", "batch", "tyolo", "prec", "miss%", "fwd", "fps"
+    );
+    for (i, c) in report.ranked.iter().enumerate() {
+        println!("{}", tune_row(i + 1, c));
+    }
+
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("serialize tune: {}", e))?;
+    std::fs::write(&out, json).map_err(|e| format!("cannot write {}: {}", out.display(), e))?;
+    println!("tune report written to {}", out.display());
+
+    if let Some(path) = bless {
+        match (&report.config, &report.winner) {
+            (Some(cfg), Some(w)) => {
+                let snippet = BlessedConfig {
+                    config: cfg,
+                    thresholds: &w.thresholds,
+                };
+                let json = serde_json::to_string_pretty(&snippet)
+                    .map_err(|e| format!("serialize blessed config: {}", e))?;
+                std::fs::write(&path, json)
+                    .map_err(|e| format!("cannot write {}: {}", path.display(), e))?;
+                println!("blessed config written to {}", path.display());
+            }
+            _ => println!("--bless: no feasible winner, nothing blessed"),
+        }
+    }
+
+    if want_drift {
+        // Day→night vehicle: train on a static-illumination camera, then
+        // evaluate on a dynamic twin (same seed, same scene texture) whose
+        // illumination descends to the cycle trough across the eval clip —
+        // the regime the statically-trained bank was never calibrated for.
+        let mut day = if full {
+            let mut c = workloads::jackson();
+            c.seed = seed;
+            c
+        } else {
+            workloads::test_tiny(target, tor, seed)
+        };
+        day.background = BackgroundKind::Static;
+        let mut night = day.clone();
+        night.name = format!("{}-drift", workload_name);
+        night.background = BackgroundKind::Dynamic {
+            period_frames: (2 * frames) as u64,
+            amplitude: 0.8,
+            drift_sigma: 0.0,
+        };
+        let mut cam_day = VideoStream::new(0, day);
+        let training = cam_day.clip(train_frames);
+        // identically-trained twins: each pipeline run consumes its bank
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let bank_static = FilterBank::build(&training, target, &bank_options(!full), &mut rng_a);
+        let bank_recal = FilterBank::build(&training, target, &bank_options(!full), &mut rng_b);
+        let mut cam_night = VideoStream::new(0, night);
+        let eval = cam_night.clip(frames);
+        let drift = DriftConfig {
+            window: drift_window,
+            ratio: drift_ratio,
+            cooldown: drift_window * 2,
+            ..DriftConfig::default()
+        };
+        let sys = FfsVaConfig::default().with_number_of_objects(n_obj);
+        let ab = drift_ablation(&eval, bank_static, bank_recal, &sys, drift);
+        println!();
+        println!(
+            "drift ablation ({} frames, day->night, window {}, ratio {:.1}):",
+            ab.frames, drift_window, drift_ratio
+        );
+        println!(
+            "  detections {}, sdd rebuilds {}, snm retunes {}",
+            ab.detections, ab.sdd_rebuilds, ab.snm_retunes
+        );
+        println!(
+            "  static pipeline: {} survivor(s), scene miss {:.2}%",
+            ab.static_survivors,
+            ab.static_miss_rate * 100.0
+        );
+        println!(
+            "  recalibrating:   {} survivor(s), scene miss {:.2}%",
+            ab.recal_survivors,
+            ab.recal_miss_rate * 100.0
+        );
+        let json =
+            serde_json::to_string_pretty(&ab).map_err(|e| format!("serialize drift: {}", e))?;
+        std::fs::write(&drift_out, json)
+            .map_err(|e| format!("cannot write {}: {}", drift_out.display(), e))?;
+        println!("drift ablation written to {}", drift_out.display());
+    }
+
     Ok(())
 }
 

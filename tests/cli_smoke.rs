@@ -380,6 +380,92 @@ fn bench_writes_gate_ready_report() {
     );
 }
 
+/// `tune` end to end: TUNE.json + blessed config + drift ablation written,
+/// and a second identical invocation produces a byte-identical report.
+#[test]
+fn tune_writes_deterministic_report_blessed_config_and_drift_ablation() {
+    let dir = Scratch::new("tune");
+    let report = dir.path("TUNE.json");
+    let blessed = dir.path("blessed.json");
+    let drift = dir.path("DRIFT.json");
+    let run = |report: &Path| {
+        ffsva(&[
+            "tune",
+            "--out",
+            report.to_str().unwrap(),
+            "--bless",
+            blessed.to_str().unwrap(),
+            "--streams",
+            "2",
+            "--frames",
+            "300",
+            "--train-frames",
+            "500",
+            "--seed",
+            "7",
+            "--des-budget",
+            "4",
+            "--top",
+            "3",
+            "--drift-ablation",
+            "--drift-out",
+            drift.to_str().unwrap(),
+            "--drift-window",
+            "30",
+        ])
+    };
+    let out = run(&report);
+    assert_ok(&out, "tune");
+    let text = stdout(&out);
+    assert!(
+        text.contains("winner:") || text.contains("no feasible candidate"),
+        "no search outcome reported:\n{}",
+        text
+    );
+    assert!(
+        text.contains("drift ablation"),
+        "drift leg missing:\n{}",
+        text
+    );
+
+    let json: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(&report).expect("TUNE.json written"))
+            .expect("TUNE.json is valid JSON");
+    assert_eq!(json["schema_version"], 1);
+    assert!(json["evaluated"].as_u64().unwrap() > 0);
+    assert!(json["baseline"]["predicted_fps"].is_number());
+    let ranked = json["ranked"].as_array().expect("ranked list");
+    assert!(ranked.len() <= 3);
+    if json["winner"].is_object() {
+        // a feasible winner implies a blessable config + thresholds snippet
+        assert!(
+            json["winner"]["scene_miss_rate"].as_f64().unwrap()
+                < json["miss_rate_bound"].as_f64().unwrap()
+        );
+        let snip: serde_json::Value =
+            serde_json::from_slice(&std::fs::read(&blessed).expect("blessed config written"))
+                .expect("blessed config is valid JSON");
+        assert!(snip["config"]["filter_degree"].is_number());
+        assert!(snip["thresholds"]["delta_diff"].is_number());
+    }
+
+    let dj: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(&drift).expect("DRIFT.json written"))
+            .expect("DRIFT.json is valid JSON");
+    assert_eq!(dj["frames"], 300);
+    assert!(dj["static_miss_rate"].is_number() && dj["recal_miss_rate"].is_number());
+
+    // determinism: same inputs → byte-identical report
+    let report2 = dir.path("TUNE2.json");
+    let out = run(&report2);
+    assert_ok(&out, "tune (second run)");
+    assert_eq!(
+        std::fs::read(&report).unwrap(),
+        std::fs::read(&report2).unwrap(),
+        "tune reports differ between identical runs"
+    );
+}
+
 #[test]
 fn capacity_compares_cascade_against_baseline() {
     let out = ffsva(&[

@@ -333,6 +333,46 @@ fn drain_and_resume_are_bit_identical_under_active_fault_plans() {
 }
 
 #[test]
+fn registration_thresholds_apply_to_synthetic_streams() {
+    // ROADMAP item 2 gap: `synthetic`/`socket` specs used to take default
+    // thresholds no matter what the registration asked for, so a tuned
+    // config was unapplicable at POST /streams. Two streams over the same
+    // trace shape must now diverge purely on their registered thresholds.
+    let dir = tmp_dir("thresholds");
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.epoch_frames = 100;
+    let (addr, drain, thread) = spawn_daemon(cfg);
+
+    // default thresholds: every 8th frame survives the cascade
+    let default_spec = r#"{"kind":"synthetic","frames":160,"target_every":8}"#;
+    let resp = post(addr, "/streams", default_spec);
+    assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+    // per-stream thresholds above the synthetic SNM probability (0.9):
+    // the same trace shape now forwards nothing
+    let strict_spec = r#"{"kind":"synthetic","frames":160,"target_every":8,
+        "thresholds":{"delta_diff":0.001,"t_pre":0.95,"number_of_objects":1}}"#;
+    let resp = post(addr, "/streams", strict_spec);
+    assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+
+    wait_stream(addr, 0, "completed", |s| s["state"] == "completed");
+    wait_stream(addr, 1, "completed", |s| s["state"] == "completed");
+    let default_survivors: Vec<SurvivingFrame> =
+        serde_json::from_slice(&get(addr, "/streams/0/survivors").body).expect("survivors 0");
+    let strict_survivors: Vec<SurvivingFrame> =
+        serde_json::from_slice(&get(addr, "/streams/1/survivors").body).expect("survivors 1");
+    assert_eq!(default_survivors.len(), 20, "one target every 8 of 160");
+    assert!(
+        strict_survivors.is_empty(),
+        "t_pre 0.95 must gate the 0.9-probability targets, got {} survivors",
+        strict_survivors.len()
+    );
+
+    drain.drain();
+    thread.join().expect("join").expect("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn admission_rejects_over_capacity_offers_with_retry_after() {
     let dir = tmp_dir("admission");
     let mut cfg = ServeConfig::new(&dir);
